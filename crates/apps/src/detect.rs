@@ -1,0 +1,182 @@
+//! The simulated object detector standing in for YOLO9000.
+//!
+//! The AR experiment measures *plumbing* — discretisation, device
+//! transfers, UDF invocation, union overlay — not detector accuracy,
+//! so the stand-in is a deterministic connected-component detector
+//! over bright warm-chroma blobs, trained (like the paper's network)
+//! for a fixed square input resolution.
+
+use lightdb::prelude::*;
+use lightdb_frame::kernels::draw_rect;
+
+/// The square input resolution the detector expects (the paper's
+/// network used 480×480; the mini-scale default is 128).
+pub fn detect_input_size() -> usize {
+    if std::env::var("LIGHTDB_FULL_SCALE").as_deref() == Ok("1") {
+        480
+    } else {
+        128
+    }
+}
+
+/// A detection box in the detector's input coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BBox {
+    pub x: usize,
+    pub y: usize,
+    pub w: usize,
+    pub h: usize,
+}
+
+/// Runs the detector over a frame: finds connected regions of pixels
+/// that are simultaneously bright and warm-chroma (our datasets'
+/// "interesting objects": gondola hulls are dark, the detector
+/// instead keys on *distinctive* pixels — far from mid-grey in
+/// chroma) and returns their bounding boxes.
+pub fn detect_boxes(frame: &Frame) -> Vec<BBox> {
+    let (w, h) = (frame.width(), frame.height());
+    let mut mask = vec![false; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let c = frame.get(x, y);
+            let chroma_dist =
+                (c.u as i32 - 128).abs() + (c.v as i32 - 128).abs();
+            mask[y * w + x] = chroma_dist > 60 || c.y < 36;
+        }
+    }
+    // Connected components via flood fill on a coarse grid (stride 2
+    // keeps it cheap; detections are chunky anyway).
+    let mut seen = vec![false; w * h];
+    let mut boxes = Vec::new();
+    for sy in (0..h).step_by(2) {
+        for sx in (0..w).step_by(2) {
+            let idx = sy * w + sx;
+            if !mask[idx] || seen[idx] {
+                continue;
+            }
+            let (mut x0, mut x1, mut y0, mut y1) = (sx, sx, sy, sy);
+            let mut count = 0usize;
+            let mut stack = vec![(sx, sy)];
+            seen[idx] = true;
+            while let Some((x, y)) = stack.pop() {
+                count += 1;
+                x0 = x0.min(x);
+                x1 = x1.max(x);
+                y0 = y0.min(y);
+                y1 = y1.max(y);
+                for (dx, dy) in [(2i64, 0i64), (-2, 0), (0, 2), (0, -2)] {
+                    let nx = x as i64 + dx;
+                    let ny = y as i64 + dy;
+                    if nx < 0 || ny < 0 || nx >= w as i64 || ny >= h as i64 {
+                        continue;
+                    }
+                    let nidx = ny as usize * w + nx as usize;
+                    if mask[nidx] && !seen[nidx] {
+                        seen[nidx] = true;
+                        stack.push((nx as usize, ny as usize));
+                    }
+                }
+            }
+            // Reject specks and wall-to-wall regions.
+            let bw = x1 - x0 + 2;
+            let bh = y1 - y0 + 2;
+            if count >= 6 && bw < w * 3 / 4 && bh < h * 3 / 4 {
+                boxes.push(BBox { x: x0, y: y0, w: bw, h: bh });
+            }
+        }
+    }
+    boxes
+}
+
+/// Renders detections as red outlines on a transparent (ω) canvas —
+/// the "red at detection boundaries and null otherwise" output the
+/// paper's AR query unions with the source.
+pub fn boxes_overlay(frame: &Frame) -> Frame {
+    let red = lightdb_frame::Rgb::RED.to_yuv();
+    let mut canvas = Frame::filled(
+        frame.width(),
+        frame.height(),
+        lightdb::exec::chunk::OMEGA,
+    );
+    for b in detect_boxes(frame) {
+        draw_rect(&mut canvas, b.x, b.y, b.w, b.h, 2, red);
+    }
+    canvas
+}
+
+/// The detector as a `MAP` UDF.
+pub struct DetectUdf;
+
+impl MapUdf for DetectUdf {
+    fn name(&self) -> &str {
+        "DETECT"
+    }
+
+    fn apply(&self, frame: &Frame) -> Frame {
+        boxes_overlay(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scene_with_object() -> Frame {
+        let mut f = Frame::filled(64, 64, Yuv::new(120, 128, 128));
+        // A warm-chroma blob.
+        for y in 20..34 {
+            for x in 28..44 {
+                f.set(x, y, Yuv::new(180, 90, 190));
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn finds_the_object() {
+        let boxes = detect_boxes(&scene_with_object());
+        assert_eq!(boxes.len(), 1, "{boxes:?}");
+        let b = boxes[0];
+        assert!(b.x >= 26 && b.x <= 30, "{b:?}");
+        assert!(b.y >= 18 && b.y <= 22, "{b:?}");
+        assert!(b.w >= 12 && b.w <= 20, "{b:?}");
+    }
+
+    #[test]
+    fn empty_scene_has_no_boxes() {
+        let f = Frame::filled(64, 64, Yuv::new(120, 128, 128));
+        assert!(detect_boxes(&f).is_empty());
+    }
+
+    #[test]
+    fn overlay_is_sparse_and_red() {
+        let overlay = boxes_overlay(&scene_with_object());
+        let mut omega = 0;
+        let mut colored = 0;
+        for y in 0..64 {
+            for x in 0..64 {
+                if lightdb::exec::chunk::is_omega(overlay.get(x, y)) {
+                    omega += 1;
+                } else {
+                    colored += 1;
+                }
+            }
+        }
+        assert!(colored > 20, "box outline must be drawn");
+        assert!(omega > colored * 10, "overlay must be mostly null");
+    }
+
+    #[test]
+    fn deterministic() {
+        let f = scene_with_object();
+        assert_eq!(detect_boxes(&f), detect_boxes(&f));
+    }
+
+    #[test]
+    fn detects_in_venice_dataset() {
+        // Gondola hulls are dark: the detector keys on them.
+        let f = lightdb_datasets::venice_frame(128, 64, 10, 30);
+        let boxes = detect_boxes(&f);
+        assert!(!boxes.is_empty(), "venice should contain detectable gondolas");
+    }
+}

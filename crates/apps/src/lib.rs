@@ -1,0 +1,92 @@
+//! # lightdb-apps
+//!
+//! The real-world workloads from the paper's evaluation (Section 3.5
+//! / Section 5), each implemented five times — once against LightDB's
+//! declarative VRQL, and once against each baseline's API — so the
+//! benchmark harness can measure both throughput (Figure 11) and
+//! programmability (Table 2, via [`loc`]).
+//!
+//! * **Predictive 360° tiling** — partition each second of a
+//!   panorama into a tile grid, encode the predicted-viewport tile at
+//!   high quality and the rest at low, recombine, store.
+//! * **Augmented reality** — downsample, run an object detector,
+//!   overlay detection boxes on the original stream.
+//! * **Depth-map generation** — sample a stereo pair and synthesise a
+//!   depth map (CPU / FPGA / hybrid physical variants, Figure 12).
+
+pub mod depth;
+pub mod detect;
+pub mod loc;
+pub mod predictor;
+pub mod workloads;
+
+pub use detect::{detect_boxes, BBox, DetectUdf};
+pub use predictor::important_tile;
+
+/// Result summary a workload run reports to the harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Source frames processed.
+    pub frames: usize,
+    /// Encoded input bytes.
+    pub bytes_in: usize,
+    /// Encoded output bytes.
+    pub bytes_out: usize,
+}
+
+impl RunStats {
+    /// Fraction of the input size removed by the workload (Table 3).
+    pub fn reduction(&self) -> f64 {
+        if self.bytes_in == 0 {
+            return 0.0;
+        }
+        1.0 - self.bytes_out as f64 / self.bytes_in as f64
+    }
+}
+
+/// Errors from workload implementations.
+#[derive(Debug)]
+pub enum AppError {
+    LightDb(lightdb::Error),
+    Baseline(lightdb_baselines::BaselineError),
+    Other(String),
+}
+
+impl std::fmt::Display for AppError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppError::LightDb(e) => write!(f, "{e}"),
+            AppError::Baseline(e) => write!(f, "{e}"),
+            AppError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for AppError {}
+
+impl From<lightdb::Error> for AppError {
+    fn from(e: lightdb::Error) -> Self {
+        AppError::LightDb(e)
+    }
+}
+
+impl From<lightdb_baselines::BaselineError> for AppError {
+    fn from(e: lightdb_baselines::BaselineError) -> Self {
+        AppError::Baseline(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, AppError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_math() {
+        let s = RunStats { frames: 10, bytes_in: 1000, bytes_out: 250 };
+        assert!((s.reduction() - 0.75).abs() < 1e-12);
+        let zero = RunStats { frames: 0, bytes_in: 0, bytes_out: 0 };
+        assert_eq!(zero.reduction(), 0.0);
+    }
+}

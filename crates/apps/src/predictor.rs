@@ -1,0 +1,66 @@
+//! The viewport predictor used by the tiling experiments.
+//!
+//! The paper's evaluation protocol: "to emulate looking in different
+//! directions, the high quality tile is initially the upper-left of
+//! the equirectangular projection and advanced in raster order
+//! (modulo the tile count) every second." This module implements
+//! exactly that, plus the volume-level `is_important` form the VRQL
+//! query uses.
+
+use lightdb_geom::{Volume, PHI_MAX, THETA_PERIOD};
+
+/// Row-major index of the high-quality tile during second `t`.
+pub fn important_tile(second: usize, tile_count: usize) -> usize {
+    debug_assert!(tile_count > 0);
+    second % tile_count
+}
+
+/// The volume-level predicate: is this partition the predicted
+/// viewport for its time range? (`cols × rows` is the tiling grid.)
+pub fn is_important(partition: &Volume, cols: usize, rows: usize) -> bool {
+    let second = partition.t().lo().max(0.0).floor() as usize;
+    let target = important_tile(second, cols * rows);
+    let (tc, tr) = (target % cols, target / cols);
+    let col = ((partition.theta().lo() + 1e-9) / (THETA_PERIOD / cols as f64)) as usize;
+    let row = ((partition.phi().lo() + 1e-9) / (PHI_MAX / rows as f64)) as usize;
+    (col, row) == (tc, tr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightdb_geom::{Dimension, Interval};
+
+    #[test]
+    fn raster_advance_modulo() {
+        assert_eq!(important_tile(0, 16), 0);
+        assert_eq!(important_tile(5, 16), 5);
+        assert_eq!(important_tile(16, 16), 0);
+        assert_eq!(important_tile(35, 16), 3);
+    }
+
+    #[test]
+    fn exactly_one_partition_important_per_second() {
+        let full = Volume::sphere_at(0.0, 0.0, 0.0, Interval::new(0.0, 4.0));
+        for second in 0..4 {
+            let window = full.with(
+                Dimension::T,
+                Interval::new(second as f64, second as f64 + 1.0),
+            );
+            // Phi-major spec order yields row-major tiles, matching
+            // the executor's TileGrid ordering.
+            let tiles = window.partition_multi(&[
+                (Dimension::Phi, PHI_MAX / 4.0),
+                (Dimension::Theta, THETA_PERIOD / 4.0),
+            ]);
+            let important: Vec<usize> = tiles
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| is_important(v, 4, 4))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(important.len(), 1, "second {second}: {important:?}");
+            assert_eq!(important[0], second % 16, "second {second}");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! The workloads against the FFmpeg-style API.
+//!
+//! Everything the VRQL query left to the optimizer is manual here:
+//! GOP bookkeeping, per-tile encoder management, frame cropping, the
+//! recombination decode/encode cycle, and output muxing — which is
+//! why the FFmpeg rows of Table 2 are an order of magnitude longer.
+
+use crate::workloads::{HI_QP, LO_QP, RECOMBINE_QP};
+use crate::{detect::boxes_overlay, predictor::important_tile, Result, RunStats};
+use lightdb::exec::chunk::is_omega;
+use lightdb_baselines::ffmpeg::{concat, FfmpegDecoder, FfmpegEncoder, FfmpegEncoderSettings};
+use lightdb_codec::{CodecKind, VideoStream};
+use lightdb_frame::Frame;
+
+/// Predictive 360° tiling, FFmpeg-style.
+pub fn tiling(input: &VideoStream, cols: usize, rows: usize) -> Result<(VideoStream, RunStats)> {
+    let bytes_in = input.to_bytes().len();
+    // LOC:BEGIN ffmpeg-tiling
+    let fps = input.header.fps;
+    let (w, h) = (input.header.width, input.header.height);
+    let (tw, th) = (w / cols, h / rows);
+    let tile_count = cols * rows;
+    let mut second = 0usize;
+    let mut second_outputs: Vec<VideoStream> = Vec::new();
+    let mut frames_in_second: Vec<Frame> = Vec::with_capacity(fps as usize);
+    let mut decoder = FfmpegDecoder::new(input);
+    loop {
+        // Gather one second of decoded frames.
+        frames_in_second.clear();
+        for _ in 0..fps {
+            match decoder.next() {
+                Some(f) => frames_in_second.push(f?),
+                None => break,
+            }
+        }
+        if frames_in_second.is_empty() {
+            break;
+        }
+        // Crop and encode every tile at its chosen quality.
+        let hot = important_tile(second, tile_count);
+        let mut tile_streams: Vec<VideoStream> = Vec::with_capacity(tile_count);
+        for tile in 0..tile_count {
+            let (c, r) = (tile % cols, tile / cols);
+            let qp = if tile == hot { HI_QP } else { LO_QP };
+            let mut enc = FfmpegEncoder::new(FfmpegEncoderSettings {
+                codec: CodecKind::HevcSim,
+                qp,
+                fps,
+                gop_length: fps as usize,
+            });
+            for f in &frames_in_second {
+                enc.push(&f.crop(c * tw, r * th, tw, th))?;
+            }
+            tile_streams.push(enc.finish()?);
+        }
+        // Recombine: decode every tile stream and paste into a canvas,
+        // then encode the canvas — the extra decode/encode cycle
+        // FFmpeg cannot avoid without tile-aware bitstream surgery.
+        let mut canvases = vec![Frame::new(w, h); frames_in_second.len()];
+        for (tile, ts) in tile_streams.iter().enumerate() {
+            let (c, r) = (tile % cols, tile / cols);
+            for (i, f) in FfmpegDecoder::new(ts).enumerate() {
+                canvases[i].blit(&f?, c * tw, r * th);
+            }
+        }
+        let mut out = FfmpegEncoder::new(FfmpegEncoderSettings {
+            codec: CodecKind::HevcSim,
+            qp: RECOMBINE_QP,
+            fps,
+            gop_length: fps as usize,
+        });
+        for f in &canvases {
+            out.push(f)?;
+        }
+        second_outputs.push(out.finish()?);
+        second += 1;
+    }
+    // Mux the per-second outputs into one file via the concat protocol.
+    let refs: Vec<&VideoStream> = second_outputs.iter().collect();
+    let output = concat(&refs)?;
+    // LOC:END ffmpeg-tiling
+    let stats = RunStats {
+        frames: output.frame_count(),
+        bytes_in,
+        bytes_out: output.to_bytes().len(),
+    };
+    Ok((output, stats))
+}
+
+/// Augmented reality, FFmpeg-style: scale → detect → overlay → encode.
+pub fn ar(input: &VideoStream, detect_size: usize) -> Result<(VideoStream, RunStats)> {
+    let bytes_in = input.to_bytes().len();
+    // LOC:BEGIN ffmpeg-ar
+    let fps = input.header.fps;
+    let (w, h) = (input.header.width, input.header.height);
+    let mut enc = FfmpegEncoder::new(FfmpegEncoderSettings {
+        codec: CodecKind::HevcSim,
+        qp: HI_QP,
+        fps,
+        gop_length: fps as usize,
+    });
+    for f in FfmpegDecoder::new(input) {
+        let frame = f?;
+        // Scale down for the detector, run it, scale boxes back up,
+        // and composite manually (skipping transparent pixels).
+        let small = frame.resize(detect_size, detect_size);
+        let overlay = boxes_overlay(&small).resize(w, h);
+        let mut composed = frame.clone();
+        for y in 0..h {
+            for x in 0..w {
+                let c = overlay.get(x, y);
+                if !is_omega(c) {
+                    composed.set(x, y, c);
+                }
+            }
+        }
+        enc.push(&composed)?;
+    }
+    let output = enc.finish()?;
+    // LOC:END ffmpeg-ar
+    let stats = RunStats {
+        frames: output.frame_count(),
+        bytes_in,
+        bytes_out: output.to_bytes().len(),
+    };
+    Ok((output, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightdb_datasets::{encode_dataset, Dataset, DatasetSpec};
+
+    fn spec() -> DatasetSpec {
+        DatasetSpec { width: 128, height: 64, fps: 4, seconds: 2, qp: 22 }
+    }
+
+    #[test]
+    fn tiling_roundtrip_and_reduction() {
+        let input = encode_dataset(Dataset::Venice, &spec());
+        let (out, stats) = tiling(&input, 2, 2).unwrap();
+        assert_eq!(out.frame_count(), 8);
+        assert!(stats.reduction() > 0.0, "reduction {:.2}", stats.reduction());
+    }
+
+    #[test]
+    fn ar_preserves_length() {
+        let input = encode_dataset(Dataset::Venice, &spec());
+        let (out, stats) = ar(&input, 64).unwrap();
+        assert_eq!(out.frame_count(), 8);
+        assert_eq!(stats.frames, 8);
+    }
+}

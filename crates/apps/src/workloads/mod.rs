@@ -1,0 +1,50 @@
+//! The evaluation workloads, one module per system.
+//!
+//! Every module exposes the same two entry points used by the
+//! Figure 11 / Table 3 experiments:
+//!
+//! * `tiling(...)` — predictive 360° tiling;
+//! * `ar(...)` — augmented-reality detection overlay;
+//!
+//! plus LightDB-only extras (depth maps live in [`crate::depth`]).
+//!
+//! The pipeline cores are bracketed with `LOC:BEGIN`/`LOC:END`
+//! markers; [`crate::loc`] counts them to regenerate Table 2.
+
+pub mod ffmpeg_q;
+pub mod lightdb_q;
+pub mod opencv_q;
+pub mod scanner_q;
+pub mod scidb_q;
+
+/// High-quality tile QP (≈ source quality).
+pub const HI_QP: u8 = 18;
+/// Low-quality tile QP (the paper's 50 kbps analogue).
+pub const LO_QP: u8 = 45;
+/// QP systems use when re-encoding recombined tiles (mixed content).
+pub const RECOMBINE_QP: u8 = 24;
+
+/// Identifies the system a workload ran on (for harness reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum System {
+    LightDb,
+    Ffmpeg,
+    OpenCv,
+    Scanner,
+    SciDb,
+}
+
+impl System {
+    pub const ALL: [System; 5] =
+        [System::LightDb, System::Ffmpeg, System::OpenCv, System::Scanner, System::SciDb];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            System::LightDb => "LightDB",
+            System::Ffmpeg => "FFmpeg",
+            System::OpenCv => "OpenCV",
+            System::Scanner => "Scanner",
+            System::SciDb => "SciDB",
+        }
+    }
+}

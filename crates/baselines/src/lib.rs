@@ -1,0 +1,60 @@
+//! # lightdb-baselines
+//!
+//! Architectural simulations of the four systems the paper compares
+//! against. All four share LightDB's codec substrate — deliberately:
+//! the paper's performance differences come from *system
+//! architecture* (what gets decoded, what is materialised, what can
+//! be copied without re-encoding), not from codec quality, and
+//! sharing one codec isolates exactly those differences.
+//!
+//! | module | stands in for | architectural signature |
+//! |---|---|---|
+//! | [`ffmpeg`] | FFmpeg (C API / CLI) | streaming decode→filter→encode; full codec-settings control; byte-level `concat`; no angular/tile awareness, no GOP index |
+//! | [`opencv`] | OpenCV `VideoCapture`/`VideoWriter` | frame-at-a-time with per-frame buffer copies; writer has fixed, non-configurable encoder settings (no NVENC on Linux) |
+//! | [`scanner`] | Scanner (SIGGRAPH '18) | pins **all** decoded frames in memory before processing (hard cap → OOM on long inputs), parallel maps, OpenCV-based encode |
+//! | [`scidb`] | SciDB | chunked multidimensional arrays of decoded pixels on disk; video enters/leaves only via an external export/import round-trip |
+
+pub mod ffmpeg;
+pub mod opencv;
+pub mod scanner;
+pub mod scidb;
+
+/// Errors from baseline pipelines.
+#[derive(Debug)]
+pub enum BaselineError {
+    Codec(lightdb_codec::CodecError),
+    Io(std::io::Error),
+    /// Scanner exhausted its frame-pinning memory budget.
+    OutOfMemory { needed: usize, budget: usize },
+    Other(String),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Codec(e) => write!(f, "codec: {e}"),
+            BaselineError::Io(e) => write!(f, "io: {e}"),
+            BaselineError::OutOfMemory { needed, budget } => write!(
+                f,
+                "out of memory: pipeline needs {needed} bytes of pinned frames, budget {budget}"
+            ),
+            BaselineError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<lightdb_codec::CodecError> for BaselineError {
+    fn from(e: lightdb_codec::CodecError) -> Self {
+        BaselineError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for BaselineError {
+    fn from(e: std::io::Error) -> Self {
+        BaselineError::Io(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, BaselineError>;

@@ -1,0 +1,24 @@
+//! Criterion bench for Figure 11(a): predictive tiling per system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lightdb_apps::workloads::System;
+use lightdb_bench::{fig11, setup};
+
+fn bench(c: &mut Criterion) {
+    let spec = setup::criterion_spec();
+    let db = setup::bench_db(&spec);
+    let mut g = c.benchmark_group("fig11a_tiling");
+    g.sample_size(10);
+    for system in System::ALL {
+        g.bench_function(system.name(), |b| {
+            b.iter(|| {
+                fig11::run_tiling(system, &db, lightdb_datasets::Dataset::Timelapse, 2, 2, &spec)
+                    .expect("tiling run")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for Figure 11(b): augmented reality per system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lightdb_apps::workloads::System;
+use lightdb_bench::{fig11, setup};
+
+fn bench(c: &mut Criterion) {
+    let spec = setup::criterion_spec();
+    let db = setup::bench_db(&spec);
+    let mut g = c.benchmark_group("fig11b_ar");
+    g.sample_size(10);
+    for system in System::ALL {
+        g.bench_function(system.name(), |b| {
+            b.iter(|| {
+                fig11::run_ar(system, &db, lightdb_datasets::Dataset::Venice, &spec)
+                    .expect("ar run")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for Figure 13: operator micro-benchmarks.
+//! (LightDB vs FFmpeg — the closest competitor — per operator; the
+//! expt_fig13_operators binary covers all five systems.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lightdb_apps::workloads::System;
+use lightdb_bench::fig13::{run_baseline, run_lightdb, MicroOp};
+use lightdb_bench::setup;
+
+fn bench(c: &mut Criterion) {
+    let spec = setup::criterion_spec();
+    let db = setup::bench_db(&spec);
+    let mut g = c.benchmark_group("fig13_operators");
+    g.sample_size(10);
+    for op in [MicroOp::SelectT, MicroOp::MapGray, MicroOp::UnionWatermark, MicroOp::PartitionT] {
+        g.bench_function(format!("lightdb/{}", op.name()), |b| {
+            b.iter(|| run_lightdb(&db, op).expect("lightdb op"))
+        });
+        g.bench_function(format!("ffmpeg/{}", op.name()), |b| {
+            b.iter(|| run_baseline(&db, System::Ffmpeg, op).expect("ffmpeg op"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

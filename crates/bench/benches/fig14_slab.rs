@@ -1,0 +1,19 @@
+//! Criterion bench for Figure 14: SlabTLF operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lightdb_bench::fig14::{run, SlabOp};
+use lightdb_bench::setup;
+
+fn bench(c: &mut Criterion) {
+    let spec = setup::criterion_spec();
+    let db = setup::bench_db(&spec);
+    let mut g = c.benchmark_group("fig14_slab");
+    g.sample_size(10);
+    for op in SlabOp::ALL {
+        g.bench_function(op.name(), |b| b.iter(|| run(&db, op).expect("slab op")));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for Figure 15: homomorphic operators, LightDB vs
+//! FFmpeg (the strongest baseline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lightdb_apps::workloads::System;
+use lightdb_bench::fig15::{prepare, run_baseline, run_lightdb, HopOp};
+use lightdb_bench::setup;
+
+fn bench(c: &mut Criterion) {
+    let spec = setup::criterion_spec();
+    let db = setup::bench_db(&spec);
+    let tiled = prepare(&db, &spec);
+    let mut g = c.benchmark_group("fig15_hops");
+    g.sample_size(10);
+    for op in HopOp::ALL {
+        g.bench_function(format!("lightdb/{}", op.name()), |b| {
+            b.iter(|| run_lightdb(&db, op, &tiled).expect("lightdb hop"))
+        });
+        g.bench_function(format!("ffmpeg/{}", op.name()), |b| {
+            b.iter(|| run_baseline(&db, System::Ffmpeg, op, &tiled).expect("ffmpeg hop"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench for Figure 16: index performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lightdb_bench::{fig16, setup};
+
+fn bench(c: &mut Criterion) {
+    let spec = setup::criterion_spec();
+    let db = setup::bench_db(&spec);
+    let mut g = c.benchmark_group("fig16_indexes");
+    g.sample_size(10);
+    g.bench_function("gop_index", |b| b.iter(|| fig16::gop_index(&db)));
+    g.bench_function("tile_index", |b| b.iter(|| fig16::tile_index(&db, &spec)));
+    g.bench_function("spatial_index", |b| b.iter(|| fig16::spatial_index(&db)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

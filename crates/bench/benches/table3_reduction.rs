@@ -1,0 +1,30 @@
+//! Criterion bench for Table 3: size-reduction measurement (LightDB).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lightdb_apps::workloads::System;
+use lightdb_bench::{fig11, setup};
+
+fn bench(c: &mut Criterion) {
+    let spec = setup::criterion_spec();
+    let db = setup::bench_db(&spec);
+    let mut g = c.benchmark_group("table3_reduction");
+    g.sample_size(10);
+    g.bench_function("lightdb_tiling_reduction", |b| {
+        b.iter(|| {
+            let m = fig11::run_tiling(
+                System::LightDb,
+                &db,
+                lightdb_datasets::Dataset::Timelapse,
+                2,
+                2,
+                &spec,
+            )
+            .expect("tiling");
+            assert!(m.reduction > 0.0);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates Figure 11(b): augmented-reality throughput.
+fn main() {
+    let spec = lightdb_bench::setup::bench_spec();
+    let db = lightdb_bench::setup::bench_db(&spec);
+    lightdb_bench::fig11::print_ar_table(&db, &spec);
+}

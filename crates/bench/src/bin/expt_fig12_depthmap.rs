@@ -1,0 +1,7 @@
+//! Regenerates Figure 12: depth-map generation across physical
+//! variants (CPU / FPGA / hybrid).
+fn main() {
+    let spec = lightdb_bench::setup::bench_spec();
+    let mut db = lightdb_bench::setup::bench_db(&spec);
+    lightdb_bench::fig12::print(&mut db, &spec);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 13: 360TLF operator micro-benchmarks.
+fn main() {
+    let spec = lightdb_bench::setup::bench_spec();
+    let db = lightdb_bench::setup::bench_db(&spec);
+    lightdb_bench::fig13::print(&db);
+}

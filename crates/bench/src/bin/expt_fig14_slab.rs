@@ -1,0 +1,6 @@
+//! Regenerates Figure 14: SlabTLF (light-field) operator performance.
+fn main() {
+    let spec = lightdb_bench::setup::bench_spec();
+    let db = lightdb_bench::setup::bench_db(&spec);
+    lightdb_bench::fig14::print(&db);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 15: homomorphic & optimized operators.
+fn main() {
+    let spec = lightdb_bench::setup::bench_spec();
+    let db = lightdb_bench::setup::bench_db(&spec);
+    lightdb_bench::fig15::print(&db, &spec);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 16: GOP / tile / spatial index performance.
+fn main() {
+    let spec = lightdb_bench::setup::bench_spec();
+    let db = lightdb_bench::setup::bench_db(&spec);
+    lightdb_bench::fig16::print(&db, &spec);
+}

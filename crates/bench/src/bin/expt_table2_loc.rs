@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (lines of code / programmability).
+fn main() {
+    lightdb_bench::tables::print_table2();
+}

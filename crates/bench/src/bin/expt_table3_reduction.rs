@@ -1,0 +1,6 @@
+//! Regenerates Table 3 (% size reduction from predictive tiling).
+fn main() {
+    let spec = lightdb_bench::setup::bench_spec();
+    let db = lightdb_bench::setup::bench_db(&spec);
+    lightdb_bench::tables::print_table3(&db, &spec, 4, 4);
+}

@@ -1,0 +1,44 @@
+//! Tables 2 and 3.
+
+use crate::fig11;
+use crate::setup;
+use lightdb::prelude::*;
+use lightdb_apps::loc::{detector_udf_loc, workload_loc};
+use lightdb_apps::workloads::System;
+use lightdb_datasets::{Dataset, DatasetSpec};
+
+/// Prints Table 2: lines of code per system per workload. UDF lines
+/// are shown in parentheses, as in the paper.
+pub fn print_table2() {
+    println!("\nTable 2: lines of code (measured from this repository's implementations)");
+    crate::row("system", &["360 tiling".into(), "AR (UDF)".into()]);
+    let udf = detector_udf_loc();
+    for system in System::ALL {
+        let tiling = workload_loc(system, "tiling").map(|n| n.to_string()).unwrap_or("—".into());
+        let ar = workload_loc(system, "ar")
+            .map(|n| format!("{n} ({udf})"))
+            .unwrap_or("—".into());
+        crate::row(system.name(), &[tiling, ar]);
+    }
+    println!("(the AR detector UDF is shared; its {udf} lines are the parenthesised figure)");
+}
+
+/// Prints Table 3: percent size reduction from predictive tiling.
+pub fn print_table3(db: &LightDb, spec: &DatasetSpec, cols: usize, rows: usize) {
+    println!("\nTable 3: % size reduction from predictive {cols}×{rows} tiling");
+    crate::row(
+        "system",
+        &Dataset::ALL.iter().map(|d| d.name().to_string()).collect::<Vec<_>>(),
+    );
+    for system in System::ALL {
+        let cells: Vec<String> = Dataset::ALL
+            .iter()
+            .map(|&d| match fig11::run_tiling(system, db, d, cols, rows, spec) {
+                Ok(m) => format!("{:.0}%", m.reduction * 100.0),
+                Err(e) => format!("err:{}", &e[..e.len().min(8)]),
+            })
+            .collect();
+        crate::row(system.name(), &cells);
+    }
+    let _ = setup::bench_seconds();
+}

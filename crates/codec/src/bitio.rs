@@ -1,0 +1,218 @@
+//! Bit-level I/O over byte buffers.
+//!
+//! The entropy layer writes MSB-first into a `Vec<u8>`; tile payloads
+//! are byte-aligned by flushing with zero padding, which is what makes
+//! byte-range tile extraction possible.
+
+use crate::{CodecError, Result};
+
+/// MSB-first bit writer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits pending in `acc`, 0..8.
+    pending: u32,
+    acc: u8,
+}
+
+impl BitWriter {
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Writes the low `n` bits of `value`, MSB first. `n ≤ 32`.
+    pub fn write_bits(&mut self, value: u32, n: u32) {
+        debug_assert!(n <= 32);
+        for i in (0..n).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.acc = (self.acc << 1) | bit as u8;
+        self.pending += 1;
+        if self.pending == 8 {
+            self.buf.push(self.acc);
+            self.acc = 0;
+            self.pending = 0;
+        }
+    }
+
+    /// Pads with zero bits to the next byte boundary.
+    pub fn align(&mut self) {
+        while self.pending != 0 {
+            self.write_bit(false);
+        }
+    }
+
+    /// Number of complete bytes written so far.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Finishes the stream (aligning first) and returns the bytes.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.align();
+        self.buf
+    }
+}
+
+/// MSB-first bit reader.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Next bit position.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0 }
+    }
+
+    /// Reads one bit; errors at end of buffer.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool> {
+        let byte = self.pos / 8;
+        if byte >= self.buf.len() {
+            return Err(CodecError::Corrupt("bit read past end of payload"));
+        }
+        let bit = (self.buf[byte] >> (7 - self.pos % 8)) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `n ≤ 32` bits MSB first.
+    pub fn read_bits(&mut self, n: u32) -> Result<u32> {
+        debug_assert!(n <= 32);
+        let mut v = 0u32;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit()? as u32;
+        }
+        Ok(v)
+    }
+
+    /// Skips to the next byte boundary.
+    pub fn align(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+
+    /// Bits consumed so far.
+    pub fn bit_position(&self) -> usize {
+        self.pos
+    }
+
+    /// True when fewer than one bit remains.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos >= self.buf.len() * 8
+    }
+}
+
+/// Appends a LEB128-style variable-length unsigned integer to `out`.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a varint from `buf` starting at `*pos`, advancing `*pos`.
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(CodecError::Corrupt("varint past end"))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(CodecError::Corrupt("varint overflow"));
+        }
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xffff, 16);
+        w.write_bit(false);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(16).unwrap(), 0xffff);
+        assert!(!r.read_bit().unwrap());
+    }
+
+    #[test]
+    fn align_pads_with_zeros() {
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        w.align();
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn read_past_end_errors() {
+        let mut r = BitReader::new(&[0xab]);
+        assert!(r.read_bits(8).is_ok());
+        assert!(r.read_bit().is_err());
+    }
+
+    #[test]
+    fn varint_known_values() {
+        for (v, expect) in [(0u64, vec![0u8]), (127, vec![0x7f]), (128, vec![0x80, 0x01])] {
+            let mut out = Vec::new();
+            write_varint(&mut out, v);
+            assert_eq!(out, expect);
+            let mut pos = 0;
+            assert_eq!(read_varint(&out, &mut pos).unwrap(), v);
+            assert_eq!(pos, out.len());
+        }
+    }
+
+    #[test]
+    fn truncated_varint_errors() {
+        let mut pos = 0;
+        assert!(read_varint(&[0x80], &mut pos).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn varint_roundtrips(v in any::<u64>()) {
+            let mut out = Vec::new();
+            write_varint(&mut out, v);
+            let mut pos = 0;
+            prop_assert_eq!(read_varint(&out, &mut pos).unwrap(), v);
+            prop_assert_eq!(pos, out.len());
+        }
+
+        #[test]
+        fn arbitrary_bit_sequences_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..256)) {
+            let mut w = BitWriter::new();
+            for &b in &bits {
+                w.write_bit(b);
+            }
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            for &b in &bits {
+                prop_assert_eq!(r.read_bit().unwrap(), b);
+            }
+        }
+    }
+}

@@ -1,0 +1,529 @@
+//! The encoder.
+//!
+//! Each tile of each frame is encoded *in tile-local coordinates* from
+//! a cropped copy of the source, and prediction state (the
+//! reconstructed reference) is kept per tile. Tile independence — the
+//! motion-constrained-tile-set property — therefore holds by
+//! construction: nothing an encoder invocation can see crosses a tile
+//! boundary.
+//!
+//! Tile payload syntax (bit-level, byte-aligned at the end):
+//!
+//! ```text
+//! payload   := qp:u8 mb*                      (macroblocks in raster order)
+//! mb (key)  := luma_blk{4} cb_blk cr_blk      (always intra)
+//! mb (pred) := mode:1 [mv: se(dx) se(dy)] luma_blk{4} cb_blk cr_blk
+//! blk       := coded:1 [nnz:ue (run:ue level:se){nnz}]
+//! ```
+
+use crate::bitio::BitWriter;
+use crate::golomb::{write_se, write_ue};
+use crate::gop::{EncodedFrame, EncodedGop, FrameType};
+use crate::predict::{dc_predictor, extract_block, motion_search, store_block, MotionVector};
+use crate::quant::{dequantize, quantize, QP_MAX};
+use crate::stream::{CodecKind, SequenceHeader, VideoStream};
+use crate::tile::{TileGrid, TileRect};
+use crate::transform::{forward, inverse, ZIGZAG};
+use crate::{CodecError, Result, BLOCK_SIZE, MB_SIZE};
+use lightdb_frame::{Frame, PlaneKind};
+
+/// Encoder configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EncoderConfig {
+    pub codec: CodecKind,
+    /// Base quantisation parameter, `0..=51`.
+    pub qp: u8,
+    pub grid: TileGrid,
+    /// GOP length in frames.
+    pub gop_length: usize,
+    pub fps: u32,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> Self {
+        EncoderConfig {
+            codec: CodecKind::HevcSim,
+            qp: 20,
+            grid: TileGrid::SINGLE,
+            gop_length: 30,
+            fps: 30,
+        }
+    }
+}
+
+impl EncoderConfig {
+    /// A "high quality" preset (the paper's 50 Mbps HEVC setting).
+    pub fn high_quality() -> Self {
+        EncoderConfig { qp: 6, ..Default::default() }
+    }
+
+    /// A "low quality" preset (the paper's 50 kbps setting).
+    pub fn low_quality() -> Self {
+        EncoderConfig { qp: 45, ..Default::default() }
+    }
+}
+
+/// A video encoder.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    config: EncoderConfig,
+}
+
+impl Encoder {
+    pub fn new(config: EncoderConfig) -> Result<Encoder> {
+        if config.qp > QP_MAX {
+            return Err(CodecError::Geometry(format!("qp {} exceeds {QP_MAX}", config.qp)));
+        }
+        if config.gop_length == 0 {
+            return Err(CodecError::Geometry("gop length must be positive".into()));
+        }
+        Ok(Encoder { config })
+    }
+
+    pub fn config(&self) -> &EncoderConfig {
+        &self.config
+    }
+
+    /// Encodes a frame sequence into a stream, splitting into GOPs of
+    /// the configured length. All frames must share the first frame's
+    /// dimensions, which must be compatible with the tile grid.
+    pub fn encode(&self, frames: &[Frame]) -> Result<VideoStream> {
+        let tile_qp = vec![self.config.qp; self.config.grid.tile_count()];
+        self.encode_with_tile_qp(frames, &tile_qp)
+    }
+
+    /// Like [`Encoder::encode`] but with an explicit per-tile QP
+    /// (row-major grid order) — the primitive behind quality-adaptive
+    /// tiling.
+    pub fn encode_with_tile_qp(&self, frames: &[Frame], tile_qp: &[u8]) -> Result<VideoStream> {
+        let first = frames.first().ok_or(CodecError::Geometry("no frames to encode".into()))?;
+        let (w, h) = (first.width(), first.height());
+        self.config.grid.validate(w, h)?;
+        if tile_qp.len() != self.config.grid.tile_count() {
+            return Err(CodecError::Geometry(format!(
+                "expected {} tile QPs, got {}",
+                self.config.grid.tile_count(),
+                tile_qp.len()
+            )));
+        }
+        if let Some(&bad) = tile_qp.iter().find(|&&q| q > QP_MAX) {
+            return Err(CodecError::Geometry(format!("tile qp {bad} exceeds {QP_MAX}")));
+        }
+        for f in frames {
+            if f.width() != w || f.height() != h {
+                return Err(CodecError::Geometry("frame dimensions vary within stream".into()));
+            }
+        }
+        let header = SequenceHeader {
+            codec: self.config.codec,
+            width: w,
+            height: h,
+            fps: self.config.fps,
+            gop_length: self.config.gop_length,
+            grid: self.config.grid,
+        };
+        let gops = frames
+            .chunks(self.config.gop_length)
+            .map(|chunk| self.encode_gop(chunk, w, h, tile_qp))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(VideoStream { header, gops })
+    }
+
+    /// Encodes one GOP (first frame becomes the keyframe).
+    fn encode_gop(
+        &self,
+        frames: &[Frame],
+        w: usize,
+        h: usize,
+        tile_qp: &[u8],
+    ) -> Result<EncodedGop> {
+        let grid = self.config.grid;
+        let tile_count = grid.tile_count();
+        let mut recon: Vec<Option<Frame>> = vec![None; tile_count];
+        let mut encoded = Vec::with_capacity(frames.len());
+        for (i, frame) in frames.iter().enumerate() {
+            let frame_type = if i == 0 { FrameType::Key } else { FrameType::Predicted };
+            let mut tiles = Vec::with_capacity(tile_count);
+            for t in 0..tile_count {
+                let rect = grid.tile_rect(t, w, h);
+                let src = frame.crop(rect.x0, rect.y0, rect.w, rect.h);
+                let reference = match frame_type {
+                    FrameType::Key => None,
+                    FrameType::Predicted => recon[t].as_ref(),
+                };
+                let (payload, rec) =
+                    encode_tile(&src, reference, tile_qp[t], self.config.codec);
+                recon[t] = Some(rec);
+                tiles.push(payload);
+            }
+            encoded.push(EncodedFrame { frame_type, tiles });
+        }
+        Ok(EncodedGop { frames: encoded })
+    }
+}
+
+/// Encodes one (tile-sized) frame against an optional reference,
+/// returning the payload and the reconstruction the decoder will see.
+///
+/// Exposed for the decoder's tests and the execution layer's
+/// tile-granular re-encoding.
+pub fn encode_tile(
+    src: &Frame,
+    reference: Option<&Frame>,
+    qp: u8,
+    codec: CodecKind,
+) -> (Vec<u8>, Frame) {
+    encode_tile_opts(src, reference, qp, codec, codec.search_range())
+}
+
+/// Like [`encode_tile`] but with an explicit motion-search range.
+///
+/// Hardware encoders (NVENC) trade a narrower, faster search for
+/// slightly larger output; the simulated-GPU encode path uses this
+/// with a small range.
+pub fn encode_tile_opts(
+    src: &Frame,
+    reference: Option<&Frame>,
+    qp: u8,
+    codec: CodecKind,
+    search_range: i32,
+) -> (Vec<u8>, Frame) {
+    let (w, h) = (src.width(), src.height());
+    debug_assert!(w % MB_SIZE == 0 && h % MB_SIZE == 0);
+    let rect = TileRect { x0: 0, y0: 0, w, h };
+    let mut recon = Frame::new(w, h);
+    let mut bits = BitWriter::new();
+    let deadzone = codec.deadzone();
+
+    let (mb_cols, mb_rows) = (w / MB_SIZE, h / MB_SIZE);
+    for mb_row in 0..mb_rows {
+        for mb_col in 0..mb_cols {
+            let mbx = mb_col * MB_SIZE;
+            let mby = mb_row * MB_SIZE;
+            let mode = match reference {
+                None => MbMode::Intra,
+                Some(refer) => {
+                    let (mv, sad) = motion_search(
+                        src.plane(PlaneKind::Luma),
+                        refer.plane(PlaneKind::Luma),
+                        w,
+                        &rect,
+                        mbx,
+                        mby,
+                        search_range,
+                    );
+                    // Intra cost estimate: SAD against the macroblock mean.
+                    let intra_cost = intra_cost_estimate(src, mbx, mby);
+                    let mv_overhead = 2 * (mv.dx.unsigned_abs() + mv.dy.unsigned_abs()) + 16;
+                    if sad + mv_overhead < intra_cost {
+                        MbMode::Inter(mv)
+                    } else {
+                        MbMode::Intra
+                    }
+                }
+            };
+            if reference.is_some() {
+                match mode {
+                    MbMode::Inter(mv) => {
+                        bits.write_bit(false);
+                        write_se(&mut bits, mv.dx);
+                        write_se(&mut bits, mv.dy);
+                    }
+                    MbMode::Intra => bits.write_bit(true),
+                }
+            }
+            encode_macroblock(src, reference, &mut recon, &rect, mbx, mby, &mode, qp, deadzone, &mut bits);
+        }
+    }
+    let mut payload = Vec::with_capacity(bits.byte_len() + 1);
+    payload.push(qp);
+    payload.extend_from_slice(&bits.into_bytes());
+    (payload, recon)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum MbMode {
+    Intra,
+    Inter(MotionVector),
+}
+
+fn intra_cost_estimate(src: &Frame, mbx: usize, mby: usize) -> u32 {
+    let plane = src.plane(PlaneKind::Luma);
+    let w = src.width();
+    let mut sum = 0u32;
+    for row in 0..MB_SIZE {
+        let base = (mby + row) * w + mbx;
+        for col in 0..MB_SIZE {
+            sum += plane[base + col] as u32;
+        }
+    }
+    let mean = (sum / (MB_SIZE * MB_SIZE) as u32) as i32;
+    let mut sad = 0u32;
+    for row in 0..MB_SIZE {
+        let base = (mby + row) * w + mbx;
+        for col in 0..MB_SIZE {
+            sad += (plane[base + col] as i32 - mean).unsigned_abs();
+        }
+    }
+    sad
+}
+
+#[allow(clippy::too_many_arguments)]
+fn encode_macroblock(
+    src: &Frame,
+    reference: Option<&Frame>,
+    recon: &mut Frame,
+    rect: &TileRect,
+    mbx: usize,
+    mby: usize,
+    mode: &MbMode,
+    qp: u8,
+    deadzone: bool,
+    bits: &mut BitWriter,
+) {
+    let w = src.width();
+    // Four luma 8×8 blocks in 2×2 raster order.
+    for by in 0..2 {
+        for bx in 0..2 {
+            let x = mbx + bx * BLOCK_SIZE;
+            let y = mby + by * BLOCK_SIZE;
+            encode_block(
+                src.plane(PlaneKind::Luma),
+                reference.map(|r| r.plane(PlaneKind::Luma)),
+                recon,
+                PlaneKind::Luma,
+                w,
+                rect,
+                x,
+                y,
+                mode,
+                1,
+                qp,
+                deadzone,
+                bits,
+            );
+        }
+    }
+    // One 8×8 block per chroma plane (4:2:0), at halved coordinates.
+    let crect = TileRect { x0: rect.x0 / 2, y0: rect.y0 / 2, w: rect.w / 2, h: rect.h / 2 };
+    for plane in [PlaneKind::Cb, PlaneKind::Cr] {
+        encode_block(
+            src.plane(plane),
+            reference.map(|r| r.plane(plane)),
+            recon,
+            plane,
+            w / 2,
+            &crect,
+            mbx / 2,
+            mby / 2,
+            mode,
+            2,
+            qp,
+            deadzone,
+            bits,
+        );
+    }
+}
+
+/// Encodes one 8×8 block of one plane: prediction, transform,
+/// quantisation, entropy coding, and reconstruction.
+#[allow(clippy::too_many_arguments)]
+fn encode_block(
+    src_plane: &[u8],
+    ref_plane: Option<&[u8]>,
+    recon: &mut Frame,
+    plane_kind: PlaneKind,
+    stride: usize,
+    rect: &TileRect,
+    x: usize,
+    y: usize,
+    mode: &MbMode,
+    mv_shift: i32,
+    qp: u8,
+    deadzone: bool,
+    bits: &mut BitWriter,
+) {
+    let src_block: [i32; 64] = extract_block(src_plane, stride, x, y);
+    // Build the prediction.
+    let pred: [i32; 64] = match mode {
+        MbMode::Intra => {
+            let dc = dc_predictor(recon.plane(plane_kind), stride, rect, x, y);
+            [dc; 64]
+        }
+        MbMode::Inter(mv) => {
+            let rp = ref_plane.expect("inter block without reference");
+            let rx = (x as i32 + mv.dx / mv_shift) as usize;
+            let ry = (y as i32 + mv.dy / mv_shift) as usize;
+            extract_block(rp, stride, rx, ry)
+        }
+    };
+    let mut residual = [0i32; 64];
+    for i in 0..64 {
+        residual[i] = src_block[i] - pred[i];
+    }
+    let mut coeffs = forward(&residual);
+    quantize(&mut coeffs, qp, deadzone);
+
+    write_coeff_block(bits, &coeffs);
+
+    // Reconstruct exactly as the decoder will.
+    let mut levels = coeffs;
+    dequantize(&mut levels, qp);
+    let rec_res = inverse(&levels);
+    let mut rec = [0i32; 64];
+    for i in 0..64 {
+        rec[i] = pred[i] + rec_res[i];
+    }
+    store_block(recon.plane_mut(plane_kind), stride, x, y, &rec);
+}
+
+/// Writes one quantised coefficient block: a coded flag, the nonzero
+/// count, then zig-zag `(run, level)` pairs.
+fn write_coeff_block(bits: &mut BitWriter, coeffs: &[i32; 64]) {
+    let nnz = coeffs.iter().filter(|&&c| c != 0).count() as u32;
+    if nnz == 0 {
+        bits.write_bit(false);
+        return;
+    }
+    bits.write_bit(true);
+    write_ue(bits, nnz - 1);
+    let mut run = 0u32;
+    for &idx in ZIGZAG.iter() {
+        let c = coeffs[idx];
+        if c == 0 {
+            run += 1;
+        } else {
+            write_ue(bits, run);
+            write_se(bits, c);
+            run = 0;
+        }
+    }
+}
+
+/// Quick quality check used by tests: mean SAD per luma sample between
+/// a source frame and its reconstruction.
+pub fn reconstruction_error(src: &Frame, recon: &Frame) -> f64 {
+    let a = src.plane(PlaneKind::Luma);
+    let b = recon.plane(PlaneKind::Luma);
+    a.iter().zip(b.iter()).map(|(&x, &y)| (x as i32 - y as i32).abs() as f64).sum::<f64>()
+        / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightdb_frame::Yuv;
+
+    fn textured_frame(w: usize, h: usize, phase: usize) -> Frame {
+        let mut f = Frame::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let v = (((x + phase) as f64 / 9.0).sin() * 60.0
+                    + ((y + phase / 2) as f64 / 7.0).cos() * 50.0
+                    + 128.0) as u8;
+                f.set(x, y, Yuv::new(v, ((x + phase) % 256) as u8, (y % 256) as u8));
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn intra_tile_reconstruction_is_faithful_at_low_qp() {
+        let src = textured_frame(64, 32, 0);
+        let (payload, recon) = encode_tile(&src, None, 4, CodecKind::H264Sim);
+        assert!(!payload.is_empty());
+        let err = reconstruction_error(&src, &recon);
+        assert!(err < 3.0, "mean abs luma error {err} too high at QP 4");
+    }
+
+    #[test]
+    fn high_qp_shrinks_payload() {
+        let src = textured_frame(64, 32, 0);
+        let (lo, _) = encode_tile(&src, None, 4, CodecKind::H264Sim);
+        let (hi, _) = encode_tile(&src, None, 45, CodecKind::H264Sim);
+        assert!(
+            hi.len() * 3 < lo.len(),
+            "QP 45 payload {} should be far smaller than QP 4 payload {}",
+            hi.len(),
+            lo.len()
+        );
+    }
+
+    #[test]
+    fn hevc_profile_compresses_tighter() {
+        let src = textured_frame(64, 64, 3);
+        let (h264, _) = encode_tile(&src, None, 24, CodecKind::H264Sim);
+        let (hevc, _) = encode_tile(&src, None, 24, CodecKind::HevcSim);
+        assert!(hevc.len() <= h264.len(), "hevc {} vs h264 {}", hevc.len(), h264.len());
+    }
+
+    #[test]
+    fn predicted_frame_of_static_scene_is_tiny() {
+        let src = textured_frame(64, 32, 0);
+        let (_, recon) = encode_tile(&src, None, 10, CodecKind::H264Sim);
+        let (p_payload, _) = encode_tile(&src, Some(&recon), 10, CodecKind::H264Sim);
+        let (i_payload, _) = encode_tile(&src, None, 10, CodecKind::H264Sim);
+        assert!(
+            p_payload.len() * 3 < i_payload.len(),
+            "P-frame {} should be much smaller than I-frame {}",
+            p_payload.len(),
+            i_payload.len()
+        );
+    }
+
+    #[test]
+    fn encoder_rejects_bad_config() {
+        assert!(Encoder::new(EncoderConfig { qp: 99, ..Default::default() }).is_err());
+        assert!(Encoder::new(EncoderConfig { gop_length: 0, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn encode_splits_into_gops() {
+        let frames: Vec<Frame> = (0..7).map(|i| textured_frame(32, 32, i)).collect();
+        let enc = Encoder::new(EncoderConfig {
+            gop_length: 3,
+            qp: 30,
+            ..Default::default()
+        })
+        .unwrap();
+        let stream = enc.encode(&frames).unwrap();
+        assert_eq!(stream.gops.len(), 3); // 3 + 3 + 1
+        assert_eq!(stream.frame_count(), 7);
+        assert_eq!(stream.gops[0].frames[0].frame_type, FrameType::Key);
+        assert_eq!(stream.gops[0].frames[1].frame_type, FrameType::Predicted);
+        assert_eq!(stream.gops[2].frames.len(), 1);
+    }
+
+    #[test]
+    fn tile_qp_count_must_match_grid() {
+        let frames = vec![textured_frame(64, 32, 0)];
+        let enc = Encoder::new(EncoderConfig {
+            grid: TileGrid::new(2, 1),
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(enc.encode_with_tile_qp(&frames, &[10]).is_err());
+        assert!(enc.encode_with_tile_qp(&frames, &[10, 20]).is_ok());
+    }
+
+    #[test]
+    fn varying_frame_dims_rejected() {
+        let frames = vec![textured_frame(32, 32, 0), textured_frame(64, 32, 0)];
+        let enc = Encoder::new(EncoderConfig::default()).unwrap();
+        assert!(enc.encode(&frames).is_err());
+    }
+
+    #[test]
+    fn per_tile_qp_affects_per_tile_size() {
+        let frames = vec![textured_frame(64, 32, 1)];
+        let enc = Encoder::new(EncoderConfig {
+            grid: TileGrid::new(2, 1),
+            gop_length: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        let stream = enc.encode_with_tile_qp(&frames, &[4, 45]).unwrap();
+        let f = &stream.gops[0].frames[0];
+        assert!(f.tiles[0].len() > f.tiles[1].len() * 2);
+    }
+}

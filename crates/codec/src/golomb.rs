@@ -1,0 +1,137 @@
+//! Exp-Golomb entropy codes, as used by H.264/HEVC for syntax
+//! elements. Order-0 unsigned (`ue`) and signed (`se`) variants.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::Result;
+
+/// Writes an order-0 unsigned Exp-Golomb code for `v`.
+///
+/// Codeword: `v+1` in binary, preceded by `floor(log2(v+1))` zero
+/// bits. Small values take few bits: 0→`1`, 1→`010`, 2→`011`, …
+pub fn write_ue(w: &mut BitWriter, v: u32) {
+    let x = v as u64 + 1;
+    let bits = 64 - x.leading_zeros(); // position of the MSB
+    w.write_bits(0, bits - 1);
+    // The value fits in `bits` bits and bits ≤ 33 only when v == u32::MAX;
+    // write high and low halves to stay within the 32-bit writer API.
+    if bits > 32 {
+        w.write_bit(true);
+        w.write_bits((x & 0xffff_ffff) as u32, 32);
+    } else {
+        w.write_bits(x as u32, bits);
+    }
+}
+
+/// Reads an order-0 unsigned Exp-Golomb code.
+pub fn read_ue(r: &mut BitReader<'_>) -> Result<u32> {
+    let mut zeros = 0u32;
+    while !r.read_bit()? {
+        zeros += 1;
+        if zeros > 32 {
+            return Err(crate::CodecError::Corrupt("exp-golomb prefix too long"));
+        }
+    }
+    let suffix = if zeros == 0 { 0 } else { r.read_bits(zeros)? as u64 };
+    let x = (1u64 << zeros) | suffix;
+    Ok((x - 1) as u32)
+}
+
+/// Signed Exp-Golomb (`se`): zig-zag maps `0, 1, -1, 2, -2, …`.
+pub fn write_se(w: &mut BitWriter, v: i32) {
+    let mapped = if v > 0 { (v as u32) * 2 - 1 } else { (-(v as i64) as u32) * 2 };
+    write_ue(w, mapped);
+}
+
+/// Reads a signed Exp-Golomb code.
+pub fn read_se(r: &mut BitReader<'_>) -> Result<i32> {
+    let u = read_ue(r)? as i64;
+    Ok(if u % 2 == 1 { ((u + 1) / 2) as i32 } else { (-(u / 2)) as i32 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ue_known_codewords() {
+        // v=0 encodes as a single '1' bit.
+        let mut w = BitWriter::new();
+        write_ue(&mut w, 0);
+        assert_eq!(w.into_bytes(), vec![0b1000_0000]);
+        // v=1 encodes as '010'.
+        let mut w = BitWriter::new();
+        write_ue(&mut w, 1);
+        assert_eq!(w.into_bytes(), vec![0b0100_0000]);
+        // v=2 encodes as '011'.
+        let mut w = BitWriter::new();
+        write_ue(&mut w, 2);
+        assert_eq!(w.into_bytes(), vec![0b0110_0000]);
+    }
+
+    #[test]
+    fn small_values_are_cheap() {
+        let mut w = BitWriter::new();
+        for v in 0..8u32 {
+            write_ue(&mut w, v);
+        }
+        // 1 + 3+3 + 5+5+5+5 + 7 = 34 bits → 5 bytes.
+        assert_eq!(w.into_bytes().len(), 5);
+    }
+
+    #[test]
+    fn se_mapping() {
+        for (v, u) in [(0i32, 0u32), (1, 1), (-1, 2), (2, 3), (-2, 4)] {
+            let mut w = BitWriter::new();
+            write_se(&mut w, v);
+            let mut w2 = BitWriter::new();
+            write_ue(&mut w2, u);
+            assert_eq!(w.into_bytes(), w2.into_bytes(), "v={v}");
+        }
+    }
+
+    #[test]
+    fn corrupt_prefix_detected() {
+        // 5 zero bytes = 40 zero bits: longer than any valid prefix.
+        let zeros = [0u8; 5];
+        let mut r = BitReader::new(&zeros);
+        assert!(read_ue(&mut r).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn ue_roundtrips(v in any::<u32>()) {
+            let mut w = BitWriter::new();
+            write_ue(&mut w, v);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            prop_assert_eq!(read_ue(&mut r).unwrap(), v);
+        }
+
+        #[test]
+        fn se_roundtrips(v in any::<i32>()) {
+            // i32::MIN maps outside the u32 zig-zag range; the codec
+            // never emits it (coefficients are small), so test the
+            // representable range.
+            prop_assume!(v > i32::MIN);
+            let mut w = BitWriter::new();
+            write_se(&mut w, v);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            prop_assert_eq!(read_se(&mut r).unwrap(), v);
+        }
+
+        #[test]
+        fn sequences_roundtrip(vs in proptest::collection::vec(0u32..10_000, 0..64)) {
+            let mut w = BitWriter::new();
+            for &v in &vs {
+                write_ue(&mut w, v);
+            }
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            for &v in &vs {
+                prop_assert_eq!(read_ue(&mut r).unwrap(), v);
+            }
+        }
+    }
+}

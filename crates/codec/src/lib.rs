@@ -1,0 +1,77 @@
+//! # lightdb-codec
+//!
+//! A from-scratch block-transform video codec that stands in for
+//! H.264/HEVC in the LightDB reproduction. It is a real (if small)
+//! codec — integer DCT, quantisation, intra DC prediction,
+//! motion-compensated inter prediction, Exp-Golomb entropy coding —
+//! and, crucially, it reproduces the *structural* features LightDB's
+//! techniques exploit:
+//!
+//! * **Groups of pictures (GOPs)**: independently decodable runs of
+//!   frames beginning with a keyframe, length-delimited in the
+//!   bitstream so byte ranges can be copied without decoding
+//!   (`GOPSELECT` / `GOPUNION`).
+//! * **Motion-constrained tile sets**: each frame is divided into a
+//!   grid of tiles; intra prediction and motion vectors never cross a
+//!   tile boundary, every tile payload is byte-aligned and
+//!   self-delimiting, and a per-frame tile index records payload
+//!   offsets — so single tiles can be extracted, substituted at a
+//!   different quality, or stitched without re-encoding
+//!   (`TILESELECT` / `TILEUNION`).
+//! * **QP-controlled rate**: a quantisation parameter trades quality
+//!   for bitrate, which the predictive-tiling workload uses to encode
+//!   the predicted viewport at high quality and the rest at low.
+//!
+//! Two profiles, [`CodecKind::H264Sim`] and [`CodecKind::HevcSim`],
+//! differ in motion-search range and quantisation deadzone, mirroring
+//! the encode-cost/compression trade-off between the real codecs.
+
+pub mod bitio;
+pub mod decoder;
+pub mod encoder;
+pub mod golomb;
+pub mod gop;
+pub mod predict;
+pub mod quant;
+pub mod stream;
+pub mod tile;
+pub mod transform;
+
+pub use decoder::Decoder;
+pub use encoder::{Encoder, EncoderConfig};
+pub use gop::{EncodedFrame, EncodedGop, FrameType};
+pub use stream::{CodecKind, SequenceHeader, VideoStream};
+pub use tile::{TileGrid, TileRect};
+
+/// Luma macroblock edge length. Frame and tile dimensions must be
+/// multiples of this.
+pub const MB_SIZE: usize = 16;
+
+/// Transform block edge length (luma macroblocks contain four, chroma
+/// macroblocks exactly one).
+pub const BLOCK_SIZE: usize = 8;
+
+/// Errors produced by the codec layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The bitstream ended prematurely or contained invalid codes.
+    Corrupt(&'static str),
+    /// Frame/tile geometry is incompatible with the codec constraints.
+    Geometry(String),
+    /// Stream parameters of homomorphic-operation inputs disagree.
+    Incompatible(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Corrupt(m) => write!(f, "corrupt bitstream: {m}"),
+            CodecError::Geometry(m) => write!(f, "invalid geometry: {m}"),
+            CodecError::Incompatible(m) => write!(f, "incompatible streams: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+pub type Result<T> = std::result::Result<T, CodecError>;

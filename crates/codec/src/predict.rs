@@ -1,0 +1,291 @@
+//! Prediction: intra DC predictors and motion estimation /
+//! compensation, both constrained to tile boundaries.
+
+use crate::tile::TileRect;
+use crate::{BLOCK_SIZE, MB_SIZE};
+
+/// Copies an `n × n` block out of a plane into an `i32` work block.
+pub fn extract_block<const SZ: usize>(
+    plane: &[u8],
+    stride: usize,
+    x: usize,
+    y: usize,
+) -> [i32; SZ] {
+    let n = (SZ as f64).sqrt() as usize;
+    debug_assert_eq!(n * n, SZ);
+    let mut out = [0i32; SZ];
+    for row in 0..n {
+        let base = (y + row) * stride + x;
+        for col in 0..n {
+            out[row * n + col] = plane[base + col] as i32;
+        }
+    }
+    out
+}
+
+/// Writes an `i32` work block back into a plane, clamping to `0..=255`.
+pub fn store_block<const SZ: usize>(
+    plane: &mut [u8],
+    stride: usize,
+    x: usize,
+    y: usize,
+    block: &[i32; SZ],
+) {
+    let n = (SZ as f64).sqrt() as usize;
+    for row in 0..n {
+        let base = (y + row) * stride + x;
+        for col in 0..n {
+            plane[base + col] = block[row * n + col].clamp(0, 255) as u8;
+        }
+    }
+}
+
+/// DC intra predictor for the `BLOCK_SIZE²` block at `(x, y)`:
+/// averages the reconstructed row above and column left of the block,
+/// using only samples inside `rect` (the tile). Falls back to 128
+/// when no neighbours are available (tile's top-left block).
+pub fn dc_predictor(recon: &[u8], stride: usize, rect: &TileRect, x: usize, y: usize) -> i32 {
+    let mut sum = 0u32;
+    let mut count = 0u32;
+    if y > rect.y0 {
+        let base = (y - 1) * stride + x;
+        for col in 0..BLOCK_SIZE {
+            sum += recon[base + col] as u32;
+        }
+        count += BLOCK_SIZE as u32;
+    }
+    if x > rect.x0 {
+        for row in 0..BLOCK_SIZE {
+            sum += recon[(y + row) * stride + x - 1] as u32;
+        }
+        count += BLOCK_SIZE as u32;
+    }
+    if count == 0 {
+        return 128;
+    }
+    ((sum + count / 2) / count) as i32
+}
+
+/// Sum of absolute differences between the `MB_SIZE²` luma block at
+/// `(ax, ay)` in `a` and the one at `(bx, by)` in `b`. `early_exit`
+/// aborts once the partial sum exceeds the bound.
+#[allow(clippy::too_many_arguments)]
+pub fn sad_mb(
+    a: &[u8],
+    a_stride: usize,
+    ax: usize,
+    ay: usize,
+    b: &[u8],
+    b_stride: usize,
+    bx: usize,
+    by: usize,
+    early_exit: u32,
+) -> u32 {
+    let mut sum = 0u32;
+    for row in 0..MB_SIZE {
+        let abase = (ay + row) * a_stride + ax;
+        let bbase = (by + row) * b_stride + bx;
+        for col in 0..MB_SIZE {
+            sum += (a[abase + col] as i32 - b[bbase + col] as i32).unsigned_abs();
+        }
+        // `>=` matters: a candidate that merely *ties* the incumbent
+        // can never win, so it must exit too — otherwise uniform
+        // regions (every candidate SAD = 0) degrade to an exhaustive
+        // search.
+        if sum >= early_exit {
+            return sum;
+        }
+    }
+    sum
+}
+
+/// A full-pel motion vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MotionVector {
+    pub dx: i32,
+    pub dy: i32,
+}
+
+/// Full-pel motion search for the macroblock at `(mbx, mby)` (pixel
+/// coordinates) against the reconstructed reference plane.
+///
+/// The search window is clamped so the referenced block lies entirely
+/// within `rect` — the motion-constrained-tile-set guarantee that
+/// makes tiles independently decodable.
+///
+/// Uses a two-stage search: a coarse spiral over the window at stride
+/// 2 followed by a local refinement, which approximates the diamond
+/// searches real encoders use at a fraction of the cost.
+pub fn motion_search(
+    src: &[u8],
+    reference: &[u8],
+    stride: usize,
+    rect: &TileRect,
+    mbx: usize,
+    mby: usize,
+    range: i32,
+) -> (MotionVector, u32) {
+    let min_dx = rect.x0 as i32 - mbx as i32;
+    let max_dx = (rect.x0 + rect.w - MB_SIZE) as i32 - mbx as i32;
+    let min_dy = rect.y0 as i32 - mby as i32;
+    let max_dy = (rect.y0 + rect.h - MB_SIZE) as i32 - mby as i32;
+    let lo_x = (-range).max(min_dx);
+    let hi_x = range.min(max_dx);
+    let lo_y = (-range).max(min_dy);
+    let hi_y = range.min(max_dy);
+
+    let mut best = MotionVector::default();
+    let mut best_sad = sad_mb(src, stride, mbx, mby, reference, stride, mbx, mby, u32::MAX);
+
+    // Stage 1: coarse scan at stride 2.
+    let mut dy = lo_y;
+    while dy <= hi_y {
+        let mut dx = lo_x;
+        while dx <= hi_x {
+            if dx != 0 || dy != 0 {
+                let sad = sad_mb(
+                    src,
+                    stride,
+                    mbx,
+                    mby,
+                    reference,
+                    stride,
+                    (mbx as i32 + dx) as usize,
+                    (mby as i32 + dy) as usize,
+                    best_sad,
+                );
+                if sad < best_sad {
+                    best_sad = sad;
+                    best = MotionVector { dx, dy };
+                }
+            }
+            dx += 2;
+        }
+        dy += 2;
+    }
+
+    // Stage 2: ±1 refinement around the coarse winner.
+    for ry in -1..=1i32 {
+        for rx in -1..=1i32 {
+            let dx = best.dx + rx;
+            let dy = best.dy + ry;
+            if dx < lo_x || dx > hi_x || dy < lo_y || dy > hi_y || (rx == 0 && ry == 0) {
+                continue;
+            }
+            let sad = sad_mb(
+                src,
+                stride,
+                mbx,
+                mby,
+                reference,
+                stride,
+                (mbx as i32 + dx) as usize,
+                (mby as i32 + dy) as usize,
+                best_sad,
+            );
+            if sad < best_sad {
+                best_sad = sad;
+                best = MotionVector { dx, dy };
+            }
+        }
+    }
+    (best, best_sad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane_with_square(w: usize, h: usize, sx: usize, sy: usize) -> Vec<u8> {
+        let mut p = vec![20u8; w * h];
+        for y in sy..sy + 8 {
+            for x in sx..sx + 8 {
+                p[y * w + x] = 220;
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn extract_store_roundtrip() {
+        let mut plane = vec![0u8; 32 * 32];
+        for (i, v) in plane.iter_mut().enumerate() {
+            *v = (i % 251) as u8;
+        }
+        let block: [i32; 64] = extract_block(&plane, 32, 8, 8);
+        let mut out = vec![0u8; 32 * 32];
+        store_block(&mut out, 32, 8, 8, &block);
+        for row in 0..8 {
+            for col in 0..8 {
+                assert_eq!(out[(8 + row) * 32 + 8 + col], plane[(8 + row) * 32 + 8 + col]);
+            }
+        }
+    }
+
+    #[test]
+    fn store_clamps() {
+        let block = [300i32; 64];
+        let mut plane = vec![0u8; 16 * 16];
+        store_block(&mut plane, 16, 0, 0, &block);
+        assert_eq!(plane[0], 255);
+        let block = [-5i32; 64];
+        store_block(&mut plane, 16, 0, 0, &block);
+        assert_eq!(plane[0], 0);
+    }
+
+    #[test]
+    fn dc_predictor_fallback_at_tile_origin() {
+        let recon = vec![99u8; 64 * 64];
+        let rect = TileRect { x0: 0, y0: 0, w: 64, h: 64 };
+        assert_eq!(dc_predictor(&recon, 64, &rect, 0, 0), 128);
+    }
+
+    #[test]
+    fn dc_predictor_uses_neighbours() {
+        let recon = vec![75u8; 64 * 64];
+        let rect = TileRect { x0: 0, y0: 0, w: 64, h: 64 };
+        assert_eq!(dc_predictor(&recon, 64, &rect, 8, 8), 75);
+        assert_eq!(dc_predictor(&recon, 64, &rect, 8, 0), 75); // left only
+        assert_eq!(dc_predictor(&recon, 64, &rect, 0, 8), 75); // top only
+    }
+
+    #[test]
+    fn dc_predictor_respects_tile_boundary() {
+        // Neighbours exist in the frame but lie outside the tile.
+        let recon = vec![75u8; 64 * 64];
+        let rect = TileRect { x0: 32, y0: 32, w: 32, h: 32 };
+        assert_eq!(dc_predictor(&recon, 64, &rect, 32, 32), 128);
+    }
+
+    #[test]
+    fn motion_search_finds_translation() {
+        let (w, h) = (64, 64);
+        let reference = plane_with_square(w, h, 24, 24);
+        let src = plane_with_square(w, h, 28, 26); // square moved by (+4, +2)
+        let rect = TileRect { x0: 0, y0: 0, w, h };
+        let (mv, sad) = motion_search(&src, &reference, w, &rect, 16, 16, 8);
+        assert_eq!((mv.dx, mv.dy), (-4, -2));
+        assert_eq!(sad, 0);
+    }
+
+    #[test]
+    fn motion_search_stays_inside_tile() {
+        let (w, h) = (64, 32);
+        let reference = vec![0u8; w * h];
+        let src = vec![0u8; w * h];
+        // Tile is the right half; MB at its left edge.
+        let rect = TileRect { x0: 32, y0: 0, w: 32, h: 32 };
+        let (mv, _) = motion_search(&src, &reference, w, &rect, 32, 0, 8);
+        assert!(mv.dx >= 0, "vector {mv:?} escapes the tile on the left");
+    }
+
+    #[test]
+    fn sad_early_exit_overestimates_only() {
+        let a = vec![0u8; 32 * 32];
+        let b = vec![255u8; 32 * 32];
+        let full = sad_mb(&a, 32, 0, 0, &b, 32, 0, 0, u32::MAX);
+        let early = sad_mb(&a, 32, 0, 0, &b, 32, 0, 0, 100);
+        assert_eq!(full, 255 * 256);
+        assert!(early > 100);
+    }
+}

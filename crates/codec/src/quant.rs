@@ -1,0 +1,161 @@
+//! Quantisation.
+//!
+//! The quantisation parameter (QP) follows the H.264 convention: the
+//! quantiser step size doubles every six QP steps, so the full 0..=51
+//! range spans roughly three orders of magnitude of rate. A JPEG-like
+//! frequency-weighting matrix shapes the error toward high
+//! frequencies, and an optional deadzone (used by the HEVC-sim
+//! profile) biases small coefficients to zero for extra compression.
+
+use crate::BLOCK_SIZE;
+
+const N: usize = BLOCK_SIZE;
+
+/// Maximum supported quantisation parameter.
+pub const QP_MAX: u8 = 51;
+
+/// Frequency-weighting matrix (luma), loosely after the JPEG K.1
+/// table, normalised so the DC weight is 1.
+const WEIGHTS: [u16; N * N] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// The quantiser step size for a QP: `0.625 · 2^(qp/6)`, scaled ×64
+/// and held as an integer to keep the codec deterministic.
+#[inline]
+pub fn qstep_x64(qp: u8) -> u32 {
+    debug_assert!(qp <= QP_MAX);
+    // 0.625 * 64 = 40.
+    let base = 40.0f64;
+    (base * 2f64.powf(qp as f64 / 6.0)).round() as u32
+}
+
+/// Quantises a coefficient block in place.
+///
+/// `deadzone` widens the zero bin (rounding offset 1/6 instead of
+/// 1/2·? — i.e. coefficients must be clearly nonzero to survive),
+/// trading quality for rate the way HEVC's RDOQ does in spirit.
+pub fn quantize(coeffs: &mut [i32; N * N], qp: u8, deadzone: bool) {
+    let step = qstep_x64(qp) as i64;
+    let offset = if deadzone { step / 6 } else { step / 2 };
+    for (i, c) in coeffs.iter_mut().enumerate() {
+        let w = WEIGHTS[i] as i64;
+        let div = step * w / 16; // weight normalised to DC=16
+        let v = *c as i64 * 64;
+        let q = if v >= 0 { (v + offset) / div } else { -((-v + offset) / div) };
+        *c = q as i32;
+    }
+}
+
+/// Reconstructs coefficients from quantised levels.
+pub fn dequantize(levels: &mut [i32; N * N], qp: u8) {
+    let step = qstep_x64(qp) as i64;
+    for (i, l) in levels.iter_mut().enumerate() {
+        let w = WEIGHTS[i] as i64;
+        let div = step * w / 16;
+        *l = ((*l as i64 * div) / 64) as i32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::{forward, inverse};
+    use proptest::prelude::*;
+
+    #[test]
+    fn qstep_doubles_every_six() {
+        let a = qstep_x64(0);
+        let b = qstep_x64(6);
+        let c = qstep_x64(12);
+        assert!((b as f64 / a as f64 - 2.0).abs() < 0.05);
+        assert!((c as f64 / b as f64 - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn low_qp_preserves_more_coefficients() {
+        let mut block = [0i32; N * N];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i as i32 * 29) % 200) - 100;
+        }
+        let coeffs = forward(&block);
+        let mut lo = coeffs;
+        let mut hi = coeffs;
+        quantize(&mut lo, 4, false);
+        quantize(&mut hi, 40, false);
+        let nz_lo = lo.iter().filter(|&&v| v != 0).count();
+        let nz_hi = hi.iter().filter(|&&v| v != 0).count();
+        assert!(nz_lo > nz_hi, "low QP {nz_lo} should keep more than high QP {nz_hi}");
+    }
+
+    #[test]
+    fn deadzone_zeroes_more() {
+        let mut block = [0i32; N * N];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i as i32 * 13) % 40) - 20;
+        }
+        let coeffs = forward(&block);
+        let mut plain = coeffs;
+        let mut dz = coeffs;
+        quantize(&mut plain, 20, false);
+        quantize(&mut dz, 20, true);
+        let nz_plain = plain.iter().filter(|&&v| v != 0).count();
+        let nz_dz = dz.iter().filter(|&&v| v != 0).count();
+        assert!(nz_dz <= nz_plain);
+    }
+
+    #[test]
+    fn quant_roundtrip_error_scales_with_qp() {
+        let mut block = [0i32; N * N];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = (((i * 71) % 511) as i32) - 255;
+        }
+        let err = |qp: u8| {
+            let mut c = forward(&block);
+            quantize(&mut c, qp, false);
+            dequantize(&mut c, qp);
+            let rec = inverse(&c);
+            block
+                .iter()
+                .zip(rec.iter())
+                .map(|(a, b)| ((a - b) * (a - b)) as f64)
+                .sum::<f64>()
+                / (N * N) as f64
+        };
+        let e_low = err(4);
+        let e_high = err(44);
+        assert!(e_low < e_high, "low-QP error {e_low} must beat high-QP {e_high}");
+        assert!(e_low < 50.0, "low QP should be near-lossless-ish, mse={e_low}");
+    }
+
+    proptest! {
+        #[test]
+        fn quantize_dequantize_never_flips_sign(
+            vals in proptest::collection::vec(-2000i32..=2000, N * N),
+            qp in 0u8..=QP_MAX,
+        ) {
+            let mut c = [0i32; N * N];
+            c.copy_from_slice(&vals);
+            let orig = c;
+            quantize(&mut c, qp, false);
+            dequantize(&mut c, qp);
+            for (o, r) in orig.iter().zip(c.iter()) {
+                prop_assert!(*o == 0 || *r == 0 || o.signum() == r.signum());
+            }
+        }
+
+        #[test]
+        fn zero_block_stays_zero(qp in 0u8..=QP_MAX) {
+            let mut c = [0i32; N * N];
+            quantize(&mut c, qp, true);
+            prop_assert!(c.iter().all(|&v| v == 0));
+        }
+    }
+}

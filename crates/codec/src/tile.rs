@@ -1,0 +1,155 @@
+//! Motion-constrained tile geometry.
+//!
+//! A frame is divided into a `cols × rows` grid of equal tiles. The
+//! encoder guarantees that no prediction (intra or motion-compensated)
+//! crosses a tile boundary, so each tile's payload is independently
+//! decodable — the property the paper's `TILESELECT`/`TILEUNION`
+//! homomorphic operators and the tile index rely on.
+
+use crate::{CodecError, Result, MB_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// A tile grid configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TileGrid {
+    pub cols: usize,
+    pub rows: usize,
+}
+
+impl TileGrid {
+    /// A single tile covering the whole frame (untiled encoding).
+    pub const SINGLE: TileGrid = TileGrid { cols: 1, rows: 1 };
+
+    pub fn new(cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "tile grid must be non-empty");
+        TileGrid { cols, rows }
+    }
+
+    /// Total number of tiles.
+    #[inline]
+    pub fn tile_count(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Validates that a `w × h` frame divides evenly into macroblock-
+    /// aligned tiles under this grid.
+    pub fn validate(&self, w: usize, h: usize) -> Result<()> {
+        let tw = w / self.cols;
+        let th = h / self.rows;
+        if tw * self.cols != w || th * self.rows != h {
+            return Err(CodecError::Geometry(format!(
+                "frame {w}×{h} does not divide into a {}×{} tile grid",
+                self.cols, self.rows
+            )));
+        }
+        if !tw.is_multiple_of(MB_SIZE) || !th.is_multiple_of(MB_SIZE) {
+            return Err(CodecError::Geometry(format!(
+                "tile size {tw}×{th} is not a multiple of the {MB_SIZE}-pixel macroblock"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Pixel dimensions of each tile in a `w × h` frame.
+    pub fn tile_dims(&self, w: usize, h: usize) -> (usize, usize) {
+        (w / self.cols, h / self.rows)
+    }
+
+    /// The pixel rectangle of tile `index` (row-major) in a `w × h`
+    /// frame.
+    pub fn tile_rect(&self, index: usize, w: usize, h: usize) -> TileRect {
+        assert!(index < self.tile_count(), "tile index out of range");
+        let (tw, th) = self.tile_dims(w, h);
+        let col = index % self.cols;
+        let row = index / self.cols;
+        TileRect { x0: col * tw, y0: row * th, w: tw, h: th }
+    }
+
+    /// Row-major tile index for grid cell `(col, row)`.
+    #[inline]
+    pub fn index_of(&self, col: usize, row: usize) -> usize {
+        debug_assert!(col < self.cols && row < self.rows);
+        row * self.cols + col
+    }
+}
+
+/// The pixel-space rectangle a tile occupies within its frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileRect {
+    pub x0: usize,
+    pub y0: usize,
+    pub w: usize,
+    pub h: usize,
+}
+
+impl TileRect {
+    /// Macroblock columns/rows within the tile.
+    pub fn mb_dims(&self) -> (usize, usize) {
+        (self.w / MB_SIZE, self.h / MB_SIZE)
+    }
+
+    /// True when the pixel `(x, y)` lies inside the tile.
+    pub fn contains(&self, x: usize, y: usize) -> bool {
+        x >= self.x0 && x < self.x0 + self.w && y >= self.y0 && y < self.y0 + self.h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_grid_accepts_mb_aligned_frames() {
+        assert!(TileGrid::SINGLE.validate(512, 256).is_ok());
+        assert!(TileGrid::SINGLE.validate(500, 256).is_err());
+    }
+
+    #[test]
+    fn four_by_four_grid() {
+        let g = TileGrid::new(4, 4);
+        assert!(g.validate(512, 256).is_ok());
+        assert_eq!(g.tile_dims(512, 256), (128, 64));
+        assert_eq!(g.tile_count(), 16);
+    }
+
+    #[test]
+    fn misaligned_tile_rejected() {
+        // 480/4 = 120 which is not a multiple of 16.
+        let g = TileGrid::new(4, 4);
+        assert!(g.validate(480, 256).is_err());
+    }
+
+    #[test]
+    fn tile_rects_tile_the_frame() {
+        let g = TileGrid::new(4, 2);
+        let (w, h) = (256, 64);
+        g.validate(w, h).unwrap();
+        let mut covered = vec![false; w * h];
+        for i in 0..g.tile_count() {
+            let r = g.tile_rect(i, w, h);
+            for y in r.y0..r.y0 + r.h {
+                for x in r.x0..r.x0 + r.w {
+                    assert!(!covered[y * w + x], "pixel ({x},{y}) covered twice");
+                    covered[y * w + x] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn index_of_matches_rect_layout() {
+        let g = TileGrid::new(3, 2);
+        let r = g.tile_rect(g.index_of(2, 1), 96, 64);
+        assert_eq!((r.x0, r.y0), (64, 32));
+    }
+
+    #[test]
+    fn rect_contains() {
+        let r = TileRect { x0: 16, y0: 32, w: 16, h: 16 };
+        assert!(r.contains(16, 32));
+        assert!(r.contains(31, 47));
+        assert!(!r.contains(32, 32));
+        assert!(!r.contains(15, 40));
+    }
+}

@@ -1,0 +1,194 @@
+//! 8×8 type-II DCT used for residual coding.
+//!
+//! The transform operates on `i32` residual blocks (pixel differences
+//! in `-255..=255`) and produces `i32` coefficient blocks after
+//! rounding. A separable implementation with a precomputed basis
+//! keeps it simple and fast enough for the simulator's purposes.
+
+use crate::BLOCK_SIZE;
+
+const N: usize = BLOCK_SIZE;
+
+/// Precomputed `cos((2x+1)uπ/16) · α(u)` basis, row `u`, column `x`.
+fn basis() -> &'static [[f64; N]; N] {
+    use std::sync::OnceLock;
+    static BASIS: OnceLock<[[f64; N]; N]> = OnceLock::new();
+    BASIS.get_or_init(|| {
+        let mut b = [[0.0; N]; N];
+        for (u, row) in b.iter_mut().enumerate() {
+            let alpha = if u == 0 { (1.0 / N as f64).sqrt() } else { (2.0 / N as f64).sqrt() };
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = alpha
+                    * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI
+                        / (2.0 * N as f64))
+                        .cos();
+            }
+        }
+        b
+    })
+}
+
+/// Forward 8×8 DCT of a row-major residual block.
+pub fn forward(block: &[i32; N * N]) -> [i32; N * N] {
+    let b = basis();
+    // Rows then columns (separable).
+    let mut tmp = [0.0f64; N * N];
+    for y in 0..N {
+        for u in 0..N {
+            let mut acc = 0.0;
+            for x in 0..N {
+                acc += block[y * N + x] as f64 * b[u][x];
+            }
+            tmp[y * N + u] = acc;
+        }
+    }
+    let mut out = [0i32; N * N];
+    for u in 0..N {
+        for v in 0..N {
+            let mut acc = 0.0;
+            for y in 0..N {
+                acc += tmp[y * N + u] * b[v][y];
+            }
+            out[v * N + u] = acc.round() as i32;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT back to a residual block.
+pub fn inverse(coeffs: &[i32; N * N]) -> [i32; N * N] {
+    let b = basis();
+    let mut tmp = [0.0f64; N * N];
+    for v in 0..N {
+        for x in 0..N {
+            let mut acc = 0.0;
+            for u in 0..N {
+                acc += coeffs[v * N + u] as f64 * b[u][x];
+            }
+            tmp[v * N + x] = acc;
+        }
+    }
+    let mut out = [0i32; N * N];
+    for y in 0..N {
+        for x in 0..N {
+            let mut acc = 0.0;
+            for v in 0..N {
+                acc += tmp[v * N + x] * b[v][y];
+            }
+            out[y * N + x] = acc.round() as i32;
+        }
+    }
+    out
+}
+
+/// Zig-zag scan order for an 8×8 block (JPEG/H.264 ordering): groups
+/// low-frequency coefficients first so run-length coding of trailing
+/// zeros is effective.
+pub const ZIGZAG: [usize; N * N] = build_zigzag();
+
+const fn build_zigzag() -> [usize; N * N] {
+    let mut order = [0usize; N * N];
+    let mut idx = 0;
+    let mut s = 0;
+    while s <= 2 * (N - 1) {
+        // Walk each anti-diagonal, alternating direction.
+        if s % 2 == 0 {
+            // Up-right: start at bottom of the diagonal.
+            let mut y = if s < N { s } else { N - 1 };
+            loop {
+                let x = s - y;
+                if x < N {
+                    order[idx] = y * N + x;
+                    idx += 1;
+                }
+                if y == 0 {
+                    break;
+                }
+                y -= 1;
+            }
+        } else {
+            // Down-left.
+            let mut x = if s < N { s } else { N - 1 };
+            loop {
+                let y = s - x;
+                if y < N {
+                    order[idx] = y * N + x;
+                    idx += 1;
+                }
+                if x == 0 {
+                    break;
+                }
+                x -= 1;
+            }
+        }
+        s += 1;
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dc_only_block() {
+        let flat = [100i32; N * N];
+        let c = forward(&flat);
+        // All energy lands in the DC coefficient: 100 · 8 = 800.
+        assert_eq!(c[0], 800);
+        for (i, &v) in c.iter().enumerate().skip(1) {
+            assert_eq!(v, 0, "AC coefficient {i} nonzero");
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_near_lossless() {
+        let mut block = [0i32; N * N];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i * 37) % 511) as i32 - 255;
+        }
+        let rec = inverse(&forward(&block));
+        for (a, b) in block.iter().zip(rec.iter()) {
+            assert!((a - b).abs() <= 1, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; N * N];
+        for &i in &ZIGZAG {
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zigzag_prefix_matches_reference() {
+        // First entries of the canonical 8×8 zig-zag.
+        assert_eq!(&ZIGZAG[..10], &[0, 1, 8, 16, 9, 2, 3, 10, 17, 24]);
+        assert_eq!(ZIGZAG[N * N - 1], N * N - 1);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_bounded_error(vals in proptest::collection::vec(-255i32..=255, N * N)) {
+            let mut block = [0i32; N * N];
+            block.copy_from_slice(&vals);
+            let rec = inverse(&forward(&block));
+            for (a, b) in block.iter().zip(rec.iter()) {
+                prop_assert!((a - b).abs() <= 2);
+            }
+        }
+
+        #[test]
+        fn forward_is_linear_in_dc(offset in -100i32..100, base in -100i32..100) {
+            let b1 = [base; N * N];
+            let b2 = [base + offset; N * N];
+            let c1 = forward(&b1);
+            let c2 = forward(&b2);
+            prop_assert_eq!(c2[0] - c1[0], offset * 8);
+        }
+    }
+}

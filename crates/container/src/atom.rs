@@ -1,0 +1,259 @@
+//! Generic atoms ("boxes") with MP4-style framing.
+//!
+//! Wire format, as in ISO BMFF: `size:u32be kind:[u8;4] payload`,
+//! where `size` covers the 8-byte header. Container atoms nest child
+//! atoms in their payload; leaf atoms carry opaque bytes.
+
+use crate::{ContainerError, Result};
+
+/// A four-character atom code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FourCc(pub [u8; 4]);
+
+impl FourCc {
+    pub const fn new(code: &[u8; 4]) -> Self {
+        FourCc(*code)
+    }
+}
+
+impl std::fmt::Display for FourCc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", String::from_utf8_lossy(&self.0))
+    }
+}
+
+/// Well-known atom kinds used by LightDB metadata files.
+pub mod kinds {
+    use super::FourCc;
+    /// File-type header.
+    pub const FTYP: FourCc = FourCc::new(b"ftyp");
+    /// Top-level metadata container.
+    pub const MOOV: FourCc = FourCc::new(b"moov");
+    /// One media stream's metadata.
+    pub const TRAK: FourCc = FourCc::new(b"trak");
+    /// Codec description.
+    pub const STSD: FourCc = FourCc::new(b"stsd");
+    /// GOP (sync-sample) index.
+    pub const STSS: FourCc = FourCc::new(b"stss");
+    /// External media data reference.
+    pub const DREF: FourCc = FourCc::new(b"dref");
+    /// Spherical Video V2 projection metadata.
+    pub const SV3D: FourCc = FourCc::new(b"sv3d");
+    /// LightDB's custom TLF descriptor.
+    pub const TLFD: FourCc = FourCc::new(b"tlfd");
+    /// Embedded media data (rarely used; LightDB prefers dref).
+    pub const MDAT: FourCc = FourCc::new(b"mdat");
+}
+
+/// Whether an atom kind holds children or opaque bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomKind {
+    Container,
+    Leaf,
+}
+
+fn kind_of(code: FourCc) -> AtomKind {
+    if code == kinds::MOOV || code == kinds::TRAK {
+        AtomKind::Container
+    } else {
+        AtomKind::Leaf
+    }
+}
+
+/// A parsed atom: either nested children or leaf bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    pub code: FourCc,
+    pub body: AtomBody,
+}
+
+/// Atom payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AtomBody {
+    Children(Vec<Atom>),
+    Bytes(Vec<u8>),
+}
+
+impl Atom {
+    /// Creates a container atom.
+    pub fn container(code: FourCc, children: Vec<Atom>) -> Atom {
+        debug_assert_eq!(kind_of(code), AtomKind::Container);
+        Atom { code, body: AtomBody::Children(children) }
+    }
+
+    /// Creates a leaf atom.
+    pub fn leaf(code: FourCc, bytes: Vec<u8>) -> Atom {
+        Atom { code, body: AtomBody::Bytes(bytes) }
+    }
+
+    /// Child atoms, or an empty slice for leaves.
+    pub fn children(&self) -> &[Atom] {
+        match &self.body {
+            AtomBody::Children(c) => c,
+            AtomBody::Bytes(_) => &[],
+        }
+    }
+
+    /// Leaf bytes, or `None` for containers.
+    pub fn bytes(&self) -> Option<&[u8]> {
+        match &self.body {
+            AtomBody::Bytes(b) => Some(b),
+            AtomBody::Children(_) => None,
+        }
+    }
+
+    /// First child with the given code.
+    pub fn find(&self, code: FourCc) -> Option<&Atom> {
+        self.children().iter().find(|a| a.code == code)
+    }
+
+    /// All children with the given code.
+    pub fn find_all(&self, code: FourCc) -> Vec<&Atom> {
+        self.children().iter().filter(|a| a.code == code).collect()
+    }
+
+    /// Serialised size in bytes (header included).
+    pub fn size(&self) -> usize {
+        8 + match &self.body {
+            AtomBody::Bytes(b) => b.len(),
+            AtomBody::Children(c) => c.iter().map(Atom::size).sum(),
+        }
+    }
+
+    /// Appends the atom's wire form to `out`.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        let size = self.size();
+        out.extend_from_slice(&(size as u32).to_be_bytes());
+        out.extend_from_slice(&self.code.0);
+        match &self.body {
+            AtomBody::Bytes(b) => out.extend_from_slice(b),
+            AtomBody::Children(c) => {
+                for child in c {
+                    child.write(out);
+                }
+            }
+        }
+    }
+
+    /// Serialises to a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size());
+        self.write(&mut out);
+        out
+    }
+
+    /// Parses one atom from `buf` at `*pos`, advancing `*pos`.
+    pub fn read(buf: &[u8], pos: &mut usize) -> Result<Atom> {
+        if buf.len() < *pos + 8 {
+            return Err(ContainerError::Malformed("truncated atom header"));
+        }
+        let size = u32::from_be_bytes(buf[*pos..*pos + 4].try_into().unwrap()) as usize;
+        let code = FourCc([buf[*pos + 4], buf[*pos + 5], buf[*pos + 6], buf[*pos + 7]]);
+        if size < 8 || *pos + size > buf.len() {
+            return Err(ContainerError::Malformed("atom size out of bounds"));
+        }
+        let body_start = *pos + 8;
+        let body_end = *pos + size;
+        *pos = body_end;
+        let body = match kind_of(code) {
+            AtomKind::Leaf => AtomBody::Bytes(buf[body_start..body_end].to_vec()),
+            AtomKind::Container => {
+                let mut children = Vec::new();
+                let mut cpos = body_start;
+                while cpos < body_end {
+                    children.push(Atom::read(&buf[..body_end], &mut cpos)?);
+                }
+                AtomBody::Children(children)
+            }
+        };
+        Ok(Atom { code, body })
+    }
+
+    /// Parses a forest of atoms covering the whole buffer.
+    pub fn read_forest(buf: &[u8]) -> Result<Vec<Atom>> {
+        let mut atoms = Vec::new();
+        let mut pos = 0;
+        while pos < buf.len() {
+            atoms.push(Atom::read(buf, &mut pos)?);
+        }
+        Ok(atoms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::kinds::*;
+    use super::*;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let a = Atom::leaf(STSD, vec![1, 2, 3]);
+        let bytes = a.to_bytes();
+        assert_eq!(bytes.len(), 11);
+        assert_eq!(&bytes[..4], &11u32.to_be_bytes());
+        assert_eq!(&bytes[4..8], b"stsd");
+        let mut pos = 0;
+        assert_eq!(Atom::read(&bytes, &mut pos).unwrap(), a);
+        assert_eq!(pos, bytes.len());
+    }
+
+    #[test]
+    fn nested_container_roundtrip() {
+        let trak = Atom::container(
+            TRAK,
+            vec![Atom::leaf(STSD, vec![0]), Atom::leaf(DREF, b"stream0.lvc".to_vec())],
+        );
+        let moov = Atom::container(MOOV, vec![trak.clone(), Atom::leaf(TLFD, vec![9; 16])]);
+        let bytes = moov.to_bytes();
+        let mut pos = 0;
+        let parsed = Atom::read(&bytes, &mut pos).unwrap();
+        assert_eq!(parsed, moov);
+        assert_eq!(parsed.find(TRAK), Some(&trak));
+        assert!(parsed.find(SV3D).is_none());
+    }
+
+    #[test]
+    fn find_all_returns_every_match() {
+        let moov = Atom::container(
+            MOOV,
+            vec![
+                Atom::container(TRAK, vec![]),
+                Atom::container(TRAK, vec![]),
+                Atom::leaf(TLFD, vec![]),
+            ],
+        );
+        assert_eq!(moov.find_all(TRAK).len(), 2);
+    }
+
+    #[test]
+    fn forest_parsing() {
+        let mut buf = Vec::new();
+        Atom::leaf(FTYP, b"ldb1".to_vec()).write(&mut buf);
+        Atom::container(MOOV, vec![]).write(&mut buf);
+        let forest = Atom::read_forest(&buf).unwrap();
+        assert_eq!(forest.len(), 2);
+        assert_eq!(forest[0].code, FTYP);
+        assert_eq!(forest[1].code, MOOV);
+    }
+
+    #[test]
+    fn truncated_atom_rejected() {
+        let a = Atom::leaf(STSD, vec![1, 2, 3, 4]);
+        let bytes = a.to_bytes();
+        assert!(Atom::read_forest(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn undersized_atom_rejected() {
+        let mut bytes = Atom::leaf(STSD, vec![]).to_bytes();
+        bytes[3] = 4; // size < 8
+        assert!(Atom::read_forest(&bytes).is_err());
+    }
+
+    #[test]
+    fn size_accounts_for_nesting() {
+        let inner = Atom::leaf(STSS, vec![0; 10]);
+        let outer = Atom::container(TRAK, vec![inner]);
+        assert_eq!(outer.size(), 8 + 8 + 10);
+    }
+}

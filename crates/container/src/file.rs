@@ -1,0 +1,149 @@
+//! Metadata files: the on-disk unit the storage manager writes once
+//! per TLF version.
+
+use crate::atom::{kinds, Atom};
+use crate::tlfd::TlfDescriptor;
+use crate::track::Track;
+use crate::{ContainerError, Result};
+use lightdb_codec::bitio::{read_varint, write_varint};
+
+/// The brand written into the `ftyp` atom.
+pub const BRAND: &[u8; 4] = b"ldb1";
+
+/// A complete TLF metadata file: an `ftyp` atom carrying the brand
+/// and version number, and a `moov` atom containing one `trak` per
+/// media stream plus the `tlfd` descriptor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetadataFile {
+    /// TLF version this metadata file describes (multi-version,
+    /// no-overwrite storage: one file per version).
+    pub version: u64,
+    pub tracks: Vec<Track>,
+    pub tlf: TlfDescriptor,
+}
+
+impl MetadataFile {
+    pub fn new(version: u64, tracks: Vec<Track>, tlf: TlfDescriptor) -> Result<MetadataFile> {
+        let file = MetadataFile { version, tracks, tlf };
+        file.validate()?;
+        Ok(file)
+    }
+
+    /// Checks that every track referenced by the descriptor exists.
+    pub fn validate(&self) -> Result<()> {
+        for t in self.tlf.referenced_tracks() {
+            if t as usize >= self.tracks.len() {
+                return Err(ContainerError::Malformed("descriptor references missing track"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialises to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut ftyp = BRAND.to_vec();
+        write_varint(&mut ftyp, self.version);
+        let mut children: Vec<Atom> = self.tracks.iter().map(Track::to_atom).collect();
+        children.push(Atom::leaf(kinds::TLFD, self.tlf.to_bytes()));
+        let moov = Atom::container(kinds::MOOV, children);
+        let mut out = Vec::new();
+        Atom::leaf(kinds::FTYP, ftyp).write(&mut out);
+        moov.write(&mut out);
+        out
+    }
+
+    /// Parses wire bytes.
+    pub fn from_bytes(buf: &[u8]) -> Result<MetadataFile> {
+        let forest = Atom::read_forest(buf)?;
+        let ftyp = forest
+            .iter()
+            .find(|a| a.code == kinds::FTYP)
+            .and_then(Atom::bytes)
+            .ok_or(ContainerError::MissingAtom("ftyp"))?;
+        if ftyp.len() < 4 || &ftyp[..4] != BRAND {
+            return Err(ContainerError::Malformed("wrong brand"));
+        }
+        let mut pos = 4;
+        let version =
+            read_varint(ftyp, &mut pos).map_err(|_| ContainerError::Malformed("version"))?;
+        let moov = forest
+            .iter()
+            .find(|a| a.code == kinds::MOOV)
+            .ok_or(ContainerError::MissingAtom("moov"))?;
+        let tracks = moov
+            .find_all(kinds::TRAK)
+            .into_iter()
+            .map(Track::from_atom)
+            .collect::<Result<Vec<_>>>()?;
+        let tlfd = moov
+            .find(kinds::TLFD)
+            .and_then(Atom::bytes)
+            .ok_or(ContainerError::MissingAtom("tlfd"))?;
+        let tlf = TlfDescriptor::from_bytes(tlfd)?;
+        let file = MetadataFile { version, tracks, tlf };
+        file.validate()?;
+        Ok(file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::track::{GopIndexEntry, TrackRole};
+    use lightdb_codec::CodecKind;
+    use lightdb_geom::projection::ProjectionKind;
+    use lightdb_geom::{Interval, Point3};
+
+    fn sample_file() -> MetadataFile {
+        let track = Track {
+            role: TrackRole::Video,
+            codec: CodecKind::HevcSim,
+            projection: ProjectionKind::Equirectangular,
+            media_path: "stream0.lvc".into(),
+            gop_index: vec![GopIndexEntry {
+                start_frame: 0,
+                frame_count: 30,
+                byte_offset: 0,
+                byte_len: 512,
+            }],
+        };
+        let tlf =
+            TlfDescriptor::single_sphere(Point3::ORIGIN, Interval::new(0.0, 1.0), 0);
+        MetadataFile::new(1, vec![track], tlf).unwrap()
+    }
+
+    #[test]
+    fn file_roundtrips() {
+        let f = sample_file();
+        assert_eq!(MetadataFile::from_bytes(&f.to_bytes()).unwrap(), f);
+    }
+
+    #[test]
+    fn metadata_files_stay_small() {
+        // The paper: metadata files are generally under 20 kB.
+        let f = sample_file();
+        assert!(f.to_bytes().len() < 20 * 1024);
+    }
+
+    #[test]
+    fn dangling_track_reference_rejected() {
+        let tlf =
+            TlfDescriptor::single_sphere(Point3::ORIGIN, Interval::new(0.0, 1.0), 7);
+        assert!(MetadataFile::new(1, vec![], tlf).is_err());
+    }
+
+    #[test]
+    fn wrong_brand_rejected() {
+        let mut bytes = sample_file().to_bytes();
+        // Corrupt the brand inside the ftyp payload (offset 8).
+        bytes[8] = b'X';
+        assert!(MetadataFile::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn version_survives_roundtrip() {
+        let mut f = sample_file();
+        f.version = 42;
+        assert_eq!(MetadataFile::from_bytes(&f.to_bytes()).unwrap().version, 42);
+    }
+}

@@ -1,0 +1,51 @@
+//! # lightdb-container
+//!
+//! An MP4-style media container for LightDB metadata files.
+//!
+//! A metadata file is a forest of *atoms* ("boxes"): self-contained,
+//! length-delimited data units tagged with a four-character code.
+//! LightDB uses a small set of standard atoms — `moov` (metadata
+//! container), `trak` (stream metadata), `stsd` (codec), `stss` (GOP
+//! index), `dref` (external media reference) — plus the `sv3d` atom
+//! from the Spherical Video V2 RFC for projection metadata and a
+//! custom `tlfd` atom that serialises the physical TLF description
+//! (360° points, light-slab geometry, composites, partitions, and the
+//! view subgraph of partially materialised continuous TLFs).
+//!
+//! Media data itself is stored externally (the `dref` pattern), so
+//! metadata files stay small (the paper: "generally less than 20 kB")
+//! and multiple TLF versions can share unchanged video tracks.
+
+pub mod atom;
+pub mod file;
+pub mod tlfd;
+pub mod track;
+
+pub use atom::{Atom, AtomKind, FourCc};
+pub use file::MetadataFile;
+pub use tlfd::{SlabGeometry, SpherePoint, TlfBody, TlfDescriptor};
+pub use track::{GopIndexEntry, Track, TrackRole};
+
+/// Errors from container parsing and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainerError {
+    Malformed(&'static str),
+    UnknownAtom([u8; 4]),
+    MissingAtom(&'static str),
+}
+
+impl std::fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContainerError::Malformed(m) => write!(f, "malformed container: {m}"),
+            ContainerError::UnknownAtom(k) => {
+                write!(f, "unknown atom kind: {:?}", String::from_utf8_lossy(k))
+            }
+            ContainerError::MissingAtom(k) => write!(f, "missing required atom: {k}"),
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}
+
+pub type Result<T> = std::result::Result<T, ContainerError>;

@@ -1,0 +1,527 @@
+//! The logical algebra: nineteen operators over TLFs.
+//!
+//! Every operator accepts zero or more TLFs (plus scalar parameters)
+//! and produces a single output TLF, so operators compose freely.
+//! The nineteen operators are:
+//!
+//! | category | operators |
+//! |---|---|
+//! | data manipulation | `SELECT`, `DISCRETIZE`, `PARTITION`, `FLATTEN`, `UNION`, `MAP`, `INTERPOLATE`, `SUBQUERY`, `TRANSLATE`, `ROTATE` |
+//! | input & output | `SCAN`, `STORE`, `DECODE`, `ENCODE`, `TRANSCODE` |
+//! | data definition | `CREATE`, `DROP`, `CREATEINDEX`, `DROPINDEX` |
+
+use crate::udf::{InterpFunction, MapFunction, MergeUdf};
+use crate::{CoreError, Result};
+use lightdb_codec::CodecKind;
+use lightdb_geom::{Dimension, Interval, Volume};
+use std::fmt;
+use std::sync::Arc;
+
+/// A per-dimension selection predicate: the hyperrectangle `R` of
+/// `SELECT(L, R)`, with unconstrained dimensions left `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VolumePredicate {
+    dims: [Option<Interval>; 6],
+}
+
+impl VolumePredicate {
+    /// The unconstrained predicate (selects everything).
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Constrains `dim` to `iv` (replacing any prior constraint).
+    pub fn with(mut self, dim: Dimension, iv: Interval) -> Self {
+        self.dims[dim.index()] = Some(iv);
+        self
+    }
+
+    /// Constrains the three spatial dimensions to a single point.
+    pub fn at_point(x: f64, y: f64, z: f64) -> Self {
+        Self::any()
+            .with(Dimension::X, Interval::point(x))
+            .with(Dimension::Y, Interval::point(y))
+            .with(Dimension::Z, Interval::point(z))
+    }
+
+    /// The constraint on `dim`, if any.
+    pub fn get(&self, dim: Dimension) -> Option<Interval> {
+        self.dims[dim.index()]
+    }
+
+    /// Dimensions that carry a constraint.
+    pub fn constrained_dims(&self) -> Vec<Dimension> {
+        Dimension::ALL.iter().copied().filter(|d| self.dims[d.index()].is_some()).collect()
+    }
+
+    /// True when no dimension is constrained.
+    pub fn is_unconstrained(&self) -> bool {
+        self.dims.iter().all(Option::is_none)
+    }
+
+    /// Applies the predicate to a volume, producing the restricted
+    /// volume, or `None` when the selection is empty.
+    pub fn apply(&self, v: &Volume) -> Option<Volume> {
+        let mut out = *v;
+        for d in Dimension::ALL {
+            if let Some(iv) = self.dims[d.index()] {
+                let restricted = out.get(d).intersect(&iv)?;
+                out = out.with(d, restricted);
+            }
+        }
+        Some(out)
+    }
+
+    /// True when applying the predicate to `v` changes nothing — the
+    /// degenerate `SELECT(L, [-∞, +∞])` the optimizer eliminates.
+    pub fn is_identity_on(&self, v: &Volume) -> bool {
+        self.apply(v) == Some(*v)
+    }
+}
+
+impl fmt::Display for VolumePredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unconstrained() {
+            return write!(f, "*");
+        }
+        let mut first = true;
+        for d in Dimension::ALL {
+            if let Some(iv) = self.dims[d.index()] {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{d}∈{iv}")?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The merge function disambiguating overlapping rays in `UNION`.
+#[derive(Clone)]
+pub enum MergeFunction {
+    /// Prefer the last (right-most) non-null input — the watermark
+    /// overlay's choice.
+    Last,
+    /// Prefer the first non-null input.
+    First,
+    /// Per-channel average of the overlapping inputs.
+    Mean,
+    /// A user-supplied merge UDF.
+    Custom(Arc<dyn MergeUdf>),
+}
+
+impl MergeFunction {
+    pub fn name(&self) -> &str {
+        match self {
+            MergeFunction::Last => "LAST",
+            MergeFunction::First => "FIRST",
+            MergeFunction::Mean => "MEAN",
+            MergeFunction::Custom(u) => u.name(),
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<MergeFunction> {
+        Some(match name {
+            "LAST" => MergeFunction::Last,
+            "FIRST" => MergeFunction::First,
+            "MEAN" => MergeFunction::Mean,
+            _ => return None,
+        })
+    }
+}
+
+impl PartialEq for MergeFunction {
+    fn eq(&self, other: &Self) -> bool {
+        self.name() == other.name()
+    }
+}
+
+impl fmt::Debug for MergeFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MergeFunction({})", self.name())
+    }
+}
+
+/// The subquery body: given the partition's volume and a plan that
+/// represents the partition's data, produce the plan to run over it.
+pub type SubqueryFn = Arc<dyn Fn(&Volume, LogicalPlan) -> LogicalPlan + Send + Sync>;
+
+/// One logical operator.
+#[derive(Clone)]
+pub enum LogicalOp {
+    // ----- input & output -----
+    /// Read a TLF from the catalog (optionally a specific version).
+    Scan { name: String, version: Option<u64> },
+    /// Overwrite (create a new version of) a catalog TLF.
+    Store { name: String },
+    /// Ingest encoded video from an external source (file path, URI,
+    /// socket) into a TLF.
+    Decode { source: String, codec_hint: Option<CodecKind> },
+    /// Produce an externally consumable encoded representation.
+    Encode { codec: CodecKind, quality: Option<crate::Quality> },
+    /// Convenience: re-encode with a different codec.
+    Transcode { codec: CodecKind },
+
+    // ----- data manipulation -----
+    /// Restrict the TLF's domain to a hyperrectangle.
+    Select { predicate: VolumePredicate },
+    /// Sample the TLF at regular intervals along given dimensions.
+    Discretize { steps: Vec<(Dimension, f64)> },
+    /// Cut into equal-sized non-overlapping blocks.
+    Partition { spec: Vec<(Dimension, f64)> },
+    /// Remove partitioning.
+    Flatten,
+    /// Merge n input TLFs, disambiguating overlaps with `merge`.
+    Union { merge: MergeFunction },
+    /// Transform colours with a UDF (optionally stencil-bounded).
+    Map { f: MapFunction, stencil: Option<Volume> },
+    /// Fill null regions with an interpolation UDF.
+    Interpolate { f: InterpFunction, stencil: Option<Volume> },
+    /// Run a subquery over each partition and union the results.
+    Subquery { body: SubqueryFn, merge: MergeFunction, label: String },
+    /// Shift the spatiotemporal extent.
+    Translate { dx: f64, dy: f64, dz: f64, dt: f64 },
+    /// Rotate every ray's direction.
+    Rotate { dtheta: f64, dphi: f64 },
+
+    // ----- data definition -----
+    /// Create a new TLF as a copy of Ω (every point null).
+    Create { name: String },
+    /// Remove a TLF and delete its content.
+    Drop { name: String },
+    /// Build an external index over the given dimensions.
+    CreateIndex { name: String, dims: Vec<Dimension> },
+    /// Remove a previously created index.
+    DropIndex { name: String, dims: Vec<Dimension> },
+}
+
+impl LogicalOp {
+    /// The operator's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LogicalOp::Scan { .. } => "SCAN",
+            LogicalOp::Store { .. } => "STORE",
+            LogicalOp::Decode { .. } => "DECODE",
+            LogicalOp::Encode { .. } => "ENCODE",
+            LogicalOp::Transcode { .. } => "TRANSCODE",
+            LogicalOp::Select { .. } => "SELECT",
+            LogicalOp::Discretize { .. } => "DISCRETIZE",
+            LogicalOp::Partition { .. } => "PARTITION",
+            LogicalOp::Flatten => "FLATTEN",
+            LogicalOp::Union { .. } => "UNION",
+            LogicalOp::Map { .. } => "MAP",
+            LogicalOp::Interpolate { .. } => "INTERPOLATE",
+            LogicalOp::Subquery { .. } => "SUBQUERY",
+            LogicalOp::Translate { .. } => "TRANSLATE",
+            LogicalOp::Rotate { .. } => "ROTATE",
+            LogicalOp::Create { .. } => "CREATE",
+            LogicalOp::Drop { .. } => "DROP",
+            LogicalOp::CreateIndex { .. } => "CREATEINDEX",
+            LogicalOp::DropIndex { .. } => "DROPINDEX",
+        }
+    }
+
+    /// `(min, max)` permitted input count.
+    pub fn arity(&self) -> (usize, usize) {
+        match self {
+            LogicalOp::Scan { .. }
+            | LogicalOp::Decode { .. }
+            | LogicalOp::Create { .. }
+            | LogicalOp::Drop { .. }
+            | LogicalOp::CreateIndex { .. }
+            | LogicalOp::DropIndex { .. } => (0, 0),
+            LogicalOp::Union { .. } => (1, usize::MAX),
+            _ => (1, 1),
+        }
+    }
+}
+
+impl fmt::Debug for LogicalOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A logical query plan: an operator and its input subplans.
+#[derive(Debug, Clone)]
+pub struct LogicalPlan {
+    pub op: LogicalOp,
+    pub inputs: Vec<LogicalPlan>,
+}
+
+impl LogicalPlan {
+    /// A leaf plan (no inputs). Panics if the operator needs inputs.
+    pub fn leaf(op: LogicalOp) -> LogicalPlan {
+        assert_eq!(op.arity().0, 0, "{} is not a source operator", op.name());
+        LogicalPlan { op, inputs: Vec::new() }
+    }
+
+    /// A unary plan.
+    pub fn unary(op: LogicalOp, input: LogicalPlan) -> LogicalPlan {
+        LogicalPlan { op, inputs: vec![input] }
+    }
+
+    /// An n-ary plan.
+    pub fn nary(op: LogicalOp, inputs: Vec<LogicalPlan>) -> LogicalPlan {
+        LogicalPlan { op, inputs }
+    }
+
+    /// Validates operator arities throughout the tree.
+    pub fn validate(&self) -> Result<()> {
+        let (lo, hi) = self.op.arity();
+        if self.inputs.len() < lo || self.inputs.len() > hi {
+            return Err(CoreError::InvalidPlan(format!(
+                "{} takes {lo}..{} inputs, got {}",
+                self.op.name(),
+                if hi == usize::MAX { "n".to_string() } else { hi.to_string() },
+                self.inputs.len()
+            )));
+        }
+        for i in &self.inputs {
+            i.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Number of operators in the plan.
+    pub fn len(&self) -> usize {
+        1 + self.inputs.iter().map(LogicalPlan::len).sum::<usize>()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Pre-order visit of every operator.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a LogicalPlan)) {
+        f(self);
+        for i in &self.inputs {
+            i.visit(f);
+        }
+    }
+
+    /// All `SCAN`ed TLF names in the plan.
+    pub fn scanned_names(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.visit(&mut |p| {
+            if let LogicalOp::Scan { name, .. } = &p.op {
+                out.push(name.as_str());
+            }
+        });
+        out
+    }
+
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        for _ in 0..depth {
+            write!(f, "  ")?;
+        }
+        match &self.op {
+            LogicalOp::Scan { name, version } => match version {
+                Some(v) => writeln!(f, "SCAN({name}@v{v})"),
+                None => writeln!(f, "SCAN({name})"),
+            },
+            LogicalOp::Store { name } => writeln!(f, "STORE({name})"),
+            LogicalOp::Decode { source, codec_hint } => match codec_hint {
+                Some(c) => writeln!(f, "DECODE({source}, {})", c.name()),
+                None => writeln!(f, "DECODE({source})"),
+            },
+            LogicalOp::Encode { codec, quality } => match quality {
+                Some(q) => writeln!(f, "ENCODE({}, {q:?})", codec.name()),
+                None => writeln!(f, "ENCODE({})", codec.name()),
+            },
+            LogicalOp::Transcode { codec } => writeln!(f, "TRANSCODE({})", codec.name()),
+            LogicalOp::Select { predicate } => writeln!(f, "SELECT({predicate})"),
+            LogicalOp::Discretize { steps } => {
+                write!(f, "DISCRETIZE(")?;
+                fmt_steps(f, steps)?;
+                writeln!(f, ")")
+            }
+            LogicalOp::Partition { spec } => {
+                write!(f, "PARTITION(")?;
+                fmt_steps(f, spec)?;
+                writeln!(f, ")")
+            }
+            LogicalOp::Flatten => writeln!(f, "FLATTEN"),
+            LogicalOp::Union { merge } => writeln!(f, "UNION({})", merge.name()),
+            LogicalOp::Map { f: func, stencil } => match stencil {
+                Some(_) => writeln!(f, "MAP({}, stencil)", func.name()),
+                None => writeln!(f, "MAP({})", func.name()),
+            },
+            LogicalOp::Interpolate { f: func, .. } => {
+                writeln!(f, "INTERPOLATE({})", func.name())
+            }
+            LogicalOp::Subquery { label, merge, .. } => {
+                writeln!(f, "SUBQUERY({label}, {})", merge.name())
+            }
+            LogicalOp::Translate { dx, dy, dz, dt } => {
+                writeln!(f, "TRANSLATE(Δx={dx}, Δy={dy}, Δz={dz}, Δt={dt})")
+            }
+            LogicalOp::Rotate { dtheta, dphi } => {
+                writeln!(f, "ROTATE(Δθ={dtheta:.4}, Δφ={dphi:.4})")
+            }
+            LogicalOp::Create { name } => writeln!(f, "CREATE({name})"),
+            LogicalOp::Drop { name } => writeln!(f, "DROP({name})"),
+            LogicalOp::CreateIndex { name, dims } => {
+                writeln!(f, "CREATEINDEX({name}, {})", dims_str(dims))
+            }
+            LogicalOp::DropIndex { name, dims } => {
+                writeln!(f, "DROPINDEX({name}, {})", dims_str(dims))
+            }
+        }?;
+        for i in &self.inputs {
+            i.fmt_indented(f, depth + 1)?;
+        }
+        Ok(())
+    }
+}
+
+fn fmt_steps(f: &mut fmt::Formatter<'_>, steps: &[(Dimension, f64)]) -> fmt::Result {
+    for (i, (d, v)) in steps.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "Δ{d}={v:.4}")?;
+    }
+    Ok(())
+}
+
+fn dims_str(dims: &[Dimension]) -> String {
+    dims.iter().map(|d| d.name()).collect::<Vec<_>>().join(", ")
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udf::BuiltinMap;
+
+    fn scan(name: &str) -> LogicalPlan {
+        LogicalPlan::leaf(LogicalOp::Scan { name: name.into(), version: None })
+    }
+
+    #[test]
+    fn predicate_apply_restricts() {
+        let v = Volume::sphere_at(0.0, 0.0, 0.0, Interval::new(0.0, 10.0));
+        let p = VolumePredicate::any().with(Dimension::T, Interval::new(2.0, 4.0));
+        let out = p.apply(&v).unwrap();
+        assert_eq!(out.t(), Interval::new(2.0, 4.0));
+        assert!(out.has_full_angular_extent());
+    }
+
+    #[test]
+    fn predicate_empty_selection_is_none() {
+        let v = Volume::sphere_at(0.0, 0.0, 0.0, Interval::new(0.0, 10.0));
+        let p = VolumePredicate::any().with(Dimension::T, Interval::new(20.0, 30.0));
+        assert_eq!(p.apply(&v), None);
+        let p = VolumePredicate::at_point(5.0, 0.0, 0.0);
+        assert_eq!(p.apply(&v), None, "sphere is only at the origin");
+    }
+
+    #[test]
+    fn predicate_identity_detection() {
+        let v = Volume::sphere_at(0.0, 0.0, 0.0, Interval::new(0.0, 10.0));
+        assert!(VolumePredicate::any().is_identity_on(&v));
+        let p = VolumePredicate::any().with(Dimension::T, Interval::new(-100.0, 100.0));
+        assert!(p.is_identity_on(&v));
+        let q = VolumePredicate::any().with(Dimension::T, Interval::new(0.0, 5.0));
+        assert!(!q.is_identity_on(&v));
+    }
+
+    #[test]
+    fn arity_validation() {
+        let good = LogicalPlan::unary(
+            LogicalOp::Map { f: MapFunction::Builtin(BuiltinMap::Blur), stencil: None },
+            scan("a"),
+        );
+        assert!(good.validate().is_ok());
+
+        let bad = LogicalPlan { op: LogicalOp::Flatten, inputs: vec![] };
+        assert!(bad.validate().is_err());
+
+        let bad_scan = LogicalPlan {
+            op: LogicalOp::Scan { name: "x".into(), version: None },
+            inputs: vec![scan("y")],
+        };
+        assert!(bad_scan.validate().is_err());
+    }
+
+    #[test]
+    fn union_accepts_many_inputs() {
+        let u = LogicalPlan::nary(
+            LogicalOp::Union { merge: MergeFunction::Last },
+            vec![scan("a"), scan("b"), scan("c")],
+        );
+        assert!(u.validate().is_ok());
+        assert_eq!(u.len(), 4);
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let plan = LogicalPlan::unary(
+            LogicalOp::Encode { codec: CodecKind::H264Sim, quality: None },
+            LogicalPlan::unary(
+                LogicalOp::Map { f: MapFunction::Builtin(BuiltinMap::Grayscale), stencil: None },
+                scan("name"),
+            ),
+        );
+        let s = plan.to_string();
+        assert!(s.contains("ENCODE(H264)"));
+        assert!(s.contains("  MAP(GRAYSCALE)"));
+        assert!(s.contains("    SCAN(name)"));
+    }
+
+    #[test]
+    fn scanned_names_collects_all() {
+        let u = LogicalPlan::nary(
+            LogicalOp::Union { merge: MergeFunction::Last },
+            vec![scan("a"), scan("b")],
+        );
+        assert_eq!(u.scanned_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn all_nineteen_operators_are_named() {
+        // The paper: "The LightDB algebra exposes nineteen logical
+        // operators". Enumerate them all via representative values.
+        let ops: Vec<LogicalOp> = vec![
+            LogicalOp::Scan { name: "n".into(), version: None },
+            LogicalOp::Store { name: "n".into() },
+            LogicalOp::Decode { source: "s".into(), codec_hint: None },
+            LogicalOp::Encode { codec: CodecKind::H264Sim, quality: None },
+            LogicalOp::Transcode { codec: CodecKind::HevcSim },
+            LogicalOp::Select { predicate: VolumePredicate::any() },
+            LogicalOp::Discretize { steps: vec![] },
+            LogicalOp::Partition { spec: vec![] },
+            LogicalOp::Flatten,
+            LogicalOp::Union { merge: MergeFunction::Last },
+            LogicalOp::Map { f: MapFunction::Builtin(BuiltinMap::Identity), stencil: None },
+            LogicalOp::Interpolate {
+                f: InterpFunction::Builtin(crate::udf::BuiltinInterp::NearestNeighbor),
+                stencil: None,
+            },
+            LogicalOp::Subquery {
+                body: Arc::new(|_, p| p),
+                merge: MergeFunction::Last,
+                label: "q".into(),
+            },
+            LogicalOp::Translate { dx: 0.0, dy: 0.0, dz: 0.0, dt: 0.0 },
+            LogicalOp::Rotate { dtheta: 0.0, dphi: 0.0 },
+            LogicalOp::Create { name: "n".into() },
+            LogicalOp::Drop { name: "n".into() },
+            LogicalOp::CreateIndex { name: "n".into(), dims: vec![Dimension::X] },
+            LogicalOp::DropIndex { name: "n".into(), dims: vec![Dimension::X] },
+        ];
+        let mut names: Vec<&str> = ops.iter().map(|o| o.name()).collect();
+        assert_eq!(names.len(), 19);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 19, "operator names must be distinct");
+    }
+}

@@ -1,0 +1,74 @@
+//! # lightdb-core
+//!
+//! The heart of the LightDB reproduction: the temporal-light-field
+//! (TLF) data model, the logical algebra of nineteen operators over
+//! TLFs, and VRQL — the declarative query DSL whose `>>` streaming
+//! composition is realised through Rust's `Shr` operator.
+//!
+//! A TLF is a nullable function `L(x, y, z, t, θ, φ) → C` over a
+//! hyperrectangular volume; every operator consumes zero or more TLFs
+//! (plus scalar parameters) and produces exactly one TLF, so queries
+//! compose freely regardless of the physical format underneath.
+//!
+//! ```
+//! use lightdb_core::vrql::*;
+//! use lightdb_core::algebra::MergeFunction;
+//! use lightdb_core::udf::BuiltinMap;
+//! use lightdb_geom::Dimension;
+//! use lightdb_codec::CodecKind;
+//!
+//! // The paper's running example: watermark, sharpen, partition,
+//! // encode (Equation 2).
+//! let query = union(
+//!     vec![
+//!         decode("rtp://camera"),
+//!         scan("W") >> Select::at_point(0.0, 0.0, 0.0),
+//!     ],
+//!     MergeFunction::Last,
+//! ) >> Map::builtin(BuiltinMap::Sharpen)
+//!   >> Partition::along(Dimension::T, 2.0)
+//!   >> Encode::with(CodecKind::H264Sim);
+//!
+//! assert!(format!("{}", query.plan()).contains("SHARPEN"));
+//! ```
+
+pub mod algebra;
+pub mod model;
+pub mod quality;
+pub mod subgraph;
+pub mod udf;
+pub mod vrql;
+
+pub use algebra::{LogicalOp, LogicalPlan, MergeFunction, VolumePredicate};
+pub use model::{PhysicalKind, TlfHandle, TlfId};
+pub use quality::Quality;
+pub use udf::{BuiltinInterp, BuiltinMap, InterpFunction, MapFunction, MapUdf};
+pub use vrql::VrqlExpr;
+
+/// Errors arising at the model / planning layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A query referenced a TLF that does not exist.
+    UnknownTlf(String),
+    /// An operator was applied with invalid parameters.
+    InvalidOperator(String),
+    /// A plan is structurally invalid (arity, composition).
+    InvalidPlan(String),
+    /// View-subgraph (de)serialisation failed.
+    Subgraph(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::UnknownTlf(n) => write!(f, "unknown TLF: {n}"),
+            CoreError::InvalidOperator(m) => write!(f, "invalid operator: {m}"),
+            CoreError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+            CoreError::Subgraph(m) => write!(f, "view subgraph: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,121 @@
+//! The logical TLF data model.
+
+use lightdb_geom::{Dimension, Volume};
+use serde::{Deserialize, Serialize};
+
+/// A TLF's unique identifier within the catalog.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TlfId(pub String);
+
+impl TlfId {
+    pub fn new(name: impl Into<String>) -> Self {
+        TlfId(name.into())
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for TlfId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for TlfId {
+    fn from(s: &str) -> Self {
+        TlfId(s.to_string())
+    }
+}
+
+/// Which physical representation backs a TLF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhysicalKind {
+    /// One or more 360° spheres at spatial points.
+    Sphere360,
+    /// One or more light slabs.
+    Slab,
+    /// Recursive union of children.
+    Composite,
+}
+
+/// The logical-layer view of a stored TLF: identifier, bounding
+/// volume, physical kind, partitioning, and flags. (The physical
+/// details — tracks, GOP indexes, file paths — live in the storage
+/// layer's metadata.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TlfHandle {
+    pub id: TlfId,
+    pub version: u64,
+    pub volume: Volume,
+    pub kind: PhysicalKind,
+    /// Partitioning metadata: `(dimension, block width)` pairs.
+    pub partition_spec: Vec<(Dimension, f64)>,
+    /// True when the ending time monotonically increases (live
+    /// ingest); LightDB updates the volume as data arrives.
+    pub streaming: bool,
+    /// True when the TLF is continuous (carries a view subgraph that
+    /// must be applied after decoding the materialised prefix).
+    pub continuous: bool,
+}
+
+impl TlfHandle {
+    /// A fresh handle for a discrete 360° TLF.
+    pub fn sphere(id: impl Into<TlfId>, version: u64, volume: Volume) -> Self {
+        TlfHandle {
+            id: id.into(),
+            version,
+            volume,
+            kind: PhysicalKind::Sphere360,
+            partition_spec: Vec::new(),
+            streaming: false,
+            continuous: false,
+        }
+    }
+
+    /// The explicit partition volumes implied by the partition spec
+    /// (the cross-product of per-dimension blocks), or the whole
+    /// volume when unpartitioned.
+    pub fn partitions(&self) -> Vec<Volume> {
+        if self.partition_spec.is_empty() {
+            vec![self.volume]
+        } else {
+            self.volume.partition_multi(&self.partition_spec)
+        }
+    }
+}
+
+impl From<String> for TlfId {
+    fn from(s: String) -> Self {
+        TlfId(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightdb_geom::Interval;
+
+    #[test]
+    fn handle_partitions_default_to_whole_volume() {
+        let v = Volume::sphere_at(0.0, 0.0, 0.0, Interval::new(0.0, 10.0));
+        let h = TlfHandle::sphere("demo", 1, v);
+        assert_eq!(h.partitions(), vec![v]);
+    }
+
+    #[test]
+    fn handle_partitions_follow_spec() {
+        let v = Volume::sphere_at(0.0, 0.0, 0.0, Interval::new(0.0, 10.0));
+        let mut h = TlfHandle::sphere("demo", 1, v);
+        h.partition_spec = vec![(Dimension::T, 2.0)];
+        assert_eq!(h.partitions().len(), 5);
+    }
+
+    #[test]
+    fn id_display_and_conversion() {
+        let id: TlfId = "out".into();
+        assert_eq!(id.to_string(), "out");
+        assert_eq!(id.as_str(), "out");
+    }
+}

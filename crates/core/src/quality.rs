@@ -1,0 +1,43 @@
+//! Encoding quality levels.
+
+use serde::{Deserialize, Serialize};
+
+/// Named encoding qualities, as used by the predictive-tiling
+/// workload (`Quality::High` ≈ the paper's 50 Mbps setting,
+/// `Quality::Low` ≈ 50 kbps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Quality {
+    High,
+    Medium,
+    Low,
+}
+
+impl Quality {
+    /// The quantisation parameter the codec substrate uses for this
+    /// quality level.
+    pub fn qp(self) -> u8 {
+        match self {
+            Quality::High => 6,
+            Quality::Medium => 24,
+            Quality::Low => 45,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qualities_are_ordered_by_qp() {
+        assert!(Quality::High.qp() < Quality::Medium.qp());
+        assert!(Quality::Medium.qp() < Quality::Low.qp());
+    }
+
+    #[test]
+    fn qp_within_codec_range() {
+        for q in [Quality::High, Quality::Medium, Quality::Low] {
+            assert!(q.qp() <= lightdb_codec::quant::QP_MAX);
+        }
+    }
+}

@@ -1,0 +1,518 @@
+//! VRQL — the declarative query DSL.
+//!
+//! Queries are built from source expressions (`scan`, `decode`,
+//! `create`, `union`) composed with pipeline stages through the `>>`
+//! streaming operator, exactly as in the paper's C++ bindings:
+//!
+//! ```
+//! use lightdb_core::vrql::*;
+//! use lightdb_core::udf::BuiltinMap;
+//! use lightdb_geom::Dimension;
+//! use lightdb_codec::CodecKind;
+//!
+//! let q = scan("name")
+//!     >> Map::builtin(BuiltinMap::Grayscale)
+//!     >> Encode::with(CodecKind::H264Sim);
+//! assert_eq!(q.plan().len(), 3);
+//! ```
+//!
+//! `g(α) >> f(β)` is shorthand for `f(g(α), β)`; the two forms build
+//! identical plans.
+
+use crate::algebra::{LogicalOp, LogicalPlan, MergeFunction, SubqueryFn, VolumePredicate};
+use crate::quality::Quality;
+use crate::udf::{
+    BuiltinInterp, BuiltinMap, InterpFunction, InterpUdf, MapFunction, MapUdf, PointMapUdf,
+};
+use lightdb_codec::CodecKind;
+use lightdb_geom::{Dimension, Interval, Volume, PHI_MAX, THETA_PERIOD};
+use std::ops::Shr;
+use std::sync::Arc;
+
+/// A VRQL expression: a logical plan under construction.
+#[derive(Debug, Clone)]
+pub struct VrqlExpr {
+    plan: LogicalPlan,
+}
+
+impl VrqlExpr {
+    /// Wraps an existing plan.
+    pub fn from_plan(plan: LogicalPlan) -> Self {
+        VrqlExpr { plan }
+    }
+
+    /// The underlying logical plan.
+    pub fn plan(&self) -> &LogicalPlan {
+        &self.plan
+    }
+
+    /// Consumes the expression, yielding the plan.
+    pub fn into_plan(self) -> LogicalPlan {
+        self.plan
+    }
+}
+
+// ---------------------------------------------------------------- sources
+
+/// Reads a TLF from the catalog.
+pub fn scan(name: impl Into<String>) -> VrqlExpr {
+    VrqlExpr::from_plan(LogicalPlan::leaf(LogicalOp::Scan { name: name.into(), version: None }))
+}
+
+/// Reads a specific version of a TLF (snapshot isolation exposes all
+/// versions; the default is the most recent).
+pub fn scan_version(name: impl Into<String>, version: u64) -> VrqlExpr {
+    VrqlExpr::from_plan(LogicalPlan::leaf(LogicalOp::Scan {
+        name: name.into(),
+        version: Some(version),
+    }))
+}
+
+/// Ingests encoded video from an external source.
+pub fn decode(source: impl Into<String>) -> VrqlExpr {
+    VrqlExpr::from_plan(LogicalPlan::leaf(LogicalOp::Decode {
+        source: source.into(),
+        codec_hint: None,
+    }))
+}
+
+/// Ingests with an explicit codec hint (`DECODE(url, HEVC)`).
+pub fn decode_as(source: impl Into<String>, codec: CodecKind) -> VrqlExpr {
+    VrqlExpr::from_plan(LogicalPlan::leaf(LogicalOp::Decode {
+        source: source.into(),
+        codec_hint: Some(codec),
+    }))
+}
+
+/// Creates a new TLF as a copy of Ω (null everywhere).
+pub fn create(name: impl Into<String>) -> VrqlExpr {
+    VrqlExpr::from_plan(LogicalPlan::leaf(LogicalOp::Create { name: name.into() }))
+}
+
+/// Merges expressions with the given merge function.
+pub fn union(inputs: Vec<VrqlExpr>, merge: MergeFunction) -> VrqlExpr {
+    VrqlExpr::from_plan(LogicalPlan::nary(
+        LogicalOp::Union { merge },
+        inputs.into_iter().map(VrqlExpr::into_plan).collect(),
+    ))
+}
+
+/// Removes a TLF from the catalog (DDL statement).
+pub fn drop_tlf(name: impl Into<String>) -> VrqlExpr {
+    VrqlExpr::from_plan(LogicalPlan::leaf(LogicalOp::Drop { name: name.into() }))
+}
+
+/// Builds an external index over `dims` (DDL statement).
+pub fn create_index(name: impl Into<String>, dims: Vec<Dimension>) -> VrqlExpr {
+    VrqlExpr::from_plan(LogicalPlan::leaf(LogicalOp::CreateIndex { name: name.into(), dims }))
+}
+
+/// Removes an external index (DDL statement).
+pub fn drop_index(name: impl Into<String>, dims: Vec<Dimension>) -> VrqlExpr {
+    VrqlExpr::from_plan(LogicalPlan::leaf(LogicalOp::DropIndex { name: name.into(), dims }))
+}
+
+// ---------------------------------------------------------------- stages
+
+/// A pipeline stage applicable with `>>`.
+pub trait Stage {
+    fn apply(self, input: LogicalPlan) -> LogicalPlan;
+}
+
+impl<S: Stage> Shr<S> for VrqlExpr {
+    type Output = VrqlExpr;
+
+    fn shr(self, stage: S) -> VrqlExpr {
+        VrqlExpr::from_plan(stage.apply(self.plan))
+    }
+}
+
+/// `SELECT`: restrict to a hyperrectangle.
+#[derive(Debug, Clone, Copy)]
+pub struct Select(pub VolumePredicate);
+
+impl Select {
+    /// Constrain one dimension to `[lo, hi]`.
+    pub fn along(dim: Dimension, lo: f64, hi: f64) -> Select {
+        Select(VolumePredicate::any().with(dim, Interval::new(lo, hi)))
+    }
+
+    /// Constrain one dimension to a point.
+    pub fn at(dim: Dimension, v: f64) -> Select {
+        Select(VolumePredicate::any().with(dim, Interval::point(v)))
+    }
+
+    /// Constrain space to a single point (`Select(0, 0, 0)`).
+    pub fn at_point(x: f64, y: f64, z: f64) -> Select {
+        Select(VolumePredicate::at_point(x, y, z))
+    }
+
+    /// Additional constraint on another dimension.
+    pub fn and(self, dim: Dimension, lo: f64, hi: f64) -> Select {
+        Select(self.0.with(dim, Interval::new(lo, hi)))
+    }
+}
+
+impl Stage for Select {
+    fn apply(self, input: LogicalPlan) -> LogicalPlan {
+        LogicalPlan::unary(LogicalOp::Select { predicate: self.0 }, input)
+    }
+}
+
+/// `DISCRETIZE`: sample at regular intervals.
+#[derive(Debug, Clone)]
+pub struct Discretize(pub Vec<(Dimension, f64)>);
+
+impl Discretize {
+    pub fn along(dim: Dimension, step: f64) -> Discretize {
+        Discretize(vec![(dim, step)])
+    }
+
+    /// Angular sampling at a pixel resolution: `Δθ = 2π/w, Δφ = π/h`
+    /// (the paper's 1920×1080 example).
+    pub fn angular(width: usize, height: usize) -> Discretize {
+        Discretize(vec![
+            (Dimension::Theta, THETA_PERIOD / width as f64),
+            (Dimension::Phi, PHI_MAX / height as f64),
+        ])
+    }
+
+    pub fn and(mut self, dim: Dimension, step: f64) -> Discretize {
+        self.0.push((dim, step));
+        self
+    }
+}
+
+impl Stage for Discretize {
+    fn apply(self, input: LogicalPlan) -> LogicalPlan {
+        LogicalPlan::unary(LogicalOp::Discretize { steps: self.0 }, input)
+    }
+}
+
+/// `PARTITION`: cut into equal-sized blocks.
+#[derive(Debug, Clone)]
+pub struct Partition(pub Vec<(Dimension, f64)>);
+
+impl Partition {
+    pub fn along(dim: Dimension, delta: f64) -> Partition {
+        Partition(vec![(dim, delta)])
+    }
+
+    pub fn and(mut self, dim: Dimension, delta: f64) -> Partition {
+        self.0.push((dim, delta));
+        self
+    }
+}
+
+impl Stage for Partition {
+    fn apply(self, input: LogicalPlan) -> LogicalPlan {
+        LogicalPlan::unary(LogicalOp::Partition { spec: self.0 }, input)
+    }
+}
+
+/// `FLATTEN`: remove partitioning.
+#[derive(Debug, Clone, Copy)]
+pub struct Flatten;
+
+impl Stage for Flatten {
+    fn apply(self, input: LogicalPlan) -> LogicalPlan {
+        LogicalPlan::unary(LogicalOp::Flatten, input)
+    }
+}
+
+/// `MAP`: transform colours with a UDF.
+#[derive(Debug, Clone)]
+pub struct Map {
+    f: MapFunction,
+    stencil: Option<Volume>,
+}
+
+impl Map {
+    pub fn builtin(b: BuiltinMap) -> Map {
+        Map { f: MapFunction::Builtin(b), stencil: None }
+    }
+
+    pub fn udf(u: Arc<dyn MapUdf>) -> Map {
+        Map { f: MapFunction::Custom(u), stencil: None }
+    }
+
+    pub fn point_udf(u: Arc<dyn PointMapUdf>) -> Map {
+        Map { f: MapFunction::Point(u), stencil: None }
+    }
+
+    /// Restricts the UDF's visibility to a stencil around each point,
+    /// enabling more efficient parallelisation.
+    pub fn with_stencil(mut self, stencil: Volume) -> Map {
+        self.stencil = Some(stencil);
+        self
+    }
+}
+
+impl Stage for Map {
+    fn apply(self, input: LogicalPlan) -> LogicalPlan {
+        LogicalPlan::unary(LogicalOp::Map { f: self.f, stencil: self.stencil }, input)
+    }
+}
+
+/// `INTERPOLATE`: fill null regions.
+#[derive(Debug, Clone)]
+pub struct Interpolate {
+    f: InterpFunction,
+    stencil: Option<Volume>,
+}
+
+impl Interpolate {
+    pub fn builtin(b: BuiltinInterp) -> Interpolate {
+        Interpolate { f: InterpFunction::Builtin(b), stencil: None }
+    }
+
+    pub fn udf(u: Arc<dyn InterpUdf>) -> Interpolate {
+        Interpolate { f: InterpFunction::Custom(u), stencil: None }
+    }
+
+    pub fn with_stencil(mut self, stencil: Volume) -> Interpolate {
+        self.stencil = Some(stencil);
+        self
+    }
+}
+
+impl Stage for Interpolate {
+    fn apply(self, input: LogicalPlan) -> LogicalPlan {
+        LogicalPlan::unary(LogicalOp::Interpolate { f: self.f, stencil: self.stencil }, input)
+    }
+}
+
+/// `SUBQUERY`: run a query over each partition, then union.
+#[derive(Clone)]
+pub struct Subquery {
+    label: String,
+    body: SubqueryFn,
+    merge: MergeFunction,
+}
+
+impl Subquery {
+    /// `body` receives each partition's volume and an expression
+    /// representing the partition's data.
+    pub fn new(
+        label: impl Into<String>,
+        body: impl Fn(&Volume, VrqlExpr) -> VrqlExpr + Send + Sync + 'static,
+    ) -> Subquery {
+        Subquery {
+            label: label.into(),
+            body: Arc::new(move |v, plan| body(v, VrqlExpr::from_plan(plan)).into_plan()),
+            merge: MergeFunction::Last,
+        }
+    }
+
+    pub fn merging(mut self, merge: MergeFunction) -> Subquery {
+        self.merge = merge;
+        self
+    }
+}
+
+impl Stage for Subquery {
+    fn apply(self, input: LogicalPlan) -> LogicalPlan {
+        LogicalPlan::unary(
+            LogicalOp::Subquery { body: self.body, merge: self.merge, label: self.label },
+            input,
+        )
+    }
+}
+
+/// `TRANSLATE`: shift the spatiotemporal extent.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Translate {
+    pub dx: f64,
+    pub dy: f64,
+    pub dz: f64,
+    pub dt: f64,
+}
+
+impl Translate {
+    pub fn time(dt: f64) -> Translate {
+        Translate { dt, ..Default::default() }
+    }
+
+    pub fn space(dx: f64, dy: f64, dz: f64) -> Translate {
+        Translate { dx, dy, dz, dt: 0.0 }
+    }
+}
+
+impl Stage for Translate {
+    fn apply(self, input: LogicalPlan) -> LogicalPlan {
+        LogicalPlan::unary(
+            LogicalOp::Translate { dx: self.dx, dy: self.dy, dz: self.dz, dt: self.dt },
+            input,
+        )
+    }
+}
+
+/// `ROTATE`: rotate every ray's direction.
+#[derive(Debug, Clone, Copy)]
+pub struct Rotate {
+    pub dtheta: f64,
+    pub dphi: f64,
+}
+
+impl Rotate {
+    pub fn new(dtheta: f64, dphi: f64) -> Rotate {
+        Rotate { dtheta, dphi }
+    }
+}
+
+impl Stage for Rotate {
+    fn apply(self, input: LogicalPlan) -> LogicalPlan {
+        LogicalPlan::unary(LogicalOp::Rotate { dtheta: self.dtheta, dphi: self.dphi }, input)
+    }
+}
+
+/// `ENCODE`: produce an externally consumable representation.
+#[derive(Debug, Clone, Copy)]
+pub struct Encode {
+    codec: CodecKind,
+    quality: Option<Quality>,
+}
+
+impl Encode {
+    pub fn with(codec: CodecKind) -> Encode {
+        Encode { codec, quality: None }
+    }
+
+    pub fn quality(codec: CodecKind, q: Quality) -> Encode {
+        Encode { codec, quality: Some(q) }
+    }
+}
+
+impl Stage for Encode {
+    fn apply(self, input: LogicalPlan) -> LogicalPlan {
+        LogicalPlan::unary(LogicalOp::Encode { codec: self.codec, quality: self.quality }, input)
+    }
+}
+
+/// `TRANSCODE`: convenience codec conversion.
+#[derive(Debug, Clone, Copy)]
+pub struct Transcode(pub CodecKind);
+
+impl Stage for Transcode {
+    fn apply(self, input: LogicalPlan) -> LogicalPlan {
+        LogicalPlan::unary(LogicalOp::Transcode { codec: self.0 }, input)
+    }
+}
+
+/// `STORE`: write a new version of a catalog TLF.
+#[derive(Debug, Clone)]
+pub struct Store(pub String);
+
+impl Store {
+    pub fn named(name: impl Into<String>) -> Store {
+        Store(name.into())
+    }
+}
+
+impl Stage for Store {
+    fn apply(self, input: LogicalPlan) -> LogicalPlan {
+        LogicalPlan::unary(LogicalOp::Store { name: self.0 }, input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn running_example_builds_the_figure7_plan() {
+        // Union(Decode(f), Scan("W") >> Select(0,0,0)) >> Map(sharpen)
+        //   >> Partition(Time, 2) >> Encode(H264)
+        let q = union(
+            vec![decode("file.mp4"), scan("W") >> Select::at_point(0.0, 0.0, 0.0)],
+            MergeFunction::Last,
+        ) >> Map::builtin(BuiltinMap::Sharpen)
+            >> Partition::along(Dimension::T, 2.0)
+            >> Encode::with(CodecKind::H264Sim);
+        let plan = q.plan();
+        plan.validate().unwrap();
+        assert_eq!(plan.op.name(), "ENCODE");
+        assert_eq!(plan.inputs[0].op.name(), "PARTITION");
+        assert_eq!(plan.inputs[0].inputs[0].op.name(), "MAP");
+        assert_eq!(plan.inputs[0].inputs[0].inputs[0].op.name(), "UNION");
+        assert_eq!(plan.len(), 7);
+    }
+
+    #[test]
+    fn streaming_shorthand_equals_nested_form() {
+        // g(α) >> f(β)  ≡  f(g(α), β)
+        let a = scan("x") >> Map::builtin(BuiltinMap::Blur);
+        let b = Map::builtin(BuiltinMap::Blur).apply(scan("x").into_plan());
+        assert_eq!(format!("{}", a.plan()), format!("{b}"));
+    }
+
+    #[test]
+    fn self_concatenation_example() {
+        // UNION(SCAN(n), TRANSLATE(SCAN(n), Δt=5)) — Table 1, row 1.
+        let tlf = scan("name");
+        let cat = union(vec![tlf.clone(), tlf >> Translate::time(5.0)], MergeFunction::Last);
+        let s = cat.plan().to_string();
+        assert!(s.contains("UNION(LAST)"));
+        assert!(s.contains("TRANSLATE(Δx=0, Δy=0, Δz=0, Δt=5)"));
+    }
+
+    #[test]
+    fn predictive_tiling_query_shape() {
+        // Decode >> Partition(T 1, θ π/2, φ π/4) >> Subquery(encode by
+        // importance) >> Store — Section 3.5.
+        let q = decode("rtp://camera")
+            >> Partition::along(Dimension::T, 1.0)
+                .and(Dimension::Theta, PI / 2.0)
+                .and(Dimension::Phi, PI / 4.0)
+            >> Subquery::new("adaptive-encode", |vol, part| {
+                let q = if vol.theta().lo() == 0.0 { Quality::High } else { Quality::Low };
+                part >> Encode::quality(CodecKind::HevcSim, q)
+            })
+            >> Store::named("output");
+        let plan = q.plan();
+        plan.validate().unwrap();
+        assert_eq!(plan.op.name(), "STORE");
+        assert!(plan.to_string().contains("SUBQUERY(adaptive-encode, LAST)"));
+    }
+
+    #[test]
+    fn ar_query_shape() {
+        // lowres = source >> Discretize(480×480); boxes = lowres >>
+        // Map(detect); Union(source, boxes) — Section 3.5.
+        let source = decode("rtp://camera");
+        let lowres = source.clone() >> Discretize::angular(480, 480);
+        struct Detect;
+        impl MapUdf for Detect {
+            fn name(&self) -> &str {
+                "DETECT"
+            }
+            fn apply(&self, f: &lightdb_frame::Frame) -> lightdb_frame::Frame {
+                f.clone()
+            }
+        }
+        let boxes = lowres >> Map::udf(Arc::new(Detect));
+        let q = union(vec![source, boxes], MergeFunction::Last) >> Store::named("output");
+        q.plan().validate().unwrap();
+        assert!(q.plan().to_string().contains("MAP(DETECT)"));
+        assert!(q.plan().to_string().contains("DISCRETIZE(Δtheta=0.0131, Δphi=0.0065)"));
+    }
+
+    #[test]
+    fn ddl_statements() {
+        let ci = create_index("out", vec![Dimension::Y, Dimension::T]);
+        assert!(ci.plan().validate().is_ok());
+        assert!(ci.plan().to_string().contains("CREATEINDEX(out, y, t)"));
+        let d = drop_tlf("out");
+        assert!(d.plan().to_string().contains("DROP(out)"));
+    }
+
+    #[test]
+    fn select_builders() {
+        let s = Select::along(Dimension::T, 0.0, 3.0).and(Dimension::Y, 0.0, 0.0);
+        let q = scan("out") >> s >> Map::builtin(BuiltinMap::Grayscale);
+        let txt = q.plan().to_string();
+        assert!(txt.contains("t∈[0, 3]"), "{txt}");
+        assert!(txt.contains("y∈{0}"), "{txt}");
+    }
+}

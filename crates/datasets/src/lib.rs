@@ -1,0 +1,296 @@
+//! # lightdb-datasets
+//!
+//! Procedural, deterministic stand-ins for the paper's reference
+//! datasets. The originals (Corbillon et al.'s "Timelapse", "Venice",
+//! and "Coaster" 360° videos; Wang et al.'s "Cats" light slab) are
+//! not redistributable, so we synthesise videos with matching
+//! *structural* statistics — per-dataset motion magnitude (the
+//! variable that drives codec rate and motion-search cost), equirect
+//! projection, 30 fps, one-second GOPs — at a laptop-friendly default
+//! resolution (512×256; the paper used 3840×2048). Set
+//! `LIGHTDB_FULL_SCALE=1` for paper-scale resolution.
+//!
+//! Everything is seeded: the same spec always generates byte-identical
+//! video.
+
+pub mod scenes;
+pub mod slab;
+
+pub use scenes::{coaster_frame, timelapse_frame, venice_frame, watermark_frame, FrameGen};
+
+/// The pixel-level null token ω (re-exported for scene generators).
+pub(crate) fn omega_color() -> lightdb_frame::Yuv {
+    lightdb::exec::chunk::OMEGA
+}
+pub use slab::cats_slab_frames;
+
+use lightdb::ingest::{store_frames, store_slab, IngestConfig};
+use lightdb::prelude::*;
+use lightdb_codec::{Encoder, EncoderConfig, VideoStream};
+use lightdb_frame::Frame;
+
+/// The three 360° reference videos.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Slow global change (clouds, light drift) — lowest motion.
+    Timelapse,
+    /// Moderate motion: drifting gondolas and water shimmer.
+    Venice,
+    /// Fast ego-motion: the camera rolls along the track.
+    Coaster,
+}
+
+impl Dataset {
+    pub const ALL: [Dataset; 3] = [Dataset::Timelapse, Dataset::Venice, Dataset::Coaster];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Timelapse => "timelapse",
+            Dataset::Venice => "venice",
+            Dataset::Coaster => "coaster",
+        }
+    }
+
+    /// The per-frame generator for this dataset.
+    pub fn generator(self) -> FrameGen {
+        match self {
+            Dataset::Timelapse => timelapse_frame,
+            Dataset::Venice => venice_frame,
+            Dataset::Coaster => coaster_frame,
+        }
+    }
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    pub width: usize,
+    pub height: usize,
+    pub fps: u32,
+    pub seconds: usize,
+    pub qp: u8,
+}
+
+impl DatasetSpec {
+    /// Laptop-scale default; honours `LIGHTDB_FULL_SCALE=1`.
+    pub fn mini(seconds: usize) -> DatasetSpec {
+        if std::env::var("LIGHTDB_FULL_SCALE").as_deref() == Ok("1") {
+            DatasetSpec { width: 3840, height: 2048, fps: 30, seconds, qp: 22 }
+        } else {
+            DatasetSpec { width: 512, height: 256, fps: 30, seconds, qp: 22 }
+        }
+    }
+
+    /// A tiny spec for unit tests.
+    pub fn tiny() -> DatasetSpec {
+        DatasetSpec { width: 64, height: 32, fps: 4, seconds: 2, qp: 30 }
+    }
+
+    pub fn frame_count(&self) -> usize {
+        self.seconds * self.fps as usize
+    }
+}
+
+/// Generates frame `i` of a dataset.
+pub fn frame(dataset: Dataset, spec: &DatasetSpec, i: usize) -> Frame {
+    (dataset.generator())(spec.width, spec.height, i, spec.fps)
+}
+
+/// Encodes a dataset GOP-by-GOP without materialising all frames
+/// (one-second GOPs, as in the paper's experimental setup).
+pub fn encode_dataset(dataset: Dataset, spec: &DatasetSpec) -> VideoStream {
+    encode_frames(
+        (0..spec.frame_count()).map(|i| frame(dataset, spec, i)),
+        spec,
+        lightdb_codec::TileGrid::SINGLE,
+    )
+}
+
+/// Streaming GOP-at-a-time encoder for any frame iterator.
+pub fn encode_frames(
+    frames: impl Iterator<Item = Frame>,
+    spec: &DatasetSpec,
+    grid: lightdb_codec::TileGrid,
+) -> VideoStream {
+    let gop_len = spec.fps as usize;
+    let encoder = Encoder::new(EncoderConfig {
+        codec: CodecKind::HevcSim,
+        qp: spec.qp,
+        grid,
+        gop_length: gop_len,
+        fps: spec.fps,
+    })
+    .expect("valid encoder config");
+    let mut out: Option<VideoStream> = None;
+    let mut pending: Vec<Frame> = Vec::with_capacity(gop_len);
+    let flush = |pending: &mut Vec<Frame>, out: &mut Option<VideoStream>| {
+        if pending.is_empty() {
+            return;
+        }
+        let stream = encoder.encode(pending).expect("encode GOP");
+        pending.clear();
+        match out {
+            None => *out = Some(stream),
+            Some(acc) => acc.gops.extend(stream.gops),
+        }
+    };
+    for f in frames {
+        pending.push(f);
+        if pending.len() == gop_len {
+            flush(&mut pending, &mut out);
+        }
+    }
+    flush(&mut pending, &mut out);
+    out.expect("at least one frame")
+}
+
+/// Generates and stores a dataset into a database under its canonical
+/// name, returning the committed version. Skips work if the TLF
+/// already exists (datasets are immutable).
+pub fn install(db: &LightDb, dataset: Dataset, spec: &DatasetSpec) -> lightdb::Result<u64> {
+    if db.catalog().exists(dataset.name()) {
+        return Ok(db.catalog().latest_version(dataset.name())?);
+    }
+    let stream = encode_dataset(dataset, spec);
+    lightdb::ingest::store_stream(
+        db,
+        dataset.name(),
+        stream,
+        Point3::ORIGIN,
+        lightdb_geom::projection::ProjectionKind::Equirectangular,
+    )
+}
+
+/// Installs the watermark TLF: a full-length static overlay covering
+/// a small angular region (its frames are non-ω only where the mark
+/// is drawn). Static content makes its P-frames nearly free.
+pub fn install_watermark(db: &LightDb, spec: &DatasetSpec) -> lightdb::Result<u64> {
+    let name = "watermark";
+    if db.catalog().exists(name) {
+        return Ok(db.catalog().latest_version(name)?);
+    }
+    let mark = watermark_frame(64, 32);
+    let frames = vec![mark; spec.frame_count()];
+    store_frames(
+        db,
+        name,
+        &frames,
+        &IngestConfig {
+            fps: spec.fps,
+            gop_length: spec.fps as usize,
+            qp: 18,
+            ..Default::default()
+        },
+    )
+}
+
+/// Installs the "Cats" light slab: an `nu × nv` uv sampling of a
+/// synthetic cat scene with genuine parallax, `time_steps` temporal
+/// samples (the original is 109 still images looped into a video).
+pub fn install_cats(
+    db: &LightDb,
+    st_size: usize,
+    nu: usize,
+    nv: usize,
+    time_steps: usize,
+) -> lightdb::Result<u64> {
+    let name = "cats";
+    if db.catalog().exists(name) {
+        return Ok(db.catalog().latest_version(name)?);
+    }
+    let frames = cats_slab_frames(st_size, st_size, nu, nv, time_steps);
+    store_slab(
+        db,
+        name,
+        &frames,
+        nu,
+        nv,
+        Point3::new(0.0, 0.0, 0.0),
+        Point3::new(1.0, 1.0, 0.0),
+        24,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let spec = DatasetSpec::tiny();
+        for d in Dataset::ALL {
+            let a = frame(d, &spec, 3);
+            let b = frame(d, &spec, 3);
+            assert_eq!(a, b, "{} frame generation must be deterministic", d.name());
+        }
+    }
+
+    #[test]
+    fn motion_ordering_matches_dataset_characters() {
+        // Mean absolute luma difference between consecutive frames
+        // must order Timelapse < Venice < Coaster.
+        let spec = DatasetSpec { width: 128, height: 64, fps: 30, seconds: 1, qp: 30 };
+        let motion = |d: Dataset| {
+            let a = frame(d, &spec, 10);
+            let b = frame(d, &spec, 11);
+            lightdb_frame::stats::luma_mse(&a, &b)
+        };
+        let t = motion(Dataset::Timelapse);
+        let v = motion(Dataset::Venice);
+        let c = motion(Dataset::Coaster);
+        assert!(t < v, "timelapse {t} should move less than venice {v}");
+        assert!(v < c, "venice {v} should move less than coaster {c}");
+    }
+
+    #[test]
+    fn encode_dataset_produces_expected_structure() {
+        let spec = DatasetSpec::tiny();
+        let s = encode_dataset(Dataset::Venice, &spec);
+        assert_eq!(s.frame_count(), spec.frame_count());
+        assert_eq!(s.gops.len(), spec.seconds);
+        assert_eq!(s.header.fps, spec.fps);
+    }
+
+    #[test]
+    fn bitrate_ordering_follows_motion() {
+        let spec = DatasetSpec { width: 128, height: 64, fps: 10, seconds: 2, qp: 26 };
+        let size = |d: Dataset| encode_dataset(d, &spec).payload_bytes();
+        let t = size(Dataset::Timelapse);
+        let c = size(Dataset::Coaster);
+        assert!(
+            t < c,
+            "low-motion timelapse ({t} B) must compress smaller than coaster ({c} B)"
+        );
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        let root =
+            std::env::temp_dir().join(format!("lightdb-ds-install-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let db = LightDb::open(&root).unwrap();
+        let spec = DatasetSpec::tiny();
+        let v1 = install(&db, Dataset::Timelapse, &spec).unwrap();
+        let v2 = install(&db, Dataset::Timelapse, &spec).unwrap();
+        assert_eq!(v1, v2);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn watermark_mostly_omega() {
+        let m = watermark_frame(64, 32);
+        let mut omega = 0;
+        let mut solid = 0;
+        for y in 0..32 {
+            for x in 0..64 {
+                if lightdb::exec::chunk::is_omega(m.get(x, y)) {
+                    omega += 1;
+                } else {
+                    solid += 1;
+                }
+            }
+        }
+        assert!(solid > 50, "the mark must be visible");
+        assert!(omega > solid, "the background must be transparent");
+    }
+}

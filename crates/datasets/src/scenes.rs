@@ -1,0 +1,219 @@
+//! Per-frame scene generators.
+//!
+//! Scenes are pure functions of `(width, height, frame index, fps)`,
+//! built from smooth pseudo-random fields (hash-based value noise) so
+//! they are deterministic, reasonably compressible, and exhibit the
+//! per-dataset motion statistics the experiments depend on.
+
+use lightdb_frame::{Frame, Yuv};
+
+/// A frame generator: `(width, height, frame_index, fps) → Frame`.
+pub type FrameGen = fn(usize, usize, usize, u32) -> Frame;
+
+/// 32-bit integer hash (Wang) used as the noise basis.
+#[inline]
+fn hash(mut x: u32) -> u32 {
+    x = (x ^ 61) ^ (x >> 16);
+    x = x.wrapping_add(x << 3);
+    x ^= x >> 4;
+    x = x.wrapping_mul(0x27d4_eb2d);
+    x ^ (x >> 15)
+}
+
+/// Smooth 2-D value noise in `[0, 1)` at integer lattice scale
+/// `cell` pixels, seeded by `seed`.
+fn value_noise(x: f64, y: f64, cell: f64, seed: u32) -> f64 {
+    let gx = x / cell;
+    let gy = y / cell;
+    let x0 = gx.floor() as i64;
+    let y0 = gy.floor() as i64;
+    let fx = gx - x0 as f64;
+    let fy = gy - y0 as f64;
+    let corner = |dx: i64, dy: i64| {
+        let h = hash(
+            (x0 + dx) as u32 ^ ((y0 + dy) as u32).rotate_left(16) ^ seed.wrapping_mul(0x9e37),
+        );
+        (h & 0xffff) as f64 / 65536.0
+    };
+    let sx = fx * fx * (3.0 - 2.0 * fx); // smoothstep
+    let sy = fy * fy * (3.0 - 2.0 * fy);
+    let top = corner(0, 0) * (1.0 - sx) + corner(1, 0) * sx;
+    let bot = corner(0, 1) * (1.0 - sx) + corner(1, 1) * sx;
+    top * (1.0 - sy) + bot * sy
+}
+
+/// "Timelapse": a static skyline under slowly drifting clouds and a
+/// slow global light change. Per-frame motion is tiny.
+pub fn timelapse_frame(w: usize, h: usize, i: usize, fps: u32) -> Frame {
+    let t = i as f64 / fps as f64;
+    let mut f = Frame::new(w, h);
+    let horizon = h * 5 / 8;
+    // Daylight drifts over minutes.
+    let light = 0.85 + 0.15 * (t * 0.02).sin();
+    for y in 0..h {
+        for x in 0..w {
+            let (luma, u, v) = if y < horizon {
+                // Sky with clouds drifting at 2 px/s.
+                let cloud = value_noise(x as f64 + t * 2.0, y as f64, 28.0, 11);
+                let sky = 150.0 + 70.0 * cloud;
+                (sky * light, 140u8, 110u8)
+            } else {
+                // Static textured ground/skyline.
+                let tex = value_noise(x as f64, y as f64, 9.0, 23);
+                let sil = value_noise(x as f64, 0.0, 40.0, 7);
+                let height_at = horizon + ((sil * (h - horizon) as f64) * 0.6) as usize;
+                let base = if y < height_at { 60.0 } else { 95.0 };
+                ((base + 35.0 * tex) * light, 125, 135)
+            };
+            f.set(x, y, Yuv::new(luma.clamp(0.0, 255.0) as u8, u, v));
+        }
+    }
+    f
+}
+
+/// "Venice": a canal scene with shimmering water and two gondolas
+/// drifting at a few pixels per second — moderate motion.
+pub fn venice_frame(w: usize, h: usize, i: usize, fps: u32) -> Frame {
+    let t = i as f64 / fps as f64;
+    let mut f = Frame::new(w, h);
+    let waterline = h / 2;
+    for y in 0..h {
+        for x in 0..w {
+            let (luma, u, v) = if y < waterline {
+                // Facades: static vertical stripes with texture.
+                let facade = value_noise(x as f64, y as f64, 16.0, 31);
+                let stripe = ((x / 24) % 3) as f64 * 18.0;
+                (90.0 + 60.0 * facade + stripe, 118, 140)
+            } else {
+                // Water: noise advected horizontally, shimmering.
+                let shim =
+                    value_noise(x as f64 + t * 12.0, y as f64 * 2.0 + t * 4.0, 10.0, 47);
+                (70.0 + 80.0 * shim, 150, 105)
+            };
+            f.set(x, y, Yuv::new(luma.clamp(0.0, 255.0) as u8, u, v));
+        }
+    }
+    // Gondolas: dark hulls drifting at ~w/30 px per second.
+    for (g, dir) in [(0usize, 1.0f64), (1, -1.0)] {
+        let speed = w as f64 / 30.0 * dir;
+        let gx =
+            ((t * speed + (g as f64 + 1.0) * w as f64 / 3.0).rem_euclid(w as f64)) as usize;
+        let gy = waterline + h / 8 + g * h / 10;
+        let (gw, gh) = (w / 10, h / 16);
+        for y in gy..(gy + gh).min(h) {
+            for x in 0..gw {
+                let px = (gx + x) % w;
+                f.set(px, y, Yuv::new(30, 120, 130));
+            }
+        }
+    }
+    f
+}
+
+/// "Coaster": the whole scene rolls horizontally (ego-motion on the
+/// track) with speed oscillating through the ride — high motion.
+pub fn coaster_frame(w: usize, h: usize, i: usize, fps: u32) -> Frame {
+    let t = i as f64 / fps as f64;
+    let mut f = Frame::new(w, h);
+    // Cumulative roll: speed varies between 0.3 and 1.7 screens/s.
+    let roll = (t + 0.35 * (t * 1.3).sin()) * w as f64 * 0.9;
+    for y in 0..h {
+        for x in 0..w {
+            let sx = x as f64 + roll;
+            let sky = y < h / 3;
+            let (luma, u, v) = if sky {
+                let c = value_noise(sx * 0.5, y as f64, 30.0, 3);
+                (170.0 + 50.0 * c, 140, 112)
+            } else {
+                // Track structure: repeating beams plus ground texture.
+                let beam = if ((sx / 18.0) as i64).rem_euclid(4) == 0 { 55.0 } else { 0.0 };
+                let ground = value_noise(sx, y as f64, 12.0, 91);
+                (70.0 + 75.0 * ground + beam, 122, 136)
+            };
+            f.set(x, y, Yuv::new(luma.clamp(0.0, 255.0) as u8, u, v));
+        }
+    }
+    f
+}
+
+/// A watermark frame: an "L▌DB"-ish block mark on a transparent (ω)
+/// background, usable as a TLF that is null outside the mark.
+pub fn watermark_frame(w: usize, h: usize) -> Frame {
+    let mut f = Frame::filled(w, h, crate::omega_color());
+    let ink = Yuv::new(235, 128, 128);
+    let cell_w = w / 8;
+    let cell_h = h / 4;
+    // Columns of an abstract "LDB" glyph set, as (col, row) cells.
+    let cells: &[(usize, usize)] = &[
+        // L
+        (0, 0),
+        (0, 1),
+        (0, 2),
+        (1, 2),
+        // D
+        (3, 0),
+        (3, 1),
+        (3, 2),
+        (4, 0),
+        (4, 2),
+        (5, 1),
+        // B (stem only, keeping the mark sparse)
+        (7, 0),
+        (7, 1),
+        (7, 2),
+    ];
+    for &(cx, cy) in cells {
+        for y in cy * cell_h..(cy + 1) * cell_h {
+            for x in cx * cell_w..(cx + 1) * cell_w {
+                if x < w && y < h {
+                    f.set(x, y, ink);
+                }
+            }
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightdb_frame::stats::{luma_variance, mean_luma};
+
+    #[test]
+    fn noise_is_smooth_and_bounded() {
+        for seed in [1u32, 77, 3003] {
+            for p in 0..50 {
+                let x = p as f64 * 1.7;
+                let a = value_noise(x, 5.0, 16.0, seed);
+                let b = value_noise(x + 0.5, 5.0, 16.0, seed);
+                assert!((0.0..1.0).contains(&a));
+                assert!((a - b).abs() < 0.25, "noise too rough: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn scenes_have_texture() {
+        // Flat frames would make codec benchmarks meaningless.
+        for gen in [timelapse_frame, venice_frame, coaster_frame] {
+            let f = gen(128, 64, 5, 30);
+            assert!(luma_variance(&f) > 200.0, "scene too flat: {}", luma_variance(&f));
+            let m = mean_luma(&f);
+            assert!((40.0..220.0).contains(&m), "implausible exposure {m}");
+        }
+    }
+
+    #[test]
+    fn coaster_rolls() {
+        let a = coaster_frame(128, 64, 0, 30);
+        let b = coaster_frame(128, 64, 15, 30);
+        assert!(lightdb_frame::stats::luma_mse(&a, &b) > 500.0, "coaster must move a lot");
+    }
+
+    #[test]
+    fn timelapse_nearly_static() {
+        let a = timelapse_frame(128, 64, 0, 30);
+        let b = timelapse_frame(128, 64, 1, 30);
+        assert!(lightdb_frame::stats::luma_mse(&a, &b) < 30.0, "timelapse must barely move");
+    }
+}

@@ -1,0 +1,466 @@
+//! # LightDB
+//!
+//! A database management system for virtual, augmented, and
+//! mixed-reality (VAMR) video, reproduced in Rust from
+//! *"LightDB: A DBMS for Virtual Reality Video"* (PVLDB 11(10), 2018)
+//! — the full-system successor of the SIGMOD 2017 *VisualCloud*
+//! demonstration.
+//!
+//! LightDB models all VAMR video as **temporal light fields (TLFs)**:
+//! logically continuous functions `L(x, y, z, t, θ, φ) → color` over
+//! six dimensions. Queries are written in **VRQL**, a declarative
+//! algebra with `>>` streaming composition, and a rule-based optimizer
+//! lowers them to physical plans that exploit GPU placement,
+//! GOP/tile/spatial indexes, and homomorphic operators that transform
+//! encoded video without decoding it.
+//!
+//! ```no_run
+//! use lightdb::prelude::*;
+//!
+//! let db = LightDb::open("/tmp/lightdb-demo")?;
+//! // Grayscale-transcode a stored TLF (Table 1 of the paper):
+//! let q = scan("panorama")
+//!     >> Map::builtin(BuiltinMap::Grayscale)
+//!     >> Encode::with(CodecKind::H264Sim);
+//! let out = db.execute(&q)?;
+//! println!("produced {} frames", out.frame_count());
+//! # Ok::<(), lightdb::Error>(())
+//! ```
+
+use lightdb_core::algebra::{LogicalOp, LogicalPlan};
+use lightdb_core::subgraph::{self, UdfRegistry};
+use lightdb_core::udf::{InterpUdf, MapUdf};
+use lightdb_core::vrql::VrqlExpr;
+use lightdb_exec::{Executor, Metrics, QueryOutput};
+use lightdb_optimizer::{Planner, PlannerOptions};
+use lightdb_storage::{BufferPool, Catalog, Snapshot};
+use std::path::Path;
+use std::sync::Arc;
+
+pub mod ingest;
+
+/// Everything a LightDB application typically needs.
+pub mod prelude {
+    pub use crate::{ingest::IngestConfig, Error, LightDb};
+    pub use lightdb_codec::{CodecKind, TileGrid};
+    pub use lightdb_core::udf::{BuiltinInterp, BuiltinMap, InterpUdf, MapUdf, PointMapUdf};
+    pub use lightdb_core::vrql::*;
+    pub use lightdb_core::{MergeFunction, Quality};
+    pub use lightdb_exec::QueryOutput;
+    pub use lightdb_frame::{Frame, Yuv};
+    pub use lightdb_geom::{Dimension, Interval, Point3, Volume};
+    pub use lightdb_optimizer::PlannerOptions;
+}
+
+// Re-export the component crates for advanced use.
+pub use lightdb_codec as codec;
+pub use lightdb_container as container;
+pub use lightdb_core as core;
+pub use lightdb_exec as exec;
+pub use lightdb_frame as frame;
+pub use lightdb_geom as geom;
+pub use lightdb_index as index;
+pub use lightdb_optimizer as optimizer;
+pub use lightdb_storage as storage;
+
+/// Unified error type.
+#[derive(Debug)]
+pub enum Error {
+    Storage(lightdb_storage::StorageError),
+    Plan(lightdb_optimizer::PlanError),
+    Exec(lightdb_exec::ExecError),
+    Codec(lightdb_codec::CodecError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Storage(e) => write!(f, "{e}"),
+            Error::Plan(e) => write!(f, "{e}"),
+            Error::Exec(e) => write!(f, "{e}"),
+            Error::Codec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<lightdb_storage::StorageError> for Error {
+    fn from(e: lightdb_storage::StorageError) -> Self {
+        Error::Storage(e)
+    }
+}
+
+impl From<lightdb_optimizer::PlanError> for Error {
+    fn from(e: lightdb_optimizer::PlanError) -> Self {
+        Error::Plan(e)
+    }
+}
+
+impl From<lightdb_exec::ExecError> for Error {
+    fn from(e: lightdb_exec::ExecError) -> Self {
+        Error::Exec(e)
+    }
+}
+
+impl From<lightdb_codec::CodecError> for Error {
+    fn from(e: lightdb_codec::CodecError) -> Self {
+        Error::Codec(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Default buffer-pool capacity: 64 MiB of encoded GOPs.
+pub const DEFAULT_POOL_BYTES: usize = 64 << 20;
+
+/// A LightDB database handle.
+pub struct LightDb {
+    catalog: Arc<Catalog>,
+    pool: Arc<BufferPool>,
+    options: PlannerOptions,
+    metrics: Metrics,
+    udfs: UdfRegistry,
+}
+
+impl LightDb {
+    /// Opens (or initialises) a database rooted at `path` with the
+    /// default optimiser settings.
+    pub fn open(path: impl AsRef<Path>) -> Result<LightDb> {
+        Self::with_options(path, PlannerOptions::default())
+    }
+
+    /// Opens with explicit optimiser options (used by the ablation
+    /// benchmarks).
+    pub fn with_options(path: impl AsRef<Path>, options: PlannerOptions) -> Result<LightDb> {
+        Ok(LightDb {
+            catalog: Arc::new(Catalog::open(path.as_ref().to_path_buf())?),
+            pool: Arc::new(BufferPool::new(DEFAULT_POOL_BYTES)),
+            options,
+            metrics: Metrics::new(),
+            udfs: UdfRegistry::new(),
+        })
+    }
+
+    /// The catalog (for inspection and direct ingest).
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The buffer pool (for cache statistics).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Current optimiser options.
+    pub fn options(&self) -> PlannerOptions {
+        self.options
+    }
+
+    /// Replaces the optimiser options.
+    pub fn set_options(&mut self, options: PlannerOptions) {
+        self.options = options;
+    }
+
+    /// Cumulative per-operator execution metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Registers a custom `MAP` UDF so view subgraphs referencing it
+    /// by name can be re-instantiated at scan time.
+    pub fn register_map_udf(&mut self, udf: std::sync::Arc<dyn MapUdf>) {
+        self.udfs.register_map(udf);
+    }
+
+    /// Registers a custom `INTERPOLATE` UDF (see
+    /// [`LightDb::register_map_udf`]).
+    pub fn register_interp_udf(&mut self, udf: std::sync::Arc<dyn InterpUdf>) {
+        self.udfs.register_interp(udf);
+    }
+
+    /// Executes a VRQL query as one transaction with snapshot
+    /// isolation and returns its output.
+    ///
+    /// Two transformations implement the paper's *partially
+    /// materialised views* (Section 4.1): a `STORE` whose input is
+    /// continuous (ends in `INTERPOLATE`) materialises only the
+    /// discrete prefix and records the remaining operator subgraph in
+    /// the TLF's metadata; a `SCAN` of such a TLF transparently
+    /// re-applies the recorded subgraph.
+    pub fn execute(&self, query: &VrqlExpr) -> Result<QueryOutput> {
+        // Pin a snapshot and resolve unversioned scans against it,
+        // splicing stored view subgraphs in as we go.
+        let snapshot = Snapshot::begin(&self.catalog);
+        let pinned = self.resolve_scans(query.plan().clone(), &snapshot)?;
+        if let LogicalOp::Store { name } = &pinned.op {
+            snapshot.note_write(name)?;
+        }
+        // Peel a continuous suffix off STOREs (opt-in policy).
+        let (pinned, view_subgraph) = if self.options.defer_continuous {
+            peel_view_subgraph(pinned)
+        } else {
+            (pinned, None)
+        };
+        let planner = Planner::new(self.catalog.clone(), self.options);
+        let mut physical = planner.plan(&pinned)?;
+        if let Some(bytes) = &view_subgraph {
+            if let lightdb_exec::PhysicalPlan::Store { view_subgraph: vs, .. } = &mut physical {
+                *vs = Some(bytes.clone());
+            }
+        }
+        let mut executor = Executor::new(self.catalog.clone(), self.pool.clone());
+        executor.metrics = self.metrics.clone();
+        executor.spatial_index = self.options.use_indexes;
+        let out = executor.run(&physical)?;
+        if let QueryOutput::Stored { name, version } = &out {
+            snapshot.expose(name, *version);
+        }
+        Ok(out)
+    }
+
+    /// Resolves unversioned scans to the snapshot's pinned versions
+    /// and splices in stored view subgraphs.
+    fn resolve_scans(&self, plan: LogicalPlan, snapshot: &Snapshot<'_>) -> Result<LogicalPlan> {
+        let LogicalPlan { op, inputs } = plan;
+        let op = match op {
+            LogicalOp::Scan { name, version }
+                if name != lightdb_optimizer::lower::SUBQUERY_INPUT =>
+            {
+                let version = match version {
+                    Some(v) => Some(v),
+                    None => snapshot.pinned_version(&name),
+                };
+                // A continuous TLF carries the operators still to be
+                // applied over its materialised prefix.
+                if let Some(v) = version {
+                    if let Ok(stored) = self.catalog.read(&name, Some(v)) {
+                        if let Some(bytes) = &stored.metadata.tlf.view_subgraph {
+                            let view = subgraph::deserialize(bytes, &self.udfs)
+                                .map_err(lightdb_optimizer::PlanError::Core)?;
+                            let scan = LogicalPlan::leaf(LogicalOp::Scan {
+                                name: name.clone(),
+                                version: Some(v),
+                            });
+                            return Ok(splice_materialized(view, &scan));
+                        }
+                    }
+                }
+                LogicalOp::Scan { name, version }
+            }
+            other => other,
+        };
+        let inputs = inputs
+            .into_iter()
+            .map(|p| self.resolve_scans(p, snapshot))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(LogicalPlan { op, inputs })
+    }
+
+    /// Returns the optimised physical plan for a query, as text —
+    /// LightDB's `EXPLAIN`.
+    pub fn explain(&self, query: &VrqlExpr) -> Result<String> {
+        let planner = Planner::new(self.catalog.clone(), self.options);
+        Ok(planner.plan(query.plan())?.to_string())
+    }
+}
+
+/// Replaces `SCAN($materialized)` leaves of a view subgraph with the
+/// scan of the materialised TLF.
+fn splice_materialized(view: LogicalPlan, scan: &LogicalPlan) -> LogicalPlan {
+    let LogicalPlan { op, inputs } = view;
+    if let LogicalOp::Scan { name, .. } = &op {
+        if name == subgraph::MATERIALIZED {
+            return scan.clone();
+        }
+    }
+    let inputs = inputs.into_iter().map(|p| splice_materialized(p, scan)).collect();
+    LogicalPlan { op, inputs }
+}
+
+/// Splits `STORE(continuous-suffix(X))` into `STORE(X)` plus the
+/// serialised suffix. The suffix is the chain of serialisable unary
+/// operators from the store's input down to (and including) the last
+/// `INTERPOLATE` — the paper's "latest point where it becomes
+/// continuous". Queries without such a suffix store discretely.
+fn peel_view_subgraph(plan: LogicalPlan) -> (LogicalPlan, Option<Vec<u8>>) {
+    let LogicalOp::Store { name } = &plan.op else { return (plan, None) };
+    let name = name.clone();
+    let child = &plan.inputs[0];
+    // Collect the unary serialisable chain below the store.
+    let mut chain: Vec<&LogicalPlan> = Vec::new();
+    let mut cursor = child;
+    let mut last_interp: Option<usize> = None;
+    loop {
+        let serialisable = matches!(
+            cursor.op,
+            LogicalOp::Interpolate { .. }
+                | LogicalOp::Map { .. }
+                | LogicalOp::Select { .. }
+                | LogicalOp::Discretize { .. }
+                | LogicalOp::Rotate { .. }
+                | LogicalOp::Translate { .. }
+        ) && cursor.inputs.len() == 1;
+        if !serialisable {
+            break;
+        }
+        chain.push(cursor);
+        if matches!(cursor.op, LogicalOp::Interpolate { .. }) {
+            last_interp = Some(chain.len());
+        }
+        cursor = &cursor.inputs[0];
+    }
+    let Some(cut) = last_interp else { return (plan, None) };
+    // Rebuild the suffix over SCAN($materialized); abandon peeling if
+    // any node fails to serialise (e.g. stencils).
+    let mut suffix = LogicalPlan::leaf(LogicalOp::Scan {
+        name: subgraph::MATERIALIZED.into(),
+        version: None,
+    });
+    for node in chain[..cut].iter().rev() {
+        suffix = LogicalPlan { op: node.op.clone(), inputs: vec![suffix] };
+    }
+    let Ok(bytes) = subgraph::serialize(&suffix) else { return (plan, None) };
+    // The store's new input is whatever lies below the last INTERPOLATE.
+    let materialize = chain[cut - 1].inputs[0].clone();
+    (
+        LogicalPlan::unary(LogicalOp::Store { name }, materialize),
+        Some(bytes),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lightdb-db-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn demo_frames(n: usize) -> Vec<Frame> {
+        (0..n)
+            .map(|i| {
+                let mut f = Frame::new(64, 32);
+                for y in 0..32 {
+                    for x in 0..64 {
+                        f.set(x, y, Yuv::new(((x * 2 + y + i * 3) % 256) as u8, 100, 180));
+                    }
+                }
+                f
+            })
+            .collect()
+    }
+
+    #[test]
+    fn open_ingest_query_roundtrip() {
+        let db = LightDb::open(temp_root("roundtrip")).unwrap();
+        ingest::store_frames(
+            &db,
+            "demo",
+            &demo_frames(8),
+            &ingest::IngestConfig { fps: 4, gop_length: 4, ..Default::default() },
+        )
+        .unwrap();
+        let q = scan("demo") >> Map::builtin(BuiltinMap::Grayscale);
+        let out = db.execute(&q).unwrap();
+        assert_eq!(out.frame_count(), 8);
+        let QueryOutput::Frames(parts) = out else { panic!() };
+        let c = parts[0].1[0].get(5, 5);
+        assert!((c.u as i32 - 128).abs() <= 8);
+        fs::remove_dir_all(db.catalog().root()).unwrap();
+    }
+
+    #[test]
+    fn explain_shows_physical_plan() {
+        let db = LightDb::open(temp_root("explain")).unwrap();
+        ingest::store_frames(
+            &db,
+            "demo",
+            &demo_frames(4),
+            &ingest::IngestConfig { fps: 2, gop_length: 2, ..Default::default() },
+        )
+        .unwrap();
+        let q = scan("demo") >> Select::along(Dimension::T, 0.0, 1.0);
+        let plan = db.explain(&q).unwrap();
+        assert!(plan.contains("GOPSELECT"), "{plan}");
+        fs::remove_dir_all(db.catalog().root()).unwrap();
+    }
+
+    #[test]
+    fn store_and_scan_back() {
+        let db = LightDb::open(temp_root("store")).unwrap();
+        ingest::store_frames(
+            &db,
+            "src",
+            &demo_frames(4),
+            &ingest::IngestConfig { fps: 2, gop_length: 2, ..Default::default() },
+        )
+        .unwrap();
+        let q = scan("src") >> Map::builtin(BuiltinMap::Blur) >> Store::named("dst");
+        let QueryOutput::Stored { name, version } = db.execute(&q).unwrap() else { panic!() };
+        assert_eq!((name.as_str(), version), ("dst", 1));
+        let out = db.execute(&scan("dst")).unwrap();
+        assert_eq!(out.frame_count(), 4);
+        fs::remove_dir_all(db.catalog().root()).unwrap();
+    }
+
+    #[test]
+    fn ddl_through_the_engine() {
+        let db = LightDb::open(temp_root("engineddl")).unwrap();
+        db.execute(&create("fresh")).unwrap();
+        assert!(db.catalog().exists("fresh"));
+        db.execute(&drop_tlf("fresh")).unwrap();
+        assert!(!db.catalog().exists("fresh"));
+    }
+
+    #[test]
+    fn snapshot_pins_scan_versions() {
+        let db = LightDb::open(temp_root("snapshot")).unwrap();
+        ingest::store_frames(
+            &db,
+            "src",
+            &demo_frames(2),
+            &ingest::IngestConfig { fps: 2, gop_length: 2, ..Default::default() },
+        )
+        .unwrap();
+        // Store version 2 with different content.
+        let brighter: Vec<Frame> = demo_frames(2)
+            .into_iter()
+            .map(|f| lightdb_frame::kernels::contrast(&f, 1.5))
+            .collect();
+        ingest::store_frames(
+            &db,
+            "src",
+            &brighter,
+            &ingest::IngestConfig { fps: 2, gop_length: 2, ..Default::default() },
+        )
+        .unwrap();
+        // Explicit version scans see each version.
+        let v1 = db.execute(&scan_version("src", 1)).unwrap();
+        let v2 = db.execute(&scan_version("src", 2)).unwrap();
+        assert_eq!(v1.frame_count(), 2);
+        assert_eq!(v2.frame_count(), 2);
+        fs::remove_dir_all(db.catalog().root()).unwrap();
+    }
+
+    #[test]
+    fn metrics_accumulate_across_queries() {
+        let db = LightDb::open(temp_root("metrics")).unwrap();
+        ingest::store_frames(
+            &db,
+            "src",
+            &demo_frames(2),
+            &ingest::IngestConfig { fps: 2, gop_length: 2, ..Default::default() },
+        )
+        .unwrap();
+        db.execute(&(scan("src") >> Map::builtin(BuiltinMap::Blur))).unwrap();
+        assert!(db.metrics().count("MAP") >= 1);
+        assert!(db.metrics().count("DECODE") >= 1);
+        fs::remove_dir_all(db.catalog().root()).unwrap();
+    }
+}

@@ -1,0 +1,1278 @@
+//! Decoded-domain physical operators.
+//!
+//! These operators work on chunks whose payload is device-resident
+//! frames. CPU variants are sequential reference implementations;
+//! GPU variants parallelise across rows (row-parallel kernels) or
+//! across frames, and the GPU encoder uses a hardware-style narrow
+//! motion search.
+
+use crate::chunk::{is_omega, Chunk, ChunkPayload, TimeGrouped};
+use crate::device::{gpu_map, gpu_row_kernel, transfer_frames, Device};
+use crate::metrics::Metrics;
+use crate::{ChunkStream, ExecError, Result};
+use lightdb_codec::encoder::encode_tile_opts;
+use lightdb_codec::gop::{EncodedFrame, EncodedGop, FrameType};
+use lightdb_codec::{CodecKind, Decoder, SequenceHeader, TileGrid};
+use lightdb_core::algebra::{MergeFunction, VolumePredicate};
+use lightdb_core::udf::{BuiltinInterp, InterpFunction, MapFunction};
+use lightdb_frame::{Frame, Yuv};
+use lightdb_geom::{Dimension, Interval, Volume};
+
+/// Narrow motion-search range used by the simulated hardware (GPU)
+/// encoder, mirroring NVENC's speed-over-density trade-off.
+pub const GPU_SEARCH_RANGE: i32 = 4;
+
+// ------------------------------------------------------------------ decode
+
+/// `DECODE`: encoded chunks → decoded frames on `device`. The GPU
+/// variant decodes a tiled frame's tiles in parallel.
+pub fn decode_chunks(input: ChunkStream, device: Device, metrics: Metrics) -> ChunkStream {
+    Box::new(input.map(move |c| {
+        let c = c?;
+        match c.payload {
+            ChunkPayload::Decoded { .. } => Ok(c), // already decoded
+            ChunkPayload::Encoded { header, ref gop } => {
+                let frames = metrics.time("DECODE", || -> Result<Vec<Frame>> {
+                    let dec = Decoder::new();
+                    if device == Device::Gpu && header.grid.tile_count() > 1 {
+                        // Parallel per-tile decode, then blit.
+                        let tiles: Vec<usize> = (0..header.grid.tile_count()).collect();
+                        let parts = gpu_map(tiles, |_, t| {
+                            dec.decode_gop_tile(&header, gop, t).map(|fs| (t, fs))
+                        });
+                        let mut frames =
+                            vec![Frame::new(header.width, header.height); gop.frame_count()];
+                        for r in parts {
+                            let (t, fs) = r?;
+                            let rect = header.grid.tile_rect(t, header.width, header.height);
+                            for (f, tf) in frames.iter_mut().zip(fs.iter()) {
+                                f.blit(tf, rect.x0, rect.y0);
+                            }
+                        }
+                        Ok(frames)
+                    } else {
+                        Ok(dec.decode_gop(&header, gop)?)
+                    }
+                })?;
+                Ok(Chunk {
+                    payload: ChunkPayload::Decoded { frames, device },
+                    ..c
+                })
+            }
+        }
+    }))
+}
+
+// ------------------------------------------------------------------ encode
+
+/// `ENCODE`: decoded chunks → encoded chunks (one GOP per chunk).
+/// The GPU variant uses the narrow hardware-style motion search.
+pub fn encode_chunks(
+    input: ChunkStream,
+    device: Device,
+    codec: CodecKind,
+    qp: u8,
+    metrics: Metrics,
+) -> ChunkStream {
+    Box::new(input.map(move |c| {
+        let c = c?;
+        match c.payload {
+            ChunkPayload::Encoded { .. } => Ok(c), // already encoded
+            ChunkPayload::Decoded { ref frames, .. } => {
+                metrics.time("ENCODE", || encode_one_gop(&c, frames, device, codec, qp))
+            }
+        }
+    }))
+}
+
+/// Encodes one chunk's frames as a single GOP. Exposed for the
+/// executor's auto-encode at `STORE`.
+pub fn encode_one_gop(
+    c: &Chunk,
+    frames: &[Frame],
+    device: Device,
+    codec: CodecKind,
+    qp: u8,
+) -> Result<Chunk> {
+    let first = frames
+        .first()
+        .ok_or_else(|| ExecError::Other("encode of empty chunk".into()))?;
+    let (w, h) = (first.width(), first.height());
+    TileGrid::SINGLE.validate(w, h)?;
+    let search = if device == Device::Gpu { GPU_SEARCH_RANGE } else { codec.search_range() };
+    let mut gop_frames = Vec::with_capacity(frames.len());
+    let mut reference: Option<Frame> = None;
+    for f in frames {
+        let (payload, recon) = match &reference {
+            None => encode_tile_opts(f, None, qp, codec, search),
+            Some(r) => encode_tile_opts(f, Some(r), qp, codec, search),
+        };
+        let ftype = if reference.is_none() { FrameType::Key } else { FrameType::Predicted };
+        reference = Some(recon);
+        gop_frames.push(EncodedFrame { frame_type: ftype, tiles: vec![payload] });
+    }
+    let header = SequenceHeader {
+        codec,
+        width: w,
+        height: h,
+        fps: c.info.fps,
+        gop_length: frames.len().max(1),
+        grid: TileGrid::SINGLE,
+    };
+    Ok(Chunk {
+        payload: ChunkPayload::Encoded { header, gop: EncodedGop { frames: gop_frames } },
+        ..c.clone()
+    })
+}
+
+// ------------------------------------------------------------------ transfer
+
+/// `TRANSFER`: deep-copies decoded frames onto another device.
+pub fn transfer(input: ChunkStream, to: Device, metrics: Metrics) -> ChunkStream {
+    Box::new(input.map(move |c| {
+        let c = c?;
+        match c.payload {
+            ChunkPayload::Decoded { ref frames, device } if device != to => {
+                let copied = metrics.time("TRANSFER", || transfer_frames(frames));
+                Ok(Chunk { payload: ChunkPayload::Decoded { frames: copied, device: to }, ..c })
+            }
+            _ => Ok(c),
+        }
+    }))
+}
+
+// ------------------------------------------------------------------ select
+
+/// `SELECT` over decoded chunks: temporal trim, angular crop, and
+/// spatial part filtering (including light-slab uv sampling).
+pub fn select_frames(
+    input: ChunkStream,
+    predicate: VolumePredicate,
+    _device: Device,
+    metrics: Metrics,
+) -> ChunkStream {
+    Box::new(input.filter_map(move |c| {
+        let c = match c {
+            Err(e) => return Some(Err(e)),
+            Ok(c) => c,
+        };
+        metrics
+            .time("SELECT", || select_one(c, &predicate))
+            .transpose()
+    }))
+}
+
+fn select_one(c: Chunk, predicate: &VolumePredicate) -> Result<Option<Chunk>> {
+    // Slab spatial sampling: a point selection on x/y picks uv samples.
+    if let Some(slab) = c.info.slab {
+        if let (Some(xi), yi) = (predicate.get(Dimension::X), predicate.get(Dimension::Y)) {
+            if xi.is_point() {
+                return slab_point_select(c, slab, xi.lo(), yi.map(|i| i.lo()).unwrap_or(0.0), predicate);
+            }
+        }
+    }
+    let restricted = match predicate.apply(&c.volume) {
+        None => return Ok(None),
+        Some(v) => v,
+    };
+    if restricted == c.volume {
+        return Ok(Some(c));
+    }
+    let ChunkPayload::Decoded { frames, device } = c.payload else {
+        return Err(ExecError::Domain(
+            "frame-level SELECT requires decoded input (planner bug)".into(),
+        ));
+    };
+    // Temporal trim at frame granularity.
+    let t0 = c.volume.t().lo();
+    let fps = c.info.fps as f64;
+    let lo_f = (((restricted.t().lo() - t0) * fps).round() as usize).min(frames.len());
+    let hi_f = (((restricted.t().hi() - t0) * fps).round() as usize).clamp(lo_f, frames.len());
+    let mut frames: Vec<Frame> = frames[lo_f..hi_f.max(lo_f + 1).min(frames.len().max(1))].to_vec();
+    if frames.is_empty() {
+        return Ok(None);
+    }
+    // Angular crop (equirectangular): θ→x, φ→y.
+    let (w, h) = (frames[0].width(), frames[0].height());
+    let th = c.volume.theta();
+    let ph = c.volume.phi();
+    let fx0 = (restricted.theta().lo() - th.lo()) / th.length().max(1e-12);
+    let fx1 = (restricted.theta().hi() - th.lo()) / th.length().max(1e-12);
+    let fy0 = (restricted.phi().lo() - ph.lo()) / ph.length().max(1e-12);
+    let fy1 = (restricted.phi().hi() - ph.lo()) / ph.length().max(1e-12);
+    let mut x0 = ((fx0 * w as f64) as usize) & !1;
+    let mut x1 = (((fx1 * w as f64).ceil() as usize).min(w) + 1) & !1;
+    let mut y0 = ((fy0 * h as f64) as usize) & !1;
+    let mut y1 = (((fy1 * h as f64).ceil() as usize).min(h) + 1) & !1;
+    x1 = x1.min(w);
+    y1 = y1.min(h);
+    if x1 <= x0 {
+        x0 = 0;
+        x1 = 2.min(w);
+    }
+    if y1 <= y0 {
+        y0 = 0;
+        y1 = 2.min(h);
+    }
+    if (x0, x1, y0, y1) != (0, w, 0, h) {
+        frames = frames.into_iter().map(|f| f.crop(x0, y0, x1 - x0, y1 - y0)).collect();
+    }
+    // Exact pixel-aligned angular coverage.
+    let theta_iv = Interval::new(
+        th.lo() + th.length() * x0 as f64 / w as f64,
+        th.lo() + th.length() * x1 as f64 / w as f64,
+    );
+    let phi_iv = Interval::new(
+        ph.lo() + ph.length() * y0 as f64 / h as f64,
+        ph.lo() + ph.length() * y1 as f64 / h as f64,
+    );
+    let t_iv = Interval::new(t0 + lo_f as f64 / fps, t0 + (lo_f + frames.len()) as f64 / fps);
+    let volume = restricted
+        .with(Dimension::Theta, theta_iv)
+        .with(Dimension::Phi, phi_iv)
+        .with(Dimension::T, t_iv);
+    Ok(Some(Chunk { volume, payload: ChunkPayload::Decoded { frames, device }, ..c }))
+}
+
+/// Light-slab monoscopic point selection: pick the uv sample nearest
+/// the requested position; the chunk's frames collapse to one.
+fn slab_point_select(
+    c: Chunk,
+    slab: crate::chunk::SlabInfo,
+    x: f64,
+    y: f64,
+    predicate: &VolumePredicate,
+) -> Result<Option<Chunk>> {
+    // Temporal constraint still applies at chunk granularity.
+    if let Some(t) = predicate.get(Dimension::T) {
+        if c.volume.t().intersect(&t).is_none() {
+            return Ok(None);
+        }
+    }
+    let ChunkPayload::Decoded { frames, device } = c.payload else {
+        return Err(ExecError::Domain("slab SELECT requires decoded input".into()));
+    };
+    let idx = slab.nearest_sample(x, y);
+    let frame = frames
+        .get(idx)
+        .ok_or_else(|| ExecError::Other(format!("slab sample {idx} missing")))?
+        .clone();
+    let volume = c
+        .volume
+        .with(Dimension::X, Interval::point(x))
+        .with(Dimension::Y, Interval::point(y));
+    let mut info = c.info;
+    info.slab = None; // the result is a single view, not a slab
+    info.position = lightdb_geom::Point3::new(x, y, c.info.position.z);
+    Ok(Some(Chunk {
+        volume,
+        info,
+        payload: ChunkPayload::Decoded { frames: vec![frame], device },
+        ..c
+    }))
+}
+
+// ------------------------------------------------------------------ map
+
+/// `MAP`: apply a UDF to every frame. GPU: row-parallel for kernels
+/// that support it, frame-parallel otherwise.
+pub fn map_frames(
+    input: ChunkStream,
+    f: MapFunction,
+    device: Device,
+    metrics: Metrics,
+) -> ChunkStream {
+    Box::new(input.map(move |c| {
+        let c = c?;
+        let ChunkPayload::Decoded { frames, device: d } = c.payload else {
+            return Err(ExecError::Domain("MAP requires decoded input (planner bug)".into()));
+        };
+        let out = metrics.time("MAP", || apply_map(&f, frames, device));
+        Ok(Chunk { payload: ChunkPayload::Decoded { frames: out, device: d }, ..c })
+    }))
+}
+
+fn apply_map(f: &MapFunction, frames: Vec<Frame>, device: Device) -> Vec<Frame> {
+    match f {
+        MapFunction::Builtin(b) => {
+            use lightdb_core::udf::MapUdf;
+            if device == Device::Gpu && b.parallelizable() {
+                frames
+                    .iter()
+                    .map(|fr| gpu_row_kernel(fr, |s, d, lo, hi| b.apply_rows(s, d, lo, hi)))
+                    .collect()
+            } else {
+                frames.iter().map(|fr| b.apply(fr)).collect()
+            }
+        }
+        MapFunction::Custom(u) => {
+            if device == Device::Gpu && frames.len() > 1 {
+                gpu_map(frames, |_, fr| u.apply(&fr))
+            } else {
+                frames.iter().map(|fr| u.apply(fr)).collect()
+            }
+        }
+        MapFunction::Point(_) => {
+            // Point UDFs are evaluated via apply_point_map by the
+            // executor, which knows the chunk volume; reaching here
+            // means the planner skipped that path.
+            frames
+        }
+    }
+}
+
+/// Evaluates a point-granular UDF over a chunk, supplying each
+/// pixel's 6-D coordinates through the equirectangular mapping.
+pub fn apply_point_map(
+    c: &Chunk,
+    udf: &dyn lightdb_core::udf::PointMapUdf,
+) -> Result<Chunk> {
+    let ChunkPayload::Decoded { frames, device } = &c.payload else {
+        return Err(ExecError::Domain("point MAP requires decoded input".into()));
+    };
+    let th = c.volume.theta();
+    let ph = c.volume.phi();
+    let t0 = c.volume.t().lo();
+    let fps = c.info.fps as f64;
+    let pos = c.info.position;
+    let out: Vec<Frame> = frames
+        .iter()
+        .enumerate()
+        .map(|(fi, fr)| {
+            let (w, h) = (fr.width(), fr.height());
+            let mut o = fr.clone();
+            let t = t0 + fi as f64 / fps;
+            for y in 0..h {
+                let phi = ph.lo() + ph.length() * (y as f64 + 0.5) / h as f64;
+                for x in 0..w {
+                    let theta = th.lo() + th.length() * (x as f64 + 0.5) / w as f64;
+                    let p = lightdb_geom::Point6::new(pos.x, pos.y, pos.z, t, theta, phi);
+                    o.set(x, y, udf.eval(&p, fr.get(x, y)));
+                }
+            }
+            o
+        })
+        .collect();
+    Ok(Chunk { payload: ChunkPayload::Decoded { frames: out, device: *device }, ..c.clone() })
+}
+
+// ------------------------------------------------------------------ discretize
+
+/// `DISCRETIZE`: angular steps resample resolution; a temporal step
+/// decimates frames.
+pub fn discretize_frames(
+    input: ChunkStream,
+    steps: Vec<(Dimension, f64)>,
+    _device: Device,
+    metrics: Metrics,
+) -> ChunkStream {
+    Box::new(input.map(move |c| {
+        let c = c?;
+        metrics.time("DISCRETIZE", || discretize_one(c, &steps))
+    }))
+}
+
+fn discretize_one(c: Chunk, steps: &[(Dimension, f64)]) -> Result<Chunk> {
+    let ChunkPayload::Decoded { mut frames, device } = c.payload else {
+        return Err(ExecError::Domain("DISCRETIZE requires decoded input".into()));
+    };
+    let mut info = c.info;
+    let mut target_w: Option<usize> = None;
+    let mut target_h: Option<usize> = None;
+    for (dim, step) in steps {
+        match dim {
+            Dimension::Theta => {
+                let n = (c.volume.theta().length() / step).round().max(2.0) as usize;
+                target_w = Some(n & !1);
+            }
+            Dimension::Phi => {
+                let n = (c.volume.phi().length() / step).round().max(2.0) as usize;
+                target_h = Some(n & !1);
+            }
+            Dimension::T => {
+                let keep_every = (step * info.fps as f64).round().max(1.0) as usize;
+                frames = frames.into_iter().step_by(keep_every).collect();
+                info.fps = (info.fps as usize / keep_every).max(1) as u32;
+            }
+            _ => {
+                return Err(ExecError::Domain(format!(
+                    "DISCRETIZE along {dim} is not supported for video-backed TLFs"
+                )))
+            }
+        }
+    }
+    if target_w.is_some() || target_h.is_some() {
+        let (w0, h0) = (frames[0].width(), frames[0].height());
+        let w = target_w.unwrap_or(w0).max(2);
+        let h = target_h.unwrap_or(h0).max(2);
+        if (w, h) != (w0, h0) {
+            frames = frames.into_iter().map(|f| f.resize(w, h)).collect();
+        }
+    }
+    Ok(Chunk { info, payload: ChunkPayload::Decoded { frames, device }, ..c })
+}
+
+// ------------------------------------------------------------------ partition / flatten
+
+/// `PARTITION` over decoded chunks: angular specs crop each chunk
+/// into a tile grid (tiles become parts); a temporal spec must align
+/// with the chunk (GOP) granularity, where it is a logical no-op.
+/// Encoded chunks pass through when only temporally partitioned.
+pub fn partition_chunks(
+    input: ChunkStream,
+    spec: Vec<(Dimension, f64)>,
+    metrics: Metrics,
+) -> ChunkStream {
+    let mut pending: Vec<Chunk> = Vec::new();
+    let mut input = input;
+    Box::new(std::iter::from_fn(move || loop {
+        if let Some(c) = pending.pop() {
+            return Some(Ok(c));
+        }
+        let c = match input.next()? {
+            Err(e) => return Some(Err(e)),
+            Ok(c) => c,
+        };
+        match metrics.time("PARTITION", || partition_one(c, &spec)) {
+            Err(e) => return Some(Err(e)),
+            Ok(mut chunks) => {
+                chunks.reverse();
+                pending = chunks;
+            }
+        }
+    }))
+}
+
+fn partition_one(c: Chunk, spec: &[(Dimension, f64)]) -> Result<Vec<Chunk>> {
+    let mut cols = 1usize;
+    let mut rows = 1usize;
+    for (dim, delta) in spec {
+        match dim {
+            Dimension::T => {
+                let d = c.volume.t().length();
+                if *delta + 1e-9 < d {
+                    return Err(ExecError::Domain(format!(
+                        "temporal partition Δt={delta} finer than chunk duration {d}; \
+                         re-encode with a shorter GOP"
+                    )));
+                }
+                // Δt ≥ chunk duration: each chunk already is a partition.
+            }
+            Dimension::Theta => {
+                cols = (c.volume.theta().length() / delta).round().max(1.0) as usize;
+            }
+            Dimension::Phi => {
+                rows = (c.volume.phi().length() / delta).round().max(1.0) as usize;
+            }
+            _ => {
+                return Err(ExecError::Domain(format!(
+                    "PARTITION along {dim} is not supported for single-point TLFs"
+                )))
+            }
+        }
+    }
+    if cols == 1 && rows == 1 {
+        return Ok(vec![c]);
+    }
+    let ChunkPayload::Decoded { frames, device } = c.payload else {
+        return Err(ExecError::Domain(
+            "angular PARTITION requires decoded input (planner bug)".into(),
+        ));
+    };
+    let (w, h) = (frames[0].width(), frames[0].height());
+    if w % cols != 0 || h % rows != 0 || !(w / cols).is_multiple_of(2) || !(h / rows).is_multiple_of(2) {
+        return Err(ExecError::Domain(format!(
+            "frame {w}×{h} does not partition into {cols}×{rows} even tiles"
+        )));
+    }
+    let (tw, thh) = (w / cols, h / rows);
+    let grid = TileGrid::new(cols, rows);
+    let mut out = Vec::with_capacity(cols * rows);
+    for tile in 0..cols * rows {
+        let (col, row) = (tile % cols, tile / cols);
+        let tile_frames: Vec<Frame> =
+            frames.iter().map(|f| f.crop(col * tw, row * thh, tw, thh)).collect();
+        out.push(Chunk {
+            t_index: c.t_index,
+            part: c.part * cols * rows + tile,
+            volume: crate::hops::tile_volume(&c.volume, &grid, tile),
+            info: c.info,
+            payload: ChunkPayload::Decoded { frames: tile_frames, device },
+        });
+    }
+    Ok(out)
+}
+
+/// `FLATTEN`: composite each time step's parts back into one part.
+pub fn flatten_chunks(input: ChunkStream, metrics: Metrics) -> ChunkStream {
+    let grouped = TimeGrouped::new(input);
+    Box::new(grouped.map(move |g| {
+        let group = g?;
+        metrics.time("FLATTEN", || composite_group(group, &MergeFunction::Last)).map(
+            |mut parts| {
+                debug_assert!(!parts.is_empty());
+                parts.swap_remove(0)
+            },
+        )
+    }))
+}
+
+// ------------------------------------------------------------------ union
+
+/// `UNION` over decoded chunks: a k-way merge of the inputs' time
+/// steps; co-temporal parts at the same spatial point are composited
+/// with the merge function (the null token ω marks transparent
+/// pixels).
+pub fn union_frames(
+    inputs: Vec<ChunkStream>,
+    merge: MergeFunction,
+    _device: Device,
+    metrics: Metrics,
+) -> ChunkStream {
+    let mut grouped: Vec<std::iter::Peekable<TimeGrouped>> =
+        inputs.into_iter().map(|s| TimeGrouped::new(s).peekable()).collect();
+    let mut outbox: Vec<Chunk> = Vec::new();
+    Box::new(std::iter::from_fn(move || loop {
+        if let Some(c) = outbox.pop() {
+            return Some(Ok(c));
+        }
+        // Find the smallest t_index among peeked groups.
+        let mut min_t: Option<usize> = None;
+        for g in grouped.iter_mut() {
+            match g.peek() {
+                None => {}
+                Some(Err(_)) => {
+                    // Surface the error.
+                    return g.next().map(|r| r.map(|_| unreachable!()));
+                }
+                Some(Ok(group)) => {
+                    let t = group[0].t_index;
+                    min_t = Some(min_t.map_or(t, |m: usize| m.min(t)));
+                }
+            }
+        }
+        let t = min_t?;
+        let mut merged: Vec<Chunk> = Vec::new();
+        for g in grouped.iter_mut() {
+            if matches!(g.peek(), Some(Ok(group)) if group[0].t_index == t) {
+                match g.next().unwrap() {
+                    Ok(group) => merged.extend(group),
+                    Err(e) => return Some(Err(e)),
+                }
+            }
+        }
+        match metrics.time("UNION", || composite_group(merged, &merge)) {
+            Err(e) => return Some(Err(e)),
+            Ok(mut parts) => {
+                // Re-number parts within the time step.
+                for (i, p) in parts.iter_mut().enumerate() {
+                    p.part = i;
+                }
+                parts.reverse();
+                outbox = parts;
+            }
+        }
+    }))
+}
+
+/// Composites a time step's chunks: parts at (approximately) the same
+/// spatial position merge into the one with the widest angular
+/// extent; distinct positions stay separate parts.
+pub fn composite_group(group: Vec<Chunk>, merge: &MergeFunction) -> Result<Vec<Chunk>> {
+    if group.is_empty() {
+        return Err(ExecError::Align("empty union group".into()));
+    }
+    // Bucket by spatial position.
+    let mut buckets: Vec<Vec<Chunk>> = Vec::new();
+    'outer: for c in group {
+        for b in buckets.iter_mut() {
+            if b[0].info.position.distance(&c.info.position) < 1e-6 {
+                b.push(c);
+                continue 'outer;
+            }
+        }
+        buckets.push(vec![c]);
+    }
+    let mut out = Vec::with_capacity(buckets.len());
+    for mut bucket in buckets {
+        if bucket.len() == 1 {
+            out.push(bucket.pop().unwrap());
+            continue;
+        }
+        out.push(composite_bucket(bucket, merge)?);
+    }
+    Ok(out)
+}
+
+fn composite_bucket(bucket: Vec<Chunk>, merge: &MergeFunction) -> Result<Chunk> {
+    // The densest input (pixels per radian) sets the canvas
+    // resolution; the canvas covers the hull of all inputs' angular
+    // extents, and inputs are blitted *in order* so merge-function
+    // semantics (e.g. LAST) follow union input order.
+    let hull = bucket.iter().map(|c| c.volume).reduce(|a, b| a.hull(&b)).unwrap();
+    let mut density_theta: f64 = 0.0;
+    let mut density_phi: f64 = 0.0;
+    let mut frame_count = 0usize;
+    let mut device = Device::Cpu;
+    for c in &bucket {
+        let ChunkPayload::Decoded { frames, device: d } = &c.payload else {
+            return Err(ExecError::Domain("UNION compositing requires decoded input".into()));
+        };
+        if let Some(f) = frames.first() {
+            density_theta =
+                density_theta.max(f.width() as f64 / c.volume.theta().length().max(1e-12));
+            density_phi =
+                density_phi.max(f.height() as f64 / c.volume.phi().length().max(1e-12));
+        }
+        frame_count = frame_count.max(frames.len());
+        device = *d;
+    }
+    if frame_count == 0 {
+        return Err(ExecError::Align("union of empty chunks".into()));
+    }
+    let canvas_w = (((density_theta * hull.theta().length()).round() as usize).max(2) + 1) & !1;
+    let canvas_h = (((density_phi * hull.phi().length()).round() as usize).max(2) + 1) & !1;
+    let mut frames = vec![Frame::filled(canvas_w, canvas_h, crate::chunk::OMEGA); frame_count];
+    for c in &bucket {
+        let ChunkPayload::Decoded { frames: ov, .. } = &c.payload else {
+            unreachable!("checked above");
+        };
+        if ov.is_empty() {
+            continue;
+        }
+        blit_overlay(&mut frames, &hull, ov, &c.volume, merge);
+    }
+    Ok(Chunk {
+        volume: hull,
+        payload: ChunkPayload::Decoded { frames, device },
+        ..bucket.into_iter().next().unwrap()
+    })
+}
+
+/// Blits overlay frames into base frames at the overlay's angular
+/// position, resizing to the target pixel rect, skipping ω pixels,
+/// and resolving overlaps with the merge function. Overlay frame `i`
+/// pairs with base frame `i` (the last overlay frame broadcasts when
+/// the overlay is shorter — static watermarks).
+fn blit_overlay(
+    base: &mut [Frame],
+    base_vol: &Volume,
+    overlay: &[Frame],
+    ov_vol: &Volume,
+    merge: &MergeFunction,
+) {
+    if base.is_empty() {
+        return;
+    }
+    let (w, h) = (base[0].width(), base[0].height());
+    let bth = base_vol.theta();
+    let bph = base_vol.phi();
+    let fx0 = ((ov_vol.theta().lo() - bth.lo()) / bth.length().max(1e-12)).clamp(0.0, 1.0);
+    let fx1 = ((ov_vol.theta().hi() - bth.lo()) / bth.length().max(1e-12)).clamp(0.0, 1.0);
+    let fy0 = ((ov_vol.phi().lo() - bph.lo()) / bph.length().max(1e-12)).clamp(0.0, 1.0);
+    let fy1 = ((ov_vol.phi().hi() - bph.lo()) / bph.length().max(1e-12)).clamp(0.0, 1.0);
+    let x0 = ((fx0 * w as f64) as usize) & !1;
+    let y0 = ((fy0 * h as f64) as usize) & !1;
+    let x1 = ((((fx1 * w as f64).ceil() as usize).min(w)) + 1) & !1;
+    let y1 = ((((fy1 * h as f64).ceil() as usize).min(h)) + 1) & !1;
+    let (x1, y1) = (x1.min(w), y1.min(h));
+    if x1 <= x0 + 1 || y1 <= y0 + 1 {
+        return;
+    }
+    let (tw, th) = (x1 - x0, y1 - y0);
+    for (i, bf) in base.iter_mut().enumerate() {
+        let ov = &overlay[i.min(overlay.len() - 1)];
+        let scaled;
+        let src = if ov.width() == tw && ov.height() == th {
+            ov
+        } else {
+            scaled = ov.resize(tw, th);
+            &scaled
+        };
+        for y in 0..th {
+            for x in 0..tw {
+                let s = src.get(x, y);
+                if is_omega(s) {
+                    continue; // null ray: base wins
+                }
+                let d = bf.get(x0 + x, y0 + y);
+                let v = merge_pixels(merge, d, s);
+                bf.set(x0 + x, y0 + y, v);
+            }
+        }
+    }
+}
+
+fn merge_pixels(merge: &MergeFunction, first: Yuv, second: Yuv) -> Yuv {
+    if is_omega(first) {
+        return second;
+    }
+    match merge {
+        MergeFunction::Last => second,
+        MergeFunction::First => first,
+        MergeFunction::Mean => Yuv::new(
+            ((first.y as u16 + second.y as u16) / 2) as u8,
+            ((first.u as u16 + second.u as u16) / 2) as u8,
+            ((first.v as u16 + second.v as u16) / 2) as u8,
+        ),
+        MergeFunction::Custom(u) => u.merge(first, second),
+    }
+}
+
+// ------------------------------------------------------------------ interpolate
+
+/// `INTERPOLATE`: built-ins fill ω pixels from neighbours; custom
+/// UDFs synthesise one part per time step from the group's parts
+/// (e.g. a depth map from a stereo pair).
+pub fn interpolate_frames(
+    input: ChunkStream,
+    f: InterpFunction,
+    device: Device,
+    metrics: Metrics,
+) -> ChunkStream {
+    match f {
+        InterpFunction::Builtin(b) => Box::new(input.map(move |c| {
+            let c = c?;
+            let ChunkPayload::Decoded { frames, device: d } = c.payload else {
+                return Err(ExecError::Domain("INTERPOLATE requires decoded input".into()));
+            };
+            let out = metrics.time("INTERPOLATE", || {
+                frames.iter().map(|fr| fill_nulls(fr, b)).collect::<Vec<Frame>>()
+            });
+            Ok(Chunk { payload: ChunkPayload::Decoded { frames: out, device: d }, ..c })
+        })),
+        InterpFunction::Custom(udf) => {
+            let grouped = TimeGrouped::new(input);
+            let op: &'static str =
+                if device == Device::Fpga { "INTERPOLATE[FPGA]" } else { "INTERPOLATE" };
+            Box::new(grouped.map(move |g| {
+                let group = g?;
+                if group.len() < 2 {
+                    return Err(ExecError::Align(format!(
+                        "{} synthesis needs ≥2 co-temporal parts, got {}",
+                        udf.name(),
+                        group.len()
+                    )));
+                }
+                let mut frame_sets: Vec<&Vec<Frame>> = Vec::with_capacity(group.len());
+                for c in &group {
+                    match &c.payload {
+                        ChunkPayload::Decoded { frames, .. } => frame_sets.push(frames),
+                        _ => {
+                            return Err(ExecError::Domain(
+                                "INTERPOLATE requires decoded input".into(),
+                            ))
+                        }
+                    }
+                }
+                let n = frame_sets.iter().map(|f| f.len()).min().unwrap_or(0);
+                let out: Vec<Frame> = metrics.time(op, || {
+                    (0..n)
+                        .map(|i| {
+                            let inputs: Vec<&Frame> =
+                                frame_sets.iter().map(|fs| &fs[i]).collect();
+                            udf.synthesize(&inputs)
+                        })
+                        .collect()
+                });
+                let volume = group.iter().map(|c| c.volume).reduce(|a, b| a.hull(&b)).unwrap();
+                Ok(Chunk {
+                    t_index: group[0].t_index,
+                    part: 0,
+                    volume,
+                    info: group[0].info,
+                    payload: ChunkPayload::Decoded { frames: out, device: group[0].device() },
+                })
+            }))
+        }
+    }
+}
+
+/// Fills ω pixels from the nearest non-ω pixel on the same row
+/// (then column for rows that are entirely null).
+fn fill_nulls(f: &Frame, kind: BuiltinInterp) -> Frame {
+    let (w, h) = (f.width(), f.height());
+    let mut out = f.clone();
+    for y in 0..h {
+        // Forward then backward scan over the row.
+        let mut last: Option<Yuv> = None;
+        let mut gaps: Vec<usize> = Vec::new();
+        for x in 0..w {
+            let c = f.get(x, y);
+            if is_omega(c) {
+                gaps.push(x);
+            } else {
+                if let Some(prev) = last {
+                    for &gx in &gaps {
+                        let v = match kind {
+                            BuiltinInterp::NearestNeighbor => {
+                                // nearer endpoint wins
+                                let left_dist = gx - gaps[0];
+                                let right_dist = gaps[gaps.len() - 1] - gx;
+                                if left_dist <= right_dist {
+                                    prev
+                                } else {
+                                    c
+                                }
+                            }
+                            BuiltinInterp::Linear => {
+                                let span = (gaps.len() + 1) as f32;
+                                let t = (gx - gaps[0] + 1) as f32 / span;
+                                lerp(prev, c, t)
+                            }
+                        };
+                        out.set(gx, y, v);
+                    }
+                } else {
+                    for &gx in &gaps {
+                        out.set(gx, y, c);
+                    }
+                }
+                gaps.clear();
+                last = Some(c);
+            }
+        }
+        if let Some(prev) = last {
+            for &gx in &gaps {
+                out.set(gx, y, prev);
+            }
+        }
+    }
+    out
+}
+
+fn lerp(a: Yuv, b: Yuv, t: f32) -> Yuv {
+    let m = |x: u8, y: u8| (x as f32 * (1.0 - t) + y as f32 * t).round() as u8;
+    Yuv::new(m(a.y, b.y), m(a.u, b.u), m(a.v, b.v))
+}
+
+// ------------------------------------------------------------------ translate / rotate
+
+/// `TRANSLATE`: shift the spatiotemporal extent of every chunk.
+pub fn translate_chunks(
+    input: ChunkStream,
+    dx: f64,
+    dy: f64,
+    dz: f64,
+    dt: f64,
+    metrics: Metrics,
+) -> ChunkStream {
+    Box::new(input.map(move |c| {
+        let mut c = c?;
+        metrics.time("TRANSLATE", || {
+            let dur = c.volume.t().length().max(1e-9);
+            let steps = (dt / dur).round() as isize;
+            c.t_index = (c.t_index as isize + steps).max(0) as usize;
+            c.volume = c.volume.translate(dx, dy, dz, dt);
+            c.info.position = c.info.position.translate(dx, dy, dz);
+        });
+        Ok(c)
+    }))
+}
+
+/// `ROTATE`: rotate ray directions — an azimuthal pixel roll plus a
+/// clamped polar shift on equirectangular frames.
+pub fn rotate_frames(
+    input: ChunkStream,
+    dtheta: f64,
+    dphi: f64,
+    _device: Device,
+    metrics: Metrics,
+) -> ChunkStream {
+    let rotation = lightdb_geom::Rotation::new(dtheta, dphi);
+    Box::new(input.map(move |c| {
+        let c = c?;
+        let ChunkPayload::Decoded { frames, device } = c.payload else {
+            return Err(ExecError::Domain("ROTATE requires decoded input".into()));
+        };
+        let out = metrics.time("ROTATE", || {
+            frames.iter().map(|f| rotate_equirect(f, dtheta, dphi)).collect::<Vec<Frame>>()
+        });
+        let volume = rotation.rotate_volume(&c.volume);
+        Ok(Chunk { volume, payload: ChunkPayload::Decoded { frames: out, device }, ..c })
+    }))
+}
+
+fn rotate_equirect(f: &Frame, dtheta: f64, dphi: f64) -> Frame {
+    let (w, h) = (f.width(), f.height());
+    let shift_x =
+        ((dtheta / lightdb_geom::THETA_PERIOD * w as f64).round() as isize).rem_euclid(w as isize)
+            as usize;
+    let shift_y = (dphi / lightdb_geom::PHI_MAX * h as f64).round() as isize;
+    let mut out = f.clone();
+    for y in 0..h {
+        let sy = (y as isize - shift_y).clamp(0, h as isize - 1) as usize;
+        for x in 0..w {
+            let sx = (x + w - shift_x) % w;
+            out.set(x, y, f.get(sx, sy));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::{StreamInfo, OMEGA};
+    use lightdb_core::udf::BuiltinMap;
+    use lightdb_frame::stats::luma_psnr;
+    use std::f64::consts::PI;
+
+    fn textured(w: usize, h: usize, seed: usize) -> Frame {
+        let mut f = Frame::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                f.set(
+                    x,
+                    y,
+                    Yuv::new(
+                        (((x * 7 + y * 13 + seed * 29) % 200) + 30) as u8,
+                        ((x + seed) % 256) as u8,
+                        (y % 256) as u8,
+                    ),
+                );
+            }
+        }
+        f
+    }
+
+    fn decoded_chunk(t: usize, frames: Vec<Frame>) -> Chunk {
+        Chunk {
+            t_index: t,
+            part: 0,
+            volume: Volume::sphere_at(0.0, 0.0, 0.0, Interval::new(t as f64, t as f64 + 1.0)),
+            info: StreamInfo::origin(frames.len().max(1) as u32),
+            payload: ChunkPayload::Decoded { frames, device: Device::Cpu },
+        }
+    }
+
+    fn stream_of(chunks: Vec<Chunk>) -> ChunkStream {
+        Box::new(chunks.into_iter().map(Ok))
+    }
+
+    fn collect(s: ChunkStream) -> Vec<Chunk> {
+        s.map(|c| c.unwrap()).collect()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_via_ops() {
+        let frames: Vec<Frame> = (0..4).map(|i| textured(64, 32, i)).collect();
+        let m = Metrics::new();
+        let c = decoded_chunk(0, frames.clone());
+        let enc = encode_chunks(stream_of(vec![c]), Device::Cpu, CodecKind::H264Sim, 8, m.clone());
+        let dec = collect(decode_chunks(enc, Device::Cpu, m.clone()));
+        assert_eq!(dec.len(), 1);
+        let ChunkPayload::Decoded { frames: out, .. } = &dec[0].payload else { panic!() };
+        assert_eq!(out.len(), 4);
+        for (a, b) in frames.iter().zip(out.iter()) {
+            assert!(luma_psnr(a, b) > 32.0);
+        }
+        assert_eq!(m.count("ENCODE"), 1);
+        assert_eq!(m.count("DECODE"), 1);
+    }
+
+    #[test]
+    fn gpu_decode_matches_cpu_decode() {
+        let frames: Vec<Frame> = (0..3).map(|i| textured(64, 32, i)).collect();
+        let enc = lightdb_codec::Encoder::new(lightdb_codec::EncoderConfig {
+            grid: TileGrid::new(2, 1),
+            gop_length: 3,
+            qp: 20,
+            ..Default::default()
+        })
+        .unwrap()
+        .encode(&frames)
+        .unwrap();
+        let chunk = Chunk {
+            t_index: 0,
+            part: 0,
+            volume: Volume::sphere_at(0.0, 0.0, 0.0, Interval::new(0.0, 1.0)),
+            info: StreamInfo::origin(30),
+            payload: ChunkPayload::Encoded { header: enc.header, gop: enc.gops[0].clone() },
+        };
+        let cpu = collect(decode_chunks(stream_of(vec![chunk.clone()]), Device::Cpu, Metrics::new()));
+        let gpu = collect(decode_chunks(stream_of(vec![chunk]), Device::Gpu, Metrics::new()));
+        let (ChunkPayload::Decoded { frames: a, .. }, ChunkPayload::Decoded { frames: b, .. }) =
+            (&cpu[0].payload, &gpu[0].payload)
+        else {
+            panic!()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn select_trims_time_and_crops_angles() {
+        let frames: Vec<Frame> = (0..10).map(|i| textured(64, 32, i)).collect();
+        let c = Chunk { info: StreamInfo::origin(10), ..decoded_chunk(0, frames) };
+        // t ∈ [0.5, 1.0], θ ∈ [π, 2π] (right half), φ ∈ [0, π/2] (top half)
+        let pred = VolumePredicate::any()
+            .with(Dimension::T, Interval::new(0.5, 1.0))
+            .with(Dimension::Theta, Interval::new(PI, 2.0 * PI))
+            .with(Dimension::Phi, Interval::new(0.0, PI / 2.0));
+        let out = collect(select_frames(stream_of(vec![c]), pred, Device::Cpu, Metrics::new()));
+        assert_eq!(out.len(), 1);
+        let ChunkPayload::Decoded { frames, .. } = &out[0].payload else { panic!() };
+        assert_eq!(frames.len(), 5);
+        assert_eq!((frames[0].width(), frames[0].height()), (32, 16));
+        assert!((out[0].volume.theta().lo() - PI).abs() < 0.2);
+    }
+
+    #[test]
+    fn select_outside_volume_drops_chunk() {
+        let c = decoded_chunk(0, vec![textured(32, 32, 0)]);
+        let pred = VolumePredicate::any().with(Dimension::T, Interval::new(5.0, 6.0));
+        let out = collect(select_frames(stream_of(vec![c]), pred, Device::Cpu, Metrics::new()));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_gpu_matches_cpu() {
+        let frames: Vec<Frame> = (0..2).map(|i| textured(64, 64, i)).collect();
+        let f = MapFunction::Builtin(BuiltinMap::Blur);
+        let cpu = collect(map_frames(
+            stream_of(vec![decoded_chunk(0, frames.clone())]),
+            f.clone(),
+            Device::Cpu,
+            Metrics::new(),
+        ));
+        let gpu = collect(map_frames(
+            stream_of(vec![decoded_chunk(0, frames)]),
+            f,
+            Device::Gpu,
+            Metrics::new(),
+        ));
+        assert_eq!(cpu[0].payload, gpu[0].payload);
+    }
+
+    #[test]
+    fn discretize_resamples_resolution_and_rate() {
+        let frames: Vec<Frame> = (0..30).map(|i| textured(64, 32, i)).collect();
+        let c = Chunk { info: StreamInfo::origin(30), ..decoded_chunk(0, frames) };
+        let steps = vec![
+            (Dimension::Theta, lightdb_geom::THETA_PERIOD / 32.0),
+            (Dimension::Phi, lightdb_geom::PHI_MAX / 16.0),
+            (Dimension::T, 0.1), // 10 samples per second
+        ];
+        let out = collect(discretize_frames(stream_of(vec![c]), steps, Device::Cpu, Metrics::new()));
+        let ChunkPayload::Decoded { frames, .. } = &out[0].payload else { panic!() };
+        assert_eq!(frames.len(), 10);
+        assert_eq!((frames[0].width(), frames[0].height()), (32, 16));
+        assert_eq!(out[0].info.fps, 10);
+    }
+
+    #[test]
+    fn partition_into_quarters() {
+        let frames: Vec<Frame> = (0..2).map(|i| textured(64, 32, i)).collect();
+        let c = decoded_chunk(0, frames.clone());
+        let spec = vec![
+            (Dimension::T, 1.0),
+            (Dimension::Theta, PI),          // 2 columns
+            (Dimension::Phi, PI / 2.0),      // 2 rows
+        ];
+        let out = collect(partition_chunks(stream_of(vec![c]), spec, Metrics::new()));
+        assert_eq!(out.len(), 4);
+        let ChunkPayload::Decoded { frames: tile0, .. } = &out[0].payload else { panic!() };
+        assert_eq!(tile0[0], frames[0].crop(0, 0, 32, 16));
+        // Tile volumes tile the angular domain.
+        assert!((out[3].volume.theta().lo() - PI).abs() < 1e-9);
+        assert!((out[3].volume.phi().lo() - PI / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partition_then_flatten_restores_frames() {
+        let frames: Vec<Frame> = (0..2).map(|i| textured(64, 32, i)).collect();
+        let c = decoded_chunk(0, frames.clone());
+        let spec = vec![(Dimension::Theta, PI / 2.0), (Dimension::Phi, PI / 2.0)];
+        let parted = partition_chunks(stream_of(vec![c]), spec, Metrics::new());
+        let flat = collect(flatten_chunks(parted, Metrics::new()));
+        assert_eq!(flat.len(), 1);
+        let ChunkPayload::Decoded { frames: out, .. } = &flat[0].payload else { panic!() };
+        // Compositing tiles back must reconstruct the original frames.
+        for (a, b) in frames.iter().zip(out.iter()) {
+            assert!(luma_psnr(a, b) > 45.0, "flatten lost content");
+        }
+    }
+
+    #[test]
+    fn union_overlays_watermark() {
+        let base = decoded_chunk(0, vec![Frame::filled(64, 32, Yuv::new(100, 128, 128))]);
+        // Watermark part: small angular extent in the top-left corner.
+        let wm_vol = Volume::sphere_at(0.0, 0.0, 0.0, Interval::new(0.0, 1.0))
+            .with(Dimension::Theta, Interval::new(0.0, PI / 2.0))
+            .with(Dimension::Phi, Interval::new(0.0, PI / 4.0));
+        let wm = Chunk {
+            t_index: 0,
+            part: 0,
+            volume: wm_vol,
+            info: StreamInfo::origin(1),
+            payload: ChunkPayload::Decoded {
+                frames: vec![Frame::filled(16, 8, Yuv::new(250, 20, 230))],
+                device: Device::Cpu,
+            },
+        };
+        let out = collect(union_frames(
+            vec![stream_of(vec![base]), stream_of(vec![wm])],
+            MergeFunction::Last,
+            Device::Cpu,
+            Metrics::new(),
+        ));
+        assert_eq!(out.len(), 1);
+        let ChunkPayload::Decoded { frames, .. } = &out[0].payload else { panic!() };
+        // Top-left quadrant is watermarked, bottom-right untouched.
+        assert_eq!(frames[0].get(2, 2).y, 250);
+        assert_eq!(frames[0].get(60, 30).y, 100);
+    }
+
+    #[test]
+    fn union_skips_omega_pixels() {
+        let base = decoded_chunk(0, vec![Frame::filled(32, 32, Yuv::new(80, 128, 128))]);
+        // Overlay covering everything but almost entirely ω.
+        let mut ov_frame = Frame::filled(32, 32, OMEGA);
+        ov_frame.set(4, 4, Yuv::new(200, 90, 90));
+        let ov = decoded_chunk(0, vec![ov_frame]);
+        let out = collect(union_frames(
+            vec![stream_of(vec![base]), stream_of(vec![ov])],
+            MergeFunction::Last,
+            Device::Cpu,
+            Metrics::new(),
+        ));
+        let ChunkPayload::Decoded { frames, .. } = &out[0].payload else { panic!() };
+        assert_eq!(frames[0].get(4, 4).y, 200);
+        assert_eq!(frames[0].get(20, 20).y, 80, "ω pixels must not clobber the base");
+    }
+
+    #[test]
+    fn union_concatenates_disjoint_time_ranges() {
+        let a = decoded_chunk(0, vec![textured(32, 32, 0)]);
+        let mut b = decoded_chunk(5, vec![textured(32, 32, 1)]);
+        b.volume = b.volume.translate(0.0, 0.0, 0.0, 0.0);
+        let out = collect(union_frames(
+            vec![stream_of(vec![a]), stream_of(vec![b])],
+            MergeFunction::Last,
+            Device::Cpu,
+            Metrics::new(),
+        ));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].t_index, 0);
+        assert_eq!(out[1].t_index, 5);
+    }
+
+    #[test]
+    fn interpolate_fills_nulls() {
+        let mut f = Frame::filled(16, 16, OMEGA);
+        for y in 0..16 {
+            for x in 0..2 {
+                f.set(x, y, Yuv::new(50, 128, 128));
+                f.set(14 + x, y, Yuv::new(150, 128, 128));
+            }
+        }
+        let c = decoded_chunk(0, vec![f]);
+        let out = collect(interpolate_frames(
+            stream_of(vec![c]),
+            InterpFunction::Builtin(BuiltinInterp::Linear),
+            Device::Cpu,
+            Metrics::new(),
+        ));
+        let ChunkPayload::Decoded { frames, .. } = &out[0].payload else { panic!() };
+        let mid = frames[0].get(8, 8);
+        assert!(!is_omega(mid));
+        assert!(mid.y > 50 && mid.y < 150, "linear fill should land between, got {}", mid.y);
+    }
+
+    #[test]
+    fn custom_interpolate_synthesizes_depth() {
+        use crate::fpga::DepthMapFpga;
+        let left = decoded_chunk(0, vec![textured(64, 64, 0)]);
+        let mut right = decoded_chunk(0, vec![textured(64, 64, 0)]);
+        right.part = 1;
+        right.info.position = lightdb_geom::Point3::new(0.064, 0.0, 0.0);
+        let merged: Vec<Chunk> = vec![left, right];
+        let out = collect(interpolate_frames(
+            stream_of(merged),
+            InterpFunction::Custom(std::sync::Arc::new(DepthMapFpga)),
+            Device::Fpga,
+            Metrics::new(),
+        ));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].frame_count(), 1);
+    }
+
+    #[test]
+    fn translate_shifts_time_steps() {
+        let c = decoded_chunk(0, vec![textured(32, 32, 0)]);
+        let out = collect(translate_chunks(
+            stream_of(vec![c]),
+            0.0,
+            0.0,
+            0.0,
+            5.0,
+            Metrics::new(),
+        ));
+        assert_eq!(out[0].t_index, 5);
+        assert!((out[0].volume.t().lo() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotate_rolls_pixels() {
+        let mut f = Frame::filled(64, 32, Yuv::new(10, 128, 128));
+        f.set(0, 16, Yuv::new(200, 128, 128));
+        let c = decoded_chunk(0, vec![f]);
+        let out = collect(rotate_frames(
+            stream_of(vec![c]),
+            PI, // half turn: x shifts by w/2
+            0.0,
+            Device::Cpu,
+            Metrics::new(),
+        ));
+        let ChunkPayload::Decoded { frames, .. } = &out[0].payload else { panic!() };
+        assert_eq!(frames[0].get(32, 16).y, 200);
+        assert_eq!(frames[0].get(0, 16).y, 10);
+    }
+
+    #[test]
+    fn slab_point_select_picks_nearest_sample() {
+        use crate::chunk::SlabInfo;
+        // 2×2 uv grid: 4 frames with distinct luma.
+        let frames: Vec<Frame> =
+            (0..4).map(|i| Frame::filled(16, 16, Yuv::new(40 * (i + 1) as u8, 128, 128))).collect();
+        let slab = SlabInfo {
+            nu: 2,
+            nv: 2,
+            uv_min: lightdb_geom::Point3::new(0.0, 0.0, 0.0),
+            uv_max: lightdb_geom::Point3::new(1.0, 1.0, 0.0),
+        };
+        let mut c = decoded_chunk(0, frames);
+        c.info.slab = Some(slab);
+        c.volume = Volume::new(
+            Interval::new(0.0, 1.0),
+            Interval::new(0.0, 1.0),
+            Interval::point(0.0),
+            Interval::new(0.0, 1.0),
+            Interval::new(0.0, lightdb_geom::THETA_PERIOD),
+            Interval::new(0.0, lightdb_geom::PHI_MAX),
+        );
+        // Select near the top-right sample (u=1, v=0) → frame 1.
+        let pred = VolumePredicate::any()
+            .with(Dimension::X, Interval::point(0.9))
+            .with(Dimension::Y, Interval::point(0.1));
+        let out = collect(select_frames(stream_of(vec![c]), pred, Device::Cpu, Metrics::new()));
+        assert_eq!(out.len(), 1);
+        let ChunkPayload::Decoded { frames, .. } = &out[0].payload else { panic!() };
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].get(0, 0).y, 80);
+        assert!(out[0].info.slab.is_none());
+    }
+
+    #[test]
+    fn transfer_changes_device() {
+        let c = decoded_chunk(0, vec![textured(16, 16, 0)]);
+        let m = Metrics::new();
+        let out = collect(transfer(stream_of(vec![c]), Device::Gpu, m.clone()));
+        assert_eq!(out[0].device(), Device::Gpu);
+        assert_eq!(m.count("TRANSFER"), 1);
+        // Transferring to the same device is free.
+        let out2 = collect(transfer(stream_of(out), Device::Gpu, m.clone()));
+        assert_eq!(out2[0].device(), Device::Gpu);
+        assert_eq!(m.count("TRANSFER"), 1);
+    }
+}

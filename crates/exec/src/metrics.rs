@@ -1,0 +1,104 @@
+//! Per-operator execution metrics.
+//!
+//! The evaluation's operator-breakdown plots (Figure 11) come
+//! straight from these counters: every physical operator wraps its
+//! work in [`Metrics::time`].
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Thread-safe accumulator of per-operator wall time and invocation
+/// counts. Cloning shares the underlying counters.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Arc<Mutex<HashMap<&'static str, (Duration, u64)>>>,
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Runs `f`, attributing its wall time to `op`.
+    pub fn time<T>(&self, op: &'static str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(op, start.elapsed());
+        out
+    }
+
+    /// Adds an explicit duration to `op`.
+    pub fn record(&self, op: &'static str, d: Duration) {
+        let mut m = self.inner.lock();
+        let e = m.entry(op).or_insert((Duration::ZERO, 0));
+        e.0 += d;
+        e.1 += 1;
+    }
+
+    /// Accumulated time for one operator.
+    pub fn total(&self, op: &str) -> Duration {
+        self.inner.lock().get(op).map(|e| e.0).unwrap_or(Duration::ZERO)
+    }
+
+    /// Invocation count for one operator.
+    pub fn count(&self, op: &str) -> u64 {
+        self.inner.lock().get(op).map(|e| e.1).unwrap_or(0)
+    }
+
+    /// All `(operator, total, count)` rows, sorted by descending time.
+    pub fn report(&self) -> Vec<(&'static str, Duration, u64)> {
+        let mut rows: Vec<_> =
+            self.inner.lock().iter().map(|(k, (d, c))| (*k, *d, *c)).collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1));
+        rows
+    }
+
+    /// Clears all counters.
+    pub fn reset(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_attributes_to_op() {
+        let m = Metrics::new();
+        let v = m.time("DECODE", || 42);
+        assert_eq!(v, 42);
+        assert_eq!(m.count("DECODE"), 1);
+        assert_eq!(m.count("ENCODE"), 0);
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let m = Metrics::new();
+        m.record("MAP", Duration::from_millis(5));
+        m.record("MAP", Duration::from_millis(7));
+        assert_eq!(m.total("MAP"), Duration::from_millis(12));
+        assert_eq!(m.count("MAP"), 2);
+    }
+
+    #[test]
+    fn report_sorted_and_reset_clears() {
+        let m = Metrics::new();
+        m.record("A", Duration::from_millis(1));
+        m.record("B", Duration::from_millis(10));
+        let r = m.report();
+        assert_eq!(r[0].0, "B");
+        m.reset();
+        assert!(m.report().is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        m2.record("X", Duration::from_millis(3));
+        assert_eq!(m.count("X"), 1);
+    }
+}

@@ -1,0 +1,280 @@
+//! Physical query plans.
+
+use crate::device::Device;
+use lightdb_codec::CodecKind;
+use lightdb_core::algebra::{MergeFunction, VolumePredicate};
+use lightdb_core::udf::{InterpFunction, MapFunction};
+use lightdb_geom::{Dimension, Volume};
+use std::fmt;
+use std::sync::Arc;
+
+/// The body of a compiled `SUBQUERY`: given a partition's volume,
+/// produce the physical plan to run over it. The produced plan must
+/// contain exactly one [`PhysicalPlan::SubqueryInput`] leaf, which the
+/// executor binds to the partition's data.
+pub type CompiledSubquery = Arc<dyn Fn(&Volume) -> crate::Result<PhysicalPlan>>;
+
+/// A physical operator tree.
+#[derive(Clone)]
+pub enum PhysicalPlan {
+    // ----- sources -----
+    /// Scan a stored TLF. `t_frames` restricts the scan to GOPs
+    /// overlapping the given frame range (pushed down through the GOP
+    /// index); `spatial` restricts which sphere points are read
+    /// (pushed down through the spatial R-tree when one exists).
+    ScanTlf {
+        name: String,
+        version: Option<u64>,
+        t_frames: Option<(u64, u64)>,
+        spatial: Option<Volume>,
+    },
+    /// Parse an external encoded file into encoded chunks.
+    DecodeFile { path: String, codec_hint: Option<CodecKind> },
+    /// The distinguished null TLF Ω.
+    Omega { volume: Volume },
+    /// Placeholder bound to the partition inside a subquery body.
+    SubqueryInput,
+
+    // ----- domain conversion -----
+    /// Decode encoded chunks into device frames.
+    ToFrames { input: Box<PhysicalPlan>, device: Device },
+    /// Encode device frames into encoded chunks.
+    FromFrames { input: Box<PhysicalPlan>, device: Device, codec: CodecKind, qp: u8 },
+    /// Copy decoded frames between devices.
+    Transfer { input: Box<PhysicalPlan>, to: Device },
+
+    // ----- homomorphic (encoded-domain) operators -----
+    /// Pass through only whole GOPs overlapping a frame range.
+    GopSelect { input: Box<PhysicalPlan>, t_frames: (u64, u64) },
+    /// Concatenate encoded streams GOP-wise.
+    GopUnion { inputs: Vec<PhysicalPlan> },
+    /// Extract single tiles from encoded chunks without decoding.
+    TileSelect { input: Box<PhysicalPlan>, tiles: Vec<usize> },
+    /// Stitch aligned single-tile encoded chunks into a tiled stream.
+    TileUnion { inputs: Vec<PhysicalPlan>, cols: usize, rows: usize },
+    /// Extract each GOP's keyframe without decoding (extension; the
+    /// paper lists keyframe selection as planned future HOp work).
+    KeyframeSelect { input: Box<PhysicalPlan> },
+
+    // ----- decoded-domain operators -----
+    SelectFrames { input: Box<PhysicalPlan>, predicate: VolumePredicate, device: Device },
+    MapFrames { input: Box<PhysicalPlan>, f: MapFunction, device: Device },
+    InterpolateFrames { input: Box<PhysicalPlan>, f: InterpFunction, device: Device },
+    DiscretizeFrames { input: Box<PhysicalPlan>, steps: Vec<(Dimension, f64)>, device: Device },
+    PartitionChunks { input: Box<PhysicalPlan>, spec: Vec<(Dimension, f64)> },
+    FlattenChunks { input: Box<PhysicalPlan> },
+    UnionFrames { inputs: Vec<PhysicalPlan>, merge: MergeFunction, device: Device },
+    TranslateChunks { input: Box<PhysicalPlan>, dx: f64, dy: f64, dz: f64, dt: f64 },
+    RotateFrames { input: Box<PhysicalPlan>, dtheta: f64, dphi: f64, device: Device },
+    Subquery { input: Box<PhysicalPlan>, body: CompiledSubquery, label: String },
+
+    // ----- sinks & DDL -----
+    Store {
+        input: Box<PhysicalPlan>,
+        name: String,
+        /// Serialised view subgraph recorded alongside the stored
+        /// TLF when the query's continuous suffix was peeled off
+        /// (partially materialised views, Section 4.1).
+        view_subgraph: Option<Vec<u8>>,
+    },
+    CreateTlf { name: String },
+    DropTlf { name: String },
+    CreateIndex { name: String, dims: Vec<Dimension> },
+    DropIndex { name: String, dims: Vec<Dimension> },
+}
+
+impl PhysicalPlan {
+    /// Children of this node.
+    pub fn inputs(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::ScanTlf { .. }
+            | PhysicalPlan::DecodeFile { .. }
+            | PhysicalPlan::Omega { .. }
+            | PhysicalPlan::SubqueryInput
+            | PhysicalPlan::CreateTlf { .. }
+            | PhysicalPlan::DropTlf { .. }
+            | PhysicalPlan::CreateIndex { .. }
+            | PhysicalPlan::DropIndex { .. } => vec![],
+            PhysicalPlan::ToFrames { input, .. }
+            | PhysicalPlan::FromFrames { input, .. }
+            | PhysicalPlan::Transfer { input, .. }
+            | PhysicalPlan::GopSelect { input, .. }
+            | PhysicalPlan::KeyframeSelect { input }
+            | PhysicalPlan::TileSelect { input, .. }
+            | PhysicalPlan::SelectFrames { input, .. }
+            | PhysicalPlan::MapFrames { input, .. }
+            | PhysicalPlan::InterpolateFrames { input, .. }
+            | PhysicalPlan::DiscretizeFrames { input, .. }
+            | PhysicalPlan::PartitionChunks { input, .. }
+            | PhysicalPlan::FlattenChunks { input }
+            | PhysicalPlan::TranslateChunks { input, .. }
+            | PhysicalPlan::RotateFrames { input, .. }
+            | PhysicalPlan::Subquery { input, .. }
+            | PhysicalPlan::Store { input, .. } => vec![input],
+            PhysicalPlan::GopUnion { inputs }
+            | PhysicalPlan::TileUnion { inputs, .. }
+            | PhysicalPlan::UnionFrames { inputs, .. } => inputs.iter().collect(),
+        }
+    }
+
+    /// Operator display name (matches the paper's physical-operator
+    /// vocabulary; homomorphic operators are ALL-CAPS single words).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhysicalPlan::ScanTlf { .. } => "SCAN",
+            PhysicalPlan::DecodeFile { .. } => "DECODEFILE",
+            PhysicalPlan::Omega { .. } => "OMEGA",
+            PhysicalPlan::SubqueryInput => "SUBQUERYINPUT",
+            PhysicalPlan::ToFrames { .. } => "DECODE",
+            PhysicalPlan::FromFrames { .. } => "ENCODE",
+            PhysicalPlan::Transfer { .. } => "TRANSFER",
+            PhysicalPlan::GopSelect { .. } => "GOPSELECT",
+            PhysicalPlan::GopUnion { .. } => "GOPUNION",
+            PhysicalPlan::TileSelect { .. } => "TILESELECT",
+            PhysicalPlan::TileUnion { .. } => "TILEUNION",
+            PhysicalPlan::KeyframeSelect { .. } => "KEYFRAMESELECT",
+            PhysicalPlan::SelectFrames { .. } => "SELECT",
+            PhysicalPlan::MapFrames { .. } => "MAP",
+            PhysicalPlan::InterpolateFrames { .. } => "INTERPOLATE",
+            PhysicalPlan::DiscretizeFrames { .. } => "DISCRETIZE",
+            PhysicalPlan::PartitionChunks { .. } => "PARTITION",
+            PhysicalPlan::FlattenChunks { .. } => "FLATTEN",
+            PhysicalPlan::UnionFrames { .. } => "UNION",
+            PhysicalPlan::TranslateChunks { .. } => "TRANSLATE",
+            PhysicalPlan::RotateFrames { .. } => "ROTATE",
+            PhysicalPlan::Subquery { .. } => "SUBQUERY",
+            PhysicalPlan::Store { .. } => "STORE",
+            PhysicalPlan::CreateTlf { .. } => "CREATE",
+            PhysicalPlan::DropTlf { .. } => "DROP",
+            PhysicalPlan::CreateIndex { .. } => "CREATEINDEX",
+            PhysicalPlan::DropIndex { .. } => "DROPINDEX",
+        }
+    }
+
+    /// The device annotation shown in plan listings.
+    pub fn device(&self) -> Option<Device> {
+        match self {
+            PhysicalPlan::ToFrames { device, .. }
+            | PhysicalPlan::FromFrames { device, .. }
+            | PhysicalPlan::SelectFrames { device, .. }
+            | PhysicalPlan::MapFrames { device, .. }
+            | PhysicalPlan::InterpolateFrames { device, .. }
+            | PhysicalPlan::DiscretizeFrames { device, .. }
+            | PhysicalPlan::UnionFrames { device, .. }
+            | PhysicalPlan::RotateFrames { device, .. } => Some(*device),
+            PhysicalPlan::Transfer { to, .. } => Some(*to),
+            _ => None,
+        }
+    }
+
+    /// Number of operators in the plan (subquery bodies excluded —
+    /// they are compiled per partition at run time).
+    pub fn len(&self) -> usize {
+        1 + self.inputs().iter().map(|p| p.len()).sum::<usize>()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True if any operator in the tree satisfies `pred`.
+    pub fn any(&self, pred: &impl Fn(&PhysicalPlan) -> bool) -> bool {
+        pred(self) || self.inputs().iter().any(|p| p.any(pred))
+    }
+
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        for _ in 0..depth {
+            write!(f, "  ")?;
+        }
+        write!(f, "{}", self.name())?;
+        if let Some(d) = self.device() {
+            write!(f, " [{}]", d.name())?;
+        }
+        match self {
+            PhysicalPlan::ScanTlf { name, t_frames, spatial, .. } => {
+                write!(f, "({name}")?;
+                if let Some((a, b)) = t_frames {
+                    write!(f, ", frames {a}..={b}")?;
+                }
+                if spatial.is_some() {
+                    write!(f, ", spatial-filtered")?;
+                }
+                write!(f, ")")?;
+            }
+            PhysicalPlan::DecodeFile { path, .. } => write!(f, "({path})")?,
+            PhysicalPlan::FromFrames { codec, qp, .. } => {
+                write!(f, "({}, qp={qp})", codec.name())?
+            }
+            PhysicalPlan::GopSelect { t_frames, .. } => {
+                write!(f, "(frames {}..={})", t_frames.0, t_frames.1)?
+            }
+            PhysicalPlan::TileSelect { tiles, .. } => write!(f, "({tiles:?})")?,
+            PhysicalPlan::TileUnion { cols, rows, .. } => write!(f, "({cols}×{rows})")?,
+            PhysicalPlan::SelectFrames { predicate, .. } => write!(f, "({predicate})")?,
+            PhysicalPlan::MapFrames { f: func, .. } => write!(f, "({})", func.name())?,
+            PhysicalPlan::InterpolateFrames { f: func, .. } => write!(f, "({})", func.name())?,
+            PhysicalPlan::Subquery { label, .. } => write!(f, "({label})")?,
+            PhysicalPlan::Store { name, .. } => write!(f, "({name})")?,
+            _ => {}
+        }
+        writeln!(f)?;
+        for i in self.inputs() {
+            i.fmt_indented(f, depth + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+impl fmt::Debug for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shows_devices_and_structure() {
+        let plan = PhysicalPlan::MapFrames {
+            input: Box::new(PhysicalPlan::ToFrames {
+                input: Box::new(PhysicalPlan::ScanTlf {
+                    name: "demo".into(),
+                    version: None,
+                    t_frames: Some((0, 29)),
+                    spatial: None,
+                }),
+                device: Device::Gpu,
+            }),
+            f: MapFunction::Builtin(lightdb_core::udf::BuiltinMap::Blur),
+            device: Device::Gpu,
+        };
+        let s = plan.to_string();
+        assert!(s.contains("MAP [GPU](BLUR)"), "{s}");
+        assert!(s.contains("DECODE [GPU]"), "{s}");
+        assert!(s.contains("SCAN(demo, frames 0..=29)"), "{s}");
+        assert_eq!(plan.len(), 3);
+    }
+
+    #[test]
+    fn any_finds_operators() {
+        let plan = PhysicalPlan::GopSelect {
+            input: Box::new(PhysicalPlan::ScanTlf {
+                name: "x".into(),
+                version: None,
+                t_frames: None,
+                spatial: None,
+            }),
+            t_frames: (0, 10),
+        };
+        assert!(plan.any(&|p| matches!(p, PhysicalPlan::GopSelect { .. })));
+        assert!(!plan.any(&|p| matches!(p, PhysicalPlan::TileUnion { .. })));
+    }
+}

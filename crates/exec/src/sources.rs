@@ -1,0 +1,503 @@
+//! Chunk sources: catalog scans and external-file decodes.
+
+use crate::chunk::{Chunk, ChunkPayload, SlabInfo, StreamInfo};
+use crate::metrics::Metrics;
+use crate::{ChunkStream, ExecError, Result};
+use lightdb_codec::{EncodedGop, SequenceHeader, VideoStream};
+use lightdb_container::{GopIndexEntry, TlfBody, TlfDescriptor, Track, TrackRole};
+use lightdb_geom::{Dimension, Interval, Point3, Volume};
+use lightdb_index::persist::load_rtree;
+use lightdb_index::rtree::Rect3;
+use lightdb_index::IndexKey;
+use lightdb_storage::bufferpool::GopKey;
+use lightdb_storage::{BufferPool, Catalog, MediaStore, StoredTlf};
+use std::fs;
+use std::io::Read;
+use std::sync::Arc;
+
+/// One scannable stream resolved from a TLF descriptor: a part with
+/// its track, header, GOP entries, and geometry.
+struct ScanPart {
+    part: usize,
+    header: SequenceHeader,
+    media_path: String,
+    entries: Vec<GopIndexEntry>,
+    volume: Volume,
+    info: StreamInfo,
+}
+
+/// `SCAN`: reads a stored TLF as encoded chunks, using the GOP index
+/// for temporal pushdown (only the needed byte ranges are read) and a
+/// spatial R-tree — when one exists — for point pushdown across
+/// multi-sphere TLFs.
+#[allow(clippy::too_many_arguments)]
+pub fn scan_tlf(
+    catalog: &Catalog,
+    pool: &Arc<BufferPool>,
+    name: &str,
+    version: Option<u64>,
+    t_frames: Option<(u64, u64)>,
+    spatial: Option<Volume>,
+    use_spatial_index: bool,
+    metrics: Metrics,
+) -> Result<ChunkStream> {
+    let stored = metrics.time("SCAN", || catalog.read(name, version))?;
+    if let Some(f) = pool.get_metadata(name, stored.version) {
+        debug_assert_eq!(f.version, stored.version);
+    } else {
+        pool.put_metadata(name, stored.version, stored.metadata.clone());
+    }
+    let media = stored.media();
+    let mut parts = Vec::new();
+    let spatial_ids = if use_spatial_index {
+        spatial_pushdown(catalog, pool, &stored, &spatial)?
+    } else {
+        None // fall back to the linear point filter
+    };
+    resolve_parts(&stored, &media, &stored.metadata.tlf, t_frames, &spatial, &spatial_ids, &mut parts)?;
+    Ok(stream_parts(parts, media, pool.clone(), metrics))
+}
+
+/// Looks up the spatial index (if any) and returns the matching point
+/// ordinals, or `None` when no index exists (fall back to linear
+/// filtering inside `resolve_parts`).
+fn spatial_pushdown(
+    catalog: &Catalog,
+    pool: &Arc<BufferPool>,
+    stored: &StoredTlf,
+    spatial: &Option<Volume>,
+) -> Result<Option<Vec<u64>>> {
+    let Some(vol) = spatial else { return Ok(None) };
+    let tree = match pool.get_rtree(&stored.name, stored.version) {
+        Some(t) => t,
+        None => {
+            let key = IndexKey::new(stored.version, Dimension::SPATIAL.to_vec());
+            let Some(bytes) = catalog.read_aux_file(&stored.name, &key.file_name())? else {
+                return Ok(None);
+            };
+            let Some(tree) = load_rtree(&bytes) else {
+                return Ok(None); // corrupt index: ignore it
+            };
+            let tree = Arc::new(tree);
+            pool.put_rtree(&stored.name, stored.version, tree.clone());
+            tree
+        }
+    };
+    let rect = Rect3::from_volume(vol);
+    let mut ids: Vec<u64> = tree.search(&rect).into_iter().copied().collect();
+    ids.sort_unstable();
+    ids.dedup();
+    Ok(Some(ids))
+}
+
+fn resolve_parts(
+    stored: &StoredTlf,
+    media: &MediaStore,
+    tlf: &TlfDescriptor,
+    t_frames: Option<(u64, u64)>,
+    spatial: &Option<Volume>,
+    spatial_ids: &Option<Vec<u64>>,
+    out: &mut Vec<ScanPart>,
+) -> Result<()> {
+    match &tlf.body {
+        TlfBody::Sphere360 { points } => {
+            for (pi, p) in points.iter().enumerate() {
+                // Spatial pushdown: indexed ids when available, else a
+                // linear point-in-volume check.
+                if let Some(ids) = spatial_ids {
+                    // `ids` is sorted (spatial_pushdown sorts it).
+                    if ids.binary_search(&(pi as u64)).is_err() {
+                        continue;
+                    }
+                } else if let Some(v) = spatial {
+                    if !v.x().contains(p.position.x)
+                        || !v.y().contains(p.position.y)
+                        || !v.z().contains(p.position.z)
+                    {
+                        continue;
+                    }
+                }
+                let track = track_of(stored, p.video_track)?;
+                let header = read_stream_header(media, &track.media_path)?;
+                let entries = filter_entries(&track.gop_index, t_frames);
+                let volume = Volume::sphere_at(
+                    p.position.x,
+                    p.position.y,
+                    p.position.z,
+                    tlf.volume.t(),
+                );
+                out.push(ScanPart {
+                    part: out.len(),
+                    header,
+                    media_path: track.media_path.clone(),
+                    entries,
+                    volume,
+                    info: StreamInfo {
+                        projection: track.projection,
+                        position: p.position,
+                        fps: header.fps,
+                        slab: None,
+                    },
+                });
+            }
+        }
+        TlfBody::Slab { slabs } => {
+            for s in slabs {
+                let track = track_of(stored, s.track)?;
+                let header = read_stream_header(media, &track.media_path)?;
+                let entries = filter_entries(&track.gop_index, t_frames);
+                let centre = Point3::new(
+                    (s.uv_min.x + s.uv_max.x) / 2.0,
+                    (s.uv_min.y + s.uv_max.y) / 2.0,
+                    (s.uv_min.z + s.uv_max.z) / 2.0,
+                );
+                if let Some(v) = spatial {
+                    // A slab is relevant when its uv extent intersects.
+                    let xiv = Interval::new(s.uv_min.x, s.uv_max.x);
+                    let yiv = Interval::new(s.uv_min.y, s.uv_max.y);
+                    if v.x().intersect(&xiv).is_none() || v.y().intersect(&yiv).is_none() {
+                        continue;
+                    }
+                }
+                let volume = tlf
+                    .volume
+                    .with(Dimension::X, Interval::new(s.uv_min.x, s.uv_max.x))
+                    .with(Dimension::Y, Interval::new(s.uv_min.y, s.uv_max.y));
+                out.push(ScanPart {
+                    part: out.len(),
+                    header,
+                    media_path: track.media_path.clone(),
+                    entries,
+                    volume,
+                    info: StreamInfo {
+                        projection: track.projection,
+                        position: centre,
+                        fps: header.fps,
+                        slab: Some(SlabInfo {
+                            nu: s.uv_samples.0 as usize,
+                            nv: s.uv_samples.1 as usize,
+                            uv_min: s.uv_min,
+                            uv_max: s.uv_max,
+                        }),
+                    },
+                });
+            }
+        }
+        TlfBody::Composite { children } => {
+            for c in children {
+                resolve_parts(stored, media, c, t_frames, spatial, spatial_ids, out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn track_of(stored: &StoredTlf, index: u32) -> Result<&Track> {
+    stored
+        .metadata
+        .tracks
+        .get(index as usize)
+        .filter(|t| t.role == TrackRole::Video)
+        .ok_or_else(|| ExecError::Other(format!("TLF references missing video track {index}")))
+}
+
+fn read_stream_header(media: &MediaStore, path: &str) -> Result<SequenceHeader> {
+    let mut f = fs::File::open(media.path_of(path))?;
+    let mut buf = [0u8; 64];
+    let n = f.read(&mut buf)?;
+    Ok(VideoStream::parse_header_prefix(&buf[..n])?)
+}
+
+fn filter_entries(entries: &[GopIndexEntry], t_frames: Option<(u64, u64)>) -> Vec<GopIndexEntry> {
+    match t_frames {
+        None => entries.to_vec(),
+        Some((first, last)) => entries
+            .iter()
+            .filter(|e| e.start_frame <= last && e.start_frame + e.frame_count > first)
+            .copied()
+            .collect(),
+    }
+}
+
+/// Lazily streams a scan's parts in t-major order, pulling GOP bytes
+/// through the buffer pool.
+fn stream_parts(
+    parts: Vec<ScanPart>,
+    media: MediaStore,
+    pool: Arc<BufferPool>,
+    metrics: Metrics,
+) -> ChunkStream {
+    // Flatten (t, part) pairs in t-major order.
+    let mut jobs: Vec<(usize, usize)> = Vec::new(); // (part idx, entry idx)
+    let max_entries = parts.iter().map(|p| p.entries.len()).max().unwrap_or(0);
+    for e in 0..max_entries {
+        for (pi, p) in parts.iter().enumerate() {
+            if e < p.entries.len() {
+                jobs.push((pi, e));
+            }
+        }
+    }
+    let mut jobs = jobs.into_iter();
+    Box::new(std::iter::from_fn(move || {
+        let (pi, ei) = jobs.next()?;
+        let p = &parts[pi];
+        let entry = p.entries[ei];
+        let r = metrics.time("SCAN", || -> Result<Chunk> {
+            let key = GopKey { media: media.path_of(&p.media_path).display().to_string(), gop: entry.start_frame };
+            let bytes = pool.get_gop(&key, || media.read_gop_bytes(&p.media_path, &entry))?;
+            let gop = EncodedGop::from_bytes(&bytes)?;
+            let fps = p.header.fps as f64;
+            let t0 = p.volume.t().lo() + entry.start_frame as f64 / fps;
+            let t1 = t0 + entry.frame_count as f64 / fps;
+            let volume = p.volume.with(Dimension::T, Interval::new(t0, t1));
+            Ok(Chunk {
+                t_index: (entry.start_frame as usize) / p.header.gop_length.max(1),
+                part: p.part,
+                volume,
+                info: p.info,
+                payload: ChunkPayload::Encoded { header: p.header, gop },
+            })
+        });
+        Some(r)
+    }))
+}
+
+/// `DECODE(file)`: ingest an external encoded file as encoded chunks.
+pub fn decode_file(path: &str, metrics: Metrics) -> Result<ChunkStream> {
+    let stream = metrics.time("SCAN", || -> Result<VideoStream> {
+        let bytes = fs::read(path)?;
+        Ok(VideoStream::from_bytes(&bytes)?)
+    })?;
+    Ok(stream_from_video(stream))
+}
+
+/// Wraps an in-memory stream as chunks (used by `decode_file`, tests,
+/// and the baselines).
+pub fn stream_from_video(stream: VideoStream) -> ChunkStream {
+    let header = stream.header;
+    let fps = header.fps as f64;
+    let mut start_frame = 0u64;
+    let chunks: Vec<Chunk> = stream
+        .gops
+        .into_iter()
+        .enumerate()
+        .map(|(i, gop)| {
+            let t0 = start_frame as f64 / fps;
+            let t1 = t0 + gop.frame_count() as f64 / fps;
+            start_frame += gop.frame_count() as u64;
+            Chunk {
+                t_index: i,
+                part: 0,
+                volume: Volume::sphere_at(0.0, 0.0, 0.0, Interval::new(t0, t1)),
+                info: StreamInfo::origin(header.fps),
+                payload: ChunkPayload::Encoded { header, gop },
+            }
+        })
+        .collect();
+    Box::new(chunks.into_iter().map(Ok))
+}
+
+/// The distinguished TLF Ω: defined everywhere, null everywhere — an
+/// empty chunk stream.
+pub fn omega() -> ChunkStream {
+    Box::new(std::iter::empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightdb_codec::{Encoder, EncoderConfig};
+    use lightdb_container::SpherePoint;
+    use lightdb_frame::{Frame, Yuv};
+    use lightdb_geom::projection::ProjectionKind;
+    use lightdb_storage::catalog::TrackWrite;
+    use std::path::PathBuf;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lightdb-src-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn store_demo(catalog: &Catalog, name: &str, seconds: usize) {
+        let frames: Vec<Frame> = (0..seconds * 10)
+            .map(|i| Frame::filled(32, 32, Yuv::new((i * 3 % 250) as u8, 128, 128)))
+            .collect();
+        let stream = Encoder::new(EncoderConfig {
+            gop_length: 10,
+            fps: 10,
+            qp: 35,
+            ..Default::default()
+        })
+        .unwrap()
+        .encode(&frames)
+        .unwrap();
+        let tlf = TlfDescriptor::single_sphere(
+            Point3::ORIGIN,
+            Interval::new(0.0, seconds as f64),
+            0,
+        );
+        catalog
+            .store(
+                name,
+                vec![TrackWrite::New {
+                    role: TrackRole::Video,
+                    projection: ProjectionKind::Equirectangular,
+                    stream,
+                }],
+                tlf,
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn scan_streams_all_gops_in_order() {
+        let catalog = Catalog::open(temp_root("scanall")).unwrap();
+        store_demo(&catalog, "demo", 3);
+        let pool = Arc::new(BufferPool::new(1 << 20));
+        let chunks: Vec<Chunk> =
+            scan_tlf(&catalog, &pool, "demo", None, None, None, true, Metrics::new())
+                .unwrap()
+                .map(|c| c.unwrap())
+                .collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].t_index, 0);
+        assert_eq!(chunks[2].t_index, 2);
+        assert!((chunks[2].volume.t().lo() - 2.0).abs() < 1e-9);
+        fs::remove_dir_all(catalog.root()).unwrap();
+    }
+
+    #[test]
+    fn scan_with_temporal_pushdown_reads_one_gop() {
+        let catalog = Catalog::open(temp_root("pushdown")).unwrap();
+        store_demo(&catalog, "demo", 5);
+        let pool = Arc::new(BufferPool::new(1 << 20));
+        // Frames 30..=39 live in GOP 3 only.
+        let chunks: Vec<Chunk> =
+            scan_tlf(&catalog, &pool, "demo", None, Some((30, 39)), None, true, Metrics::new())
+                .unwrap()
+                .map(|c| c.unwrap())
+                .collect();
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].t_index, 3);
+        // Exactly one GOP was pulled through the pool.
+        assert_eq!(pool.stats().misses, 1);
+        fs::remove_dir_all(catalog.root()).unwrap();
+    }
+
+    #[test]
+    fn repeated_scans_hit_buffer_pool() {
+        let catalog = Catalog::open(temp_root("poolhit")).unwrap();
+        store_demo(&catalog, "demo", 2);
+        let pool = Arc::new(BufferPool::new(1 << 20));
+        for _ in 0..3 {
+            let n = scan_tlf(&catalog, &pool, "demo", None, None, None, true, Metrics::new())
+                .unwrap()
+                .count();
+            assert_eq!(n, 2);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 4);
+        fs::remove_dir_all(catalog.root()).unwrap();
+    }
+
+    #[test]
+    fn multi_point_scan_filters_spatially_without_index() {
+        let catalog = Catalog::open(temp_root("multipoint")).unwrap();
+        // Two spheres at different points sharing one track each.
+        let frames = vec![Frame::filled(32, 32, Yuv::GREY); 2];
+        let mk = || {
+            Encoder::new(EncoderConfig { gop_length: 2, fps: 2, qp: 40, ..Default::default() })
+                .unwrap()
+                .encode(&frames)
+                .unwrap()
+        };
+        let tlf = TlfDescriptor {
+            volume: Volume::everywhere(),
+            streaming: false,
+            partition_spec: vec![],
+            view_subgraph: None,
+            body: TlfBody::Sphere360 {
+                points: vec![
+                    SpherePoint {
+                        position: Point3::new(0.0, 0.0, 0.0),
+                        video_track: 0,
+                        depth_track: None,
+                        right_eye_track: None,
+                    },
+                    SpherePoint {
+                        position: Point3::new(10.0, 0.0, 0.0),
+                        video_track: 1,
+                        depth_track: None,
+                        right_eye_track: None,
+                    },
+                ],
+            },
+        };
+        catalog
+            .store(
+                "two",
+                vec![
+                    TrackWrite::New {
+                        role: TrackRole::Video,
+                        projection: ProjectionKind::Equirectangular,
+                        stream: mk(),
+                    },
+                    TrackWrite::New {
+                        role: TrackRole::Video,
+                        projection: ProjectionKind::Equirectangular,
+                        stream: mk(),
+                    },
+                ],
+                tlf,
+            )
+            .unwrap();
+        let pool = Arc::new(BufferPool::new(1 << 20));
+        let all: Vec<Chunk> = scan_tlf(&catalog, &pool, "two", None, None, None, true, Metrics::new())
+            .unwrap()
+            .map(|c| c.unwrap())
+            .collect();
+        assert_eq!(all.len(), 2); // one GOP per point
+        let near = Volume::everywhere()
+            .with(Dimension::X, Interval::new(5.0, 15.0));
+        let filtered: Vec<Chunk> =
+            scan_tlf(&catalog, &pool, "two", None, None, Some(near), true, Metrics::new())
+                .unwrap()
+                .map(|c| c.unwrap())
+                .collect();
+        assert_eq!(filtered.len(), 1);
+        assert!((filtered[0].info.position.x - 10.0).abs() < 1e-9);
+        fs::remove_dir_all(catalog.root()).unwrap();
+    }
+
+    #[test]
+    fn omega_is_empty() {
+        assert_eq!(omega().count(), 0);
+    }
+
+    #[test]
+    fn decode_file_roundtrip() {
+        let dir = temp_root("decodefile");
+        fs::create_dir_all(&dir).unwrap();
+        let frames = vec![Frame::filled(32, 32, Yuv::GREY); 4];
+        let stream = Encoder::new(EncoderConfig {
+            gop_length: 2,
+            fps: 2,
+            qp: 40,
+            ..Default::default()
+        })
+        .unwrap()
+        .encode(&frames)
+        .unwrap();
+        let path = dir.join("input.lvc");
+        fs::write(&path, stream.to_bytes()).unwrap();
+        let chunks: Vec<Chunk> = decode_file(path.to_str().unwrap(), Metrics::new())
+            .unwrap()
+            .map(|c| c.unwrap())
+            .collect();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[1].t_index, 1);
+        fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -1,0 +1,135 @@
+//! Colour representations and conversions.
+//!
+//! LightDB models TLF values as points in a user-specified colour
+//! space. The physical layer works in YUV (BT.601 full-range), the
+//! colour space video codecs consume; RGB is provided for UDFs and
+//! dataset generation.
+
+use serde::{Deserialize, Serialize};
+
+/// A full-range BT.601 YUV colour sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Yuv {
+    pub y: u8,
+    pub u: u8,
+    pub v: u8,
+}
+
+impl Yuv {
+    pub const BLACK: Yuv = Yuv { y: 0, u: 128, v: 128 };
+    pub const WHITE: Yuv = Yuv { y: 255, u: 128, v: 128 };
+    /// Mid-grey, used as the canvas for freshly created TLFs.
+    pub const GREY: Yuv = Yuv { y: 128, u: 128, v: 128 };
+
+    #[inline]
+    pub const fn new(y: u8, u: u8, v: u8) -> Self {
+        Yuv { y, u, v }
+    }
+
+    /// True when the chroma channels are neutral (a grayscale sample).
+    #[inline]
+    pub fn is_achromatic(&self) -> bool {
+        self.u == 128 && self.v == 128
+    }
+
+    /// Converts to RGB (full-range BT.601).
+    pub fn to_rgb(self) -> Rgb {
+        let y = self.y as f32;
+        let u = self.u as f32 - 128.0;
+        let v = self.v as f32 - 128.0;
+        let r = y + 1.402 * v;
+        let g = y - 0.344_136 * u - 0.714_136 * v;
+        let b = y + 1.772 * u;
+        Rgb { r: clamp_u8(r), g: clamp_u8(g), b: clamp_u8(b) }
+    }
+}
+
+/// An 8-bit RGB colour sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Rgb {
+    pub r: u8,
+    pub g: u8,
+    pub b: u8,
+}
+
+impl Rgb {
+    pub const BLACK: Rgb = Rgb { r: 0, g: 0, b: 0 };
+    pub const WHITE: Rgb = Rgb { r: 255, g: 255, b: 255 };
+    pub const RED: Rgb = Rgb { r: 255, g: 0, b: 0 };
+    pub const GREEN: Rgb = Rgb { r: 0, g: 255, b: 0 };
+    pub const BLUE: Rgb = Rgb { r: 0, g: 0, b: 255 };
+
+    #[inline]
+    pub const fn new(r: u8, g: u8, b: u8) -> Self {
+        Rgb { r, g, b }
+    }
+
+    /// Converts to full-range BT.601 YUV.
+    pub fn to_yuv(self) -> Yuv {
+        let r = self.r as f32;
+        let g = self.g as f32;
+        let b = self.b as f32;
+        let y = 0.299 * r + 0.587 * g + 0.114 * b;
+        let u = -0.168_736 * r - 0.331_264 * g + 0.5 * b + 128.0;
+        let v = 0.5 * r - 0.418_688 * g - 0.081_312 * b + 128.0;
+        Yuv { y: clamp_u8(y), u: clamp_u8(u), v: clamp_u8(v) }
+    }
+
+    /// Perceptual luma of this colour, `0..=255`.
+    pub fn luma(self) -> u8 {
+        self.to_yuv().y
+    }
+}
+
+#[inline]
+fn clamp_u8(v: f32) -> u8 {
+    v.round().clamp(0.0, 255.0) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn primaries_roundtrip_closely() {
+        for c in [Rgb::BLACK, Rgb::WHITE, Rgb::RED, Rgb::GREEN, Rgb::BLUE] {
+            let back = c.to_yuv().to_rgb();
+            assert!((c.r as i32 - back.r as i32).abs() <= 2, "{c:?} -> {back:?}");
+            assert!((c.g as i32 - back.g as i32).abs() <= 2, "{c:?} -> {back:?}");
+            assert!((c.b as i32 - back.b as i32).abs() <= 2, "{c:?} -> {back:?}");
+        }
+    }
+
+    #[test]
+    fn grey_is_achromatic() {
+        assert!(Yuv::GREY.is_achromatic());
+        assert!(Rgb::new(77, 77, 77).to_yuv().is_achromatic());
+        assert!(!Rgb::RED.to_yuv().is_achromatic());
+    }
+
+    #[test]
+    fn black_and_white_luma() {
+        assert_eq!(Rgb::BLACK.luma(), 0);
+        assert_eq!(Rgb::WHITE.luma(), 255);
+    }
+
+    proptest! {
+        #[test]
+        fn yuv_rgb_roundtrip_is_close(r in 0u8..=255, g in 0u8..=255, b in 0u8..=255) {
+            let c = Rgb::new(r, g, b);
+            let back = c.to_yuv().to_rgb();
+            // 4:4:4 roundtrip error from 8-bit quantisation is small.
+            prop_assert!((c.r as i32 - back.r as i32).abs() <= 3);
+            prop_assert!((c.g as i32 - back.g as i32).abs() <= 3);
+            prop_assert!((c.b as i32 - back.b as i32).abs() <= 3);
+        }
+
+        #[test]
+        fn luma_is_monotone_in_brightness(v in 0u8..=254) {
+            let darker = Rgb::new(v, v, v);
+            let lighter = Rgb::new(v + 1, v + 1, v + 1);
+            prop_assert!(darker.luma() <= lighter.luma());
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Planar YUV 4:2:0 frames.
+
+use crate::color::Yuv;
+use serde::{Deserialize, Serialize};
+
+/// Identifies one of the three planes of a 4:2:0 frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaneKind {
+    Luma,
+    Cb,
+    Cr,
+}
+
+/// A planar YUV 4:2:0 video frame.
+///
+/// The luma plane is `width × height`; each chroma plane is
+/// `(width/2) × (height/2)`. Width and height must be even — the
+/// codec's block structure and chroma subsampling both require it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    width: usize,
+    height: usize,
+    y: Vec<u8>,
+    u: Vec<u8>,
+    v: Vec<u8>,
+}
+
+impl Frame {
+    /// Creates a frame filled with mid-grey.
+    pub fn new(width: usize, height: usize) -> Self {
+        Frame::filled(width, height, Yuv::GREY)
+    }
+
+    /// Creates a frame filled with a solid colour.
+    pub fn filled(width: usize, height: usize, color: Yuv) -> Self {
+        assert!(width > 0 && height > 0, "frame dimensions must be positive");
+        assert!(width.is_multiple_of(2) && height.is_multiple_of(2), "frame dimensions must be even (4:2:0)");
+        Frame {
+            width,
+            height,
+            y: vec![color.y; width * height],
+            u: vec![color.u; (width / 2) * (height / 2)],
+            v: vec![color.v; (width / 2) * (height / 2)],
+        }
+    }
+
+    /// Reassembles a frame from raw planes (sizes are validated).
+    pub fn from_planes(width: usize, height: usize, y: Vec<u8>, u: Vec<u8>, v: Vec<u8>) -> Self {
+        assert_eq!(y.len(), width * height, "luma plane size mismatch");
+        assert_eq!(u.len(), (width / 2) * (height / 2), "Cb plane size mismatch");
+        assert_eq!(v.len(), (width / 2) * (height / 2), "Cr plane size mismatch");
+        assert!(width.is_multiple_of(2) && height.is_multiple_of(2), "frame dimensions must be even (4:2:0)");
+        Frame { width, height, y, u, v }
+    }
+
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total sample count across the three planes.
+    #[inline]
+    pub fn sample_count(&self) -> usize {
+        self.y.len() + self.u.len() + self.v.len()
+    }
+
+    #[inline]
+    pub fn plane(&self, kind: PlaneKind) -> &[u8] {
+        match kind {
+            PlaneKind::Luma => &self.y,
+            PlaneKind::Cb => &self.u,
+            PlaneKind::Cr => &self.v,
+        }
+    }
+
+    #[inline]
+    pub fn plane_mut(&mut self, kind: PlaneKind) -> &mut [u8] {
+        match kind {
+            PlaneKind::Luma => &mut self.y,
+            PlaneKind::Cb => &mut self.u,
+            PlaneKind::Cr => &mut self.v,
+        }
+    }
+
+    /// Plane dimensions for `kind` (chroma planes are half-size).
+    pub fn plane_dims(&self, kind: PlaneKind) -> (usize, usize) {
+        match kind {
+            PlaneKind::Luma => (self.width, self.height),
+            PlaneKind::Cb | PlaneKind::Cr => (self.width / 2, self.height / 2),
+        }
+    }
+
+    /// Reads the full colour at pixel `(x, y)` (chroma is subsampled).
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> Yuv {
+        debug_assert!(x < self.width && y < self.height);
+        let ci = (y / 2) * (self.width / 2) + x / 2;
+        Yuv { y: self.y[y * self.width + x], u: self.u[ci], v: self.v[ci] }
+    }
+
+    /// Writes a colour at pixel `(x, y)`. The chroma sample shared by
+    /// the 2×2 neighbourhood is overwritten.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, c: Yuv) {
+        debug_assert!(x < self.width && y < self.height);
+        self.y[y * self.width + x] = c.y;
+        let ci = (y / 2) * (self.width / 2) + x / 2;
+        self.u[ci] = c.u;
+        self.v[ci] = c.v;
+    }
+
+    /// Luma value at `(x, y)` without touching chroma.
+    #[inline]
+    pub fn luma_at(&self, x: usize, y: usize) -> u8 {
+        self.y[y * self.width + x]
+    }
+
+    /// Copies `src` into this frame with its top-left corner at
+    /// `(dst_x, dst_y)`, clipping at the borders.
+    pub fn blit(&mut self, src: &Frame, dst_x: usize, dst_y: usize) {
+        let w = src.width.min(self.width.saturating_sub(dst_x));
+        let h = src.height.min(self.height.saturating_sub(dst_y));
+        for row in 0..h {
+            let s = row * src.width;
+            let d = (dst_y + row) * self.width + dst_x;
+            self.y[d..d + w].copy_from_slice(&src.y[s..s + w]);
+        }
+        let (cw, ch) = (w / 2, h / 2);
+        let (scw, dcw) = (src.width / 2, self.width / 2);
+        for row in 0..ch {
+            let s = row * scw;
+            let d = (dst_y / 2 + row) * dcw + dst_x / 2;
+            self.u[d..d + cw].copy_from_slice(&src.u[s..s + cw]);
+            self.v[d..d + cw].copy_from_slice(&src.v[s..s + cw]);
+        }
+    }
+
+    /// Extracts the `w × h` sub-frame whose top-left corner is at
+    /// `(x0, y0)`. All four values must be even and in bounds.
+    pub fn crop(&self, x0: usize, y0: usize, w: usize, h: usize) -> Frame {
+        assert!(x0.is_multiple_of(2) && y0.is_multiple_of(2) && w.is_multiple_of(2) && h.is_multiple_of(2), "crop must be 2-aligned");
+        assert!(x0 + w <= self.width && y0 + h <= self.height, "crop out of bounds");
+        let mut out = Frame::new(w, h);
+        for row in 0..h {
+            let s = (y0 + row) * self.width + x0;
+            let d = row * w;
+            out.y[d..d + w].copy_from_slice(&self.y[s..s + w]);
+        }
+        let (cw, ch) = (w / 2, h / 2);
+        let scw = self.width / 2;
+        for row in 0..ch {
+            let s = (y0 / 2 + row) * scw + x0 / 2;
+            let d = row * cw;
+            out.u[d..d + cw].copy_from_slice(&self.u[s..s + cw]);
+            out.v[d..d + cw].copy_from_slice(&self.v[s..s + cw]);
+        }
+        out
+    }
+
+    /// Nearest-neighbour rescale to `new_w × new_h` (both even).
+    ///
+    /// Used by `DISCRETIZE` when resampling a TLF's angular resolution
+    /// (e.g. down to the 480×480 input of a detector UDF).
+    pub fn resize(&self, new_w: usize, new_h: usize) -> Frame {
+        assert!(new_w.is_multiple_of(2) && new_h.is_multiple_of(2), "resize target must be even");
+        let mut out = Frame::new(new_w, new_h);
+        for oy in 0..new_h {
+            let sy = oy * self.height / new_h;
+            for ox in 0..new_w {
+                let sx = ox * self.width / new_w;
+                out.y[oy * new_w + ox] = self.y[sy * self.width + sx];
+            }
+        }
+        let (ncw, nch) = (new_w / 2, new_h / 2);
+        let (scw, sch) = (self.width / 2, self.height / 2);
+        for oy in 0..nch {
+            let sy = oy * sch / nch;
+            for ox in 0..ncw {
+                let sx = ox * scw / ncw;
+                out.u[oy * ncw + ox] = self.u[sy * scw + sx];
+                out.v[oy * ncw + ox] = self.v[sy * scw + sx];
+            }
+        }
+        out
+    }
+
+    /// Serialises the three planes into one contiguous I420 buffer.
+    pub fn to_i420_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.sample_count());
+        out.extend_from_slice(&self.y);
+        out.extend_from_slice(&self.u);
+        out.extend_from_slice(&self.v);
+        out
+    }
+
+    /// Inverse of [`Frame::to_i420_bytes`].
+    pub fn from_i420_bytes(width: usize, height: usize, bytes: &[u8]) -> Frame {
+        let ysz = width * height;
+        let csz = (width / 2) * (height / 2);
+        assert_eq!(bytes.len(), ysz + 2 * csz, "I420 buffer size mismatch");
+        Frame::from_planes(
+            width,
+            height,
+            bytes[..ysz].to_vec(),
+            bytes[ysz..ysz + csz].to_vec(),
+            bytes[ysz + csz..].to_vec(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Rgb;
+
+    #[test]
+    fn new_frame_is_grey() {
+        let f = Frame::new(16, 8);
+        assert_eq!(f.get(0, 0), Yuv::GREY);
+        assert_eq!(f.get(15, 7), Yuv::GREY);
+        assert_eq!(f.sample_count(), 16 * 8 + 2 * 8 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_dimensions_rejected() {
+        Frame::new(15, 8);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut f = Frame::new(8, 8);
+        let red = Rgb::RED.to_yuv();
+        f.set(3, 5, red);
+        assert_eq!(f.get(3, 5), red);
+        // Chroma is shared within the 2×2 block.
+        assert_eq!(f.get(2, 4).u, red.u);
+    }
+
+    #[test]
+    fn blit_copies_region() {
+        let mut dst = Frame::filled(16, 16, Yuv::BLACK);
+        let src = Frame::filled(4, 4, Yuv::WHITE);
+        dst.blit(&src, 8, 8);
+        assert_eq!(dst.get(8, 8), Yuv::WHITE);
+        assert_eq!(dst.get(11, 11), Yuv::WHITE);
+        assert_eq!(dst.get(7, 7), Yuv::BLACK);
+        assert_eq!(dst.get(12, 12), Yuv::BLACK);
+    }
+
+    #[test]
+    fn blit_clips_at_border() {
+        let mut dst = Frame::filled(8, 8, Yuv::BLACK);
+        let src = Frame::filled(8, 8, Yuv::WHITE);
+        dst.blit(&src, 6, 6);
+        assert_eq!(dst.get(7, 7), Yuv::WHITE);
+        assert_eq!(dst.get(5, 5), Yuv::BLACK);
+    }
+
+    #[test]
+    fn crop_then_blit_roundtrips() {
+        let mut f = Frame::new(16, 16);
+        f.set(5, 5, Yuv::WHITE);
+        let c = f.crop(4, 4, 8, 8);
+        assert_eq!(c.get(1, 1), Yuv::WHITE);
+        let mut g = Frame::new(16, 16);
+        g.blit(&c, 4, 4);
+        assert_eq!(g.get(5, 5), Yuv::WHITE);
+    }
+
+    #[test]
+    fn resize_preserves_solid_color() {
+        let f = Frame::filled(32, 16, Yuv::new(200, 90, 30));
+        let r = f.resize(8, 4);
+        assert_eq!(r.width(), 8);
+        assert_eq!(r.get(3, 2), Yuv::new(200, 90, 30));
+    }
+
+    #[test]
+    fn i420_roundtrip() {
+        let mut f = Frame::new(8, 8);
+        f.set(1, 1, Yuv::new(10, 20, 30));
+        let bytes = f.to_i420_bytes();
+        let g = Frame::from_i420_bytes(8, 8, &bytes);
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn crop_out_of_bounds_panics() {
+        let f = Frame::new(8, 8);
+        assert!(std::panic::catch_unwind(|| f.crop(4, 4, 8, 8)).is_err());
+    }
+}

@@ -1,0 +1,317 @@
+//! Pixel kernels backing LightDB's built-in `MAP` / `UNION` functions.
+//!
+//! Every kernel comes in a whole-frame form and a row-range form
+//! (`*_rows`) over `[row_lo, row_hi)` of the *luma* plane; chroma rows
+//! are derived (half rate). The row-range forms let the simulated-GPU
+//! backend split a kernel across worker threads without the kernels
+//! knowing anything about devices.
+
+use crate::color::Yuv;
+use crate::frame::{Frame, PlaneKind};
+
+/// Converts to grayscale by neutralising the chroma planes — the
+/// paper's `GRAYSCALE` built-in "drops the chroma signal".
+pub fn grayscale(src: &Frame) -> Frame {
+    let mut dst = src.clone();
+    grayscale_rows(src, &mut dst, 0, src.height());
+    dst
+}
+
+/// Row-range form of [`grayscale`].
+pub fn grayscale_rows(src: &Frame, dst: &mut Frame, row_lo: usize, row_hi: usize) {
+    debug_assert_eq!(src.width(), dst.width());
+    let w = src.width();
+    let y_src = src.plane(PlaneKind::Luma);
+    dst.plane_mut(PlaneKind::Luma)[row_lo * w..row_hi * w]
+        .copy_from_slice(&y_src[row_lo * w..row_hi * w]);
+    let cw = w / 2;
+    let (clo, chi) = (row_lo / 2, row_hi / 2);
+    for plane in [PlaneKind::Cb, PlaneKind::Cr] {
+        dst.plane_mut(plane)[clo * cw..chi * cw].fill(128);
+    }
+}
+
+/// 3×3 truncated-Gaussian blur (kernel `[1 2 1; 2 4 2; 1 2 1] / 16`),
+/// the paper's `BLUR` built-in (a truncated Gaussian convolution).
+pub fn blur(src: &Frame) -> Frame {
+    let mut dst = src.clone();
+    blur_rows(src, &mut dst, 0, src.height());
+    dst
+}
+
+/// Row-range form of [`blur`].
+pub fn blur_rows(src: &Frame, dst: &mut Frame, row_lo: usize, row_hi: usize) {
+    convolve3x3_rows(src, dst, row_lo, row_hi, &[1, 2, 1, 2, 4, 2, 1, 2, 1], 16, 0);
+}
+
+/// Unsharp-mask sharpen (kernel `[0 -1 0; -1 8 -1; 0 -1 0] / 4`),
+/// the paper's `SHARPEN` built-in.
+pub fn sharpen(src: &Frame) -> Frame {
+    let mut dst = src.clone();
+    sharpen_rows(src, &mut dst, 0, src.height());
+    dst
+}
+
+/// Row-range form of [`sharpen`].
+pub fn sharpen_rows(src: &Frame, dst: &mut Frame, row_lo: usize, row_hi: usize) {
+    convolve3x3_rows(src, dst, row_lo, row_hi, &[0, -1, 0, -1, 8, -1, 0, -1, 0], 4, 0);
+}
+
+/// Applies a 3×3 integer convolution with divisor and bias to the luma
+/// plane rows `[row_lo, row_hi)`, clamping at the frame borders.
+/// Chroma planes are copied through unchanged for the matching rows.
+pub fn convolve3x3_rows(
+    src: &Frame,
+    dst: &mut Frame,
+    row_lo: usize,
+    row_hi: usize,
+    kernel: &[i32; 9],
+    divisor: i32,
+    bias: i32,
+) {
+    debug_assert!(divisor != 0);
+    let (w, h) = (src.width(), src.height());
+    let y_src = src.plane(PlaneKind::Luma);
+    {
+        let y_dst = dst.plane_mut(PlaneKind::Luma);
+        for row in row_lo..row_hi {
+            for col in 0..w {
+                let mut acc = 0i32;
+                for (ki, (dy, dx)) in
+                    [(-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 0), (0, 1), (1, -1), (1, 0), (1, 1)]
+                        .iter()
+                        .enumerate()
+                {
+                    let sy = (row as isize + dy).clamp(0, h as isize - 1) as usize;
+                    let sx = (col as isize + dx).clamp(0, w as isize - 1) as usize;
+                    acc += kernel[ki] * y_src[sy * w + sx] as i32;
+                }
+                y_dst[row * w + col] = ((acc / divisor) + bias).clamp(0, 255) as u8;
+            }
+        }
+    }
+    let cw = w / 2;
+    let (clo, chi) = (row_lo / 2, row_hi / 2);
+    for plane in [PlaneKind::Cb, PlaneKind::Cr] {
+        let s = src.plane(plane)[clo * cw..chi * cw].to_vec();
+        dst.plane_mut(plane)[clo * cw..chi * cw].copy_from_slice(&s);
+    }
+}
+
+/// Adjusts contrast around mid-grey: `y' = (y - 128) · gain + 128`.
+pub fn contrast(src: &Frame, gain: f32) -> Frame {
+    let mut dst = src.clone();
+    contrast_rows(src, &mut dst, gain, 0, src.height());
+    dst
+}
+
+/// Row-range form of [`contrast`].
+pub fn contrast_rows(src: &Frame, dst: &mut Frame, gain: f32, row_lo: usize, row_hi: usize) {
+    let w = src.width();
+    let y_src = src.plane(PlaneKind::Luma);
+    let y_dst = dst.plane_mut(PlaneKind::Luma);
+    for i in row_lo * w..row_hi * w {
+        y_dst[i] = ((y_src[i] as f32 - 128.0) * gain + 128.0).clamp(0.0, 255.0) as u8;
+    }
+    let cw = w / 2;
+    let (clo, chi) = (row_lo / 2, row_hi / 2);
+    for plane in [PlaneKind::Cb, PlaneKind::Cr] {
+        let s = src.plane(plane)[clo * cw..chi * cw].to_vec();
+        dst.plane_mut(plane)[clo * cw..chi * cw].copy_from_slice(&s);
+    }
+}
+
+/// Alpha-blends `overlay` onto `base` at `(x0, y0)` with opacity
+/// `alpha ∈ [0, 1]` — the watermark union in the running example.
+pub fn overlay_blend(base: &mut Frame, overlay: &Frame, x0: usize, y0: usize, alpha: f32) {
+    let a = alpha.clamp(0.0, 1.0);
+    let w = overlay.width().min(base.width().saturating_sub(x0));
+    let h = overlay.height().min(base.height().saturating_sub(y0));
+    for row in 0..h {
+        for col in 0..w {
+            let s = overlay.get(col, row);
+            let d = base.get(x0 + col, y0 + row);
+            base.set(
+                x0 + col,
+                y0 + row,
+                Yuv::new(
+                    mix(d.y, s.y, a),
+                    mix(d.u, s.u, a),
+                    mix(d.v, s.v, a),
+                ),
+            );
+        }
+    }
+}
+
+#[inline]
+fn mix(dst: u8, src: u8, a: f32) -> u8 {
+    (dst as f32 * (1.0 - a) + src as f32 * a).round().clamp(0.0, 255.0) as u8
+}
+
+/// Draws an axis-aligned rectangle outline (thickness in pixels) —
+/// used by the AR workload to highlight detections.
+pub fn draw_rect(
+    frame: &mut Frame,
+    x0: usize,
+    y0: usize,
+    w: usize,
+    h: usize,
+    thickness: usize,
+    color: Yuv,
+) {
+    let x1 = (x0 + w).min(frame.width());
+    let y1 = (y0 + h).min(frame.height());
+    for y in y0..y1 {
+        for x in x0..x1 {
+            let on_edge = x < x0 + thickness
+                || x >= x1.saturating_sub(thickness)
+                || y < y0 + thickness
+                || y >= y1.saturating_sub(thickness);
+            if on_edge {
+                frame.set(x, y, color);
+            }
+        }
+    }
+}
+
+/// Synthetic "focus" kernel for light-field rendering demos: blends
+/// each pixel toward the blurred image weighted by luma gradient,
+/// emulating refocusing. Deterministic and cheap.
+pub fn focus(src: &Frame) -> Frame {
+    let blurred = blur(src);
+    let mut dst = src.clone();
+    let w = src.width();
+    for row in 0..src.height() {
+        for col in 0..w {
+            let orig = src.luma_at(col, row) as i32;
+            let soft = blurred.luma_at(col, row) as i32;
+            let gradient = (orig - soft).abs().min(32);
+            // High-gradient (in-focus) pixels keep the original; flat
+            // regions take the blurred value.
+            let blend = 32 - gradient;
+            let v = (orig * (32 - blend) + soft * blend) / 32;
+            dst.plane_mut(PlaneKind::Luma)[row * w + col] = v.clamp(0, 255) as u8;
+        }
+    }
+    dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Rgb;
+
+    fn gradient_frame(w: usize, h: usize) -> Frame {
+        let mut f = Frame::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                f.set(x, y, Yuv::new(((x * 7 + y * 13) % 256) as u8, (x % 256) as u8, (y % 256) as u8));
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn grayscale_neutralises_chroma() {
+        let f = gradient_frame(16, 16);
+        let g = grayscale(&f);
+        for y in 0..16 {
+            for x in 0..16 {
+                assert!(g.get(x, y).is_achromatic());
+                assert_eq!(g.get(x, y).y, f.get(x, y).y);
+            }
+        }
+    }
+
+    #[test]
+    fn blur_preserves_solid_frames() {
+        let f = Frame::filled(16, 16, Yuv::new(77, 100, 150));
+        let b = blur(&f);
+        assert_eq!(b, f);
+    }
+
+    #[test]
+    fn blur_smooths_an_impulse() {
+        let mut f = Frame::filled(16, 16, Yuv::BLACK);
+        f.set(8, 8, Yuv::WHITE);
+        let b = blur(&f);
+        assert!(b.luma_at(8, 8) < 255);
+        assert!(b.luma_at(7, 8) > 0);
+        assert!(b.luma_at(9, 9) > 0);
+    }
+
+    #[test]
+    fn sharpen_amplifies_an_edge() {
+        let mut f = Frame::filled(16, 16, Yuv::new(100, 128, 128));
+        for y in 0..16 {
+            for x in 8..16 {
+                f.set(x, y, Yuv::new(160, 128, 128));
+            }
+        }
+        let s = sharpen(&f);
+        // Just past the edge the luma overshoots the source values.
+        assert!(s.luma_at(8, 8) > 160);
+        assert!(s.luma_at(7, 8) < 100);
+    }
+
+    #[test]
+    fn row_range_forms_compose_to_whole_frame() {
+        let f = gradient_frame(16, 16);
+        let whole = blur(&f);
+        let mut pieced = f.clone();
+        blur_rows(&f, &mut pieced, 0, 8);
+        blur_rows(&f, &mut pieced, 8, 16);
+        assert_eq!(whole, pieced);
+    }
+
+    #[test]
+    fn contrast_unity_gain_is_identity() {
+        let f = gradient_frame(8, 8);
+        assert_eq!(contrast(&f, 1.0), f);
+    }
+
+    #[test]
+    fn contrast_zero_gain_flattens() {
+        let f = gradient_frame(8, 8);
+        let c = contrast(&f, 0.0);
+        for y in 0..8 {
+            for x in 0..8 {
+                assert_eq!(c.luma_at(x, y), 128);
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_full_alpha_replaces() {
+        let mut base = Frame::filled(8, 8, Yuv::BLACK);
+        let mark = Frame::filled(4, 4, Yuv::WHITE);
+        overlay_blend(&mut base, &mark, 2, 2, 1.0);
+        assert_eq!(base.get(3, 3), Yuv::WHITE);
+        assert_eq!(base.get(0, 0), Yuv::BLACK);
+    }
+
+    #[test]
+    fn overlay_half_alpha_mixes() {
+        let mut base = Frame::filled(8, 8, Yuv::new(0, 128, 128));
+        let mark = Frame::filled(4, 4, Yuv::new(200, 128, 128));
+        overlay_blend(&mut base, &mark, 0, 0, 0.5);
+        assert_eq!(base.luma_at(0, 0), 100);
+    }
+
+    #[test]
+    fn draw_rect_outline_only() {
+        let mut f = Frame::filled(16, 16, Yuv::BLACK);
+        let red = Rgb::RED.to_yuv();
+        draw_rect(&mut f, 4, 4, 8, 8, 1, red);
+        assert_eq!(f.get(4, 4), red); // corner
+        assert_eq!(f.get(11, 4), red); // top edge
+        assert_eq!(f.luma_at(8, 8), Yuv::BLACK.y); // interior untouched
+    }
+
+    #[test]
+    fn focus_is_deterministic_and_bounded() {
+        let f = gradient_frame(16, 16);
+        assert_eq!(focus(&f), focus(&f));
+    }
+}

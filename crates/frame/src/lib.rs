@@ -1,0 +1,20 @@
+//! # lightdb-frame
+//!
+//! Raster-frame substrate for LightDB: YUV 4:2:0 frames, colour-space
+//! conversion, and the pixel kernels (grayscale, blur, sharpen,
+//! overlay, …) that back LightDB's built-in `MAP` functions.
+//!
+//! Kernels are exposed in two forms:
+//!
+//! * whole-frame convenience functions (`kernels::grayscale`, …);
+//! * row-range forms (`*_rows`) that process `[row_lo, row_hi)` only,
+//!   which the simulated-GPU execution backend uses to parallelise a
+//!   kernel across worker threads.
+
+pub mod color;
+pub mod frame;
+pub mod kernels;
+pub mod stats;
+
+pub use color::{Rgb, Yuv};
+pub use frame::{Frame, PlaneKind};

@@ -1,0 +1,76 @@
+//! Frame-quality statistics used by tests and the benchmark harness.
+
+use crate::frame::{Frame, PlaneKind};
+
+/// Mean squared error between the luma planes of two frames.
+pub fn luma_mse(a: &Frame, b: &Frame) -> f64 {
+    assert_eq!(a.width(), b.width());
+    assert_eq!(a.height(), b.height());
+    let pa = a.plane(PlaneKind::Luma);
+    let pb = b.plane(PlaneKind::Luma);
+    let sum: u64 = pa
+        .iter()
+        .zip(pb.iter())
+        .map(|(&x, &y)| {
+            let d = x as i64 - y as i64;
+            (d * d) as u64
+        })
+        .sum();
+    sum as f64 / pa.len() as f64
+}
+
+/// Peak signal-to-noise ratio (dB) between the luma planes. Returns
+/// `f64::INFINITY` for identical planes.
+pub fn luma_psnr(a: &Frame, b: &Frame) -> f64 {
+    let mse = luma_mse(a, b);
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+}
+
+/// Mean luma of a frame, `0.0..=255.0`.
+pub fn mean_luma(f: &Frame) -> f64 {
+    let p = f.plane(PlaneKind::Luma);
+    p.iter().map(|&v| v as u64).sum::<u64>() as f64 / p.len() as f64
+}
+
+/// Sample variance of the luma plane — a cheap activity measure used
+/// by the tiling workload's importance predictor.
+pub fn luma_variance(f: &Frame) -> f64 {
+    let mean = mean_luma(f);
+    let p = f.plane(PlaneKind::Luma);
+    p.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / p.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Yuv;
+
+    #[test]
+    fn identical_frames_have_zero_mse() {
+        let f = Frame::filled(8, 8, Yuv::new(100, 110, 120));
+        assert_eq!(luma_mse(&f, &f), 0.0);
+        assert!(luma_psnr(&f, &f).is_infinite());
+    }
+
+    #[test]
+    fn mse_matches_hand_computation() {
+        let a = Frame::filled(8, 8, Yuv::new(100, 128, 128));
+        let b = Frame::filled(8, 8, Yuv::new(110, 128, 128));
+        assert_eq!(luma_mse(&a, &b), 100.0);
+        let psnr = luma_psnr(&a, &b);
+        assert!((psnr - 28.13).abs() < 0.01, "psnr={psnr}");
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let mut f = Frame::filled(2, 2, Yuv::new(0, 128, 128));
+        f.set(0, 0, Yuv::new(200, 128, 128));
+        f.set(1, 0, Yuv::new(200, 128, 128));
+        assert_eq!(mean_luma(&f), 100.0);
+        assert_eq!(luma_variance(&f), 10_000.0);
+    }
+}

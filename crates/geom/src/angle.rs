@@ -1,0 +1,183 @@
+//! Periodic angular domains.
+//!
+//! The TLF data model gives the azimuthal angle `θ` the right-open
+//! periodic domain `[0, 2π)` and the polar angle `φ` the right-open
+//! domain `[0, π)`. Ranging `φ` over `[0, 2π)` would be ambiguous — the
+//! paper's example: `(π/2, π)` and `(3π/2, 0)` would identify the same
+//! point on the sphere — so `φ` is *not* periodic; instead, crossing a
+//! pole reflects `φ` and flips `θ` by half a turn (see
+//! [`normalize_direction`]).
+
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// The period of the azimuthal dimension: `2π`.
+pub const THETA_PERIOD: f64 = 2.0 * PI;
+
+/// The exclusive upper bound of the polar dimension: `π`.
+pub const PHI_MAX: f64 = PI;
+
+/// An azimuthal angle, always normalised into `[0, 2π)`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Theta(f64);
+
+impl Theta {
+    /// Creates a `Theta`, wrapping the argument into `[0, 2π)`.
+    #[inline]
+    pub fn new(radians: f64) -> Self {
+        Theta(wrap_theta(radians))
+    }
+
+    /// The normalised value in `[0, 2π)`.
+    #[inline]
+    pub fn radians(self) -> f64 {
+        self.0
+    }
+
+    /// Rotates by `delta` radians, re-normalising.
+    #[inline]
+    pub fn rotate(self, delta: f64) -> Self {
+        Theta::new(self.0 + delta)
+    }
+
+    /// The shortest angular distance to `other`, in `[0, π]`.
+    pub fn distance(self, other: Theta) -> f64 {
+        let d = (self.0 - other.0).abs();
+        d.min(THETA_PERIOD - d)
+    }
+}
+
+/// A polar angle, clamped into `[0, π)`.
+///
+/// Construction via [`Phi::new`] panics (in debug builds) when given a
+/// value outside `[0, π)` after pole reflection is expected to have
+/// been applied by the caller; use [`normalize_direction`] to normalise
+/// a raw `(θ, φ)` pair that may have crossed a pole.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Phi(f64);
+
+impl Phi {
+    /// Creates a `Phi` from a value already in `[0, π)`.
+    ///
+    /// Values equal to `π` (within tolerance) are snapped just below
+    /// the bound so that the right-open invariant holds.
+    #[inline]
+    pub fn new(radians: f64) -> Self {
+        debug_assert!(
+            (-crate::EPSILON..=PHI_MAX + crate::EPSILON).contains(&radians),
+            "phi {radians} outside [0, π)"
+        );
+        let clamped = radians.clamp(0.0, PHI_MAX - f64::EPSILON * 4.0);
+        Phi(clamped)
+    }
+
+    /// The value in `[0, π)`.
+    #[inline]
+    pub fn radians(self) -> f64 {
+        self.0
+    }
+}
+
+/// Wraps an arbitrary azimuth into `[0, 2π)`.
+#[inline]
+pub fn wrap_theta(radians: f64) -> f64 {
+    let r = radians.rem_euclid(THETA_PERIOD);
+    // rem_euclid can return the period itself when the input is a tiny
+    // negative number; fold that case back to zero.
+    if r >= THETA_PERIOD {
+        0.0
+    } else {
+        r
+    }
+}
+
+/// Normalises a raw direction `(θ, φ)` where `φ` may lie outside
+/// `[0, π)` (for example after a rotation crossed a pole).
+///
+/// Crossing a pole reflects `φ` back into range and rotates `θ` by
+/// `π`, which is the geometrically correct continuation of the ray.
+pub fn normalize_direction(theta: f64, phi: f64) -> (Theta, Phi) {
+    // Fold phi into [0, 2π) first, then reflect the upper half.
+    let mut p = phi.rem_euclid(THETA_PERIOD);
+    let mut t = theta;
+    if p >= PHI_MAX {
+        p = THETA_PERIOD - p;
+        t += PHI_MAX; // rotate azimuth by π when reflecting over a pole
+    }
+    (Theta::new(t), Phi::new(p.min(PHI_MAX - f64::EPSILON * 4.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn theta_wraps_positive() {
+        assert!(crate::approx_eq(Theta::new(THETA_PERIOD + 1.0).radians(), 1.0));
+    }
+
+    #[test]
+    fn theta_wraps_negative() {
+        assert!(crate::approx_eq(Theta::new(-1.0).radians(), THETA_PERIOD - 1.0));
+    }
+
+    #[test]
+    fn theta_zero_is_zero() {
+        assert_eq!(Theta::new(0.0).radians(), 0.0);
+        assert_eq!(Theta::new(THETA_PERIOD).radians(), 0.0);
+    }
+
+    #[test]
+    fn theta_distance_is_shortest_path() {
+        let a = Theta::new(0.1);
+        let b = Theta::new(THETA_PERIOD - 0.1);
+        assert!(crate::approx_eq(a.distance(b), 0.2));
+    }
+
+    #[test]
+    fn phi_is_right_open() {
+        let p = Phi::new(PHI_MAX);
+        assert!(p.radians() < PHI_MAX);
+    }
+
+    #[test]
+    fn pole_crossing_reflects() {
+        // phi slightly beyond the south pole reflects back and flips theta.
+        let (t, p) = normalize_direction(0.0, PHI_MAX + 0.25);
+        assert!(crate::approx_eq(p.radians(), PHI_MAX - 0.25));
+        assert!(crate::approx_eq(t.radians(), PHI_MAX));
+    }
+
+    #[test]
+    fn identical_sphere_points_normalise_identically() {
+        // (π/2, π) and (3π/2, 0) identify the same point on the sphere;
+        // after normalisation, (θ=π/2, φ=π) reflects to (θ=3π/2, φ→π⁻).
+        let (t1, p1) = normalize_direction(PI / 2.0, PI);
+        assert!(crate::approx_eq(t1.radians(), 3.0 * PI / 2.0));
+        assert!(p1.radians() >= PHI_MAX - 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn theta_always_in_domain(raw in -1e6f64..1e6) {
+            let t = Theta::new(raw);
+            prop_assert!(t.radians() >= 0.0);
+            prop_assert!(t.radians() < THETA_PERIOD);
+        }
+
+        #[test]
+        fn rotation_composes(raw in 0.0f64..THETA_PERIOD, d1 in -10.0f64..10.0, d2 in -10.0f64..10.0) {
+            let once = Theta::new(raw).rotate(d1).rotate(d2);
+            let combined = Theta::new(raw).rotate(d1 + d2);
+            prop_assert!(once.distance(combined) < 1e-6);
+        }
+
+        #[test]
+        fn normalized_direction_in_domain(t in -20.0f64..20.0, p in -20.0f64..20.0) {
+            let (theta, phi) = normalize_direction(t, p);
+            prop_assert!((0.0..THETA_PERIOD).contains(&theta.radians()));
+            prop_assert!((0.0..PHI_MAX).contains(&phi.radians()));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Reflective names for the six TLF dimensions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the six dimensions of TLF space.
+///
+/// `X`, `Y`, `Z` are spatial, `T` is temporal, and `Theta`/`Phi` are
+/// the angular (viewing-direction) dimensions. Operators such as
+/// `DISCRETIZE`, `PARTITION`, and `CREATEINDEX` are parameterised by
+/// dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Dimension {
+    X,
+    Y,
+    Z,
+    T,
+    Theta,
+    Phi,
+}
+
+impl Dimension {
+    /// All six dimensions in canonical order `(x, y, z, t, θ, φ)`.
+    pub const ALL: [Dimension; 6] = [
+        Dimension::X,
+        Dimension::Y,
+        Dimension::Z,
+        Dimension::T,
+        Dimension::Theta,
+        Dimension::Phi,
+    ];
+
+    /// The three spatial dimensions.
+    pub const SPATIAL: [Dimension; 3] = [Dimension::X, Dimension::Y, Dimension::Z];
+
+    /// The two angular dimensions.
+    pub const ANGULAR: [Dimension; 2] = [Dimension::Theta, Dimension::Phi];
+
+    /// Canonical index of this dimension in `(x, y, z, t, θ, φ)` order.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Dimension::X => 0,
+            Dimension::Y => 1,
+            Dimension::Z => 2,
+            Dimension::T => 3,
+            Dimension::Theta => 4,
+            Dimension::Phi => 5,
+        }
+    }
+
+    /// Inverse of [`Dimension::index`].
+    #[inline]
+    pub fn from_index(index: usize) -> Option<Dimension> {
+        Dimension::ALL.get(index).copied()
+    }
+
+    /// True for `X`, `Y`, and `Z`.
+    #[inline]
+    pub fn is_spatial(self) -> bool {
+        matches!(self, Dimension::X | Dimension::Y | Dimension::Z)
+    }
+
+    /// True for `Theta` and `Phi`.
+    #[inline]
+    pub fn is_angular(self) -> bool {
+        matches!(self, Dimension::Theta | Dimension::Phi)
+    }
+
+    /// True only for `T`.
+    #[inline]
+    pub fn is_temporal(self) -> bool {
+        matches!(self, Dimension::T)
+    }
+
+    /// Short lowercase name used in file names and plans (`x`…`phi`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Dimension::X => "x",
+            Dimension::Y => "y",
+            Dimension::Z => "z",
+            Dimension::T => "t",
+            Dimension::Theta => "theta",
+            Dimension::Phi => "phi",
+        }
+    }
+}
+
+impl fmt::Display for Dimension {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrips() {
+        for d in Dimension::ALL {
+            assert_eq!(Dimension::from_index(d.index()), Some(d));
+        }
+        assert_eq!(Dimension::from_index(6), None);
+    }
+
+    #[test]
+    fn classification_is_exhaustive_and_disjoint() {
+        for d in Dimension::ALL {
+            let classes =
+                [d.is_spatial(), d.is_temporal(), d.is_angular()].iter().filter(|b| **b).count();
+            assert_eq!(classes, 1, "{d} must belong to exactly one class");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Dimension::ALL.iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+}

@@ -1,0 +1,386 @@
+//! 1-D intervals and azimuthal ranges.
+
+use crate::angle::{wrap_theta, THETA_PERIOD};
+use crate::EPSILON;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A closed interval `[lo, hi]` over one TLF dimension.
+///
+/// Endpoints may be infinite (`Interval::unbounded()` covers the whole
+/// real line); TLF volumes are "possibly infinite" in the paper's
+/// definition. A degenerate interval with `lo == hi` represents a
+/// single point, which is how point selections (e.g. a monoscopic
+/// spatial selection) are expressed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// Creates `[lo, hi]`. Panics if `lo > hi` or either bound is NaN.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(!lo.is_nan() && !hi.is_nan(), "interval bounds must not be NaN");
+        assert!(lo <= hi, "interval lower bound {lo} exceeds upper bound {hi}");
+        Interval { lo, hi }
+    }
+
+    /// The degenerate interval `[v, v]`.
+    #[inline]
+    pub fn point(v: f64) -> Self {
+        Interval::new(v, v)
+    }
+
+    /// The whole real line `(-∞, +∞)`.
+    #[inline]
+    pub fn unbounded() -> Self {
+        Interval { lo: f64::NEG_INFINITY, hi: f64::INFINITY }
+    }
+
+    #[inline]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    #[inline]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Length `hi - lo` (may be `+∞`, and is `0` for points).
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// True when the interval is a single point.
+    #[inline]
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// True when both bounds are finite.
+    #[inline]
+    pub fn is_bounded(&self) -> bool {
+        self.lo.is_finite() && self.hi.is_finite()
+    }
+
+    /// True when `v ∈ [lo, hi]` (within [`EPSILON`] tolerance).
+    #[inline]
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo - EPSILON && v <= self.hi + EPSILON
+    }
+
+    /// True when `other ⊆ self` (within tolerance).
+    #[inline]
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        self.lo - EPSILON <= other.lo && other.hi <= self.hi + EPSILON
+    }
+
+    /// The intersection `self ∩ other`, or `None` when disjoint.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Interval::new(lo, hi))
+        } else {
+            None
+        }
+    }
+
+    /// The smallest interval containing both inputs (bounding hull).
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Shifts both endpoints by `delta`.
+    pub fn translate(&self, delta: f64) -> Interval {
+        Interval::new(self.lo + delta, self.hi + delta)
+    }
+
+    /// Splits the interval into equal-sized, non-overlapping blocks of
+    /// width `delta`, as required by the `PARTITION` operator.
+    ///
+    /// The final block is truncated at `hi` when `length` is not an
+    /// exact multiple of `delta`. Panics when called on an unbounded
+    /// interval or with a non-positive `delta`.
+    pub fn partition(&self, delta: f64) -> Vec<Interval> {
+        assert!(delta > 0.0, "partition width must be positive, got {delta}");
+        assert!(self.is_bounded(), "cannot partition an unbounded interval");
+        if self.is_point() {
+            return vec![*self];
+        }
+        let mut out = Vec::with_capacity(((self.length() / delta).ceil() as usize).max(1));
+        let mut lo = self.lo;
+        let mut i: u64 = 1;
+        while lo < self.hi - EPSILON {
+            // Compute the boundary multiplicatively to avoid accumulating
+            // floating-point error over many blocks.
+            let hi = (self.lo + delta * i as f64).min(self.hi);
+            out.push(Interval::new(lo, hi));
+            lo = hi;
+            i += 1;
+        }
+        out
+    }
+
+    /// Sample positions `lo, lo+step, lo+2·step, …` up to `hi`
+    /// (inclusive within tolerance), as used by `DISCRETIZE`.
+    pub fn samples(&self, step: f64) -> Vec<f64> {
+        assert!(step > 0.0, "sample step must be positive");
+        assert!(self.is_bounded(), "cannot sample an unbounded interval");
+        let n = ((self.length() / step) + EPSILON).floor() as usize;
+        (0..=n).map(|i| self.lo + step * i as f64).collect()
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_point() {
+            write!(f, "{{{}}}", self.lo)
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+/// An azimuthal range over `θ` that may wrap around the `2π` boundary.
+///
+/// A [`Volume`](crate::Volume) stores its θ extent as an ordinary
+/// [`Interval`] (selection predicates are written `[θ, θ']` with
+/// `θ ≤ θ'`), but *queries* against angular content — e.g. "which tiles
+/// does `θ ∈ [3π/2, π/2]` touch?" — need wraparound semantics, which
+/// this type provides.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AngularRange {
+    /// Normalised start angle in `[0, 2π)`.
+    start: f64,
+    /// Extent in radians, in `[0, 2π]`. An extent of exactly `2π`
+    /// covers the full circle.
+    extent: f64,
+}
+
+impl AngularRange {
+    /// Range beginning at `start` (wrapped) and extending `extent`
+    /// radians counter-clockwise. Extents ≥ 2π cover the full circle.
+    pub fn new(start: f64, extent: f64) -> Self {
+        assert!(extent >= 0.0, "angular extent must be non-negative");
+        AngularRange { start: wrap_theta(start), extent: extent.min(THETA_PERIOD) }
+    }
+
+    /// Builds a range from an endpoint pair `[lo, hi]`; if `hi < lo`
+    /// the range is interpreted as wrapping through `2π`.
+    pub fn from_endpoints(lo: f64, hi: f64) -> Self {
+        let start = wrap_theta(lo);
+        let end = wrap_theta(hi);
+        let extent = if (hi - lo).abs() >= THETA_PERIOD - EPSILON {
+            THETA_PERIOD
+        } else if end >= start {
+            end - start
+        } else {
+            THETA_PERIOD - start + end
+        };
+        AngularRange { start, extent }
+    }
+
+    /// The full circle `[0, 2π)`.
+    pub fn full() -> Self {
+        AngularRange { start: 0.0, extent: THETA_PERIOD }
+    }
+
+    #[inline]
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    #[inline]
+    pub fn extent(&self) -> f64 {
+        self.extent
+    }
+
+    /// True when the range covers the entire circle.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.extent >= THETA_PERIOD - EPSILON
+    }
+
+    /// True when the wrapped angle `theta` lies inside the range.
+    pub fn contains(&self, theta: f64) -> bool {
+        if self.is_full() {
+            return true;
+        }
+        let t = wrap_theta(theta);
+        let offset = wrap_theta(t - self.start);
+        offset <= self.extent + EPSILON
+    }
+
+    /// True when the two ranges overlap anywhere on the circle.
+    pub fn overlaps(&self, other: &AngularRange) -> bool {
+        if self.is_full() || other.is_full() {
+            return true;
+        }
+        self.contains(other.start)
+            || other.contains(self.start)
+            || self.contains(other.start + other.extent)
+            || other.contains(self.start + self.extent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn intersect_overlapping() {
+        let a = Interval::new(0.0, 5.0);
+        let b = Interval::new(3.0, 8.0);
+        assert_eq!(a.intersect(&b), Some(Interval::new(3.0, 5.0)));
+    }
+
+    #[test]
+    fn intersect_disjoint_is_none() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(2.0, 3.0);
+        assert_eq!(a.intersect(&b), None);
+    }
+
+    #[test]
+    fn intersect_touching_is_point() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(1.0, 2.0);
+        assert_eq!(a.intersect(&b), Some(Interval::point(1.0)));
+    }
+
+    #[test]
+    fn unbounded_contains_everything() {
+        let u = Interval::unbounded();
+        assert!(u.contains(1e300));
+        assert!(u.contains(-1e300));
+        assert!(u.contains_interval(&Interval::new(-5.0, 5.0)));
+    }
+
+    #[test]
+    fn partition_exact_multiple() {
+        let parts = Interval::new(0.0, 10.0).partition(1.0);
+        assert_eq!(parts.len(), 10);
+        assert_eq!(parts[0], Interval::new(0.0, 1.0));
+        assert_eq!(parts[9], Interval::new(9.0, 10.0));
+    }
+
+    #[test]
+    fn partition_truncates_final_block() {
+        let parts = Interval::new(0.0, 2.5).partition(1.0);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[2], Interval::new(2.0, 2.5));
+    }
+
+    #[test]
+    fn partition_point_is_identity() {
+        let p = Interval::point(4.0);
+        assert_eq!(p.partition(1.0), vec![p]);
+    }
+
+    #[test]
+    fn samples_include_both_ends_on_exact_multiple() {
+        let s = Interval::new(0.0, 1.0).samples(0.25);
+        assert_eq!(s, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound")]
+    fn reversed_interval_panics() {
+        Interval::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn angular_range_wraps() {
+        // [3π/2, π/2] passes through 0.
+        let r = AngularRange::from_endpoints(3.0 * PI / 2.0, PI / 2.0);
+        assert!(r.contains(0.0));
+        assert!(r.contains(7.0 * PI / 4.0));
+        assert!(r.contains(PI / 4.0));
+        assert!(!r.contains(PI));
+    }
+
+    #[test]
+    fn angular_full_circle() {
+        let r = AngularRange::from_endpoints(0.0, THETA_PERIOD);
+        assert!(r.is_full());
+        assert!(r.contains(1.234));
+    }
+
+    #[test]
+    fn angular_overlap_detection() {
+        let a = AngularRange::from_endpoints(0.0, PI / 2.0);
+        let b = AngularRange::from_endpoints(PI / 4.0, PI);
+        let c = AngularRange::from_endpoints(PI + 0.2, 3.0 * PI / 2.0);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    proptest! {
+        #[test]
+        fn intersection_is_commutative(
+            a_lo in -100.0f64..100.0, a_len in 0.0f64..50.0,
+            b_lo in -100.0f64..100.0, b_len in 0.0f64..50.0,
+        ) {
+            let a = Interval::new(a_lo, a_lo + a_len);
+            let b = Interval::new(b_lo, b_lo + b_len);
+            prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        }
+
+        #[test]
+        fn intersection_contained_in_both(
+            a_lo in -100.0f64..100.0, a_len in 0.0f64..50.0,
+            b_lo in -100.0f64..100.0, b_len in 0.0f64..50.0,
+        ) {
+            let a = Interval::new(a_lo, a_lo + a_len);
+            let b = Interval::new(b_lo, b_lo + b_len);
+            if let Some(i) = a.intersect(&b) {
+                prop_assert!(a.contains_interval(&i));
+                prop_assert!(b.contains_interval(&i));
+            }
+        }
+
+        #[test]
+        fn partitions_tile_the_interval(lo in -50.0f64..50.0, len in 0.1f64..40.0, delta in 0.1f64..10.0) {
+            let iv = Interval::new(lo, lo + len);
+            let parts = iv.partition(delta);
+            // Blocks are contiguous and cover exactly the interval.
+            prop_assert!(crate::approx_eq(parts[0].lo(), iv.lo()));
+            prop_assert!(crate::approx_eq(parts.last().unwrap().hi(), iv.hi()));
+            for w in parts.windows(2) {
+                prop_assert!(crate::approx_eq(w[0].hi(), w[1].lo()));
+            }
+            // All but the last have width delta.
+            for p in &parts[..parts.len().saturating_sub(1)] {
+                prop_assert!((p.length() - delta).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn hull_contains_both(
+            a_lo in -100.0f64..100.0, a_len in 0.0f64..50.0,
+            b_lo in -100.0f64..100.0, b_len in 0.0f64..50.0,
+        ) {
+            let a = Interval::new(a_lo, a_lo + a_len);
+            let b = Interval::new(b_lo, b_lo + b_len);
+            let h = a.hull(&b);
+            prop_assert!(h.contains_interval(&a));
+            prop_assert!(h.contains_interval(&b));
+        }
+
+        #[test]
+        fn angular_contains_respects_wrap(start in 0.0f64..THETA_PERIOD, extent in 0.0f64..THETA_PERIOD) {
+            let r = AngularRange::new(start, extent);
+            // The midpoint of the range is always contained.
+            prop_assert!(r.contains(start + extent / 2.0));
+            // The start and end are contained.
+            prop_assert!(r.contains(start));
+            prop_assert!(r.contains(start + extent));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # lightdb-geom
+//!
+//! Geometric foundation for the temporal-light-field (TLF) data model.
+//!
+//! A TLF is a function `L(x, y, z, t, θ, φ) → color` defined over a
+//! hyperrectangular volume of the six-dimensional space
+//! `R⁴ × Dθ × Dφ`, where the spatiotemporal dimensions `x, y, z, t`
+//! range over the reals, the azimuthal angle `θ` ranges over the
+//! right-open periodic domain `[0, 2π)`, and the polar angle `φ`
+//! ranges over `[0, π)`.
+//!
+//! This crate provides:
+//!
+//! * [`Theta`] / [`Phi`] — normalising newtypes for the angular domains;
+//! * [`Interval`] — closed 1-D intervals (possibly unbounded) with the
+//!   intersection/containment algebra selections need;
+//! * [`AngularRange`] — azimuthal ranges that may wrap around `2π`;
+//! * [`Point6`] / [`Point3`] — points in TLF space;
+//! * [`Volume`] — 6-D hyperrectangles with intersection, partitioning,
+//!   translation, and bounding-hull operations;
+//! * [`Dimension`] — a reflective enum naming the six dimensions;
+//! * [`projection`] — sphere ↔ plane maps (equirectangular, cube map)
+//!   used by the physical 360° representations;
+//! * [`rotation`] — ray-direction rotations used by the `ROTATE` operator.
+
+pub mod angle;
+pub mod dimension;
+pub mod interval;
+pub mod point;
+pub mod projection;
+pub mod rotation;
+pub mod volume;
+
+pub use angle::{Phi, Theta, PHI_MAX, THETA_PERIOD};
+pub use dimension::Dimension;
+pub use interval::{AngularRange, Interval};
+pub use point::{Point3, Point6};
+pub use projection::{CubeFace, CubeMapProjection, EquirectangularProjection, Projection};
+pub use rotation::Rotation;
+pub use volume::Volume;
+
+/// Tolerance used by approximate floating-point comparisons throughout
+/// the geometry layer (interval endpoints, angle normalisation, …).
+pub const EPSILON: f64 = 1e-9;
+
+/// Returns true when `a` and `b` are within [`EPSILON`] of each other.
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPSILON
+}

@@ -1,0 +1,152 @@
+//! Points in TLF space.
+
+use crate::angle::{Phi, Theta};
+use crate::dimension::Dimension;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in three-dimensional (viewer position) space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Point3 {
+    pub const ORIGIN: Point3 = Point3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    #[inline]
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Point3) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// Component-wise translation.
+    pub fn translate(&self, dx: f64, dy: f64, dz: f64) -> Point3 {
+        Point3::new(self.x + dx, self.y + dy, self.z + dz)
+    }
+
+    /// Offsets along `x` only — used by the depth-map workload to place
+    /// the two eyes `p ± i/2` apart (interpupillary distance `i`).
+    pub fn offset_x(&self, delta: f64) -> Point3 {
+        Point3::new(self.x + delta, self.y, self.z)
+    }
+}
+
+impl fmt::Display for Point3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+/// A full six-dimensional point `(x, y, z, t, θ, φ)` — a viewer
+/// position, an instant, and a viewing direction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point6 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+    pub t: f64,
+    pub theta: Theta,
+    pub phi: Phi,
+}
+
+impl Point6 {
+    pub fn new(x: f64, y: f64, z: f64, t: f64, theta: f64, phi: f64) -> Self {
+        Point6 { x, y, z, t, theta: Theta::new(theta), phi: Phi::new(phi) }
+    }
+
+    /// The spatial component.
+    #[inline]
+    pub fn position(&self) -> Point3 {
+        Point3::new(self.x, self.y, self.z)
+    }
+
+    /// The coordinate along `dim` (angles in radians).
+    pub fn coordinate(&self, dim: Dimension) -> f64 {
+        match dim {
+            Dimension::X => self.x,
+            Dimension::Y => self.y,
+            Dimension::Z => self.z,
+            Dimension::T => self.t,
+            Dimension::Theta => self.theta.radians(),
+            Dimension::Phi => self.phi.radians(),
+        }
+    }
+
+    /// Returns a copy with the coordinate along `dim` replaced.
+    pub fn with_coordinate(&self, dim: Dimension, v: f64) -> Point6 {
+        let mut p = *self;
+        match dim {
+            Dimension::X => p.x = v,
+            Dimension::Y => p.y = v,
+            Dimension::Z => p.z = v,
+            Dimension::T => p.t = v,
+            Dimension::Theta => p.theta = Theta::new(v),
+            Dimension::Phi => p.phi = Phi::new(v),
+        }
+        p
+    }
+}
+
+impl fmt::Display for Point6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}, {}, {}, t={}, θ={:.4}, φ={:.4})",
+            self.x,
+            self.y,
+            self.z,
+            self.t,
+            self.theta.radians(),
+            self.phi.radians()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(3.0, 4.0, 0.0);
+        assert!(crate::approx_eq(a.distance(&b), 5.0));
+    }
+
+    #[test]
+    fn eye_offsets_are_symmetric() {
+        let p = Point3::new(1.0, 2.0, 3.0);
+        let ipd = 0.064;
+        let left = p.offset_x(-ipd / 2.0);
+        let right = p.offset_x(ipd / 2.0);
+        assert!(crate::approx_eq(left.distance(&right), ipd));
+    }
+
+    #[test]
+    fn coordinate_access_roundtrips() {
+        let p = Point6::new(1.0, 2.0, 3.0, 4.0, PI, PI / 2.0);
+        for d in Dimension::ALL {
+            let v = p.coordinate(d);
+            let q = p.with_coordinate(d, v);
+            assert!(crate::approx_eq(q.coordinate(d), v), "dim {d}");
+        }
+    }
+
+    #[test]
+    fn with_coordinate_normalises_angles() {
+        let p = Point6::new(0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+        let q = p.with_coordinate(Dimension::Theta, 2.0 * PI + 1.0);
+        assert!(crate::approx_eq(q.theta.radians(), 1.0));
+    }
+}

@@ -1,0 +1,269 @@
+//! Sphere ↔ plane projections.
+//!
+//! Every encoded 360° video is associated with a projection function
+//! that defines how the sphere is flattened onto a 2-D frame before
+//! 2-D video compression is applied. LightDB supports the two most
+//! common projections: equirectangular (ER) and the cube map.
+
+use crate::angle::{normalize_direction, PHI_MAX, THETA_PERIOD};
+use serde::{Deserialize, Serialize};
+
+/// A mapping between viewing directions `(θ, φ)` and normalised frame
+/// coordinates `(u, v) ∈ [0, 1)²`.
+///
+/// Implementations must be mutually inverse up to angular
+/// normalisation: `unproject(project(θ, φ)) ≈ (θ, φ)`.
+pub trait Projection {
+    /// Maps a direction to normalised frame coordinates.
+    fn project(&self, theta: f64, phi: f64) -> (f64, f64);
+
+    /// Maps normalised frame coordinates back to a direction.
+    fn unproject(&self, u: f64, v: f64) -> (f64, f64);
+
+    /// Maps a direction to integer pixel coordinates in a `w × h`
+    /// frame, clamping at the borders.
+    fn to_pixel(&self, theta: f64, phi: f64, w: usize, h: usize) -> (usize, usize) {
+        let (u, v) = self.project(theta, phi);
+        let px = ((u * w as f64) as usize).min(w.saturating_sub(1));
+        let py = ((v * h as f64) as usize).min(h.saturating_sub(1));
+        (px, py)
+    }
+
+    /// Direction at the centre of pixel `(px, py)` in a `w × h` frame.
+    #[allow(clippy::wrong_self_convention)]
+    fn from_pixel(&self, px: usize, py: usize, w: usize, h: usize) -> (f64, f64) {
+        let u = (px as f64 + 0.5) / w as f64;
+        let v = (py as f64 + 0.5) / h as f64;
+        self.unproject(u, v)
+    }
+
+    /// Stable identifier stored in container metadata (`sv3d` atom).
+    fn kind(&self) -> ProjectionKind;
+}
+
+/// Projection identifiers serialisable into container metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProjectionKind {
+    Equirectangular,
+    CubeMap,
+}
+
+/// The equirectangular projection: `u = θ / 2π`, `v = φ / π`.
+///
+/// Longitude maps linearly to the horizontal axis and colatitude to
+/// the vertical axis, so the poles are maximally stretched — the
+/// classic "world map" layout used by most 360° pipelines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EquirectangularProjection;
+
+impl Projection for EquirectangularProjection {
+    fn project(&self, theta: f64, phi: f64) -> (f64, f64) {
+        let (t, p) = normalize_direction(theta, phi);
+        (t.radians() / THETA_PERIOD, p.radians() / PHI_MAX)
+    }
+
+    fn unproject(&self, u: f64, v: f64) -> (f64, f64) {
+        (u.rem_euclid(1.0) * THETA_PERIOD, v.clamp(0.0, 1.0 - f64::EPSILON) * PHI_MAX)
+    }
+
+    fn kind(&self) -> ProjectionKind {
+        ProjectionKind::Equirectangular
+    }
+}
+
+/// The six faces of a cube map in the layout order LightDB uses: a
+/// 3×2 grid of `front, right, back | left, up, down`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CubeFace {
+    Front,
+    Right,
+    Back,
+    Left,
+    Up,
+    Down,
+}
+
+impl CubeFace {
+    /// Grid cell `(col, row)` of the face in the 3×2 layout.
+    pub fn cell(self) -> (usize, usize) {
+        match self {
+            CubeFace::Front => (0, 0),
+            CubeFace::Right => (1, 0),
+            CubeFace::Back => (2, 0),
+            CubeFace::Left => (0, 1),
+            CubeFace::Up => (1, 1),
+            CubeFace::Down => (2, 1),
+        }
+    }
+}
+
+/// A cube-map projection with the 3×2 face layout.
+///
+/// Directions are converted to a unit vector, the dominant axis picks
+/// the face, and the remaining two components index within the face.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CubeMapProjection;
+
+impl CubeMapProjection {
+    /// Direction → (face, intra-face coordinates in [0,1)²).
+    pub fn face_coords(&self, theta: f64, phi: f64) -> (CubeFace, f64, f64) {
+        let (t, p) = normalize_direction(theta, phi);
+        let (theta, phi) = (t.radians(), p.radians());
+        // Unit vector: x forward (θ=0), y left, z up; φ is colatitude.
+        let sx = phi.sin() * theta.cos();
+        let sy = phi.sin() * theta.sin();
+        let sz = phi.cos();
+        let ax = sx.abs();
+        let ay = sy.abs();
+        let az = sz.abs();
+        let (face, a, b, m) = if ax >= ay && ax >= az {
+            if sx > 0.0 {
+                (CubeFace::Front, -sy, -sz, ax)
+            } else {
+                (CubeFace::Back, sy, -sz, ax)
+            }
+        } else if ay >= ax && ay >= az {
+            if sy > 0.0 {
+                (CubeFace::Left, sx, -sz, ay)
+            } else {
+                (CubeFace::Right, -sx, -sz, ay)
+            }
+        } else if sz > 0.0 {
+            (CubeFace::Up, -sy, sx, az)
+        } else {
+            (CubeFace::Down, -sy, -sx, az)
+        };
+        let m = if m == 0.0 { 1.0 } else { m };
+        // Map [-1, 1] face coordinates to [0, 1).
+        let u = ((a / m) + 1.0) / 2.0;
+        let v = ((b / m) + 1.0) / 2.0;
+        (face, u.clamp(0.0, 1.0 - f64::EPSILON), v.clamp(0.0, 1.0 - f64::EPSILON))
+    }
+
+    fn face_to_vector(face: CubeFace, u: f64, v: f64) -> (f64, f64, f64) {
+        let a = u * 2.0 - 1.0;
+        let b = v * 2.0 - 1.0;
+        match face {
+            CubeFace::Front => (1.0, -a, -b),
+            CubeFace::Back => (-1.0, a, -b),
+            CubeFace::Left => (a, 1.0, -b),
+            CubeFace::Right => (-a, -1.0, -b),
+            CubeFace::Up => (b, -a, 1.0),
+            CubeFace::Down => (-b, -a, -1.0),
+        }
+    }
+}
+
+impl Projection for CubeMapProjection {
+    fn project(&self, theta: f64, phi: f64) -> (f64, f64) {
+        let (face, u, v) = self.face_coords(theta, phi);
+        let (col, row) = face.cell();
+        (((col as f64) + u) / 3.0, ((row as f64) + v) / 2.0)
+    }
+
+    fn unproject(&self, u: f64, v: f64) -> (f64, f64) {
+        let u = u.rem_euclid(1.0);
+        let v = v.clamp(0.0, 1.0 - f64::EPSILON);
+        let col = ((u * 3.0) as usize).min(2);
+        let row = ((v * 2.0) as usize).min(1);
+        let fu = u * 3.0 - col as f64;
+        let fv = v * 2.0 - row as f64;
+        let face = match (col, row) {
+            (0, 0) => CubeFace::Front,
+            (1, 0) => CubeFace::Right,
+            (2, 0) => CubeFace::Back,
+            (0, 1) => CubeFace::Left,
+            (1, 1) => CubeFace::Up,
+            _ => CubeFace::Down,
+        };
+        let (x, y, z) = Self::face_to_vector(face, fu, fv);
+        let norm = (x * x + y * y + z * z).sqrt();
+        let (x, y, z) = (x / norm, y / norm, z / norm);
+        let phi = z.clamp(-1.0, 1.0).acos();
+        let theta = y.atan2(x);
+        let (t, p) = normalize_direction(theta, phi);
+        (t.radians(), p.radians())
+    }
+
+    fn kind(&self) -> ProjectionKind {
+        ProjectionKind::CubeMap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn equirect_maps_corners() {
+        let p = EquirectangularProjection;
+        let (u, v) = p.project(0.0, 0.0);
+        assert!(crate::approx_eq(u, 0.0) && crate::approx_eq(v, 0.0));
+        let (u, v) = p.project(PI, PI / 2.0);
+        assert!(crate::approx_eq(u, 0.5) && crate::approx_eq(v, 0.5));
+    }
+
+    #[test]
+    fn equirect_roundtrip() {
+        let p = EquirectangularProjection;
+        for &(t, ph) in &[(0.1, 0.2), (PI, PI / 2.0), (5.0, 3.0)] {
+            let (u, v) = p.project(t, ph);
+            let (t2, p2) = p.unproject(u, v);
+            let (nt, np) = normalize_direction(t, ph);
+            assert!((t2 - nt.radians()).abs() < 1e-9, "theta {t}");
+            assert!((p2 - np.radians()).abs() < 1e-9, "phi {ph}");
+        }
+    }
+
+    #[test]
+    fn equirect_pixel_mapping_is_monotonic_in_phi() {
+        let p = EquirectangularProjection;
+        let (_, y1) = p.to_pixel(0.0, 0.3, 192, 96);
+        let (_, y2) = p.to_pixel(0.0, 2.8, 192, 96);
+        assert!(y1 < y2);
+    }
+
+    #[test]
+    fn cubemap_forward_is_front_center() {
+        let c = CubeMapProjection;
+        let (face, u, v) = c.face_coords(0.0, PI / 2.0);
+        assert_eq!(face, CubeFace::Front);
+        assert!((u - 0.5).abs() < 1e-9);
+        assert!((v - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cubemap_poles_hit_up_down() {
+        let c = CubeMapProjection;
+        let (up, _, _) = c.face_coords(1.0, 0.01);
+        let (down, _, _) = c.face_coords(1.0, PI - 0.01);
+        assert_eq!(up, CubeFace::Up);
+        assert_eq!(down, CubeFace::Down);
+    }
+
+    proptest! {
+        #[test]
+        fn cubemap_roundtrip(theta in 0.0f64..(THETA_PERIOD - 0.001), phi in 0.05f64..(PI - 0.05)) {
+            let c = CubeMapProjection;
+            let (u, v) = c.project(theta, phi);
+            prop_assert!((0.0..1.0).contains(&u) && (0.0..1.0).contains(&v));
+            let (t2, p2) = c.unproject(u, v);
+            // Compare unit vectors to avoid pole/seam coordinate ambiguity.
+            let to_vec = |t: f64, p: f64| (p.sin() * t.cos(), p.sin() * t.sin(), p.cos());
+            let (x1, y1, z1) = to_vec(theta, phi);
+            let (x2, y2, z2) = to_vec(t2, p2);
+            let dot = x1 * x2 + y1 * y2 + z1 * z2;
+            prop_assert!(dot > 1.0 - 1e-6, "directions diverged: dot={dot}");
+        }
+
+        #[test]
+        fn equirect_project_in_unit_square(theta in -10.0f64..10.0, phi in 0.0f64..PI) {
+            let p = EquirectangularProjection;
+            let (u, v) = p.project(theta, phi);
+            prop_assert!((0.0..1.0).contains(&u));
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

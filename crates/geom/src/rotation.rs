@@ -1,0 +1,171 @@
+//! Ray-direction rotations for the `ROTATE` operator.
+
+use crate::angle::{normalize_direction, Phi, Theta};
+use crate::interval::Interval;
+use crate::volume::Volume;
+use crate::{Dimension, EPSILON, PHI_MAX, THETA_PERIOD};
+use serde::{Deserialize, Serialize};
+
+/// A rotation of viewing directions by `(Δθ, Δφ)`.
+///
+/// The `ROTATE` operator rotates the rays at every point of a TLF;
+/// geometrically this shifts the azimuth modulo `2π` and the polar
+/// angle with pole reflection.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Rotation {
+    pub delta_theta: f64,
+    pub delta_phi: f64,
+}
+
+impl Rotation {
+    pub fn new(delta_theta: f64, delta_phi: f64) -> Self {
+        Rotation { delta_theta, delta_phi }
+    }
+
+    /// The identity rotation.
+    pub fn identity() -> Self {
+        Rotation::default()
+    }
+
+    /// True when this rotation leaves every direction unchanged.
+    pub fn is_identity(&self) -> bool {
+        self.delta_theta.abs() < EPSILON && self.delta_phi.abs() < EPSILON
+    }
+
+    /// Applies the rotation to a single direction.
+    pub fn apply(&self, theta: f64, phi: f64) -> (Theta, Phi) {
+        normalize_direction(theta + self.delta_theta, phi + self.delta_phi)
+    }
+
+    /// The inverse rotation.
+    pub fn inverse(&self) -> Rotation {
+        Rotation::new(-self.delta_theta, -self.delta_phi)
+    }
+
+    /// Composition: apply `self`, then `other`.
+    pub fn then(&self, other: &Rotation) -> Rotation {
+        Rotation::new(self.delta_theta + other.delta_theta, self.delta_phi + other.delta_phi)
+    }
+
+    /// Rotates a volume's angular extent.
+    ///
+    /// When the rotated θ extent crosses the `2π` seam or the rotated
+    /// φ extent crosses a pole, the result is no longer a single
+    /// hyperrectangle in the canonical coordinates; LightDB then
+    /// widens to the full angular domain (a safe over-approximation
+    /// used only for metadata bookkeeping — pixel-level rotation is
+    /// exact).
+    pub fn rotate_volume(&self, v: &Volume) -> Volume {
+        let th = v.theta();
+        let ph = v.phi();
+        let new_lo_t = th.lo() + self.delta_theta;
+        let theta_iv = if th.length() >= THETA_PERIOD - EPSILON {
+            Interval::new(0.0, THETA_PERIOD)
+        } else {
+            let lo = new_lo_t.rem_euclid(THETA_PERIOD);
+            let hi = lo + th.length();
+            if hi <= THETA_PERIOD + EPSILON {
+                Interval::new(lo, hi.min(THETA_PERIOD))
+            } else {
+                Interval::new(0.0, THETA_PERIOD) // crosses the seam
+            }
+        };
+        let new_lo_p = ph.lo() + self.delta_phi;
+        let new_hi_p = ph.hi() + self.delta_phi;
+        let phi_iv = if new_lo_p >= -EPSILON && new_hi_p <= PHI_MAX + EPSILON {
+            Interval::new(new_lo_p.max(0.0), new_hi_p.min(PHI_MAX))
+        } else {
+            Interval::new(0.0, PHI_MAX) // crosses a pole
+        };
+        v.with(Dimension::Theta, theta_iv).with(Dimension::Phi, phi_iv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn identity_rotation() {
+        let r = Rotation::identity();
+        assert!(r.is_identity());
+        let (t, p) = r.apply(1.0, 1.0);
+        assert!(crate::approx_eq(t.radians(), 1.0));
+        assert!(crate::approx_eq(p.radians(), 1.0));
+    }
+
+    #[test]
+    fn quarter_turn() {
+        let r = Rotation::new(PI / 2.0, 0.0);
+        let (t, _) = r.apply(0.0, 1.0);
+        assert!(crate::approx_eq(t.radians(), PI / 2.0));
+    }
+
+    #[test]
+    fn inverse_undoes_azimuth() {
+        let r = Rotation::new(1.3, 0.0);
+        let (t, p) = r.apply(0.5, 1.0);
+        let (t2, p2) = r.inverse().apply(t.radians(), p.radians());
+        assert!(crate::approx_eq(t2.radians(), 0.5));
+        assert!(crate::approx_eq(p2.radians(), 1.0));
+    }
+
+    #[test]
+    fn rotate_volume_shifts_theta() {
+        let v = Volume::sphere_at(0.0, 0.0, 0.0, Interval::new(0.0, 1.0))
+            .with(Dimension::Theta, Interval::new(0.0, PI / 2.0));
+        let r = Rotation::new(PI / 2.0, 0.0);
+        let rv = r.rotate_volume(&v);
+        assert!(crate::approx_eq(rv.theta().lo(), PI / 2.0));
+        assert!(crate::approx_eq(rv.theta().hi(), PI));
+    }
+
+    #[test]
+    fn rotate_volume_seam_cross_widens() {
+        let v = Volume::sphere_at(0.0, 0.0, 0.0, Interval::new(0.0, 1.0))
+            .with(Dimension::Theta, Interval::new(3.0 * PI / 2.0, THETA_PERIOD));
+        let r = Rotation::new(PI, 0.0);
+        let rv = r.rotate_volume(&v);
+        assert!(crate::approx_eq(rv.theta().lo(), PI / 2.0));
+        assert!(crate::approx_eq(rv.theta().hi(), PI));
+    }
+
+    #[test]
+    fn full_sphere_rotation_stays_full() {
+        let v = Volume::sphere_at(0.0, 0.0, 0.0, Interval::new(0.0, 1.0));
+        let rv = Rotation::new(1.234, 0.0).rotate_volume(&v);
+        assert!(rv.has_full_angular_extent());
+    }
+
+    proptest! {
+        #[test]
+        fn inverse_roundtrip_no_pole_cross(
+            theta in 0.0f64..THETA_PERIOD,
+            phi in 0.3f64..(PI - 0.3),
+            dt in -1.0f64..1.0,
+            dp in -0.25f64..0.25,
+        ) {
+            let r = Rotation::new(dt, dp);
+            let (t, p) = r.apply(theta, phi);
+            let (t2, p2) = r.inverse().apply(t.radians(), p.radians());
+            prop_assert!(Theta::new(theta).distance(t2) < 1e-9);
+            prop_assert!((p2.radians() - phi).abs() < 1e-9);
+        }
+
+        #[test]
+        fn composition_matches_sequential(
+            theta in 0.0f64..THETA_PERIOD,
+            dt1 in -2.0f64..2.0,
+            dt2 in -2.0f64..2.0,
+        ) {
+            let phi = 1.0;
+            let r1 = Rotation::new(dt1, 0.0);
+            let r2 = Rotation::new(dt2, 0.0);
+            let (ta, _) = r2.apply(r1.apply(theta, phi).0.radians(), phi);
+            let (tb, _) = r1.then(&r2).apply(theta, phi);
+            prop_assert!(ta.distance(tb) < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Dense uniform-bin indexes over one dimension.
+//!
+//! LightDB represents temporal and angular indexes as dense arrays:
+//! the indexed extent is divided into uniform bins and each bin lists
+//! the entries overlapping it. Lookups are O(bins touched + hits).
+
+use serde::{Deserialize, Serialize};
+
+/// A dense index over `[lo, hi)` with `bins` uniform buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseIndex<T> {
+    lo: f64,
+    hi: f64,
+    bins: Vec<Vec<T>>,
+}
+
+impl<T: Clone + PartialEq> DenseIndex<T> {
+    /// Creates an empty index over `[lo, hi)` with `bins` buckets.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "index extent must be non-empty");
+        assert!(bins > 0, "index must have at least one bin");
+        DenseIndex { lo, hi, bins: vec![Vec::new(); bins] }
+    }
+
+    /// Bucket count.
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
+    }
+
+    fn bin_of(&self, v: f64) -> usize {
+        let frac = (v - self.lo) / (self.hi - self.lo);
+        ((frac * self.bins.len() as f64) as isize).clamp(0, self.bins.len() as isize - 1) as usize
+    }
+
+    /// Registers an entry covering `[from, to]` (clamped to the
+    /// indexed extent).
+    pub fn insert(&mut self, from: f64, to: f64, value: T) {
+        assert!(from <= to, "range reversed");
+        if to < self.lo || from >= self.hi {
+            return;
+        }
+        let b0 = self.bin_of(from.max(self.lo));
+        let b1 = self.bin_of(to.min(self.hi - f64::EPSILON));
+        for b in b0..=b1 {
+            self.bins[b].push(value.clone());
+        }
+    }
+
+    /// Distinct entries overlapping `[from, to]`, in insertion order.
+    pub fn query(&self, from: f64, to: f64) -> Vec<&T> {
+        if to < self.lo || from >= self.hi || from > to {
+            return Vec::new();
+        }
+        let b0 = self.bin_of(from.max(self.lo));
+        let b1 = self.bin_of(to.min(self.hi - f64::EPSILON));
+        let mut out: Vec<&T> = Vec::new();
+        for b in b0..=b1 {
+            for v in &self.bins[b] {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Entries overlapping a single point.
+    pub fn query_point(&self, at: f64) -> Vec<&T> {
+        self.query(at, at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_range_lookup() {
+        let mut idx = DenseIndex::new(0.0, 90.0, 90);
+        idx.insert(0.0, 29.9, "gop0");
+        idx.insert(30.0, 59.9, "gop1");
+        idx.insert(60.0, 89.9, "gop2");
+        assert_eq!(idx.query(35.0, 40.0), vec![&"gop1"]);
+        assert_eq!(idx.query(29.0, 31.0), vec![&"gop0", &"gop1"]);
+        assert_eq!(idx.query(0.0, 89.9).len(), 3);
+    }
+
+    #[test]
+    fn out_of_extent_queries_are_empty() {
+        let mut idx = DenseIndex::new(0.0, 10.0, 10);
+        idx.insert(0.0, 10.0, 1u32);
+        assert!(idx.query(-5.0, -1.0).is_empty());
+        assert!(idx.query(10.5, 12.0).is_empty());
+        assert!(idx.query(5.0, 4.0).is_empty());
+    }
+
+    #[test]
+    fn duplicates_within_result_removed() {
+        let mut idx = DenseIndex::new(0.0, 10.0, 10);
+        idx.insert(0.0, 9.9, 7u32); // touches every bin
+        assert_eq!(idx.query(0.0, 9.9), vec![&7u32]);
+    }
+
+    #[test]
+    fn point_query_at_boundary() {
+        let mut idx = DenseIndex::new(0.0, 10.0, 5);
+        idx.insert(2.0, 4.0, "a");
+        assert_eq!(idx.query_point(2.0), vec![&"a"]);
+        assert_eq!(idx.query_point(4.0), vec![&"a"]);
+        assert!(idx.query_point(6.1).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn query_superset_of_exact_overlaps(
+            ranges in proptest::collection::vec((0.0f64..100.0, 0.0f64..10.0), 1..40),
+            q in (0.0f64..100.0, 0.0f64..10.0),
+        ) {
+            let mut idx = DenseIndex::new(0.0, 100.0, 64);
+            for (i, &(lo, len)) in ranges.iter().enumerate() {
+                idx.insert(lo, (lo + len).min(100.0), i);
+            }
+            let (qlo, qlen) = q;
+            let qhi = (qlo + qlen).min(100.0);
+            let got: Vec<usize> = idx.query(qlo, qhi).into_iter().copied().collect();
+            // Dense bins may over-approximate, never under-approximate:
+            // every truly overlapping range must be in the result.
+            for (i, &(lo, len)) in ranges.iter().enumerate() {
+                let hi = (lo + len).min(100.0);
+                if lo <= qhi && qlo <= hi {
+                    prop_assert!(got.contains(&i), "missing overlap {i}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! # lightdb-index
+//!
+//! External index structures for LightDB:
+//!
+//! * [`RTree`] — a from-scratch R-tree over axis-aligned rectangles in
+//!   up to three spatial dimensions, used by `CREATEINDEX` for spatial
+//!   selections over TLFs built from unions of many videos (the
+//!   "concert / museum / tourist location" case);
+//! * [`DenseIndex`] — a uniform-bin dense index over one dimension,
+//!   the representation LightDB uses for temporal and angular indexes.
+//!
+//! The GOP index and tile index are *embedded* indexes (they live in
+//! the `stss` atom and the frame headers respectively); this crate
+//! holds the external ones, plus the [`IndexKey`] naming scheme used
+//! to store them alongside TLF metadata (`index1.xz` etc.).
+
+pub mod dense;
+pub mod persist;
+pub mod rtree;
+
+pub use dense::DenseIndex;
+pub use rtree::{Rect3, RTree};
+
+use lightdb_geom::Dimension;
+
+/// The identity of an external index: the TLF version it covers and
+/// the dimensions it indexes, e.g. `index1.xz`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IndexKey {
+    pub version: u64,
+    pub dims: Vec<Dimension>,
+}
+
+impl IndexKey {
+    pub fn new(version: u64, mut dims: Vec<Dimension>) -> Self {
+        dims.sort_unstable();
+        dims.dedup();
+        IndexKey { version, dims }
+    }
+
+    /// The file name the storage layer uses for this index.
+    pub fn file_name(&self) -> String {
+        let suffix: String = self.dims.iter().map(|d| d.name()).collect::<Vec<_>>().join("");
+        format!("index{}.{suffix}", self.version)
+    }
+
+    /// How many of `selected` dimensions this index covers — the
+    /// optimizer picks the covering index with the highest score.
+    pub fn coverage(&self, selected: &[Dimension]) -> usize {
+        self.dims.iter().filter(|d| selected.contains(d)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_names_match_paper_convention() {
+        let k = IndexKey::new(1, vec![Dimension::X, Dimension::Z]);
+        assert_eq!(k.file_name(), "index1.xz");
+        let k = IndexKey::new(3, vec![Dimension::Y, Dimension::T]);
+        assert_eq!(k.file_name(), "index3.yt");
+    }
+
+    #[test]
+    fn dims_are_canonicalised() {
+        let a = IndexKey::new(1, vec![Dimension::Z, Dimension::X, Dimension::X]);
+        let b = IndexKey::new(1, vec![Dimension::X, Dimension::Z]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn coverage_counts_overlap() {
+        let k = IndexKey::new(1, vec![Dimension::X, Dimension::Z]);
+        assert_eq!(k.coverage(&[Dimension::X, Dimension::Y]), 1);
+        assert_eq!(k.coverage(&[Dimension::X, Dimension::Z, Dimension::T]), 2);
+        assert_eq!(k.coverage(&[Dimension::T]), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! On-disk form of spatial indexes.
+//!
+//! A spatial index file stores `(Rect3, entry-id)` pairs; the R-tree
+//! is rebuilt at load time (bulk insertion is cheap relative to the
+//! media it indexes, and the file format stays trivial to validate).
+
+use crate::rtree::{RTree, Rect3};
+use lightdb_geom::Point3;
+
+/// Magic prefix of index files.
+pub const INDEX_MAGIC: [u8; 4] = *b"LIX1";
+
+/// Serialises index entries.
+pub fn serialize_entries(entries: &[(Rect3, u64)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 8 + entries.len() * 56);
+    out.extend_from_slice(&INDEX_MAGIC);
+    out.extend_from_slice(&(entries.len() as u64).to_be_bytes());
+    for (r, id) in entries {
+        for v in [r.min.x, r.min.y, r.min.z, r.max.x, r.max.y, r.max.z] {
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        out.extend_from_slice(&id.to_be_bytes());
+    }
+    out
+}
+
+/// Parses index entries; `None` on any structural problem (callers
+/// fall back to a full scan).
+pub fn deserialize_entries(bytes: &[u8]) -> Option<Vec<(Rect3, u64)>> {
+    if bytes.len() < 12 || bytes[..4] != INDEX_MAGIC {
+        return None;
+    }
+    let n = u64::from_be_bytes(bytes[4..12].try_into().ok()?) as usize;
+    if bytes.len() != 12 + n * 56 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut pos = 12;
+    let f = |pos: &mut usize| {
+        let v = f64::from_be_bytes(bytes[*pos..*pos + 8].try_into().unwrap());
+        *pos += 8;
+        v
+    };
+    for _ in 0..n {
+        let (ax, ay, az) = (f(&mut pos), f(&mut pos), f(&mut pos));
+        let (bx, by, bz) = (f(&mut pos), f(&mut pos), f(&mut pos));
+        if !(ax <= bx && ay <= by && az <= bz)
+            || [ax, ay, az, bx, by, bz].iter().any(|v| v.is_nan())
+        {
+            return None;
+        }
+        let id = u64::from_be_bytes(bytes[pos..pos + 8].try_into().unwrap());
+        pos += 8;
+        out.push((Rect3::new(Point3::new(ax, ay, az), Point3::new(bx, by, bz)), id));
+    }
+    Some(out)
+}
+
+/// Rebuilds an R-tree from serialised bytes.
+pub fn load_rtree(bytes: &[u8]) -> Option<RTree<u64>> {
+    let entries = deserialize_entries(bytes)?;
+    let mut tree = RTree::new();
+    for (r, id) in entries {
+        tree.insert(r, id);
+    }
+    Some(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64, z: f64) -> Point3 {
+        Point3::new(x, y, z)
+    }
+
+    #[test]
+    fn entries_roundtrip() {
+        let entries = vec![
+            (Rect3::point(pt(0.0, 1.0, 2.0)), 7u64),
+            (Rect3::new(pt(-1.0, -2.0, -3.0), pt(4.0, 5.0, 6.0)), 9),
+        ];
+        let bytes = serialize_entries(&entries);
+        assert_eq!(deserialize_entries(&bytes).unwrap(), entries);
+    }
+
+    #[test]
+    fn empty_index_roundtrips() {
+        let bytes = serialize_entries(&[]);
+        assert_eq!(deserialize_entries(&bytes).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn corrupt_bytes_rejected() {
+        let entries = vec![(Rect3::point(pt(0.0, 0.0, 0.0)), 1u64)];
+        let mut bytes = serialize_entries(&entries);
+        assert!(deserialize_entries(&bytes[..bytes.len() - 1]).is_none());
+        bytes[0] = b'X';
+        assert!(deserialize_entries(&bytes).is_none());
+    }
+
+    #[test]
+    fn loaded_tree_answers_queries() {
+        let entries: Vec<(Rect3, u64)> =
+            (0..50).map(|i| (Rect3::point(pt(i as f64, 0.0, 0.0)), i)).collect();
+        let tree = load_rtree(&serialize_entries(&entries)).unwrap();
+        let hits = tree.search(&Rect3::new(pt(10.0, 0.0, 0.0), pt(12.0, 0.0, 0.0)));
+        assert_eq!(hits.len(), 3);
+    }
+}

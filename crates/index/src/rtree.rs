@@ -1,0 +1,399 @@
+//! A from-scratch R-tree (Guttman, 1984) over 3-D axis-aligned boxes.
+//!
+//! Supports bulk and incremental insertion with quadratic split,
+//! rectangle-intersection queries, and point queries. Entries carry an
+//! arbitrary payload (LightDB stores the identifier of the encoded
+//! video file covering that spatial region).
+
+use lightdb_geom::{Point3, Volume};
+use serde::{Deserialize, Serialize};
+
+/// Maximum entries per node before splitting.
+const MAX_ENTRIES: usize = 8;
+/// Minimum entries per node after a split.
+const MIN_ENTRIES: usize = 3;
+
+/// An axis-aligned box in (x, y, z).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect3 {
+    pub min: Point3,
+    pub max: Point3,
+}
+
+impl Rect3 {
+    pub fn new(min: Point3, max: Point3) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "rect min must not exceed max"
+        );
+        Rect3 { min, max }
+    }
+
+    /// A degenerate rectangle at a single point.
+    pub fn point(p: Point3) -> Self {
+        Rect3 { min: p, max: p }
+    }
+
+    /// The spatial footprint of a TLF volume (unbounded extents are
+    /// clamped to a large finite box so area arithmetic stays finite).
+    pub fn from_volume(v: &Volume) -> Self {
+        const BIG: f64 = 1e12;
+        let clamp = |f: f64| f.clamp(-BIG, BIG);
+        Rect3 {
+            min: Point3::new(clamp(v.x().lo()), clamp(v.y().lo()), clamp(v.z().lo())),
+            max: Point3::new(clamp(v.x().hi()), clamp(v.y().hi()), clamp(v.z().hi())),
+        }
+    }
+
+    /// True when the two boxes overlap (closed bounds).
+    pub fn intersects(&self, other: &Rect3) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+            && self.min.z <= other.max.z
+            && other.min.z <= self.max.z
+    }
+
+    /// True when `p` lies inside (closed bounds).
+    pub fn contains_point(&self, p: &Point3) -> bool {
+        (self.min.x..=self.max.x).contains(&p.x)
+            && (self.min.y..=self.max.y).contains(&p.y)
+            && (self.min.z..=self.max.z).contains(&p.z)
+    }
+
+    /// Smallest box containing both.
+    pub fn union(&self, other: &Rect3) -> Rect3 {
+        Rect3 {
+            min: Point3::new(
+                self.min.x.min(other.min.x),
+                self.min.y.min(other.min.y),
+                self.min.z.min(other.min.z),
+            ),
+            max: Point3::new(
+                self.max.x.max(other.max.x),
+                self.max.y.max(other.max.y),
+                self.max.z.max(other.max.z),
+            ),
+        }
+    }
+
+    /// Surrogate for volume used by the split/choose heuristics: the
+    /// product of extents with a small floor per axis so degenerate
+    /// boxes still order sensibly.
+    fn measure(&self) -> f64 {
+        let e = 1e-9;
+        ((self.max.x - self.min.x) + e)
+            * ((self.max.y - self.min.y) + e)
+            * ((self.max.z - self.min.z) + e)
+    }
+
+    fn enlargement(&self, other: &Rect3) -> f64 {
+        self.union(other).measure() - self.measure()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node<T> {
+    Leaf(Vec<(Rect3, T)>),
+    Inner(Vec<(Rect3, Box<Node<T>>)>),
+}
+
+impl<T> Node<T> {
+    fn bbox(&self) -> Option<Rect3> {
+        match self {
+            Node::Leaf(entries) => {
+                entries.iter().map(|(r, _)| *r).reduce(|a, b| a.union(&b))
+            }
+            Node::Inner(children) => {
+                children.iter().map(|(r, _)| *r).reduce(|a, b| a.union(&b))
+            }
+        }
+    }
+
+    #[allow(dead_code)]
+    fn len(&self) -> usize {
+        match self {
+            Node::Leaf(e) => e.len(),
+            Node::Inner(c) => c.len(),
+        }
+    }
+}
+
+/// The R-tree.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T> Default for RTree<T> {
+    fn default() -> Self {
+        RTree { root: Node::Leaf(Vec::new()), len: 0 }
+    }
+}
+
+impl<T: Clone> RTree<T> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts an entry.
+    pub fn insert(&mut self, rect: Rect3, value: T) {
+        self.len += 1;
+        if let Some((r1, n1, r2, n2)) = insert_rec(&mut self.root, rect, value) {
+            // Root split: grow the tree.
+            self.root = Node::Inner(vec![(r1, Box::new(n1)), (r2, Box::new(n2))]);
+        }
+    }
+
+    /// All values whose rectangles intersect `query`.
+    pub fn search(&self, query: &Rect3) -> Vec<&T> {
+        let mut out = Vec::new();
+        search_rec(&self.root, query, &mut out);
+        out
+    }
+
+    /// All values whose rectangles contain the point.
+    pub fn search_point(&self, p: &Point3) -> Vec<&T> {
+        self.search(&Rect3::point(*p))
+    }
+
+    /// Tree height (1 for a leaf-only tree) — exposed for tests.
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Inner(children) = node {
+            h += 1;
+            node = &children[0].1;
+        }
+        h
+    }
+}
+
+fn search_rec<'a, T>(node: &'a Node<T>, query: &Rect3, out: &mut Vec<&'a T>) {
+    match node {
+        Node::Leaf(entries) => {
+            for (r, v) in entries {
+                if r.intersects(query) {
+                    out.push(v);
+                }
+            }
+        }
+        Node::Inner(children) => {
+            for (r, child) in children {
+                if r.intersects(query) {
+                    search_rec(child, query, out);
+                }
+            }
+        }
+    }
+}
+
+/// Recursive insert; returns the two halves when the node split.
+fn insert_rec<T: Clone>(
+    node: &mut Node<T>,
+    rect: Rect3,
+    value: T,
+) -> Option<(Rect3, Node<T>, Rect3, Node<T>)> {
+    match node {
+        Node::Leaf(entries) => {
+            entries.push((rect, value));
+            if entries.len() <= MAX_ENTRIES {
+                return None;
+            }
+            let (a, b) = quadratic_split(std::mem::take(entries));
+            let (ra, rb) = (bbox_of(&a), bbox_of(&b));
+            Some((ra, Node::Leaf(a), rb, Node::Leaf(b)))
+        }
+        Node::Inner(children) => {
+            // Choose the child whose bbox needs least enlargement.
+            let mut best = 0;
+            let mut best_enl = f64::INFINITY;
+            let mut best_measure = f64::INFINITY;
+            for (i, (r, _)) in children.iter().enumerate() {
+                let enl = r.enlargement(&rect);
+                let m = r.measure();
+                if enl < best_enl || (enl == best_enl && m < best_measure) {
+                    best = i;
+                    best_enl = enl;
+                    best_measure = m;
+                }
+            }
+            match insert_rec(&mut children[best].1, rect, value) {
+                None => {
+                    children[best].0 = children[best].1.bbox().expect("non-empty child");
+                }
+                Some((r1, n1, r2, n2)) => {
+                    children[best] = (r1, Box::new(n1));
+                    children.push((r2, Box::new(n2)));
+                    if children.len() > MAX_ENTRIES {
+                        let (a, b) = quadratic_split(std::mem::take(children));
+                        let (ra, rb) = (bbox_of(&a), bbox_of(&b));
+                        return Some((ra, Node::Inner(a), rb, Node::Inner(b)));
+                    }
+                }
+            }
+            None
+        }
+    }
+}
+
+fn bbox_of<E>(entries: &[(Rect3, E)]) -> Rect3 {
+    entries.iter().map(|(r, _)| *r).reduce(|a, b| a.union(&b)).expect("non-empty")
+}
+
+/// A pair of entry lists produced by a node split.
+type SplitHalves<E> = (Vec<(Rect3, E)>, Vec<(Rect3, E)>);
+
+/// Guttman's quadratic split.
+fn quadratic_split<E>(mut entries: Vec<(Rect3, E)>) -> SplitHalves<E> {
+    // Pick the pair wasting the most area as seeds.
+    let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..entries.len() {
+        for j in i + 1..entries.len() {
+            let waste = entries[i].0.union(&entries[j].0).measure()
+                - entries[i].0.measure()
+                - entries[j].0.measure();
+            if waste > worst {
+                worst = waste;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+    // Remove the higher index first so the lower stays valid.
+    let e2 = entries.remove(s2);
+    let e1 = entries.remove(s1);
+    let mut ra = e1.0;
+    let mut rb = e2.0;
+    let mut a = vec![e1];
+    let mut b = vec![e2];
+    while let Some(e) = entries.pop() {
+        // Honour minimum fill.
+        let remaining = entries.len() + 1;
+        if a.len() + remaining <= MIN_ENTRIES {
+            ra = ra.union(&e.0);
+            a.push(e);
+            continue;
+        }
+        if b.len() + remaining <= MIN_ENTRIES {
+            rb = rb.union(&e.0);
+            b.push(e);
+            continue;
+        }
+        if ra.enlargement(&e.0) <= rb.enlargement(&e.0) {
+            ra = ra.union(&e.0);
+            a.push(e);
+        } else {
+            rb = rb.union(&e.0);
+            b.push(e);
+        }
+    }
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn pt(x: f64, y: f64, z: f64) -> Point3 {
+        Point3::new(x, y, z)
+    }
+
+    #[test]
+    fn empty_tree_finds_nothing() {
+        let t: RTree<u32> = RTree::new();
+        assert!(t.is_empty());
+        assert!(t.search_point(&pt(0.0, 0.0, 0.0)).is_empty());
+    }
+
+    #[test]
+    fn single_entry_point_query() {
+        let mut t = RTree::new();
+        t.insert(Rect3::point(pt(1.0, 2.0, 3.0)), "a");
+        assert_eq!(t.search_point(&pt(1.0, 2.0, 3.0)), vec![&"a"]);
+        assert!(t.search_point(&pt(0.0, 0.0, 0.0)).is_empty());
+    }
+
+    #[test]
+    fn range_query_finds_all_overlaps() {
+        let mut t = RTree::new();
+        for i in 0..20 {
+            let x = i as f64;
+            t.insert(Rect3::new(pt(x, 0.0, 0.0), pt(x + 0.5, 1.0, 1.0)), i);
+        }
+        let hits = t.search(&Rect3::new(pt(4.9, 0.0, 0.0), pt(7.1, 1.0, 1.0)));
+        let mut ids: Vec<u32> = hits.into_iter().copied().collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn tree_grows_in_height() {
+        let mut t = RTree::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..500u32 {
+            let p = pt(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0), 0.0);
+            t.insert(Rect3::point(p), i);
+        }
+        assert_eq!(t.len(), 500);
+        assert!(t.height() >= 3, "height {} too small for 500 entries", t.height());
+        // Everything is findable via a full-extent query.
+        let all = t.search(&Rect3::new(pt(-1.0, -1.0, -1.0), pt(101.0, 101.0, 1.0)));
+        assert_eq!(all.len(), 500);
+    }
+
+    #[test]
+    fn from_volume_clamps_unbounded() {
+        let r = Rect3::from_volume(&Volume::everywhere());
+        assert!(r.min.x.is_finite() && r.max.x.is_finite());
+    }
+
+    #[test]
+    fn duplicate_points_all_returned() {
+        let mut t = RTree::new();
+        for i in 0..10 {
+            t.insert(Rect3::point(pt(5.0, 5.0, 5.0)), i);
+        }
+        assert_eq!(t.search_point(&pt(5.0, 5.0, 5.0)).len(), 10);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn rtree_matches_linear_scan(
+            points in proptest::collection::vec((0.0f64..50.0, 0.0f64..50.0, 0.0f64..50.0), 1..200),
+            q in (0.0f64..50.0, 0.0f64..50.0, 0.0f64..50.0, 0.0f64..20.0),
+        ) {
+            let mut t = RTree::new();
+            for (i, &(x, y, z)) in points.iter().enumerate() {
+                t.insert(Rect3::point(pt(x, y, z)), i);
+            }
+            let (qx, qy, qz, ext) = q;
+            let query = Rect3::new(pt(qx, qy, qz), pt(qx + ext, qy + ext, qz + ext));
+            let mut got: Vec<usize> = t.search(&query).into_iter().copied().collect();
+            got.sort_unstable();
+            let mut expect: Vec<usize> = points
+                .iter()
+                .enumerate()
+                .filter(|(_, &(x, y, z))| query.contains_point(&pt(x, y, z)))
+                .map(|(i, _)| i)
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

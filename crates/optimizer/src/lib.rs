@@ -1,0 +1,57 @@
+//! # lightdb-optimizer
+//!
+//! The rule-based query optimizer. Given a logical VRQL plan, it
+//!
+//! 1. applies **logical rewrites** ([`rules`]): map fusion, redundant-
+//!    and identity-select elimination, empty-union simplification,
+//!    partition/discretize combining, `DISCRETIZE∘INTERPOLATE`
+//!    conversion, interpolate push-up, and self-union degeneracy
+//!    elimination;
+//! 2. **lowers** the plan to physical operators ([`lower`]), choosing
+//!    a device for each (GPU > FPGA > CPU, keep data on-device,
+//!    insert `TRANSFER`s at device changes) and substituting
+//!    **homomorphic operators** (`GOPSELECT`, `GOPUNION`,
+//!    `TILESELECT`, `TILEUNION`) wherever a query can be answered in
+//!    the encoded domain.
+//!
+//! [`PlannerOptions`] exposes each optimisation family as a switch,
+//! which the benchmark harness uses for ablations.
+
+pub mod lower;
+pub mod rules;
+
+pub use lower::{Planner, PlannerOptions};
+
+/// Errors raised at planning time.
+#[derive(Debug)]
+pub enum PlanError {
+    Core(lightdb_core::CoreError),
+    Storage(lightdb_storage::StorageError),
+    Unsupported(String),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Core(e) => write!(f, "core: {e}"),
+            PlanError::Storage(e) => write!(f, "storage: {e}"),
+            PlanError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<lightdb_core::CoreError> for PlanError {
+    fn from(e: lightdb_core::CoreError) -> Self {
+        PlanError::Core(e)
+    }
+}
+
+impl From<lightdb_storage::StorageError> for PlanError {
+    fn from(e: lightdb_storage::StorageError) -> Self {
+        PlanError::Storage(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, PlanError>;

@@ -1,0 +1,439 @@
+//! Logical rewrite rules.
+//!
+//! Each rule is a bottom-up transformation over [`LogicalPlan`]; the
+//! driver applies the rule set until a fixpoint (bounded by a small
+//! iteration cap — the rules are size-reducing or size-preserving, so
+//! the bound is never hit in practice).
+
+use lightdb_core::algebra::{LogicalOp, LogicalPlan};
+use lightdb_core::udf::{BuiltinInterp, InterpFunction, MapFunction, MapUdf};
+use lightdb_frame::Frame;
+use std::sync::Arc;
+
+/// A `MAP` UDF composed of two fused maps: `g ∘ f` (apply `f`, then
+/// `g`) — the result of the consecutive-map consolidation rule.
+pub struct ComposedMap {
+    first: MapFunction,
+    second: MapFunction,
+    name: String,
+}
+
+impl ComposedMap {
+    pub fn new(first: MapFunction, second: MapFunction) -> ComposedMap {
+        let name = format!("{}∘{}", second.name(), first.name());
+        ComposedMap { first, second, name }
+    }
+
+    fn apply_fn(f: &MapFunction, frame: &Frame) -> Frame {
+        match f {
+            MapFunction::Builtin(b) => b.apply(frame),
+            MapFunction::Custom(u) => u.apply(frame),
+            MapFunction::Point(_) => frame.clone(), // composed point UDFs are not fused
+        }
+    }
+}
+
+impl MapUdf for ComposedMap {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn apply(&self, frame: &Frame) -> Frame {
+        Self::apply_fn(&self.second, &Self::apply_fn(&self.first, frame))
+    }
+}
+
+/// Applies all rewrite rules to a fixpoint.
+pub fn rewrite(plan: LogicalPlan) -> LogicalPlan {
+    let mut plan = plan;
+    for _ in 0..16 {
+        let before = plan.len();
+        let display_before = format!("{plan}");
+        plan = rewrite_once(plan);
+        if plan.len() == before && format!("{plan}") == display_before {
+            break;
+        }
+    }
+    plan
+}
+
+fn rewrite_once(plan: LogicalPlan) -> LogicalPlan {
+    // Bottom-up: rewrite children first.
+    let LogicalPlan { op, inputs } = plan;
+    let inputs: Vec<LogicalPlan> = inputs.into_iter().map(rewrite_once).collect();
+    let plan = LogicalPlan { op, inputs };
+    apply_node_rules(plan)
+}
+
+fn apply_node_rules(plan: LogicalPlan) -> LogicalPlan {
+    match &plan.op {
+        LogicalOp::Map { .. } => fuse_maps(plan),
+        LogicalOp::Select { .. } => simplify_select(plan),
+        LogicalOp::Union { .. } => simplify_union(plan),
+        LogicalOp::Partition { .. } => combine_partitions(plan),
+        LogicalOp::Discretize { .. } => combine_discretize(plan),
+        LogicalOp::Interpolate { .. } => fuse_interpolate(plan),
+        _ => plan,
+    }
+}
+
+/// `MAP(MAP(L, f), g) → MAP(L, g∘f)`.
+fn fuse_maps(plan: LogicalPlan) -> LogicalPlan {
+    let LogicalOp::Map { f: outer, stencil: outer_stencil } = &plan.op else { return plan };
+    if outer_stencil.is_some() {
+        return plan;
+    }
+    // Identity maps vanish outright.
+    if outer.name() == "IDENTITY" {
+        return plan.inputs.into_iter().next().unwrap();
+    }
+    let child = &plan.inputs[0];
+    let LogicalOp::Map { f: inner, stencil: inner_stencil } = &child.op else { return plan };
+    if inner_stencil.is_some()
+        || matches!(outer, MapFunction::Point(_))
+        || matches!(inner, MapFunction::Point(_))
+    {
+        return plan;
+    }
+    if inner.name() == "IDENTITY" {
+        return LogicalPlan {
+            op: plan.op.clone(),
+            inputs: child.inputs.clone(),
+        };
+    }
+    let fused = MapFunction::Custom(Arc::new(ComposedMap::new(inner.clone(), outer.clone())));
+    LogicalPlan {
+        op: LogicalOp::Map { f: fused, stencil: None },
+        inputs: child.inputs.clone(),
+    }
+}
+
+/// Identity-select elimination and redundant-select collapsing:
+/// `SELECT(SELECT(L, R1), R2) → SELECT(L, R2)` when `R1 ⊇ R2`.
+fn simplify_select(plan: LogicalPlan) -> LogicalPlan {
+    let LogicalOp::Select { predicate } = &plan.op else { return plan };
+    // Normalise away constraints that cover a dimension's whole
+    // domain: unbounded spatiotemporal ranges, θ ⊇ [0, 2π], φ ⊇ [0, π].
+    let covers_domain = |d: lightdb_geom::Dimension, iv: lightdb_geom::Interval| match d {
+        lightdb_geom::Dimension::Theta => {
+            iv.lo() <= 1e-9 && iv.hi() >= lightdb_geom::THETA_PERIOD - 1e-9
+        }
+        lightdb_geom::Dimension::Phi => {
+            iv.lo() <= 1e-9 && iv.hi() >= lightdb_geom::PHI_MAX - 1e-9
+        }
+        _ => !iv.is_bounded() && iv.lo() < iv.hi(),
+    };
+    let mut normalized = lightdb_core::algebra::VolumePredicate::any();
+    let mut changed = false;
+    for d in lightdb_geom::Dimension::ALL {
+        match predicate.get(d) {
+            None => {}
+            Some(iv) if covers_domain(d, iv) => changed = true,
+            Some(iv) => normalized = normalized.with(d, iv),
+        }
+    }
+    // SELECT(L, [-∞, +∞]) — the degenerate full-extent selection.
+    if normalized.is_unconstrained() {
+        return plan.inputs.into_iter().next().unwrap();
+    }
+    let plan = if changed {
+        LogicalPlan { op: LogicalOp::Select { predicate: normalized }, inputs: plan.inputs }
+    } else {
+        plan
+    };
+    let LogicalOp::Select { predicate } = &plan.op else { unreachable!() };
+    let child = &plan.inputs[0];
+    if let LogicalOp::Select { predicate: inner } = &child.op {
+        // The inner selection is redundant when it contains the outer
+        // one on every constrained dimension.
+        let contained = lightdb_geom::Dimension::ALL.iter().all(|d| {
+            match (inner.get(*d), predicate.get(*d)) {
+                (None, _) => true,
+                (Some(i), Some(o)) => i.contains_interval(&o),
+                (Some(_), None) => false,
+            }
+        });
+        if contained {
+            return LogicalPlan {
+                op: plan.op.clone(),
+                inputs: child.inputs.clone(),
+            };
+        }
+    }
+    plan
+}
+
+/// Self-union elimination (`UNION(L, L) → L`), empty-input pruning
+/// (`UNION(L, Ω) → L`), and single-input unwrapping.
+fn simplify_union(plan: LogicalPlan) -> LogicalPlan {
+    let LogicalOp::Union { .. } = &plan.op else { return plan };
+    // Drop Ω inputs (CREATE of an empty TLF is the Ω constructor).
+    let inputs: Vec<LogicalPlan> = plan
+        .inputs
+        .iter()
+        .filter(|p| !matches!(p.op, LogicalOp::Create { .. }))
+        .cloned()
+        .collect();
+    if inputs.is_empty() {
+        // All inputs were Ω: the union is Ω.
+        return plan.inputs.into_iter().next().unwrap();
+    }
+    // Structural self-union: all inputs render identically (plans
+    // containing subqueries are never compared — closures have no
+    // canonical form).
+    let has_subquery =
+        |p: &LogicalPlan| !p.is_empty() && format!("{p}").contains("SUBQUERY");
+    if inputs.len() > 1 && !inputs.iter().any(has_subquery) {
+        let first = format!("{}", inputs[0]);
+        if inputs.iter().all(|p| format!("{p}") == first) {
+            return inputs.into_iter().next().unwrap();
+        }
+    }
+    if inputs.len() == 1 {
+        return inputs.into_iter().next().unwrap();
+    }
+    LogicalPlan { op: plan.op.clone(), inputs }
+}
+
+/// `PARTITION(PARTITION(L, Δd=γ), Δd=γ') → PARTITION(L, γ')` when
+/// `γ' = i·γ`.
+fn combine_partitions(plan: LogicalPlan) -> LogicalPlan {
+    let LogicalOp::Partition { spec: outer } = &plan.op else { return plan };
+    let child = &plan.inputs[0];
+    let LogicalOp::Partition { spec: inner } = &child.op else { return plan };
+    if compatible_steps(inner, outer) {
+        return LogicalPlan {
+            op: LogicalOp::Partition { spec: outer.clone() },
+            inputs: child.inputs.clone(),
+        };
+    }
+    plan
+}
+
+/// Same combining rule for `DISCRETIZE`.
+fn combine_discretize(plan: LogicalPlan) -> LogicalPlan {
+    let LogicalOp::Discretize { steps: outer } = &plan.op else { return plan };
+    let child = &plan.inputs[0];
+    match &child.op {
+        LogicalOp::Discretize { steps: inner } => {
+            if compatible_steps(inner, outer) {
+                LogicalPlan {
+                    op: LogicalOp::Discretize { steps: outer.clone() },
+                    inputs: child.inputs.clone(),
+                }
+            } else {
+                plan
+            }
+        }
+        // DISCRETIZE(INTERPOLATE(L, f), Δ) → DISCRETIZE(L, Δ): for
+        // video-backed TLFs, resampling a just-interpolated field at a
+        // coarser rate is the resample alone (the MAP(L, D(f)) form of
+        // the paper, with D(f) realised by the sampling operator).
+        LogicalOp::Interpolate { f: InterpFunction::Builtin(_), .. } => LogicalPlan {
+            op: plan.op.clone(),
+            inputs: child.inputs.clone(),
+        },
+        _ => plan,
+    }
+}
+
+/// Every outer step must sit on the same dimension as some inner step
+/// and be an integer multiple of it.
+fn compatible_steps(inner: &[(lightdb_geom::Dimension, f64)], outer: &[(lightdb_geom::Dimension, f64)]) -> bool {
+    outer.iter().all(|(d, o)| {
+        inner.iter().any(|(id, i)| {
+            id == d && {
+                let ratio = o / i;
+                (ratio - ratio.round()).abs() < 1e-9 && ratio >= 1.0 - 1e-9
+            }
+        })
+    }) && inner.iter().all(|(d, _)| outer.iter().any(|(od, _)| od == d))
+}
+
+/// Interpolate push-up (`SELECT(INTERPOLATE(L)) →
+/// INTERPOLATE(SELECT(L))`, likewise over `PARTITION`) plus
+/// `INTERPOLATE(MAP(L, IDENTITY), g) → INTERPOLATE(L, g)`.
+fn fuse_interpolate(plan: LogicalPlan) -> LogicalPlan {
+    let LogicalOp::Interpolate { f, stencil } = &plan.op else { return plan };
+    let child = &plan.inputs[0];
+    if let LogicalOp::Map { f: mf, .. } = &child.op {
+        if mf.name() == "IDENTITY" {
+            return LogicalPlan {
+                op: LogicalOp::Interpolate { f: f.clone(), stencil: *stencil },
+                inputs: child.inputs.clone(),
+            };
+        }
+    }
+    plan
+}
+
+/// The push-up driver: hoists `INTERPOLATE` above `SELECT` and
+/// `PARTITION` so TLFs stay discrete for as long as possible. Run as
+/// a separate top-down pass because the pattern is parent-directed.
+pub fn push_up_interpolate(plan: LogicalPlan) -> LogicalPlan {
+    let LogicalPlan { op, inputs } = plan;
+    let mut inputs: Vec<LogicalPlan> = inputs.into_iter().map(push_up_interpolate).collect();
+    match &op {
+        LogicalOp::Select { .. } | LogicalOp::Partition { .. } => {
+            if inputs.len() == 1 {
+                let only_builtin = matches!(
+                    &inputs[0].op,
+                    LogicalOp::Interpolate {
+                        f: InterpFunction::Builtin(BuiltinInterp::NearestNeighbor
+                            | BuiltinInterp::Linear),
+                        ..
+                    }
+                );
+                if only_builtin {
+                    let interp = inputs.pop().unwrap();
+                    let LogicalPlan { op: iop, inputs: iinputs } = interp;
+                    let swapped = LogicalPlan { op, inputs: iinputs };
+                    return push_up_interpolate(LogicalPlan {
+                        op: iop,
+                        inputs: vec![swapped],
+                    });
+                }
+            }
+            LogicalPlan { op, inputs }
+        }
+        _ => LogicalPlan { op, inputs },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightdb_core::udf::BuiltinMap;
+    use lightdb_core::vrql::*;
+    use lightdb_core::MergeFunction;
+    use lightdb_geom::Dimension;
+
+    #[test]
+    fn consecutive_maps_fuse() {
+        let q = scan("a") >> Map::builtin(BuiltinMap::Blur) >> Map::builtin(BuiltinMap::Grayscale);
+        let r = rewrite(q.into_plan());
+        assert_eq!(r.len(), 2);
+        assert!(format!("{r}").contains("GRAYSCALE∘BLUR"));
+    }
+
+    #[test]
+    fn identity_map_vanishes() {
+        let q = scan("a") >> Map::builtin(BuiltinMap::Identity);
+        let r = rewrite(q.into_plan());
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.op.name(), "SCAN");
+    }
+
+    #[test]
+    fn redundant_select_collapses() {
+        let q = scan("a")
+            >> Select::along(Dimension::T, 0.0, 10.0)
+            >> Select::along(Dimension::T, 2.0, 4.0);
+        let r = rewrite(q.into_plan());
+        assert_eq!(r.len(), 2);
+        assert!(format!("{r}").contains("t∈[2, 4]"));
+    }
+
+    #[test]
+    fn non_redundant_selects_kept() {
+        let q = scan("a")
+            >> Select::along(Dimension::T, 0.0, 3.0)
+            >> Select::along(Dimension::Theta, 0.0, 1.0);
+        let r = rewrite(q.into_plan());
+        assert_eq!(r.len(), 3, "{r}");
+    }
+
+    #[test]
+    fn unconstrained_select_vanishes() {
+        let q = scan("a") >> Select(lightdb_core::VolumePredicate::any());
+        let r = rewrite(q.into_plan());
+        assert_eq!(r.op.name(), "SCAN");
+    }
+
+    #[test]
+    fn self_union_simplifies() {
+        let q = union(vec![scan("a"), scan("a")], MergeFunction::Last);
+        let r = rewrite(q.into_plan());
+        assert_eq!(r.op.name(), "SCAN");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn distinct_union_preserved() {
+        let q = union(vec![scan("a"), scan("b")], MergeFunction::Last);
+        let r = rewrite(q.into_plan());
+        assert_eq!(r.op.name(), "UNION");
+    }
+
+    #[test]
+    fn omega_inputs_pruned() {
+        let q = union(vec![scan("a"), create("fresh")], MergeFunction::Last);
+        let r = rewrite(q.into_plan());
+        assert_eq!(r.op.name(), "SCAN");
+    }
+
+    #[test]
+    fn nested_partitions_combine_when_multiple() {
+        let q = scan("a")
+            >> Partition::along(Dimension::T, 1.0)
+            >> Partition::along(Dimension::T, 3.0);
+        let r = rewrite(q.into_plan());
+        assert_eq!(r.len(), 2, "{r}");
+        assert!(format!("{r}").contains("Δt=3"));
+    }
+
+    #[test]
+    fn incompatible_partitions_kept() {
+        let q = scan("a")
+            >> Partition::along(Dimension::T, 2.0)
+            >> Partition::along(Dimension::T, 3.0);
+        let r = rewrite(q.into_plan());
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn discretize_absorbs_builtin_interpolate() {
+        let q = scan("a")
+            >> Interpolate::builtin(BuiltinInterp::NearestNeighbor)
+            >> Discretize::angular(64, 32);
+        let r = rewrite(q.into_plan());
+        assert_eq!(r.len(), 2, "{r}");
+        assert_eq!(r.op.name(), "DISCRETIZE");
+    }
+
+    #[test]
+    fn interpolate_pushes_above_select() {
+        let q = scan("a")
+            >> Interpolate::builtin(BuiltinInterp::Linear)
+            >> Select::along(Dimension::T, 0.0, 1.0);
+        let r = push_up_interpolate(q.into_plan());
+        assert_eq!(r.op.name(), "INTERPOLATE");
+        assert_eq!(r.inputs[0].op.name(), "SELECT");
+        assert_eq!(r.inputs[0].inputs[0].op.name(), "SCAN");
+    }
+
+    #[test]
+    fn composed_map_applies_in_order() {
+        use lightdb_frame::{Frame, Yuv};
+        // Sharpen-then-grayscale differs from grayscale-then-sharpen
+        // on chroma; check the composition applies first-then-second.
+        let c = ComposedMap::new(
+            MapFunction::Builtin(BuiltinMap::Grayscale),
+            MapFunction::Builtin(BuiltinMap::Identity),
+        );
+        let f = Frame::filled(8, 8, Yuv::new(90, 20, 200));
+        let out = c.apply(&f);
+        assert!(out.get(2, 2).is_achromatic());
+        assert_eq!(c.name(), "IDENTITY∘GRAYSCALE");
+    }
+
+    #[test]
+    fn rewrite_reaches_fixpoint_on_deep_chains() {
+        let mut q = scan("a");
+        for _ in 0..8 {
+            q = q >> Map::builtin(BuiltinMap::Blur);
+        }
+        let r = rewrite(q.into_plan());
+        assert_eq!(r.len(), 2, "eight blurs fuse into one map: {r}");
+    }
+}

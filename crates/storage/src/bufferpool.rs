@@ -1,0 +1,278 @@
+//! The in-memory TLF cache (TC): parsed metadata entries plus a
+//! GOP-granularity LRU buffer pool over encoded media.
+//!
+//! Buffering at GOP granularity improves temporal locality — a point
+//! lookup that decoded GOP *k* will very likely need GOP *k* again
+//! for the next predicted-frame request.
+
+use lightdb_container::MetadataFile;
+use lightdb_index::rtree::RTree;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key for one GOP of one media file.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GopKey {
+    /// Absolute or TLF-relative media path (must be used consistently).
+    pub media: String,
+    /// GOP ordinal within the stream.
+    pub gop: u64,
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub bytes: usize,
+}
+
+impl PoolStats {
+    /// Hit rate in `[0, 1]`; zero when nothing was requested.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    bytes: Arc<Vec<u8>>,
+    /// Monotonic stamp for LRU ordering.
+    stamp: u64,
+}
+
+struct PoolInner {
+    map: HashMap<GopKey, Entry>,
+    clock: u64,
+    stats: PoolStats,
+    capacity_bytes: usize,
+    metadata: HashMap<(String, u64), Arc<MetadataFile>>,
+    rtrees: HashMap<(String, u64), Arc<RTree<u64>>>,
+}
+
+/// The buffer pool. Thread-safe; lock granularity is the whole pool
+/// (LightDB is single-node and the pool is not a contention point —
+/// encode/decode dominates).
+pub struct BufferPool {
+    inner: Mutex<PoolInner>,
+}
+
+impl BufferPool {
+    /// Creates a pool bounded by `capacity_bytes` of GOP payloads.
+    pub fn new(capacity_bytes: usize) -> Self {
+        BufferPool {
+            inner: Mutex::new(PoolInner {
+                map: HashMap::new(),
+                clock: 0,
+                stats: PoolStats::default(),
+                capacity_bytes,
+                metadata: HashMap::new(),
+                rtrees: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Fetches a GOP, loading and caching through `load` on a miss.
+    pub fn get_gop<E>(
+        &self,
+        key: &GopKey,
+        load: impl FnOnce() -> std::result::Result<Vec<u8>, E>,
+    ) -> std::result::Result<Arc<Vec<u8>>, E> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let hit = {
+            let inner = &mut *inner;
+            inner.map.get_mut(key).map(|e| {
+                e.stamp = clock;
+                e.bytes.clone()
+            })
+        };
+        if let Some(bytes) = hit {
+            inner.stats.hits += 1;
+            return Ok(bytes);
+        }
+        inner.stats.misses += 1;
+        // Don't hold the lock across the load: loads hit the disk.
+        drop(inner);
+        let bytes = Arc::new(load()?);
+        let mut inner = self.inner.lock();
+        inner.stats.bytes += bytes.len();
+        inner.map.insert(key.clone(), Entry { bytes: bytes.clone(), stamp: clock });
+        // Evict least-recently used entries until within capacity.
+        while inner.stats.bytes > inner.capacity_bytes && inner.map.len() > 1 {
+            if let Some(victim) =
+                inner.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| k.clone())
+            {
+                if let Some(e) = inner.map.remove(&victim) {
+                    inner.stats.bytes -= e.bytes.len();
+                    inner.stats.evictions += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(bytes)
+    }
+
+    /// Caches a parsed metadata file for `(name, version)`.
+    pub fn put_metadata(&self, name: &str, version: u64, file: Arc<MetadataFile>) {
+        self.inner.lock().metadata.insert((name.to_string(), version), file);
+    }
+
+    /// Looks up a cached metadata file.
+    pub fn get_metadata(&self, name: &str, version: u64) -> Option<Arc<MetadataFile>> {
+        self.inner.lock().metadata.get(&(name.to_string(), version)).cloned()
+    }
+
+    /// Caches a loaded spatial R-tree for `(name, version)`.
+    pub fn put_rtree(&self, name: &str, version: u64, tree: Arc<RTree<u64>>) {
+        self.inner.lock().rtrees.insert((name.to_string(), version), tree);
+    }
+
+    /// Looks up a cached spatial R-tree.
+    pub fn get_rtree(&self, name: &str, version: u64) -> Option<Arc<RTree<u64>>> {
+        self.inner.lock().rtrees.get(&(name.to_string(), version)).cloned()
+    }
+
+    /// Drops a cached R-tree (used by `DROPINDEX`).
+    pub fn invalidate_rtree(&self, name: &str) {
+        self.inner.lock().rtrees.retain(|(n, _), _| n != name);
+    }
+
+    /// Drops all cached state for a TLF (used by `DROP`).
+    pub fn invalidate(&self, name: &str) {
+        let mut inner = self.inner.lock();
+        inner.metadata.retain(|(n, _), _| n != name);
+        inner.rtrees.retain(|(n, _), _| n != name);
+        let prefix = format!("{name}/");
+        let doomed: Vec<GopKey> =
+            inner.map.keys().filter(|k| k.media.starts_with(&prefix)).cloned().collect();
+        for k in doomed {
+            if let Some(e) = inner.map.remove(&k) {
+                inner.stats.bytes -= e.bytes.len();
+            }
+        }
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of cached GOPs.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(media: &str, gop: u64) -> GopKey {
+        GopKey { media: media.into(), gop }
+    }
+
+    fn load_ok(n: usize) -> impl FnOnce() -> Result<Vec<u8>, std::io::Error> {
+        move || Ok(vec![0u8; n])
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let pool = BufferPool::new(1024);
+        pool.get_gop(&key("a/s.lvc", 0), load_ok(100)).unwrap();
+        pool.get_gop(&key("a/s.lvc", 0), load_ok(100)).unwrap();
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let pool = BufferPool::new(250);
+        pool.get_gop(&key("m", 0), load_ok(100)).unwrap();
+        pool.get_gop(&key("m", 1), load_ok(100)).unwrap();
+        // Touch GOP 0 so GOP 1 is the LRU victim.
+        pool.get_gop(&key("m", 0), load_ok(100)).unwrap();
+        pool.get_gop(&key("m", 2), load_ok(100)).unwrap(); // exceeds capacity
+        let s = pool.stats();
+        assert_eq!(s.evictions, 1);
+        // GOP 0 must still be cached (hit), GOP 1 must have been evicted.
+        pool.get_gop(&key("m", 0), load_ok(100)).unwrap();
+        let before = pool.stats().misses;
+        pool.get_gop(&key("m", 1), load_ok(100)).unwrap();
+        assert_eq!(pool.stats().misses, before + 1, "GOP 1 should have been evicted");
+    }
+
+    #[test]
+    fn load_errors_propagate_and_cache_nothing() {
+        let pool = BufferPool::new(1024);
+        let r: Result<_, std::io::Error> = pool.get_gop(&key("m", 0), || {
+            Err(std::io::Error::new(std::io::ErrorKind::NotFound, "x"))
+        });
+        assert!(r.is_err());
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn metadata_cache_roundtrip() {
+        use lightdb_container::{MetadataFile, TlfDescriptor};
+        use lightdb_geom::{Interval, Point3};
+        let pool = BufferPool::new(1024);
+        let file = Arc::new(
+            MetadataFile::new(
+                1,
+                vec![],
+                TlfDescriptor {
+                    body: lightdb_container::TlfBody::Sphere360 { points: vec![] },
+                    ..TlfDescriptor::single_sphere(Point3::ORIGIN, Interval::new(0.0, 1.0), 0)
+                },
+            )
+            .unwrap(),
+        );
+        assert!(pool.get_metadata("demo", 1).is_none());
+        pool.put_metadata("demo", 1, file.clone());
+        assert!(pool.get_metadata("demo", 1).is_some());
+        pool.invalidate("demo");
+        assert!(pool.get_metadata("demo", 1).is_none());
+    }
+
+    #[test]
+    fn invalidate_drops_gops_by_prefix() {
+        let pool = BufferPool::new(10_000);
+        pool.get_gop(&key("demo/s.lvc", 0), load_ok(10)).unwrap();
+        pool.get_gop(&key("other/s.lvc", 0), load_ok(10)).unwrap();
+        pool.invalidate("demo");
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let pool = Arc::new(BufferPool::new(4096));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let p = pool.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    p.get_gop(&key("m", (i + t) % 8), load_ok(64)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, 200);
+    }
+}

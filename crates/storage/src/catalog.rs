@@ -1,0 +1,421 @@
+//! The TLF catalog: names, versions, and directory management.
+
+use crate::media::MediaStore;
+use crate::{Result, StorageError};
+use lightdb_codec::VideoStream;
+use lightdb_container::{MetadataFile, TlfDescriptor, Track, TrackRole};
+use lightdb_geom::projection::ProjectionKind;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A resolved, read-only view of one TLF version.
+#[derive(Debug, Clone)]
+pub struct StoredTlf {
+    pub name: String,
+    pub version: u64,
+    pub metadata: Arc<MetadataFile>,
+    pub dir: PathBuf,
+}
+
+impl StoredTlf {
+    /// Media accessor for this TLF's directory.
+    pub fn media(&self) -> MediaStore {
+        MediaStore::new(self.dir.clone())
+    }
+}
+
+/// A track being written by `STORE`: either fresh encoded content or
+/// a pointer to an existing, unchanged track (no-overwrite sharing).
+pub enum TrackWrite {
+    /// Materialise a new media file with this content.
+    New { role: TrackRole, projection: ProjectionKind, stream: VideoStream },
+    /// Reference an existing media file (the track is unmodified).
+    Existing(Track),
+}
+
+/// The catalog. Thread-safe; `create`/`store`/`drop` serialise on a
+/// write lock, reads take a shared lock.
+pub struct Catalog {
+    root: PathBuf,
+    versions: RwLock<HashMap<String, Vec<u64>>>,
+}
+
+impl Catalog {
+    /// Opens (or initialises) a catalog rooted at `root`, scanning
+    /// existing TLF directories for metadata versions.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Catalog> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        let mut versions = HashMap::new();
+        for entry in fs::read_dir(&root)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().to_string();
+            let mut vs = Vec::new();
+            for f in fs::read_dir(entry.path())? {
+                let f = f?;
+                if let Some(v) = parse_metadata_name(&f.file_name().to_string_lossy()) {
+                    vs.push(v);
+                }
+            }
+            if !vs.is_empty() {
+                vs.sort_unstable();
+                versions.insert(name, vs);
+            }
+        }
+        Ok(Catalog { root, versions: RwLock::new(versions) })
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// All TLF names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.versions.read().keys().cloned().collect();
+        v.sort_unstable();
+        v
+    }
+
+    pub fn exists(&self, name: &str) -> bool {
+        self.versions.read().contains_key(name)
+    }
+
+    /// Latest committed version of `name`.
+    pub fn latest_version(&self, name: &str) -> Result<u64> {
+        self.versions
+            .read()
+            .get(name)
+            .and_then(|v| v.last().copied())
+            .ok_or_else(|| StorageError::UnknownTlf(name.to_string()))
+    }
+
+    /// All committed versions of `name`, ascending.
+    pub fn all_versions(&self, name: &str) -> Result<Vec<u64>> {
+        self.versions
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownTlf(name.to_string()))
+    }
+
+    fn dir_of(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    /// `CREATE`: registers a new, empty TLF (a copy of Ω — no tracks)
+    /// as version 1.
+    pub fn create(&self, name: &str, tlf: TlfDescriptor) -> Result<u64> {
+        validate_name(name)?;
+        let mut versions = self.versions.write();
+        if versions.contains_key(name) {
+            return Err(StorageError::AlreadyExists(name.to_string()));
+        }
+        let dir = self.dir_of(name);
+        fs::create_dir_all(&dir)?;
+        let file = MetadataFile::new(1, Vec::new(), tlf)
+            .map_err(StorageError::Container)?;
+        write_atomically(&dir.join(metadata_name(1)), &file.to_bytes())?;
+        versions.insert(name.to_string(), vec![1]);
+        Ok(1)
+    }
+
+    /// `DROP`: removes the TLF and deletes its content from disk.
+    pub fn drop_tlf(&self, name: &str) -> Result<()> {
+        let mut versions = self.versions.write();
+        if versions.remove(name).is_none() {
+            return Err(StorageError::UnknownTlf(name.to_string()));
+        }
+        fs::remove_dir_all(self.dir_of(name))?;
+        Ok(())
+    }
+
+    /// Reads a TLF version (latest when `version` is `None`).
+    pub fn read(&self, name: &str, version: Option<u64>) -> Result<StoredTlf> {
+        let v = match version {
+            Some(v) => {
+                if !self.all_versions(name)?.contains(&v) {
+                    return Err(StorageError::UnknownVersion { name: name.to_string(), version: v });
+                }
+                v
+            }
+            None => self.latest_version(name)?,
+        };
+        let dir = self.dir_of(name);
+        let bytes = fs::read(dir.join(metadata_name(v)))?;
+        let metadata = MetadataFile::from_bytes(&bytes)?;
+        if metadata.version != v {
+            return Err(StorageError::Corrupt(format!(
+                "metadata file for {name} v{v} claims version {}",
+                metadata.version
+            )));
+        }
+        Ok(StoredTlf { name: name.to_string(), version: v, metadata: Arc::new(metadata), dir })
+    }
+
+    /// `STORE`: commits a new version of `name`. New tracks are
+    /// materialised as fresh media files; `Existing` tracks keep their
+    /// pointers (unmodified video data is never rewritten). Creates
+    /// the TLF if it does not yet exist.
+    pub fn store(&self, name: &str, tracks: Vec<TrackWrite>, tlf: TlfDescriptor) -> Result<u64> {
+        validate_name(name)?;
+        let mut versions = self.versions.write();
+        let dir = self.dir_of(name);
+        fs::create_dir_all(&dir)?;
+        let new_version = versions.get(name).and_then(|v| v.last().copied()).unwrap_or(0) + 1;
+        let media = MediaStore::new(dir.clone());
+        let mut out_tracks = Vec::with_capacity(tracks.len());
+        for (i, tw) in tracks.into_iter().enumerate() {
+            match tw {
+                TrackWrite::Existing(t) => {
+                    if !media.exists(&t.media_path) {
+                        return Err(StorageError::Corrupt(format!(
+                            "existing track points at missing media {}",
+                            t.media_path
+                        )));
+                    }
+                    out_tracks.push(t);
+                }
+                TrackWrite::New { role, projection, stream } => {
+                    let media_path = format!("stream{new_version}_{i}.lvc");
+                    media.write_stream(&media_path, &stream)?;
+                    out_tracks.push(Track {
+                        role,
+                        codec: stream.header.codec,
+                        projection,
+                        media_path,
+                        gop_index: Track::index_stream(&stream),
+                    });
+                }
+            }
+        }
+        let file = MetadataFile::new(new_version, out_tracks, tlf)
+            .map_err(StorageError::Container)?;
+        // Publish atomically: temp write + rename makes the version
+        // visible all-or-nothing.
+        write_atomically(&dir.join(metadata_name(new_version)), &file.to_bytes())?;
+        versions.entry(name.to_string()).or_default().push(new_version);
+        Ok(new_version)
+    }
+
+    /// Writes an auxiliary (index) file into the TLF's directory.
+    pub fn write_aux_file(&self, name: &str, file_name: &str, bytes: &[u8]) -> Result<()> {
+        if !self.exists(name) {
+            return Err(StorageError::UnknownTlf(name.to_string()));
+        }
+        write_atomically(&self.dir_of(name).join(file_name), bytes)
+    }
+
+    /// Reads an auxiliary (index) file, or `None` when absent.
+    pub fn read_aux_file(&self, name: &str, file_name: &str) -> Result<Option<Vec<u8>>> {
+        let p = self.dir_of(name).join(file_name);
+        match fs::read(p) {
+            Ok(b) => Ok(Some(b)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Removes an auxiliary (index) file; returns whether it existed.
+    pub fn remove_aux_file(&self, name: &str, file_name: &str) -> Result<bool> {
+        let p = self.dir_of(name).join(file_name);
+        match fs::remove_file(p) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+fn metadata_name(version: u64) -> String {
+    format!("metadata{version}.mp4")
+}
+
+fn parse_metadata_name(name: &str) -> Option<u64> {
+    name.strip_prefix("metadata")?.strip_suffix(".mp4")?.parse().ok()
+}
+
+fn validate_name(name: &str) -> Result<()> {
+    if name.is_empty()
+        || name.contains(['/', '\\', '\0'])
+        || name.starts_with('.')
+        || name.len() > 255
+    {
+        return Err(StorageError::Corrupt(format!("invalid TLF name {name:?}")));
+    }
+    Ok(())
+}
+
+fn write_atomically(path: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightdb_codec::{Encoder, EncoderConfig};
+    use lightdb_frame::{Frame, Yuv};
+    use lightdb_geom::{Interval, Point3};
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lightdb-cat-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sphere_tlfd(track: u32) -> TlfDescriptor {
+        TlfDescriptor::single_sphere(Point3::ORIGIN, Interval::new(0.0, 1.0), track)
+    }
+
+    fn empty_tlfd() -> TlfDescriptor {
+        TlfDescriptor {
+            body: lightdb_container::TlfBody::Sphere360 { points: vec![] },
+            ..sphere_tlfd(0)
+        }
+    }
+
+    fn tiny_stream() -> VideoStream {
+        let frames = vec![Frame::filled(32, 32, Yuv::GREY); 2];
+        Encoder::new(EncoderConfig { gop_length: 2, qp: 40, ..Default::default() })
+            .unwrap()
+            .encode(&frames)
+            .unwrap()
+    }
+
+    #[test]
+    fn create_read_drop_lifecycle() {
+        let cat = Catalog::open(temp_root("lifecycle")).unwrap();
+        assert!(!cat.exists("demo"));
+        cat.create("demo", empty_tlfd()).unwrap();
+        assert!(cat.exists("demo"));
+        assert_eq!(cat.latest_version("demo").unwrap(), 1);
+        let stored = cat.read("demo", None).unwrap();
+        assert_eq!(stored.version, 1);
+        assert!(stored.metadata.tracks.is_empty());
+        cat.drop_tlf("demo").unwrap();
+        assert!(!cat.exists("demo"));
+        assert!(cat.read("demo", None).is_err());
+        fs::remove_dir_all(cat.root()).unwrap();
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let cat = Catalog::open(temp_root("dup")).unwrap();
+        cat.create("demo", empty_tlfd()).unwrap();
+        assert!(matches!(
+            cat.create("demo", empty_tlfd()),
+            Err(StorageError::AlreadyExists(_))
+        ));
+        fs::remove_dir_all(cat.root()).unwrap();
+    }
+
+    #[test]
+    fn store_increments_versions_and_keeps_old() {
+        let cat = Catalog::open(temp_root("versions")).unwrap();
+        let v1 = cat
+            .store(
+                "demo",
+                vec![TrackWrite::New {
+                    role: TrackRole::Video,
+                    projection: ProjectionKind::Equirectangular,
+                    stream: tiny_stream(),
+                }],
+                sphere_tlfd(0),
+            )
+            .unwrap();
+        assert_eq!(v1, 1);
+        let v2 = cat
+            .store(
+                "demo",
+                vec![TrackWrite::New {
+                    role: TrackRole::Video,
+                    projection: ProjectionKind::Equirectangular,
+                    stream: tiny_stream(),
+                }],
+                sphere_tlfd(0),
+            )
+            .unwrap();
+        assert_eq!(v2, 2);
+        // Both versions remain readable (snapshot isolation substrate).
+        assert_eq!(cat.read("demo", Some(1)).unwrap().version, 1);
+        assert_eq!(cat.read("demo", Some(2)).unwrap().version, 2);
+        assert_eq!(cat.read("demo", None).unwrap().version, 2);
+        assert_eq!(cat.all_versions("demo").unwrap(), vec![1, 2]);
+        fs::remove_dir_all(cat.root()).unwrap();
+    }
+
+    #[test]
+    fn store_reuses_existing_tracks_without_rewrite() {
+        let cat = Catalog::open(temp_root("reuse")).unwrap();
+        cat.store(
+            "demo",
+            vec![TrackWrite::New {
+                role: TrackRole::Video,
+                projection: ProjectionKind::Equirectangular,
+                stream: tiny_stream(),
+            }],
+            sphere_tlfd(0),
+        )
+        .unwrap();
+        let v1 = cat.read("demo", Some(1)).unwrap();
+        let old_track = v1.metadata.tracks[0].clone();
+        let old_path = old_track.media_path.clone();
+        // New version pointing at the same media file.
+        cat.store("demo", vec![TrackWrite::Existing(old_track)], sphere_tlfd(0)).unwrap();
+        let v2 = cat.read("demo", Some(2)).unwrap();
+        assert_eq!(v2.metadata.tracks[0].media_path, old_path);
+        // Only one media file exists on disk.
+        let media_files = fs::read_dir(&v2.dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref().unwrap().file_name().to_string_lossy().ends_with(".lvc")
+            })
+            .count();
+        assert_eq!(media_files, 1);
+        fs::remove_dir_all(cat.root()).unwrap();
+    }
+
+    #[test]
+    fn reopen_recovers_catalog_state() {
+        let root = temp_root("reopen");
+        {
+            let cat = Catalog::open(&root).unwrap();
+            cat.create("a", empty_tlfd()).unwrap();
+            cat.store("b", vec![], empty_tlfd()).unwrap();
+            cat.store("b", vec![], empty_tlfd()).unwrap();
+        }
+        let cat = Catalog::open(&root).unwrap();
+        assert_eq!(cat.names(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(cat.latest_version("b").unwrap(), 2);
+        fs::remove_dir_all(root).unwrap();
+    }
+
+    #[test]
+    fn aux_files_roundtrip() {
+        let cat = Catalog::open(temp_root("aux")).unwrap();
+        cat.create("demo", empty_tlfd()).unwrap();
+        assert_eq!(cat.read_aux_file("demo", "index1.xz").unwrap(), None);
+        cat.write_aux_file("demo", "index1.xz", b"tree").unwrap();
+        assert_eq!(cat.read_aux_file("demo", "index1.xz").unwrap().as_deref(), Some(&b"tree"[..]));
+        assert!(cat.remove_aux_file("demo", "index1.xz").unwrap());
+        assert!(!cat.remove_aux_file("demo", "index1.xz").unwrap());
+        fs::remove_dir_all(cat.root()).unwrap();
+    }
+
+    #[test]
+    fn hostile_names_rejected() {
+        let cat = Catalog::open(temp_root("names")).unwrap();
+        for bad in ["", "../escape", "a/b", ".hidden"] {
+            assert!(cat.create(bad, empty_tlfd()).is_err(), "{bad:?} accepted");
+        }
+        fs::remove_dir_all(cat.root()).unwrap();
+    }
+}

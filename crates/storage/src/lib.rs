@@ -1,0 +1,80 @@
+//! # lightdb-storage
+//!
+//! LightDB's storage manager. Each TLF lives in its own directory:
+//!
+//! ```text
+//! <root>/<name>/
+//!   metadata1.mp4     one small MP4-style metadata file per version
+//!   metadata2.mp4
+//!   stream2_0.lvc     encoded media, written once, shared by versions
+//!   index2.xz         external spatial indexes
+//! ```
+//!
+//! Writes are **no-overwrite**: a `STORE` materialises only modified
+//! tracks as new media files, points unchanged tracks at the existing
+//! files, and atomically publishes a new `metadata<N>.mp4`. Readers
+//! pin a version (snapshot isolation); `SCAN` without an explicit
+//! version sees the latest committed one.
+//!
+//! The in-memory *TLF cache* ([`bufferpool`]) holds parsed metadata
+//! entries and a GOP-granularity LRU buffer pool over encoded media.
+
+pub mod bufferpool;
+pub mod catalog;
+pub mod media;
+pub mod snapshot;
+
+pub use bufferpool::{BufferPool, PoolStats};
+pub use catalog::{Catalog, StoredTlf};
+pub use media::MediaStore;
+pub use snapshot::Snapshot;
+
+/// Errors from the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    Io(std::io::Error),
+    Container(lightdb_container::ContainerError),
+    Codec(lightdb_codec::CodecError),
+    UnknownTlf(String),
+    UnknownVersion { name: String, version: u64 },
+    AlreadyExists(String),
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "io: {e}"),
+            StorageError::Container(e) => write!(f, "container: {e}"),
+            StorageError::Codec(e) => write!(f, "codec: {e}"),
+            StorageError::UnknownTlf(n) => write!(f, "unknown TLF: {n}"),
+            StorageError::UnknownVersion { name, version } => {
+                write!(f, "unknown version {version} of TLF {name}")
+            }
+            StorageError::AlreadyExists(n) => write!(f, "TLF already exists: {n}"),
+            StorageError::Corrupt(m) => write!(f, "corrupt storage: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl From<lightdb_container::ContainerError> for StorageError {
+    fn from(e: lightdb_container::ContainerError) -> Self {
+        StorageError::Container(e)
+    }
+}
+
+impl From<lightdb_codec::CodecError> for StorageError {
+    fn from(e: lightdb_codec::CodecError) -> Self {
+        StorageError::Codec(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, StorageError>;

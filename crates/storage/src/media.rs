@@ -1,0 +1,122 @@
+//! Encoded-media file access.
+
+use crate::Result;
+use lightdb_codec::VideoStream;
+use lightdb_container::GopIndexEntry;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// Reads and writes encoded media files within a TLF directory.
+///
+/// Media files are written once and never modified; new TLF versions
+/// reference existing files rather than rewriting them.
+#[derive(Debug, Clone)]
+pub struct MediaStore {
+    dir: PathBuf,
+}
+
+impl MediaStore {
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        MediaStore { dir: dir.into() }
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Absolute path of a media file.
+    pub fn path_of(&self, media_path: &str) -> PathBuf {
+        self.dir.join(media_path)
+    }
+
+    /// Writes a complete encoded stream to `media_path`.
+    pub fn write_stream(&self, media_path: &str, stream: &VideoStream) -> Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let tmp = self.dir.join(format!(".{media_path}.tmp"));
+        fs::write(&tmp, stream.to_bytes())?;
+        fs::rename(&tmp, self.path_of(media_path))?;
+        Ok(())
+    }
+
+    /// Reads and parses a complete stream.
+    pub fn read_stream(&self, media_path: &str) -> Result<VideoStream> {
+        let bytes = fs::read(self.path_of(media_path))?;
+        Ok(VideoStream::from_bytes(&bytes)?)
+    }
+
+    /// Reads only the byte range of one GOP, using the GOP index —
+    /// no linear search through the encoded video data.
+    pub fn read_gop_bytes(&self, media_path: &str, entry: &GopIndexEntry) -> Result<Vec<u8>> {
+        let mut f = fs::File::open(self.path_of(media_path))?;
+        f.seek(SeekFrom::Start(entry.byte_offset))?;
+        let mut buf = vec![0u8; entry.byte_len as usize];
+        f.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Size of a media file in bytes.
+    pub fn file_size(&self, media_path: &str) -> Result<u64> {
+        Ok(fs::metadata(self.path_of(media_path))?.len())
+    }
+
+    /// True when the media file exists.
+    pub fn exists(&self, media_path: &str) -> bool {
+        self.path_of(media_path).exists()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightdb_codec::gop::EncodedGop;
+    use lightdb_codec::{Encoder, EncoderConfig};
+    use lightdb_container::Track;
+    use lightdb_frame::{Frame, Yuv};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lightdb-media-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn tiny_stream(frames: usize) -> VideoStream {
+        let frames: Vec<Frame> =
+            (0..frames).map(|i| Frame::filled(32, 32, Yuv::new((i * 40) as u8, 128, 128))).collect();
+        Encoder::new(EncoderConfig { gop_length: 2, qp: 30, ..Default::default() })
+            .unwrap()
+            .encode(&frames)
+            .unwrap()
+    }
+
+    #[test]
+    fn stream_write_read_roundtrip() {
+        let store = MediaStore::new(temp_dir("roundtrip"));
+        let stream = tiny_stream(5);
+        store.write_stream("stream1_0.lvc", &stream).unwrap();
+        assert!(store.exists("stream1_0.lvc"));
+        assert_eq!(store.read_stream("stream1_0.lvc").unwrap(), stream);
+        fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn gop_range_read_matches_full_parse() {
+        let store = MediaStore::new(temp_dir("gop"));
+        let stream = tiny_stream(6); // 3 GOPs of 2
+        store.write_stream("s.lvc", &stream).unwrap();
+        let index = Track::index_stream(&stream);
+        assert_eq!(index.len(), 3);
+        for (i, entry) in index.iter().enumerate() {
+            let bytes = store.read_gop_bytes("s.lvc", entry).unwrap();
+            let gop = EncodedGop::from_bytes(&bytes).unwrap();
+            assert_eq!(gop, stream.gops[i], "gop {i}");
+        }
+        fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let store = MediaStore::new(temp_dir("missing"));
+        assert!(store.read_stream("nope.lvc").is_err());
+    }
+}

@@ -1,0 +1,1 @@
+//! Host crate for the repository-root integration tests (see ../../tests).

@@ -1,0 +1,48 @@
+//! Quickstart: open a database, ingest a 360° video, run declarative
+//! VRQL queries against it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lightdb::prelude::*;
+use lightdb_datasets::{install, Dataset, DatasetSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let root = std::env::temp_dir().join("lightdb-quickstart");
+    let _ = std::fs::remove_dir_all(&root);
+    let db = LightDb::open(&root)?;
+
+    // 1. Ingest: generate and store a 4-second 360° panorama.
+    let spec = DatasetSpec { width: 256, height: 128, fps: 10, seconds: 4, qp: 24 };
+    install(&db, Dataset::Venice, &spec)?;
+    println!("ingested 'venice': {} frames", spec.frame_count());
+
+    // 2. A declarative query: grayscale the middle two seconds and
+    //    store the result (Table 1 examples, combined).
+    let q = scan("venice")
+        >> Select::along(Dimension::T, 1.0, 3.0)
+        >> Map::builtin(BuiltinMap::Grayscale)
+        >> Store::named("venice_gray");
+    println!("\nEXPLAIN:\n{}", db.explain(&q)?);
+    let out = db.execute(&q)?;
+    println!("executed: {out:?}");
+
+    // 3. Read it back.
+    let parts = db.execute(&scan("venice_gray"))?.into_frame_parts()?;
+    println!("\nread back {} frames", parts[0].len());
+
+    // 4. A GOP-aligned temporal selection is answered homomorphically
+    //    (no video decode at all — check the plan).
+    let q = scan("venice") >> Select::along(Dimension::T, 2.0, 3.0);
+    println!("\nEXPLAIN (homomorphic):\n{}", db.explain(&q)?);
+    let out = db.execute(&q)?;
+    println!("selected {} frames without decoding", out.frame_count());
+
+    // 5. Per-operator metrics collected across the session.
+    println!("\noperator breakdown:");
+    for (op, dur, n) in db.metrics().report() {
+        println!("  {op:<12} {:>8.1} ms  ×{n}", dur.as_secs_f64() * 1e3);
+    }
+    Ok(())
+}

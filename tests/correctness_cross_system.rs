@@ -1,0 +1,124 @@
+//! Cross-system correctness: identical logical operations through
+//! LightDB and through each baseline's imperative pipeline must
+//! produce equivalent pictures (the systems share one codec, so only
+//! architecture may differ — not answers).
+
+use lightdb::prelude::*;
+use lightdb_baselines::ffmpeg::{FfmpegDecoder, FfmpegEncoder, FfmpegEncoderSettings};
+use lightdb_baselines::opencv::{VideoCapture, VideoWriter};
+use lightdb_baselines::scanner::ScannerPipeline;
+use lightdb_codec::Decoder;
+use lightdb_datasets::{encode_dataset, install, Dataset, DatasetSpec};
+use lightdb_frame::stats::luma_psnr;
+
+fn tiny() -> DatasetSpec {
+    DatasetSpec { width: 128, height: 64, fps: 4, seconds: 2, qp: 18 }
+}
+
+fn temp_db(tag: &str) -> LightDb {
+    let root = std::env::temp_dir().join(format!("lightdb-xsys-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let db = LightDb::open(root).unwrap();
+    install(&db, Dataset::Venice, &tiny()).unwrap();
+    db
+}
+
+fn cleanup(db: &LightDb) {
+    let _ = std::fs::remove_dir_all(db.catalog().root());
+}
+
+#[test]
+fn grayscale_matches_across_all_five_systems() {
+    let db = temp_db("gray");
+    let input = encode_dataset(Dataset::Venice, &tiny());
+
+    // LightDB (decoded output, no extra encode generation).
+    let ldb = db
+        .execute(&(scan("venice") >> Map::builtin(BuiltinMap::Grayscale)))
+        .unwrap()
+        .into_frame_parts()
+        .unwrap();
+
+    // FFmpeg.
+    let mut enc = FfmpegEncoder::new(FfmpegEncoderSettings {
+        qp: 8,
+        fps: 4,
+        gop_length: 4,
+        ..Default::default()
+    });
+    for f in FfmpegDecoder::new(&input) {
+        enc.push(&lightdb::frame::kernels::grayscale(&f.unwrap())).unwrap();
+    }
+    let ff = Decoder::new().decode(&enc.finish().unwrap()).unwrap();
+
+    // OpenCV.
+    let mut cap = VideoCapture::open(&input);
+    let mut w = VideoWriter::open(4, 8);
+    while let Some(m) = cap.read() {
+        w.write(&m.unwrap().to_gray()).unwrap();
+    }
+    let ocv = Decoder::new().decode(&w.release().unwrap()).unwrap();
+
+    // Scanner.
+    let sc = ScannerPipeline::ingest(&input)
+        .unwrap()
+        .map(lightdb::frame::kernels::grayscale);
+
+    for i in [0usize, 5] {
+        assert!(luma_psnr(&ldb[0][i], &ff[i]) > 30.0, "ffmpeg frame {i}");
+        assert!(luma_psnr(&ldb[0][i], &ocv[i]) > 28.0, "opencv frame {i}");
+        assert!(luma_psnr(&ldb[0][i], &sc.frames()[i]) > 30.0, "scanner frame {i}");
+        // Chroma must be neutral everywhere in every system's output.
+        for f in [&ldb[0][i], &ff[i], &ocv[i], sc.frames().get(i).unwrap()] {
+            let c = f.get(30, 30);
+            assert!((c.u as i32 - 128).abs() < 10 && (c.v as i32 - 128).abs() < 10);
+        }
+    }
+    cleanup(&db);
+}
+
+#[test]
+fn temporal_select_matches_ffmpeg_trim() {
+    let db = temp_db("trim");
+    let input = encode_dataset(Dataset::Venice, &tiny());
+    let ldb = db
+        .execute(&(scan("venice") >> Select::along(Dimension::T, 1.0, 2.0)))
+        .unwrap()
+        .into_frame_parts()
+        .unwrap();
+    let trimmed = lightdb_baselines::ffmpeg::trim(
+        &input,
+        1.0,
+        2.0,
+        FfmpegEncoderSettings { qp: 8, fps: 4, gop_length: 4, ..Default::default() },
+    )
+    .unwrap();
+    let ff = Decoder::new().decode(&trimmed).unwrap();
+    assert_eq!(ldb[0].len(), ff.len());
+    for (a, b) in ldb[0].iter().zip(ff.iter()) {
+        assert!(luma_psnr(a, b) > 30.0);
+    }
+    cleanup(&db);
+}
+
+#[test]
+fn angular_crop_matches_mat_roi() {
+    let db = temp_db("crop");
+    let input = encode_dataset(Dataset::Venice, &tiny());
+    use std::f64::consts::PI;
+    // θ ∈ [0, π] is the left half of the equirect frame.
+    let ldb = db
+        .execute(&(scan("venice") >> Select::along(Dimension::Theta, 0.0, PI)))
+        .unwrap()
+        .into_frame_parts()
+        .unwrap();
+    let mut cap = VideoCapture::open(&input);
+    let first = cap.read().unwrap().unwrap();
+    let roi = first.crop(0, 0, 64, 64);
+    assert_eq!(
+        (ldb[0][0].width(), ldb[0][0].height()),
+        (roi.frame.width(), roi.frame.height())
+    );
+    assert!(luma_psnr(&ldb[0][0], &roi.frame) > 35.0);
+    cleanup(&db);
+}

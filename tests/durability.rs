@@ -1,0 +1,106 @@
+//! Durability and storage-manager integration: restart recovery,
+//! no-overwrite sharing, corruption detection.
+
+use lightdb::prelude::*;
+use lightdb_datasets::{install, Dataset, DatasetSpec};
+use std::path::PathBuf;
+
+fn tiny() -> DatasetSpec {
+    DatasetSpec { width: 64, height: 32, fps: 2, seconds: 2, qp: 28 }
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("lightdb-dur-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+#[test]
+fn database_survives_reopen() {
+    let root = temp_root("reopen");
+    {
+        let db = LightDb::open(&root).unwrap();
+        install(&db, Dataset::Timelapse, &tiny()).unwrap();
+        db.execute(&(scan("timelapse") >> Map::builtin(BuiltinMap::Blur) >> Store::named("b")))
+            .unwrap();
+    }
+    // Fresh process-equivalent: new handle over the same directory.
+    let db = LightDb::open(&root).unwrap();
+    assert!(db.catalog().exists("timelapse"));
+    assert!(db.catalog().exists("b"));
+    let out = db.execute(&scan("b")).unwrap();
+    assert_eq!(out.frame_count(), 4);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn versions_accumulate_without_rewriting_media() {
+    let root = temp_root("versions");
+    let db = LightDb::open(&root).unwrap();
+    install(&db, Dataset::Timelapse, &tiny()).unwrap();
+    // Three stores into the same TLF → three versions.
+    for _ in 0..3 {
+        db.execute(&(scan("timelapse") >> Store::named("copies"))).unwrap();
+    }
+    let versions = db.catalog().all_versions("copies").unwrap();
+    assert_eq!(versions, vec![1, 2, 3]);
+    // All versions remain readable.
+    for v in versions {
+        let out = db.execute(&scan_version("copies", v)).unwrap();
+        assert_eq!(out.frame_count(), 4, "version {v}");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupt_metadata_is_detected_on_read() {
+    let root = temp_root("corrupt");
+    let db = LightDb::open(&root).unwrap();
+    install(&db, Dataset::Timelapse, &tiny()).unwrap();
+    // Truncate the metadata file behind the catalog's back.
+    let meta = root.join("timelapse").join("metadata1.mp4");
+    let bytes = std::fs::read(&meta).unwrap();
+    std::fs::write(&meta, &bytes[..bytes.len() / 2]).unwrap();
+    let db2 = LightDb::open(&root).unwrap();
+    assert!(db2.execute(&scan("timelapse")).is_err(), "corruption must surface as an error");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupt_media_is_detected_on_decode() {
+    let root = temp_root("corruptmedia");
+    let db = LightDb::open(&root).unwrap();
+    install(&db, Dataset::Timelapse, &tiny()).unwrap();
+    // Flip bytes in the middle of the media file (inside GOP data).
+    let dir = root.join("timelapse");
+    let media = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().map(|e| e == "lvc").unwrap_or(false))
+        .unwrap();
+    let mut bytes = std::fs::read(&media).unwrap();
+    let mid = bytes.len() / 2;
+    let end = (mid + 64).min(bytes.len());
+    for b in &mut bytes[mid..end] {
+        *b = !*b;
+    }
+    std::fs::write(&media, &bytes).unwrap();
+    let db2 = LightDb::open(&root).unwrap();
+    // Either an error or degraded output is acceptable; a panic is not.
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = db2.execute(&(scan("timelapse") >> Map::builtin(BuiltinMap::Blur)));
+    }));
+    assert!(r.is_ok(), "decoding corrupt media must not panic");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn drop_removes_content_from_disk() {
+    let root = temp_root("drop");
+    let db = LightDb::open(&root).unwrap();
+    install(&db, Dataset::Timelapse, &tiny()).unwrap();
+    assert!(root.join("timelapse").exists());
+    db.execute(&drop_tlf("timelapse")).unwrap();
+    assert!(!root.join("timelapse").exists());
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,133 @@
+//! Tests for the extension features: live streaming append (the
+//! `streaming` flag) and the `KEYFRAMESELECT` homomorphic operator
+//! (the paper's stated future work).
+
+use lightdb::exec::{Executor, PhysicalPlan, QueryOutput};
+use lightdb::ingest::{append_frames, IngestConfig};
+use lightdb::prelude::*;
+use lightdb_datasets::{frame, install, Dataset, DatasetSpec};
+use std::sync::Arc;
+
+fn tiny() -> DatasetSpec {
+    DatasetSpec { width: 128, height: 64, fps: 4, seconds: 2, qp: 24 }
+}
+
+fn temp_db(tag: &str) -> LightDb {
+    let root = std::env::temp_dir().join(format!("lightdb-ext-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    LightDb::open(root).unwrap()
+}
+
+fn cleanup(db: &LightDb) {
+    let _ = std::fs::remove_dir_all(db.catalog().root());
+}
+
+#[test]
+fn streaming_append_extends_ending_time() {
+    let db = temp_db("append");
+    let spec = tiny();
+    let cfg = IngestConfig {
+        fps: spec.fps,
+        gop_length: spec.fps as usize,
+        qp: spec.qp,
+        ..Default::default()
+    };
+    let second = |s: usize| -> Vec<Frame> {
+        (0..spec.fps as usize)
+            .map(|i| frame(Dataset::Venice, &spec, s * spec.fps as usize + i))
+            .collect()
+    };
+    // Live ingest, one second at a time.
+    append_frames(&db, "live", &second(0), &cfg).unwrap();
+    let v1 = db.catalog().read("live", None).unwrap();
+    assert!(v1.metadata.tlf.streaming, "live TLFs carry the streaming flag");
+    assert!((v1.metadata.tlf.volume.t().hi() - 1.0).abs() < 1e-9);
+
+    append_frames(&db, "live", &second(1), &cfg).unwrap();
+    append_frames(&db, "live", &second(2), &cfg).unwrap();
+    let v3 = db.catalog().read("live", None).unwrap();
+    assert!((v3.metadata.tlf.volume.t().hi() - 3.0).abs() < 1e-9, "ending time must advance");
+
+    // The full appended stream decodes contiguously.
+    let out = db.execute(&scan("live")).unwrap();
+    assert_eq!(out.frame_count(), 12);
+    // And a GOP-aligned selection over the appended tail stays
+    // homomorphic.
+    let q = scan("live") >> Select::along(Dimension::T, 2.0, 3.0);
+    assert!(db.explain(&q).unwrap().contains("GOPSELECT"));
+    assert_eq!(db.execute(&q).unwrap().frame_count(), 4);
+    cleanup(&db);
+}
+
+#[test]
+fn append_content_matches_original_frames() {
+    let db = temp_db("appendcontent");
+    let spec = tiny();
+    let cfg = IngestConfig {
+        fps: spec.fps,
+        gop_length: spec.fps as usize,
+        qp: 10,
+        ..Default::default()
+    };
+    let all: Vec<Frame> = (0..8).map(|i| frame(Dataset::Timelapse, &spec, i)).collect();
+    append_frames(&db, "live", &all[..4], &cfg).unwrap();
+    append_frames(&db, "live", &all[4..], &cfg).unwrap();
+    let parts = db.execute(&scan("live")).unwrap().into_frame_parts().unwrap();
+    assert_eq!(parts[0].len(), 8);
+    for (src, got) in all.iter().zip(parts[0].iter()) {
+        let psnr = lightdb::frame::stats::luma_psnr(src, got);
+        assert!(psnr > 32.0, "appended content degraded: {psnr} dB");
+    }
+    cleanup(&db);
+}
+
+#[test]
+fn keyframe_select_extracts_one_frame_per_gop_without_decoding() {
+    let db = temp_db("keyframes");
+    install(&db, Dataset::Coaster, &tiny()).unwrap();
+    let exec = Executor::new(Arc::clone(db.catalog()), Arc::clone(db.pool()));
+    let plan = PhysicalPlan::KeyframeSelect {
+        input: Box::new(PhysicalPlan::ScanTlf {
+            name: "coaster".into(),
+            version: None,
+            t_frames: None,
+            spatial: None,
+        }),
+    };
+    let QueryOutput::Encoded(streams) = exec.run(&plan).unwrap() else { panic!() };
+    // 2 seconds at 1-second GOPs → 2 keyframes.
+    assert_eq!(streams[0].frame_count(), 2);
+    assert_eq!(exec.metrics.count("DECODE"), 0, "keyframe selection must not decode");
+    assert_eq!(exec.metrics.count("KEYFRAMESELECT"), 2);
+    // The extracted keyframes decode to the GOP-initial frames.
+    let thumbs = lightdb::codec::Decoder::new().decode(&streams[0]).unwrap();
+    let full = db.execute(&scan("coaster")).unwrap().into_frame_parts().unwrap();
+    for (i, t) in thumbs.iter().enumerate() {
+        assert_eq!(
+            t,
+            &full[0][i * 4],
+            "keyframe {i} must be byte-identical to the decoded GOP start"
+        );
+    }
+    cleanup(&db);
+}
+
+#[test]
+fn keyframe_select_rejects_decoded_input() {
+    let db = temp_db("kfreject");
+    install(&db, Dataset::Venice, &tiny()).unwrap();
+    let exec = Executor::new(Arc::clone(db.catalog()), Arc::clone(db.pool()));
+    let plan = PhysicalPlan::KeyframeSelect {
+        input: Box::new(PhysicalPlan::ToFrames {
+            input: Box::new(PhysicalPlan::ScanTlf {
+                name: "venice".into(),
+                version: None,
+                t_frames: None,
+                spatial: None,
+            }),
+            device: lightdb::exec::Device::Cpu,
+        }),
+    };
+    assert!(exec.run(&plan).is_err());
+    cleanup(&db);
+}
