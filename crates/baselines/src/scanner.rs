@@ -126,9 +126,9 @@ fn parallel_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Ve
     }
     let counter = std::sync::atomic::AtomicUsize::new(0);
     let results = parking_lot::Mutex::new(Vec::<(usize, U)>::with_capacity(items.len()));
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers.min(items.len()) {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= items.len() {
                     break;
@@ -137,8 +137,7 @@ fn parallel_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Ve
                 results.lock().push((i, out));
             });
         }
-    })
-    .expect("scanner worker panicked");
+    });
     let mut results = results.into_inner();
     results.sort_by_key(|(i, _)| *i);
     results.into_iter().map(|(_, u)| u).collect()

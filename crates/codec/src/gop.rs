@@ -15,10 +15,9 @@
 
 use crate::bitio::{read_varint, write_varint};
 use crate::{CodecError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Intra (key) or predicted frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrameType {
     /// Compressed in isolation; decodable without reference frames.
     Key,
@@ -45,7 +44,7 @@ impl FrameType {
 
 /// One encoded frame: a type tag plus one independently decodable
 /// payload per tile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EncodedFrame {
     pub frame_type: FrameType,
     /// Byte payloads, one per tile in row-major grid order. Each
@@ -101,7 +100,7 @@ impl EncodedFrame {
 }
 
 /// An encoded group of pictures.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct EncodedGop {
     pub frames: Vec<EncodedFrame>,
 }

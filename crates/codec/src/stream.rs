@@ -4,7 +4,6 @@ use crate::bitio::{read_varint, write_varint};
 use crate::gop::EncodedGop;
 use crate::tile::TileGrid;
 use crate::{CodecError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Magic bytes identifying a LightDB video stream ("LightDB Video
 /// Codec v1").
@@ -15,7 +14,7 @@ pub const STREAM_MAGIC: [u8; 4] = *b"LVC1";
 /// The two profiles share the same bitstream format; they differ in
 /// encoder-side decisions (motion-search range, quantiser deadzone),
 /// mirroring the cost/compression trade-off between H.264 and HEVC.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CodecKind {
     /// Cheaper encode, larger output.
     H264Sim,
@@ -62,7 +61,7 @@ impl CodecKind {
 }
 
 /// Stream-level parameters shared by every GOP.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SequenceHeader {
     pub codec: CodecKind,
     pub width: usize,
@@ -128,7 +127,7 @@ impl SequenceHeader {
 }
 
 /// A complete encoded video stream.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VideoStream {
     pub header: SequenceHeader,
     pub gops: Vec<EncodedGop>,

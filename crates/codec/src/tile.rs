@@ -7,10 +7,9 @@
 //! homomorphic operators and the tile index rely on.
 
 use crate::{CodecError, Result, MB_SIZE};
-use serde::{Deserialize, Serialize};
 
 /// A tile grid configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TileGrid {
     pub cols: usize,
     pub rows: usize,
@@ -74,7 +73,7 @@ impl TileGrid {
 }
 
 /// The pixel-space rectangle a tile occupies within its frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TileRect {
     pub x0: usize,
     pub y0: usize,

@@ -1,0 +1,99 @@
+//! CRC32 checksums over encoded media.
+//!
+//! Every GOP's serialised bytes are checksummed at `STORE` time and
+//! the digest rides in the GOP index (`stss` atom) next to the byte
+//! range. Readers recompute the digest on every buffer-pool load, so
+//! bit rot or torn writes in an externally stored media file are
+//! detected *below* the codec — before corrupt bytes can reach (and
+//! possibly confuse) entropy decoding.
+//!
+//! The polynomial is the IEEE 802.3 reflected CRC-32 (0xEDB88320),
+//! table-driven, one table baked at first use. A stored digest of `0`
+//! means "unchecked" (pre-checksum index entries, or hand-built
+//! entries in tests); [`verify`] accepts those unconditionally. To
+//! keep that sentinel unambiguous, [`checksum`] maps a computed
+//! digest of `0` to [`REMAPPED_ZERO`].
+
+use std::sync::OnceLock;
+
+/// Sentinel stored when data genuinely checksums to zero, so that `0`
+/// can keep meaning "no checksum recorded".
+pub const REMAPPED_ZERO: u32 = 0xFFFF_FFFF;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// Raw IEEE CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = table();
+    let mut c = !0u32;
+    for &b in bytes {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Digest for storing in a GOP index entry: CRC-32 with `0` remapped
+/// so it never collides with the "unchecked" sentinel.
+pub fn checksum(bytes: &[u8]) -> u32 {
+    match crc32(bytes) {
+        0 => REMAPPED_ZERO,
+        c => c,
+    }
+}
+
+/// Checks `bytes` against a stored digest. A stored digest of `0`
+/// means the entry predates checksumming and always verifies.
+pub fn verify(bytes: &[u8], stored: u32) -> bool {
+    if stored == 0 {
+        return true;
+    }
+    let c = crc32(bytes);
+    c == stored || (c == 0 && stored == REMAPPED_ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // The canonical IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn verify_roundtrip_and_detects_flip() {
+        let mut data = b"the quick brown fox".to_vec();
+        let c = checksum(&data);
+        assert!(verify(&data, c));
+        data[3] ^= 0x40;
+        assert!(!verify(&data, c));
+    }
+
+    #[test]
+    fn zero_digest_means_unchecked() {
+        assert!(verify(b"anything at all", 0));
+    }
+
+    #[test]
+    fn empty_data_uses_remapped_sentinel() {
+        // crc32("") == 0, which must round-trip through the sentinel.
+        let c = checksum(b"");
+        assert_eq!(c, REMAPPED_ZERO);
+        assert!(verify(b"", c));
+    }
+}

@@ -105,6 +105,7 @@ mod tests {
                 frame_count: 30,
                 byte_offset: 0,
                 byte_len: 512,
+                crc32: 0,
             }],
         };
         let tlf =

@@ -17,6 +17,7 @@
 //! and multiple TLF versions can share unchanged video tracks.
 
 pub mod atom;
+pub mod checksum;
 pub mod file;
 pub mod tlfd;
 pub mod track;

@@ -13,10 +13,9 @@
 use crate::{ContainerError, Result};
 use lightdb_codec::bitio::{read_varint, write_varint};
 use lightdb_geom::{Dimension, Interval, Point3, Volume};
-use serde::{Deserialize, Serialize};
 
 /// A 360° sphere definition: a spatial point plus its tracks.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpherePoint {
     pub position: Point3,
     /// Index into the metadata file's track list.
@@ -30,7 +29,7 @@ pub struct SpherePoint {
 /// Light-slab geometry: the `uv` and `st` plane rectangles (axis-
 /// aligned, given by min/max corners) and sampling granularity, after
 /// Levoy & Hanrahan's two-plane parameterisation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlabGeometry {
     pub uv_min: Point3,
     pub uv_max: Point3,
@@ -45,7 +44,7 @@ pub struct SlabGeometry {
 }
 
 /// Variant-specific body of a TLF descriptor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TlfBody {
     /// One or more 360° videos at spatially distinct points.
     Sphere360 { points: Vec<SpherePoint> },
@@ -56,7 +55,7 @@ pub enum TlfBody {
 }
 
 /// The full payload of a `tlfd` atom.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TlfDescriptor {
     pub volume: Volume,
     /// True when the TLF's ending time monotonically increases (live

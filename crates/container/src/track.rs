@@ -5,11 +5,10 @@ use crate::{ContainerError, Result};
 use lightdb_codec::bitio::{read_varint, write_varint};
 use lightdb_codec::CodecKind;
 use lightdb_geom::projection::ProjectionKind;
-use serde::{Deserialize, Serialize};
 
 /// One entry of a GOP index (`stss` atom): where an independently
 /// decodable group of pictures begins, in both time and bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GopIndexEntry {
     /// Time of the GOP's keyframe, in frames since stream start.
     pub start_frame: u64,
@@ -19,10 +18,13 @@ pub struct GopIndexEntry {
     pub byte_offset: u64,
     /// Byte length of the serialised GOP.
     pub byte_len: u64,
+    /// CRC-32 of the serialised GOP bytes (see [`crate::checksum`]);
+    /// `0` means no checksum was recorded for this entry.
+    pub crc32: u32,
 }
 
 /// The role a track plays within a TLF.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrackRole {
     /// Visual data for a 360° sphere or a light slab.
     Video,
@@ -33,7 +35,7 @@ pub enum TrackRole {
 
 /// Metadata for one media stream: codec, projection, a pointer to the
 /// externally stored media file, and a GOP index.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Track {
     pub role: TrackRole,
     pub codec: CodecKind,
@@ -88,6 +90,7 @@ impl Track {
             write_varint(&mut stss, e.frame_count);
             write_varint(&mut stss, e.byte_offset);
             write_varint(&mut stss, e.byte_len);
+            write_varint(&mut stss, e.crc32 as u64);
         }
         Atom::container(
             kinds::TRAK,
@@ -149,6 +152,7 @@ impl Track {
                 frame_count: next()?,
                 byte_offset: next()?,
                 byte_len: next()?,
+                crc32: next()? as u32,
             });
         }
         Ok(Track { role, codec, projection, media_path, gop_index })
@@ -167,6 +171,7 @@ impl Track {
                 frame_count: fc,
                 byte_offset: off as u64,
                 byte_len: len as u64,
+                crc32: crate::checksum::checksum(&gop.to_bytes()),
             });
             start_frame += fc;
         }
@@ -185,18 +190,20 @@ mod tests {
             projection: ProjectionKind::Equirectangular,
             media_path: "stream0.lvc".into(),
             gop_index: vec![
-                GopIndexEntry { start_frame: 0, frame_count: 30, byte_offset: 32, byte_len: 1000 },
+                GopIndexEntry { start_frame: 0, frame_count: 30, byte_offset: 32, byte_len: 1000, crc32: 0x1234 },
                 GopIndexEntry {
                     start_frame: 30,
                     frame_count: 30,
                     byte_offset: 1032,
                     byte_len: 900,
+                    crc32: 0,
                 },
                 GopIndexEntry {
                     start_frame: 60,
                     frame_count: 15,
                     byte_offset: 1932,
                     byte_len: 500,
+                    crc32: 0xDEAD_BEEF,
                 },
             ],
         }

@@ -1,10 +1,9 @@
 //! The logical TLF data model.
 
 use lightdb_geom::{Dimension, Volume};
-use serde::{Deserialize, Serialize};
 
 /// A TLF's unique identifier within the catalog.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TlfId(pub String);
 
 impl TlfId {
@@ -30,7 +29,7 @@ impl From<&str> for TlfId {
 }
 
 /// Which physical representation backs a TLF.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PhysicalKind {
     /// One or more 360° spheres at spatial points.
     Sphere360,
@@ -44,7 +43,7 @@ pub enum PhysicalKind {
 /// volume, physical kind, partitioning, and flags. (The physical
 /// details — tracks, GOP indexes, file paths — live in the storage
 /// layer's metadata.)
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TlfHandle {
     pub id: TlfId,
     pub version: u64,

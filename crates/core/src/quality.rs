@@ -1,11 +1,10 @@
 //! Encoding quality levels.
 
-use serde::{Deserialize, Serialize};
 
 /// Named encoding qualities, as used by the predictive-tiling
 /// workload (`Quality::High` ≈ the paper's 50 Mbps setting,
 /// `Quality::Low` ≈ 50 kbps).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Quality {
     High,
     Medium,

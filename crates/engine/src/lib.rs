@@ -27,11 +27,13 @@
 //! # Ok::<(), lightdb::Error>(())
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 use lightdb_core::algebra::{LogicalOp, LogicalPlan};
 use lightdb_core::subgraph::{self, UdfRegistry};
 use lightdb_core::udf::{InterpUdf, MapUdf};
 use lightdb_core::vrql::VrqlExpr;
-use lightdb_exec::{Executor, Metrics, QueryOutput};
+use lightdb_exec::{Executor, Metrics, QueryOutput, ReadPolicy};
 use lightdb_optimizer::{Planner, PlannerOptions};
 use lightdb_storage::{BufferPool, Catalog, Snapshot};
 use std::path::Path;
@@ -46,7 +48,7 @@ pub mod prelude {
     pub use lightdb_core::udf::{BuiltinInterp, BuiltinMap, InterpUdf, MapUdf, PointMapUdf};
     pub use lightdb_core::vrql::*;
     pub use lightdb_core::{MergeFunction, Quality};
-    pub use lightdb_exec::QueryOutput;
+    pub use lightdb_exec::{QueryOutput, ReadPolicy};
     pub use lightdb_frame::{Frame, Yuv};
     pub use lightdb_geom::{Dimension, Interval, Point3, Volume};
     pub use lightdb_optimizer::PlannerOptions;
@@ -119,6 +121,7 @@ pub struct LightDb {
     catalog: Arc<Catalog>,
     pool: Arc<BufferPool>,
     options: PlannerOptions,
+    read_policy: ReadPolicy,
     metrics: Metrics,
     udfs: UdfRegistry,
 }
@@ -137,6 +140,7 @@ impl LightDb {
             catalog: Arc::new(Catalog::open(path.as_ref().to_path_buf())?),
             pool: Arc::new(BufferPool::new(DEFAULT_POOL_BYTES)),
             options,
+            read_policy: ReadPolicy::default(),
             metrics: Metrics::new(),
             udfs: UdfRegistry::new(),
         })
@@ -160,6 +164,19 @@ impl LightDb {
     /// Replaces the optimiser options.
     pub fn set_options(&mut self, options: PlannerOptions) {
         self.options = options;
+    }
+
+    /// Current read policy for scans over corrupt data.
+    pub fn read_policy(&self) -> ReadPolicy {
+        self.read_policy
+    }
+
+    /// Sets what scans do when a stored GOP fails checksum
+    /// verification or cannot be parsed: fail the query (default) or
+    /// skip a bounded number of damaged GOPs, counting skips in
+    /// `metrics().counter(lightdb_exec::metrics::counters::SKIPPED_GOPS)`.
+    pub fn set_read_policy(&mut self, policy: ReadPolicy) {
+        self.read_policy = policy;
     }
 
     /// Cumulative per-operator execution metrics.
@@ -212,6 +229,7 @@ impl LightDb {
         let mut executor = Executor::new(self.catalog.clone(), self.pool.clone());
         executor.metrics = self.metrics.clone();
         executor.spatial_index = self.options.use_indexes;
+        executor.read_policy = self.read_policy;
         let out = executor.run(&physical)?;
         if let QueryOutput::Stored { name, version } = &out {
             snapshot.expose(name, *version);

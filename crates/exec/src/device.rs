@@ -51,9 +51,9 @@ pub fn gpu_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(usize, T) -> U + Sync
     let jobs: Vec<(usize, T)> = items.into_iter().enumerate().collect();
     let queue = parking_lot::Mutex::new(jobs);
     let results = parking_lot::Mutex::new(Vec::<(usize, U)>::with_capacity(n));
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers.min(n) {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let job = queue.lock().pop();
                 match job {
                     Some((i, t)) => {
@@ -64,8 +64,7 @@ pub fn gpu_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(usize, T) -> U + Sync
                 }
             });
         }
-    })
-    .expect("gpu worker panicked");
+    });
     for (i, u) in results.into_inner() {
         slots[i] = Some(u);
     }

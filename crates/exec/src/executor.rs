@@ -6,7 +6,7 @@ use crate::hops;
 use crate::metrics::Metrics;
 use crate::plan::PhysicalPlan;
 use crate::sources;
-use crate::{ChunkStream, ExecError, Result};
+use crate::{ChunkStream, ExecError, ReadPolicy, Result};
 use lightdb_codec::{CodecKind, VideoStream};
 use lightdb_container::{SpherePoint, TlfBody, TlfDescriptor};
 use lightdb_core::udf::MapFunction;
@@ -68,11 +68,19 @@ pub struct Executor {
     /// optimizer's `use_indexes` switch; part filtering itself always
     /// happens — without the index it is a linear point scan).
     pub spatial_index: bool,
+    /// What scans do when a stored GOP turns out to be corrupt.
+    pub read_policy: ReadPolicy,
 }
 
 impl Executor {
     pub fn new(catalog: Arc<Catalog>, pool: Arc<BufferPool>) -> Executor {
-        Executor { catalog, pool, metrics: Metrics::new(), spatial_index: true }
+        Executor {
+            catalog,
+            pool,
+            metrics: Metrics::new(),
+            spatial_index: true,
+            read_policy: ReadPolicy::default(),
+        }
     }
 
     /// Runs a plan to completion.
@@ -119,6 +127,7 @@ impl Executor {
                 *t_frames,
                 *spatial,
                 self.spatial_index,
+                self.read_policy,
                 m,
             )?,
             PhysicalPlan::DecodeFile { path, .. } => sources::decode_file(path, m)?,

@@ -555,9 +555,10 @@ pub fn union_frames(
         let mut merged: Vec<Chunk> = Vec::new();
         for g in grouped.iter_mut() {
             if matches!(g.peek(), Some(Ok(group)) if group[0].t_index == t) {
-                match g.next().unwrap() {
-                    Ok(group) => merged.extend(group),
-                    Err(e) => return Some(Err(e)),
+                match g.next() {
+                    Some(Ok(group)) => merged.extend(group),
+                    Some(Err(e)) => return Some(Err(e)),
+                    None => {}
                 }
             }
         }
@@ -596,7 +597,9 @@ pub fn composite_group(group: Vec<Chunk>, merge: &MergeFunction) -> Result<Vec<C
     let mut out = Vec::with_capacity(buckets.len());
     for mut bucket in buckets {
         if bucket.len() == 1 {
-            out.push(bucket.pop().unwrap());
+            if let Some(c) = bucket.pop() {
+                out.push(c);
+            }
             continue;
         }
         out.push(composite_bucket(bucket, merge)?);
@@ -609,7 +612,11 @@ fn composite_bucket(bucket: Vec<Chunk>, merge: &MergeFunction) -> Result<Chunk> 
     // resolution; the canvas covers the hull of all inputs' angular
     // extents, and inputs are blitted *in order* so merge-function
     // semantics (e.g. LAST) follow union input order.
-    let hull = bucket.iter().map(|c| c.volume).reduce(|a, b| a.hull(&b)).unwrap();
+    let hull = bucket
+        .iter()
+        .map(|c| c.volume)
+        .reduce(|a, b| a.hull(&b))
+        .ok_or_else(|| ExecError::Align("union bucket is empty".into()))?;
     let mut density_theta: f64 = 0.0;
     let mut density_phi: f64 = 0.0;
     let mut frame_count = 0usize;
@@ -642,11 +649,10 @@ fn composite_bucket(bucket: Vec<Chunk>, merge: &MergeFunction) -> Result<Chunk> 
         }
         blit_overlay(&mut frames, &hull, ov, &c.volume, merge);
     }
-    Ok(Chunk {
-        volume: hull,
-        payload: ChunkPayload::Decoded { frames, device },
-        ..bucket.into_iter().next().unwrap()
-    })
+    let Some(first) = bucket.into_iter().next() else {
+        return Err(ExecError::Align("union bucket is empty".into()));
+    };
+    Ok(Chunk { volume: hull, payload: ChunkPayload::Decoded { frames, device }, ..first })
 }
 
 /// Blits overlay frames into base frames at the overlay's angular
@@ -775,7 +781,11 @@ pub fn interpolate_frames(
                         })
                         .collect()
                 });
-                let volume = group.iter().map(|c| c.volume).reduce(|a, b| a.hull(&b)).unwrap();
+                let volume = group
+                    .iter()
+                    .map(|c| c.volume)
+                    .reduce(|a, b| a.hull(&b))
+                    .ok_or_else(|| ExecError::Align("empty interpolation group".into()))?;
                 Ok(Chunk {
                     t_index: group[0].t_index,
                     part: 0,
@@ -952,6 +962,47 @@ mod tests {
 
     fn collect(s: ChunkStream) -> Vec<Chunk> {
         s.map(|c| c.unwrap()).collect()
+    }
+
+    #[test]
+    fn degenerate_union_groups_error_instead_of_panicking() {
+        // An empty time-step group must surface as an ExecError, not
+        // unwind through the pipeline.
+        match composite_group(vec![], &MergeFunction::Last) {
+            Err(ExecError::Align(_)) => {}
+            other => panic!("expected Align error, got {other:?}"),
+        }
+        // Co-located *encoded* chunks (wrong domain for compositing)
+        // must also report a typed error.
+        let frames: Vec<Frame> = (0..2).map(|i| textured(32, 32, i)).collect();
+        let enc = lightdb_codec::Encoder::new(lightdb_codec::EncoderConfig {
+            gop_length: 2,
+            qp: 30,
+            ..Default::default()
+        })
+        .unwrap()
+        .encode(&frames)
+        .unwrap();
+        let mk = || Chunk {
+            t_index: 0,
+            part: 0,
+            volume: Volume::sphere_at(0.0, 0.0, 0.0, Interval::new(0.0, 1.0)),
+            info: StreamInfo::origin(2),
+            payload: ChunkPayload::Encoded { header: enc.header, gop: enc.gops[0].clone() },
+        };
+        match composite_group(vec![mk(), mk()], &MergeFunction::Last) {
+            Err(ExecError::Domain(_)) => {}
+            other => panic!("expected Domain error, got {other:?}"),
+        }
+        // A union over one erroring and one healthy stream propagates
+        // the error as a stream item rather than panicking.
+        let bad: ChunkStream =
+            Box::new(std::iter::once(Err(ExecError::Other("broken input".into()))));
+        let good = stream_of(vec![decoded_chunk(0, vec![textured(32, 32, 0)])]);
+        let results: Vec<_> =
+            union_frames(vec![bad, good], MergeFunction::Last, Device::Cpu, Metrics::new())
+                .collect();
+        assert!(results.iter().any(|r| r.is_err()));
     }
 
     #[test]

@@ -39,6 +39,34 @@ pub use executor::{Executor, QueryOutput};
 pub use metrics::Metrics;
 pub use plan::PhysicalPlan;
 
+/// What a scan does when a GOP fails checksum verification or cannot
+/// be parsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPolicy {
+    /// Propagate the error; the query fails (the default).
+    #[default]
+    Fail,
+    /// Skip up to `max_skipped` damaged GOPs, degrading output
+    /// instead of killing the query. Skips are counted in
+    /// [`metrics::counters::SKIPPED_GOPS`]; exceeding the budget
+    /// fails the query with the underlying error.
+    SkipCorruptGops { max_skipped: usize },
+}
+
+impl ExecError {
+    /// True for errors that mean one piece of stored data is damaged
+    /// (checksum mismatch, unparsable GOP) rather than the query
+    /// being impossible — the class [`ReadPolicy::SkipCorruptGops`]
+    /// may skip over.
+    pub fn is_data_corruption(&self) -> bool {
+        match self {
+            ExecError::Storage(e) => e.is_data_corruption(),
+            ExecError::Codec(_) => true,
+            _ => false,
+        }
+    }
+}
+
 /// Errors raised during physical execution.
 #[derive(Debug)]
 pub enum ExecError {

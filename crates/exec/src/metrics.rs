@@ -10,10 +10,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Thread-safe accumulator of per-operator wall time and invocation
-/// counts. Cloning shares the underlying counters.
+/// counts, plus named event counters (e.g. GOPs skipped due to
+/// corruption). Cloning shares the underlying counters.
 #[derive(Clone, Default)]
 pub struct Metrics {
     inner: Arc<Mutex<HashMap<&'static str, (Duration, u64)>>>,
+    counters: Arc<Mutex<HashMap<&'static str, u64>>>,
 }
 
 impl Metrics {
@@ -55,10 +57,40 @@ impl Metrics {
         rows
     }
 
+    /// Adds `n` to the named event counter.
+    pub fn add(&self, counter: &'static str, n: u64) {
+        *self.counters.lock().entry(counter).or_insert(0) += n;
+    }
+
+    /// Increments the named event counter by one.
+    pub fn bump(&self, counter: &'static str) {
+        self.add(counter, 1);
+    }
+
+    /// Current value of a named event counter (zero when never set).
+    pub fn counter(&self, counter: &str) -> u64 {
+        self.counters.lock().get(counter).copied().unwrap_or(0)
+    }
+
+    /// All `(counter, value)` rows, sorted by name.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        let mut rows: Vec<_> = self.counters.lock().iter().map(|(k, v)| (*k, *v)).collect();
+        rows.sort_unstable();
+        rows
+    }
+
     /// Clears all counters.
     pub fn reset(&self) {
         self.inner.lock().clear();
+        self.counters.lock().clear();
     }
+}
+
+/// Counter names used by the built-in operators.
+pub mod counters {
+    /// GOPs skipped by a scan running under
+    /// [`crate::ReadPolicy::SkipCorruptGops`].
+    pub const SKIPPED_GOPS: &str = "scan.skipped_gops";
 }
 
 #[cfg(test)]
@@ -100,5 +132,20 @@ mod tests {
         let m2 = m.clone();
         m2.record("X", Duration::from_millis(3));
         assert_eq!(m.count("X"), 1);
+    }
+
+    #[test]
+    fn event_counters_accumulate_and_reset() {
+        let m = Metrics::new();
+        assert_eq!(m.counter(counters::SKIPPED_GOPS), 0);
+        m.bump(counters::SKIPPED_GOPS);
+        m.add(counters::SKIPPED_GOPS, 2);
+        assert_eq!(m.counter(counters::SKIPPED_GOPS), 3);
+        assert_eq!(m.counters(), vec![(counters::SKIPPED_GOPS, 3)]);
+        // Clones share counters too.
+        m.clone().bump(counters::SKIPPED_GOPS);
+        assert_eq!(m.counter(counters::SKIPPED_GOPS), 4);
+        m.reset();
+        assert_eq!(m.counter(counters::SKIPPED_GOPS), 0);
     }
 }

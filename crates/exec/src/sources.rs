@@ -1,8 +1,8 @@
 //! Chunk sources: catalog scans and external-file decodes.
 
 use crate::chunk::{Chunk, ChunkPayload, SlabInfo, StreamInfo};
-use crate::metrics::Metrics;
-use crate::{ChunkStream, ExecError, Result};
+use crate::metrics::{counters, Metrics};
+use crate::{ChunkStream, ExecError, ReadPolicy, Result};
 use lightdb_codec::{EncodedGop, SequenceHeader, VideoStream};
 use lightdb_container::{GopIndexEntry, TlfBody, TlfDescriptor, Track, TrackRole};
 use lightdb_geom::{Dimension, Interval, Point3, Volume};
@@ -29,7 +29,8 @@ struct ScanPart {
 /// `SCAN`: reads a stored TLF as encoded chunks, using the GOP index
 /// for temporal pushdown (only the needed byte ranges are read) and a
 /// spatial R-tree — when one exists — for point pushdown across
-/// multi-sphere TLFs.
+/// multi-sphere TLFs. `read_policy` governs what happens when a GOP
+/// fails checksum verification or cannot be parsed.
 #[allow(clippy::too_many_arguments)]
 pub fn scan_tlf(
     catalog: &Catalog,
@@ -39,6 +40,7 @@ pub fn scan_tlf(
     t_frames: Option<(u64, u64)>,
     spatial: Option<Volume>,
     use_spatial_index: bool,
+    read_policy: ReadPolicy,
     metrics: Metrics,
 ) -> Result<ChunkStream> {
     let stored = metrics.time("SCAN", || catalog.read(name, version))?;
@@ -55,7 +57,7 @@ pub fn scan_tlf(
         None // fall back to the linear point filter
     };
     resolve_parts(&stored, &media, &stored.metadata.tlf, t_frames, &spatial, &spatial_ids, &mut parts)?;
-    Ok(stream_parts(parts, media, pool.clone(), metrics))
+    Ok(stream_parts(parts, media, pool.clone(), read_policy, metrics))
 }
 
 /// Looks up the spatial index (if any) and returns the matching point
@@ -220,11 +222,15 @@ fn filter_entries(entries: &[GopIndexEntry], t_frames: Option<(u64, u64)>) -> Ve
 }
 
 /// Lazily streams a scan's parts in t-major order, pulling GOP bytes
-/// through the buffer pool.
+/// through the buffer pool. Under
+/// [`ReadPolicy::SkipCorruptGops`], damaged GOPs (checksum or parse
+/// failures) are skipped — up to the budget — and counted in
+/// [`counters::SKIPPED_GOPS`] instead of failing the stream.
 fn stream_parts(
     parts: Vec<ScanPart>,
     media: MediaStore,
     pool: Arc<BufferPool>,
+    read_policy: ReadPolicy,
     metrics: Metrics,
 ) -> ChunkStream {
     // Flatten (t, part) pairs in t-major order.
@@ -238,27 +244,42 @@ fn stream_parts(
         }
     }
     let mut jobs = jobs.into_iter();
+    let mut skipped = 0usize;
     Box::new(std::iter::from_fn(move || {
-        let (pi, ei) = jobs.next()?;
-        let p = &parts[pi];
-        let entry = p.entries[ei];
-        let r = metrics.time("SCAN", || -> Result<Chunk> {
-            let key = GopKey { media: media.path_of(&p.media_path).display().to_string(), gop: entry.start_frame };
-            let bytes = pool.get_gop(&key, || media.read_gop_bytes(&p.media_path, &entry))?;
-            let gop = EncodedGop::from_bytes(&bytes)?;
-            let fps = p.header.fps as f64;
-            let t0 = p.volume.t().lo() + entry.start_frame as f64 / fps;
-            let t1 = t0 + entry.frame_count as f64 / fps;
-            let volume = p.volume.with(Dimension::T, Interval::new(t0, t1));
-            Ok(Chunk {
-                t_index: (entry.start_frame as usize) / p.header.gop_length.max(1),
-                part: p.part,
-                volume,
-                info: p.info,
-                payload: ChunkPayload::Encoded { header: p.header, gop },
-            })
-        });
-        Some(r)
+        loop {
+            let (pi, ei) = jobs.next()?;
+            let p = &parts[pi];
+            let entry = p.entries[ei];
+            let r = metrics.time("SCAN", || -> Result<Chunk> {
+                let key = GopKey { media: media.path_of(&p.media_path).display().to_string(), gop: entry.start_frame };
+                let bytes = pool.get_gop(&key, || media.read_gop_bytes(&p.media_path, &entry))?;
+                let gop = EncodedGop::from_bytes(&bytes)?;
+                let fps = p.header.fps as f64;
+                let t0 = p.volume.t().lo() + entry.start_frame as f64 / fps;
+                let t1 = t0 + entry.frame_count as f64 / fps;
+                let volume = p.volume.with(Dimension::T, Interval::new(t0, t1));
+                Ok(Chunk {
+                    t_index: (entry.start_frame as usize) / p.header.gop_length.max(1),
+                    part: p.part,
+                    volume,
+                    info: p.info,
+                    payload: ChunkPayload::Encoded { header: p.header, gop },
+                })
+            });
+            match r {
+                Err(e)
+                    if matches!(
+                        read_policy,
+                        ReadPolicy::SkipCorruptGops { max_skipped } if skipped < max_skipped
+                    ) && e.is_data_corruption() =>
+                {
+                    skipped += 1;
+                    metrics.bump(counters::SKIPPED_GOPS);
+                    continue;
+                }
+                other => return Some(other),
+            }
+        }
     }))
 }
 
@@ -356,7 +377,7 @@ mod tests {
         store_demo(&catalog, "demo", 3);
         let pool = Arc::new(BufferPool::new(1 << 20));
         let chunks: Vec<Chunk> =
-            scan_tlf(&catalog, &pool, "demo", None, None, None, true, Metrics::new())
+            scan_tlf(&catalog, &pool, "demo", None, None, None, true, ReadPolicy::default(), Metrics::new())
                 .unwrap()
                 .map(|c| c.unwrap())
                 .collect();
@@ -374,7 +395,7 @@ mod tests {
         let pool = Arc::new(BufferPool::new(1 << 20));
         // Frames 30..=39 live in GOP 3 only.
         let chunks: Vec<Chunk> =
-            scan_tlf(&catalog, &pool, "demo", None, Some((30, 39)), None, true, Metrics::new())
+            scan_tlf(&catalog, &pool, "demo", None, Some((30, 39)), None, true, ReadPolicy::default(), Metrics::new())
                 .unwrap()
                 .map(|c| c.unwrap())
                 .collect();
@@ -391,7 +412,7 @@ mod tests {
         store_demo(&catalog, "demo", 2);
         let pool = Arc::new(BufferPool::new(1 << 20));
         for _ in 0..3 {
-            let n = scan_tlf(&catalog, &pool, "demo", None, None, None, true, Metrics::new())
+            let n = scan_tlf(&catalog, &pool, "demo", None, None, None, true, ReadPolicy::default(), Metrics::new())
                 .unwrap()
                 .count();
             assert_eq!(n, 2);
@@ -454,7 +475,7 @@ mod tests {
             )
             .unwrap();
         let pool = Arc::new(BufferPool::new(1 << 20));
-        let all: Vec<Chunk> = scan_tlf(&catalog, &pool, "two", None, None, None, true, Metrics::new())
+        let all: Vec<Chunk> = scan_tlf(&catalog, &pool, "two", None, None, None, true, ReadPolicy::default(), Metrics::new())
             .unwrap()
             .map(|c| c.unwrap())
             .collect();
@@ -462,7 +483,7 @@ mod tests {
         let near = Volume::everywhere()
             .with(Dimension::X, Interval::new(5.0, 15.0));
         let filtered: Vec<Chunk> =
-            scan_tlf(&catalog, &pool, "two", None, None, Some(near), true, Metrics::new())
+            scan_tlf(&catalog, &pool, "two", None, None, Some(near), true, ReadPolicy::default(), Metrics::new())
                 .unwrap()
                 .map(|c| c.unwrap())
                 .collect();

@@ -5,10 +5,9 @@
 //! colour space video codecs consume; RGB is provided for UDFs and
 //! dataset generation.
 
-use serde::{Deserialize, Serialize};
 
 /// A full-range BT.601 YUV colour sample.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Yuv {
     pub y: u8,
     pub u: u8,
@@ -45,7 +44,7 @@ impl Yuv {
 }
 
 /// An 8-bit RGB colour sample.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Rgb {
     pub r: u8,
     pub g: u8,

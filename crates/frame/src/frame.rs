@@ -1,7 +1,6 @@
 //! Planar YUV 4:2:0 frames.
 
 use crate::color::Yuv;
-use serde::{Deserialize, Serialize};
 
 /// Identifies one of the three planes of a 4:2:0 frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,7 +15,7 @@ pub enum PlaneKind {
 /// The luma plane is `width × height`; each chroma plane is
 /// `(width/2) × (height/2)`. Width and height must be even — the
 /// codec's block structure and chroma subsampling both require it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Frame {
     width: usize,
     height: usize,

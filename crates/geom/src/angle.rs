@@ -8,7 +8,6 @@
 //! pole reflects `φ` and flips `θ` by half a turn (see
 //! [`normalize_direction`]).
 
-use serde::{Deserialize, Serialize};
 use std::f64::consts::PI;
 
 /// The period of the azimuthal dimension: `2π`.
@@ -18,7 +17,7 @@ pub const THETA_PERIOD: f64 = 2.0 * PI;
 pub const PHI_MAX: f64 = PI;
 
 /// An azimuthal angle, always normalised into `[0, 2π)`.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Theta(f64);
 
 impl Theta {
@@ -53,7 +52,7 @@ impl Theta {
 /// value outside `[0, π)` after pole reflection is expected to have
 /// been applied by the caller; use [`normalize_direction`] to normalise
 /// a raw `(θ, φ)` pair that may have crossed a pole.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Phi(f64);
 
 impl Phi {

@@ -1,6 +1,5 @@
 //! Reflective names for the six TLF dimensions.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One of the six dimensions of TLF space.
@@ -9,7 +8,7 @@ use std::fmt;
 /// the angular (viewing-direction) dimensions. Operators such as
 /// `DISCRETIZE`, `PARTITION`, and `CREATEINDEX` are parameterised by
 /// dimension.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Dimension {
     X,
     Y,

@@ -2,7 +2,6 @@
 
 use crate::angle::{wrap_theta, THETA_PERIOD};
 use crate::EPSILON;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A closed interval `[lo, hi]` over one TLF dimension.
@@ -12,7 +11,7 @@ use std::fmt;
 /// definition. A degenerate interval with `lo == hi` represents a
 /// single point, which is how point selections (e.g. a monoscopic
 /// spatial selection) are expressed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interval {
     lo: f64,
     hi: f64,
@@ -152,7 +151,7 @@ impl fmt::Display for Interval {
 /// `θ ≤ θ'`), but *queries* against angular content — e.g. "which tiles
 /// does `θ ∈ [3π/2, π/2]` touch?" — need wraparound semantics, which
 /// this type provides.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AngularRange {
     /// Normalised start angle in `[0, 2π)`.
     start: f64,

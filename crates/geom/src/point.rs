@@ -2,11 +2,10 @@
 
 use crate::angle::{Phi, Theta};
 use crate::dimension::Dimension;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A point in three-dimensional (viewer position) space.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point3 {
     pub x: f64,
     pub y: f64,
@@ -49,7 +48,7 @@ impl fmt::Display for Point3 {
 
 /// A full six-dimensional point `(x, y, z, t, θ, φ)` — a viewer
 /// position, an instant, and a viewing direction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point6 {
     pub x: f64,
     pub y: f64,

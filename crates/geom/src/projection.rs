@@ -6,7 +6,6 @@
 //! common projections: equirectangular (ER) and the cube map.
 
 use crate::angle::{normalize_direction, PHI_MAX, THETA_PERIOD};
-use serde::{Deserialize, Serialize};
 
 /// A mapping between viewing directions `(θ, φ)` and normalised frame
 /// coordinates `(u, v) ∈ [0, 1)²`.
@@ -42,7 +41,7 @@ pub trait Projection {
 }
 
 /// Projection identifiers serialisable into container metadata.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProjectionKind {
     Equirectangular,
     CubeMap,
@@ -73,7 +72,7 @@ impl Projection for EquirectangularProjection {
 
 /// The six faces of a cube map in the layout order LightDB uses: a
 /// 3×2 grid of `front, right, back | left, up, down`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CubeFace {
     Front,
     Right,

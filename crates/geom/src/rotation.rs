@@ -4,14 +4,13 @@ use crate::angle::{normalize_direction, Phi, Theta};
 use crate::interval::Interval;
 use crate::volume::Volume;
 use crate::{Dimension, EPSILON, PHI_MAX, THETA_PERIOD};
-use serde::{Deserialize, Serialize};
 
 /// A rotation of viewing directions by `(Δθ, Δφ)`.
 ///
 /// The `ROTATE` operator rotates the rays at every point of a TLF;
 /// geometrically this shifts the azimuth modulo `2π` and the polar
 /// angle with pole reflection.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Rotation {
     pub delta_theta: f64,
     pub delta_phi: f64,

@@ -4,7 +4,6 @@ use crate::angle::{PHI_MAX, THETA_PERIOD};
 use crate::dimension::Dimension;
 use crate::interval::{AngularRange, Interval};
 use crate::point::Point6;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A hyperrectangular volume in TLF space — the product of six closed
@@ -15,7 +14,7 @@ use std::fmt;
 /// within the angular domains (`θ ∈ [0, 2π]`, `φ ∈ [0, π]` as interval
 /// endpoints; the right-open domain semantics are applied when testing
 /// point membership).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Volume {
     dims: [Interval; 6],
 }

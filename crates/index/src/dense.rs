@@ -4,10 +4,9 @@
 //! the indexed extent is divided into uniform bins and each bin lists
 //! the entries overlapping it. Lookups are O(bins touched + hits).
 
-use serde::{Deserialize, Serialize};
 
 /// A dense index over `[lo, hi)` with `bins` uniform buckets.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DenseIndex<T> {
     lo: f64,
     hi: f64,

@@ -6,7 +6,6 @@
 //! video file covering that spatial region).
 
 use lightdb_geom::{Point3, Volume};
-use serde::{Deserialize, Serialize};
 
 /// Maximum entries per node before splitting.
 const MAX_ENTRIES: usize = 8;
@@ -14,7 +13,7 @@ const MAX_ENTRIES: usize = 8;
 const MIN_ENTRIES: usize = 3;
 
 /// An axis-aligned box in (x, y, z).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect3 {
     pub min: Point3,
     pub max: Point3,

@@ -1,0 +1,150 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmark-definition API the workspace's benches
+//! use (`Criterion`, `benchmark_group`, `bench_function`,
+//! `Bencher::iter`, `criterion_group!`/`criterion_main!`) with a
+//! plain wall-clock harness: each benchmark runs a short warm-up,
+//! then `sample_size` timed samples, and prints min/median/mean per
+//! iteration. No statistics engine, plots, or baselines — enough to
+//! run `cargo bench` offline and compare orders of magnitude.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: Option<usize>,
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== group {name} ==");
+        let sample_size = self.sample_size.unwrap_or(10);
+        BenchmarkGroup { criterion: self, sample_size }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(10);
+        run_bench(name, samples, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    #[allow(dead_code)]
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function(&mut self, name: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(&name.to_string(), self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` times the workload.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up pass also calibrates iterations per sample so very
+        // fast bodies get timed over a measurable window.
+        let warm = Instant::now();
+        black_box(f());
+        let once = warm.elapsed();
+        let target = Duration::from_millis(5);
+        self.iters_per_sample = if once.is_zero() {
+            1024
+        } else {
+            (target.as_nanos() / once.as_nanos().max(1)).clamp(1, 1 << 20) as u64
+        };
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.durations.push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+fn run_bench(name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples, durations: Vec::new(), iters_per_sample: 1 };
+    f(&mut b);
+    if b.durations.is_empty() {
+        println!("{name:40} (no measurements)");
+        return;
+    }
+    b.durations.sort_unstable();
+    let min = b.durations[0];
+    let median = b.durations[b.durations.len() / 2];
+    let mean = b.durations.iter().sum::<Duration>() / b.durations.len() as u32;
+    println!(
+        "{name:40} min {min:>12.3?}  median {median:>12.3?}  mean {mean:>12.3?}  ({} samples x {} iters)",
+        b.durations.len(),
+        b.iters_per_sample
+    );
+}
+
+/// Declares a benchmark entry point set (matches criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups (matches criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default();
+        c.sample_size(3).bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_api_flows() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("x", |b| b.iter(|| black_box(2) * 2));
+        g.finish();
+    }
+}

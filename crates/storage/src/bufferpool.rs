@@ -79,7 +79,7 @@ impl BufferPool {
     }
 
     /// Fetches a GOP, loading and caching through `load` on a miss.
-    pub fn get_gop<E>(
+    pub fn get_gop<E: From<std::io::Error>>(
         &self,
         key: &GopKey,
         load: impl FnOnce() -> std::result::Result<Vec<u8>, E>,
@@ -101,6 +101,7 @@ impl BufferPool {
         inner.stats.misses += 1;
         // Don't hold the lock across the load: loads hit the disk.
         drop(inner);
+        crate::faults::fail_point(crate::faults::sites::BUFFERPOOL_LOAD)?;
         let bytes = Arc::new(load()?);
         let mut inner = self.inner.lock();
         inner.stats.bytes += bytes.len();

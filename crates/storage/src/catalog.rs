@@ -1,5 +1,12 @@
 //! The TLF catalog: names, versions, and directory management.
+//!
+//! Version publication is crash-consistent (see [`crate::durable`]):
+//! the metadata rename is the commit point for a `STORE`, and
+//! [`Catalog::open`] recovers from interrupted publishes by deleting
+//! orphaned temp files and ignoring metadata files that do not parse.
 
+use crate::durable::{self, TmpGuard};
+use crate::faults::{self, sites};
 use crate::media::MediaStore;
 use crate::{Result, StorageError};
 use lightdb_codec::VideoStream;
@@ -46,6 +53,12 @@ pub struct Catalog {
 impl Catalog {
     /// Opens (or initialises) a catalog rooted at `root`, scanning
     /// existing TLF directories for metadata versions.
+    ///
+    /// Performs a recovery sweep over each TLF directory: orphaned
+    /// `*.tmp` files left by interrupted publishes are deleted, and
+    /// metadata files that fail to parse (torn or corrupt — the
+    /// publish never completed cleanly) are ignored rather than
+    /// listed as committed versions.
     pub fn open(root: impl Into<PathBuf>) -> Result<Catalog> {
         let root = root.into();
         fs::create_dir_all(&root)?;
@@ -59,8 +72,17 @@ impl Catalog {
             let mut vs = Vec::new();
             for f in fs::read_dir(entry.path())? {
                 let f = f?;
-                if let Some(v) = parse_metadata_name(&f.file_name().to_string_lossy()) {
-                    vs.push(v);
+                let file_name = f.file_name().to_string_lossy().to_string();
+                if durable::is_tmp_name(&file_name) {
+                    // Debris from an interrupted publish; the rename
+                    // never happened, so nothing references it.
+                    let _ = fs::remove_file(f.path());
+                    continue;
+                }
+                if let Some(v) = parse_metadata_name(&file_name) {
+                    if metadata_is_valid(&f.path(), v) {
+                        vs.push(v);
+                    }
                 }
             }
             if !vs.is_empty() {
@@ -240,6 +262,17 @@ fn parse_metadata_name(name: &str) -> Option<u64> {
     name.strip_prefix("metadata")?.strip_suffix(".mp4")?.parse().ok()
 }
 
+/// True when the metadata file at `path` parses and claims the
+/// version its name implies — the recovery sweep's publish check.
+fn metadata_is_valid(path: &Path, version: u64) -> bool {
+    match fs::read(path) {
+        Ok(bytes) => {
+            MetadataFile::from_bytes(&bytes).map(|m| m.version == version).unwrap_or(false)
+        }
+        Err(_) => false,
+    }
+}
+
 fn validate_name(name: &str) -> Result<()> {
     if name.is_empty()
         || name.contains(['/', '\\', '\0'])
@@ -251,10 +284,24 @@ fn validate_name(name: &str) -> Result<()> {
     Ok(())
 }
 
+/// Publishes `bytes` at `path` crash-consistently: hidden temp file →
+/// `sync_all` → atomic rename → directory fsync. A failure at any
+/// step removes the temp file and leaves `path` untouched.
 fn write_atomically(path: &Path, bytes: &[u8]) -> Result<()> {
-    let tmp = path.with_extension("tmp");
-    fs::write(&tmp, bytes)?;
-    fs::rename(&tmp, path)?;
+    let dir = path.parent().ok_or_else(|| {
+        StorageError::Corrupt(format!("metadata path {path:?} has no parent directory"))
+    })?;
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().to_string())
+        .ok_or_else(|| StorageError::Corrupt(format!("metadata path {path:?} has no file name")))?;
+    let mut bytes = bytes.to_vec();
+    faults::mangle(sites::CATALOG_WRITE_BYTES, &mut bytes);
+    let tmp = dir.join(durable::tmp_name(&file_name));
+    let guard = TmpGuard::new(tmp.clone());
+    durable::write_durable(&tmp, &bytes, sites::CATALOG_TMP_WRITE, sites::CATALOG_TMP_SYNC)?;
+    durable::publish(&tmp, path, dir, sites::CATALOG_PUBLISH_RENAME, sites::CATALOG_DIR_SYNC)?;
+    guard.disarm();
     Ok(())
 }
 
@@ -407,6 +454,45 @@ mod tests {
         assert_eq!(cat.read_aux_file("demo", "index1.xz").unwrap().as_deref(), Some(&b"tree"[..]));
         assert!(cat.remove_aux_file("demo", "index1.xz").unwrap());
         assert!(!cat.remove_aux_file("demo", "index1.xz").unwrap());
+        fs::remove_dir_all(cat.root()).unwrap();
+    }
+
+    #[test]
+    fn reopen_sweeps_tmp_files_and_ignores_torn_metadata() {
+        let root = temp_root("sweep");
+        {
+            let cat = Catalog::open(&root).unwrap();
+            cat.store("demo", vec![], empty_tlfd()).unwrap();
+            cat.store("demo", vec![], empty_tlfd()).unwrap();
+        }
+        let dir = root.join("demo");
+        // Simulate an interrupted publish: an orphaned temp file plus
+        // a torn (truncated) metadata file for a version 3 that never
+        // committed.
+        fs::write(dir.join(".metadata3.mp4.tmp"), b"partial").unwrap();
+        let v2 = fs::read(dir.join("metadata2.mp4")).unwrap();
+        fs::write(dir.join("metadata3.mp4"), &v2[..v2.len() / 2]).unwrap();
+        let cat = Catalog::open(&root).unwrap();
+        assert_eq!(cat.all_versions("demo").unwrap(), vec![1, 2], "torn version must be ignored");
+        assert!(!dir.join(".metadata3.mp4.tmp").exists(), "tmp debris must be swept");
+        // The next STORE must be able to commit (reusing slot 3).
+        let v = cat.store("demo", vec![], empty_tlfd()).unwrap();
+        assert_eq!(v, 3);
+        assert_eq!(cat.read("demo", Some(3)).unwrap().version, 3);
+        fs::remove_dir_all(root).unwrap();
+    }
+
+    #[test]
+    fn failed_metadata_publish_leaves_old_version_intact() {
+        faults::reset();
+        let cat = Catalog::open(temp_root("pubfail")).unwrap();
+        cat.store("demo", vec![], empty_tlfd()).unwrap();
+        faults::arm_n(sites::CATALOG_PUBLISH_RENAME, faults::Fault::Enospc, 1);
+        assert!(cat.store("demo", vec![], empty_tlfd()).is_err());
+        // In-memory and on-disk state still agree on version 1 only.
+        assert_eq!(cat.all_versions("demo").unwrap(), vec![1]);
+        let reopened = Catalog::open(cat.root()).unwrap();
+        assert_eq!(reopened.all_versions("demo").unwrap(), vec![1]);
         fs::remove_dir_all(cat.root()).unwrap();
     }
 

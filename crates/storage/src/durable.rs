@@ -1,0 +1,193 @@
+//! Crash-consistent file publication and retrying I/O.
+//!
+//! Every durable file in a TLF directory (media streams, metadata
+//! versions, auxiliary indexes) is published with the same protocol:
+//!
+//! 1. write the full contents to a hidden temp file
+//!    (`.<final-name>.tmp`) in the destination directory,
+//! 2. `sync_all` the temp file so the bytes are on stable storage,
+//! 3. atomically `rename` it over the final name, and
+//! 4. fsync the directory so the rename itself is durable.
+//!
+//! A crash at any point leaves either the old state or the new state —
+//! never a partially written final file. Orphaned `*.tmp` files from
+//! interrupted publishes are deleted by the recovery sweep in
+//! [`crate::Catalog::open`].
+//!
+//! All steps are threaded through [`crate::faults`] failpoints so
+//! tests can kill the protocol at each step, and [`retry_io`] gives
+//! read paths a bounded retry-with-backoff over transient error kinds.
+
+use crate::faults;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Hidden temp-file name for publishing `final_name` (same directory,
+/// so the rename cannot cross filesystems).
+pub(crate) fn tmp_name(final_name: &str) -> String {
+    format!(".{final_name}.tmp")
+}
+
+/// True for file names produced by [`tmp_name`] (or older publish
+/// code); the recovery sweep deletes these.
+pub(crate) fn is_tmp_name(name: &str) -> bool {
+    name.ends_with(".tmp")
+}
+
+/// Removes a temp file unless [`disarm`](TmpGuard::disarm)ed —
+/// guarantees failed publishes leave no partial files behind.
+pub(crate) struct TmpGuard {
+    path: Option<PathBuf>,
+}
+
+impl TmpGuard {
+    pub(crate) fn new(path: PathBuf) -> Self {
+        TmpGuard { path: Some(path) }
+    }
+
+    /// The publish succeeded; keep (the renamed-away) file.
+    pub(crate) fn disarm(mut self) {
+        self.path = None;
+    }
+}
+
+impl Drop for TmpGuard {
+    fn drop(&mut self) {
+        if let Some(p) = self.path.take() {
+            let _ = fs::remove_file(p);
+        }
+    }
+}
+
+/// Steps 1–2: writes `bytes` to `tmp` and syncs them to stable
+/// storage. `write_site`/`sync_site` are failpoint names.
+pub(crate) fn write_durable(
+    tmp: &Path,
+    bytes: &[u8],
+    write_site: &str,
+    sync_site: &str,
+) -> io::Result<()> {
+    faults::fail_point(write_site)?;
+    let mut f = fs::File::create(tmp)?;
+    f.write_all(bytes)?;
+    faults::fail_point(sync_site)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Steps 3–4: renames `tmp` over `dst` and fsyncs the containing
+/// directory. `rename_site`/`dir_site` are failpoint names.
+pub(crate) fn publish(
+    tmp: &Path,
+    dst: &Path,
+    dir: &Path,
+    rename_site: &str,
+    dir_site: &str,
+) -> io::Result<()> {
+    faults::fail_point(rename_site)?;
+    fs::rename(tmp, dst)?;
+    faults::fail_point(dir_site)?;
+    sync_dir(dir)
+}
+
+/// Fsyncs a directory so renames within it are durable. Directory
+/// fsync is a Unix concept; elsewhere this is a no-op.
+pub(crate) fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        fs::File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+/// Error kinds worth retrying: the operation may succeed if simply
+/// reissued.
+pub(crate) fn is_transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Retries `op` up to 4 times on transient error kinds with a short
+/// exponential backoff (1, 2, 4 ms); other errors (and the final
+/// transient one) propagate immediately.
+pub(crate) fn retry_io<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    const ATTEMPTS: u32 = 4;
+    let mut attempt = 0;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if is_transient(e.kind()) && attempt + 1 < ATTEMPTS => {
+                std::thread::sleep(std::time::Duration::from_millis(1 << attempt));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn tmp_guard_removes_file_unless_disarmed() {
+        let dir = std::env::temp_dir();
+        let p = dir.join(format!(".durable-guard-{}.tmp", std::process::id()));
+        fs::write(&p, b"x").unwrap();
+        {
+            let _g = TmpGuard::new(p.clone());
+        }
+        assert!(!p.exists(), "guard should have removed the temp file");
+        fs::write(&p, b"x").unwrap();
+        TmpGuard::new(p.clone()).disarm();
+        assert!(p.exists(), "disarmed guard must not remove the file");
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_errors() {
+        let calls = AtomicU32::new(0);
+        let out = retry_io(|| {
+            if calls.fetch_add(1, Ordering::Relaxed) < 2 {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "flaky"))
+            } else {
+                Ok(7)
+            }
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn retry_gives_up_on_hard_errors_immediately() {
+        let calls = AtomicU32::new(0);
+        let err = retry_io::<()>(|| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(io::Error::new(io::ErrorKind::PermissionDenied, "no"))
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn retry_exhausts_budget_on_persistent_transients() {
+        let calls = AtomicU32::new(0);
+        let err = retry_io::<()>(|| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(io::Error::new(io::ErrorKind::WouldBlock, "busy"))
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+    }
+}

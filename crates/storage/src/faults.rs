@@ -1,0 +1,361 @@
+//! Fault injection for storage and I/O paths.
+//!
+//! A test-controllable registry of named *failpoints*. Production
+//! code threads calls to [`fail_point`] (typed I/O errors) and
+//! [`mangle`] (data corruption: truncation, bit flips) through its
+//! I/O sites; when nothing is armed both are a single thread-local
+//! flag check, so the hooks are free in normal operation.
+//!
+//! Arming via the API ([`arm`], [`arm_n`]) is **thread-local**: each
+//! test thread gets an isolated registry, so parallel tests cannot
+//! contaminate each other and injection stays deterministic. Arming
+//! via the environment applies to *every* thread — `LIGHTDB_FAULTS`
+//! holds a `;`-separated list of `site=spec` pairs parsed at each
+//! thread's first failpoint check:
+//!
+//! ```text
+//! LIGHTDB_FAULTS="media.tmp.write=enospc;catalog.publish.rename=err:notfound:1;\
+//! media.read=transient:interrupted:2;media.write.bytes=trunc:7"
+//! ```
+//!
+//! Specs: `err:<kind>[:n]`, `transient:<kind>:<n>`, `enospc[:n]`,
+//! `trunc:<keep>[:n]`, `flip:<offset>[:n]` — `n` is how many hits
+//! fire before the site auto-disarms (default: every hit).
+//!
+//! Site names used by the storage layer are listed in [`sites`];
+//! higher layers may add their own. Hit counters ([`hits`]) are
+//! maintained only while at least one fault is armed on the thread.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::io;
+
+/// Failpoint site names the storage crate hooks. Kill-point tests
+/// iterate [`sites::PUBLISH_SEQUENCE`] to cover every step of the
+/// `STORE` publish protocol.
+pub mod sites {
+    /// Writing the bytes of a media temp file.
+    pub const MEDIA_TMP_WRITE: &str = "media.tmp.write";
+    /// `sync_all` on a media temp file.
+    pub const MEDIA_TMP_SYNC: &str = "media.tmp.sync";
+    /// Renaming a media temp file into place.
+    pub const MEDIA_PUBLISH_RENAME: &str = "media.publish.rename";
+    /// Fsync of the TLF directory after a media rename.
+    pub const MEDIA_DIR_SYNC: &str = "media.dir.sync";
+    /// Corruption hook over media bytes about to be written.
+    pub const MEDIA_WRITE_BYTES: &str = "media.write.bytes";
+    /// Reading media bytes (full stream or one GOP range).
+    pub const MEDIA_READ: &str = "media.read";
+    /// Writing the bytes of a metadata temp file.
+    pub const CATALOG_TMP_WRITE: &str = "catalog.tmp.write";
+    /// `sync_all` on a metadata temp file.
+    pub const CATALOG_TMP_SYNC: &str = "catalog.tmp.sync";
+    /// Corruption hook over metadata bytes about to be written.
+    pub const CATALOG_WRITE_BYTES: &str = "catalog.write.bytes";
+    /// Renaming a metadata temp file into place (the commit point).
+    pub const CATALOG_PUBLISH_RENAME: &str = "catalog.publish.rename";
+    /// Fsync of the TLF directory after a metadata rename.
+    pub const CATALOG_DIR_SYNC: &str = "catalog.dir.sync";
+    /// Buffer-pool cache-miss load (fires before the loader runs).
+    pub const BUFFERPOOL_LOAD: &str = "bufferpool.load";
+
+    /// Every error-kind failpoint in the `STORE` publish sequence, in
+    /// execution order.
+    pub const PUBLISH_SEQUENCE: &[&str] = &[
+        MEDIA_TMP_WRITE,
+        MEDIA_TMP_SYNC,
+        MEDIA_PUBLISH_RENAME,
+        MEDIA_DIR_SYNC,
+        CATALOG_TMP_WRITE,
+        CATALOG_TMP_SYNC,
+        CATALOG_PUBLISH_RENAME,
+        CATALOG_DIR_SYNC,
+    ];
+}
+
+/// What an armed failpoint does when hit.
+#[derive(Debug, Clone)]
+pub enum Fault {
+    /// Return an `io::Error` of this kind.
+    Error(io::ErrorKind),
+    /// Return an out-of-space error (`ENOSPC`-shaped).
+    Enospc,
+    /// Return a retryable error of this kind — pair with a hit limit
+    /// via [`arm_n`] so retries eventually succeed.
+    Transient(io::ErrorKind),
+    /// Corrupt written data: keep only the first `keep` bytes (a torn
+    /// write). Applied by [`mangle`]; the write itself "succeeds".
+    TruncateWrite { keep: usize },
+    /// Corrupt written data: XOR the byte at `offset % len` with 0xFF.
+    FlipByte { offset: usize },
+}
+
+#[derive(Debug)]
+struct Armed {
+    fault: Fault,
+    /// Hits left before auto-disarm; `None` = fire on every hit.
+    remaining: Option<u64>,
+}
+
+#[derive(Default)]
+struct Registry {
+    armed: HashMap<String, Armed>,
+    hits: HashMap<String, u64>,
+    any_armed: bool,
+}
+
+impl Registry {
+    fn from_env() -> Registry {
+        let mut reg = Registry::default();
+        if let Ok(spec) = std::env::var("LIGHTDB_FAULTS") {
+            for (site, armed) in parse_env(&spec) {
+                reg.armed.insert(site, armed);
+            }
+            reg.any_armed = !reg.armed.is_empty();
+        }
+        reg
+    }
+}
+
+thread_local! {
+    static REGISTRY: RefCell<Registry> = RefCell::new(Registry::from_env());
+}
+
+fn parse_kind(s: &str) -> io::ErrorKind {
+    match s {
+        "notfound" => io::ErrorKind::NotFound,
+        "denied" => io::ErrorKind::PermissionDenied,
+        "interrupted" => io::ErrorKind::Interrupted,
+        "wouldblock" => io::ErrorKind::WouldBlock,
+        "timedout" => io::ErrorKind::TimedOut,
+        "unexpectedeof" => io::ErrorKind::UnexpectedEof,
+        _ => io::ErrorKind::Other,
+    }
+}
+
+fn parse_env(spec: &str) -> Vec<(String, Armed)> {
+    let mut out = Vec::new();
+    for pair in spec.split(';').filter(|p| !p.trim().is_empty()) {
+        let Some((site, fspec)) = pair.split_once('=') else { continue };
+        let parts: Vec<&str> = fspec.split(':').collect();
+        let (fault, n) = match parts.as_slice() {
+            ["err", kind] => (Fault::Error(parse_kind(kind)), None),
+            ["err", kind, n] => (Fault::Error(parse_kind(kind)), n.parse().ok()),
+            ["transient", kind, n] => (Fault::Transient(parse_kind(kind)), n.parse().ok()),
+            ["enospc"] => (Fault::Enospc, None),
+            ["enospc", n] => (Fault::Enospc, n.parse().ok()),
+            ["trunc", keep] => {
+                (Fault::TruncateWrite { keep: keep.parse().unwrap_or(0) }, None)
+            }
+            ["trunc", keep, n] => {
+                (Fault::TruncateWrite { keep: keep.parse().unwrap_or(0) }, n.parse().ok())
+            }
+            ["flip", off] => (Fault::FlipByte { offset: off.parse().unwrap_or(0) }, None),
+            ["flip", off, n] => {
+                (Fault::FlipByte { offset: off.parse().unwrap_or(0) }, n.parse().ok())
+            }
+            _ => continue,
+        };
+        out.push((site.trim().to_string(), Armed { fault, remaining: n }));
+    }
+    out
+}
+
+/// Arms `site` with `fault` on this thread for every future hit
+/// (until [`disarm`]).
+pub fn arm(site: &str, fault: Fault) {
+    REGISTRY.with(|r| {
+        let mut reg = r.borrow_mut();
+        reg.armed.insert(site.to_string(), Armed { fault, remaining: None });
+        reg.any_armed = true;
+    });
+}
+
+/// Arms `site` on this thread to fire on the next `n` hits, then
+/// auto-disarm.
+pub fn arm_n(site: &str, fault: Fault, n: u64) {
+    REGISTRY.with(|r| {
+        let mut reg = r.borrow_mut();
+        reg.armed.insert(site.to_string(), Armed { fault, remaining: Some(n) });
+        reg.any_armed = true;
+    });
+}
+
+/// Disarms one site on this thread.
+pub fn disarm(site: &str) {
+    REGISTRY.with(|r| {
+        let mut reg = r.borrow_mut();
+        reg.armed.remove(site);
+        reg.any_armed = !reg.armed.is_empty();
+    });
+}
+
+/// Disarms every site and clears hit counters on this thread.
+pub fn reset() {
+    REGISTRY.with(|r| {
+        let mut reg = r.borrow_mut();
+        reg.armed.clear();
+        reg.hits.clear();
+        reg.any_armed = false;
+    });
+}
+
+/// Number of times `site` was reached on this thread while any fault
+/// was armed.
+pub fn hits(site: &str) -> u64 {
+    REGISTRY.with(|r| r.borrow().hits.get(site).copied().unwrap_or(0))
+}
+
+fn take(site: &str, want_mangle: bool) -> Option<Fault> {
+    REGISTRY.with(|r| {
+        let mut reg = r.borrow_mut();
+        *reg.hits.entry(site.to_string()).or_insert(0) += 1;
+        let armed = reg.armed.get_mut(site)?;
+        let is_mangle =
+            matches!(armed.fault, Fault::TruncateWrite { .. } | Fault::FlipByte { .. });
+        if is_mangle != want_mangle {
+            return None;
+        }
+        let fault = armed.fault.clone();
+        if let Some(rem) = &mut armed.remaining {
+            *rem -= 1;
+            if *rem == 0 {
+                reg.armed.remove(site);
+                reg.any_armed = !reg.armed.is_empty();
+            }
+        }
+        Some(fault)
+    })
+}
+
+#[inline]
+fn nothing_armed() -> bool {
+    REGISTRY.with(|r| !r.borrow().any_armed)
+}
+
+/// Error-kind failpoint: returns `Err` when an error fault is armed
+/// at `site`. Call at the top of an I/O operation.
+#[inline]
+pub fn fail_point(site: &str) -> io::Result<()> {
+    if nothing_armed() {
+        return Ok(());
+    }
+    match take(site, false) {
+        None => Ok(()),
+        Some(Fault::Error(kind)) => {
+            Err(io::Error::new(kind, format!("injected fault at {site}")))
+        }
+        Some(Fault::Transient(kind)) => {
+            Err(io::Error::new(kind, format!("injected transient fault at {site}")))
+        }
+        Some(Fault::Enospc) => Err(io::Error::other(format!(
+            "injected ENOSPC (no space left on device) at {site}"
+        ))),
+        Some(Fault::TruncateWrite { .. }) | Some(Fault::FlipByte { .. }) => Ok(()),
+    }
+}
+
+/// Data-corruption failpoint: mutates `bytes` in place when a
+/// truncate/flip fault is armed at `site`. Call just before writing.
+#[inline]
+pub fn mangle(site: &str, bytes: &mut Vec<u8>) {
+    if nothing_armed() {
+        return;
+    }
+    match take(site, true) {
+        Some(Fault::TruncateWrite { keep }) => bytes.truncate(keep),
+        Some(Fault::FlipByte { offset }) if !bytes.is_empty() => {
+            let i = offset % bytes.len();
+            bytes[i] ^= 0xFF;
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_sites_are_noops() {
+        reset();
+        assert!(fail_point("nowhere").is_ok());
+        let mut b = vec![1, 2, 3];
+        mangle("nowhere", &mut b);
+        assert_eq!(b, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn armed_error_fires_until_disarmed() {
+        reset();
+        arm("t.err", Fault::Error(io::ErrorKind::PermissionDenied));
+        assert_eq!(
+            fail_point("t.err").unwrap_err().kind(),
+            io::ErrorKind::PermissionDenied
+        );
+        assert!(fail_point("t.err").is_err());
+        assert_eq!(hits("t.err"), 2);
+        disarm("t.err");
+        assert!(fail_point("t.err").is_ok());
+        reset();
+    }
+
+    #[test]
+    fn arm_n_auto_disarms() {
+        reset();
+        arm_n("t.once", Fault::Error(io::ErrorKind::Interrupted), 2);
+        assert!(fail_point("t.once").is_err());
+        assert!(fail_point("t.once").is_err());
+        assert!(fail_point("t.once").is_ok());
+    }
+
+    #[test]
+    fn arming_is_thread_local() {
+        reset();
+        arm("t.tl", Fault::Error(io::ErrorKind::Other));
+        let other = std::thread::spawn(|| fail_point("t.tl").is_ok())
+            .join()
+            .expect("thread panicked");
+        assert!(other, "faults armed via the API must not leak across threads");
+        assert!(fail_point("t.tl").is_err(), "the arming thread still sees the fault");
+        reset();
+    }
+
+    #[test]
+    fn mangle_truncates_and_flips() {
+        reset();
+        arm_n("t.trunc", Fault::TruncateWrite { keep: 2 }, 1);
+        let mut b = vec![1u8, 2, 3, 4];
+        mangle("t.trunc", &mut b);
+        assert_eq!(b, vec![1, 2]);
+        arm_n("t.flip", Fault::FlipByte { offset: 1 }, 1);
+        let mut b = vec![0u8, 0, 0];
+        mangle("t.flip", &mut b);
+        assert_eq!(b, vec![0, 0xFF, 0]);
+    }
+
+    #[test]
+    fn mangle_faults_do_not_fire_as_errors() {
+        reset();
+        arm("t.mixed", Fault::TruncateWrite { keep: 0 });
+        assert!(fail_point("t.mixed").is_ok());
+        reset();
+    }
+
+    #[test]
+    fn env_spec_parses() {
+        let parsed = parse_env(
+            "a=err:notfound;b=transient:interrupted:2;c=enospc;d=trunc:7:1;e=flip:3; ;bad",
+        );
+        assert_eq!(parsed.len(), 5);
+        assert!(matches!(parsed[0].1.fault, Fault::Error(io::ErrorKind::NotFound)));
+        assert!(matches!(
+            parsed[1].1.fault,
+            Fault::Transient(io::ErrorKind::Interrupted)
+        ));
+        assert_eq!(parsed[1].1.remaining, Some(2));
+        assert!(matches!(parsed[2].1.fault, Fault::Enospc));
+        assert!(matches!(parsed[3].1.fault, Fault::TruncateWrite { keep: 7 }));
+        assert!(matches!(parsed[4].1.fault, Fault::FlipByte { offset: 3 }));
+    }
+}

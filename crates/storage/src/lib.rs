@@ -18,9 +18,34 @@
 //!
 //! The in-memory *TLF cache* ([`bufferpool`]) holds parsed metadata
 //! entries and a GOP-granularity LRU buffer pool over encoded media.
+//!
+//! ## Failure model
+//!
+//! Every durable file is published crash-consistently (module
+//! [`durable`]): contents go to a hidden `.<name>.tmp` file in the
+//! destination directory, are `sync_all`ed, then atomically renamed
+//! into place, and the directory itself is fsynced. During `STORE`,
+//! media files are published (and durable) *before* the metadata
+//! version that references them, and the metadata rename is the
+//! commit point — a crash anywhere leaves the previous version fully
+//! intact and the new version either absent or complete.
+//! [`Catalog::open`] runs a recovery sweep that deletes orphaned
+//! `*.tmp` files and ignores metadata versions that do not parse.
+//!
+//! Encoded media carries a per-GOP IEEE CRC-32 in the GOP index
+//! (`lightdb_container::checksum`; digest `0` = unchecked legacy
+//! entry) that is re-verified on every buffer-pool load, so silent
+//! corruption is detected below the codec. Transient read errors
+//! (`Interrupted`, `WouldBlock`, `TimedOut`) are retried with bounded
+//! exponential backoff. The [`faults`] module provides the
+//! fault-injection failpoints that exercise all of this in tests.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod bufferpool;
 pub mod catalog;
+mod durable;
+pub mod faults;
 pub mod media;
 pub mod snapshot;
 
@@ -39,6 +64,30 @@ pub enum StorageError {
     UnknownVersion { name: String, version: u64 },
     AlreadyExists(String),
     Corrupt(String),
+    /// A GOP's bytes failed CRC-32 verification on load.
+    ChecksumMismatch {
+        media_path: String,
+        /// Byte offset of the corrupt GOP within the media file.
+        byte_offset: u64,
+        expected: u32,
+        actual: u32,
+    },
+}
+
+impl StorageError {
+    /// True for errors that mean *this piece of data is damaged*
+    /// (rather than the whole operation being impossible) — a scan
+    /// running under a skip-corruption read policy may skip the
+    /// affected GOP and continue.
+    pub fn is_data_corruption(&self) -> bool {
+        matches!(
+            self,
+            StorageError::ChecksumMismatch { .. }
+                | StorageError::Corrupt(_)
+                | StorageError::Container(_)
+                | StorageError::Codec(_)
+        )
+    }
 }
 
 impl std::fmt::Display for StorageError {
@@ -53,6 +102,13 @@ impl std::fmt::Display for StorageError {
             }
             StorageError::AlreadyExists(n) => write!(f, "TLF already exists: {n}"),
             StorageError::Corrupt(m) => write!(f, "corrupt storage: {m}"),
+            StorageError::ChecksumMismatch { media_path, byte_offset, expected, actual } => {
+                write!(
+                    f,
+                    "checksum mismatch in {media_path} at byte {byte_offset}: \
+                     expected {expected:#010x}, got {actual:#010x}"
+                )
+            }
         }
     }
 }

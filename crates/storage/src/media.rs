@@ -1,8 +1,15 @@
 //! Encoded-media file access.
+//!
+//! Writes follow the crash-consistent publish protocol of
+//! [`crate::durable`] (temp file → `sync_all` → atomic rename →
+//! directory fsync). Reads retry transient I/O errors with bounded
+//! backoff and verify per-GOP CRC-32 digests before returning bytes.
 
-use crate::Result;
+use crate::durable::{self, TmpGuard};
+use crate::faults::{self, sites};
+use crate::{Result, StorageError};
 use lightdb_codec::VideoStream;
-use lightdb_container::GopIndexEntry;
+use lightdb_container::{checksum, GopIndexEntry};
 use std::fs;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
@@ -30,28 +37,61 @@ impl MediaStore {
         self.dir.join(media_path)
     }
 
-    /// Writes a complete encoded stream to `media_path`.
+    /// Writes a complete encoded stream to `media_path` using the
+    /// crash-consistent publish protocol: temp file → `sync_all` →
+    /// atomic rename → directory fsync. On any failure the temp file
+    /// is removed before the error propagates.
     pub fn write_stream(&self, media_path: &str, stream: &VideoStream) -> Result<()> {
         fs::create_dir_all(&self.dir)?;
-        let tmp = self.dir.join(format!(".{media_path}.tmp"));
-        fs::write(&tmp, stream.to_bytes())?;
-        fs::rename(&tmp, self.path_of(media_path))?;
+        let mut bytes = stream.to_bytes();
+        faults::mangle(sites::MEDIA_WRITE_BYTES, &mut bytes);
+        let tmp = self.dir.join(durable::tmp_name(media_path));
+        let guard = TmpGuard::new(tmp.clone());
+        durable::write_durable(&tmp, &bytes, sites::MEDIA_TMP_WRITE, sites::MEDIA_TMP_SYNC)?;
+        durable::publish(
+            &tmp,
+            &self.path_of(media_path),
+            &self.dir,
+            sites::MEDIA_PUBLISH_RENAME,
+            sites::MEDIA_DIR_SYNC,
+        )?;
+        guard.disarm();
         Ok(())
     }
 
-    /// Reads and parses a complete stream.
+    /// Reads and parses a complete stream. Transient I/O errors are
+    /// retried with bounded backoff.
     pub fn read_stream(&self, media_path: &str) -> Result<VideoStream> {
-        let bytes = fs::read(self.path_of(media_path))?;
+        let path = self.path_of(media_path);
+        let bytes = durable::retry_io(|| {
+            faults::fail_point(sites::MEDIA_READ)?;
+            fs::read(&path)
+        })?;
         Ok(VideoStream::from_bytes(&bytes)?)
     }
 
     /// Reads only the byte range of one GOP, using the GOP index —
-    /// no linear search through the encoded video data.
+    /// no linear search through the encoded video data. Transient I/O
+    /// errors are retried with bounded backoff, and the bytes are
+    /// verified against the entry's CRC-32 before being returned.
     pub fn read_gop_bytes(&self, media_path: &str, entry: &GopIndexEntry) -> Result<Vec<u8>> {
-        let mut f = fs::File::open(self.path_of(media_path))?;
-        f.seek(SeekFrom::Start(entry.byte_offset))?;
-        let mut buf = vec![0u8; entry.byte_len as usize];
-        f.read_exact(&mut buf)?;
+        let path = self.path_of(media_path);
+        let buf = durable::retry_io(|| {
+            faults::fail_point(sites::MEDIA_READ)?;
+            let mut f = fs::File::open(&path)?;
+            f.seek(SeekFrom::Start(entry.byte_offset))?;
+            let mut buf = vec![0u8; entry.byte_len as usize];
+            f.read_exact(&mut buf)?;
+            Ok(buf)
+        })?;
+        if !checksum::verify(&buf, entry.crc32) {
+            return Err(StorageError::ChecksumMismatch {
+                media_path: media_path.to_string(),
+                byte_offset: entry.byte_offset,
+                expected: entry.crc32,
+                actual: checksum::checksum(&buf),
+            });
+        }
         Ok(buf)
     }
 
@@ -118,5 +158,96 @@ mod tests {
     fn missing_file_is_an_error() {
         let store = MediaStore::new(temp_dir("missing"));
         assert!(store.read_stream("nope.lvc").is_err());
+    }
+
+    #[test]
+    fn failed_write_leaves_no_temp_file() {
+        faults::reset();
+        let store = MediaStore::new(temp_dir("tmpclean"));
+        for site in [sites::MEDIA_TMP_WRITE, sites::MEDIA_TMP_SYNC, sites::MEDIA_PUBLISH_RENAME] {
+            faults::arm_n(site, faults::Fault::Enospc, 1);
+            assert!(store.write_stream("s.lvc", &tiny_stream(2)).is_err(), "{site}");
+            let leftovers: Vec<_> = fs::read_dir(store.dir())
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().to_string())
+                .filter(|n| n.ends_with(".tmp"))
+                .collect();
+            assert!(leftovers.is_empty(), "{site} left temp files: {leftovers:?}");
+            assert!(!store.exists("s.lvc"), "{site} must not publish the file");
+        }
+        fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn transient_read_errors_are_retried() {
+        faults::reset();
+        let store = MediaStore::new(temp_dir("retry"));
+        let stream = tiny_stream(2);
+        store.write_stream("s.lvc", &stream).unwrap();
+        let entry = &Track::index_stream(&stream)[0];
+        faults::arm_n(
+            sites::MEDIA_READ,
+            faults::Fault::Transient(std::io::ErrorKind::Interrupted),
+            2,
+        );
+        // Two injected EINTRs, then the third attempt succeeds.
+        let bytes = store.read_gop_bytes("s.lvc", entry).unwrap();
+        assert!(checksum::verify(&bytes, entry.crc32));
+        // Both faulted attempts were counted (the successful third
+        // attempt runs with nothing armed, so it isn't).
+        assert_eq!(faults::hits(sites::MEDIA_READ), 2);
+        fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn hard_read_errors_are_not_retried_forever() {
+        faults::reset();
+        let store = MediaStore::new(temp_dir("hard"));
+        let stream = tiny_stream(2);
+        store.write_stream("s.lvc", &stream).unwrap();
+        let entry = &Track::index_stream(&stream)[0];
+        faults::arm(sites::MEDIA_READ, faults::Fault::Error(std::io::ErrorKind::PermissionDenied));
+        assert!(store.read_gop_bytes("s.lvc", entry).is_err());
+        assert_eq!(faults::hits(sites::MEDIA_READ), 1, "hard errors must fail fast");
+        faults::reset();
+        fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn corrupt_gop_fails_checksum_on_read() {
+        faults::reset();
+        let store = MediaStore::new(temp_dir("crc"));
+        let stream = tiny_stream(2);
+        store.write_stream("s.lvc", &stream).unwrap();
+        let entry = &Track::index_stream(&stream)[0];
+        // Flip one byte inside the GOP's range on disk.
+        let path = store.path_of("s.lvc");
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[entry.byte_offset as usize + 3] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+        match store.read_gop_bytes("s.lvc", entry) {
+            Err(crate::StorageError::ChecksumMismatch { byte_offset, expected, actual, .. }) => {
+                assert_eq!(byte_offset, entry.byte_offset);
+                assert_ne!(expected, actual);
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+        fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn torn_write_fault_is_caught_by_checksum() {
+        faults::reset();
+        let store = MediaStore::new(temp_dir("torn"));
+        let stream = tiny_stream(2);
+        let index = Track::index_stream(&stream);
+        // Keep the header plus half the payload: the publish
+        // "succeeds" but the data is torn.
+        let full = stream.to_bytes().len();
+        faults::arm_n(sites::MEDIA_WRITE_BYTES, faults::Fault::TruncateWrite { keep: full / 2 }, 1);
+        store.write_stream("s.lvc", &stream).unwrap();
+        // Some GOP read must fail — either short (io error) or corrupt.
+        assert!(index.iter().any(|e| store.read_gop_bytes("s.lvc", e).is_err()));
+        fs::remove_dir_all(store.dir()).unwrap();
     }
 }

@@ -95,6 +95,66 @@ fn corrupt_media_is_detected_on_decode() {
 }
 
 #[test]
+fn corrupt_media_is_caught_by_gop_checksum() {
+    let root = temp_root("crc");
+    let db = LightDb::open(&root).unwrap();
+    install(&db, Dataset::Timelapse, &tiny()).unwrap();
+    // Flip a single byte inside the first GOP's indexed byte range —
+    // subtle damage that container parsing alone may not notice.
+    let stored = db.catalog().read("timelapse", None).unwrap();
+    let track = &stored.metadata.tracks[0];
+    let entry = &track.gop_index[0];
+    let media = root.join("timelapse").join(&track.media_path);
+    let mut bytes = std::fs::read(&media).unwrap();
+    bytes[(entry.byte_offset + entry.byte_len / 2) as usize] ^= 0x80;
+    std::fs::write(&media, &bytes).unwrap();
+    // Default policy: the checksum mismatch fails the query.
+    let db2 = LightDb::open(&root).unwrap();
+    let err = db2.execute(&scan("timelapse")).unwrap_err();
+    assert!(format!("{err}").contains("checksum"), "unexpected error: {err}");
+    // SkipCorruptGops: the query degrades instead of failing, and the
+    // skip is observable in the metrics.
+    let mut db3 = LightDb::open(&root).unwrap();
+    db3.set_read_policy(ReadPolicy::SkipCorruptGops { max_skipped: 8 });
+    let out = db3.execute(&scan("timelapse")).unwrap();
+    assert!(out.frame_count() < 4, "damaged GOP must be dropped from output");
+    assert!(db3.metrics().counter(lightdb::exec::metrics::counters::SKIPPED_GOPS) >= 1);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn crash_between_media_write_and_metadata_publish_is_recovered() {
+    use lightdb_storage::faults::{self, sites, Fault};
+    faults::reset();
+    let root = temp_root("crashpub");
+    {
+        let db = LightDb::open(&root).unwrap();
+        install(&db, Dataset::Timelapse, &tiny()).unwrap();
+        // The copy's media file lands on disk, but the process "dies"
+        // before the metadata that would reference it is published.
+        db.execute(&(scan("timelapse") >> Store::named("copy"))).unwrap();
+        faults::arm_n(sites::CATALOG_TMP_WRITE, Fault::Error(std::io::ErrorKind::Other), 1);
+        assert!(db.execute(&(scan("timelapse") >> Store::named("copy"))).is_err());
+        faults::reset();
+    }
+    // Restart: only the committed version survives, no temp debris.
+    let db = LightDb::open(&root).unwrap();
+    assert_eq!(db.catalog().all_versions("copy").unwrap(), vec![1]);
+    let debris: Vec<_> = std::fs::read_dir(root.join("copy"))
+        .unwrap()
+        .filter(|e| {
+            e.as_ref().unwrap().file_name().to_string_lossy().ends_with(".tmp")
+        })
+        .collect();
+    assert!(debris.is_empty(), "recovery must sweep temp files: {debris:?}");
+    assert_eq!(db.execute(&scan("copy")).unwrap().frame_count(), 4);
+    // The interrupted store can simply be retried.
+    db.execute(&(scan("timelapse") >> Store::named("copy"))).unwrap();
+    assert_eq!(db.catalog().all_versions("copy").unwrap(), vec![1, 2]);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn drop_removes_content_from_disk() {
     let root = temp_root("drop");
     let db = LightDb::open(&root).unwrap();

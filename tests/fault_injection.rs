@@ -1,0 +1,249 @@
+//! Fault-injection integration tests: deterministic kill-points
+//! through the `STORE` publish protocol, checksum-detected
+//! corruption under both read policies, and retrying reads.
+//!
+//! Faults armed through `lightdb_storage::faults` are thread-local,
+//! so every test arms and executes on its own test thread without
+//! interfering with the others.
+
+use lightdb::prelude::*;
+use lightdb_codec::{Encoder, EncoderConfig, VideoStream};
+use lightdb_container::{TlfDescriptor, TrackRole};
+use lightdb_exec::metrics::counters;
+use lightdb_geom::projection::ProjectionKind;
+use lightdb_storage::catalog::TrackWrite;
+use lightdb_storage::faults::{self, sites, Fault};
+use lightdb_storage::Catalog;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn temp_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("lightdb-fault-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    root
+}
+
+fn tiny_stream() -> VideoStream {
+    let frames: Vec<Frame> =
+        (0..4).map(|i| Frame::filled(32, 32, Yuv::new((i * 50) as u8, 128, 128))).collect();
+    Encoder::new(EncoderConfig { gop_length: 2, fps: 2, qp: 30, ..Default::default() })
+        .unwrap()
+        .encode(&frames)
+        .unwrap()
+}
+
+fn new_track() -> TrackWrite {
+    TrackWrite::New {
+        role: TrackRole::Video,
+        projection: ProjectionKind::Equirectangular,
+        stream: tiny_stream(),
+    }
+}
+
+fn sphere_tlfd() -> TlfDescriptor {
+    TlfDescriptor::single_sphere(Point3::ORIGIN, Interval::new(0.0, 2.0), 0)
+}
+
+fn tmp_debris(dir: &Path) -> Vec<String> {
+    match fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().to_string())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// The core crash-consistency invariant: killing a `STORE` at *every*
+/// step of the publish protocol leaves the catalog at either the old
+/// version or the new version — never a half-published state.
+#[test]
+fn store_kill_points_leave_old_version_or_new_never_partial() {
+    for (i, &site) in sites::PUBLISH_SEQUENCE.iter().enumerate() {
+        faults::reset();
+        let root = temp_root(&format!("kill{i}"));
+        // Establish version 1, fault-free.
+        {
+            let cat = Catalog::open(&root).unwrap();
+            cat.store("demo", vec![new_track()], sphere_tlfd()).unwrap();
+        }
+        // Kill the next store at `site`.
+        let cat = Catalog::open(&root).unwrap();
+        faults::arm_n(site, Fault::Error(std::io::ErrorKind::Other), 1);
+        let stored = cat.store("demo", vec![new_track()], sphere_tlfd());
+        faults::reset();
+        // Steps after the metadata rename (the commit point) may fail
+        // without un-committing; every earlier step must fail the store.
+        if site != sites::CATALOG_DIR_SYNC {
+            assert!(stored.is_err(), "kill at {site} must fail the store");
+        }
+        // "Process restart": recover from disk alone.
+        let cat = Catalog::open(&root).unwrap();
+        let versions = cat.all_versions("demo").unwrap();
+        assert!(
+            versions == vec![1] || versions == vec![1, 2],
+            "kill at {site}: recovered versions {versions:?} are neither old nor old+new"
+        );
+        // Whatever is listed must be fully readable — metadata parses
+        // and every GOP passes its checksum.
+        for &v in &versions {
+            let stored = cat.read("demo", Some(v)).unwrap();
+            let media = stored.media();
+            for t in &stored.metadata.tracks {
+                for e in &t.gop_index {
+                    media
+                        .read_gop_bytes(&t.media_path, e)
+                        .unwrap_or_else(|err| panic!("kill at {site}: v{v} unreadable: {err}"));
+                }
+            }
+        }
+        // The recovery sweep leaves no temp debris behind.
+        assert_eq!(tmp_debris(&root.join("demo")), Vec::<String>::new(), "kill at {site}");
+        // And the catalog accepts a subsequent fault-free store.
+        let v = cat.store("demo", vec![new_track()], sphere_tlfd()).unwrap();
+        assert_eq!(v, *versions.last().unwrap() + 1, "kill at {site}");
+        let _ = fs::remove_dir_all(&root);
+    }
+}
+
+/// A crash between writing media and publishing metadata must leave
+/// the old version intact; the orphaned media file is harmless and
+/// the next store reuses its version slot.
+#[test]
+fn crash_between_media_write_and_metadata_publish_recovers() {
+    faults::reset();
+    let root = temp_root("mediameta");
+    {
+        let cat = Catalog::open(&root).unwrap();
+        cat.store("demo", vec![new_track()], sphere_tlfd()).unwrap();
+        // Fail at the metadata temp write: media for v2 is already on
+        // disk, but the version never publishes.
+        faults::arm_n(sites::CATALOG_TMP_WRITE, Fault::Enospc, 1);
+        assert!(cat.store("demo", vec![new_track()], sphere_tlfd()).is_err());
+        faults::reset();
+        // The orphan media file exists but no metadata references it.
+        assert!(root.join("demo").join("stream2_0.lvc").exists());
+    }
+    let cat = Catalog::open(&root).unwrap();
+    assert_eq!(cat.all_versions("demo").unwrap(), vec![1]);
+    // Retrying the store commits version 2 over the orphan.
+    assert_eq!(cat.store("demo", vec![new_track()], sphere_tlfd()).unwrap(), 2);
+    assert_eq!(cat.read("demo", Some(2)).unwrap().version, 2);
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// ENOSPC during the media write fails the store cleanly: no temp
+/// files, no partial version, old data still queryable end-to-end.
+#[test]
+fn enospc_mid_store_preserves_queryable_old_state() {
+    faults::reset();
+    let root = temp_root("enospc");
+    let db = LightDb::open(&root).unwrap();
+    lightdb::ingest::store_frames(
+        &db,
+        "src",
+        &(0..4).map(|i| Frame::filled(32, 32, Yuv::new((i * 60) as u8, 128, 128))).collect::<Vec<_>>(),
+        &lightdb::ingest::IngestConfig { fps: 2, gop_length: 2, ..Default::default() },
+    )
+    .unwrap();
+    faults::arm_n(sites::MEDIA_TMP_WRITE, Fault::Enospc, 1);
+    let r = db.execute(&(scan("src") >> Store::named("dst")));
+    faults::reset();
+    assert!(r.is_err(), "store must surface the ENOSPC");
+    assert!(!db.catalog().exists("dst"));
+    assert_eq!(tmp_debris(&root.join("dst")), Vec::<String>::new());
+    // The source TLF still scans.
+    assert_eq!(db.execute(&scan("src")).unwrap().frame_count(), 4);
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// A flipped byte in stored media is caught by the per-GOP checksum:
+/// the default policy fails the query, while `SkipCorruptGops`
+/// degrades output and reports the skip through exec metrics.
+#[test]
+fn flipped_byte_detected_under_both_read_policies() {
+    faults::reset();
+    let root = temp_root("flip");
+    {
+        let db = LightDb::open(&root).unwrap();
+        lightdb::ingest::store_frames(
+            &db,
+            "vid",
+            &(0..4).map(|i| Frame::filled(32, 32, Yuv::new((i * 60) as u8, 128, 128))).collect::<Vec<_>>(),
+            &lightdb::ingest::IngestConfig { fps: 2, gop_length: 2, ..Default::default() },
+        )
+        .unwrap();
+        // Flip one byte in the middle of the first GOP's byte range.
+        let stored = db.catalog().read("vid", None).unwrap();
+        let track = &stored.metadata.tracks[0];
+        let entry = &track.gop_index[0];
+        let media = root.join("vid").join(&track.media_path);
+        let mut bytes = fs::read(&media).unwrap();
+        bytes[(entry.byte_offset + entry.byte_len / 2) as usize] ^= 0x01;
+        fs::write(&media, &bytes).unwrap();
+    }
+    // Default policy: the corruption fails the query.
+    let db = LightDb::open(&root).unwrap();
+    let err = db.execute(&scan("vid")).unwrap_err();
+    assert!(format!("{err}").contains("checksum"), "unexpected error: {err}");
+    // Skip policy: the query degrades instead, and the skip is counted.
+    let mut db = LightDb::open(&root).unwrap();
+    db.set_read_policy(ReadPolicy::SkipCorruptGops { max_skipped: 4 });
+    let out = db.execute(&scan("vid")).unwrap();
+    assert_eq!(out.frame_count(), 2, "one 2-frame GOP should have been skipped");
+    assert_eq!(db.metrics().counter(counters::SKIPPED_GOPS), 1);
+    // A zero budget behaves like Fail.
+    let mut db = LightDb::open(&root).unwrap();
+    db.set_read_policy(ReadPolicy::SkipCorruptGops { max_skipped: 0 });
+    assert!(db.execute(&scan("vid")).is_err());
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// Transient I/O errors (EINTR-style) on the media read path are
+/// retried and the query succeeds.
+#[test]
+fn transient_read_errors_are_invisible_to_queries() {
+    faults::reset();
+    let root = temp_root("transient");
+    let db = LightDb::open(&root).unwrap();
+    lightdb::ingest::store_frames(
+        &db,
+        "vid",
+        &(0..4).map(|i| Frame::filled(32, 32, Yuv::new((i * 60) as u8, 128, 128))).collect::<Vec<_>>(),
+        &lightdb::ingest::IngestConfig { fps: 2, gop_length: 2, ..Default::default() },
+    )
+    .unwrap();
+    faults::arm_n(sites::MEDIA_READ, Fault::Transient(std::io::ErrorKind::Interrupted), 2);
+    let out = db.execute(&scan("vid")).unwrap();
+    faults::reset();
+    assert_eq!(out.frame_count(), 4);
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// Torn writes injected below the publish layer are caught at read
+/// time by the checksum even though the store itself "succeeded".
+#[test]
+fn torn_media_write_is_caught_on_first_scan() {
+    faults::reset();
+    let root = temp_root("torn");
+    let cat = Catalog::open(&root).unwrap();
+    let full_len = tiny_stream().to_bytes().len();
+    faults::arm_n(sites::MEDIA_WRITE_BYTES, Fault::TruncateWrite { keep: full_len / 2 }, 1);
+    // The store publishes — the corruption is silent at write time.
+    let stored = cat.store("demo", vec![new_track()], sphere_tlfd());
+    faults::reset();
+    if stored.is_err() {
+        // Acceptable: the torn stream may already fail validation
+        // during the store itself.
+        let _ = fs::remove_dir_all(&root);
+        return;
+    }
+    let tlf = cat.read("demo", None).unwrap();
+    let media = tlf.media();
+    let damaged = tlf.metadata.tracks.iter().any(|t| {
+        t.gop_index.iter().any(|e| media.read_gop_bytes(&t.media_path, e).is_err())
+    });
+    assert!(damaged, "a torn media write must be detected on read");
+    let _ = fs::remove_dir_all(&root);
+}

@@ -113,6 +113,7 @@ proptest! {
                     frame_count: fc,
                     byte_offset: off,
                     byte_len: len,
+                    crc32: 0,
                 };
                 start += fc;
                 e
