@@ -1,0 +1,5 @@
+//! Serial vs. parallel chunk-pipeline scaling (see the tentpole
+//! "parallel execution layer" in DESIGN.md).
+fn main() {
+    lightdb_bench::parallel_scaling::print();
+}

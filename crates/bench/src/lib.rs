@@ -19,6 +19,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod parallel_scaling;
 pub mod setup;
 pub mod tables;
 

@@ -1,0 +1,155 @@
+//! Serial vs. parallel executor comparison: a multi-GOP,
+//! decode-heavy query (SCAN → DECODE → MAP(BLUR) → ENCODE) run with
+//! one worker thread and with `LIGHTDB_THREADS`-many (default 8).
+//!
+//! Besides wall-clock speedup, the harness asserts the parallel
+//! output is byte-identical to the serial output — the ordering
+//! guarantee of `exec::parallel` — and reports per-operator busy vs.
+//! wall time so overlap is visible (busy/wall ≈ effective
+//! parallelism).
+
+use lightdb::prelude::*;
+use std::path::PathBuf;
+
+/// One measured configuration.
+pub struct Measurement {
+    pub threads: usize,
+    pub secs: f64,
+    /// Serialized output streams, for byte-comparison across runs.
+    pub bytes: Vec<Vec<u8>>,
+    pub frames: usize,
+}
+
+fn dataset_root() -> PathBuf {
+    std::env::temp_dir().join(format!("lightdb-pscale-{}", std::process::id()))
+}
+
+/// Builds a fresh database holding a multi-GOP dataset sized for the
+/// scaling run: `gops` GOPs of `gop_length` frames at `w`×`h`.
+pub fn build_db(gops: usize, gop_length: usize, w: usize, h: usize) -> LightDb {
+    let root = dataset_root();
+    let _ = std::fs::remove_dir_all(&root);
+    let db = LightDb::open(&root).expect("open scaling db");
+    let frames: Vec<Frame> = (0..gops * gop_length)
+        .map(|i| {
+            let mut f = Frame::new(w, h);
+            for y in 0..h {
+                for x in 0..w {
+                    f.set(
+                        x,
+                        y,
+                        Yuv::new(
+                            ((x * 3 + y * 5 + i * 7) % 256) as u8,
+                            ((x + i) % 256) as u8,
+                            ((y + 2 * i) % 256) as u8,
+                        ),
+                    );
+                }
+            }
+            f
+        })
+        .collect();
+    lightdb::ingest::store_frames(
+        &db,
+        "pscale",
+        &frames,
+        &lightdb::ingest::IngestConfig {
+            fps: gop_length as u32,
+            gop_length,
+            ..Default::default()
+        },
+    )
+    .expect("ingest scaling dataset");
+    db
+}
+
+/// Runs the decode-heavy query at the given thread count.
+pub fn run(db: &mut LightDb, threads: usize) -> Measurement {
+    db.set_parallelism(Parallelism::new(threads));
+    let q = scan("pscale")
+        >> Map::builtin(BuiltinMap::Blur)
+        >> Encode::with(CodecKind::H264Sim);
+    let (secs, out) = crate::timed(|| db.execute(&q).expect("scaling query"));
+    let frames = out.frame_count();
+    let QueryOutput::Encoded(streams) = out else { panic!("expected encoded output") };
+    Measurement { threads, secs, bytes: streams.iter().map(|s| s.to_bytes()).collect(), frames }
+}
+
+/// Regenerates the serial-vs-parallel scaling table.
+pub fn print() {
+    let threads = std::env::var("LIGHTDB_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 1)
+        .unwrap_or(8);
+    // Decode-heavy: many GOPs, modest frames — DECODE+MAP+ENCODE all
+    // scale per chunk.
+    let (gops, gop_length, w, h) = (24, 8, 256, 128);
+    let mut db = build_db(gops, gop_length, w, h);
+    // Warm the buffer pool so both timed runs read from cache.
+    let _ = run(&mut db, 1);
+
+    let serial = run(&mut db, 1);
+    let parallel = run(&mut db, threads);
+    let identical = serial.bytes == parallel.bytes;
+    let speedup = serial.secs / parallel.secs.max(1e-9);
+
+    println!(
+        "\nParallel scaling — SCAN>DECODE>MAP(BLUR)>ENCODE, {gops} GOPs × {gop_length} frames @ {w}x{h}\n"
+    );
+    crate::row("config", &["secs".into(), "fps".into(), "speedup".into()]);
+    crate::row(
+        "serial (1 thread)",
+        &[
+            format!("{:.3}", serial.secs),
+            crate::fmt_fps(crate::fps(serial.frames, serial.secs)),
+            "1.00x".into(),
+        ],
+    );
+    crate::row(
+        &format!("parallel ({threads} threads)"),
+        &[
+            format!("{:.3}", parallel.secs),
+            crate::fmt_fps(crate::fps(parallel.frames, parallel.secs)),
+            format!("{speedup:.2}x"),
+        ],
+    );
+    println!(
+        "\noutput byte-identical to serial: {}",
+        if identical { "yes" } else { "NO (BUG)" }
+    );
+    let m = db.metrics();
+    println!("\nper-operator busy vs wall (busy/wall ~ effective parallelism):");
+    for (op, busy, wall, count) in m.report_wall() {
+        if count == 0 || busy.as_secs_f64() < 1e-4 {
+            continue;
+        }
+        println!(
+            "  {op:<12} busy {:>8.3}s  wall {:>8.3}s  x{:.2}  ({count} calls)",
+            busy.as_secs_f64(),
+            wall.as_secs_f64(),
+            busy.as_secs_f64() / wall.as_secs_f64().max(1e-9),
+        );
+    }
+    assert!(identical, "parallel output must be byte-identical to serial");
+    let _ = std::fs::remove_dir_all(dataset_root());
+    if speedup < 2.0 {
+        println!("\nWARNING: speedup {speedup:.2}x below the 2x target (machine may lack cores)");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small-scale smoke: parallel output matches serial bytes.
+    #[test]
+    fn parallel_output_matches_serial() {
+        let mut db = build_db(4, 2, 64, 32);
+        let serial = run(&mut db, 1);
+        let parallel = run(&mut db, 4);
+        assert_eq!(serial.bytes, parallel.bytes);
+        assert_eq!(serial.frames, 8);
+        let _ = std::fs::remove_dir_all(dataset_root());
+    }
+}

@@ -75,3 +75,92 @@ impl std::fmt::Display for CodecError {
 impl std::error::Error for CodecError {}
 
 pub type Result<T> = std::result::Result<T, CodecError>;
+
+// The parallel executor runs encode/decode on scoped worker threads;
+// the codec entry points and payload types must stay `Send + Sync`
+// (they hold no shared mutable state — each call owns its buffers).
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Decoder>();
+    assert_send_sync::<Encoder>();
+    assert_send_sync::<EncoderConfig>();
+    assert_send_sync::<VideoStream>();
+    assert_send_sync::<EncodedGop>();
+    assert_send_sync::<SequenceHeader>();
+    assert_send_sync::<CodecError>();
+};
+
+#[cfg(test)]
+mod concurrency_tests {
+    use super::*;
+    use lightdb_frame::{Frame, Yuv};
+
+    fn textured(seed: usize) -> Vec<Frame> {
+        (0..4)
+            .map(|i| {
+                let mut f = Frame::new(64, 32);
+                for y in 0..32 {
+                    for x in 0..64 {
+                        f.set(
+                            x,
+                            y,
+                            Yuv::new(
+                                ((x * 3 + y * 7 + i * 11 + seed * 17) % 256) as u8,
+                                128,
+                                128,
+                            ),
+                        );
+                    }
+                }
+                f
+            })
+            .collect()
+    }
+
+    /// Encode and decode concurrently from many threads; every thread
+    /// must get bytes identical to a serial reference run. This is the
+    /// property the chunk-parallel DECODE/ENCODE operators rely on.
+    #[test]
+    fn concurrent_encode_decode_matches_serial() {
+        let reference: Vec<(VideoStream, Vec<Frame>)> = (0..4)
+            .map(|seed| {
+                let frames = textured(seed);
+                let stream = Encoder::new(EncoderConfig {
+                    gop_length: 2,
+                    qp: 24,
+                    ..Default::default()
+                })
+                .unwrap()
+                .encode(&frames)
+                .unwrap();
+                let decoded = Decoder::new().decode(&stream).unwrap();
+                (stream, decoded)
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for seed in 0..4usize {
+                let reference = &reference;
+                s.spawn(move || {
+                    for _ in 0..4 {
+                        let frames = textured(seed);
+                        let stream = Encoder::new(EncoderConfig {
+                            gop_length: 2,
+                            qp: 24,
+                            ..Default::default()
+                        })
+                        .unwrap()
+                        .encode(&frames)
+                        .unwrap();
+                        assert_eq!(
+                            stream.to_bytes(),
+                            reference[seed].0.to_bytes(),
+                            "concurrent encode diverged from serial"
+                        );
+                        let decoded = Decoder::new().decode(&stream).unwrap();
+                        assert_eq!(decoded, reference[seed].1);
+                    }
+                });
+            }
+        });
+    }
+}

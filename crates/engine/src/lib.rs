@@ -33,7 +33,7 @@ use lightdb_core::algebra::{LogicalOp, LogicalPlan};
 use lightdb_core::subgraph::{self, UdfRegistry};
 use lightdb_core::udf::{InterpUdf, MapUdf};
 use lightdb_core::vrql::VrqlExpr;
-use lightdb_exec::{Executor, Metrics, QueryOutput, ReadPolicy};
+use lightdb_exec::{Executor, Metrics, Parallelism, QueryOutput, ReadPolicy};
 use lightdb_optimizer::{Planner, PlannerOptions};
 use lightdb_storage::{BufferPool, Catalog, Snapshot};
 use std::path::Path;
@@ -48,7 +48,7 @@ pub mod prelude {
     pub use lightdb_core::udf::{BuiltinInterp, BuiltinMap, InterpUdf, MapUdf, PointMapUdf};
     pub use lightdb_core::vrql::*;
     pub use lightdb_core::{MergeFunction, Quality};
-    pub use lightdb_exec::{QueryOutput, ReadPolicy};
+    pub use lightdb_exec::{Parallelism, QueryOutput, ReadPolicy};
     pub use lightdb_frame::{Frame, Yuv};
     pub use lightdb_geom::{Dimension, Interval, Point3, Volume};
     pub use lightdb_optimizer::PlannerOptions;
@@ -122,6 +122,7 @@ pub struct LightDb {
     pool: Arc<BufferPool>,
     options: PlannerOptions,
     read_policy: ReadPolicy,
+    parallelism: Parallelism,
     metrics: Metrics,
     udfs: UdfRegistry,
 }
@@ -141,6 +142,7 @@ impl LightDb {
             pool: Arc::new(BufferPool::new(DEFAULT_POOL_BYTES)),
             options,
             read_policy: ReadPolicy::default(),
+            parallelism: Parallelism::from_env(),
             metrics: Metrics::new(),
             udfs: UdfRegistry::new(),
         })
@@ -177,6 +179,20 @@ impl LightDb {
     /// `metrics().counter(lightdb_exec::metrics::counters::SKIPPED_GOPS)`.
     pub fn set_read_policy(&mut self, policy: ReadPolicy) {
         self.read_policy = policy;
+    }
+
+    /// Current worker-thread budget for chunk-parallel operators.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Sets the worker-thread budget for chunk-parallel operators
+    /// (DECODE/ENCODE/MAP and STORE's auto-encode).
+    /// [`Parallelism::SERIAL`] forces single-threaded execution; the
+    /// default honours the `LIGHTDB_THREADS` environment variable.
+    /// Query output is byte-identical at any setting.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
     }
 
     /// Cumulative per-operator execution metrics.
@@ -230,6 +246,7 @@ impl LightDb {
         executor.metrics = self.metrics.clone();
         executor.spatial_index = self.options.use_indexes;
         executor.read_policy = self.read_policy;
+        executor.parallelism = self.parallelism;
         let out = executor.run(&physical)?;
         if let QueryOutput::Stored { name, version } = &out {
             snapshot.expose(name, *version);

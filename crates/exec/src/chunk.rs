@@ -180,6 +180,16 @@ impl Iterator for TimeGrouped {
     }
 }
 
+// Chunks are the unit of work the parallel layer scatters across
+// scoped worker threads (see [`crate::parallel`]); the payload types
+// must stay `Send + Sync`.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Chunk>();
+    assert_send_sync::<ChunkPayload>();
+    assert_send_sync::<StreamInfo>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -85,15 +85,8 @@ pub fn gpu_row_kernel(
         kernel(src, &mut dst, 0, h);
         return dst;
     }
-    // Bands must be 2-aligned so chroma rows split cleanly.
-    let band = (h / workers + 1) & !1;
-    let mut bands: Vec<(usize, usize)> = Vec::new();
-    let mut lo = 0;
-    while lo < h {
-        let hi = (lo + band).min(h);
-        bands.push((lo, hi));
-        lo = hi;
-    }
+    // Bands are 2-aligned so chroma rows split cleanly.
+    let bands = lightdb_frame::kernels::row_bands(h, workers);
     let outputs = gpu_map(bands, |_, (lo, hi)| {
         // A fresh (zeroed) frame per band: the kernel writes only
         // rows [lo, hi), so cloning the source would be wasted work.

@@ -4,6 +4,7 @@ use crate::chunk::{Chunk, ChunkPayload, TimeGrouped};
 use crate::frameops;
 use crate::hops;
 use crate::metrics::Metrics;
+use crate::parallel::Parallelism;
 use crate::plan::PhysicalPlan;
 use crate::sources;
 use crate::{ChunkStream, ExecError, ReadPolicy, Result};
@@ -70,6 +71,11 @@ pub struct Executor {
     pub spatial_index: bool,
     /// What scans do when a stored GOP turns out to be corrupt.
     pub read_policy: ReadPolicy,
+    /// Worker-thread budget for chunk-parallel operators (DECODE,
+    /// ENCODE, MAP, and STORE's auto-encode). Defaults to
+    /// [`Parallelism::from_env`] (`LIGHTDB_THREADS`); output is
+    /// byte-identical at any setting.
+    pub parallelism: Parallelism,
 }
 
 impl Executor {
@@ -80,6 +86,7 @@ impl Executor {
             metrics: Metrics::new(),
             spatial_index: true,
             read_policy: ReadPolicy::default(),
+            parallelism: Parallelism::from_env(),
         }
     }
 
@@ -139,10 +146,17 @@ impl Executor {
                 Box::new(std::iter::once(Ok(c.clone())))
             }
             PhysicalPlan::ToFrames { input, device } => {
-                frameops::decode_chunks(self.build(input, sub)?, *device, m)
+                frameops::decode_chunks_par(self.build(input, sub)?, *device, m, self.parallelism)
             }
             PhysicalPlan::FromFrames { input, device, codec, qp } => {
-                frameops::encode_chunks(self.build(input, sub)?, *device, *codec, *qp, m)
+                frameops::encode_chunks_par(
+                    self.build(input, sub)?,
+                    *device,
+                    *codec,
+                    *qp,
+                    m,
+                    self.parallelism,
+                )
             }
             PhysicalPlan::Transfer { input, to } => {
                 frameops::transfer(self.build(input, sub)?, *to, m)
@@ -176,12 +190,17 @@ impl Executor {
                     let udf = udf.clone();
                     let metrics = m.clone();
                     let input = self.build(input, sub)?;
-                    Box::new(input.map(move |c| {
-                        let c = c?;
+                    crate::parallel::par_map_chunks(input, self.parallelism, move |c| {
                         metrics.time("MAP", || frameops::apply_point_map(&c, udf.as_ref()))
-                    }))
+                    })
                 }
-                _ => frameops::map_frames(self.build(input, sub)?, f.clone(), *device, m),
+                _ => frameops::map_frames_par(
+                    self.build(input, sub)?,
+                    f.clone(),
+                    *device,
+                    m,
+                    self.parallelism,
+                ),
             },
             PhysicalPlan::InterpolateFrames { input, f, device } => {
                 frameops::interpolate_frames(self.build(input, sub)?, f.clone(), *device, m)
@@ -315,11 +334,12 @@ impl Executor {
         let mut points = Vec::with_capacity(parts.len());
         let mut volume: Option<Volume> = None;
         for (ti, p) in parts.iter().enumerate() {
-            // Auto-encode any decoded chunks (STORE persists encoded).
-            let encoded: Vec<Chunk> = p
-                .chunks
-                .iter()
-                .map(|c| match &c.payload {
+            // Auto-encode any decoded chunks (STORE persists encoded);
+            // each chunk is an independent GOP, so fan out.
+            let encoded: Vec<Chunk> = crate::parallel::scatter(
+                p.chunks.iter().collect::<Vec<&Chunk>>(),
+                self.parallelism.threads(),
+                |_, c| match &c.payload {
                     ChunkPayload::Encoded { .. } => Ok(c.clone()),
                     ChunkPayload::Decoded { frames, device } => {
                         self.metrics.time("ENCODE", || {
@@ -332,8 +352,10 @@ impl Executor {
                             )
                         })
                     }
-                })
-                .collect::<Result<Vec<_>>>()?;
+                },
+            )
+            .into_iter()
+            .collect::<Result<Vec<_>>>()?;
             let stream = assemble_stream(&encoded)?;
             tracks.push(TrackWrite::New {
                 role: TrackRole::Video,

@@ -9,6 +9,7 @@
 use crate::chunk::{is_omega, Chunk, ChunkPayload, TimeGrouped};
 use crate::device::{gpu_map, gpu_row_kernel, transfer_frames, Device};
 use crate::metrics::Metrics;
+use crate::parallel::{par_map_chunks, Parallelism};
 use crate::{ChunkStream, ExecError, Result};
 use lightdb_codec::encoder::encode_tile_opts;
 use lightdb_codec::gop::{EncodedFrame, EncodedGop, FrameType};
@@ -27,40 +28,51 @@ pub const GPU_SEARCH_RANGE: i32 = 4;
 /// `DECODE`: encoded chunks → decoded frames on `device`. The GPU
 /// variant decodes a tiled frame's tiles in parallel.
 pub fn decode_chunks(input: ChunkStream, device: Device, metrics: Metrics) -> ChunkStream {
-    Box::new(input.map(move |c| {
-        let c = c?;
-        match c.payload {
-            ChunkPayload::Decoded { .. } => Ok(c), // already decoded
-            ChunkPayload::Encoded { header, ref gop } => {
-                let frames = metrics.time("DECODE", || -> Result<Vec<Frame>> {
-                    let dec = Decoder::new();
-                    if device == Device::Gpu && header.grid.tile_count() > 1 {
-                        // Parallel per-tile decode, then blit.
-                        let tiles: Vec<usize> = (0..header.grid.tile_count()).collect();
-                        let parts = gpu_map(tiles, |_, t| {
-                            dec.decode_gop_tile(&header, gop, t).map(|fs| (t, fs))
-                        });
-                        let mut frames =
-                            vec![Frame::new(header.width, header.height); gop.frame_count()];
-                        for r in parts {
-                            let (t, fs) = r?;
-                            let rect = header.grid.tile_rect(t, header.width, header.height);
-                            for (f, tf) in frames.iter_mut().zip(fs.iter()) {
-                                f.blit(tf, rect.x0, rect.y0);
-                            }
+    decode_chunks_par(input, device, metrics, Parallelism::SERIAL)
+}
+
+/// Chunk-parallel `DECODE`: independent GOPs decode on up to
+/// `par.threads()` workers; output order (and bytes) match the serial
+/// path.
+pub fn decode_chunks_par(
+    input: ChunkStream,
+    device: Device,
+    metrics: Metrics,
+    par: Parallelism,
+) -> ChunkStream {
+    par_map_chunks(input, par, move |c| decode_one(c, device, &metrics))
+}
+
+/// Decodes one chunk (no-op when already decoded).
+pub fn decode_one(c: Chunk, device: Device, metrics: &Metrics) -> Result<Chunk> {
+    match c.payload {
+        ChunkPayload::Decoded { .. } => Ok(c), // already decoded
+        ChunkPayload::Encoded { header, ref gop } => {
+            let frames = metrics.time("DECODE", || -> Result<Vec<Frame>> {
+                let dec = Decoder::new();
+                if device == Device::Gpu && header.grid.tile_count() > 1 {
+                    // Parallel per-tile decode, then blit.
+                    let tiles: Vec<usize> = (0..header.grid.tile_count()).collect();
+                    let parts = gpu_map(tiles, |_, t| {
+                        dec.decode_gop_tile(&header, gop, t).map(|fs| (t, fs))
+                    });
+                    let mut frames =
+                        vec![Frame::new(header.width, header.height); gop.frame_count()];
+                    for r in parts {
+                        let (t, fs) = r?;
+                        let rect = header.grid.tile_rect(t, header.width, header.height);
+                        for (f, tf) in frames.iter_mut().zip(fs.iter()) {
+                            f.blit(tf, rect.x0, rect.y0);
                         }
-                        Ok(frames)
-                    } else {
-                        Ok(dec.decode_gop(&header, gop)?)
                     }
-                })?;
-                Ok(Chunk {
-                    payload: ChunkPayload::Decoded { frames, device },
-                    ..c
-                })
-            }
+                    Ok(frames)
+                } else {
+                    Ok(dec.decode_gop(&header, gop)?)
+                }
+            })?;
+            Ok(Chunk { payload: ChunkPayload::Decoded { frames, device }, ..c })
         }
-    }))
+    }
 }
 
 // ------------------------------------------------------------------ encode
@@ -74,15 +86,37 @@ pub fn encode_chunks(
     qp: u8,
     metrics: Metrics,
 ) -> ChunkStream {
-    Box::new(input.map(move |c| {
-        let c = c?;
-        match c.payload {
-            ChunkPayload::Encoded { .. } => Ok(c), // already encoded
-            ChunkPayload::Decoded { ref frames, .. } => {
-                metrics.time("ENCODE", || encode_one_gop(&c, frames, device, codec, qp))
-            }
+    encode_chunks_par(input, device, codec, qp, metrics, Parallelism::SERIAL)
+}
+
+/// Chunk-parallel `ENCODE`: each chunk is one GOP (and, post-
+/// PARTITION, one tile), so chunks encode independently across up to
+/// `par.threads()` workers with byte-identical output.
+pub fn encode_chunks_par(
+    input: ChunkStream,
+    device: Device,
+    codec: CodecKind,
+    qp: u8,
+    metrics: Metrics,
+    par: Parallelism,
+) -> ChunkStream {
+    par_map_chunks(input, par, move |c| encode_chunk(c, device, codec, qp, &metrics))
+}
+
+/// Encodes one chunk (no-op when already encoded).
+pub fn encode_chunk(
+    c: Chunk,
+    device: Device,
+    codec: CodecKind,
+    qp: u8,
+    metrics: &Metrics,
+) -> Result<Chunk> {
+    match c.payload {
+        ChunkPayload::Encoded { .. } => Ok(c), // already encoded
+        ChunkPayload::Decoded { ref frames, .. } => {
+            metrics.time("ENCODE", || encode_one_gop(&c, frames, device, codec, qp))
         }
-    }))
+    }
 }
 
 /// Encodes one chunk's frames as a single GOP. Exposed for the
@@ -282,14 +316,30 @@ pub fn map_frames(
     device: Device,
     metrics: Metrics,
 ) -> ChunkStream {
-    Box::new(input.map(move |c| {
-        let c = c?;
-        let ChunkPayload::Decoded { frames, device: d } = c.payload else {
-            return Err(ExecError::Domain("MAP requires decoded input (planner bug)".into()));
-        };
-        let out = metrics.time("MAP", || apply_map(&f, frames, device));
-        Ok(Chunk { payload: ChunkPayload::Decoded { frames: out, device: d }, ..c })
-    }))
+    map_frames_par(input, f, device, metrics, Parallelism::SERIAL)
+}
+
+/// Chunk-parallel `MAP`: per-part/per-GOP UDF application fans out
+/// across up to `par.threads()` workers (UDFs are `Send + Sync` by
+/// trait bound). Point UDFs are handled by the executor via
+/// [`apply_point_map`].
+pub fn map_frames_par(
+    input: ChunkStream,
+    f: MapFunction,
+    device: Device,
+    metrics: Metrics,
+    par: Parallelism,
+) -> ChunkStream {
+    par_map_chunks(input, par, move |c| map_chunk(c, &f, device, &metrics))
+}
+
+/// Applies a map UDF to one chunk's frames.
+pub fn map_chunk(c: Chunk, f: &MapFunction, device: Device, metrics: &Metrics) -> Result<Chunk> {
+    let ChunkPayload::Decoded { frames, device: d } = c.payload else {
+        return Err(ExecError::Domain("MAP requires decoded input (planner bug)".into()));
+    };
+    let out = metrics.time("MAP", || apply_map(f, frames, device));
+    Ok(Chunk { payload: ChunkPayload::Decoded { frames: out, device: d }, ..c })
 }
 
 fn apply_map(f: &MapFunction, frames: Vec<Frame>, device: Device) -> Vec<Frame> {

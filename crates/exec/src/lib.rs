@@ -30,6 +30,7 @@ pub mod fpga;
 pub mod frameops;
 pub mod hops;
 pub mod metrics;
+pub mod parallel;
 pub mod plan;
 pub mod sources;
 
@@ -37,6 +38,7 @@ pub use chunk::{Chunk, ChunkPayload, StreamInfo};
 pub use device::Device;
 pub use executor::{Executor, QueryOutput};
 pub use metrics::Metrics;
+pub use parallel::Parallelism;
 pub use plan::PhysicalPlan;
 
 /// What a scan does when a GOP fails checksum verification or cannot

@@ -3,18 +3,43 @@
 //! The evaluation's operator-breakdown plots (Figure 11) come
 //! straight from these counters: every physical operator wraps its
 //! work in [`Metrics::time`].
+//!
+//! With the parallel execution layer, one operator can run on several
+//! worker threads at once, so each operator tracks two durations:
+//!
+//! * **busy** ([`Metrics::total`]) — the sum of per-invocation
+//!   durations across all threads (total CPU the operator consumed);
+//! * **wall** ([`Metrics::wall`]) — the union of the intervals during
+//!   which *at least one* invocation of the operator was running
+//!   (elapsed time the operator contributed to the query).
+//!
+//! Serially the two coincide; under overlap `wall < busy`, and
+//! `busy / wall` approximates the operator's effective parallelism.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Thread-safe accumulator of per-operator wall time and invocation
-/// counts, plus named event counters (e.g. GOPs skipped due to
-/// corruption). Cloning shares the underlying counters.
+#[derive(Default)]
+struct OpStat {
+    /// Summed per-invocation durations (CPU-style accounting).
+    busy: Duration,
+    count: u64,
+    /// Union of active intervals (wall-clock accounting).
+    wall: Duration,
+    /// Invocations currently running.
+    active: u32,
+    /// When `active` last rose from zero.
+    span_start: Option<Instant>,
+}
+
+/// Thread-safe accumulator of per-operator busy/wall time and
+/// invocation counts, plus named event counters (e.g. GOPs skipped
+/// due to corruption). Cloning shares the underlying counters.
 #[derive(Clone, Default)]
 pub struct Metrics {
-    inner: Arc<Mutex<HashMap<&'static str, (Duration, u64)>>>,
+    inner: Arc<Mutex<HashMap<&'static str, OpStat>>>,
     counters: Arc<Mutex<HashMap<&'static str, u64>>>,
 }
 
@@ -23,36 +48,86 @@ impl Metrics {
         Metrics::default()
     }
 
-    /// Runs `f`, attributing its wall time to `op`.
+    /// Runs `f`, attributing its duration to `op`. Safe to call for
+    /// the same `op` from several threads at once: busy time sums,
+    /// wall time counts overlapping invocations once.
     pub fn time<T>(&self, op: &'static str, f: impl FnOnce() -> T) -> T {
-        let start = Instant::now();
+        let start = self.enter(op);
         let out = f();
-        self.record(op, start.elapsed());
+        self.exit(op, start);
         out
     }
 
-    /// Adds an explicit duration to `op`.
-    pub fn record(&self, op: &'static str, d: Duration) {
+    fn enter(&self, op: &'static str) -> Instant {
         let mut m = self.inner.lock();
-        let e = m.entry(op).or_insert((Duration::ZERO, 0));
-        e.0 += d;
-        e.1 += 1;
+        let e = m.entry(op).or_default();
+        e.active += 1;
+        if e.active == 1 {
+            e.span_start = Some(Instant::now());
+        }
+        drop(m);
+        Instant::now()
     }
 
-    /// Accumulated time for one operator.
+    fn exit(&self, op: &'static str, start: Instant) {
+        let d = start.elapsed();
+        let mut m = self.inner.lock();
+        let e = m.entry(op).or_default();
+        e.busy += d;
+        e.count += 1;
+        e.active = e.active.saturating_sub(1);
+        if e.active == 0 {
+            if let Some(s) = e.span_start.take() {
+                e.wall += s.elapsed();
+            }
+        }
+    }
+
+    /// Adds an explicit duration to `op`. The duration is treated as
+    /// its own span: it extends wall time unless the operator is
+    /// concurrently active through [`Metrics::time`].
+    pub fn record(&self, op: &'static str, d: Duration) {
+        let mut m = self.inner.lock();
+        let e = m.entry(op).or_default();
+        e.busy += d;
+        e.count += 1;
+        if e.active == 0 {
+            e.wall += d;
+        }
+    }
+
+    /// Accumulated busy time (summed across threads) for one operator.
     pub fn total(&self, op: &str) -> Duration {
-        self.inner.lock().get(op).map(|e| e.0).unwrap_or(Duration::ZERO)
+        self.inner.lock().get(op).map(|e| e.busy).unwrap_or(Duration::ZERO)
+    }
+
+    /// Accumulated wall-clock time for one operator: the union of the
+    /// intervals during which it was running on any thread. Equals
+    /// [`Metrics::total`] for serial execution; strictly less when
+    /// invocations overlap.
+    pub fn wall(&self, op: &str) -> Duration {
+        self.inner.lock().get(op).map(|e| e.wall).unwrap_or(Duration::ZERO)
     }
 
     /// Invocation count for one operator.
     pub fn count(&self, op: &str) -> u64 {
-        self.inner.lock().get(op).map(|e| e.1).unwrap_or(0)
+        self.inner.lock().get(op).map(|e| e.count).unwrap_or(0)
     }
 
-    /// All `(operator, total, count)` rows, sorted by descending time.
+    /// All `(operator, busy total, count)` rows, sorted by descending
+    /// time.
     pub fn report(&self) -> Vec<(&'static str, Duration, u64)> {
         let mut rows: Vec<_> =
-            self.inner.lock().iter().map(|(k, (d, c))| (*k, *d, *c)).collect();
+            self.inner.lock().iter().map(|(k, e)| (*k, e.busy, e.count)).collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1));
+        rows
+    }
+
+    /// All `(operator, busy, wall, count)` rows, sorted by descending
+    /// busy time — the parallel-aware variant of [`Metrics::report`].
+    pub fn report_wall(&self) -> Vec<(&'static str, Duration, Duration, u64)> {
+        let mut rows: Vec<_> =
+            self.inner.lock().iter().map(|(k, e)| (*k, e.busy, e.wall, e.count)).collect();
         rows.sort_by_key(|r| std::cmp::Reverse(r.1));
         rows
     }
@@ -113,6 +188,8 @@ mod tests {
         m.record("MAP", Duration::from_millis(7));
         assert_eq!(m.total("MAP"), Duration::from_millis(12));
         assert_eq!(m.count("MAP"), 2);
+        // Non-overlapping recorded spans extend wall time too.
+        assert_eq!(m.wall("MAP"), Duration::from_millis(12));
     }
 
     #[test]
@@ -122,6 +199,9 @@ mod tests {
         m.record("B", Duration::from_millis(10));
         let r = m.report();
         assert_eq!(r[0].0, "B");
+        let rw = m.report_wall();
+        assert_eq!(rw[0].0, "B");
+        assert_eq!(rw[0].1, rw[0].2, "serial records: busy == wall");
         m.reset();
         assert!(m.report().is_empty());
     }
@@ -132,6 +212,40 @@ mod tests {
         let m2 = m.clone();
         m2.record("X", Duration::from_millis(3));
         assert_eq!(m.count("X"), 1);
+    }
+
+    #[test]
+    fn serial_wall_tracks_busy() {
+        let m = Metrics::new();
+        for _ in 0..3 {
+            m.time("OP", || std::thread::sleep(Duration::from_millis(5)));
+        }
+        let (busy, wall) = (m.total("OP"), m.wall("OP"));
+        assert!(busy >= Duration::from_millis(15));
+        // Serially, wall and busy measure the same spans (modulo the
+        // instants taken just inside/outside the lock).
+        assert!(wall >= busy / 2, "serial wall {wall:?} far below busy {busy:?}");
+        assert!(wall <= busy + Duration::from_millis(15));
+    }
+
+    #[test]
+    fn overlapping_invocations_union_wall_time() {
+        let m = Metrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || m.time("OP", || std::thread::sleep(Duration::from_millis(40))));
+            }
+        });
+        let (busy, wall) = (m.total("OP"), m.wall("OP"));
+        assert!(busy >= Duration::from_millis(160), "4 × 40ms summed, got {busy:?}");
+        assert!(
+            wall < busy,
+            "overlapping spans must not sum: wall {wall:?} vs busy {busy:?}"
+        );
+        // All four overlap almost entirely: wall should be near one
+        // invocation's length, not four (generous bound for CI noise).
+        assert!(wall < Duration::from_millis(120));
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! The parallel execution layer.
+//!
+//! LightDB's evaluation attributes nearly all query time to
+//! ENCODE/DECODE over *independent* work units — GOPs, tiles, and
+//! partition parts (PAPER.md §5, Figure 11). This module fans those
+//! units out across cores with scoped threads (`std::thread::scope`;
+//! the workspace builds offline, so no runtime dependency) while
+//! keeping results in deterministic chunk order: a parallel pipeline
+//! produces a `QueryOutput` byte-identical to the serial one.
+//!
+//! Chunk streams are pull-based `Box<dyn Iterator>`s and deliberately
+//! not `Send`, so [`par_map_chunks`] pulls a batch on the caller's
+//! thread, scatters the batch across workers, and replays the results
+//! in input order. An `Err` item ends its batch and is emitted in
+//! position, exactly as the serial path would.
+
+use crate::chunk::Chunk;
+use crate::{ChunkStream, Result};
+
+/// How many worker threads chunk-parallel operators may use.
+///
+/// `1` means strictly serial (no threads are spawned). The executor
+/// default comes from [`Parallelism::from_env`]: the
+/// `LIGHTDB_THREADS` variable when set, the machine's available
+/// parallelism otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+impl Parallelism {
+    /// Strictly serial execution; spawns no threads.
+    pub const SERIAL: Parallelism = Parallelism { threads: 1 };
+
+    /// A fixed thread count (clamped to at least 1).
+    pub fn new(threads: usize) -> Parallelism {
+        Parallelism { threads: threads.max(1) }
+    }
+
+    /// One thread per available core.
+    pub fn auto() -> Parallelism {
+        Parallelism::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    }
+
+    /// `LIGHTDB_THREADS` when set and parseable, [`auto`] otherwise.
+    /// `LIGHTDB_THREADS=1` forces the serial path.
+    ///
+    /// [`auto`]: Parallelism::auto
+    pub fn from_env() -> Parallelism {
+        match std::env::var("LIGHTDB_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => Parallelism::new(n),
+                _ => Parallelism::auto(),
+            },
+            Err(_) => Parallelism::auto(),
+        }
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Parallelism {
+        Parallelism::from_env()
+    }
+}
+
+/// Runs `f(index, item)` over `items` on up to `threads` scoped
+/// workers, preserving input order in the output. With one thread (or
+/// one item) it degenerates to a plain in-place map — the serial and
+/// parallel paths run the same closure on the same items, so results
+/// are identical by construction.
+pub fn scatter<T: Send, U: Send>(
+    items: Vec<T>,
+    threads: usize,
+    f: impl Fn(usize, T) -> U + Sync,
+) -> Vec<U> {
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let n = items.len();
+    let mut jobs: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    jobs.reverse(); // pop() hands out jobs in input order
+    let queue = parking_lot::Mutex::new(jobs);
+    let results = parking_lot::Mutex::new(Vec::<(usize, U)>::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let job = queue.lock().pop();
+                match job {
+                    Some((i, t)) => {
+                        let out = f(i, t);
+                        results.lock().push((i, out));
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    for (i, u) in results.into_inner() {
+        slots[i] = Some(u);
+    }
+    slots.into_iter().flatten().collect()
+}
+
+/// Applies a fallible per-chunk transform across worker threads while
+/// preserving stream order and error positions.
+///
+/// Batches of up to `threads × 2` chunks are pulled from `input` on
+/// the calling thread (the stream itself is not `Send`), transformed
+/// concurrently with [`scatter`], and replayed in input order. When
+/// the stream yields an `Err`, the batch ends there and the error is
+/// emitted after the chunks that preceded it — the same prefix a
+/// serial consumer would observe.
+pub fn par_map_chunks(
+    input: ChunkStream,
+    par: Parallelism,
+    f: impl Fn(Chunk) -> Result<Chunk> + Sync + 'static,
+) -> ChunkStream {
+    if par.is_serial() {
+        return Box::new(input.map(move |c| c.and_then(&f)));
+    }
+    let threads = par.threads();
+    let batch_size = threads * 2;
+    let mut input = input;
+    let mut outbox: std::collections::VecDeque<Result<Chunk>> = std::collections::VecDeque::new();
+    let mut done = false;
+    Box::new(std::iter::from_fn(move || loop {
+        if let Some(r) = outbox.pop_front() {
+            return Some(r);
+        }
+        if done {
+            return None;
+        }
+        // Refill: pull a batch, stopping at stream end or an error.
+        let mut batch: Vec<Chunk> = Vec::with_capacity(batch_size);
+        let mut tail_err: Option<crate::ExecError> = None;
+        while batch.len() < batch_size {
+            match input.next() {
+                None => {
+                    done = true;
+                    break;
+                }
+                Some(Err(e)) => {
+                    tail_err = Some(e);
+                    break;
+                }
+                Some(Ok(c)) => batch.push(c),
+            }
+        }
+        if batch.is_empty() && tail_err.is_none() && done {
+            return None;
+        }
+        outbox.extend(scatter(batch, threads, |_, c| f(c)));
+        if let Some(e) = tail_err {
+            outbox.push_back(Err(e));
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::{ChunkPayload, StreamInfo};
+    use crate::device::Device;
+    use crate::ExecError;
+    use lightdb_frame::Frame;
+    use lightdb_geom::{Interval, Volume};
+
+    fn chunk(t: usize) -> Chunk {
+        Chunk {
+            t_index: t,
+            part: 0,
+            volume: Volume::sphere_at(0.0, 0.0, 0.0, Interval::new(t as f64, t as f64 + 1.0)),
+            info: StreamInfo::origin(1),
+            payload: ChunkPayload::Decoded {
+                frames: vec![Frame::new(16, 16)],
+                device: Device::Cpu,
+            },
+        }
+    }
+
+    #[test]
+    fn parallelism_knob_clamps_and_reports() {
+        assert!(Parallelism::SERIAL.is_serial());
+        assert_eq!(Parallelism::new(0).threads(), 1);
+        assert_eq!(Parallelism::new(8).threads(), 8);
+        assert!(!Parallelism::new(8).is_serial());
+        assert!(Parallelism::auto().threads() >= 1);
+    }
+
+    #[test]
+    fn scatter_preserves_order() {
+        for threads in [1, 2, 8] {
+            let out = scatter((0..100).collect::<Vec<i32>>(), threads, |i, v| {
+                assert_eq!(i as i32, v);
+                v * 3
+            });
+            assert_eq!(out, (0..100).map(|v| v * 3).collect::<Vec<i32>>());
+        }
+    }
+
+    #[test]
+    fn scatter_empty_and_single() {
+        assert!(scatter(Vec::<u8>::new(), 4, |_, v| v).is_empty());
+        assert_eq!(scatter(vec![9], 4, |_, v| v + 1), vec![10]);
+    }
+
+    #[test]
+    fn par_map_matches_serial_order() {
+        let chunks: Vec<Chunk> = (0..37).map(chunk).collect();
+        let serial: Vec<usize> = par_map_chunks(
+            Box::new(chunks.clone().into_iter().map(Ok)),
+            Parallelism::SERIAL,
+            Ok,
+        )
+        .map(|r| r.unwrap().t_index)
+        .collect();
+        let parallel: Vec<usize> = par_map_chunks(
+            Box::new(chunks.into_iter().map(Ok)),
+            Parallelism::new(8),
+            |c| {
+                // Vary per-chunk latency to shuffle completion order.
+                std::thread::sleep(std::time::Duration::from_micros(
+                    ((c.t_index * 13) % 7) as u64 * 50,
+                ));
+                Ok(c)
+            },
+        )
+        .map(|r| r.unwrap().t_index)
+        .collect();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, (0..37).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn par_map_emits_error_in_position() {
+        // chunks 0..5, then an error, then 6..9: consumers must see
+        // exactly five Ok items before the error, like the serial path.
+        let items: Vec<crate::Result<Chunk>> = (0..5)
+            .map(|t| Ok(chunk(t)))
+            .chain(std::iter::once(Err(ExecError::Other("boom".into()))))
+            .chain((6..10).map(|t| Ok(chunk(t))))
+            .collect();
+        let out: Vec<_> =
+            par_map_chunks(Box::new(items.into_iter()), Parallelism::new(4), Ok).collect();
+        assert_eq!(out.len(), 10);
+        assert!(out[..5].iter().all(|r| r.is_ok()));
+        assert!(out[5].is_err());
+        assert!(out[6..].iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn par_map_propagates_transform_errors_in_order() {
+        let out: Vec<_> = par_map_chunks(
+            Box::new((0..8).map(chunk).map(Ok)),
+            Parallelism::new(4),
+            |c| {
+                if c.t_index == 3 {
+                    Err(ExecError::Other("bad chunk".into()))
+                } else {
+                    Ok(c)
+                }
+            },
+        )
+        .collect();
+        assert_eq!(out.len(), 8);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(r.is_err(), i == 3, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn from_env_parses_thread_count() {
+        // Not touching the process env (other tests run concurrently);
+        // just exercise the parse paths through new().
+        assert_eq!(Parallelism::new(3).threads(), 3);
+        assert_eq!(Parallelism::default().threads(), Parallelism::from_env().threads());
+    }
+}

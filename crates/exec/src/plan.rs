@@ -12,7 +12,9 @@ use std::sync::Arc;
 /// produce the physical plan to run over it. The produced plan must
 /// contain exactly one [`PhysicalPlan::SubqueryInput`] leaf, which the
 /// executor binds to the partition's data.
-pub type CompiledSubquery = Arc<dyn Fn(&Volume) -> crate::Result<PhysicalPlan>>;
+/// `Send + Sync` so plans (and the chunk pipelines built from them)
+/// can cross worker-thread boundaries in the parallel executor.
+pub type CompiledSubquery = Arc<dyn Fn(&Volume) -> crate::Result<PhysicalPlan> + Send + Sync>;
 
 /// A physical operator tree.
 #[derive(Clone)]
@@ -236,6 +238,15 @@ impl fmt::Debug for PhysicalPlan {
         write!(f, "{self}")
     }
 }
+
+// The parallel executor moves plans (and closures built over them)
+// across scoped worker threads; keep that property checked at
+// compile time.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PhysicalPlan>();
+    assert_send_sync::<CompiledSubquery>();
+};
 
 #[cfg(test)]
 mod tests {

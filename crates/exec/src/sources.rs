@@ -244,7 +244,11 @@ fn stream_parts(
         }
     }
     let mut jobs = jobs.into_iter();
-    let mut skipped = 0usize;
+    // Damaged GOPs already skipped, keyed by (media file, start
+    // frame): a GOP reached through several parts (points sharing a
+    // track) or re-read after a pool eviction must count against the
+    // budget — and in `SKIPPED_GOPS` — exactly once.
+    let mut skipped: std::collections::HashSet<(String, u64)> = std::collections::HashSet::new();
     Box::new(std::iter::from_fn(move || {
         loop {
             let (pi, ei) = jobs.next()?;
@@ -268,12 +272,22 @@ fn stream_parts(
             });
             match r {
                 Err(e)
-                    if matches!(
-                        read_policy,
-                        ReadPolicy::SkipCorruptGops { max_skipped } if skipped < max_skipped
-                    ) && e.is_data_corruption() =>
+                    if matches!(read_policy, ReadPolicy::SkipCorruptGops { .. })
+                        && e.is_data_corruption() =>
                 {
-                    skipped += 1;
+                    let ReadPolicy::SkipCorruptGops { max_skipped } = read_policy else {
+                        return Some(Err(e));
+                    };
+                    let gop = (p.media_path.clone(), entry.start_frame);
+                    if skipped.contains(&gop) {
+                        // The same damaged GOP, reached again through
+                        // another part: already counted.
+                        continue;
+                    }
+                    if skipped.len() >= max_skipped {
+                        return Some(Err(e)); // budget exhausted
+                    }
+                    skipped.insert(gop);
                     metrics.bump(counters::SKIPPED_GOPS);
                     continue;
                 }
@@ -495,6 +509,114 @@ mod tests {
     #[test]
     fn omega_is_empty() {
         assert_eq!(omega().count(), 0);
+    }
+
+    /// Two points sharing one video track scan the same GOPs; when a
+    /// shared GOP is corrupt, the skip budget and `SKIPPED_GOPS`
+    /// counter must see it once, not once per part.
+    #[test]
+    fn shared_track_corrupt_gop_counted_once() {
+        let catalog = Catalog::open(temp_root("sharedskip")).unwrap();
+        let frames: Vec<Frame> = (0..4)
+            .map(|i| Frame::filled(32, 32, Yuv::new((i * 50 + 20) as u8, 128, 128)))
+            .collect();
+        let stream = Encoder::new(EncoderConfig {
+            gop_length: 2,
+            fps: 2,
+            qp: 35,
+            ..Default::default()
+        })
+        .unwrap()
+        .encode(&frames)
+        .unwrap();
+        let mk_point = |x: f64| SpherePoint {
+            position: Point3::new(x, 0.0, 0.0),
+            video_track: 0, // both points share the one track
+            depth_track: None,
+            right_eye_track: None,
+        };
+        let tlf = TlfDescriptor {
+            volume: Volume::everywhere(),
+            streaming: false,
+            partition_spec: vec![],
+            view_subgraph: None,
+            body: TlfBody::Sphere360 { points: vec![mk_point(0.0), mk_point(1.0)] },
+        };
+        catalog
+            .store(
+                "shared",
+                vec![TrackWrite::New {
+                    role: TrackRole::Video,
+                    projection: ProjectionKind::Equirectangular,
+                    stream,
+                }],
+                tlf,
+            )
+            .unwrap();
+        // Flip a byte inside the first GOP's range on disk.
+        let stored = catalog.read("shared", None).unwrap();
+        let track = &stored.metadata.tracks[0];
+        let entry = &track.gop_index[0];
+        let media = catalog.root().join("shared").join(&track.media_path);
+        let mut bytes = fs::read(&media).unwrap();
+        bytes[(entry.byte_offset + entry.byte_len / 2) as usize] ^= 0x01;
+        fs::write(&media, &bytes).unwrap();
+
+        let pool = Arc::new(BufferPool::new(1 << 20));
+        let metrics = Metrics::new();
+        let policy = ReadPolicy::SkipCorruptGops { max_skipped: 4 };
+        let chunks: Vec<Chunk> =
+            scan_tlf(&catalog, &pool, "shared", None, None, None, true, policy, metrics.clone())
+                .unwrap()
+                .map(|c| c.unwrap())
+                .collect();
+        // The damaged GOP disappears from both parts; the healthy GOP
+        // survives in both.
+        assert_eq!(chunks.len(), 2);
+        assert!(chunks.iter().all(|c| c.t_index == 1));
+        assert_eq!(
+            metrics.counter(counters::SKIPPED_GOPS),
+            1,
+            "one damaged GOP must count once, not once per part"
+        );
+        // A budget of one unique GOP is enough for this scan.
+        let metrics2 = Metrics::new();
+        let policy1 = ReadPolicy::SkipCorruptGops { max_skipped: 1 };
+        let n = scan_tlf(&catalog, &pool, "shared", None, None, None, true, policy1, metrics2.clone())
+            .unwrap()
+            .filter(|c| c.is_ok())
+            .count();
+        assert_eq!(n, 2);
+        assert_eq!(metrics2.counter(counters::SKIPPED_GOPS), 1);
+        fs::remove_dir_all(catalog.root()).unwrap();
+    }
+
+    /// Transient read errors are retried inside the storage layer and
+    /// must be invisible to the skip accounting: the scan succeeds and
+    /// `SKIPPED_GOPS` stays zero.
+    #[test]
+    fn transient_retries_do_not_bump_skip_counter() {
+        use lightdb_storage::faults::{self, sites, Fault};
+        faults::reset();
+        let catalog = Catalog::open(temp_root("transkip")).unwrap();
+        store_demo(&catalog, "demo", 2);
+        let pool = Arc::new(BufferPool::new(1 << 20));
+        let metrics = Metrics::new();
+        faults::arm_n(sites::MEDIA_READ, Fault::Transient(std::io::ErrorKind::Interrupted), 2);
+        let policy = ReadPolicy::SkipCorruptGops { max_skipped: 4 };
+        let chunks: Vec<Chunk> =
+            scan_tlf(&catalog, &pool, "demo", None, None, None, true, policy, metrics.clone())
+                .unwrap()
+                .map(|c| c.unwrap())
+                .collect();
+        faults::reset();
+        assert_eq!(chunks.len(), 2, "retried reads must deliver every GOP");
+        assert_eq!(
+            metrics.counter(counters::SKIPPED_GOPS),
+            0,
+            "transient retries are not skips"
+        );
+        fs::remove_dir_all(catalog.root()).unwrap();
     }
 
     #[test]

@@ -175,6 +175,32 @@ pub fn draw_rect(
     }
 }
 
+/// Splits `height` luma rows into at most `workers` contiguous bands
+/// `(row_lo, row_hi)` for the `*_rows` kernels. Bands are 2-aligned
+/// (except possibly the last row of an odd-height frame) so the
+/// half-rate chroma rows split cleanly, and they tile `[0, height)`
+/// exactly — the contract the parallel backends rely on to stitch
+/// results without overlap.
+pub fn row_bands(height: usize, workers: usize) -> Vec<(usize, usize)> {
+    if height == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1);
+    if workers == 1 || height <= 2 {
+        return vec![(0, height)];
+    }
+    let band = (height / workers + 1) & !1;
+    let band = band.max(2);
+    let mut bands = Vec::with_capacity(height / band + 1);
+    let mut lo = 0;
+    while lo < height {
+        let hi = (lo + band).min(height);
+        bands.push((lo, hi));
+        lo = hi;
+    }
+    bands
+}
+
 /// Synthetic "focus" kernel for light-field rendering demos: blends
 /// each pixel toward the blurred image weighted by luma gradient,
 /// emulating refocusing. Deterministic and cheap.
@@ -313,5 +339,37 @@ mod tests {
     fn focus_is_deterministic_and_bounded() {
         let f = gradient_frame(16, 16);
         assert_eq!(focus(&f), focus(&f));
+    }
+
+    #[test]
+    fn row_bands_tile_exactly_and_align() {
+        for height in [0usize, 1, 2, 3, 16, 17, 64, 720, 1080] {
+            for workers in [1usize, 2, 3, 4, 8, 16] {
+                let bands = row_bands(height, workers);
+                if height == 0 {
+                    assert!(bands.is_empty());
+                    continue;
+                }
+                // Bands tile [0, height) exactly, in order.
+                assert_eq!(bands[0].0, 0);
+                assert_eq!(bands[bands.len() - 1].1, height);
+                for w in bands.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "gap/overlap at {w:?}");
+                }
+                // Interior boundaries are 2-aligned for chroma.
+                for &(lo, hi) in &bands {
+                    assert!(lo % 2 == 0, "band start {lo} not chroma-aligned");
+                    assert!(hi % 2 == 0 || hi == height);
+                    assert!(lo < hi);
+                }
+                // An odd final row can add one short band.
+                assert!(bands.len() <= workers.max(1) + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn row_bands_single_worker_is_whole_frame() {
+        assert_eq!(row_bands(64, 1), vec![(0, 64)]);
     }
 }

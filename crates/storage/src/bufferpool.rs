@@ -9,7 +9,7 @@ use lightdb_container::MetadataFile;
 use lightdb_index::rtree::RTree;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 /// Cache key for one GOP of one media file.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -26,7 +26,14 @@ pub struct PoolStats {
     pub hits: u64,
     pub misses: u64,
     pub evictions: u64,
+    /// Bytes currently resident in the GOP cache. Invariant: always
+    /// equals the sum of the resident entries' lengths and never
+    /// exceeds the pool capacity.
     pub bytes: usize,
+    /// Disk loads actually performed. With single-flight loading this
+    /// can be smaller than `misses`: concurrent misses on one key
+    /// coalesce into a single load.
+    pub loads: u64,
 }
 
 impl PoolStats {
@@ -47,8 +54,36 @@ struct Entry {
     stamp: u64,
 }
 
+/// Single-flight rendezvous for one in-progress load: waiters block on
+/// the condvar until the loading thread finishes (successfully or not).
+struct Flight {
+    done: StdMutex<bool>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight { done: StdMutex::new(false), cv: Condvar::new() }
+    }
+
+    fn finish(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        *done = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = self.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
 struct PoolInner {
     map: HashMap<GopKey, Entry>,
+    /// Keys with a load in progress (single-flight markers).
+    loading: HashMap<GopKey, Arc<Flight>>,
     clock: u64,
     stats: PoolStats,
     capacity_bytes: usize,
@@ -56,9 +91,44 @@ struct PoolInner {
     rtrees: HashMap<(String, u64), Arc<RTree<u64>>>,
 }
 
+impl PoolInner {
+    /// Evicts least-recently-used entries until `stats.bytes` is within
+    /// capacity. The just-inserted `protect` key is evicted only as a
+    /// last resort: when every other entry is gone and the protected
+    /// entry alone still exceeds capacity, it too is dropped, so an
+    /// over-capacity payload is served to the caller but never stays
+    /// resident and `stats.bytes <= capacity_bytes` always holds.
+    fn evict_to_capacity(&mut self, protect: &GopKey) {
+        while self.stats.bytes > self.capacity_bytes {
+            let victim = self
+                .map
+                .iter()
+                .filter(|(k, _)| *k != protect)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone());
+            let victim = match victim {
+                Some(v) => v,
+                None => break, // only the protected entry remains
+            };
+            if let Some(e) = self.map.remove(&victim) {
+                self.stats.bytes -= e.bytes.len();
+                self.stats.evictions += 1;
+            }
+        }
+        if self.stats.bytes > self.capacity_bytes {
+            if let Some(e) = self.map.remove(protect) {
+                self.stats.bytes -= e.bytes.len();
+                self.stats.evictions += 1;
+            }
+        }
+    }
+}
+
 /// The buffer pool. Thread-safe; lock granularity is the whole pool
 /// (LightDB is single-node and the pool is not a contention point —
-/// encode/decode dominates).
+/// encode/decode dominates). Misses load outside the lock, and
+/// concurrent misses on the same key are **single-flight**: one thread
+/// performs the disk read while the others wait for the result.
 pub struct BufferPool {
     inner: Mutex<PoolInner>,
 }
@@ -69,6 +139,7 @@ impl BufferPool {
         BufferPool {
             inner: Mutex::new(PoolInner {
                 map: HashMap::new(),
+                loading: HashMap::new(),
                 clock: 0,
                 stats: PoolStats::default(),
                 capacity_bytes,
@@ -79,47 +150,90 @@ impl BufferPool {
     }
 
     /// Fetches a GOP, loading and caching through `load` on a miss.
+    ///
+    /// Exactly one of `hits`/`misses` is bumped per call (decided at
+    /// the first lookup). On a miss, at most one thread loads a given
+    /// key at a time; threads that miss while a load is in flight wait
+    /// for it and then re-check the cache instead of issuing their own
+    /// disk read. If the in-flight load fails (or its entry is evicted
+    /// before a waiter wakes), the waiter retries and may become the
+    /// loader itself.
     pub fn get_gop<E: From<std::io::Error>>(
         &self,
         key: &GopKey,
         load: impl FnOnce() -> std::result::Result<Vec<u8>, E>,
     ) -> std::result::Result<Arc<Vec<u8>>, E> {
-        let mut inner = self.inner.lock();
-        inner.clock += 1;
-        let clock = inner.clock;
-        let hit = {
-            let inner = &mut *inner;
-            inner.map.get_mut(key).map(|e| {
-                e.stamp = clock;
-                e.bytes.clone()
-            })
-        };
-        if let Some(bytes) = hit {
-            inner.stats.hits += 1;
-            return Ok(bytes);
-        }
-        inner.stats.misses += 1;
-        // Don't hold the lock across the load: loads hit the disk.
-        drop(inner);
-        crate::faults::fail_point(crate::faults::sites::BUFFERPOOL_LOAD)?;
-        let bytes = Arc::new(load()?);
-        let mut inner = self.inner.lock();
-        inner.stats.bytes += bytes.len();
-        inner.map.insert(key.clone(), Entry { bytes: bytes.clone(), stamp: clock });
-        // Evict least-recently used entries until within capacity.
-        while inner.stats.bytes > inner.capacity_bytes && inner.map.len() > 1 {
-            if let Some(victim) =
-                inner.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| k.clone())
-            {
-                if let Some(e) = inner.map.remove(&victim) {
-                    inner.stats.bytes -= e.bytes.len();
-                    inner.stats.evictions += 1;
+        let mut counted = false;
+        let (flight, clock) = loop {
+            let mut inner = self.inner.lock();
+            inner.clock += 1;
+            let clock = inner.clock;
+            let hit = {
+                let inner = &mut *inner;
+                inner.map.get_mut(key).map(|e| {
+                    e.stamp = clock;
+                    e.bytes.clone()
+                })
+            };
+            if let Some(bytes) = hit {
+                if !counted {
+                    inner.stats.hits += 1;
                 }
-            } else {
-                break;
+                return Ok(bytes);
+            }
+            if !counted {
+                inner.stats.misses += 1;
+                counted = true;
+            }
+            if let Some(flight) = inner.loading.get(key).cloned() {
+                // Another thread is loading this key: wait for it,
+                // then re-check the cache. If that load failed or its
+                // entry was already evicted, loop back and become the
+                // loader ourselves.
+                drop(inner);
+                flight.wait();
+                continue;
+            }
+            // Become the loader for this key.
+            let flight = Arc::new(Flight::new());
+            inner.loading.insert(key.clone(), flight.clone());
+            break (flight, clock);
+        };
+        // Don't hold the lock across the load: loads hit the disk.
+        let result = crate::faults::fail_point(crate::faults::sites::BUFFERPOOL_LOAD)
+            .map_err(E::from)
+            .and_then(|()| load());
+        let mut inner = self.inner.lock();
+        inner.stats.loads += 1;
+        inner.loading.remove(key);
+        match result {
+            Err(e) => {
+                flight.finish();
+                Err(e)
+            }
+            Ok(bytes) => {
+                let bytes = Arc::new(bytes);
+                // Account only the retained entry: a same-key
+                // re-insert must release the replaced entry's bytes
+                // before counting the new ones.
+                if let Some(old) =
+                    inner.map.insert(key.clone(), Entry { bytes: bytes.clone(), stamp: clock })
+                {
+                    inner.stats.bytes -= old.bytes.len();
+                }
+                inner.stats.bytes += bytes.len();
+                inner.evict_to_capacity(key);
+                flight.finish();
+                Ok(bytes)
             }
         }
-        Ok(bytes)
+    }
+
+    /// Sum of the lengths of the entries currently resident in the GOP
+    /// cache — by construction always equal to `stats().bytes` (the
+    /// accounting invariant tests assert).
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().map.values().map(|e| e.bytes.len()).sum()
     }
 
     /// Caches a parsed metadata file for `(name, version)`.
@@ -275,5 +389,162 @@ mod tests {
         }
         let s = pool.stats();
         assert_eq!(s.hits + s.misses, 200);
+    }
+
+    /// Pre-fix, two concurrent misses on one key both ran `load`, both
+    /// added their length to `stats.bytes`, and the second insert
+    /// replaced the first entry — so `stats.bytes` permanently
+    /// exceeded resident bytes. This test fails on that code: it
+    /// asserts byte accounting matches residency and that concurrent
+    /// misses on one key coalesce into a single load.
+    #[test]
+    fn concurrent_misses_on_one_key_are_single_flight() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Barrier;
+        const THREADS: usize = 8;
+        let pool = Arc::new(BufferPool::new(1 << 20));
+        let loads = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let (p, l, b) = (pool.clone(), loads.clone(), barrier.clone());
+            handles.push(std::thread::spawn(move || {
+                b.wait();
+                let bytes = p
+                    .get_gop(&key("m", 7), move || -> Result<_, std::io::Error> {
+                        l.fetch_add(1, Ordering::SeqCst);
+                        // Keep the load slow enough that the other
+                        // threads' misses overlap it.
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        Ok(vec![0u8; 512])
+                    })
+                    .unwrap();
+                assert_eq!(bytes.len(), 512);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(loads.load(Ordering::SeqCst), 1, "concurrent misses must coalesce");
+        let s = pool.stats();
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.hits + s.misses, THREADS as u64);
+        assert_eq!(s.bytes, 512, "bytes must count the retained entry once");
+        assert_eq!(pool.resident_bytes(), s.bytes);
+        assert_eq!(pool.len(), 1);
+    }
+
+    /// Multi-threaded stress over colliding keys: after the dust
+    /// settles, `stats.bytes` equals the sum of resident entry
+    /// lengths, stays within capacity, each key was loaded exactly
+    /// once (capacity is ample, so evictions never force reloads), and
+    /// the hit/miss/load counters are consistent.
+    #[test]
+    fn stress_colliding_keys_accounting_stays_consistent() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        const THREADS: u64 = 8;
+        const ITERS: u64 = 64;
+        const KEYS: u64 = 8;
+        let pool = Arc::new(BufferPool::new(1 << 20));
+        let loads: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..KEYS).map(|_| AtomicUsize::new(0)).collect());
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let (p, l) = (pool.clone(), loads.clone());
+            handles.push(std::thread::spawn(move || {
+                for i in 0..ITERS {
+                    let k = (i * (t + 1) + t) % KEYS;
+                    let l = l.clone();
+                    let bytes = p
+                        .get_gop(&key("m", k), move || -> Result<_, std::io::Error> {
+                            l[k as usize].fetch_add(1, Ordering::SeqCst);
+                            Ok(vec![k as u8; 100 + k as usize])
+                        })
+                        .unwrap();
+                    assert_eq!(bytes.len(), 100 + k as usize);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, THREADS * ITERS);
+        assert_eq!(s.bytes, pool.resident_bytes(), "byte accounting must match residency");
+        assert!(s.bytes <= 1 << 20);
+        assert_eq!(s.evictions, 0, "capacity is ample; nothing should be evicted");
+        for k in 0..KEYS as usize {
+            assert_eq!(loads[k].load(Ordering::SeqCst), 1, "key {k} must load exactly once");
+        }
+        assert_eq!(s.loads, KEYS);
+    }
+
+    /// Stress with a capacity small enough to force constant eviction:
+    /// the accounting invariants must still hold (this exercises the
+    /// evict/reload races the LRU loop can hit under concurrency).
+    #[test]
+    fn stress_with_evictions_keeps_bytes_within_capacity() {
+        const CAP: usize = 300; // fits ~3 of the 100-byte entries
+        let pool = Arc::new(BufferPool::new(CAP));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let p = pool.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    p.get_gop(&key("m", (i * 3 + t) % 10), load_ok(100)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.bytes, pool.resident_bytes());
+        assert!(s.bytes <= CAP, "stats.bytes {} exceeds capacity {CAP}", s.bytes);
+        assert!(s.evictions > 0, "this workload must evict");
+        assert_eq!(s.hits + s.misses, 400);
+        assert!(s.loads >= s.evictions, "every eviction implies an earlier load");
+    }
+
+    /// A single entry larger than the whole pool is served to the
+    /// caller but never stays resident — and `stats.bytes` never
+    /// exceeds capacity (pre-fix it was pinned forever by the
+    /// `map.len() > 1` eviction guard).
+    #[test]
+    fn oversized_entry_is_served_but_not_retained() {
+        let pool = BufferPool::new(100);
+        let bytes = pool.get_gop(&key("m", 0), load_ok(150)).unwrap();
+        assert_eq!(bytes.len(), 150, "caller still gets the payload");
+        assert_eq!(pool.len(), 0);
+        let s = pool.stats();
+        assert_eq!(s.bytes, 0);
+        assert_eq!(s.bytes, pool.resident_bytes());
+        assert_eq!(s.evictions, 1);
+        // A smaller entry may now be admitted normally.
+        pool.get_gop(&key("m", 1), load_ok(80)).unwrap();
+        assert_eq!(pool.stats().bytes, 80);
+        // The oversized key misses again (it was never cached).
+        pool.get_gop(&key("m", 0), load_ok(150)).unwrap();
+        assert_eq!(pool.stats().misses, 3);
+        // ... and inserting it evicts the small entry first, then
+        // itself, leaving the pool empty but consistent.
+        let s = pool.stats();
+        assert_eq!(s.bytes, pool.resident_bytes());
+        assert!(s.bytes <= 100);
+    }
+
+    /// An eviction-forced reload of the same key must release the
+    /// replaced bytes before accounting the new entry.
+    #[test]
+    fn evicted_key_reload_accounts_once() {
+        let pool = BufferPool::new(250);
+        pool.get_gop(&key("m", 0), load_ok(100)).unwrap();
+        pool.get_gop(&key("m", 1), load_ok(100)).unwrap();
+        pool.get_gop(&key("m", 2), load_ok(100)).unwrap(); // evicts gop 0
+        pool.get_gop(&key("m", 0), load_ok(100)).unwrap(); // reload
+        let s = pool.stats();
+        assert_eq!(s.bytes, pool.resident_bytes());
+        assert!(s.bytes <= 250);
+        assert_eq!(s.loads, 4);
     }
 }
