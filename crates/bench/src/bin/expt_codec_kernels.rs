@@ -1,0 +1,8 @@
+//! Hot-kernel microbenchmarks for the codec overhaul (word-level bit
+//! I/O, fixed-point DCT, SWAR SAD, allocation-free loops); see
+//! EXPERIMENTS.md "Codec kernel throughput". `--smoke` runs a
+//! sub-second correctness-only pass for CI.
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    lightdb_bench::codec_kernels::print(smoke);
+}

@@ -1,0 +1,393 @@
+//! Codec hot-kernel microbenchmarks (see DESIGN.md, "Codec kernels &
+//! numeric contracts").
+//!
+//! Measures the overhauled kernels against the scalar/f64 `reference`
+//! modules they replaced — those modules *are* the pre-overhaul
+//! implementations, retained verbatim as differential oracles — plus
+//! end-to-end encode/decode throughput of the full codec:
+//!
+//! * entropy coding: Exp-Golomb encode/decode, Mbit/s;
+//! * transform: 8×8 forward/inverse DCT, blocks/s;
+//! * motion estimation: 16×16 SAD, macroblocks/s;
+//! * end-to-end: whole-stream encode and decode, frames/s.
+//!
+//! `--smoke` shrinks every measurement window so the binary finishes
+//! in well under a second while still executing every kernel pair and
+//! asserting fast == reference on each workload; CI runs it in release
+//! mode as a cheap "kernels still work when optimised" gate.
+
+use lightdb_codec::bitio::reference::{RefBitReader, RefBitWriter};
+use lightdb_codec::bitio::{BitReader, BitWriter};
+use lightdb_codec::{golomb, predict, transform, Decoder, Encoder, EncoderConfig, TileGrid};
+use lightdb_frame::{Frame, Yuv};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Measures two competing passes by strictly alternating them inside
+/// one window until `target_secs` elapse; each call returns the
+/// number of work units it performed. Interleaving means scheduler
+/// noise (this often runs on a shared single-core box) hits both
+/// sides equally instead of skewing whichever ran second. Returns
+/// `(units_a/sec, units_b/sec)`.
+fn rate2(target_secs: f64, mut a: impl FnMut() -> u64, mut b: impl FnMut() -> u64) -> (f64, f64) {
+    let (mut ua, mut ub) = (0u64, 0u64);
+    let (mut ta, mut tb) = (0f64, 0f64);
+    loop {
+        let t = Instant::now();
+        ua += a();
+        ta += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        ub += b();
+        tb += t.elapsed().as_secs_f64();
+        if ta + tb >= target_secs {
+            return (ua as f64 / ta, ub as f64 / tb);
+        }
+    }
+}
+
+fn fmt_rate(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn print_row(label: &str, fast: f64, reference: f64) {
+    crate::row(
+        label,
+        &[
+            fmt_rate(fast),
+            fmt_rate(reference),
+            format!("{:.2}x", fast / reference),
+        ],
+    );
+}
+
+/// Deterministic xorshift; no external RNG dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// Symbol stream shaped like real residual data: mostly small values
+/// (short codewords) with an occasional large outlier.
+fn symbols(n: usize) -> Vec<u32> {
+    let mut rng = Rng(0x5eed_cafe_f00d_d00d);
+    (0..n)
+        .map(|_| {
+            let r = rng.next();
+            if r.is_multiple_of(31) {
+                (r >> 8) as u32 % 100_000
+            } else {
+                (r >> 8) as u32 % 48
+            }
+        })
+        .collect()
+}
+
+fn entropy(target: f64, n: usize) {
+    let syms = symbols(n);
+
+    // Correctness cross-check before timing anything.
+    let mut fast_w = BitWriter::new();
+    let mut ref_w = RefBitWriter::new();
+    for &s in &syms {
+        golomb::write_ue(&mut fast_w, s);
+        golomb::reference::write_ue(&mut ref_w, s);
+    }
+    let bytes = fast_w.into_bytes();
+    assert_eq!(
+        bytes,
+        ref_w.into_bytes(),
+        "fast and reference entropy encodings diverge"
+    );
+    let bits = (bytes.len() * 8) as u64;
+
+    let mut w = BitWriter::new();
+    let (enc_fast, enc_ref) = rate2(
+        target,
+        || {
+            w.clear();
+            for &s in &syms {
+                golomb::write_ue(&mut w, s);
+            }
+            black_box(w.aligned_bytes());
+            bits
+        },
+        || {
+            let mut w = RefBitWriter::new();
+            for &s in &syms {
+                golomb::reference::write_ue(&mut w, s);
+            }
+            black_box(w.into_bytes());
+            bits
+        },
+    );
+    print_row("entropy enc (Mbit/s)", enc_fast / 1e6, enc_ref / 1e6);
+
+    let (dec_fast, dec_ref) = rate2(
+        target,
+        || {
+            let mut r = BitReader::new(&bytes);
+            let mut acc = 0u64;
+            for _ in 0..syms.len() {
+                acc ^= golomb::read_ue(&mut r).expect("valid stream") as u64;
+            }
+            black_box(acc);
+            bits
+        },
+        || {
+            let mut r = RefBitReader::new(&bytes);
+            let mut acc = 0u64;
+            for _ in 0..syms.len() {
+                acc ^= golomb::reference::read_ue(&mut r).expect("valid stream") as u64;
+            }
+            black_box(acc);
+            bits
+        },
+    );
+    print_row("entropy dec (Mbit/s)", dec_fast / 1e6, dec_ref / 1e6);
+}
+
+/// Blocks drawn from the same synthetic scene corpus the end-to-end
+/// benchmark encodes: alternating 8×8 luma tiles (what intra coding
+/// transforms) and frame-difference tiles (what inter residuals look
+/// like), so the transform benchmark sees the coefficient
+/// distributions the codec actually processes rather than an
+/// arbitrary synthetic population.
+fn residual_blocks(n: usize) -> Vec<[i32; 64]> {
+    let frames = scene(64, 64, 4);
+    let tiles_per_row = 64 / 8;
+    let tiles_per_frame = tiles_per_row * tiles_per_row;
+    (0..n)
+        .map(|i| {
+            let t = i / 2 % tiles_per_frame;
+            let (tx, ty) = (t % tiles_per_row * 8, t / tiles_per_row * 8);
+            let f = &frames[i / 2 / tiles_per_frame % (frames.len() - 1)];
+            let g = &frames[i / 2 / tiles_per_frame % (frames.len() - 1) + 1];
+            let mut b = [0i32; 64];
+            for y in 0..8 {
+                for x in 0..8 {
+                    b[y * 8 + x] = if i % 2 == 0 {
+                        f.luma_at(tx + x, ty + y) as i32 - 128
+                    } else {
+                        g.luma_at(tx + x, ty + y) as i32 - f.luma_at(tx + x, ty + y) as i32
+                    };
+                }
+            }
+            b
+        })
+        .collect()
+}
+
+fn dct(target: f64, n: usize) {
+    let pixel_blocks = residual_blocks(n);
+    // The decode-side inverse only ever sees dequantised levels;
+    // benchmark it on exactly that population (qp matches the
+    // end-to-end scene encode below).
+    let coeff_blocks: Vec<[i32; 64]> = pixel_blocks
+        .iter()
+        .map(|b| {
+            let mut c = transform::forward(b);
+            lightdb_codec::quant::quantize(&mut c, 20, true);
+            lightdb_codec::quant::dequantize(&mut c, 20);
+            c
+        })
+        .collect();
+    for (p, c) in pixel_blocks.iter().zip(coeff_blocks.iter()) {
+        assert_eq!(
+            transform::reference::forward(p),
+            transform::forward(p),
+            "fast and reference forward DCT diverge"
+        );
+        assert_eq!(
+            transform::reference::inverse(c),
+            transform::inverse(c),
+            "fast and reference inverse DCT diverge"
+        );
+    }
+
+    let units = n as u64;
+    let (fwd_fast, fwd_ref) = rate2(
+        target,
+        || {
+            for b in &pixel_blocks {
+                black_box(transform::forward(black_box(b)));
+            }
+            units
+        },
+        || {
+            for b in &pixel_blocks {
+                black_box(transform::reference::forward(black_box(b)));
+            }
+            units
+        },
+    );
+    print_row("DCT fwd (kblocks/s)", fwd_fast / 1e3, fwd_ref / 1e3);
+
+    let (inv_fast, inv_ref) = rate2(
+        target,
+        || {
+            for c in &coeff_blocks {
+                black_box(transform::inverse(black_box(c)));
+            }
+            units
+        },
+        || {
+            for c in &coeff_blocks {
+                black_box(transform::reference::inverse(black_box(c)));
+            }
+            units
+        },
+    );
+    print_row("DCT inv (kblocks/s)", inv_fast / 1e3, inv_ref / 1e3);
+}
+
+fn sad(target: f64, dim: usize) {
+    let mut rng = Rng(0x5ad_5ad_5ad);
+    let a: Vec<u8> = (0..dim * dim).map(|_| (rng.next() % 256) as u8).collect();
+    // Correlated with `a` so early exit fires realistically often.
+    let b: Vec<u8> = a
+        .iter()
+        .map(|&v| v.wrapping_add((rng.next() % 9) as u8).wrapping_sub(4))
+        .collect();
+
+    let positions: Vec<(usize, usize)> = (0..dim - 16)
+        .step_by(4)
+        .flat_map(|y| (0..dim - 16).step_by(4).map(move |x| (x, y)))
+        .collect();
+
+    for &(x, y) in &positions {
+        assert_eq!(
+            predict::sad_mb(&a, dim, x, y, &b, dim, x, y, u32::MAX),
+            predict::reference::sad_mb(&a, dim, x, y, &b, dim, x, y, u32::MAX),
+            "fast and reference SAD diverge"
+        );
+    }
+
+    let units = positions.len() as u64;
+    // A motion search compares every candidate against the running
+    // best; 600 is a realistic mid-search bound for 16×16 blocks.
+    for (label, bound) in [
+        ("SAD full (kMB/s)", u32::MAX),
+        ("SAD early-exit (kMB/s)", 600),
+    ] {
+        let (fast, refr) = rate2(
+            target,
+            || {
+                for &(x, y) in &positions {
+                    black_box(predict::sad_mb(&a, dim, x, y, &b, dim, 0, 0, bound));
+                }
+                units
+            },
+            || {
+                for &(x, y) in &positions {
+                    black_box(predict::reference::sad_mb(
+                        &a, dim, x, y, &b, dim, 0, 0, bound,
+                    ));
+                }
+                units
+            },
+        );
+        print_row(label, fast / 1e3, refr / 1e3);
+    }
+}
+
+/// The same deterministic moving scene the codec tests use.
+pub fn scene(w: usize, h: usize, n: usize) -> Vec<Frame> {
+    (0..n)
+        .map(|i| {
+            let mut f = Frame::new(w, h);
+            for y in 0..h {
+                for x in 0..w {
+                    let v = (((x + 3 * i) as f64 / 9.0).sin() * 60.0
+                        + (y as f64 / 7.0).cos() * 50.0
+                        + 128.0) as u8;
+                    f.set(x, y, Yuv::new(v, (x % 256) as u8, (y % 256) as u8));
+                }
+            }
+            f
+        })
+        .collect()
+}
+
+fn end_to_end(target: f64, w: usize, h: usize, n: usize) {
+    let frames = scene(w, h, n);
+    let enc = Encoder::new(EncoderConfig {
+        qp: 20,
+        gop_length: 6,
+        grid: TileGrid::new(2, 2),
+        ..Default::default()
+    })
+    .expect("valid config");
+    let stream = enc.encode(&frames).expect("encode");
+    let dec = Decoder::new();
+    assert_eq!(
+        dec.decode(&stream).expect("decode").len(),
+        n,
+        "roundtrip frame count"
+    );
+
+    let units = n as u64;
+    let (enc_rate, dec_rate) = rate2(
+        target.max(0.01),
+        || {
+            black_box(enc.encode(black_box(&frames)).expect("encode"));
+            units
+        },
+        || {
+            black_box(dec.decode(black_box(&stream)).expect("decode"));
+            units
+        },
+    );
+    crate::row(
+        "e2e (frames/s)",
+        &[
+            fmt_rate(enc_rate),
+            fmt_rate(dec_rate),
+            format!("{}x{} enc/dec", w, h),
+        ],
+    );
+}
+
+/// Runs every kernel benchmark and prints one table. `smoke` shrinks
+/// the workloads and measurement windows to CI scale.
+pub fn print(smoke: bool) {
+    let target = if smoke { 0.02 } else { 0.5 };
+    println!(
+        "Codec kernel throughput, single thread{} — fast vs. retained reference kernels",
+        if smoke { " (smoke scale)" } else { "" }
+    );
+    crate::row(
+        "kernel",
+        &["fast".into(), "reference".into(), "speedup".into()],
+    );
+    entropy(target, if smoke { 1 << 12 } else { 1 << 16 });
+    dct(target, if smoke { 64 } else { 512 });
+    sad(target, if smoke { 64 } else { 192 });
+    if smoke {
+        end_to_end(0.0, 64, 32, 4);
+    } else {
+        end_to_end(1.0, 256, 128, 12);
+    }
+    println!("ok: all fast/reference cross-checks passed");
+}
+
+#[cfg(test)]
+mod tests {
+    /// The smoke configuration must run, cross-check every kernel
+    /// pair, and not panic — this is what CI executes in release mode.
+    #[test]
+    fn smoke_runs_and_cross_checks() {
+        super::print(true);
+    }
+}

@@ -3,16 +3,28 @@
 //! The entropy layer writes MSB-first into a `Vec<u8>`; tile payloads
 //! are byte-aligned by flushing with zero padding, which is what makes
 //! byte-range tile extraction possible.
+//!
+//! Both ends work a machine word at a time: the writer packs bits into
+//! a `u64` accumulator and spills whole 32-bit chunks; the reader
+//! refills a left-aligned `u64` window from up to eight payload bytes
+//! per refill and serves `read_bits`/unary scans from it with shifts
+//! and `leading_zeros` — no per-bit loops on any hot path. The
+//! bit-at-a-time originals survive in [`reference`] as differential
+//! oracles: both sides must produce/consume *identical* bit sequences,
+//! which the property tests at the bottom of this file enforce.
 
 use crate::{CodecError, Result};
 
-/// MSB-first bit writer.
+/// MSB-first bit writer with a word-level accumulator.
+///
+/// Invariant: `pending < 32` between calls, so a `write_bits` of up to
+/// 32 bits always fits the 64-bit accumulator without loss.
 #[derive(Debug, Default)]
 pub struct BitWriter {
     buf: Vec<u8>,
-    /// Bits pending in `acc`, 0..8.
+    /// Bits pending in the low end of `acc`, `0..32`.
     pending: u32,
-    acc: u8,
+    acc: u64,
 }
 
 impl BitWriter {
@@ -20,35 +32,71 @@ impl BitWriter {
         BitWriter::default()
     }
 
+    /// A writer that reuses `buf` (cleared) as its backing storage —
+    /// the scratch-arena path that keeps steady-state encode free of
+    /// per-tile allocations.
+    pub fn with_buffer(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        BitWriter {
+            buf,
+            pending: 0,
+            acc: 0,
+        }
+    }
+
     /// Writes the low `n` bits of `value`, MSB first. `n ≤ 32`.
+    #[inline]
     pub fn write_bits(&mut self, value: u32, n: u32) {
         debug_assert!(n <= 32);
-        for i in (0..n).rev() {
-            self.write_bit((value >> i) & 1 == 1);
+        if n == 0 {
+            return;
+        }
+        let masked = (value as u64) & (u64::MAX >> (64 - n));
+        self.acc = (self.acc << n) | masked;
+        self.pending += n;
+        if self.pending >= 32 {
+            self.pending -= 32;
+            let chunk = (self.acc >> self.pending) as u32;
+            self.buf.extend_from_slice(&chunk.to_be_bytes());
         }
     }
 
     #[inline]
     pub fn write_bit(&mut self, bit: bool) {
-        self.acc = (self.acc << 1) | bit as u8;
-        self.pending += 1;
-        if self.pending == 8 {
-            self.buf.push(self.acc);
-            self.acc = 0;
-            self.pending = 0;
-        }
+        self.write_bits(bit as u32, 1);
     }
 
     /// Pads with zero bits to the next byte boundary.
     pub fn align(&mut self) {
-        while self.pending != 0 {
-            self.write_bit(false);
+        let pad = (8 - self.pending % 8) % 8;
+        self.write_bits(0, pad);
+        // Spill now-complete bytes so `byte_len` stays exact.
+        while self.pending >= 8 {
+            self.pending -= 8;
+            self.buf.push((self.acc >> self.pending) as u8);
         }
     }
 
     /// Number of complete bytes written so far.
     pub fn byte_len(&self) -> usize {
-        self.buf.len()
+        self.buf.len() + self.pending as usize / 8
+    }
+
+    /// Resets the writer for reuse, keeping the backing allocation —
+    /// the scratch path that makes steady-state encode allocation-free.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.pending = 0;
+        self.acc = 0;
+    }
+
+    /// Aligns to a byte boundary and exposes the bytes written so far
+    /// without consuming the writer. Produces the same bytes as
+    /// [`BitWriter::into_bytes`], but the writer (and its buffer) can
+    /// be [`BitWriter::clear`]ed and reused afterwards.
+    pub fn aligned_bytes(&mut self) -> &[u8] {
+        self.align();
+        &self.buf
     }
 
     /// Finishes the stream (aligning first) and returns the bytes.
@@ -58,54 +106,138 @@ impl BitWriter {
     }
 }
 
-/// MSB-first bit reader.
+/// MSB-first bit reader with a left-aligned `u64` bit window.
+///
+/// `acc` holds the next `avail` unread bits in its most-significant
+/// end; `ptr` counts whole payload bytes consumed into the window.
+/// Refills pull up to eight bytes at once, so `read_bits` and the
+/// unary scan used by Exp-Golomb decode touch memory once per ~8
+/// payload bytes instead of once per bit.
 #[derive(Debug)]
 pub struct BitReader<'a> {
     buf: &'a [u8],
-    /// Next bit position.
-    pos: usize,
+    /// Next unconsumed byte offset in `buf`.
+    ptr: usize,
+    /// Unread bits, left-aligned (MSB-first).
+    acc: u64,
+    /// Number of valid bits at the top of `acc`, `0..=64`.
+    avail: u32,
 }
 
 impl<'a> BitReader<'a> {
     pub fn new(buf: &'a [u8]) -> Self {
-        BitReader { buf, pos: 0 }
+        BitReader {
+            buf,
+            ptr: 0,
+            acc: 0,
+            avail: 0,
+        }
+    }
+
+    /// Tops up the bit window from the byte buffer. After this, either
+    /// `avail ≥ 57` or every remaining payload bit is in the window.
+    #[inline]
+    fn refill(&mut self) {
+        if self.ptr + 8 <= self.buf.len() {
+            // Bulk path: load a big-endian word and keep however many
+            // whole bytes fit below the current window.
+            // Only called with avail < 32, so the shift below is safe
+            // and at least four whole bytes are absorbed.
+            let word = u64::from_be_bytes(
+                self.buf[self.ptr..self.ptr + 8]
+                    .try_into()
+                    .expect("8-byte slice"),
+            );
+            self.acc |= word >> self.avail;
+            let taken = (64 - self.avail) / 8; // whole bytes absorbed
+            self.ptr += taken as usize;
+            self.avail += taken * 8;
+        } else {
+            while self.avail <= 56 && self.ptr < self.buf.len() {
+                self.acc |= (self.buf[self.ptr] as u64) << (56 - self.avail);
+                self.ptr += 1;
+                self.avail += 8;
+            }
+        }
     }
 
     /// Reads one bit; errors at end of buffer.
     #[inline]
     pub fn read_bit(&mut self) -> Result<bool> {
-        let byte = self.pos / 8;
-        if byte >= self.buf.len() {
-            return Err(CodecError::Corrupt("bit read past end of payload"));
-        }
-        let bit = (self.buf[byte] >> (7 - self.pos % 8)) & 1 == 1;
-        self.pos += 1;
-        Ok(bit)
+        Ok(self.read_bits(1)? == 1)
     }
 
     /// Reads `n ≤ 32` bits MSB first.
+    #[inline]
     pub fn read_bits(&mut self, n: u32) -> Result<u32> {
         debug_assert!(n <= 32);
-        let mut v = 0u32;
-        for _ in 0..n {
-            v = (v << 1) | self.read_bit()? as u32;
+        if n == 0 {
+            return Ok(0);
         }
+        if self.avail < n {
+            self.refill();
+            if self.avail < n {
+                return Err(CodecError::Corrupt("bit read past end of payload"));
+            }
+        }
+        let v = (self.acc >> (64 - n)) as u32;
+        self.acc <<= n;
+        self.avail -= n;
         Ok(v)
+    }
+
+    /// Counts and consumes the run of zero bits before (and including)
+    /// the next 1 bit, returning the run length — the Exp-Golomb
+    /// prefix scan. Runs longer than `limit` zeros error out *before*
+    /// the stream position passes them, as do runs that hit the end of
+    /// the payload.
+    #[inline]
+    pub fn read_unary_capped(&mut self, limit: u32) -> Result<u32> {
+        let mut zeros = 0u32;
+        loop {
+            if self.avail == 0 {
+                self.refill();
+                if self.avail == 0 {
+                    return Err(CodecError::Corrupt("bit read past end of payload"));
+                }
+            }
+            // Zeros visible in the current window (the window's unused
+            // low end is zero-filled, so cap the count at `avail`).
+            let lz = self.acc.leading_zeros().min(self.avail);
+            if zeros + lz > limit {
+                return Err(CodecError::Corrupt("exp-golomb prefix too long"));
+            }
+            zeros += lz;
+            if lz < self.avail {
+                // Terminating 1 bit is in the window: consume run + 1.
+                self.acc <<= lz + 1;
+                self.avail -= lz + 1;
+                return Ok(zeros);
+            }
+            // Window exhausted mid-run; drop it and refill.
+            self.acc = 0;
+            self.avail = 0;
+        }
     }
 
     /// Skips to the next byte boundary.
     pub fn align(&mut self) {
-        self.pos = self.pos.div_ceil(8) * 8;
+        let extra = self.bit_position() % 8;
+        if extra != 0 {
+            let n = (8 - extra) as u32;
+            self.acc <<= n;
+            self.avail -= n;
+        }
     }
 
     /// Bits consumed so far.
     pub fn bit_position(&self) -> usize {
-        self.pos
+        self.ptr * 8 - self.avail as usize
     }
 
     /// True when fewer than one bit remains.
     pub fn is_exhausted(&self) -> bool {
-        self.pos >= self.buf.len() * 8
+        self.avail == 0 && self.ptr >= self.buf.len()
     }
 }
 
@@ -127,7 +259,9 @@ pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {
-        let byte = *buf.get(*pos).ok_or(CodecError::Corrupt("varint past end"))?;
+        let byte = *buf
+            .get(*pos)
+            .ok_or(CodecError::Corrupt("varint past end"))?;
         *pos += 1;
         if shift >= 64 {
             return Err(CodecError::Corrupt("varint overflow"));
@@ -140,8 +274,97 @@ pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
     }
 }
 
+/// Bit-at-a-time reference implementations: the pre-overhaul writer
+/// and reader, kept as differential oracles for the word-level fast
+/// paths (and as the baseline side of `expt_codec_kernels`).
+#[doc(hidden)]
+pub mod reference {
+    use crate::{CodecError, Result};
+
+    /// MSB-first bit writer (reference, one bit per call).
+    #[derive(Debug, Default)]
+    pub struct RefBitWriter {
+        buf: Vec<u8>,
+        pending: u32,
+        acc: u8,
+    }
+
+    impl RefBitWriter {
+        pub fn new() -> Self {
+            RefBitWriter::default()
+        }
+
+        pub fn write_bits(&mut self, value: u32, n: u32) {
+            debug_assert!(n <= 32);
+            for i in (0..n).rev() {
+                self.write_bit((value >> i) & 1 == 1);
+            }
+        }
+
+        #[inline]
+        pub fn write_bit(&mut self, bit: bool) {
+            self.acc = (self.acc << 1) | bit as u8;
+            self.pending += 1;
+            if self.pending == 8 {
+                self.buf.push(self.acc);
+                self.acc = 0;
+                self.pending = 0;
+            }
+        }
+
+        pub fn align(&mut self) {
+            while self.pending != 0 {
+                self.write_bit(false);
+            }
+        }
+
+        pub fn into_bytes(mut self) -> Vec<u8> {
+            self.align();
+            self.buf
+        }
+    }
+
+    /// MSB-first bit reader (reference, one bit per call).
+    #[derive(Debug)]
+    pub struct RefBitReader<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> RefBitReader<'a> {
+        pub fn new(buf: &'a [u8]) -> Self {
+            RefBitReader { buf, pos: 0 }
+        }
+
+        #[inline]
+        pub fn read_bit(&mut self) -> Result<bool> {
+            let byte = self.pos / 8;
+            if byte >= self.buf.len() {
+                return Err(CodecError::Corrupt("bit read past end of payload"));
+            }
+            let bit = (self.buf[byte] >> (7 - self.pos % 8)) & 1 == 1;
+            self.pos += 1;
+            Ok(bit)
+        }
+
+        pub fn read_bits(&mut self, n: u32) -> Result<u32> {
+            debug_assert!(n <= 32);
+            let mut v = 0u32;
+            for _ in 0..n {
+                v = (v << 1) | self.read_bit()? as u32;
+            }
+            Ok(v)
+        }
+
+        pub fn bit_position(&self) -> usize {
+            self.pos
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::reference::{RefBitReader, RefBitWriter};
     use super::*;
     use proptest::prelude::*;
 
@@ -175,8 +398,91 @@ mod tests {
     }
 
     #[test]
+    fn full_width_writes_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(u32::MAX, 32);
+        w.write_bits(0, 32);
+        w.write_bits(0xdead_beef, 32);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(32).unwrap(), u32::MAX);
+        assert_eq!(r.read_bits(32).unwrap(), 0);
+        assert_eq!(r.read_bits(32).unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn write_bits_masks_high_bits() {
+        // Callers pass unmasked values; only the low n bits may land.
+        let mut w = BitWriter::new();
+        w.write_bits(0xffff_ffff, 3);
+        w.align();
+        assert_eq!(w.into_bytes(), vec![0b1110_0000]);
+    }
+
+    #[test]
+    fn cleared_writer_matches_fresh_writer() {
+        let mut reused = BitWriter::new();
+        reused.write_bits(0xdead, 16);
+        reused.write_bit(true);
+        let _ = reused.aligned_bytes();
+        reused.clear();
+        let mut fresh = BitWriter::new();
+        for w in [&mut reused, &mut fresh] {
+            w.write_bits(0b101, 3);
+            w.write_bits(0xbeef, 16);
+        }
+        assert_eq!(reused.aligned_bytes(), fresh.aligned_bytes());
+        assert_eq!(reused.aligned_bytes().to_vec(), fresh.into_bytes());
+    }
+
+    #[test]
+    fn byte_len_counts_accumulated_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.byte_len(), 0);
+        w.write_bits(0, 9);
+        assert_eq!(w.byte_len(), 1); // one complete byte, one pending bit
+        w.write_bits(0, 23);
+        assert_eq!(w.byte_len(), 4);
+    }
+
+    #[test]
+    fn unary_scan_matches_bit_loop_and_caps() {
+        // 40 zero bits then a 1: capped scans must reject before
+        // consuming the run.
+        let mut bytes = vec![0u8; 5];
+        bytes.push(0b1000_0000);
+        let mut r = BitReader::new(&bytes);
+        assert!(r.read_unary_capped(32).is_err());
+        // Uncapped-equivalent: limit 64 admits the run.
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_unary_capped(64).unwrap(), 40);
+        assert_eq!(r.bit_position(), 41);
+        // All-zero payload: end of buffer, not an infinite loop.
+        let zeros = [0u8; 3];
+        let mut r = BitReader::new(&zeros);
+        assert!(r.read_unary_capped(64).is_err());
+    }
+
+    #[test]
+    fn bit_position_tracks_window_reads() {
+        let bytes: Vec<u8> = (0..32).collect();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bit_position(), 0);
+        r.read_bits(5).unwrap();
+        assert_eq!(r.bit_position(), 5);
+        r.read_bits(32).unwrap();
+        assert_eq!(r.bit_position(), 37);
+        r.align();
+        assert_eq!(r.bit_position(), 40);
+    }
+
+    #[test]
     fn varint_known_values() {
-        for (v, expect) in [(0u64, vec![0u8]), (127, vec![0x7f]), (128, vec![0x80, 0x01])] {
+        for (v, expect) in [
+            (0u64, vec![0u8]),
+            (127, vec![0x7f]),
+            (128, vec![0x80, 0x01]),
+        ] {
             let mut out = Vec::new();
             write_varint(&mut out, v);
             assert_eq!(out, expect);
@@ -212,6 +518,74 @@ mod tests {
             let mut r = BitReader::new(&bytes);
             for &b in &bits {
                 prop_assert_eq!(r.read_bit().unwrap(), b);
+            }
+        }
+
+        /// Word-level writer vs bit-at-a-time reference: identical
+        /// bytes for arbitrary (value, width) sequences.
+        #[test]
+        fn writer_matches_reference(
+            fields in proptest::collection::vec((any::<u32>(), 0u32..=32), 0..128),
+        ) {
+            let mut fast = BitWriter::new();
+            let mut slow = RefBitWriter::new();
+            for &(v, n) in &fields {
+                fast.write_bits(v, n);
+                slow.write_bits(v, n);
+            }
+            prop_assert_eq!(fast.into_bytes(), slow.into_bytes());
+        }
+
+        /// Word-level reader vs reference over the same byte stream:
+        /// identical values, positions, and error points for
+        /// arbitrary read-width schedules.
+        #[test]
+        fn reader_matches_reference(
+            bytes in proptest::collection::vec(any::<u8>(), 0..96),
+            widths in proptest::collection::vec(1u32..=32, 1..64),
+        ) {
+            let mut fast = BitReader::new(&bytes);
+            let mut slow = RefBitReader::new(&bytes);
+            for &n in &widths {
+                let a = fast.read_bits(n);
+                let b = slow.read_bits(n);
+                match (a, b) {
+                    (Ok(x), Ok(y)) => {
+                        prop_assert_eq!(x, y);
+                        prop_assert_eq!(fast.bit_position(), slow.bit_position());
+                    }
+                    (Err(_), Err(_)) => break,
+                    (a, b) => prop_assert!(false, "divergent EOF: fast {a:?} vs slow {b:?}"),
+                }
+            }
+        }
+
+        /// The unary scanner agrees with a read_bit loop on arbitrary
+        /// buffers (both the run length and the stream position).
+        #[test]
+        fn unary_matches_bit_loop(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let mut fast = BitReader::new(&bytes);
+            let mut slow = RefBitReader::new(&bytes);
+            loop {
+                let mut zeros = 0u32;
+                let slow_run = loop {
+                    match slow.read_bit() {
+                        Ok(false) => zeros += 1,
+                        Ok(true) => break Ok(zeros),
+                        Err(e) => break Err(e),
+                    }
+                };
+                match (fast.read_unary_capped(u32::MAX), slow_run) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(a, b);
+                        prop_assert_eq!(fast.bit_position(), slow.bit_position());
+                    }
+                    (Err(_), Err(_)) => break,
+                    (a, b) => prop_assert!(false, "divergent unary: fast {a:?} vs slow {b:?}"),
+                }
+                if fast.is_exhausted() {
+                    break;
+                }
             }
         }
     }

@@ -11,6 +11,7 @@ use crate::golomb::{read_se, read_ue};
 use crate::gop::{EncodedGop, FrameType};
 use crate::predict::{dc_predictor, extract_block, store_block, MotionVector};
 use crate::quant::{dequantize, QP_MAX};
+use crate::scratch::DecoderScratch;
 use crate::stream::{SequenceHeader, VideoStream};
 use crate::tile::TileRect;
 use crate::transform::{inverse, ZIGZAG};
@@ -28,20 +29,36 @@ impl Decoder {
 
     /// Decodes an entire stream into frames.
     pub fn decode(&self, stream: &VideoStream) -> Result<Vec<Frame>> {
+        let mut scratch = DecoderScratch::new();
         let mut out = Vec::with_capacity(stream.frame_count());
         for gop in &stream.gops {
-            out.extend(self.decode_gop(&stream.header, gop)?);
+            out.extend(self.decode_gop_scratch(&stream.header, gop, &mut scratch)?);
         }
         Ok(out)
     }
 
     /// Decodes one GOP into full frames.
     pub fn decode_gop(&self, header: &SequenceHeader, gop: &EncodedGop) -> Result<Vec<Frame>> {
+        self.decode_gop_scratch(header, gop, &mut DecoderScratch::new())
+    }
+
+    /// Allocation-reusing form of [`Decoder::decode_gop`]: tile
+    /// reconstructions are double-buffered through `scratch`, so at
+    /// steady state the only allocations are the returned frames.
+    pub fn decode_gop_scratch(
+        &self,
+        header: &SequenceHeader,
+        gop: &EncodedGop,
+        scratch: &mut DecoderScratch,
+    ) -> Result<Vec<Frame>> {
         header.validate()?;
         let (w, h) = (header.width, header.height);
         let grid = header.grid;
         let tile_count = grid.tile_count();
-        let mut recon_tiles: Vec<Option<Frame>> = vec![None; tile_count];
+        let DecoderScratch {
+            tiles: recon_tiles,
+            spare,
+        } = scratch;
         let mut out = Vec::with_capacity(gop.frame_count());
         for (fi, ef) in gop.frames.iter().enumerate() {
             if ef.tiles.len() != tile_count {
@@ -50,22 +67,36 @@ impl Decoder {
             if fi == 0 && ef.frame_type != FrameType::Key {
                 return Err(CodecError::Corrupt("GOP must start with a keyframe"));
             }
+            // Output frame, pre-sized from the sequence header.
             let mut frame = Frame::new(w, h);
-            #[allow(clippy::needless_range_loop)]
             for t in 0..tile_count {
                 let rect = grid.tile_rect(t, w, h);
+                // A predicted frame can only follow this GOP's keyframe,
+                // which populated (or refreshed) every tile slot — a
+                // stale frame from a previous GOP is never read.
                 let reference = match ef.frame_type {
                     FrameType::Key => None,
                     FrameType::Predicted => Some(
-                        recon_tiles[t]
-                            .as_ref()
+                        recon_tiles
+                            .get(t)
                             .ok_or(CodecError::Corrupt("predicted frame without reference"))?,
                     ),
                 };
-                let tile =
-                    decode_tile_payload(&ef.tiles[t], rect.w, rect.h, ef.frame_type, reference)?;
-                frame.blit(&tile, rect.x0, rect.y0);
-                recon_tiles[t] = Some(tile);
+                decode_tile_payload_into(
+                    &ef.tiles[t],
+                    rect.w,
+                    rect.h,
+                    ef.frame_type,
+                    reference,
+                    spare,
+                )?;
+                frame.blit(spare, rect.x0, rect.y0);
+                // The fresh tile becomes tile t's reference.
+                if recon_tiles.len() <= t {
+                    recon_tiles.push(std::mem::replace(spare, Frame::empty()));
+                } else {
+                    std::mem::swap(&mut recon_tiles[t], spare);
+                }
             }
             out.push(frame);
         }
@@ -86,8 +117,7 @@ impl Decoder {
             return Err(CodecError::Geometry(format!("tile {index} out of range")));
         }
         let rect = grid.tile_rect(index, header.width, header.height);
-        let mut reference: Option<Frame> = None;
-        let mut out = Vec::with_capacity(gop.frame_count());
+        let mut out: Vec<Frame> = Vec::with_capacity(gop.frame_count());
         for (fi, ef) in gop.frames.iter().enumerate() {
             let payload = ef
                 .tiles
@@ -96,16 +126,15 @@ impl Decoder {
             if fi == 0 && ef.frame_type != FrameType::Key {
                 return Err(CodecError::Corrupt("GOP must start with a keyframe"));
             }
+            // The previous output frame *is* the reference — no copy.
             let refer = match ef.frame_type {
                 FrameType::Key => None,
                 FrameType::Predicted => Some(
-                    reference
-                        .as_ref()
+                    out.last()
                         .ok_or(CodecError::Corrupt("predicted frame without reference"))?,
                 ),
             };
             let tile = decode_tile_payload(payload, rect.w, rect.h, ef.frame_type, refer)?;
-            reference = Some(tile.clone());
             out.push(tile);
         }
         Ok(out)
@@ -120,10 +149,31 @@ pub fn decode_tile_payload(
     frame_type: FrameType,
     reference: Option<&Frame>,
 ) -> Result<Frame> {
+    let mut recon = Frame::empty();
+    decode_tile_payload_into(payload, w, h, frame_type, reference, &mut recon)?;
+    Ok(recon)
+}
+
+/// Allocation-reusing form of [`decode_tile_payload`]: decodes into a
+/// caller-provided frame (reshaped as needed), whose contents are
+/// unspecified on error. No clearing is needed: every sample is stored
+/// before the DC predictor can read it.
+pub fn decode_tile_payload_into(
+    payload: &[u8],
+    w: usize,
+    h: usize,
+    frame_type: FrameType,
+    reference: Option<&Frame>,
+    recon: &mut Frame,
+) -> Result<()> {
     if !w.is_multiple_of(MB_SIZE) || !h.is_multiple_of(MB_SIZE) {
-        return Err(CodecError::Geometry(format!("tile {w}×{h} not macroblock aligned")));
+        return Err(CodecError::Geometry(format!(
+            "tile {w}×{h} not macroblock aligned"
+        )));
     }
-    let (&qp, body) = payload.split_first().ok_or(CodecError::Corrupt("empty tile payload"))?;
+    let (&qp, body) = payload
+        .split_first()
+        .ok_or(CodecError::Corrupt("empty tile payload"))?;
     if qp > QP_MAX {
         return Err(CodecError::Corrupt("tile QP out of range"));
     }
@@ -133,7 +183,7 @@ pub fn decode_tile_payload(
         }
     }
     let rect = TileRect { x0: 0, y0: 0, w, h };
-    let mut recon = Frame::new(w, h);
+    recon.reshape(w, h);
     let mut bits = BitReader::new(body);
     let (mb_cols, mb_rows) = (w / MB_SIZE, h / MB_SIZE);
     for mb_row in 0..mb_rows {
@@ -155,10 +205,10 @@ pub fn decode_tile_payload(
                     }
                 }
             };
-            decode_macroblock(reference, &mut recon, &rect, mbx, mby, &mode, qp, &mut bits)?;
+            decode_macroblock(reference, recon, &rect, mbx, mby, &mode, qp, &mut bits)?;
         }
     }
-    Ok(recon)
+    Ok(())
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -192,12 +242,41 @@ fn decode_macroblock(
         for bx in 0..2 {
             let x = mbx + bx * BLOCK_SIZE;
             let y = mby + by * BLOCK_SIZE;
-            decode_block(reference, recon, PlaneKind::Luma, w, rect, x, y, mode, 1, qp, bits)?;
+            decode_block(
+                reference,
+                recon,
+                PlaneKind::Luma,
+                w,
+                rect,
+                x,
+                y,
+                mode,
+                1,
+                qp,
+                bits,
+            )?;
         }
     }
-    let crect = TileRect { x0: rect.x0 / 2, y0: rect.y0 / 2, w: rect.w / 2, h: rect.h / 2 };
+    let crect = TileRect {
+        x0: rect.x0 / 2,
+        y0: rect.y0 / 2,
+        w: rect.w / 2,
+        h: rect.h / 2,
+    };
     for plane in [PlaneKind::Cb, PlaneKind::Cr] {
-        decode_block(reference, recon, plane, w / 2, &crect, mbx / 2, mby / 2, mode, 2, qp, bits)?;
+        decode_block(
+            reference,
+            recon,
+            plane,
+            w / 2,
+            &crect,
+            mbx / 2,
+            mby / 2,
+            mode,
+            2,
+            qp,
+            bits,
+        )?;
     }
     Ok(())
 }
@@ -306,7 +385,10 @@ mod tests {
         let frames = moving_scene(64, 32, 2);
         let (payload, enc_recon) = encode_tile(&frames[0], None, 18, CodecKind::H264Sim);
         let dec = decode_tile_payload(&payload, 64, 32, FrameType::Key, None).unwrap();
-        assert_eq!(dec, enc_recon, "decoder must reproduce encoder reconstruction bit-exactly");
+        assert_eq!(
+            dec, enc_recon,
+            "decoder must reproduce encoder reconstruction bit-exactly"
+        );
     }
 
     #[test]
@@ -315,9 +397,8 @@ mod tests {
         let (_, key_recon) = encode_tile(&frames[0], None, 18, CodecKind::HevcSim);
         let (p_payload, p_recon) =
             encode_tile(&frames[1], Some(&key_recon), 18, CodecKind::HevcSim);
-        let dec =
-            decode_tile_payload(&p_payload, 64, 32, FrameType::Predicted, Some(&key_recon))
-                .unwrap();
+        let dec = decode_tile_payload(&p_payload, 64, 32, FrameType::Predicted, Some(&key_recon))
+            .unwrap();
         assert_eq!(dec, p_recon);
     }
 
@@ -343,8 +424,12 @@ mod tests {
     #[test]
     fn serialized_stream_roundtrip() {
         let frames = moving_scene(32, 32, 4);
-        let enc = Encoder::new(EncoderConfig { qp: 24, gop_length: 2, ..Default::default() })
-            .unwrap();
+        let enc = Encoder::new(EncoderConfig {
+            qp: 24,
+            gop_length: 2,
+            ..Default::default()
+        })
+        .unwrap();
         let stream = enc.encode(&frames).unwrap();
         let bytes = stream.to_bytes();
         let parsed = VideoStream::from_bytes(&bytes).unwrap();
@@ -430,7 +515,11 @@ mod tests {
     #[test]
     fn decode_gop_checks_tile_count() {
         let frames = moving_scene(32, 32, 1);
-        let enc = Encoder::new(EncoderConfig { qp: 30, ..Default::default() }).unwrap();
+        let enc = Encoder::new(EncoderConfig {
+            qp: 30,
+            ..Default::default()
+        })
+        .unwrap();
         let stream = enc.encode(&frames).unwrap();
         let mut header = stream.header;
         header.grid = TileGrid::new(2, 1); // lie about the grid

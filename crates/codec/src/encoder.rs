@@ -21,6 +21,7 @@ use crate::golomb::{write_se, write_ue};
 use crate::gop::{EncodedFrame, EncodedGop, FrameType};
 use crate::predict::{dc_predictor, extract_block, motion_search, store_block, MotionVector};
 use crate::quant::{dequantize, quantize, QP_MAX};
+use crate::scratch::EncoderScratch;
 use crate::stream::{CodecKind, SequenceHeader, VideoStream};
 use crate::tile::{TileGrid, TileRect};
 use crate::transform::{forward, inverse, ZIGZAG};
@@ -54,12 +55,18 @@ impl Default for EncoderConfig {
 impl EncoderConfig {
     /// A "high quality" preset (the paper's 50 Mbps HEVC setting).
     pub fn high_quality() -> Self {
-        EncoderConfig { qp: 6, ..Default::default() }
+        EncoderConfig {
+            qp: 6,
+            ..Default::default()
+        }
     }
 
     /// A "low quality" preset (the paper's 50 kbps setting).
     pub fn low_quality() -> Self {
-        EncoderConfig { qp: 45, ..Default::default() }
+        EncoderConfig {
+            qp: 45,
+            ..Default::default()
+        }
     }
 }
 
@@ -72,7 +79,10 @@ pub struct Encoder {
 impl Encoder {
     pub fn new(config: EncoderConfig) -> Result<Encoder> {
         if config.qp > QP_MAX {
-            return Err(CodecError::Geometry(format!("qp {} exceeds {QP_MAX}", config.qp)));
+            return Err(CodecError::Geometry(format!(
+                "qp {} exceeds {QP_MAX}",
+                config.qp
+            )));
         }
         if config.gop_length == 0 {
             return Err(CodecError::Geometry("gop length must be positive".into()));
@@ -96,7 +106,9 @@ impl Encoder {
     /// (row-major grid order) — the primitive behind quality-adaptive
     /// tiling.
     pub fn encode_with_tile_qp(&self, frames: &[Frame], tile_qp: &[u8]) -> Result<VideoStream> {
-        let first = frames.first().ok_or(CodecError::Geometry("no frames to encode".into()))?;
+        let first = frames
+            .first()
+            .ok_or(CodecError::Geometry("no frames to encode".into()))?;
         let (w, h) = (first.width(), first.height());
         self.config.grid.validate(w, h)?;
         if tile_qp.len() != self.config.grid.tile_count() {
@@ -107,11 +119,15 @@ impl Encoder {
             )));
         }
         if let Some(&bad) = tile_qp.iter().find(|&&q| q > QP_MAX) {
-            return Err(CodecError::Geometry(format!("tile qp {bad} exceeds {QP_MAX}")));
+            return Err(CodecError::Geometry(format!(
+                "tile qp {bad} exceeds {QP_MAX}"
+            )));
         }
         for f in frames {
             if f.width() != w || f.height() != h {
-                return Err(CodecError::Geometry("frame dimensions vary within stream".into()));
+                return Err(CodecError::Geometry(
+                    "frame dimensions vary within stream".into(),
+                ));
             }
         }
         let header = SequenceHeader {
@@ -122,9 +138,12 @@ impl Encoder {
             gop_length: self.config.gop_length,
             grid: self.config.grid,
         };
+        // One scratch arena serves every GOP: crops, reconstructions,
+        // and the entropy buffer are reused across the whole encode.
+        let mut scratch = EncoderScratch::new();
         let gops = frames
             .chunks(self.config.gop_length)
-            .map(|chunk| self.encode_gop(chunk, w, h, tile_qp))
+            .map(|chunk| self.encode_gop(chunk, w, h, tile_qp, &mut scratch))
             .collect::<Result<Vec<_>>>()?;
         Ok(VideoStream { header, gops })
     }
@@ -136,25 +155,49 @@ impl Encoder {
         w: usize,
         h: usize,
         tile_qp: &[u8],
+        scratch: &mut EncoderScratch,
     ) -> Result<EncodedGop> {
         let grid = self.config.grid;
         let tile_count = grid.tile_count();
-        let mut recon: Vec<Option<Frame>> = vec![None; tile_count];
+        let EncoderScratch {
+            src,
+            spare,
+            recon,
+            bits,
+        } = scratch;
         let mut encoded = Vec::with_capacity(frames.len());
         for (i, frame) in frames.iter().enumerate() {
-            let frame_type = if i == 0 { FrameType::Key } else { FrameType::Predicted };
+            let frame_type = if i == 0 {
+                FrameType::Key
+            } else {
+                FrameType::Predicted
+            };
             let mut tiles = Vec::with_capacity(tile_count);
             for t in 0..tile_count {
                 let rect = grid.tile_rect(t, w, h);
-                let src = frame.crop(rect.x0, rect.y0, rect.w, rect.h);
+                frame.crop_into(rect.x0, rect.y0, rect.w, rect.h, src);
+                // Keyframes never read `recon`, so stale entries from a
+                // previous GOP (or encode) are harmless.
                 let reference = match frame_type {
                     FrameType::Key => None,
-                    FrameType::Predicted => recon[t].as_ref(),
+                    FrameType::Predicted => Some(&recon[t]),
                 };
-                let (payload, rec) =
-                    encode_tile(&src, reference, tile_qp[t], self.config.codec);
-                recon[t] = Some(rec);
+                let payload = encode_tile_opts_into(
+                    src,
+                    reference,
+                    tile_qp[t],
+                    self.config.codec,
+                    self.config.codec.search_range(),
+                    spare,
+                    bits,
+                );
                 tiles.push(payload);
+                // The fresh reconstruction becomes tile t's reference.
+                if recon.len() <= t {
+                    recon.push(std::mem::replace(spare, Frame::empty()));
+                } else {
+                    std::mem::swap(&mut recon[t], spare);
+                }
             }
             encoded.push(EncodedFrame { frame_type, tiles });
         }
@@ -188,11 +231,40 @@ pub fn encode_tile_opts(
     codec: CodecKind,
     search_range: i32,
 ) -> (Vec<u8>, Frame) {
+    let mut recon = Frame::empty();
+    let mut bits = BitWriter::new();
+    let payload = encode_tile_opts_into(
+        src,
+        reference,
+        qp,
+        codec,
+        search_range,
+        &mut recon,
+        &mut bits,
+    );
+    (payload, recon)
+}
+
+/// Allocation-reusing form of [`encode_tile_opts`]: the reconstruction
+/// is built in `recon` (reshaped as needed) and the entropy bits in
+/// `bits` (cleared first); both keep their backing storage for the
+/// next call. Only the returned payload is freshly allocated.
+pub fn encode_tile_opts_into(
+    src: &Frame,
+    reference: Option<&Frame>,
+    qp: u8,
+    codec: CodecKind,
+    search_range: i32,
+    recon: &mut Frame,
+    bits: &mut BitWriter,
+) -> Vec<u8> {
     let (w, h) = (src.width(), src.height());
     debug_assert!(w % MB_SIZE == 0 && h % MB_SIZE == 0);
     let rect = TileRect { x0: 0, y0: 0, w, h };
-    let mut recon = Frame::new(w, h);
-    let mut bits = BitWriter::new();
+    // No clearing needed beyond the reshape: every sample of `recon`
+    // is stored by encode_block before the DC predictor can read it.
+    recon.reshape(w, h);
+    bits.clear();
     let deadzone = codec.deadzone();
 
     let (mb_cols, mb_rows) = (w / MB_SIZE, h / MB_SIZE);
@@ -226,19 +298,22 @@ pub fn encode_tile_opts(
                 match mode {
                     MbMode::Inter(mv) => {
                         bits.write_bit(false);
-                        write_se(&mut bits, mv.dx);
-                        write_se(&mut bits, mv.dy);
+                        write_se(bits, mv.dx);
+                        write_se(bits, mv.dy);
                     }
                     MbMode::Intra => bits.write_bit(true),
                 }
             }
-            encode_macroblock(src, reference, &mut recon, &rect, mbx, mby, &mode, qp, deadzone, &mut bits);
+            encode_macroblock(
+                src, reference, recon, &rect, mbx, mby, &mode, qp, deadzone, bits,
+            );
         }
     }
-    let mut payload = Vec::with_capacity(bits.byte_len() + 1);
+    let body = bits.aligned_bytes();
+    let mut payload = Vec::with_capacity(body.len() + 1);
     payload.push(qp);
-    payload.extend_from_slice(&bits.into_bytes());
-    (payload, recon)
+    payload.extend_from_slice(body);
+    payload
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -305,7 +380,12 @@ fn encode_macroblock(
         }
     }
     // One 8×8 block per chroma plane (4:2:0), at halved coordinates.
-    let crect = TileRect { x0: rect.x0 / 2, y0: rect.y0 / 2, w: rect.w / 2, h: rect.h / 2 };
+    let crect = TileRect {
+        x0: rect.x0 / 2,
+        y0: rect.y0 / 2,
+        w: rect.w / 2,
+        h: rect.h / 2,
+    };
     for plane in [PlaneKind::Cb, PlaneKind::Cr] {
         encode_block(
             src.plane(plane),
@@ -405,7 +485,10 @@ fn write_coeff_block(bits: &mut BitWriter, coeffs: &[i32; 64]) {
 pub fn reconstruction_error(src: &Frame, recon: &Frame) -> f64 {
     let a = src.plane(PlaneKind::Luma);
     let b = recon.plane(PlaneKind::Luma);
-    a.iter().zip(b.iter()).map(|(&x, &y)| (x as i32 - y as i32).abs() as f64).sum::<f64>()
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x as i32 - y as i32).abs() as f64)
+        .sum::<f64>()
         / a.len() as f64
 }
 
@@ -421,7 +504,11 @@ mod tests {
                 let v = (((x + phase) as f64 / 9.0).sin() * 60.0
                     + ((y + phase / 2) as f64 / 7.0).cos() * 50.0
                     + 128.0) as u8;
-                f.set(x, y, Yuv::new(v, ((x + phase) % 256) as u8, (y % 256) as u8));
+                f.set(
+                    x,
+                    y,
+                    Yuv::new(v, ((x + phase) % 256) as u8, (y % 256) as u8),
+                );
             }
         }
         f
@@ -454,7 +541,12 @@ mod tests {
         let src = textured_frame(64, 64, 3);
         let (h264, _) = encode_tile(&src, None, 24, CodecKind::H264Sim);
         let (hevc, _) = encode_tile(&src, None, 24, CodecKind::HevcSim);
-        assert!(hevc.len() <= h264.len(), "hevc {} vs h264 {}", hevc.len(), h264.len());
+        assert!(
+            hevc.len() <= h264.len(),
+            "hevc {} vs h264 {}",
+            hevc.len(),
+            h264.len()
+        );
     }
 
     #[test]
@@ -473,8 +565,16 @@ mod tests {
 
     #[test]
     fn encoder_rejects_bad_config() {
-        assert!(Encoder::new(EncoderConfig { qp: 99, ..Default::default() }).is_err());
-        assert!(Encoder::new(EncoderConfig { gop_length: 0, ..Default::default() }).is_err());
+        assert!(Encoder::new(EncoderConfig {
+            qp: 99,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(Encoder::new(EncoderConfig {
+            gop_length: 0,
+            ..Default::default()
+        })
+        .is_err());
     }
 
     #[test]

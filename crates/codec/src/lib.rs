@@ -33,6 +33,7 @@ pub mod golomb;
 pub mod gop;
 pub mod predict;
 pub mod quant;
+pub mod scratch;
 pub mod stream;
 pub mod tile;
 pub mod transform;
@@ -104,11 +105,7 @@ mod concurrency_tests {
                         f.set(
                             x,
                             y,
-                            Yuv::new(
-                                ((x * 3 + y * 7 + i * 11 + seed * 17) % 256) as u8,
-                                128,
-                                128,
-                            ),
+                            Yuv::new(((x * 3 + y * 7 + i * 11 + seed * 17) % 256) as u8, 128, 128),
                         );
                     }
                 }

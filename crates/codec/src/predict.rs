@@ -5,25 +5,28 @@ use crate::tile::TileRect;
 use crate::{BLOCK_SIZE, MB_SIZE};
 
 /// Copies an `n × n` block out of a plane into an `i32` work block.
+/// Each row is widened from one contiguous slice so the bounds check
+/// happens once per row, not once per pixel.
 pub fn extract_block<const SZ: usize>(
     plane: &[u8],
     stride: usize,
     x: usize,
     y: usize,
 ) -> [i32; SZ] {
-    let n = (SZ as f64).sqrt() as usize;
-    debug_assert_eq!(n * n, SZ);
+    let n = isqrt(SZ);
     let mut out = [0i32; SZ];
     for row in 0..n {
         let base = (y + row) * stride + x;
-        for col in 0..n {
-            out[row * n + col] = plane[base + col] as i32;
+        let src = &plane[base..base + n];
+        for (dst, &px) in out[row * n..row * n + n].iter_mut().zip(src) {
+            *dst = px as i32;
         }
     }
     out
 }
 
-/// Writes an `i32` work block back into a plane, clamping to `0..=255`.
+/// Writes an `i32` work block back into a plane, clamping to `0..=255`,
+/// one row slice at a time.
 pub fn store_block<const SZ: usize>(
     plane: &mut [u8],
     stride: usize,
@@ -31,13 +34,26 @@ pub fn store_block<const SZ: usize>(
     y: usize,
     block: &[i32; SZ],
 ) {
-    let n = (SZ as f64).sqrt() as usize;
+    let n = isqrt(SZ);
     for row in 0..n {
         let base = (y + row) * stride + x;
-        for col in 0..n {
-            plane[base + col] = block[row * n + col].clamp(0, 255) as u8;
+        let dst = &mut plane[base..base + n];
+        for (px, &v) in dst.iter_mut().zip(&block[row * n..row * n + n]) {
+            *px = v.clamp(0, 255) as u8;
         }
     }
+}
+
+/// Integer square root of the (tiny, perfect-square) block sizes used
+/// by the const-generic block helpers.
+#[inline]
+fn isqrt(sz: usize) -> usize {
+    let mut n = 1;
+    while n * n < sz {
+        n += 1;
+    }
+    debug_assert_eq!(n * n, sz);
+    n
 }
 
 /// DC intra predictor for the `BLOCK_SIZE²` block at `(x, y)`:
@@ -66,9 +82,57 @@ pub fn dc_predictor(recon: &[u8], stride: usize, rect: &TileRect, x: usize, y: u
     ((sum + count / 2) / count) as i32
 }
 
+/// Per-u16-lane `max(x−y, 0)` over four byte values spread into the
+/// even or odd lanes of a `u64`. `t = x + 256 − y` per lane cannot
+/// borrow across lanes; its bit 8 records `x ≥ y` and selects the low
+/// byte (`x − y`) or zero.
+#[inline]
+fn swar_pos_diff(x: u64, y: u64) -> u64 {
+    const LANE_ONE: u64 = 0x0001_0001_0001_0001;
+    let t = x + (LANE_ONE << 8) - y;
+    let m = (t >> 8) & LANE_ONE;
+    t & ((m << 8) - m)
+}
+
+/// Sums `|a[i] − b[i]|` over two 8-byte row chunks into 4×u16 lane
+/// accumulators (each add ≤ 255, so 16 rows × 2 chunks stay well
+/// below lane overflow).
+#[inline]
+fn swar_row_sad(a: &[u8], b: &[u8]) -> u64 {
+    const EVEN: u64 = 0x00ff_00ff_00ff_00ff;
+    let mut acc = 0u64;
+    for k in 0..2 {
+        let x = u64::from_ne_bytes(a[k * 8..k * 8 + 8].try_into().expect("8-byte row chunk"));
+        let y = u64::from_ne_bytes(b[k * 8..k * 8 + 8].try_into().expect("8-byte row chunk"));
+        let (xe, ye) = (x & EVEN, y & EVEN);
+        let (xo, yo) = ((x >> 8) & EVEN, (y >> 8) & EVEN);
+        // |x−y| = max(x−y,0) + max(y−x,0); one term is zero, so each
+        // lane gains at most 255 per chunk.
+        acc += swar_pos_diff(xe, ye) + swar_pos_diff(ye, xe);
+        acc += swar_pos_diff(xo, yo) + swar_pos_diff(yo, xo);
+    }
+    acc
+}
+
+/// Horizontal sum of 4×u16 lanes (total fits u16 here).
+#[inline]
+fn swar_hsum(acc: u64) -> u32 {
+    (acc.wrapping_mul(0x0001_0001_0001_0001) >> 48) as u32
+}
+
 /// Sum of absolute differences between the `MB_SIZE²` luma block at
 /// `(ax, ay)` in `a` and the one at `(bx, by)` in `b`. `early_exit`
-/// aborts once the partial sum exceeds the bound.
+/// aborts once the partial sum reaches the bound.
+///
+/// Rows are accumulated eight bytes at a time (SWAR over u16 lanes)
+/// with the early-exit bound checked after every row, like the scalar
+/// reference: each u16 lane gains at most `4·255` per row, so the
+/// running accumulator cannot saturate even over all 16 rows and the
+/// horizontal sum is a single multiply. Both paths preserve the
+/// caller-visible contract the motion search depends on: a completed
+/// call returns the exact SAD, and an aborted call returns *some*
+/// value `≥ early_exit` — so every `sad < best_sad` decision is
+/// identical to the scalar reference.
 #[allow(clippy::too_many_arguments)]
 pub fn sad_mb(
     a: &[u8],
@@ -81,22 +145,21 @@ pub fn sad_mb(
     by: usize,
     early_exit: u32,
 ) -> u32 {
-    let mut sum = 0u32;
+    let mut acc = 0u64;
     for row in 0..MB_SIZE {
         let abase = (ay + row) * a_stride + ax;
         let bbase = (by + row) * b_stride + bx;
-        for col in 0..MB_SIZE {
-            sum += (a[abase + col] as i32 - b[bbase + col] as i32).unsigned_abs();
-        }
+        acc += swar_row_sad(&a[abase..abase + MB_SIZE], &b[bbase..bbase + MB_SIZE]);
         // `>=` matters: a candidate that merely *ties* the incumbent
         // can never win, so it must exit too — otherwise uniform
         // regions (every candidate SAD = 0) degrade to an exhaustive
         // search.
+        let sum = swar_hsum(acc);
         if sum >= early_exit {
             return sum;
         }
     }
-    sum
+    swar_hsum(acc)
 }
 
 /// A full-pel motion vector.
@@ -192,6 +255,56 @@ pub fn motion_search(
     (best, best_sad)
 }
 
+/// Scalar per-pixel kernels kept as the differential/benchmark
+/// baseline for the SWAR SAD and row-slice block copies.
+#[doc(hidden)]
+pub mod reference {
+    use crate::MB_SIZE;
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn sad_mb(
+        a: &[u8],
+        a_stride: usize,
+        ax: usize,
+        ay: usize,
+        b: &[u8],
+        b_stride: usize,
+        bx: usize,
+        by: usize,
+        early_exit: u32,
+    ) -> u32 {
+        let mut sum = 0u32;
+        for row in 0..MB_SIZE {
+            let abase = (ay + row) * a_stride + ax;
+            let bbase = (by + row) * b_stride + bx;
+            for col in 0..MB_SIZE {
+                sum += (a[abase + col] as i32 - b[bbase + col] as i32).unsigned_abs();
+            }
+            if sum >= early_exit {
+                return sum;
+            }
+        }
+        sum
+    }
+
+    pub fn extract_block<const SZ: usize>(
+        plane: &[u8],
+        stride: usize,
+        x: usize,
+        y: usize,
+    ) -> [i32; SZ] {
+        let n = (SZ as f64).sqrt() as usize;
+        let mut out = [0i32; SZ];
+        for row in 0..n {
+            let base = (y + row) * stride + x;
+            for col in 0..n {
+                out[row * n + col] = plane[base + col] as i32;
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,7 +330,10 @@ mod tests {
         store_block(&mut out, 32, 8, 8, &block);
         for row in 0..8 {
             for col in 0..8 {
-                assert_eq!(out[(8 + row) * 32 + 8 + col], plane[(8 + row) * 32 + 8 + col]);
+                assert_eq!(
+                    out[(8 + row) * 32 + 8 + col],
+                    plane[(8 + row) * 32 + 8 + col]
+                );
             }
         }
     }
@@ -236,14 +352,24 @@ mod tests {
     #[test]
     fn dc_predictor_fallback_at_tile_origin() {
         let recon = vec![99u8; 64 * 64];
-        let rect = TileRect { x0: 0, y0: 0, w: 64, h: 64 };
+        let rect = TileRect {
+            x0: 0,
+            y0: 0,
+            w: 64,
+            h: 64,
+        };
         assert_eq!(dc_predictor(&recon, 64, &rect, 0, 0), 128);
     }
 
     #[test]
     fn dc_predictor_uses_neighbours() {
         let recon = vec![75u8; 64 * 64];
-        let rect = TileRect { x0: 0, y0: 0, w: 64, h: 64 };
+        let rect = TileRect {
+            x0: 0,
+            y0: 0,
+            w: 64,
+            h: 64,
+        };
         assert_eq!(dc_predictor(&recon, 64, &rect, 8, 8), 75);
         assert_eq!(dc_predictor(&recon, 64, &rect, 8, 0), 75); // left only
         assert_eq!(dc_predictor(&recon, 64, &rect, 0, 8), 75); // top only
@@ -253,7 +379,12 @@ mod tests {
     fn dc_predictor_respects_tile_boundary() {
         // Neighbours exist in the frame but lie outside the tile.
         let recon = vec![75u8; 64 * 64];
-        let rect = TileRect { x0: 32, y0: 32, w: 32, h: 32 };
+        let rect = TileRect {
+            x0: 32,
+            y0: 32,
+            w: 32,
+            h: 32,
+        };
         assert_eq!(dc_predictor(&recon, 64, &rect, 32, 32), 128);
     }
 
@@ -274,7 +405,12 @@ mod tests {
         let reference = vec![0u8; w * h];
         let src = vec![0u8; w * h];
         // Tile is the right half; MB at its left edge.
-        let rect = TileRect { x0: 32, y0: 0, w: 32, h: 32 };
+        let rect = TileRect {
+            x0: 32,
+            y0: 0,
+            w: 32,
+            h: 32,
+        };
         let (mv, _) = motion_search(&src, &reference, w, &rect, 32, 0, 8);
         assert!(mv.dx >= 0, "vector {mv:?} escapes the tile on the left");
     }
@@ -287,5 +423,77 @@ mod tests {
         let early = sad_mb(&a, 32, 0, 0, &b, 32, 0, 0, 100);
         assert_eq!(full, 255 * 256);
         assert!(early > 100);
+    }
+
+    /// Deterministic generator for the differential sweeps.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+        fn below(&mut self, n: usize) -> usize {
+            ((self.next() >> 33) as usize) % n
+        }
+    }
+
+    /// SWAR SAD must return the exact sum whenever it completes, and
+    /// must make identical accept/reject decisions to the scalar
+    /// reference under any early-exit bound (aborted calls may return
+    /// different values, but both are `≥ bound`).
+    #[test]
+    fn swar_sad_matches_scalar_reference() {
+        let mut rng = Lcg(0xdead_beef);
+        let (w, h) = (48, 40);
+        for trial in 0..3_000 {
+            let a: Vec<u8> = (0..w * h).map(|_| rng.below(256) as u8).collect();
+            // Mix of near-identical and unrelated planes so both the
+            // early-exit and full paths are exercised.
+            let b: Vec<u8> = if trial % 3 == 0 {
+                a.iter()
+                    .map(|&v| v.wrapping_add((rng.below(4)) as u8))
+                    .collect()
+            } else {
+                (0..w * h).map(|_| rng.below(256) as u8).collect()
+            };
+            let (ax, ay) = (rng.below(w - MB_SIZE), rng.below(h - MB_SIZE));
+            let (bx, by) = (rng.below(w - MB_SIZE), rng.below(h - MB_SIZE));
+            let exact = reference::sad_mb(&a, w, ax, ay, &b, w, bx, by, u32::MAX);
+            assert_eq!(sad_mb(&a, w, ax, ay, &b, w, bx, by, u32::MAX), exact);
+            let bound = (rng.below(4000) as u32).max(1);
+            let fast = sad_mb(&a, w, ax, ay, &b, w, bx, by, bound);
+            let slow = reference::sad_mb(&a, w, ax, ay, &b, w, bx, by, bound);
+            assert_eq!(
+                fast < bound,
+                slow < bound,
+                "decision diverged at bound {bound}"
+            );
+            if fast < bound {
+                assert_eq!(fast, exact, "completed SAD must be exact");
+            } else {
+                assert!(fast >= bound && slow >= bound);
+            }
+        }
+    }
+
+    /// Row-slice extract must match the per-pixel reference for both
+    /// block sizes in use.
+    #[test]
+    fn extract_matches_reference() {
+        let mut rng = Lcg(0xfeed_f00d);
+        let (w, h) = (40, 40);
+        let plane: Vec<u8> = (0..w * h).map(|_| rng.below(256) as u8).collect();
+        for _ in 0..200 {
+            let (x, y) = (rng.below(w - 16), rng.below(h - 16));
+            let a: [i32; 64] = extract_block(&plane, w, x, y);
+            let b: [i32; 64] = reference::extract_block(&plane, w, x, y);
+            assert_eq!(a, b);
+            let a: [i32; 256] = extract_block(&plane, w, x, y);
+            let b: [i32; 256] = reference::extract_block(&plane, w, x, y);
+            assert_eq!(a, b);
+        }
     }
 }

@@ -8,6 +8,7 @@
 //! profile) biases small coefficients to zero for extra compression.
 
 use crate::BLOCK_SIZE;
+use std::sync::OnceLock;
 
 const N: usize = BLOCK_SIZE;
 
@@ -37,30 +38,62 @@ pub fn qstep_x64(qp: u8) -> u32 {
     (base * 2f64.powf(qp as f64 / 6.0)).round() as u32
 }
 
+/// Per-QP quantiser tables: the weighted divisor `step·w/16` for each
+/// coefficient position and the two rounding offsets. Hoisting these
+/// out of the per-block loops removes a multiply and divide per
+/// coefficient from both hot paths; the table values are the *same*
+/// integers the loops used to compute, so output is unchanged.
+struct QpTables {
+    /// `step(qp) · WEIGHTS[i] / 16` per coefficient position.
+    div: [[i64; N * N]; (QP_MAX + 1) as usize],
+    /// Rounding offsets, indexed by `deadzone as usize`:
+    /// `[step/2, step/6]`.
+    offset: [[i64; 2]; (QP_MAX + 1) as usize],
+}
+
+fn tables() -> &'static QpTables {
+    static TABLES: OnceLock<QpTables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut div = [[0i64; N * N]; (QP_MAX + 1) as usize];
+        let mut offset = [[0i64; 2]; (QP_MAX + 1) as usize];
+        for qp in 0..=QP_MAX {
+            let step = qstep_x64(qp) as i64;
+            offset[qp as usize] = [step / 2, step / 6];
+            for (i, d) in div[qp as usize].iter_mut().enumerate() {
+                *d = step * WEIGHTS[i] as i64 / 16; // weight normalised to DC=16
+            }
+        }
+        QpTables { div, offset }
+    })
+}
+
 /// Quantises a coefficient block in place.
 ///
 /// `deadzone` widens the zero bin (rounding offset 1/6 instead of
 /// 1/2·? — i.e. coefficients must be clearly nonzero to survive),
 /// trading quality for rate the way HEVC's RDOQ does in spirit.
 pub fn quantize(coeffs: &mut [i32; N * N], qp: u8, deadzone: bool) {
-    let step = qstep_x64(qp) as i64;
-    let offset = if deadzone { step / 6 } else { step / 2 };
-    for (i, c) in coeffs.iter_mut().enumerate() {
-        let w = WEIGHTS[i] as i64;
-        let div = step * w / 16; // weight normalised to DC=16
+    debug_assert!(qp <= QP_MAX);
+    let t = tables();
+    let div = &t.div[qp as usize];
+    let offset = t.offset[qp as usize][deadzone as usize];
+    for (c, &d) in coeffs.iter_mut().zip(div.iter()) {
         let v = *c as i64 * 64;
-        let q = if v >= 0 { (v + offset) / div } else { -((-v + offset) / div) };
+        let q = if v >= 0 {
+            (v + offset) / d
+        } else {
+            -((-v + offset) / d)
+        };
         *c = q as i32;
     }
 }
 
 /// Reconstructs coefficients from quantised levels.
 pub fn dequantize(levels: &mut [i32; N * N], qp: u8) {
-    let step = qstep_x64(qp) as i64;
-    for (i, l) in levels.iter_mut().enumerate() {
-        let w = WEIGHTS[i] as i64;
-        let div = step * w / 16;
-        *l = ((*l as i64 * div) / 64) as i32;
+    debug_assert!(qp <= QP_MAX);
+    let div = &tables().div[qp as usize];
+    for (l, &d) in levels.iter_mut().zip(div.iter()) {
+        *l = ((*l as i64 * d) / 64) as i32;
     }
 }
 
@@ -69,6 +102,18 @@ mod tests {
     use super::*;
     use crate::transform::{forward, inverse};
     use proptest::prelude::*;
+
+    #[test]
+    fn tables_match_direct_computation() {
+        let t = tables();
+        for qp in 0..=QP_MAX {
+            let step = qstep_x64(qp) as i64;
+            assert_eq!(t.offset[qp as usize], [step / 2, step / 6], "qp {qp}");
+            for (i, &w) in WEIGHTS.iter().enumerate() {
+                assert_eq!(t.div[qp as usize][i], step * w as i64 / 16, "qp {qp} i {i}");
+            }
+        }
+    }
 
     #[test]
     fn qstep_doubles_every_six() {
@@ -92,7 +137,10 @@ mod tests {
         quantize(&mut hi, 40, false);
         let nz_lo = lo.iter().filter(|&&v| v != 0).count();
         let nz_hi = hi.iter().filter(|&&v| v != 0).count();
-        assert!(nz_lo > nz_hi, "low QP {nz_lo} should keep more than high QP {nz_hi}");
+        assert!(
+            nz_lo > nz_hi,
+            "low QP {nz_lo} should keep more than high QP {nz_hi}"
+        );
     }
 
     #[test]
@@ -131,8 +179,14 @@ mod tests {
         };
         let e_low = err(4);
         let e_high = err(44);
-        assert!(e_low < e_high, "low-QP error {e_low} must beat high-QP {e_high}");
-        assert!(e_low < 50.0, "low QP should be near-lossless-ish, mse={e_low}");
+        assert!(
+            e_low < e_high,
+            "low-QP error {e_low} must beat high-QP {e_high}"
+        );
+        assert!(
+            e_low < 50.0,
+            "low QP should be near-lossless-ish, mse={e_low}"
+        );
     }
 
     proptest! {

@@ -1,0 +1,80 @@
+//! Reusable scratch state for the encode/decode hot loops.
+//!
+//! The per-macroblock pipeline itself works entirely in fixed-size
+//! stack arrays; what used to allocate were the per-tile/per-frame
+//! staging buffers around it (cropped sources, reconstruction frames,
+//! the entropy writer's byte buffer). These arenas own those buffers
+//! and are threaded through the codec entry points so that, once every
+//! buffer has reached its steady-state size, encoding and decoding
+//! perform **zero heap allocations per macroblock** — the only
+//! remaining allocations are the returned payloads/frames themselves,
+//! which scale with frame count, never with macroblock count.
+//!
+//! Reconstruction frames are deliberately *not* cleared between uses:
+//! every sample is stored before any read (macroblocks cover the tile
+//! in raster order, and the DC predictor only consults pixels stored
+//! by earlier blocks), so stale contents can never leak into output.
+//! The corpus byte-identity tests pin that reasoning down.
+
+use crate::bitio::BitWriter;
+use lightdb_frame::Frame;
+
+/// Per-worker scratch for the encoder: a cropped-source staging frame,
+/// a reconstruction being built (double-buffered against the caller's
+/// previous reconstruction), and the entropy writer.
+#[derive(Debug)]
+pub struct EncoderScratch {
+    /// Cropped tile source (tile-local coordinates).
+    pub src: Frame,
+    /// Reconstruction under construction; swapped with the caller's
+    /// reference frame after each tile.
+    pub spare: Frame,
+    /// Per-tile reconstructions, reused across frames and GOPs.
+    pub recon: Vec<Frame>,
+    /// Reusable entropy writer (backing buffer survives `clear`).
+    pub bits: BitWriter,
+}
+
+impl Default for EncoderScratch {
+    fn default() -> Self {
+        EncoderScratch::new()
+    }
+}
+
+impl EncoderScratch {
+    pub fn new() -> Self {
+        EncoderScratch {
+            src: Frame::empty(),
+            spare: Frame::empty(),
+            recon: Vec::new(),
+            bits: BitWriter::new(),
+        }
+    }
+}
+
+/// Per-worker scratch for the decoder: per-tile reference
+/// reconstructions plus the spare they double-buffer against.
+#[derive(Debug)]
+pub struct DecoderScratch {
+    /// Per-tile reference reconstructions, reused across frames and
+    /// GOPs. Stale entries are harmless: a GOP's keyframe rewrites
+    /// every tile before any predicted frame reads one.
+    pub tiles: Vec<Frame>,
+    /// The tile being decoded; swapped into `tiles` after each blit.
+    pub spare: Frame,
+}
+
+impl Default for DecoderScratch {
+    fn default() -> Self {
+        DecoderScratch::new()
+    }
+}
+
+impl DecoderScratch {
+    pub fn new() -> Self {
+        DecoderScratch {
+            tiles: Vec::new(),
+            spare: Frame::empty(),
+        }
+    }
+}

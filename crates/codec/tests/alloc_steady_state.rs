@@ -1,0 +1,116 @@
+//! Steady-state allocation accounting.
+//!
+//! The codec's contract after the kernel overhaul: encode and decode
+//! perform **zero heap allocations per macroblock**. The allocations
+//! that remain are per-frame/per-tile outputs (payload vectors,
+//! returned frames) plus a bounded number of scratch-buffer growths —
+//! none of which scale with the number of macroblocks processed.
+//!
+//! The test pins that down with a counting global allocator: encoding
+//! and decoding a 128×128 stream (64 macroblocks per frame) must cost
+//! at most a small constant more allocations than a 32×32 stream
+//! (4 macroblocks per frame) with the same frame count and GOP/tile
+//! structure. Any per-macroblock allocation would add hundreds.
+
+use lightdb_codec::{Decoder, Encoder, EncoderConfig, TileGrid};
+use lightdb_frame::{Frame, Yuv};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // try_with: the counter itself must never allocate or panic,
+        // even during TLS teardown.
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `f`, returning (allocations on this thread, result).
+fn count<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let start = ALLOCS.with(|c| c.get());
+    let r = f();
+    (ALLOCS.with(|c| c.get()) - start, r)
+}
+
+fn scene(w: usize, h: usize, n: usize) -> Vec<Frame> {
+    (0..n)
+        .map(|i| {
+            let mut f = Frame::new(w, h);
+            for y in 0..h {
+                for x in 0..w {
+                    let v = (((x + 3 * i) as f64 / 9.0).sin() * 60.0
+                        + (y as f64 / 7.0).cos() * 50.0
+                        + 128.0) as u8;
+                    f.set(x, y, Yuv::new(v, (x % 256) as u8, (y % 256) as u8));
+                }
+            }
+            f
+        })
+        .collect()
+}
+
+/// Extra allocations tolerated on the large run: covers geometric
+/// scratch-buffer growth (log-bounded in payload size) with room to
+/// spare. The 128×128 run has 360 more macroblocks than the 32×32 run
+/// (×6 blocks each), so even a single allocation per macroblock or
+/// per block would blow through this.
+const SLACK: u64 = 64;
+
+#[test]
+fn codec_allocations_do_not_scale_with_macroblock_count() {
+    let n = 6;
+    let small = scene(32, 32, n);
+    let big = scene(128, 128, n);
+    let enc = Encoder::new(EncoderConfig {
+        qp: 18,
+        gop_length: 3, // two GOPs: exercises cross-GOP scratch reuse
+        grid: TileGrid::new(2, 2),
+        ..Default::default()
+    })
+    .unwrap();
+
+    // Warm-up: lazy statics (DCT bases, quantiser tables) and the
+    // allocator's own bookkeeping.
+    let _ = enc.encode(&small).unwrap();
+
+    let (a_small, s_small) = count(|| enc.encode(&small).unwrap());
+    let (a_big, s_big) = count(|| enc.encode(&big).unwrap());
+    assert!(
+        a_big <= a_small + SLACK,
+        "encode allocations scale with macroblock count: {a_small} (32×32) vs {a_big} (128×128)"
+    );
+
+    let dec = Decoder::new();
+    let _ = dec.decode(&s_small).unwrap();
+    let (d_small, f_small) = count(|| dec.decode(&s_small).unwrap());
+    let (d_big, f_big) = count(|| dec.decode(&s_big).unwrap());
+    assert_eq!(f_small.len(), n);
+    assert_eq!(f_big.len(), n);
+    assert!(
+        d_big <= d_small + SLACK,
+        "decode allocations scale with macroblock count: {d_small} (32×32) vs {d_big} (128×128)"
+    );
+
+    // Sanity: the decoded output really is 16× the pixel volume, so
+    // the flat allocation profile isn't an artifact of equal work.
+    assert_eq!(f_big[0].sample_count(), 16 * f_small[0].sample_count());
+}

@@ -1,0 +1,152 @@
+//! Whole-corpus byte-identity: encoded bitstreams and decoded frames
+//! must match golden digests captured before the kernel overhaul
+//! (word-level bit I/O, fixed-point DCT, SWAR SAD, scratch arenas).
+//! Any change to these digests means the bitstream format or the
+//! decoded output drifted — which the kernel work must never do.
+
+use lightdb_codec::{Decoder, Encoder, EncoderConfig, TileGrid};
+use lightdb_frame::{Frame, PlaneKind, Yuv};
+
+/// FNV-1a 64-bit, the same digest the fault-injection harness uses
+/// for deterministic corpus checks.
+fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn digest_frames(frames: &[Frame], mut h: u64) -> u64 {
+    for f in frames {
+        for plane in [PlaneKind::Luma, PlaneKind::Cb, PlaneKind::Cr] {
+            h = fnv1a(f.plane(plane), h);
+        }
+    }
+    h
+}
+
+/// Deterministic synthetic scene with texture, motion, and a drifting
+/// bright square — enough structure to exercise intra/inter decisions,
+/// runs of zeros, and every entropy path.
+fn scene(w: usize, h: usize, n: usize, seed: usize) -> Vec<Frame> {
+    (0..n)
+        .map(|i| {
+            let mut f = Frame::new(w, h);
+            for y in 0..h {
+                for x in 0..w {
+                    let v = (((x + 2 * i + seed * 3) as f64 / 11.0).sin() * 55.0
+                        + ((y + seed) as f64 / 5.0).cos() * 45.0
+                        + 128.0) as u8;
+                    f.set(x, y, Yuv::new(v, ((x + seed * 7) % 256) as u8, (y % 256) as u8));
+                }
+            }
+            for y in 8..16.min(h) {
+                for x in (8 + 3 * i)..(16 + 3 * i).min(w) {
+                    f.set(x, y, Yuv::new(250, 90, 160));
+                }
+            }
+            f
+        })
+        .collect()
+}
+
+/// The corpus: every (dims, qp, codec, grid, gop) cell below is
+/// encoded and decoded; bitstream bytes and decoded planes fold into
+/// one digest per cell.
+/// One corpus cell: (w, h, frames, qp, codec, grid, gop_length).
+type Cell = (usize, usize, usize, u8, lightdb_codec::CodecKind, (usize, usize), usize);
+
+fn corpus_digests() -> Vec<(String, u64, u64)> {
+    use lightdb_codec::CodecKind::{H264Sim, HevcSim};
+    let cells: &[Cell] = &[
+        // (w, h, frames, qp, codec, grid, gop_length)
+        (64, 32, 4, 4, H264Sim, (1, 1), 2),
+        (64, 32, 4, 20, HevcSim, (1, 1), 4),
+        (64, 64, 6, 28, H264Sim, (2, 2), 3),
+        (96, 48, 5, 12, HevcSim, (3, 1), 5),
+        (32, 32, 3, 45, H264Sim, (1, 1), 3),
+        (128, 64, 4, 18, HevcSim, (2, 2), 2),
+    ];
+    let mut out = Vec::new();
+    for &(w, h, n, qp, codec, (gx, gy), gop) in cells {
+        let frames = scene(w, h, n, w + h + qp as usize);
+        let enc = Encoder::new(EncoderConfig {
+            codec,
+            qp,
+            grid: TileGrid::new(gx, gy),
+            gop_length: gop,
+            fps: 30,
+        })
+        .unwrap();
+        let stream = enc.encode(&frames).unwrap();
+        let bits_digest = fnv1a(&stream.to_bytes(), FNV_OFFSET);
+        let decoded = Decoder::new().decode(&stream).unwrap();
+        let frames_digest = digest_frames(&decoded, FNV_OFFSET);
+        out.push((
+            format!("{w}x{h} n={n} qp={qp} {codec:?} grid={gx}x{gy} gop={gop}"),
+            bits_digest,
+            frames_digest,
+        ));
+    }
+    out
+}
+
+/// Golden digests captured at commit db33672 (pre-overhaul kernels).
+/// (bitstream digest, decoded-frame digest) per corpus cell.
+const GOLDEN: &[(u64, u64)] = &[
+    (0xbf0dfb59125802da, 0xf4939b09612ad1cf), // 64x32 n=4 qp=4 H264Sim grid=1x1 gop=2
+    (0x6bed22e382297233, 0xc34169c54f8de6ab), // 64x32 n=4 qp=20 HevcSim grid=1x1 gop=4
+    (0x7f2ced53d7e43962, 0xac4bd5f57fe37ff0), // 64x64 n=6 qp=28 H264Sim grid=2x2 gop=3
+    (0x4eca1caa7f3a29a3, 0xd3ca02e845909699), // 96x48 n=5 qp=12 HevcSim grid=3x1 gop=5
+    (0xaf5bfcc191ffc2e4, 0x07018c24aed1b079), // 32x32 n=3 qp=45 H264Sim grid=1x1 gop=3
+    (0x8dca9e68aa6097ba, 0xe72891e12d3ffd5a), // 128x64 n=4 qp=18 HevcSim grid=2x2 gop=2
+];
+
+#[test]
+fn corpus_bitstreams_and_frames_match_golden_digests() {
+    let got = corpus_digests();
+    assert_eq!(got.len(), GOLDEN.len(), "corpus cell count changed");
+    let mut failures = Vec::new();
+    for ((name, bits, frames), &(gbits, gframes)) in got.iter().zip(GOLDEN.iter()) {
+        if (*bits, *frames) != (gbits, gframes) {
+            failures.push(format!(
+                "{name}: got (0x{bits:016x}, 0x{frames:016x}), golden (0x{gbits:016x}, 0x{gframes:016x})"
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        for (name, bits, frames) in &got {
+            eprintln!("    (0x{bits:016x}, 0x{frames:016x}), // {name}");
+        }
+        panic!("corpus digests drifted:\n{}", failures.join("\n"));
+    }
+}
+
+/// The per-GOP tile decode path must agree with the full decode —
+/// a second, structural identity the kernel work must preserve.
+#[test]
+fn tiled_decode_identity_against_full_decode() {
+    let frames = scene(64, 64, 6, 9);
+    let enc = Encoder::new(EncoderConfig {
+        qp: 16,
+        grid: TileGrid::new(2, 2),
+        gop_length: 3,
+        ..Default::default()
+    })
+    .unwrap();
+    let stream = enc.encode(&frames).unwrap();
+    let full = Decoder::new().decode(&stream).unwrap();
+    for (gi, gop) in stream.gops.iter().enumerate() {
+        for t in 0..4 {
+            let rect = stream.header.grid.tile_rect(t, 64, 64);
+            let tiles = Decoder::new().decode_gop_tile(&stream.header, gop, t).unwrap();
+            for (fi, tf) in tiles.iter().enumerate() {
+                let whole = &full[gi * 3 + fi];
+                assert_eq!(tf, &whole.crop(rect.x0, rect.y0, rect.w, rect.h));
+            }
+        }
+    }
+}

@@ -11,8 +11,9 @@ use crate::device::{gpu_map, gpu_row_kernel, transfer_frames, Device};
 use crate::metrics::Metrics;
 use crate::parallel::{par_map_chunks, Parallelism};
 use crate::{ChunkStream, ExecError, Result};
-use lightdb_codec::encoder::encode_tile_opts;
+use lightdb_codec::encoder::encode_tile_opts_into;
 use lightdb_codec::gop::{EncodedFrame, EncodedGop, FrameType};
+use lightdb_codec::scratch::{DecoderScratch, EncoderScratch};
 use lightdb_codec::{CodecKind, Decoder, SequenceHeader, TileGrid};
 use lightdb_core::algebra::{MergeFunction, VolumePredicate};
 use lightdb_core::udf::{BuiltinInterp, InterpFunction, MapFunction};
@@ -22,6 +23,18 @@ use lightdb_geom::{Dimension, Interval, Volume};
 /// Narrow motion-search range used by the simulated hardware (GPU)
 /// encoder, mirroring NVENC's speed-over-density trade-off.
 pub const GPU_SEARCH_RANGE: i32 = 4;
+
+thread_local! {
+    // Per-worker codec scratch arenas. `par_map_chunks` fans chunks
+    // out across worker threads, so thread-locals give each worker its
+    // own reusable buffers with no contention; scratch contents never
+    // influence output bytes, so results stay identical at any thread
+    // count.
+    static ENC_SCRATCH: std::cell::RefCell<EncoderScratch> =
+        std::cell::RefCell::new(EncoderScratch::new());
+    static DEC_SCRATCH: std::cell::RefCell<DecoderScratch> =
+        std::cell::RefCell::new(DecoderScratch::new());
+}
 
 // ------------------------------------------------------------------ decode
 
@@ -67,10 +80,14 @@ pub fn decode_one(c: Chunk, device: Device, metrics: &Metrics) -> Result<Chunk> 
                     }
                     Ok(frames)
                 } else {
-                    Ok(dec.decode_gop(&header, gop)?)
+                    DEC_SCRATCH
+                        .with(|s| Ok(dec.decode_gop_scratch(&header, gop, &mut s.borrow_mut())?))
                 }
             })?;
-            Ok(Chunk { payload: ChunkPayload::Decoded { frames, device }, ..c })
+            Ok(Chunk {
+                payload: ChunkPayload::Decoded { frames, device },
+                ..c
+            })
         }
     }
 }
@@ -100,7 +117,9 @@ pub fn encode_chunks_par(
     metrics: Metrics,
     par: Parallelism,
 ) -> ChunkStream {
-    par_map_chunks(input, par, move |c| encode_chunk(c, device, codec, qp, &metrics))
+    par_map_chunks(input, par, move |c| {
+        encode_chunk(c, device, codec, qp, &metrics)
+    })
 }
 
 /// Encodes one chunk (no-op when already encoded).
@@ -133,18 +152,37 @@ pub fn encode_one_gop(
         .ok_or_else(|| ExecError::Other("encode of empty chunk".into()))?;
     let (w, h) = (first.width(), first.height());
     TileGrid::SINGLE.validate(w, h)?;
-    let search = if device == Device::Gpu { GPU_SEARCH_RANGE } else { codec.search_range() };
+    let search = if device == Device::Gpu {
+        GPU_SEARCH_RANGE
+    } else {
+        codec.search_range()
+    };
     let mut gop_frames = Vec::with_capacity(frames.len());
-    let mut reference: Option<Frame> = None;
-    for f in frames {
-        let (payload, recon) = match &reference {
-            None => encode_tile_opts(f, None, qp, codec, search),
-            Some(r) => encode_tile_opts(f, Some(r), qp, codec, search),
-        };
-        let ftype = if reference.is_none() { FrameType::Key } else { FrameType::Predicted };
-        reference = Some(recon);
-        gop_frames.push(EncodedFrame { frame_type: ftype, tiles: vec![payload] });
-    }
+    ENC_SCRATCH.with(|scratch| {
+        let EncoderScratch {
+            spare, recon, bits, ..
+        } = &mut *scratch.borrow_mut();
+        for (i, f) in frames.iter().enumerate() {
+            let ftype = if i == 0 {
+                FrameType::Key
+            } else {
+                FrameType::Predicted
+            };
+            // Never read a reconstruction left over from another chunk.
+            let reference = if i == 0 { None } else { recon.first() };
+            let payload = encode_tile_opts_into(f, reference, qp, codec, search, spare, bits);
+            // The fresh reconstruction becomes the next frame's reference.
+            if recon.is_empty() {
+                recon.push(std::mem::replace(spare, Frame::empty()));
+            } else {
+                std::mem::swap(&mut recon[0], spare);
+            }
+            gop_frames.push(EncodedFrame {
+                frame_type: ftype,
+                tiles: vec![payload],
+            });
+        }
+    });
     let header = SequenceHeader {
         codec,
         width: w,
@@ -154,7 +192,10 @@ pub fn encode_one_gop(
         grid: TileGrid::SINGLE,
     };
     Ok(Chunk {
-        payload: ChunkPayload::Encoded { header, gop: EncodedGop { frames: gop_frames } },
+        payload: ChunkPayload::Encoded {
+            header,
+            gop: EncodedGop { frames: gop_frames },
+        },
         ..c.clone()
     })
 }
@@ -168,7 +209,13 @@ pub fn transfer(input: ChunkStream, to: Device, metrics: Metrics) -> ChunkStream
         match c.payload {
             ChunkPayload::Decoded { ref frames, device } if device != to => {
                 let copied = metrics.time("TRANSFER", || transfer_frames(frames));
-                Ok(Chunk { payload: ChunkPayload::Decoded { frames: copied, device: to }, ..c })
+                Ok(Chunk {
+                    payload: ChunkPayload::Decoded {
+                        frames: copied,
+                        device: to,
+                    },
+                    ..c
+                })
             }
             _ => Ok(c),
         }
@@ -201,7 +248,13 @@ fn select_one(c: Chunk, predicate: &VolumePredicate) -> Result<Option<Chunk>> {
     if let Some(slab) = c.info.slab {
         if let (Some(xi), yi) = (predicate.get(Dimension::X), predicate.get(Dimension::Y)) {
             if xi.is_point() {
-                return slab_point_select(c, slab, xi.lo(), yi.map(|i| i.lo()).unwrap_or(0.0), predicate);
+                return slab_point_select(
+                    c,
+                    slab,
+                    xi.lo(),
+                    yi.map(|i| i.lo()).unwrap_or(0.0),
+                    predicate,
+                );
             }
         }
     }
@@ -249,7 +302,10 @@ fn select_one(c: Chunk, predicate: &VolumePredicate) -> Result<Option<Chunk>> {
         y1 = 2.min(h);
     }
     if (x0, x1, y0, y1) != (0, w, 0, h) {
-        frames = frames.into_iter().map(|f| f.crop(x0, y0, x1 - x0, y1 - y0)).collect();
+        frames = frames
+            .into_iter()
+            .map(|f| f.crop(x0, y0, x1 - x0, y1 - y0))
+            .collect();
     }
     // Exact pixel-aligned angular coverage.
     let theta_iv = Interval::new(
@@ -260,12 +316,19 @@ fn select_one(c: Chunk, predicate: &VolumePredicate) -> Result<Option<Chunk>> {
         ph.lo() + ph.length() * y0 as f64 / h as f64,
         ph.lo() + ph.length() * y1 as f64 / h as f64,
     );
-    let t_iv = Interval::new(t0 + lo_f as f64 / fps, t0 + (lo_f + frames.len()) as f64 / fps);
+    let t_iv = Interval::new(
+        t0 + lo_f as f64 / fps,
+        t0 + (lo_f + frames.len()) as f64 / fps,
+    );
     let volume = restricted
         .with(Dimension::Theta, theta_iv)
         .with(Dimension::Phi, phi_iv)
         .with(Dimension::T, t_iv);
-    Ok(Some(Chunk { volume, payload: ChunkPayload::Decoded { frames, device }, ..c }))
+    Ok(Some(Chunk {
+        volume,
+        payload: ChunkPayload::Decoded { frames, device },
+        ..c
+    }))
 }
 
 /// Light-slab monoscopic point selection: pick the uv sample nearest
@@ -284,7 +347,9 @@ fn slab_point_select(
         }
     }
     let ChunkPayload::Decoded { frames, device } = c.payload else {
-        return Err(ExecError::Domain("slab SELECT requires decoded input".into()));
+        return Err(ExecError::Domain(
+            "slab SELECT requires decoded input".into(),
+        ));
     };
     let idx = slab.nearest_sample(x, y);
     let frame = frames
@@ -301,7 +366,10 @@ fn slab_point_select(
     Ok(Some(Chunk {
         volume,
         info,
-        payload: ChunkPayload::Decoded { frames: vec![frame], device },
+        payload: ChunkPayload::Decoded {
+            frames: vec![frame],
+            device,
+        },
         ..c
     }))
 }
@@ -336,10 +404,18 @@ pub fn map_frames_par(
 /// Applies a map UDF to one chunk's frames.
 pub fn map_chunk(c: Chunk, f: &MapFunction, device: Device, metrics: &Metrics) -> Result<Chunk> {
     let ChunkPayload::Decoded { frames, device: d } = c.payload else {
-        return Err(ExecError::Domain("MAP requires decoded input (planner bug)".into()));
+        return Err(ExecError::Domain(
+            "MAP requires decoded input (planner bug)".into(),
+        ));
     };
     let out = metrics.time("MAP", || apply_map(f, frames, device));
-    Ok(Chunk { payload: ChunkPayload::Decoded { frames: out, device: d }, ..c })
+    Ok(Chunk {
+        payload: ChunkPayload::Decoded {
+            frames: out,
+            device: d,
+        },
+        ..c
+    })
 }
 
 fn apply_map(f: &MapFunction, frames: Vec<Frame>, device: Device) -> Vec<Frame> {
@@ -373,10 +449,7 @@ fn apply_map(f: &MapFunction, frames: Vec<Frame>, device: Device) -> Vec<Frame> 
 
 /// Evaluates a point-granular UDF over a chunk, supplying each
 /// pixel's 6-D coordinates through the equirectangular mapping.
-pub fn apply_point_map(
-    c: &Chunk,
-    udf: &dyn lightdb_core::udf::PointMapUdf,
-) -> Result<Chunk> {
+pub fn apply_point_map(c: &Chunk, udf: &dyn lightdb_core::udf::PointMapUdf) -> Result<Chunk> {
     let ChunkPayload::Decoded { frames, device } = &c.payload else {
         return Err(ExecError::Domain("point MAP requires decoded input".into()));
     };
@@ -403,7 +476,13 @@ pub fn apply_point_map(
             o
         })
         .collect();
-    Ok(Chunk { payload: ChunkPayload::Decoded { frames: out, device: *device }, ..c.clone() })
+    Ok(Chunk {
+        payload: ChunkPayload::Decoded {
+            frames: out,
+            device: *device,
+        },
+        ..c.clone()
+    })
 }
 
 // ------------------------------------------------------------------ discretize
@@ -424,7 +503,9 @@ pub fn discretize_frames(
 
 fn discretize_one(c: Chunk, steps: &[(Dimension, f64)]) -> Result<Chunk> {
     let ChunkPayload::Decoded { mut frames, device } = c.payload else {
-        return Err(ExecError::Domain("DISCRETIZE requires decoded input".into()));
+        return Err(ExecError::Domain(
+            "DISCRETIZE requires decoded input".into(),
+        ));
     };
     let mut info = c.info;
     let mut target_w: Option<usize> = None;
@@ -459,7 +540,11 @@ fn discretize_one(c: Chunk, steps: &[(Dimension, f64)]) -> Result<Chunk> {
             frames = frames.into_iter().map(|f| f.resize(w, h)).collect();
         }
     }
-    Ok(Chunk { info, payload: ChunkPayload::Decoded { frames, device }, ..c })
+    Ok(Chunk {
+        info,
+        payload: ChunkPayload::Decoded { frames, device },
+        ..c
+    })
 }
 
 // ------------------------------------------------------------------ partition / flatten
@@ -530,7 +615,11 @@ fn partition_one(c: Chunk, spec: &[(Dimension, f64)]) -> Result<Vec<Chunk>> {
         ));
     };
     let (w, h) = (frames[0].width(), frames[0].height());
-    if w % cols != 0 || h % rows != 0 || !(w / cols).is_multiple_of(2) || !(h / rows).is_multiple_of(2) {
+    if w % cols != 0
+        || h % rows != 0
+        || !(w / cols).is_multiple_of(2)
+        || !(h / rows).is_multiple_of(2)
+    {
         return Err(ExecError::Domain(format!(
             "frame {w}×{h} does not partition into {cols}×{rows} even tiles"
         )));
@@ -540,14 +629,19 @@ fn partition_one(c: Chunk, spec: &[(Dimension, f64)]) -> Result<Vec<Chunk>> {
     let mut out = Vec::with_capacity(cols * rows);
     for tile in 0..cols * rows {
         let (col, row) = (tile % cols, tile / cols);
-        let tile_frames: Vec<Frame> =
-            frames.iter().map(|f| f.crop(col * tw, row * thh, tw, thh)).collect();
+        let tile_frames: Vec<Frame> = frames
+            .iter()
+            .map(|f| f.crop(col * tw, row * thh, tw, thh))
+            .collect();
         out.push(Chunk {
             t_index: c.t_index,
             part: c.part * cols * rows + tile,
             volume: crate::hops::tile_volume(&c.volume, &grid, tile),
             info: c.info,
-            payload: ChunkPayload::Decoded { frames: tile_frames, device },
+            payload: ChunkPayload::Decoded {
+                frames: tile_frames,
+                device,
+            },
         });
     }
     Ok(out)
@@ -558,12 +652,12 @@ pub fn flatten_chunks(input: ChunkStream, metrics: Metrics) -> ChunkStream {
     let grouped = TimeGrouped::new(input);
     Box::new(grouped.map(move |g| {
         let group = g?;
-        metrics.time("FLATTEN", || composite_group(group, &MergeFunction::Last)).map(
-            |mut parts| {
+        metrics
+            .time("FLATTEN", || composite_group(group, &MergeFunction::Last))
+            .map(|mut parts| {
                 debug_assert!(!parts.is_empty());
                 parts.swap_remove(0)
-            },
-        )
+            })
     }))
 }
 
@@ -579,8 +673,10 @@ pub fn union_frames(
     _device: Device,
     metrics: Metrics,
 ) -> ChunkStream {
-    let mut grouped: Vec<std::iter::Peekable<TimeGrouped>> =
-        inputs.into_iter().map(|s| TimeGrouped::new(s).peekable()).collect();
+    let mut grouped: Vec<std::iter::Peekable<TimeGrouped>> = inputs
+        .into_iter()
+        .map(|s| TimeGrouped::new(s).peekable())
+        .collect();
     let mut outbox: Vec<Chunk> = Vec::new();
     Box::new(std::iter::from_fn(move || loop {
         if let Some(c) = outbox.pop() {
@@ -673,13 +769,14 @@ fn composite_bucket(bucket: Vec<Chunk>, merge: &MergeFunction) -> Result<Chunk> 
     let mut device = Device::Cpu;
     for c in &bucket {
         let ChunkPayload::Decoded { frames, device: d } = &c.payload else {
-            return Err(ExecError::Domain("UNION compositing requires decoded input".into()));
+            return Err(ExecError::Domain(
+                "UNION compositing requires decoded input".into(),
+            ));
         };
         if let Some(f) = frames.first() {
             density_theta =
                 density_theta.max(f.width() as f64 / c.volume.theta().length().max(1e-12));
-            density_phi =
-                density_phi.max(f.height() as f64 / c.volume.phi().length().max(1e-12));
+            density_phi = density_phi.max(f.height() as f64 / c.volume.phi().length().max(1e-12));
         }
         frame_count = frame_count.max(frames.len());
         device = *d;
@@ -702,7 +799,11 @@ fn composite_bucket(bucket: Vec<Chunk>, merge: &MergeFunction) -> Result<Chunk> 
     let Some(first) = bucket.into_iter().next() else {
         return Err(ExecError::Align("union bucket is empty".into()));
     };
-    Ok(Chunk { volume: hull, payload: ChunkPayload::Decoded { frames, device }, ..first })
+    Ok(Chunk {
+        volume: hull,
+        payload: ChunkPayload::Decoded { frames, device },
+        ..first
+    })
 }
 
 /// Blits overlay frames into base frames at the overlay's angular
@@ -790,17 +891,31 @@ pub fn interpolate_frames(
         InterpFunction::Builtin(b) => Box::new(input.map(move |c| {
             let c = c?;
             let ChunkPayload::Decoded { frames, device: d } = c.payload else {
-                return Err(ExecError::Domain("INTERPOLATE requires decoded input".into()));
+                return Err(ExecError::Domain(
+                    "INTERPOLATE requires decoded input".into(),
+                ));
             };
             let out = metrics.time("INTERPOLATE", || {
-                frames.iter().map(|fr| fill_nulls(fr, b)).collect::<Vec<Frame>>()
+                frames
+                    .iter()
+                    .map(|fr| fill_nulls(fr, b))
+                    .collect::<Vec<Frame>>()
             });
-            Ok(Chunk { payload: ChunkPayload::Decoded { frames: out, device: d }, ..c })
+            Ok(Chunk {
+                payload: ChunkPayload::Decoded {
+                    frames: out,
+                    device: d,
+                },
+                ..c
+            })
         })),
         InterpFunction::Custom(udf) => {
             let grouped = TimeGrouped::new(input);
-            let op: &'static str =
-                if device == Device::Fpga { "INTERPOLATE[FPGA]" } else { "INTERPOLATE" };
+            let op: &'static str = if device == Device::Fpga {
+                "INTERPOLATE[FPGA]"
+            } else {
+                "INTERPOLATE"
+            };
             Box::new(grouped.map(move |g| {
                 let group = g?;
                 if group.len() < 2 {
@@ -825,8 +940,7 @@ pub fn interpolate_frames(
                 let out: Vec<Frame> = metrics.time(op, || {
                     (0..n)
                         .map(|i| {
-                            let inputs: Vec<&Frame> =
-                                frame_sets.iter().map(|fs| &fs[i]).collect();
+                            let inputs: Vec<&Frame> = frame_sets.iter().map(|fs| &fs[i]).collect();
                             udf.synthesize(&inputs)
                         })
                         .collect()
@@ -841,7 +955,10 @@ pub fn interpolate_frames(
                     part: 0,
                     volume,
                     info: group[0].info,
-                    payload: ChunkPayload::Decoded { frames: out, device: group[0].device() },
+                    payload: ChunkPayload::Decoded {
+                        frames: out,
+                        device: group[0].device(),
+                    },
                 })
             }))
         }
@@ -946,18 +1063,27 @@ pub fn rotate_frames(
             return Err(ExecError::Domain("ROTATE requires decoded input".into()));
         };
         let out = metrics.time("ROTATE", || {
-            frames.iter().map(|f| rotate_equirect(f, dtheta, dphi)).collect::<Vec<Frame>>()
+            frames
+                .iter()
+                .map(|f| rotate_equirect(f, dtheta, dphi))
+                .collect::<Vec<Frame>>()
         });
         let volume = rotation.rotate_volume(&c.volume);
-        Ok(Chunk { volume, payload: ChunkPayload::Decoded { frames: out, device }, ..c })
+        Ok(Chunk {
+            volume,
+            payload: ChunkPayload::Decoded {
+                frames: out,
+                device,
+            },
+            ..c
+        })
     }))
 }
 
 fn rotate_equirect(f: &Frame, dtheta: f64, dphi: f64) -> Frame {
     let (w, h) = (f.width(), f.height());
-    let shift_x =
-        ((dtheta / lightdb_geom::THETA_PERIOD * w as f64).round() as isize).rem_euclid(w as isize)
-            as usize;
+    let shift_x = ((dtheta / lightdb_geom::THETA_PERIOD * w as f64).round() as isize)
+        .rem_euclid(w as isize) as usize;
     let shift_y = (dphi / lightdb_geom::PHI_MAX * h as f64).round() as isize;
     let mut out = f.clone();
     for y in 0..h {
@@ -1002,7 +1128,10 @@ mod tests {
             part: 0,
             volume: Volume::sphere_at(0.0, 0.0, 0.0, Interval::new(t as f64, t as f64 + 1.0)),
             info: StreamInfo::origin(frames.len().max(1) as u32),
-            payload: ChunkPayload::Decoded { frames, device: Device::Cpu },
+            payload: ChunkPayload::Decoded {
+                frames,
+                device: Device::Cpu,
+            },
         }
     }
 
@@ -1038,7 +1167,10 @@ mod tests {
             part: 0,
             volume: Volume::sphere_at(0.0, 0.0, 0.0, Interval::new(0.0, 1.0)),
             info: StreamInfo::origin(2),
-            payload: ChunkPayload::Encoded { header: enc.header, gop: enc.gops[0].clone() },
+            payload: ChunkPayload::Encoded {
+                header: enc.header,
+                gop: enc.gops[0].clone(),
+            },
         };
         match composite_group(vec![mk(), mk()], &MergeFunction::Last) {
             Err(ExecError::Domain(_)) => {}
@@ -1046,12 +1178,17 @@ mod tests {
         }
         // A union over one erroring and one healthy stream propagates
         // the error as a stream item rather than panicking.
-        let bad: ChunkStream =
-            Box::new(std::iter::once(Err(ExecError::Other("broken input".into()))));
+        let bad: ChunkStream = Box::new(std::iter::once(Err(ExecError::Other(
+            "broken input".into(),
+        ))));
         let good = stream_of(vec![decoded_chunk(0, vec![textured(32, 32, 0)])]);
-        let results: Vec<_> =
-            union_frames(vec![bad, good], MergeFunction::Last, Device::Cpu, Metrics::new())
-                .collect();
+        let results: Vec<_> = union_frames(
+            vec![bad, good],
+            MergeFunction::Last,
+            Device::Cpu,
+            Metrics::new(),
+        )
+        .collect();
         assert!(results.iter().any(|r| r.is_err()));
     }
 
@@ -1060,10 +1197,18 @@ mod tests {
         let frames: Vec<Frame> = (0..4).map(|i| textured(64, 32, i)).collect();
         let m = Metrics::new();
         let c = decoded_chunk(0, frames.clone());
-        let enc = encode_chunks(stream_of(vec![c]), Device::Cpu, CodecKind::H264Sim, 8, m.clone());
+        let enc = encode_chunks(
+            stream_of(vec![c]),
+            Device::Cpu,
+            CodecKind::H264Sim,
+            8,
+            m.clone(),
+        );
         let dec = collect(decode_chunks(enc, Device::Cpu, m.clone()));
         assert_eq!(dec.len(), 1);
-        let ChunkPayload::Decoded { frames: out, .. } = &dec[0].payload else { panic!() };
+        let ChunkPayload::Decoded { frames: out, .. } = &dec[0].payload else {
+            panic!()
+        };
         assert_eq!(out.len(), 4);
         for (a, b) in frames.iter().zip(out.iter()) {
             assert!(luma_psnr(a, b) > 32.0);
@@ -1089,10 +1234,21 @@ mod tests {
             part: 0,
             volume: Volume::sphere_at(0.0, 0.0, 0.0, Interval::new(0.0, 1.0)),
             info: StreamInfo::origin(30),
-            payload: ChunkPayload::Encoded { header: enc.header, gop: enc.gops[0].clone() },
+            payload: ChunkPayload::Encoded {
+                header: enc.header,
+                gop: enc.gops[0].clone(),
+            },
         };
-        let cpu = collect(decode_chunks(stream_of(vec![chunk.clone()]), Device::Cpu, Metrics::new()));
-        let gpu = collect(decode_chunks(stream_of(vec![chunk]), Device::Gpu, Metrics::new()));
+        let cpu = collect(decode_chunks(
+            stream_of(vec![chunk.clone()]),
+            Device::Cpu,
+            Metrics::new(),
+        ));
+        let gpu = collect(decode_chunks(
+            stream_of(vec![chunk]),
+            Device::Gpu,
+            Metrics::new(),
+        ));
         let (ChunkPayload::Decoded { frames: a, .. }, ChunkPayload::Decoded { frames: b, .. }) =
             (&cpu[0].payload, &gpu[0].payload)
         else {
@@ -1104,15 +1260,25 @@ mod tests {
     #[test]
     fn select_trims_time_and_crops_angles() {
         let frames: Vec<Frame> = (0..10).map(|i| textured(64, 32, i)).collect();
-        let c = Chunk { info: StreamInfo::origin(10), ..decoded_chunk(0, frames) };
+        let c = Chunk {
+            info: StreamInfo::origin(10),
+            ..decoded_chunk(0, frames)
+        };
         // t ∈ [0.5, 1.0], θ ∈ [π, 2π] (right half), φ ∈ [0, π/2] (top half)
         let pred = VolumePredicate::any()
             .with(Dimension::T, Interval::new(0.5, 1.0))
             .with(Dimension::Theta, Interval::new(PI, 2.0 * PI))
             .with(Dimension::Phi, Interval::new(0.0, PI / 2.0));
-        let out = collect(select_frames(stream_of(vec![c]), pred, Device::Cpu, Metrics::new()));
+        let out = collect(select_frames(
+            stream_of(vec![c]),
+            pred,
+            Device::Cpu,
+            Metrics::new(),
+        ));
         assert_eq!(out.len(), 1);
-        let ChunkPayload::Decoded { frames, .. } = &out[0].payload else { panic!() };
+        let ChunkPayload::Decoded { frames, .. } = &out[0].payload else {
+            panic!()
+        };
         assert_eq!(frames.len(), 5);
         assert_eq!((frames[0].width(), frames[0].height()), (32, 16));
         assert!((out[0].volume.theta().lo() - PI).abs() < 0.2);
@@ -1122,7 +1288,12 @@ mod tests {
     fn select_outside_volume_drops_chunk() {
         let c = decoded_chunk(0, vec![textured(32, 32, 0)]);
         let pred = VolumePredicate::any().with(Dimension::T, Interval::new(5.0, 6.0));
-        let out = collect(select_frames(stream_of(vec![c]), pred, Device::Cpu, Metrics::new()));
+        let out = collect(select_frames(
+            stream_of(vec![c]),
+            pred,
+            Device::Cpu,
+            Metrics::new(),
+        ));
         assert!(out.is_empty());
     }
 
@@ -1148,14 +1319,24 @@ mod tests {
     #[test]
     fn discretize_resamples_resolution_and_rate() {
         let frames: Vec<Frame> = (0..30).map(|i| textured(64, 32, i)).collect();
-        let c = Chunk { info: StreamInfo::origin(30), ..decoded_chunk(0, frames) };
+        let c = Chunk {
+            info: StreamInfo::origin(30),
+            ..decoded_chunk(0, frames)
+        };
         let steps = vec![
             (Dimension::Theta, lightdb_geom::THETA_PERIOD / 32.0),
             (Dimension::Phi, lightdb_geom::PHI_MAX / 16.0),
             (Dimension::T, 0.1), // 10 samples per second
         ];
-        let out = collect(discretize_frames(stream_of(vec![c]), steps, Device::Cpu, Metrics::new()));
-        let ChunkPayload::Decoded { frames, .. } = &out[0].payload else { panic!() };
+        let out = collect(discretize_frames(
+            stream_of(vec![c]),
+            steps,
+            Device::Cpu,
+            Metrics::new(),
+        ));
+        let ChunkPayload::Decoded { frames, .. } = &out[0].payload else {
+            panic!()
+        };
         assert_eq!(frames.len(), 10);
         assert_eq!((frames[0].width(), frames[0].height()), (32, 16));
         assert_eq!(out[0].info.fps, 10);
@@ -1167,12 +1348,14 @@ mod tests {
         let c = decoded_chunk(0, frames.clone());
         let spec = vec![
             (Dimension::T, 1.0),
-            (Dimension::Theta, PI),          // 2 columns
-            (Dimension::Phi, PI / 2.0),      // 2 rows
+            (Dimension::Theta, PI),     // 2 columns
+            (Dimension::Phi, PI / 2.0), // 2 rows
         ];
         let out = collect(partition_chunks(stream_of(vec![c]), spec, Metrics::new()));
         assert_eq!(out.len(), 4);
-        let ChunkPayload::Decoded { frames: tile0, .. } = &out[0].payload else { panic!() };
+        let ChunkPayload::Decoded { frames: tile0, .. } = &out[0].payload else {
+            panic!()
+        };
         assert_eq!(tile0[0], frames[0].crop(0, 0, 32, 16));
         // Tile volumes tile the angular domain.
         assert!((out[3].volume.theta().lo() - PI).abs() < 1e-9);
@@ -1187,7 +1370,9 @@ mod tests {
         let parted = partition_chunks(stream_of(vec![c]), spec, Metrics::new());
         let flat = collect(flatten_chunks(parted, Metrics::new()));
         assert_eq!(flat.len(), 1);
-        let ChunkPayload::Decoded { frames: out, .. } = &flat[0].payload else { panic!() };
+        let ChunkPayload::Decoded { frames: out, .. } = &flat[0].payload else {
+            panic!()
+        };
         // Compositing tiles back must reconstruct the original frames.
         for (a, b) in frames.iter().zip(out.iter()) {
             assert!(luma_psnr(a, b) > 45.0, "flatten lost content");
@@ -1218,7 +1403,9 @@ mod tests {
             Metrics::new(),
         ));
         assert_eq!(out.len(), 1);
-        let ChunkPayload::Decoded { frames, .. } = &out[0].payload else { panic!() };
+        let ChunkPayload::Decoded { frames, .. } = &out[0].payload else {
+            panic!()
+        };
         // Top-left quadrant is watermarked, bottom-right untouched.
         assert_eq!(frames[0].get(2, 2).y, 250);
         assert_eq!(frames[0].get(60, 30).y, 100);
@@ -1237,9 +1424,15 @@ mod tests {
             Device::Cpu,
             Metrics::new(),
         ));
-        let ChunkPayload::Decoded { frames, .. } = &out[0].payload else { panic!() };
+        let ChunkPayload::Decoded { frames, .. } = &out[0].payload else {
+            panic!()
+        };
         assert_eq!(frames[0].get(4, 4).y, 200);
-        assert_eq!(frames[0].get(20, 20).y, 80, "ω pixels must not clobber the base");
+        assert_eq!(
+            frames[0].get(20, 20).y,
+            80,
+            "ω pixels must not clobber the base"
+        );
     }
 
     #[test]
@@ -1274,10 +1467,16 @@ mod tests {
             Device::Cpu,
             Metrics::new(),
         ));
-        let ChunkPayload::Decoded { frames, .. } = &out[0].payload else { panic!() };
+        let ChunkPayload::Decoded { frames, .. } = &out[0].payload else {
+            panic!()
+        };
         let mid = frames[0].get(8, 8);
         assert!(!is_omega(mid));
-        assert!(mid.y > 50 && mid.y < 150, "linear fill should land between, got {}", mid.y);
+        assert!(
+            mid.y > 50 && mid.y < 150,
+            "linear fill should land between, got {}",
+            mid.y
+        );
     }
 
     #[test]
@@ -1325,7 +1524,9 @@ mod tests {
             Device::Cpu,
             Metrics::new(),
         ));
-        let ChunkPayload::Decoded { frames, .. } = &out[0].payload else { panic!() };
+        let ChunkPayload::Decoded { frames, .. } = &out[0].payload else {
+            panic!()
+        };
         assert_eq!(frames[0].get(32, 16).y, 200);
         assert_eq!(frames[0].get(0, 16).y, 10);
     }
@@ -1334,8 +1535,9 @@ mod tests {
     fn slab_point_select_picks_nearest_sample() {
         use crate::chunk::SlabInfo;
         // 2×2 uv grid: 4 frames with distinct luma.
-        let frames: Vec<Frame> =
-            (0..4).map(|i| Frame::filled(16, 16, Yuv::new(40 * (i + 1) as u8, 128, 128))).collect();
+        let frames: Vec<Frame> = (0..4)
+            .map(|i| Frame::filled(16, 16, Yuv::new(40 * (i + 1) as u8, 128, 128)))
+            .collect();
         let slab = SlabInfo {
             nu: 2,
             nv: 2,
@@ -1356,9 +1558,16 @@ mod tests {
         let pred = VolumePredicate::any()
             .with(Dimension::X, Interval::point(0.9))
             .with(Dimension::Y, Interval::point(0.1));
-        let out = collect(select_frames(stream_of(vec![c]), pred, Device::Cpu, Metrics::new()));
+        let out = collect(select_frames(
+            stream_of(vec![c]),
+            pred,
+            Device::Cpu,
+            Metrics::new(),
+        ));
         assert_eq!(out.len(), 1);
-        let ChunkPayload::Decoded { frames, .. } = &out[0].payload else { panic!() };
+        let ChunkPayload::Decoded { frames, .. } = &out[0].payload else {
+            panic!()
+        };
         assert_eq!(frames.len(), 1);
         assert_eq!(frames[0].get(0, 0).y, 80);
         assert!(out[0].info.slab.is_none());

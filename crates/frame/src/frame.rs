@@ -30,10 +30,45 @@ impl Frame {
         Frame::filled(width, height, Yuv::GREY)
     }
 
+    /// A zero-sized placeholder that owns no heap memory. Used for
+    /// scratch slots that are [`Frame::reshape`]d before first use;
+    /// most other methods would panic or misbehave on it.
+    pub fn empty() -> Self {
+        Frame {
+            width: 0,
+            height: 0,
+            y: Vec::new(),
+            u: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Resizes this frame in place to `width × height`, reusing the
+    /// plane allocations. Sample values are unspecified afterwards
+    /// (mid-grey where planes grow, stale data elsewhere): callers are
+    /// expected to overwrite every sample before reading any. Once the
+    /// frame has reached its steady-state dimensions this performs no
+    /// heap allocation.
+    pub fn reshape(&mut self, width: usize, height: usize) {
+        assert!(width > 0 && height > 0, "frame dimensions must be positive");
+        assert!(
+            width.is_multiple_of(2) && height.is_multiple_of(2),
+            "frame dimensions must be even (4:2:0)"
+        );
+        self.width = width;
+        self.height = height;
+        self.y.resize(width * height, Yuv::GREY.y);
+        self.u.resize((width / 2) * (height / 2), Yuv::GREY.u);
+        self.v.resize((width / 2) * (height / 2), Yuv::GREY.v);
+    }
+
     /// Creates a frame filled with a solid colour.
     pub fn filled(width: usize, height: usize, color: Yuv) -> Self {
         assert!(width > 0 && height > 0, "frame dimensions must be positive");
-        assert!(width.is_multiple_of(2) && height.is_multiple_of(2), "frame dimensions must be even (4:2:0)");
+        assert!(
+            width.is_multiple_of(2) && height.is_multiple_of(2),
+            "frame dimensions must be even (4:2:0)"
+        );
         Frame {
             width,
             height,
@@ -46,10 +81,27 @@ impl Frame {
     /// Reassembles a frame from raw planes (sizes are validated).
     pub fn from_planes(width: usize, height: usize, y: Vec<u8>, u: Vec<u8>, v: Vec<u8>) -> Self {
         assert_eq!(y.len(), width * height, "luma plane size mismatch");
-        assert_eq!(u.len(), (width / 2) * (height / 2), "Cb plane size mismatch");
-        assert_eq!(v.len(), (width / 2) * (height / 2), "Cr plane size mismatch");
-        assert!(width.is_multiple_of(2) && height.is_multiple_of(2), "frame dimensions must be even (4:2:0)");
-        Frame { width, height, y, u, v }
+        assert_eq!(
+            u.len(),
+            (width / 2) * (height / 2),
+            "Cb plane size mismatch"
+        );
+        assert_eq!(
+            v.len(),
+            (width / 2) * (height / 2),
+            "Cr plane size mismatch"
+        );
+        assert!(
+            width.is_multiple_of(2) && height.is_multiple_of(2),
+            "frame dimensions must be even (4:2:0)"
+        );
+        Frame {
+            width,
+            height,
+            y,
+            u,
+            v,
+        }
     }
 
     #[inline]
@@ -99,7 +151,11 @@ impl Frame {
     pub fn get(&self, x: usize, y: usize) -> Yuv {
         debug_assert!(x < self.width && y < self.height);
         let ci = (y / 2) * (self.width / 2) + x / 2;
-        Yuv { y: self.y[y * self.width + x], u: self.u[ci], v: self.v[ci] }
+        Yuv {
+            y: self.y[y * self.width + x],
+            u: self.u[ci],
+            v: self.v[ci],
+        }
     }
 
     /// Writes a colour at pixel `(x, y)`. The chroma sample shared by
@@ -142,9 +198,27 @@ impl Frame {
     /// Extracts the `w × h` sub-frame whose top-left corner is at
     /// `(x0, y0)`. All four values must be even and in bounds.
     pub fn crop(&self, x0: usize, y0: usize, w: usize, h: usize) -> Frame {
-        assert!(x0.is_multiple_of(2) && y0.is_multiple_of(2) && w.is_multiple_of(2) && h.is_multiple_of(2), "crop must be 2-aligned");
-        assert!(x0 + w <= self.width && y0 + h <= self.height, "crop out of bounds");
-        let mut out = Frame::new(w, h);
+        let mut out = Frame::empty();
+        self.crop_into(x0, y0, w, h, &mut out);
+        out
+    }
+
+    /// Allocation-reusing form of [`Frame::crop`]: writes the sub-frame
+    /// into `out`, reshaping it as needed. Every sample of `out` is
+    /// overwritten.
+    pub fn crop_into(&self, x0: usize, y0: usize, w: usize, h: usize, out: &mut Frame) {
+        assert!(
+            x0.is_multiple_of(2)
+                && y0.is_multiple_of(2)
+                && w.is_multiple_of(2)
+                && h.is_multiple_of(2),
+            "crop must be 2-aligned"
+        );
+        assert!(
+            x0 + w <= self.width && y0 + h <= self.height,
+            "crop out of bounds"
+        );
+        out.reshape(w, h);
         for row in 0..h {
             let s = (y0 + row) * self.width + x0;
             let d = row * w;
@@ -158,7 +232,6 @@ impl Frame {
             out.u[d..d + cw].copy_from_slice(&self.u[s..s + cw]);
             out.v[d..d + cw].copy_from_slice(&self.v[s..s + cw]);
         }
-        out
     }
 
     /// Nearest-neighbour rescale to `new_w × new_h` (both even).
@@ -166,7 +239,10 @@ impl Frame {
     /// Used by `DISCRETIZE` when resampling a TLF's angular resolution
     /// (e.g. down to the 480×480 input of a detector UDF).
     pub fn resize(&self, new_w: usize, new_h: usize) -> Frame {
-        assert!(new_w.is_multiple_of(2) && new_h.is_multiple_of(2), "resize target must be even");
+        assert!(
+            new_w.is_multiple_of(2) && new_h.is_multiple_of(2),
+            "resize target must be even"
+        );
         let mut out = Frame::new(new_w, new_h);
         for oy in 0..new_h {
             let sy = oy * self.height / new_h;
@@ -293,5 +369,37 @@ mod tests {
     fn crop_out_of_bounds_panics() {
         let f = Frame::new(8, 8);
         assert!(std::panic::catch_unwind(|| f.crop(4, 4, 8, 8)).is_err());
+    }
+
+    #[test]
+    fn crop_into_matches_crop_across_reuse() {
+        let mut f = Frame::new(32, 16);
+        for y in 0..16 {
+            for x in 0..32 {
+                f.set(x, y, Yuv::new((x * 7 + y * 3) as u8, x as u8, y as u8));
+            }
+        }
+        let mut scratch = Frame::empty();
+        // Reuse the same scratch across differently-sized crops; each
+        // must equal the allocating path exactly.
+        for (x0, y0, w, h) in [(0, 0, 8, 8), (4, 2, 16, 12), (2, 0, 4, 4), (0, 0, 32, 16)] {
+            f.crop_into(x0, y0, w, h, &mut scratch);
+            assert_eq!(scratch, f.crop(x0, y0, w, h), "crop {x0},{y0} {w}x{h}");
+        }
+    }
+
+    #[test]
+    fn reshape_reuses_capacity() {
+        let mut f = Frame::new(64, 32);
+        let cap = f.y.capacity();
+        f.reshape(16, 8);
+        assert_eq!((f.width(), f.height()), (16, 8));
+        assert_eq!(f.y.len(), 16 * 8);
+        f.reshape(64, 32);
+        assert_eq!(
+            f.y.capacity(),
+            cap,
+            "reshape back to max size must not reallocate"
+        );
     }
 }

@@ -41,7 +41,15 @@ pub fn blur(src: &Frame) -> Frame {
 
 /// Row-range form of [`blur`].
 pub fn blur_rows(src: &Frame, dst: &mut Frame, row_lo: usize, row_hi: usize) {
-    convolve3x3_rows(src, dst, row_lo, row_hi, &[1, 2, 1, 2, 4, 2, 1, 2, 1], 16, 0);
+    convolve3x3_rows(
+        src,
+        dst,
+        row_lo,
+        row_hi,
+        &[1, 2, 1, 2, 4, 2, 1, 2, 1],
+        16,
+        0,
+    );
 }
 
 /// Unsharp-mask sharpen (kernel `[0 -1 0; -1 8 -1; 0 -1 0] / 4`),
@@ -54,7 +62,15 @@ pub fn sharpen(src: &Frame) -> Frame {
 
 /// Row-range form of [`sharpen`].
 pub fn sharpen_rows(src: &Frame, dst: &mut Frame, row_lo: usize, row_hi: usize) {
-    convolve3x3_rows(src, dst, row_lo, row_hi, &[0, -1, 0, -1, 8, -1, 0, -1, 0], 4, 0);
+    convolve3x3_rows(
+        src,
+        dst,
+        row_lo,
+        row_hi,
+        &[0, -1, 0, -1, 8, -1, 0, -1, 0],
+        4,
+        0,
+    );
 }
 
 /// Applies a 3×3 integer convolution with divisor and bias to the luma
@@ -75,26 +91,48 @@ pub fn convolve3x3_rows(
     {
         let y_dst = dst.plane_mut(PlaneKind::Luma);
         for row in row_lo..row_hi {
-            for col in 0..w {
-                let mut acc = 0i32;
-                for (ki, (dy, dx)) in
-                    [(-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 0), (0, 1), (1, -1), (1, 0), (1, 1)]
-                        .iter()
-                        .enumerate()
-                {
-                    let sy = (row as isize + dy).clamp(0, h as isize - 1) as usize;
-                    let sx = (col as isize + dx).clamp(0, w as isize - 1) as usize;
-                    acc += kernel[ki] * y_src[sy * w + sx] as i32;
-                }
-                y_dst[row * w + col] = ((acc / divisor) + bias).clamp(0, 255) as u8;
+            // Border-replicated source rows as plain slices: all the
+            // clamping happens once per row / edge column, leaving the
+            // interior loop free of branches and index arithmetic.
+            let above = if row == 0 { 0 } else { row - 1 };
+            let below = (row + 1).min(h - 1);
+            let r0 = &y_src[above * w..above * w + w];
+            let r1 = &y_src[row * w..row * w + w];
+            let r2 = &y_src[below * w..below * w + w];
+            let out = &mut y_dst[row * w..row * w + w];
+            let clamped = |r: &[u8], c: isize| r[c.clamp(0, w as isize - 1) as usize] as i32;
+            for col in [0, w - 1] {
+                let c = col as isize;
+                let acc = kernel[0] * clamped(r0, c - 1)
+                    + kernel[1] * clamped(r0, c)
+                    + kernel[2] * clamped(r0, c + 1)
+                    + kernel[3] * clamped(r1, c - 1)
+                    + kernel[4] * clamped(r1, c)
+                    + kernel[5] * clamped(r1, c + 1)
+                    + kernel[6] * clamped(r2, c - 1)
+                    + kernel[7] * clamped(r2, c)
+                    + kernel[8] * clamped(r2, c + 1);
+                out[col] = ((acc / divisor) + bias).clamp(0, 255) as u8;
+            }
+            for col in 1..w.max(1) - 1 {
+                let acc = kernel[0] * r0[col - 1] as i32
+                    + kernel[1] * r0[col] as i32
+                    + kernel[2] * r0[col + 1] as i32
+                    + kernel[3] * r1[col - 1] as i32
+                    + kernel[4] * r1[col] as i32
+                    + kernel[5] * r1[col + 1] as i32
+                    + kernel[6] * r2[col - 1] as i32
+                    + kernel[7] * r2[col] as i32
+                    + kernel[8] * r2[col + 1] as i32;
+                out[col] = ((acc / divisor) + bias).clamp(0, 255) as u8;
             }
         }
     }
     let cw = w / 2;
     let (clo, chi) = (row_lo / 2, row_hi / 2);
     for plane in [PlaneKind::Cb, PlaneKind::Cr] {
-        let s = src.plane(plane)[clo * cw..chi * cw].to_vec();
-        dst.plane_mut(plane)[clo * cw..chi * cw].copy_from_slice(&s);
+        dst.plane_mut(plane)[clo * cw..chi * cw]
+            .copy_from_slice(&src.plane(plane)[clo * cw..chi * cw]);
     }
 }
 
@@ -116,8 +154,8 @@ pub fn contrast_rows(src: &Frame, dst: &mut Frame, gain: f32, row_lo: usize, row
     let cw = w / 2;
     let (clo, chi) = (row_lo / 2, row_hi / 2);
     for plane in [PlaneKind::Cb, PlaneKind::Cr] {
-        let s = src.plane(plane)[clo * cw..chi * cw].to_vec();
-        dst.plane_mut(plane)[clo * cw..chi * cw].copy_from_slice(&s);
+        dst.plane_mut(plane)[clo * cw..chi * cw]
+            .copy_from_slice(&src.plane(plane)[clo * cw..chi * cw]);
     }
 }
 
@@ -134,11 +172,7 @@ pub fn overlay_blend(base: &mut Frame, overlay: &Frame, x0: usize, y0: usize, al
             base.set(
                 x0 + col,
                 y0 + row,
-                Yuv::new(
-                    mix(d.y, s.y, a),
-                    mix(d.u, s.u, a),
-                    mix(d.v, s.v, a),
-                ),
+                Yuv::new(mix(d.y, s.y, a), mix(d.u, s.u, a), mix(d.v, s.v, a)),
             );
         }
     }
@@ -146,7 +180,9 @@ pub fn overlay_blend(base: &mut Frame, overlay: &Frame, x0: usize, y0: usize, al
 
 #[inline]
 fn mix(dst: u8, src: u8, a: f32) -> u8 {
-    (dst as f32 * (1.0 - a) + src as f32 * a).round().clamp(0.0, 255.0) as u8
+    (dst as f32 * (1.0 - a) + src as f32 * a)
+        .round()
+        .clamp(0.0, 255.0) as u8
 }
 
 /// Draws an axis-aligned rectangle outline (thickness in pixels) —
@@ -232,7 +268,15 @@ mod tests {
         let mut f = Frame::new(w, h);
         for y in 0..h {
             for x in 0..w {
-                f.set(x, y, Yuv::new(((x * 7 + y * 13) % 256) as u8, (x % 256) as u8, (y % 256) as u8));
+                f.set(
+                    x,
+                    y,
+                    Yuv::new(
+                        ((x * 7 + y * 13) % 256) as u8,
+                        (x % 256) as u8,
+                        (y % 256) as u8,
+                    ),
+                );
             }
         }
         f
@@ -279,6 +323,59 @@ mod tests {
         // Just past the edge the luma overshoots the source values.
         assert!(s.luma_at(8, 8) > 160);
         assert!(s.luma_at(7, 8) < 100);
+    }
+
+    /// The sliced interior/edge fast path must match the original
+    /// fully-clamped per-tap formulation exactly, for every pixel.
+    #[test]
+    fn convolve_matches_clamped_reference() {
+        fn reference(src: &Frame, kernel: &[i32; 9], divisor: i32, bias: i32) -> Vec<u8> {
+            let (w, h) = (src.width(), src.height());
+            let y = src.plane(PlaneKind::Luma);
+            let mut out = vec![0u8; w * h];
+            for row in 0..h {
+                for col in 0..w {
+                    let mut acc = 0i32;
+                    for (ki, (dy, dx)) in [
+                        (-1i32, -1i32),
+                        (-1, 0),
+                        (-1, 1),
+                        (0, -1),
+                        (0, 0),
+                        (0, 1),
+                        (1, -1),
+                        (1, 0),
+                        (1, 1),
+                    ]
+                    .iter()
+                    .enumerate()
+                    {
+                        let sy = (row as i32 + dy).clamp(0, h as i32 - 1) as usize;
+                        let sx = (col as i32 + dx).clamp(0, w as i32 - 1) as usize;
+                        acc += kernel[ki] * y[sy * w + sx] as i32;
+                    }
+                    out[row * w + col] = ((acc / divisor) + bias).clamp(0, 255) as u8;
+                }
+            }
+            out
+        }
+        let kernels: [(&[i32; 9], i32, i32); 3] = [
+            (&[1, 2, 1, 2, 4, 2, 1, 2, 1], 16, 0),
+            (&[0, -1, 0, -1, 8, -1, 0, -1, 0], 4, 0),
+            (&[-3, 5, 0, 5, -7, 2, 1, 0, -2], 3, 7),
+        ];
+        for (w, h) in [(2, 2), (4, 8), (16, 16), (32, 6)] {
+            let f = gradient_frame(w, h);
+            for (k, div, bias) in kernels {
+                let mut dst = f.clone();
+                convolve3x3_rows(&f, &mut dst, 0, h, k, div, bias);
+                assert_eq!(
+                    dst.plane(PlaneKind::Luma),
+                    &reference(&f, k, div, bias)[..],
+                    "{w}x{h} kernel {k:?}"
+                );
+            }
+        }
     }
 
     #[test]
