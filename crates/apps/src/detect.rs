@@ -105,6 +105,7 @@ pub fn boxes_overlay(frame: &Frame) -> Frame {
 }
 
 /// The detector as a `MAP` UDF.
+#[derive(Debug)]
 pub struct DetectUdf;
 
 impl MapUdf for DetectUdf {

@@ -16,6 +16,7 @@ use lightdb_frame::Frame;
 
 /// Streaming decoder: yields frames GOP-at-a-time without pinning the
 /// whole video.
+#[derive(Debug)]
 pub struct FfmpegDecoder<'a> {
     stream: &'a VideoStream,
     gop: usize,
@@ -69,6 +70,7 @@ impl Default for FfmpegEncoderSettings {
 }
 
 /// Streaming encoder: push frames, take the stream at the end.
+#[derive(Debug)]
 pub struct FfmpegEncoder {
     settings: FfmpegEncoderSettings,
     pending: Vec<Frame>,

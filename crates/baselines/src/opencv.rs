@@ -65,6 +65,7 @@ impl Mat {
 }
 
 /// `cv::VideoCapture`: sequential frame reads.
+#[derive(Debug)]
 pub struct VideoCapture<'a> {
     stream: &'a VideoStream,
     gop: usize,
@@ -104,6 +105,7 @@ impl<'a> VideoCapture<'a> {
 }
 
 /// `cv::VideoWriter`: fixed-settings software encoder.
+#[derive(Debug)]
 pub struct VideoWriter {
     fps: u32,
     gop_length: usize,

@@ -26,6 +26,7 @@ fn budget() -> usize {
 }
 
 /// A Scanner pipeline over one ingested video.
+#[derive(Debug)]
 pub struct ScannerPipeline {
     /// Every decoded frame, pinned for the lifetime of the pipeline.
     table: Vec<Frame>,

@@ -21,6 +21,7 @@ use std::path::PathBuf;
 pub const CHUNK_FRAMES: usize = 8;
 
 /// A SciDB-style array store rooted at a directory.
+#[derive(Debug)]
 pub struct SciDb {
     root: PathBuf,
 }

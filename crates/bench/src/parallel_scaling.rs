@@ -12,6 +12,7 @@ use lightdb::prelude::*;
 use std::path::PathBuf;
 
 /// One measured configuration.
+#[derive(Debug)]
 pub struct Measurement {
     pub threads: usize,
     pub secs: f64,

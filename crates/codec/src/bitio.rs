@@ -143,9 +143,11 @@ impl<'a> BitReader<'a> {
             // whole bytes fit below the current window.
             // Only called with avail < 32, so the shift below is safe
             // and at least four whole bytes are absorbed.
+            #[allow(clippy::expect_used)]
             let word = u64::from_be_bytes(
                 self.buf[self.ptr..self.ptr + 8]
                     .try_into()
+                    // lint: allow(R1): the range is exactly 8 bytes, checked by the branch above
                     .expect("8-byte slice"),
             );
             self.acc |= word >> self.avail;

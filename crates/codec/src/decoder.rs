@@ -186,6 +186,7 @@ pub fn decode_tile_payload_into(
     recon.reshape(w, h);
     let mut bits = BitReader::new(body);
     let (mb_cols, mb_rows) = (w / MB_SIZE, h / MB_SIZE);
+    // lint: hot-loop — zero allocations per macroblock (PR 3 contract)
     for mb_row in 0..mb_rows {
         for mb_col in 0..mb_cols {
             let mbx = mb_col * MB_SIZE;
@@ -208,6 +209,7 @@ pub fn decode_tile_payload_into(
             decode_macroblock(reference, recon, &rect, mbx, mby, &mode, qp, &mut bits)?;
         }
     }
+    // lint: end-hot-loop
     Ok(())
 }
 

@@ -268,6 +268,8 @@ pub fn encode_tile_opts_into(
     let deadzone = codec.deadzone();
 
     let (mb_cols, mb_rows) = (w / MB_SIZE, h / MB_SIZE);
+    // lint: hot-loop — zero allocations per macroblock (PR 3 contract;
+    // the alloc_steady_state test measures it, rule R2 enforces it)
     for mb_row in 0..mb_rows {
         for mb_col in 0..mb_cols {
             let mbx = mb_col * MB_SIZE;
@@ -309,6 +311,7 @@ pub fn encode_tile_opts_into(
             );
         }
     }
+    // lint: end-hot-loop
     let body = bits.aligned_bytes();
     let mut payload = Vec::with_capacity(body.len() + 1);
     payload.push(qp);
@@ -431,6 +434,8 @@ fn encode_block(
             [dc; 64]
         }
         MbMode::Inter(mv) => {
+            // lint: allow(R1): mode selection only yields Inter when a reference plane exists
+            #[allow(clippy::expect_used)]
             let rp = ref_plane.expect("inter block without reference");
             let rx = (x as i32 + mv.dx / mv_shift) as usize;
             let ry = (y as i32 + mv.dy / mv_shift) as usize;

@@ -26,6 +26,8 @@
 //! differ in motion-search range and quantisation deadzone, mirroring
 //! the encode-cost/compression trade-off between the real codecs.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 pub mod bitio;
 pub mod decoder;
 pub mod encoder;

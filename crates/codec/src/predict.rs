@@ -102,7 +102,11 @@ fn swar_row_sad(a: &[u8], b: &[u8]) -> u64 {
     const EVEN: u64 = 0x00ff_00ff_00ff_00ff;
     let mut acc = 0u64;
     for k in 0..2 {
+        // lint: allow(R1): both ranges are exactly 8 bytes by the loop bounds
+        #[allow(clippy::expect_used)]
         let x = u64::from_ne_bytes(a[k * 8..k * 8 + 8].try_into().expect("8-byte row chunk"));
+        // lint: allow(R1): both ranges are exactly 8 bytes by the loop bounds
+        #[allow(clippy::expect_used)]
         let y = u64::from_ne_bytes(b[k * 8..k * 8 + 8].try_into().expect("8-byte row chunk"));
         let (xe, ye) = (x & EVEN, y & EVEN);
         let (xo, yo) = ((x >> 8) & EVEN, (y >> 8) & EVEN);
@@ -146,6 +150,7 @@ pub fn sad_mb(
     early_exit: u32,
 ) -> u32 {
     let mut acc = 0u64;
+    // lint: hot-loop — SAD inner loop runs per candidate motion vector
     for row in 0..MB_SIZE {
         let abase = (ay + row) * a_stride + ax;
         let bbase = (by + row) * b_stride + bx;
@@ -159,6 +164,7 @@ pub fn sad_mb(
             return sum;
         }
     }
+    // lint: end-hot-loop
     swar_hsum(acc)
 }
 
@@ -201,6 +207,7 @@ pub fn motion_search(
     let mut best_sad = sad_mb(src, stride, mbx, mby, reference, stride, mbx, mby, u32::MAX);
 
     // Stage 1: coarse scan at stride 2.
+    // lint: hot-loop — the motion-search window scan, no per-candidate state
     let mut dy = lo_y;
     while dy <= hi_y {
         let mut dx = lo_x;
@@ -252,6 +259,7 @@ pub fn motion_search(
             }
         }
     }
+    // lint: end-hot-loop
     (best, best_sad)
 }
 

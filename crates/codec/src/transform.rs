@@ -326,6 +326,8 @@ fn forward_pass1_cheap(block: &[i32; N * N], p1: &mut CheapFwd) -> bool {
         return false;
     }
     for y in 0..N {
+        // lint: allow(R1): the range is exactly N elements by construction
+        #[allow(clippy::expect_used)]
         let row: &[i32; N] = block[y * N..y * N + N].try_into().expect("row is N wide");
         let e0 = (row[0] + row[7]) as i64;
         let e1 = (row[1] + row[6]) as i64;
@@ -364,7 +366,10 @@ fn forward_pass1_cheap(block: &[i32; N * N], p1: &mut CheapFwd) -> bool {
 fn forward_cheap(t2: &[i32; N * N], out: &mut [i32; N * N]) -> bool {
     let ib2 = ibasis2();
     let ofix2 = odd_fix2();
+    // lint: hot-loop — fixed-point DCT column pass, all-i64 butterflies
     for u in 0..N {
+        // lint: allow(R1): the range is exactly N elements by construction
+        #[allow(clippy::expect_used)]
         let col: &[i32; N] = t2[u * N..u * N + N].try_into().expect("column is N wide");
         let te0 = (col[0] + col[7]) as i64;
         let te1 = (col[1] + col[6]) as i64;
@@ -413,6 +418,7 @@ fn forward_cheap(t2: &[i32; N * N], out: &mut [i32; N * N]) -> bool {
             return false;
         }
     }
+    // lint: end-hot-loop
     true
 }
 

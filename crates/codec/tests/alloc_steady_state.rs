@@ -23,20 +23,34 @@ thread_local! {
     static ALLOCS: Cell<u64> = const { Cell::new(0) };
 }
 
+// SAFETY: every method delegates to the `System` allocator unchanged;
+// the only extra work is a thread-local counter bump via `try_with`,
+// which never allocates, panics, or recurses into the allocator.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards `layout` verbatim to `System.alloc`, which
+    // upholds the GlobalAlloc contract for the returned pointer.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         // try_with: the counter itself must never allocate or panic,
         // even during TLS teardown.
         let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        // SAFETY: caller guarantees `layout` has non-zero size.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: forwards the caller's (ptr, layout) pair, which the
+    // GlobalAlloc contract guarantees came from a matching alloc.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: ptr/layout come from a prior `System.alloc` with
+        // the same layout, per the caller's contract.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: forwards the caller's (ptr, layout, new_size) triple
+    // unchanged; System.realloc upholds the contract.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        // SAFETY: ptr/layout describe a live allocation from this
+        // allocator and new_size is non-zero, per the caller.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

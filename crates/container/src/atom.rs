@@ -147,7 +147,8 @@ impl Atom {
         if buf.len() < *pos + 8 {
             return Err(ContainerError::Malformed("truncated atom header"));
         }
-        let size = u32::from_be_bytes(buf[*pos..*pos + 4].try_into().unwrap()) as usize;
+        let size = u32::from_be_bytes([buf[*pos], buf[*pos + 1], buf[*pos + 2], buf[*pos + 3]])
+            as usize;
         let code = FourCc([buf[*pos + 4], buf[*pos + 5], buf[*pos + 6], buf[*pos + 7]]);
         if size < 8 || *pos + size > buf.len() {
             return Err(ContainerError::Malformed("atom size out of bounds"));

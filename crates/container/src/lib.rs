@@ -16,6 +16,8 @@
 //! metadata files stay small (the paper: "generally less than 20 kB")
 //! and multiple TLF versions can share unchanged video tracks.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 pub mod atom;
 pub mod checksum;
 pub mod file;

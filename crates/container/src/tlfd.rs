@@ -277,7 +277,11 @@ fn read_f64(buf: &[u8], pos: &mut usize) -> Result<f64> {
     if *pos + 8 > buf.len() {
         return Err(ContainerError::Malformed("f64 truncated"));
     }
-    let v = f64::from_be_bytes(buf[*pos..*pos + 8].try_into().unwrap());
+    let v = f64::from_be_bytes(
+        buf[*pos..*pos + 8]
+            .try_into()
+            .map_err(|_| ContainerError::Malformed("f64 truncated"))?,
+    );
     *pos += 8;
     Ok(v)
 }

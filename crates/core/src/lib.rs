@@ -32,6 +32,8 @@
 //! assert!(format!("{}", query.plan()).contains("SHARPEN"));
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 pub mod algebra;
 pub mod model;
 pub mod quality;

@@ -28,6 +28,17 @@ pub struct UdfRegistry {
     interps: HashMap<String, Arc<dyn InterpUdf>>,
 }
 
+impl std::fmt::Debug for UdfRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // UDFs are trait objects; their registered names identify them.
+        let mut maps: Vec<&str> = self.maps.keys().map(String::as_str).collect();
+        let mut interps: Vec<&str> = self.interps.keys().map(String::as_str).collect();
+        maps.sort_unstable();
+        interps.sort_unstable();
+        f.debug_struct("UdfRegistry").field("maps", &maps).field("interps", &interps).finish()
+    }
+}
+
 impl UdfRegistry {
     pub fn new() -> Self {
         Self::default()
@@ -275,7 +286,11 @@ fn read_f64(buf: &[u8], pos: &mut usize) -> Result<f64> {
     if *pos + 8 > buf.len() {
         return Err(CoreError::Subgraph("f64 truncated".into()));
     }
-    let v = f64::from_be_bytes(buf[*pos..*pos + 8].try_into().unwrap());
+    let v = f64::from_be_bytes(
+        buf[*pos..*pos + 8]
+            .try_into()
+            .map_err(|_| CoreError::Subgraph("f64 truncated".into()))?,
+    );
     *pos += 8;
     Ok(v)
 }

@@ -23,6 +23,9 @@ pub trait MapUdf: Send + Sync {
     /// Only called when [`MapUdf::parallelizable`] returns true.
     fn apply_rows(&self, src: &Frame, dst: &mut Frame, row_lo: usize, row_hi: usize) {
         let _ = (src, dst, row_lo, row_hi);
+        // Callers must check parallelizable() first (default false); a
+        // silent no-op here would corrupt output, so fail loudly.
+        // lint: allow(R1): unreachable by the parallelizable() contract
         unimplemented!("{} does not support row-range application", self.name());
     }
 

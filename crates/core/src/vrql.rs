@@ -290,6 +290,13 @@ pub struct Subquery {
     merge: MergeFunction,
 }
 
+impl std::fmt::Debug for Subquery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `body` and `merge` are closures with no canonical form.
+        f.debug_struct("Subquery").field("label", &self.label).finish_non_exhaustive()
+    }
+}
+
 impl Subquery {
     /// `body` receives each partition's volume and an expression
     /// representing the partition's data.

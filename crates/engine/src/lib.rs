@@ -117,6 +117,7 @@ pub type Result<T> = std::result::Result<T, Error>;
 pub const DEFAULT_POOL_BYTES: usize = 64 << 20;
 
 /// A LightDB database handle.
+#[derive(Debug)]
 pub struct LightDb {
     catalog: Arc<Catalog>,
     pool: Arc<BufferPool>,

@@ -142,6 +142,13 @@ pub struct TimeGrouped {
     pending: Option<Chunk>,
 }
 
+impl std::fmt::Debug for TimeGrouped {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `inner` is an opaque boxed stream; show only what is known.
+        f.debug_struct("TimeGrouped").field("pending", &self.pending).finish_non_exhaustive()
+    }
+}
+
 impl TimeGrouped {
     pub fn new(inner: crate::ChunkStream) -> Self {
         TimeGrouped { inner, pending: None }

@@ -68,6 +68,8 @@ pub fn gpu_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(usize, T) -> U + Sync
     for (i, u) in results.into_inner() {
         slots[i] = Some(u);
     }
+    // lint: allow(R1): every index 0..n is pushed exactly once by the worker loop above
+    #[allow(clippy::expect_used)]
     slots.into_iter().map(|s| s.expect("gpu job lost")).collect()
 }
 

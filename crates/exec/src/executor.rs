@@ -61,6 +61,7 @@ impl QueryOutput {
 
 /// Executes physical plans against a catalog.
 #[derive(Clone)]
+#[derive(Debug)]
 pub struct Executor {
     pub catalog: Arc<Catalog>,
     pub pool: Arc<BufferPool>,
@@ -374,7 +375,8 @@ impl Executor {
             });
         }
         let tlf = TlfDescriptor {
-            volume: volume.unwrap(),
+            volume: volume
+                .ok_or_else(|| ExecError::Other("STORE produced no output chunks".into()))?,
             streaming: false,
             partition_spec: vec![],
             view_subgraph,
@@ -571,7 +573,11 @@ mod tests {
 
     fn temp_root(tag: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("lightdb-exec-{tag}-{}", std::process::id()));
-        let _ = fs::remove_dir_all(&d);
+        match fs::remove_dir_all(&d) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => panic!("failed to clear temp dir {}: {e}", d.display()),
+        }
         d
     }
 

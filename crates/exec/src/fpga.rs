@@ -134,6 +134,7 @@ fn paint_block(out: &mut Frame, bx: usize, by: usize, depth: u8) {
 }
 
 /// The CPU depth-map `INTERPOLATE` UDF.
+#[derive(Debug)]
 pub struct DepthMapCpu;
 
 impl InterpUdf for DepthMapCpu {
@@ -148,6 +149,7 @@ impl InterpUdf for DepthMapCpu {
 }
 
 /// The FPGA-accelerated depth-map `INTERPOLATE` UDF.
+#[derive(Debug)]
 pub struct DepthMapFpga;
 
 impl InterpUdf for DepthMapFpga {

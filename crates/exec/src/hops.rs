@@ -242,7 +242,14 @@ pub fn tile_union(
                             group.len()
                         ))));
                     }
-                    tiles.push(group.pop().unwrap());
+                    match group.pop() {
+                        Some(t) => tiles.push(t),
+                        None => {
+                            return Some(Err(ExecError::Align(format!(
+                                "TILEUNION input {i} produced no chunk"
+                            ))))
+                        }
+                    }
                 }
             }
         }
@@ -293,7 +300,8 @@ fn stitch(tiles: &[Chunk], cols: usize, rows: usize) -> Result<Chunk> {
             Some(v) => v.hull(&c.volume),
         });
     }
-    let th = first_header.unwrap();
+    let th = first_header
+        .ok_or_else(|| ExecError::Align("TILEUNION with no input tiles".into()))?;
     let stitched = EncodedGop::stitch_tiles(&gops)?;
     let header = SequenceHeader {
         width: th.width * cols,
@@ -304,7 +312,8 @@ fn stitch(tiles: &[Chunk], cols: usize, rows: usize) -> Result<Chunk> {
     Ok(Chunk {
         t_index,
         part: 0,
-        volume: volume.unwrap(),
+        volume: volume
+            .ok_or_else(|| ExecError::Align("TILEUNION tiles carry no volume".into()))?,
         info: tiles[0].info,
         payload: ChunkPayload::Encoded { header, gop: stitched },
     })

@@ -23,6 +23,8 @@
 //! without any decode — the source of the paper's up-to-500×
 //! micro-benchmark wins.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 pub mod chunk;
 pub mod device;
 pub mod executor;

@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct OpStat {
     /// Summed per-invocation durations (CPU-style accounting).
     busy: Duration,
@@ -38,6 +38,7 @@ struct OpStat {
 /// invocation counts, plus named event counters (e.g. GOPs skipped
 /// due to corruption). Cloning shares the underlying counters.
 #[derive(Clone, Default)]
+#[derive(Debug)]
 pub struct Metrics {
     inner: Arc<Mutex<HashMap<&'static str, OpStat>>>,
     counters: Arc<Mutex<HashMap<&'static str, u64>>>,

@@ -90,6 +90,7 @@ pub fn convolve3x3_rows(
     let y_src = src.plane(PlaneKind::Luma);
     {
         let y_dst = dst.plane_mut(PlaneKind::Luma);
+        // lint: hot-loop — per-row convolution shared by blur/sharpen bands
         for row in row_lo..row_hi {
             // Border-replicated source rows as plain slices: all the
             // clamping happens once per row / edge column, leaving the
@@ -127,6 +128,7 @@ pub fn convolve3x3_rows(
                 out[col] = ((acc / divisor) + bias).clamp(0, 255) as u8;
             }
         }
+        // lint: end-hot-loop
     }
     let cw = w / 2;
     let (clo, chi) = (row_lo / 2, row_hi / 2);

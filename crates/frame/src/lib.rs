@@ -11,6 +11,8 @@
 //!   which the simulated-GPU execution backend uses to parallelise a
 //!   kernel across worker threads.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 pub mod color;
 pub mod frame;
 pub mod kernels;

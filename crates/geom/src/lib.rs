@@ -23,6 +23,8 @@
 //!   used by the physical 360° representations;
 //! * [`rotation`] — ray-direction rotations used by the `ROTATE` operator.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 pub mod angle;
 pub mod dimension;
 pub mod interval;

@@ -14,6 +14,8 @@
 //! holds the external ones, plus the [`IndexKey`] naming scheme used
 //! to store them alongside TLF metadata (`index1.xz` etc.).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 pub mod dense;
 pub mod persist;
 pub mod rtree;

@@ -36,20 +36,20 @@ pub fn deserialize_entries(bytes: &[u8]) -> Option<Vec<(Rect3, u64)>> {
     }
     let mut out = Vec::with_capacity(n);
     let mut pos = 12;
-    let f = |pos: &mut usize| {
-        let v = f64::from_be_bytes(bytes[*pos..*pos + 8].try_into().unwrap());
+    let f = |pos: &mut usize| -> Option<f64> {
+        let v = f64::from_be_bytes(bytes[*pos..*pos + 8].try_into().ok()?);
         *pos += 8;
-        v
+        Some(v)
     };
     for _ in 0..n {
-        let (ax, ay, az) = (f(&mut pos), f(&mut pos), f(&mut pos));
-        let (bx, by, bz) = (f(&mut pos), f(&mut pos), f(&mut pos));
+        let (ax, ay, az) = (f(&mut pos)?, f(&mut pos)?, f(&mut pos)?);
+        let (bx, by, bz) = (f(&mut pos)?, f(&mut pos)?, f(&mut pos)?);
         if !(ax <= bx && ay <= by && az <= bz)
             || [ax, ay, az, bx, by, bz].iter().any(|v| v.is_nan())
         {
             return None;
         }
-        let id = u64::from_be_bytes(bytes[pos..pos + 8].try_into().unwrap());
+        let id = u64::from_be_bytes(bytes[pos..pos + 8].try_into().ok()?);
         pos += 8;
         out.push((Rect3::new(Point3::new(ax, ay, az), Point3::new(bx, by, bz)), id));
     }

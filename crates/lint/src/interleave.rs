@@ -1,0 +1,747 @@
+//! A miniature loom-style deterministic interleaving explorer.
+//!
+//! Two of the workspace's concurrency contracts are load-bearing for
+//! everything PR 2 built on top of the buffer pool and the parallel
+//! executor:
+//!
+//! 1. **Single-flight loading** (`storage::bufferpool::BufferPool`):
+//!    concurrent misses on one key coalesce into one disk load, byte
+//!    accounting always equals residency (`bytes == resident`), and a
+//!    failed load lets a waiter take over as loader.
+//! 2. **Batch reassembly** (`exec::parallel::scatter`): workers pull
+//!    jobs from a shared queue and push `(index, result)` pairs in
+//!    completion order; reassembly must reproduce the serial output
+//!    byte-identically for *every* completion interleaving.
+//!
+//! The stress tests in those crates sample a handful of OS-scheduler
+//! interleavings per run. This harness instead *enumerates* them: the
+//! algorithms are restated as explicit state machines whose atomic
+//! steps are exactly the lock-protected critical sections of the real
+//! code (the same granularity loom would instrument), and a DFS
+//! scheduler runs every possible schedule of 2–3 threads, checking
+//! the invariants in each terminal state and flagging deadlock when
+//! no runnable thread exists.
+//!
+//! The step decomposition is kept in lock-step with
+//! `crates/storage/src/bufferpool.rs` and
+//! `crates/exec/src/parallel.rs`; each step documents the source
+//! lines it models.
+
+use std::collections::BTreeMap;
+
+/// One model thread: a cloneable program counter plus locals.
+pub trait ModelThread<S>: Clone {
+    /// True once the thread has finished its program.
+    fn done(&self) -> bool;
+    /// True when the thread can take a step now (condvar-style waits
+    /// return false until their wake condition holds).
+    fn runnable(&self, shared: &S) -> bool;
+    /// Executes one atomic step (one lock-protected critical section
+    /// or one out-of-lock action).
+    fn step(&mut self, shared: &mut S);
+}
+
+/// Result of exhaustively exploring one scenario.
+#[derive(Debug, Clone, Default)]
+pub struct Outcome {
+    /// Distinct complete schedules (terminal DFS paths).
+    pub schedules: u64,
+    /// Total steps executed across all schedules.
+    pub steps: u64,
+    /// Invariant violations: (schedule trace, message).
+    pub failures: Vec<(String, String)>,
+    /// Schedules that wedged (non-done threads, none runnable).
+    pub deadlocks: u64,
+}
+
+impl Outcome {
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty() && self.deadlocks == 0 && self.schedules > 0
+    }
+}
+
+/// Hard cap on explored schedules: keeps an accidentally huge model
+/// from hanging CI. Scenarios here are orders of magnitude smaller.
+const MAX_SCHEDULES: u64 = 1_000_000;
+
+/// Terminal-state invariant checker: sees the final shared state and
+/// every thread's final local state.
+type Check<'a, S, T> = &'a dyn Fn(&S, &[T]) -> Result<(), String>;
+
+/// Exhaustively explores every interleaving of `threads` over
+/// `shared`, invoking `check` on each terminal state.
+pub fn explore<S: Clone, T: ModelThread<S>>(
+    shared: &S,
+    threads: &[T],
+    check: Check<'_, S, T>,
+) -> Outcome {
+    let mut out = Outcome::default();
+    let mut trace = String::new();
+    dfs(shared, threads, check, &mut trace, &mut out);
+    out
+}
+
+fn dfs<S: Clone, T: ModelThread<S>>(
+    shared: &S,
+    threads: &[T],
+    check: Check<'_, S, T>,
+    trace: &mut String,
+    out: &mut Outcome,
+) {
+    if out.schedules >= MAX_SCHEDULES {
+        return;
+    }
+    let mut any_runnable = false;
+    let mut all_done = true;
+    for t in threads {
+        if !t.done() {
+            all_done = false;
+            if t.runnable(shared) {
+                any_runnable = true;
+            }
+        }
+    }
+    if all_done {
+        out.schedules += 1;
+        if let Err(msg) = check(shared, threads) {
+            out.failures.push((trace.clone(), msg));
+        }
+        return;
+    }
+    if !any_runnable {
+        out.schedules += 1;
+        out.deadlocks += 1;
+        out.failures.push((trace.clone(), "deadlock: no runnable thread".into()));
+        return;
+    }
+    for (i, t) in threads.iter().enumerate() {
+        if t.done() || !t.runnable(shared) {
+            continue;
+        }
+        let mut s2 = shared.clone();
+        let mut t2: Vec<T> = threads.to_vec();
+        t2[i].step(&mut s2);
+        out.steps += 1;
+        let len = trace.len();
+        trace.push((b'A' + (i as u8 % 26)) as char);
+        dfs(&s2, &t2, check, trace, out);
+        trace.truncate(len);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model 1: buffer-pool single-flight (storage::bufferpool::get_gop)
+// ---------------------------------------------------------------------------
+
+/// Shared pool state: the fields of `PoolInner` that the invariants
+/// speak about, keyed by small integers instead of media paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolState {
+    /// key → payload length (the model's `map`).
+    resident: BTreeMap<u8, usize>,
+    /// key → LRU stamp.
+    stamps: BTreeMap<u8, u64>,
+    /// key → flight id with a load in progress (the `loading` map).
+    loading: BTreeMap<u8, usize>,
+    /// flight id → completed (condvar `done` flags).
+    flights_done: Vec<bool>,
+    hits: u64,
+    misses: u64,
+    loads: u64,
+    bytes: usize,
+    evictions: u64,
+    clock: u64,
+    capacity: usize,
+    /// When set, the Nth disk load (1-based) returns an error — the
+    /// fault-injection hook of the model.
+    failing_load: Option<u64>,
+}
+
+impl PoolState {
+    pub fn new(capacity: usize) -> PoolState {
+        PoolState {
+            resident: BTreeMap::new(),
+            stamps: BTreeMap::new(),
+            loading: BTreeMap::new(),
+            flights_done: Vec::new(),
+            hits: 0,
+            misses: 0,
+            loads: 0,
+            bytes: 0,
+            evictions: 0,
+            clock: 0,
+            capacity,
+            failing_load: None,
+        }
+    }
+
+    pub fn failing_load(mut self, nth: u64) -> PoolState {
+        self.failing_load = Some(nth);
+        self
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.resident.values().sum()
+    }
+
+    /// Mirrors `PoolInner::evict_to_capacity`: LRU-evict to capacity,
+    /// dropping the just-inserted `protect` key only as a last resort.
+    fn evict_to_capacity(&mut self, protect: u8) {
+        while self.bytes > self.capacity {
+            let victim = self
+                .resident
+                .keys()
+                .filter(|&&k| k != protect)
+                .min_by_key(|&&k| self.stamps.get(&k).copied().unwrap_or(0))
+                .copied();
+            let Some(v) = victim else { break };
+            if let Some(len) = self.resident.remove(&v) {
+                self.bytes -= len;
+                self.evictions += 1;
+            }
+        }
+        if self.bytes > self.capacity {
+            if let Some(len) = self.resident.remove(&protect) {
+                self.bytes -= len;
+                self.evictions += 1;
+            }
+        }
+    }
+}
+
+/// Program counter of one `get_gop(key)` call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PoolPc {
+    /// The locked fast path: hit check, miss accounting, flight
+    /// registration or wait decision (bufferpool.rs lines 167–201).
+    CheckCache,
+    /// The out-of-lock disk read (lines 202–205).
+    Load { flight: usize },
+    /// The locked publish: stats, insert, accounting, eviction,
+    /// flight completion (lines 206–229).
+    Publish { flight: usize, load_ok: bool },
+    /// Parked on `Flight::wait` until the loader finishes (line 194).
+    WaitFlight { flight: usize },
+    Done,
+}
+
+/// One model thread calling `get_gop(key)` for a `len`-byte GOP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolThread {
+    key: u8,
+    len: usize,
+    pc: PoolPc,
+    /// Exactly one of hits/misses per call (the `counted` flag).
+    counted: bool,
+    /// What the call returned: payload length or error.
+    pub result: Option<Result<usize, ()>>,
+}
+
+impl PoolThread {
+    pub fn get(key: u8, len: usize) -> PoolThread {
+        PoolThread { key, len, pc: PoolPc::CheckCache, counted: false, result: None }
+    }
+}
+
+impl ModelThread<PoolState> for PoolThread {
+    fn done(&self) -> bool {
+        self.pc == PoolPc::Done
+    }
+
+    fn runnable(&self, shared: &PoolState) -> bool {
+        match &self.pc {
+            PoolPc::WaitFlight { flight } => shared.flights_done[*flight],
+            PoolPc::Done => false,
+            _ => true,
+        }
+    }
+
+    fn step(&mut self, s: &mut PoolState) {
+        match self.pc.clone() {
+            PoolPc::CheckCache => {
+                s.clock += 1;
+                if s.resident.contains_key(&self.key) {
+                    s.stamps.insert(self.key, s.clock);
+                    if !self.counted {
+                        s.hits += 1;
+                    }
+                    self.result = Some(Ok(s.resident[&self.key]));
+                    self.pc = PoolPc::Done;
+                    return;
+                }
+                if !self.counted {
+                    s.misses += 1;
+                    self.counted = true;
+                }
+                if let Some(&flight) = s.loading.get(&self.key) {
+                    self.pc = PoolPc::WaitFlight { flight };
+                    return;
+                }
+                let flight = s.flights_done.len();
+                s.flights_done.push(false);
+                s.loading.insert(self.key, flight);
+                self.pc = PoolPc::Load { flight };
+            }
+            PoolPc::Load { flight } => {
+                // The disk read happens outside the lock; whether it
+                // fails is decided here so `Publish` stays atomic.
+                let nth = s.loads + 1; // sequenced by publish order below
+                let ok = s.failing_load != Some(nth);
+                self.pc = PoolPc::Publish { flight, load_ok: ok };
+            }
+            PoolPc::Publish { flight, load_ok } => {
+                s.loads += 1;
+                s.loading.remove(&self.key);
+                s.flights_done[flight] = true;
+                if !load_ok {
+                    self.result = Some(Err(()));
+                    self.pc = PoolPc::Done;
+                    return;
+                }
+                s.clock += 1;
+                if let Some(old) = s.resident.insert(self.key, self.len) {
+                    s.bytes -= old;
+                }
+                s.stamps.insert(self.key, s.clock);
+                s.bytes += self.len;
+                s.evict_to_capacity(self.key);
+                self.result = Some(Ok(self.len));
+                self.pc = PoolPc::Done;
+            }
+            PoolPc::WaitFlight { .. } => {
+                // Woken: re-check the cache; if the load failed or the
+                // entry was evicted we may become the loader.
+                self.pc = PoolPc::CheckCache;
+            }
+            PoolPc::Done => {}
+        }
+    }
+}
+
+/// The invariants every terminal pool state must satisfy, regardless
+/// of schedule. Scenario-specific bounds are layered on by callers.
+pub fn pool_invariants(s: &PoolState, threads: &[PoolThread]) -> Result<(), String> {
+    if s.bytes != s.resident_bytes() {
+        return Err(format!("bytes {} != resident {}", s.bytes, s.resident_bytes()));
+    }
+    if s.bytes > s.capacity {
+        return Err(format!("bytes {} exceeds capacity {}", s.bytes, s.capacity));
+    }
+    if !s.loading.is_empty() {
+        return Err(format!("loading map not drained: {:?}", s.loading));
+    }
+    if s.hits + s.misses != threads.len() as u64 {
+        return Err(format!(
+            "hits {} + misses {} != {} calls",
+            s.hits,
+            s.misses,
+            threads.len()
+        ));
+    }
+    for (i, t) in threads.iter().enumerate() {
+        match t.result {
+            None => return Err(format!("thread {i} finished without a result")),
+            Some(Ok(len)) if len != t.len => {
+                return Err(format!("thread {i} got {len} bytes, wanted {}", t.len))
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Model 2: batch scatter / reassembly (exec::parallel::scatter)
+// ---------------------------------------------------------------------------
+
+/// Shared scatter state: the job queue and completion-ordered results
+/// vector, each protected by its own mutex in the real code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScatterState {
+    /// Reversed `(index, item)` jobs; `pop()` hands out input order
+    /// (parallel.rs lines 88–90).
+    queue: Vec<(usize, u32)>,
+    /// `(index, f(item))` pushed in completion order (line 99).
+    results: Vec<(usize, Result<u32, u32>)>,
+    jobs: usize,
+}
+
+impl ScatterState {
+    /// Seeds the queue with `items` in reversed order, exactly as
+    /// `scatter` does so `pop()` hands out jobs in input order.
+    pub fn new(items: &[u32]) -> ScatterState {
+        let mut queue: Vec<(usize, u32)> = items.iter().copied().enumerate().collect();
+        queue.reverse();
+        ScatterState { queue, results: Vec::new(), jobs: items.len() }
+    }
+}
+
+/// The model transform: a cheap injective function so wrong/duplicate
+/// outputs are detectable.
+fn kernel(item: u32) -> u32 {
+    item.wrapping_mul(2).wrapping_add(1)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum WorkerPc {
+    /// Locked queue pop (parallel.rs line 95).
+    Pop,
+    /// Out-of-lock compute of `f(i, t)` (line 98).
+    Compute { index: usize, item: u32 },
+    /// Locked results push (line 99).
+    Push { index: usize, value: Result<u32, u32> },
+    Done,
+}
+
+/// One scatter worker; `fail_index` models a transform error for the
+/// error-in-position scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerThread {
+    pc: WorkerPc,
+    fail_index: Option<usize>,
+}
+
+impl WorkerThread {
+    pub fn new(fail_index: Option<usize>) -> WorkerThread {
+        WorkerThread { pc: WorkerPc::Pop, fail_index }
+    }
+}
+
+impl ModelThread<ScatterState> for WorkerThread {
+    fn done(&self) -> bool {
+        self.pc == WorkerPc::Done
+    }
+
+    fn runnable(&self, _shared: &ScatterState) -> bool {
+        self.pc != WorkerPc::Done
+    }
+
+    fn step(&mut self, s: &mut ScatterState) {
+        match self.pc.clone() {
+            WorkerPc::Pop => match s.queue.pop() {
+                Some((index, item)) => self.pc = WorkerPc::Compute { index, item },
+                None => self.pc = WorkerPc::Done,
+            },
+            WorkerPc::Compute { index, item } => {
+                let value = if self.fail_index == Some(index) {
+                    Err(item)
+                } else {
+                    Ok(kernel(item))
+                };
+                self.pc = WorkerPc::Push { index, value };
+            }
+            WorkerPc::Push { index, value } => {
+                s.results.push((index, value));
+                self.pc = WorkerPc::Pop;
+            }
+            WorkerPc::Done => {}
+        }
+    }
+}
+
+/// The reassembly contract: scattering the results back into
+/// index-ordered slots reproduces the serial output exactly —
+/// byte-identical, with errors in their input positions.
+pub fn scatter_invariants(
+    s: &ScatterState,
+    items: &[u32],
+    fail: &[usize],
+) -> Result<(), String> {
+    if s.results.len() != s.jobs {
+        return Err(format!("{} results for {} jobs", s.results.len(), s.jobs));
+    }
+    // Reassemble exactly as parallel.rs lines 106–110 do.
+    let mut slots: Vec<Option<Result<u32, u32>>> = vec![None; s.jobs];
+    for (i, v) in &s.results {
+        if slots[*i].is_some() {
+            return Err(format!("slot {i} produced twice"));
+        }
+        slots[*i] = Some(*v);
+    }
+    for (i, slot) in slots.iter().enumerate() {
+        let expected = if fail.contains(&i) { Err(items[i]) } else { Ok(kernel(items[i])) };
+        match slot {
+            None => return Err(format!("slot {i} missing")),
+            Some(v) if *v != expected => {
+                return Err(format!("slot {i}: got {v:?}, serial path gives {expected:?}"))
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Scenarios
+// ---------------------------------------------------------------------------
+
+/// One named exhaustive exploration.
+#[derive(Debug)]
+pub struct Scenario {
+    pub name: &'static str,
+    pub outcome: Outcome,
+}
+
+/// Runs the full harness: every scenario, exhaustively.
+pub fn run_all() -> Vec<Scenario> {
+    let mut out = Vec::new();
+
+    // Two, then three concurrent misses on one key: must coalesce to
+    // a single disk load with exact byte accounting.
+    for n in [2usize, 3] {
+        let state = PoolState::new(1 << 20);
+        let threads: Vec<PoolThread> = (0..n).map(|_| PoolThread::get(7, 512)).collect();
+        let outcome = explore(&state, &threads, &|s, t| {
+            pool_invariants(s, t)?;
+            if s.loads != 1 {
+                return Err(format!("{} loads; concurrent misses must coalesce", s.loads));
+            }
+            if s.bytes != 512 {
+                return Err(format!("bytes {} != 512", s.bytes));
+            }
+            Ok(())
+        });
+        out.push(Scenario {
+            name: if n == 2 { "pool/single-flight-2" } else { "pool/single-flight-3" },
+            outcome,
+        });
+    }
+
+    // Mixed keys: two threads on key A, one on key B — exactly one
+    // load per distinct key.
+    {
+        let state = PoolState::new(1 << 20);
+        let threads =
+            vec![PoolThread::get(1, 100), PoolThread::get(1, 100), PoolThread::get(2, 200)];
+        let outcome = explore(&state, &threads, &|s, t| {
+            pool_invariants(s, t)?;
+            if s.loads != 2 {
+                return Err(format!("{} loads for 2 distinct keys", s.loads));
+            }
+            if s.bytes != 300 {
+                return Err(format!("bytes {} != 300", s.bytes));
+            }
+            Ok(())
+        });
+        out.push(Scenario { name: "pool/mixed-keys", outcome });
+    }
+
+    // Failed first load: the waiter must take over as loader; exactly
+    // one caller sees the error and the pool still converges.
+    {
+        let state = PoolState::new(1 << 20).failing_load(1);
+        let threads = vec![PoolThread::get(3, 256), PoolThread::get(3, 256)];
+        let outcome = explore(&state, &threads, &|s, t| {
+            pool_invariants(s, t)?;
+            let errs = t.iter().filter(|t| t.result == Some(Err(()))).count();
+            let oks = t.iter().filter(|t| matches!(t.result, Some(Ok(_)))).count();
+            if errs != 1 || oks != 1 {
+                return Err(format!("{errs} errors / {oks} successes; want 1 / 1"));
+            }
+            if s.loads != 2 {
+                return Err(format!("{} loads; failed load must be retried once", s.loads));
+            }
+            if s.bytes != 256 {
+                return Err(format!("bytes {} != 256 after recovery", s.bytes));
+            }
+            Ok(())
+        });
+        out.push(Scenario { name: "pool/failed-load-handover", outcome });
+    }
+
+    // Eviction pressure: capacity holds only one of the two entries;
+    // accounting must stay exact under every insertion order.
+    {
+        let state = PoolState::new(150);
+        let threads = vec![PoolThread::get(1, 100), PoolThread::get(2, 100)];
+        let outcome = explore(&state, &threads, &|s, t| {
+            pool_invariants(s, t)?;
+            if s.resident.len() != 1 || s.bytes != 100 {
+                return Err(format!(
+                    "want exactly one 100-byte entry resident, got {} entries / {} bytes",
+                    s.resident.len(),
+                    s.bytes
+                ));
+            }
+            if s.evictions != 1 {
+                return Err(format!("{} evictions; want 1", s.evictions));
+            }
+            Ok(())
+        });
+        out.push(Scenario { name: "pool/eviction-accounting", outcome });
+    }
+
+    // Oversized entry: larger than the whole pool — served to every
+    // caller but never resident.
+    {
+        let state = PoolState::new(100);
+        let threads = vec![PoolThread::get(1, 150), PoolThread::get(1, 150)];
+        let outcome = explore(&state, &threads, &|s, t| {
+            pool_invariants(s, t)?;
+            if !s.resident.is_empty() || s.bytes != 0 {
+                return Err(format!("oversized entry must not stay resident: {:?}", s.resident));
+            }
+            Ok(())
+        });
+        out.push(Scenario { name: "pool/oversized-never-resident", outcome });
+    }
+
+    // Scatter reassembly: 2 and 3 workers over 4 jobs; output must be
+    // byte-identical to the serial map under every completion order.
+    let items = [10u32, 20, 30, 40];
+    for workers in [2usize, 3] {
+        let state = ScatterState::new(&items);
+        let threads: Vec<WorkerThread> = (0..workers).map(|_| WorkerThread::new(None)).collect();
+        let outcome =
+            explore(&state, &threads, &|s, _| scatter_invariants(s, &items, &[]));
+        out.push(Scenario {
+            name: if workers == 2 { "scatter/reassembly-2w" } else { "scatter/reassembly-3w" },
+            outcome,
+        });
+    }
+
+    // Error in position: a failing transform must land in its input
+    // slot, exactly as the serial path would emit it.
+    {
+        let state = ScatterState::new(&items);
+        let threads = vec![WorkerThread::new(Some(2)), WorkerThread::new(Some(2))];
+        let outcome =
+            explore(&state, &threads, &|s, _| scatter_invariants(s, &items, &[2]));
+        out.push(Scenario { name: "scatter/error-in-position", outcome });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_hold_and_explore_enough_schedules() {
+        let scenarios = run_all();
+        let mut total = 0u64;
+        for s in &scenarios {
+            assert!(
+                s.outcome.ok(),
+                "{}: {} failures / {} deadlocks (first: {:?})",
+                s.name,
+                s.outcome.failures.len(),
+                s.outcome.deadlocks,
+                s.outcome.failures.first()
+            );
+            total += s.outcome.schedules;
+        }
+        assert!(total >= 100, "only {total} schedules explored across the harness");
+    }
+
+    #[test]
+    fn single_flight_pair_explores_multiple_schedules() {
+        let state = PoolState::new(1 << 20);
+        let threads = vec![PoolThread::get(0, 64), PoolThread::get(0, 64)];
+        let o = explore(&state, &threads, &pool_invariants_check);
+        assert!(o.ok());
+        assert!(o.schedules >= 4, "{} schedules", o.schedules);
+    }
+
+    fn pool_invariants_check(s: &PoolState, t: &[PoolThread]) -> Result<(), String> {
+        pool_invariants(s, t)
+    }
+
+    /// A deliberately broken model — double-counting bytes on re-insert,
+    /// the exact bug PR 2 fixed — must be caught by the explorer.
+    #[test]
+    fn explorer_catches_seeded_accounting_bug() {
+        #[derive(Clone)]
+        struct Buggy(PoolThread);
+        impl ModelThread<PoolState> for Buggy {
+            fn done(&self) -> bool {
+                self.0.done()
+            }
+            fn runnable(&self, s: &PoolState) -> bool {
+                self.0.runnable(s)
+            }
+            fn step(&mut self, s: &mut PoolState) {
+                // Re-introduce the pre-PR-2 bug: publish without
+                // releasing the replaced entry's bytes and without
+                // single-flight (always load; never wait).
+                match self.0.pc.clone() {
+                    PoolPc::CheckCache => {
+                        s.clock += 1;
+                        if !self.0.counted {
+                            s.misses += 1;
+                            self.0.counted = true;
+                        }
+                        self.0.pc = PoolPc::Load { flight: usize::MAX };
+                    }
+                    PoolPc::Load { .. } => {
+                        self.0.pc = PoolPc::Publish { flight: usize::MAX, load_ok: true }
+                    }
+                    PoolPc::Publish { .. } => {
+                        s.loads += 1;
+                        s.resident.insert(self.0.key, self.0.len);
+                        s.bytes += self.0.len; // BUG: no release on replace
+                        self.0.result = Some(Ok(self.0.len));
+                        self.0.pc = PoolPc::Done;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let state = PoolState::new(1 << 20);
+        let threads = vec![Buggy(PoolThread::get(0, 64)), Buggy(PoolThread::get(0, 64))];
+        let o = explore(&state, &threads, &|s, _| {
+            if s.bytes != s.resident.values().sum::<usize>() {
+                return Err("accounting bug".into());
+            }
+            Ok(())
+        });
+        assert!(!o.failures.is_empty(), "the seeded bug must be detected");
+    }
+
+    #[test]
+    fn explorer_reports_deadlock_on_wedged_model() {
+        #[derive(Clone)]
+        struct Stuck(bool);
+        impl ModelThread<()> for Stuck {
+            fn done(&self) -> bool {
+                self.0
+            }
+            fn runnable(&self, _s: &()) -> bool {
+                false // waits forever on a condition nobody signals
+            }
+            fn step(&mut self, _s: &mut ()) {}
+        }
+        let o = explore(&(), &[Stuck(false)], &|_, _| Ok(()));
+        assert_eq!(o.deadlocks, 1);
+        assert!(!o.ok());
+    }
+
+    #[test]
+    fn schedule_counts_match_interleaving_combinatorics() {
+        // Two independent 1-step threads: exactly 2 schedules (AB, BA).
+        #[derive(Clone)]
+        struct OneStep(bool);
+        impl ModelThread<u32> for OneStep {
+            fn done(&self) -> bool {
+                self.0
+            }
+            fn runnable(&self, _: &u32) -> bool {
+                true
+            }
+            fn step(&mut self, s: &mut u32) {
+                *s += 1;
+                self.0 = true;
+            }
+        }
+        let o = explore(&0u32, &[OneStep(false), OneStep(false)], &|s, _| {
+            if *s == 2 {
+                Ok(())
+            } else {
+                Err("lost update".into())
+            }
+        });
+        assert_eq!(o.schedules, 2);
+        assert!(o.ok());
+    }
+}

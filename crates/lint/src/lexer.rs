@@ -1,0 +1,353 @@
+//! A hand-rolled Rust lexer, sufficient for invariant linting.
+//!
+//! The workspace builds offline (no `syn`, no registry), so the lint
+//! tool tokenises Rust source itself. The lexer is deliberately
+//! simple: it distinguishes identifiers, lifetimes, literals,
+//! punctuation, and comments, with enough fidelity that rule patterns
+//! (`.unwrap(`, `fs::rename(`, `unsafe {`) never fire inside string
+//! literals or comments, and that `// lint:` / `// SAFETY:` markers
+//! are visible to the rules as comment tokens.
+//!
+//! It does not build a syntax tree; the rules operate on the token
+//! stream plus line numbers.
+
+/// The classes of token the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `unsafe`, ...).
+    Ident,
+    /// Lifetime such as `'a` (kept distinct so `'a` is never
+    /// mistaken for the start of a char literal).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// String, raw-string, byte-string, or char literal.
+    Str,
+    /// Single punctuation character (`.`, `:`, `{`, `!`, ...).
+    Punct,
+    /// `// ...` comment (text includes everything after the slashes).
+    LineComment,
+    /// `/* ... */` comment (possibly nested; text is the body).
+    BlockComment,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenises `src`. Unterminated constructs (string, block comment)
+/// consume to end of input rather than erroring: the lint must keep
+/// going and report what it can.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = b.len();
+
+    // Advances `i` past a (possibly raw) string body that starts at
+    // the opening quote, returning the index just past the close.
+    fn skip_string(b: &[char], mut i: usize, line: &mut u32, hashes: usize, raw: bool) -> usize {
+        debug_assert_eq!(b[i], '"');
+        i += 1;
+        while i < b.len() {
+            match b[i] {
+                '\n' => {
+                    *line += 1;
+                    i += 1;
+                }
+                '\\' if !raw => {
+                    i += 2; // escape: skip the escaped char too
+                }
+                '"' => {
+                    // A raw string only closes on `"` followed by the
+                    // right number of `#`s.
+                    let mut k = 0usize;
+                    while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == '#' {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        return i + 1 + hashes;
+                    }
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        i
+    }
+
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i;
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::LineComment,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let start_line = line;
+                let start = i;
+                i += 2;
+                let mut depth = 1usize;
+                while i < n && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    text: b[start..i].iter().collect(),
+                    line: start_line,
+                });
+            }
+            '"' => {
+                let start_line = line;
+                let end = skip_string(&b, i, &mut line, 0, false);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: b[i..end.min(n)].iter().collect(),
+                    line: start_line,
+                });
+                i = end;
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                if i + 1 < n && is_ident_start(b[i + 1]) && b[i + 1] != '\\' {
+                    let mut j = i + 1;
+                    while j < n && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    if j < n && b[j] == '\'' {
+                        // `'a'` — a char literal after all.
+                        toks.push(Tok {
+                            kind: TokKind::Str,
+                            text: b[i..=j].iter().collect(),
+                            line,
+                        });
+                        i = j + 1;
+                    } else {
+                        toks.push(Tok {
+                            kind: TokKind::Lifetime,
+                            text: b[i..j].iter().collect(),
+                            line,
+                        });
+                        i = j;
+                    }
+                } else {
+                    // Escaped or punctuation char literal: scan to the
+                    // closing quote, honouring a single backslash.
+                    let start = i;
+                    i += 1;
+                    if i < n && b[i] == '\\' {
+                        i += 2;
+                        // `\u{...}` spans to the closing brace.
+                        while i < n && b[i] != '\'' {
+                            i += 1;
+                        }
+                    } else if i < n {
+                        i += 1;
+                    }
+                    if i < n && b[i] == '\'' {
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: b[start..i.min(n)].iter().collect(),
+                        line,
+                    });
+                }
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                let ident: String = b[start..i].iter().collect();
+                // Literal prefixes: r"", b"", br#""#, c"", and raw
+                // identifiers r#name.
+                let is_str_prefix = matches!(ident.as_str(), "r" | "b" | "br" | "rb" | "c" | "cr");
+                if is_str_prefix && i < n && (b[i] == '"' || b[i] == '#') {
+                    if b[i] == '"' {
+                        let raw = ident.contains('r');
+                        let start_line = line;
+                        let end = skip_string(&b, i, &mut line, 0, raw);
+                        toks.push(Tok {
+                            kind: TokKind::Str,
+                            text: b[start..end.min(n)].iter().collect(),
+                            line: start_line,
+                        });
+                        i = end;
+                        continue;
+                    }
+                    // Count `#`s; a quote after them means a raw
+                    // string, an identifier char means a raw ident.
+                    let mut j = i;
+                    while j < n && b[j] == '#' {
+                        j += 1;
+                    }
+                    if j < n && b[j] == '"' {
+                        let hashes = j - i;
+                        let start_line = line;
+                        let end = skip_string(&b, j, &mut line, hashes, true);
+                        toks.push(Tok {
+                            kind: TokKind::Str,
+                            text: b[start..end.min(n)].iter().collect(),
+                            line: start_line,
+                        });
+                        i = end;
+                        continue;
+                    }
+                    if ident == "r" && j < n && is_ident_start(b[j]) {
+                        // raw identifier r#name
+                        let mut k = j;
+                        while k < n && is_ident_continue(b[k]) {
+                            k += 1;
+                        }
+                        toks.push(Tok {
+                            kind: TokKind::Ident,
+                            text: b[j..k].iter().collect(),
+                            line,
+                        });
+                        i = k;
+                        continue;
+                    }
+                }
+                toks.push(Tok { kind: TokKind::Ident, text: ident, line });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n
+                    && (is_ident_continue(b[i])
+                        || (b[i] == '.' && i + 1 < n && b[i + 1].is_ascii_digit()))
+                {
+                    i += 1;
+                }
+                toks.push(Tok { kind: TokKind::Num, text: b[start..i].iter().collect(), line });
+            }
+            _ => {
+                toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("x.unwrap()");
+        assert_eq!(t[0], (TokKind::Ident, "x".into()));
+        assert_eq!(t[1], (TokKind::Punct, ".".into()));
+        assert_eq!(t[2], (TokKind::Ident, "unwrap".into()));
+        assert_eq!(t[3], (TokKind::Punct, "(".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let t = kinds(r#"let s = "a.unwrap() /* x */";"#);
+        assert!(t.iter().all(|(k, txt)| *k != TokKind::Ident || txt != "unwrap"));
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let t = kinds(r##"let s = r#"he said "unwrap()""#; x"##);
+        assert!(t.iter().any(|(k, txt)| *k == TokKind::Ident && txt == "x"));
+        assert!(t.iter().all(|(k, txt)| *k != TokKind::Ident || txt != "unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(t.iter().any(|(k, txt)| *k == TokKind::Lifetime && txt == "'a"));
+        assert!(t.iter().any(|(k, txt)| *k == TokKind::Str && txt == "'x'"));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let t = kinds(r"let c = '\n'; let q = '\''; let u = '\u{1F600}'; end");
+        assert!(t.iter().any(|(k, txt)| *k == TokKind::Ident && txt == "end"));
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Str).count(), 3);
+    }
+
+    #[test]
+    fn comments_carry_text_and_lines() {
+        let t = lex("a\n// lint: allow(R1): because\nb /* block */ c");
+        let c = t.iter().find(|t| t.kind == TokKind::LineComment).unwrap();
+        assert_eq!(c.line, 2);
+        assert!(c.text.contains("allow(R1)"));
+        let blk = t.iter().find(|t| t.kind == TokKind::BlockComment).unwrap();
+        assert_eq!(blk.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let t = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn line_numbers_advance_through_multiline_strings() {
+        let t = lex("let s = \"line1\nline2\";\nafter");
+        let after = t.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let t = kinds("let r#fn = 1;");
+        assert!(t.iter().any(|(k, txt)| *k == TokKind::Ident && txt == "fn"));
+    }
+}

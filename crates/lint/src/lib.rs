@@ -1,0 +1,35 @@
+//! # lightdb workspace lint
+//!
+//! A dependency-free static-analysis tool that mechanically enforces
+//! the correctness contracts PRs 1–3 introduced (crash-consistent
+//! publish ordering, single-flight lock discipline, allocation-free
+//! hot kernels, panic hygiene, `SAFETY` documentation), plus a
+//! miniature loom-style interleaving explorer for the two concurrency
+//! algorithms everything else leans on.
+//!
+//! Run the rules with `cargo run -p lint` and the interleaving
+//! harness with `cargo run -p lint -- interleave`; both exit non-zero
+//! on any violation. See DESIGN.md §"Enforced invariants" for the
+//! rule ↔ contract mapping.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+pub mod interleave;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::path::Path;
+
+pub use rules::{check_file, Rule, Violation};
+
+/// Runs every rule over every workspace `.rs` file under `root`.
+/// Returns the violations plus the number of files scanned.
+pub fn check_workspace(root: &Path) -> std::io::Result<(Vec<Violation>, usize)> {
+    let files = walk::rust_files(root)?;
+    let mut violations = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        violations.extend(rules::check_file(rel, &src));
+    }
+    Ok((violations, files.len()))
+}

@@ -1,0 +1,77 @@
+//! Workspace traversal: find every `.rs` file the rules should see.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into: build output, VCS metadata, and
+/// the lint's own known-bad fixture corpus (which *must* violate the
+/// rules — that is what it is for).
+fn skip_dir(rel: &str, name: &str) -> bool {
+    matches!(name, "target" | ".git") || rel == "crates/lint/tests/fixtures"
+}
+
+/// Recursively collects workspace-relative paths (forward slashes) of
+/// every `.rs` file under `root`, sorted for deterministic output.
+pub fn rust_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack: Vec<PathBuf> = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let ty = entry.file_type()?;
+            if ty.is_dir() {
+                if !skip_dir(&rel, &name) {
+                    stack.push(path);
+                }
+            } else if ty.is_file() && name.ends_with(".rs") {
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Locates the workspace root: walks up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace_and_skips_fixtures() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap();
+        let files = rust_files(&root).unwrap();
+        assert!(files.iter().any(|f| f == "crates/lint/src/walk.rs"));
+        assert!(files.iter().any(|f| f == "crates/storage/src/bufferpool.rs"));
+        assert!(!files.iter().any(|f| f.starts_with("crates/lint/tests/fixtures/")));
+        // The corpus driver itself (tests/fixtures.rs) is scanned.
+        assert!(files.iter().any(|f| f == "crates/lint/tests/fixtures.rs"));
+        assert!(!files.iter().any(|f| f.starts_with("target/")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "walk output must be deterministic");
+    }
+}

@@ -1,0 +1,75 @@
+//! Fixture tests: each known-bad snippet under `tests/fixtures/` must
+//! trigger its rule at the expected `file:line`, and the escape-hatch
+//! directives must behave as documented.
+//!
+//! Fixtures are fed to [`lint::rules::check_file`] under a *fake*
+//! library-tier path — their real path (`crates/lint/tests/fixtures/`)
+//! is a test path, which the workspace walker skips and the rules
+//! exempt from R1/R5.
+
+use lint::rules::{check_file, Rule};
+
+const LIB_PATH: &str = "crates/codec/src/fixture.rs";
+const STORAGE_PATH: &str = "crates/storage/src/fixture.rs";
+
+fn lines_of(rule: Rule, path: &str, src: &str) -> Vec<u32> {
+    check_file(path, src).iter().filter(|v| v.rule == rule).map(|v| v.line).collect()
+}
+
+#[test]
+fn r1_fires_on_every_panic_construct() {
+    let src = include_str!("fixtures/r1_panics.rs");
+    let v = check_file(LIB_PATH, src);
+    assert_eq!(lines_of(Rule::R1, LIB_PATH, src), vec![4, 7, 10, 13, 16], "{v:?}");
+    // Violations carry the (fake) path and render as `path:line: rule: msg`.
+    assert!(v[0].to_string().starts_with("crates/codec/src/fixture.rs:4: R1:"), "{}", v[0]);
+}
+
+#[test]
+fn r1_allow_suppresses_only_with_justification() {
+    let src = include_str!("fixtures/r1_allow.rs");
+    let v = check_file(LIB_PATH, src);
+    // Line 6 is covered by the justified allow on line 5. The bare
+    // allow on line 10 is itself reported and covers nothing, so the
+    // unwrap on line 11 fires too.
+    assert_eq!(v.len(), 2, "{v:?}");
+    assert_eq!((v[0].rule, v[0].line), (Rule::R1, 10));
+    assert!(v[0].msg.contains("justification"), "{}", v[0]);
+    assert_eq!((v[1].rule, v[1].line), (Rule::R1, 11));
+}
+
+#[test]
+fn r1_skips_fixture_when_given_its_real_test_path() {
+    // Under its true path the fixture is test-tier: R1 must not fire.
+    let src = include_str!("fixtures/r1_panics.rs");
+    let real = "crates/lint/tests/fixtures/r1_panics.rs";
+    assert!(check_file(real, src).is_empty());
+}
+
+#[test]
+fn r2_fires_inside_fence_only() {
+    let src = include_str!("fixtures/r2_hot_alloc.rs");
+    assert_eq!(lines_of(Rule::R2, LIB_PATH, src), vec![11, 12, 13]);
+}
+
+#[test]
+fn r3_fires_on_both_inversions_only_in_storage() {
+    let src = include_str!("fixtures/r3_lock_order.rs");
+    assert_eq!(lines_of(Rule::R3, STORAGE_PATH, src), vec![7, 14]);
+    // R3 is a storage-crate contract: the same source elsewhere is clean.
+    assert!(lines_of(Rule::R3, LIB_PATH, src).is_empty());
+}
+
+#[test]
+fn r4_fires_without_safety_comment() {
+    let src = include_str!("fixtures/r4_unsafe.rs");
+    assert_eq!(lines_of(Rule::R4, LIB_PATH, src), vec![4]);
+}
+
+#[test]
+fn r5_fires_outside_durable_module() {
+    let src = include_str!("fixtures/r5_rename.rs");
+    assert_eq!(lines_of(Rule::R5, STORAGE_PATH, src), vec![5]);
+    // The one sanctioned call site.
+    assert!(lines_of(Rule::R5, "crates/storage/src/durable.rs", src).is_empty());
+}

@@ -1,0 +1,12 @@
+// R1 fixture: a justified allow suppresses; a bare allow is itself a
+// violation and suppresses nothing.
+
+pub fn suppressed(x: Option<u32>) -> u32 {
+    // lint: allow(R1): fixture — the caller checked is_some() already
+    x.unwrap() // line 6: covered by the allow above
+}
+
+pub fn bare(x: Option<u32>) -> u32 {
+    // lint: allow(R1)
+    x.unwrap() // line 11: still fires (the bare allow on 10 is rejected)
+}

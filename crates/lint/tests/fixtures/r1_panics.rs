@@ -1,0 +1,17 @@
+// R1 fixture: each panic-family construct below must be reported at
+// the annotated line when classified as library-tier code.
+pub fn by_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // line 4
+}
+pub fn by_expect(x: Option<u32>) -> u32 {
+    x.expect("boom") // line 7
+}
+pub fn by_panic() {
+    panic!("no") // line 10
+}
+pub fn by_todo() {
+    todo!() // line 13
+}
+pub fn by_unimplemented() {
+    unimplemented!() // line 16
+}

@@ -1,0 +1,18 @@
+// R2 fixture: allocation tokens inside a hot-loop fence must fire;
+// the identical tokens outside the fence must not.
+pub fn cold() -> Vec<u8> {
+    Vec::new() // outside any fence: fine
+}
+
+pub fn hot(n: usize) -> u32 {
+    let mut acc = 0u32;
+    // lint: hot-loop — fixture fence
+    for i in 0..n {
+        let v = vec![0u8; 4]; // line 11: vec! allocates
+        let s = format!("{i}"); // line 12: format! allocates
+        let b = Box::new(i); // line 13: Box::new allocates
+        acc += v.len() as u32 + s.len() as u32 + *b as u32;
+    }
+    // lint: end-hot-loop
+    acc
+}

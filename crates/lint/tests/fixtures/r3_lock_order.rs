@@ -1,0 +1,25 @@
+// R3 fixture (classified as storage source): blocking on a flight
+// condvar while the pool guard is live, and re-acquiring the pool
+// lock inside a flight critical section, must both fire.
+pub fn wait_under_pool_lock(pool: &Pool, flight: &Flight) {
+    let inner = pool.inner.lock();
+    let done = flight.done.lock();
+    let done = flight.cv.wait(done); // line 7: wait while `inner` live
+    drop(done);
+    drop(inner);
+}
+
+pub fn pool_inside_flight(pool: &Pool, flight: &Flight) {
+    let done = flight.done.lock();
+    let inner = pool.inner.lock(); // line 14: pool after flight
+    drop(inner);
+    drop(done);
+}
+
+pub fn correct_order(pool: &Pool, flight: &Flight) {
+    let inner = pool.inner.lock();
+    drop(inner);
+    let done = flight.done.lock();
+    let done = flight.cv.wait(done); // fine: pool guard dropped first
+    drop(done);
+}

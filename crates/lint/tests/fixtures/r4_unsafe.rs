@@ -1,0 +1,10 @@
+// R4 fixture: an undocumented `unsafe` fires; one with the required
+// justification comment (same line or up to three lines above) does not.
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p } // line 4: no justification comment
+}
+
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: fixture — caller guarantees `p` is valid and aligned.
+    unsafe { *p }
+}

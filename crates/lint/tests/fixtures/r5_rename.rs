@@ -1,0 +1,6 @@
+// R5 fixture: `fs::rename` anywhere but storage::durable must fire —
+// publishing bytes without the tmp-write/fsync/rename protocol breaks
+// crash consistency.
+pub fn sneaky_publish(a: &std::path::Path, b: &std::path::Path) -> std::io::Result<()> {
+    std::fs::rename(a, b) // line 5
+}

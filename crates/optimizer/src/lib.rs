@@ -17,6 +17,8 @@
 //! [`PlannerOptions`] exposes each optimisation family as a switch,
 //! which the benchmark harness uses for ablations.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 pub mod lower;
 pub mod rules;
 

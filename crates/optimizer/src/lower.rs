@@ -89,6 +89,7 @@ struct ScanParams {
 
 /// The rule-based planner.
 #[derive(Clone)]
+#[derive(Debug)]
 pub struct Planner {
     catalog: Arc<Catalog>,
     pub options: PlannerOptions,
@@ -323,10 +324,10 @@ impl Planner {
                     let first = (((clipped.lo() - t0) * p.fps as f64) + EPSILON).floor() as u64;
                     let last =
                         ((((clipped.hi() - t0) * p.fps as f64) - EPSILON).ceil() as u64).max(first);
-                    *t_frames = Some((first, last.saturating_sub(1).max(first)));
+                    let range = (first, last.saturating_sub(1).max(first));
+                    *t_frames = Some(range);
                     // GOP-aligned pure-temporal selection → GOPSELECT.
                     if self.options.use_hops && temporal_only && gop_aligned(&clipped, t0, p) {
-                        let range = t_frames.unwrap();
                         return Ok((
                             PhysicalPlan::GopSelect { input: Box::new(child), t_frames: range },
                             Out::Encoded,
@@ -399,8 +400,8 @@ impl Planner {
                 plan.inputs.iter().map(|p| self.infer_volume(p)).collect();
             if volumes.iter().all(Option::is_some) {
                 let mut vols: Vec<(usize, Volume)> =
-                    volumes.into_iter().map(Option::unwrap).enumerate().collect();
-                vols.sort_by(|a, b| a.1.t().lo().partial_cmp(&b.1.t().lo()).unwrap());
+                    volumes.into_iter().flatten().enumerate().collect();
+                vols.sort_by(|a, b| a.1.t().lo().total_cmp(&b.1.t().lo()));
                 let disjoint = vols.windows(2).all(|w| {
                     w[0].1.t().hi() <= w[1].1.t().lo() + EPSILON
                 });
@@ -409,6 +410,8 @@ impl Planner {
                     let mut by_index: Vec<Option<PhysicalPlan>> =
                         lowered.into_iter().map(|(p, _)| Some(p)).collect();
                     for (i, _) in vols {
+                        // lint: allow(R1): enumerate() indices are distinct, so each slot is taken once
+                        #[allow(clippy::expect_used)]
                         inputs.push(by_index[i].take().expect("each input used once"));
                     }
                     return Ok((PhysicalPlan::GopUnion { inputs }, Out::Encoded));

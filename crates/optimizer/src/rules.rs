@@ -18,6 +18,13 @@ pub struct ComposedMap {
     name: String,
 }
 
+impl std::fmt::Debug for ComposedMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The fused name already encodes both stages (`A∘B`).
+        f.debug_struct("ComposedMap").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
 impl ComposedMap {
     pub fn new(first: MapFunction, second: MapFunction) -> ComposedMap {
         let name = format!("{}∘{}", second.name(), first.name());
@@ -85,6 +92,8 @@ fn fuse_maps(plan: LogicalPlan) -> LogicalPlan {
     }
     // Identity maps vanish outright.
     if outer.name() == "IDENTITY" {
+        // lint: allow(R1): Map nodes have exactly one input by construction
+        #[allow(clippy::unwrap_used)]
         return plan.inputs.into_iter().next().unwrap();
     }
     let child = &plan.inputs[0];
@@ -134,6 +143,8 @@ fn simplify_select(plan: LogicalPlan) -> LogicalPlan {
     }
     // SELECT(L, [-∞, +∞]) — the degenerate full-extent selection.
     if normalized.is_unconstrained() {
+        // lint: allow(R1): Select nodes have exactly one input by construction
+        #[allow(clippy::unwrap_used)]
         return plan.inputs.into_iter().next().unwrap();
     }
     let plan = if changed {
@@ -176,6 +187,8 @@ fn simplify_union(plan: LogicalPlan) -> LogicalPlan {
         .collect();
     if inputs.is_empty() {
         // All inputs were Ω: the union is Ω.
+        // lint: allow(R1): Union nodes have at least one input by construction
+        #[allow(clippy::unwrap_used)]
         return plan.inputs.into_iter().next().unwrap();
     }
     // Structural self-union: all inputs render identically (plans
@@ -186,10 +199,14 @@ fn simplify_union(plan: LogicalPlan) -> LogicalPlan {
     if inputs.len() > 1 && !inputs.iter().any(has_subquery) {
         let first = format!("{}", inputs[0]);
         if inputs.iter().all(|p| format!("{p}") == first) {
+            // lint: allow(R1): inputs.len() > 1 was checked just above
+            #[allow(clippy::unwrap_used)]
             return inputs.into_iter().next().unwrap();
         }
     }
     if inputs.len() == 1 {
+        // lint: allow(R1): inputs.len() == 1 was checked just above
+        #[allow(clippy::unwrap_used)]
         return inputs.into_iter().next().unwrap();
     }
     LogicalPlan { op: plan.op.clone(), inputs }
@@ -285,6 +302,8 @@ pub fn push_up_interpolate(plan: LogicalPlan) -> LogicalPlan {
                     }
                 );
                 if only_builtin {
+                    // lint: allow(R1): only_builtin matched on the popped input, so it exists
+                    #[allow(clippy::unwrap_used)]
                     let interp = inputs.pop().unwrap();
                     let LogicalPlan { op: iop, inputs: iinputs } = interp;
                     let swapped = LogicalPlan { op, inputs: iinputs };

@@ -40,6 +40,7 @@ impl Criterion {
 }
 
 /// A named group of benchmarks sharing a sample size.
+#[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     #[allow(dead_code)]
     criterion: &'a mut Criterion,
@@ -61,6 +62,7 @@ impl BenchmarkGroup<'_> {
 }
 
 /// Passed to each benchmark closure; `iter` times the workload.
+#[derive(Debug)]
 pub struct Bencher {
     samples: usize,
     durations: Vec<Duration>,

@@ -147,6 +147,12 @@ pub trait ArbitraryValue {
 /// Strategy returned by [`any`].
 pub struct Any<T>(std::marker::PhantomData<T>);
 
+impl<T> std::fmt::Debug for Any<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Any<{}>", std::any::type_name::<T>())
+    }
+}
+
 /// `any::<T>()`: uniform over the whole domain of `T`.
 pub fn any<T: ArbitraryValue>() -> Any<T> {
     Any(std::marker::PhantomData)
@@ -161,6 +167,13 @@ impl<T: ArbitraryValue> Strategy for Any<T> {
 
 /// Always produces a clone of the given value.
 pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> std::fmt::Debug for Just<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // No `T: Debug` bound, matching upstream's unconstrained use.
+        write!(f, "Just<{}>", std::any::type_name::<T>())
+    }
+}
 
 impl<T: Clone> Strategy for Just<T> {
     type Value = T;
@@ -191,6 +204,7 @@ pub mod collection {
     use std::ops::Range;
 
     /// Length bound for [`vec`]: an exact size or a half-open range.
+    #[derive(Debug)]
     pub struct SizeRange {
         lo: usize,
         hi: usize, // exclusive
@@ -212,6 +226,13 @@ pub mod collection {
     pub struct VecStrategy<S: Strategy> {
         element: S,
         size: SizeRange,
+    }
+
+    impl<S: Strategy> std::fmt::Debug for VecStrategy<S> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            // Strategies carry no `Debug` bound of their own.
+            f.debug_struct("VecStrategy").field("size", &self.size).finish_non_exhaustive()
+        }
     }
 
     /// `vec(strategy, len)`: vectors whose elements are drawn from

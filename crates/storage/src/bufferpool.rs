@@ -133,6 +133,14 @@ pub struct BufferPool {
     inner: Mutex<PoolInner>,
 }
 
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never locks: Debug must be safe to call while the pool
+        // mutex is held (e.g. from a panic hook mid-critical-section).
+        f.debug_struct("BufferPool").finish_non_exhaustive()
+    }
+}
+
 impl BufferPool {
     /// Creates a pool bounded by `capacity_bytes` of GOP payloads.
     pub fn new(capacity_bytes: usize) -> Self {

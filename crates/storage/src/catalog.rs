@@ -36,6 +36,7 @@ impl StoredTlf {
 
 /// A track being written by `STORE`: either fresh encoded content or
 /// a pointer to an existing, unchanged track (no-overwrite sharing).
+#[derive(Debug)]
 pub enum TrackWrite {
     /// Materialise a new media file with this content.
     New { role: TrackRole, projection: ProjectionKind, stream: VideoStream },
@@ -45,6 +46,7 @@ pub enum TrackWrite {
 
 /// The catalog. Thread-safe; `create`/`store`/`drop` serialise on a
 /// write lock, reads take a shared lock.
+#[derive(Debug)]
 pub struct Catalog {
     root: PathBuf,
     versions: RwLock<HashMap<String, Vec<u64>>>,
@@ -75,8 +77,16 @@ impl Catalog {
                 let file_name = f.file_name().to_string_lossy().to_string();
                 if durable::is_tmp_name(&file_name) {
                     // Debris from an interrupted publish; the rename
-                    // never happened, so nothing references it.
-                    let _ = fs::remove_file(f.path());
+                    // never happened, so nothing references it. A
+                    // concurrent cleaner may beat us to the unlink,
+                    // but any other failure (e.g. a read-only root)
+                    // would break the upcoming writes too — surface
+                    // it now instead of at the first publish.
+                    if let Err(e) = fs::remove_file(f.path()) {
+                        if e.kind() != std::io::ErrorKind::NotFound {
+                            return Err(e.into());
+                        }
+                    }
                     continue;
                 }
                 if let Some(v) = parse_metadata_name(&file_name) {
@@ -314,7 +324,11 @@ mod tests {
 
     fn temp_root(tag: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("lightdb-cat-{tag}-{}", std::process::id()));
-        let _ = fs::remove_dir_all(&d);
+        match fs::remove_dir_all(&d) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => panic!("failed to clear temp dir {}: {e}", d.display()),
+        }
         d
     }
 

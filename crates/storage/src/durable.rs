@@ -55,6 +55,9 @@ impl TmpGuard {
 impl Drop for TmpGuard {
     fn drop(&mut self) {
         if let Some(p) = self.path.take() {
+            // Best-effort by design: Drop cannot propagate, and a
+            // leftover tmp file is harmless — catalog open sweeps
+            // `is_tmp_name` debris on the next start.
             let _ = fs::remove_file(p);
         }
     }

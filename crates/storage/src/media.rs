@@ -116,7 +116,11 @@ mod tests {
 
     fn temp_dir(tag: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("lightdb-media-{tag}-{}", std::process::id()));
-        let _ = fs::remove_dir_all(&d);
+        match fs::remove_dir_all(&d) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => panic!("failed to clear temp dir {}: {e}", d.display()),
+        }
         d
     }
 

@@ -13,6 +13,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// A pinned view of the catalog at transaction start.
+#[derive(Debug)]
 pub struct Snapshot<'a> {
     catalog: &'a Catalog,
     pinned: Mutex<HashMap<String, u64>>,
@@ -87,7 +88,11 @@ mod tests {
 
     fn temp_root(tag: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("lightdb-snap-{tag}-{}", std::process::id()));
-        let _ = fs::remove_dir_all(&d);
+        match fs::remove_dir_all(&d) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => panic!("failed to clear temp dir {}: {e}", d.display()),
+        }
         d
     }
 
