@@ -139,6 +139,55 @@ impl Decoder {
         }
         Ok(out)
     }
+
+    /// Prediction-only decode of one GOP: keyframes are reconstructed
+    /// in full, predicted frames hold (clone) the previous picture —
+    /// their residual bytes are never examined. Output is well-formed
+    /// (same frame count and dimensions as the full decode) at
+    /// roughly one frame's decode cost per GOP; motion is lost. Used
+    /// for degraded service when a query's deadline is at risk.
+    pub fn decode_gop_degraded(
+        &self,
+        header: &SequenceHeader,
+        gop: &EncodedGop,
+    ) -> Result<Vec<Frame>> {
+        header.validate()?;
+        let (w, h) = (header.width, header.height);
+        let grid = header.grid;
+        let tile_count = grid.tile_count();
+        let mut out: Vec<Frame> = Vec::with_capacity(gop.frame_count());
+        for (fi, ef) in gop.frames.iter().enumerate() {
+            if ef.tiles.len() != tile_count {
+                return Err(CodecError::Corrupt("frame tile count disagrees with grid"));
+            }
+            if fi == 0 && ef.frame_type != FrameType::Key {
+                return Err(CodecError::Corrupt("GOP must start with a keyframe"));
+            }
+            match ef.frame_type {
+                FrameType::Key => {
+                    let mut frame = Frame::new(w, h);
+                    for t in 0..tile_count {
+                        let rect = grid.tile_rect(t, w, h);
+                        let payload = ef
+                            .tiles
+                            .get(t)
+                            .ok_or(CodecError::Corrupt("frame tile count disagrees with grid"))?;
+                        let tile =
+                            decode_tile_payload(payload, rect.w, rect.h, FrameType::Key, None)?;
+                        frame.blit(&tile, rect.x0, rect.y0);
+                    }
+                    out.push(frame);
+                }
+                FrameType::Predicted => {
+                    let prev = out
+                        .last()
+                        .ok_or(CodecError::Corrupt("predicted frame without reference"))?;
+                    out.push(prev.clone());
+                }
+            }
+        }
+        Ok(out)
+    }
 }
 
 /// Decodes one tile payload into a (tile-sized) frame.
@@ -526,5 +575,54 @@ mod tests {
         let mut header = stream.header;
         header.grid = TileGrid::new(2, 1); // lie about the grid
         assert!(Decoder::new().decode_gop(&header, &stream.gops[0]).is_err());
+    }
+
+    #[test]
+    fn degraded_decode_holds_keyframe_and_keeps_shape() {
+        let frames = moving_scene(64, 32, 5);
+        let enc = Encoder::new(EncoderConfig {
+            gop_length: 5,
+            qp: 18,
+            ..Default::default()
+        })
+        .unwrap();
+        let stream = enc.encode(&frames).unwrap();
+        let full = Decoder::new()
+            .decode_gop(&stream.header, &stream.gops[0])
+            .unwrap();
+        let degraded = Decoder::new()
+            .decode_gop_degraded(&stream.header, &stream.gops[0])
+            .unwrap();
+        // Same shape as the full decode.
+        assert_eq!(degraded.len(), full.len());
+        assert_eq!(
+            (degraded[0].width(), degraded[0].height()),
+            (full[0].width(), full[0].height())
+        );
+        // The keyframe is the real picture...
+        assert_eq!(degraded[0], full[0]);
+        assert!(luma_psnr(&frames[0], &degraded[0]) > 30.0);
+        // ...and every predicted frame holds it.
+        for f in &degraded[1..] {
+            assert_eq!(*f, degraded[0]);
+        }
+    }
+
+    #[test]
+    fn degraded_decode_rejects_headless_gop() {
+        let frames = moving_scene(32, 32, 2);
+        let enc = Encoder::new(EncoderConfig {
+            gop_length: 2,
+            qp: 30,
+            ..Default::default()
+        })
+        .unwrap();
+        let stream = enc.encode(&frames).unwrap();
+        let mut gop = stream.gops[0].clone();
+        gop.frames[0].frame_type = FrameType::Predicted;
+        assert!(matches!(
+            Decoder::new().decode_gop_degraded(&stream.header, &gop),
+            Err(CodecError::Corrupt(_))
+        ));
     }
 }

@@ -1,0 +1,123 @@
+//! Classified error taxonomy shared by every layer of the engine.
+//!
+//! Resilient execution needs to know *what kind* of failure it is
+//! looking at, not which crate produced it: transient faults are
+//! retried, corruption is skipped or degraded around, cancellation
+//! and deadline expiry abort cleanly, and overload is shed at
+//! admission. Each crate's error type maps into [`ErrorClass`] via a
+//! `classify()` method so retry/skip/shed decisions are made against
+//! the class, never against ad-hoc `io::ErrorKind` checks scattered
+//! through call sites.
+
+use std::io;
+
+/// The failure classes the engine reacts to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// Likely to succeed on retry (interrupted syscall, contention,
+    /// short timeout). Bounded-retry paths act only on this class.
+    Transient,
+    /// The bytes are wrong: checksum mismatch, container/codec
+    /// structure damage. Retrying re-reads the same bad bytes, so
+    /// the only useful reactions are fail, skip, or degrade.
+    Corrupt,
+    /// The query's cooperative cancellation token was triggered.
+    Cancelled,
+    /// The query's deadline expired before it finished.
+    DeadlineExceeded,
+    /// Admission control refused the query (or a resource wait timed
+    /// out under backpressure). The query never held the resource.
+    Overloaded,
+    /// Everything else: programming errors, missing files, unknown
+    /// I/O failures. Not retried, not degraded around.
+    Fatal,
+}
+
+impl ErrorClass {
+    /// Classifies a raw [`io::ErrorKind`]. This is the single home
+    /// for the "is this worth retrying?" kind list that used to be
+    /// duplicated wherever retries happened.
+    pub fn of_io_kind(kind: io::ErrorKind) -> ErrorClass {
+        match kind {
+            io::ErrorKind::Interrupted
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut => ErrorClass::Transient,
+            io::ErrorKind::InvalidData => ErrorClass::Corrupt,
+            _ => ErrorClass::Fatal,
+        }
+    }
+
+    /// True for classes a resilient caller handled *by design*:
+    /// everything except [`ErrorClass::Fatal`]. The chaos harness
+    /// asserts every injected failure surfaces as one of these.
+    pub fn is_classified(self) -> bool {
+        self != ErrorClass::Fatal
+    }
+}
+
+impl std::fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorClass::Transient => "transient",
+            ErrorClass::Corrupt => "corrupt",
+            ErrorClass::Cancelled => "cancelled",
+            ErrorClass::DeadlineExceeded => "deadline-exceeded",
+            ErrorClass::Overloaded => "overloaded",
+            ErrorClass::Fatal => "fatal",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_kind_mapping() {
+        assert_eq!(
+            ErrorClass::of_io_kind(io::ErrorKind::Interrupted),
+            ErrorClass::Transient
+        );
+        assert_eq!(
+            ErrorClass::of_io_kind(io::ErrorKind::WouldBlock),
+            ErrorClass::Transient
+        );
+        assert_eq!(
+            ErrorClass::of_io_kind(io::ErrorKind::TimedOut),
+            ErrorClass::Transient
+        );
+        assert_eq!(
+            ErrorClass::of_io_kind(io::ErrorKind::InvalidData),
+            ErrorClass::Corrupt
+        );
+        assert_eq!(
+            ErrorClass::of_io_kind(io::ErrorKind::NotFound),
+            ErrorClass::Fatal
+        );
+        assert_eq!(
+            ErrorClass::of_io_kind(io::ErrorKind::PermissionDenied),
+            ErrorClass::Fatal
+        );
+    }
+
+    #[test]
+    fn classified_excludes_only_fatal() {
+        for c in [
+            ErrorClass::Transient,
+            ErrorClass::Corrupt,
+            ErrorClass::Cancelled,
+            ErrorClass::DeadlineExceeded,
+            ErrorClass::Overloaded,
+        ] {
+            assert!(c.is_classified(), "{c}");
+        }
+        assert!(!ErrorClass::Fatal.is_classified());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(ErrorClass::DeadlineExceeded.to_string(), "deadline-exceeded");
+        assert_eq!(ErrorClass::Overloaded.to_string(), "overloaded");
+    }
+}

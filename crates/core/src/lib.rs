@@ -35,6 +35,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod algebra;
+pub mod fault_class;
 pub mod model;
 pub mod quality;
 pub mod subgraph;
@@ -42,6 +43,7 @@ pub mod udf;
 pub mod vrql;
 
 pub use algebra::{LogicalOp, LogicalPlan, MergeFunction, VolumePredicate};
+pub use fault_class::ErrorClass;
 pub use model::{PhysicalKind, TlfHandle, TlfId};
 pub use quality::Quality;
 pub use udf::{BuiltinInterp, BuiltinMap, InterpFunction, MapFunction, MapUdf};

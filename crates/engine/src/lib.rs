@@ -33,9 +33,9 @@ use lightdb_core::algebra::{LogicalOp, LogicalPlan};
 use lightdb_core::subgraph::{self, UdfRegistry};
 use lightdb_core::udf::{InterpUdf, MapUdf};
 use lightdb_core::vrql::VrqlExpr;
-use lightdb_exec::{Executor, Metrics, Parallelism, QueryOutput, ReadPolicy};
+use lightdb_exec::{Executor, Metrics, Parallelism, QueryCtx, QueryOutput, ReadPolicy};
 use lightdb_optimizer::{Planner, PlannerOptions};
-use lightdb_storage::{BufferPool, Catalog, Snapshot};
+use lightdb_storage::{AdmitPolicy, BufferPool, Catalog, Snapshot};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -48,7 +48,8 @@ pub mod prelude {
     pub use lightdb_core::udf::{BuiltinInterp, BuiltinMap, InterpUdf, MapUdf, PointMapUdf};
     pub use lightdb_core::vrql::*;
     pub use lightdb_core::{MergeFunction, Quality};
-    pub use lightdb_exec::{Parallelism, QueryOutput, ReadPolicy};
+    pub use lightdb_exec::{CancelToken, Parallelism, QueryCtx, QueryOutput, ReadPolicy};
+    pub use lightdb_storage::AdmitPolicy;
     pub use lightdb_frame::{Frame, Yuv};
     pub use lightdb_geom::{Dimension, Interval, Point3, Volume};
     pub use lightdb_optimizer::PlannerOptions;
@@ -124,9 +125,15 @@ pub struct LightDb {
     options: PlannerOptions,
     read_policy: ReadPolicy,
     parallelism: Parallelism,
+    admit_policy: AdmitPolicy,
     metrics: Metrics,
     udfs: UdfRegistry,
 }
+
+/// Default admission backpressure window: queries whose declared
+/// working set does not fit wait up to this long for capacity before
+/// failing with `Overloaded`.
+pub const DEFAULT_ADMIT_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
 
 impl LightDb {
     /// Opens (or initialises) a database rooted at `path` with the
@@ -144,6 +151,7 @@ impl LightDb {
             options,
             read_policy: ReadPolicy::default(),
             parallelism: Parallelism::from_env(),
+            admit_policy: AdmitPolicy::Block { timeout: DEFAULT_ADMIT_TIMEOUT },
             metrics: Metrics::new(),
             udfs: UdfRegistry::new(),
         })
@@ -196,6 +204,33 @@ impl LightDb {
         self.parallelism = parallelism;
     }
 
+    /// Current buffer-pool admission policy for queries that declare
+    /// a working set.
+    pub fn admit_policy(&self) -> AdmitPolicy {
+        self.admit_policy
+    }
+
+    /// Sets what happens when a query's declared working set exceeds
+    /// free admission capacity: [`AdmitPolicy::Block`] waits with
+    /// backpressure up to a timeout (default), [`AdmitPolicy::FailFast`]
+    /// fails immediately with a classified `Overloaded` error.
+    pub fn set_admit_policy(&mut self, policy: AdmitPolicy) {
+        self.admit_policy = policy;
+    }
+
+    /// Caps the total bytes of concurrently *admitted* working sets
+    /// (independent of resident cache bytes). Queries beyond the cap
+    /// block or fail per [`LightDb::set_admit_policy`].
+    pub fn set_admission_limit(&self, bytes: usize) {
+        self.pool.set_admission_limit(bytes);
+    }
+
+    /// Caps the resident pool bytes any single admitted query may
+    /// hold; a query over its cap evicts its own pages first.
+    pub fn set_query_cap(&self, bytes: usize) {
+        self.pool.set_query_cap(bytes);
+    }
+
     /// Cumulative per-operator execution metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
@@ -223,6 +258,18 @@ impl LightDb {
     /// the TLF's metadata; a `SCAN` of such a TLF transparently
     /// re-applies the recorded subgraph.
     pub fn execute(&self, query: &VrqlExpr) -> Result<QueryOutput> {
+        // A fresh per-statement context: the `LIGHTDB_DEADLINE_MS`
+        // budget starts counting here, not at `open` time, and
+        // `LIGHTDB_MEM_CAP` becomes the declared working set.
+        self.execute_with_ctx(query, QueryCtx::from_env())
+    }
+
+    /// [`LightDb::execute`] under an explicit [`QueryCtx`]: the
+    /// query observes `ctx`'s deadline and cancellation at every
+    /// chunk boundary, and its declared working set (if any) passes
+    /// buffer-pool admission before execution starts. Cancel from
+    /// another thread via [`QueryCtx::cancel_token`].
+    pub fn execute_with_ctx(&self, query: &VrqlExpr, ctx: QueryCtx) -> Result<QueryOutput> {
         // Pin a snapshot and resolve unversioned scans against it,
         // splicing stored view subgraphs in as we go.
         let snapshot = Snapshot::begin(&self.catalog);
@@ -248,6 +295,8 @@ impl LightDb {
         executor.spatial_index = self.options.use_indexes;
         executor.read_policy = self.read_policy;
         executor.parallelism = self.parallelism;
+        executor.admit_policy = self.admit_policy;
+        executor.ctx = ctx;
         let out = executor.run(&physical)?;
         if let QueryOutput::Stored { name, version } = &out {
             snapshot.expose(name, *version);
@@ -481,6 +530,75 @@ mod tests {
         let v2 = db.execute(&scan_version("src", 2)).unwrap();
         assert_eq!(v1.frame_count(), 2);
         assert_eq!(v2.frame_count(), 2);
+        fs::remove_dir_all(db.catalog().root()).unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_fails_classified() {
+        let db = LightDb::open(temp_root("deadline")).unwrap();
+        ingest::store_frames(
+            &db,
+            "src",
+            &demo_frames(2),
+            &ingest::IngestConfig { fps: 2, gop_length: 2, ..Default::default() },
+        )
+        .unwrap();
+        let ctx = QueryCtx::unbounded().with_deadline(std::time::Duration::ZERO);
+        let err = db.execute_with_ctx(&scan("src"), ctx).unwrap_err();
+        match err {
+            Error::Exec(e) => {
+                assert!(matches!(e, lightdb_exec::ExecError::DeadlineExceeded), "{e}")
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        fs::remove_dir_all(db.catalog().root()).unwrap();
+    }
+
+    #[test]
+    fn pre_cancelled_query_fails_classified() {
+        let db = LightDb::open(temp_root("cancel")).unwrap();
+        ingest::store_frames(
+            &db,
+            "src",
+            &demo_frames(2),
+            &ingest::IngestConfig { fps: 2, gop_length: 2, ..Default::default() },
+        )
+        .unwrap();
+        let ctx = QueryCtx::unbounded();
+        ctx.cancel_token().cancel();
+        let err = db.execute_with_ctx(&scan("src"), ctx).unwrap_err();
+        match err {
+            Error::Exec(e) => assert!(matches!(e, lightdb_exec::ExecError::Cancelled), "{e}"),
+            other => panic!("unexpected error: {other}"),
+        }
+        fs::remove_dir_all(db.catalog().root()).unwrap();
+    }
+
+    #[test]
+    fn fail_fast_admission_rejects_oversized_working_set() {
+        let mut db = LightDb::open(temp_root("admit")).unwrap();
+        ingest::store_frames(
+            &db,
+            "src",
+            &demo_frames(2),
+            &ingest::IngestConfig { fps: 2, gop_length: 2, ..Default::default() },
+        )
+        .unwrap();
+        db.set_admission_limit(1 << 20);
+        db.set_admit_policy(AdmitPolicy::FailFast);
+        let ctx = QueryCtx::unbounded().with_mem_estimate(8 << 20);
+        let err = db.execute_with_ctx(&scan("src"), ctx).unwrap_err();
+        match err {
+            Error::Exec(e) => {
+                assert!(matches!(e, lightdb_exec::ExecError::Overloaded(_)), "{e}");
+                assert_eq!(e.classify(), lightdb_core::ErrorClass::Overloaded);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        // A fitting declaration is admitted and released.
+        let ctx = QueryCtx::unbounded().with_mem_estimate(64 << 10);
+        db.execute_with_ctx(&scan("src"), ctx).unwrap();
+        assert_eq!(db.pool().admitted(), 0, "admission released after query");
         fs::remove_dir_all(db.catalog().root()).unwrap();
     }
 

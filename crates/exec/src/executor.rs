@@ -6,8 +6,10 @@ use crate::hops;
 use crate::metrics::Metrics;
 use crate::parallel::Parallelism;
 use crate::plan::PhysicalPlan;
+use crate::query_ctx::QueryCtx;
 use crate::sources;
 use crate::{ChunkStream, ExecError, ReadPolicy, Result};
+use lightdb_storage::AdmitPolicy;
 use lightdb_codec::{CodecKind, VideoStream};
 use lightdb_container::{SpherePoint, TlfBody, TlfDescriptor};
 use lightdb_core::udf::MapFunction;
@@ -77,6 +79,18 @@ pub struct Executor {
     /// [`Parallelism::from_env`] (`LIGHTDB_THREADS`); output is
     /// byte-identical at any setting.
     pub parallelism: Parallelism,
+    /// Per-query deadline, cancellation and working-set declaration.
+    /// Checked at every GOP/chunk boundary and polled inside timed
+    /// pool waits, so a cancelled or expired query stops within one
+    /// chunk of work.
+    pub ctx: QueryCtx,
+    /// What [`Executor::run`] does when the context declares a
+    /// working set ([`QueryCtx::with_mem_estimate`]) that does not
+    /// currently fit under the pool's admission limit.
+    pub admit_policy: AdmitPolicy,
+    /// Admission tag for pages this query inserts into the buffer
+    /// pool (set for the duration of `run` when admission is active).
+    owner: Option<u64>,
 }
 
 impl Executor {
@@ -88,11 +102,41 @@ impl Executor {
             spatial_index: true,
             read_policy: ReadPolicy::default(),
             parallelism: Parallelism::from_env(),
+            ctx: QueryCtx::unbounded(),
+            admit_policy: AdmitPolicy::Block { timeout: std::time::Duration::from_secs(10) },
+            owner: None,
         }
     }
 
     /// Runs a plan to completion.
     pub fn run(&self, plan: &PhysicalPlan) -> Result<QueryOutput> {
+        self.ctx.check()?;
+        // Admission: a declared working set reserves pool budget for
+        // the whole query; the RAII guard releases it on every exit
+        // path. `Aborted` is refined into the precise Cancelled /
+        // DeadlineExceeded by re-checking the context.
+        let _admission = match self.ctx.mem_estimate() {
+            None => None,
+            Some(bytes) => {
+                match self.pool.admit(bytes, self.admit_policy, &|| self.ctx.should_abort()) {
+                    Ok(a) => Some(a),
+                    Err(e) => {
+                        self.ctx.check()?;
+                        return Err(e.into());
+                    }
+                }
+            }
+        };
+        // The clone shares metrics/pool/catalog; only the owner tag
+        // differs, so pool pages inserted below carry this query's id.
+        let exec = Executor {
+            owner: _admission.as_ref().map(|a| a.query_id()),
+            ..self.clone()
+        };
+        exec.run_admitted(plan)
+    }
+
+    fn run_admitted(&self, plan: &PhysicalPlan) -> Result<QueryOutput> {
         match plan {
             PhysicalPlan::CreateTlf { name } => {
                 let tlf = TlfDescriptor {
@@ -137,6 +181,8 @@ impl Executor {
                 self.spatial_index,
                 self.read_policy,
                 m,
+                self.ctx.clone(),
+                self.owner,
             )?,
             PhysicalPlan::DecodeFile { path, .. } => sources::decode_file(path, m)?,
             PhysicalPlan::Omega { .. } => sources::omega(),
@@ -146,9 +192,13 @@ impl Executor {
                 })?;
                 Box::new(std::iter::once(Ok(c.clone())))
             }
-            PhysicalPlan::ToFrames { input, device } => {
-                frameops::decode_chunks_par(self.build(input, sub)?, *device, m, self.parallelism)
-            }
+            PhysicalPlan::ToFrames { input, device } => frameops::decode_chunks_par(
+                self.build(input, sub)?,
+                *device,
+                m,
+                self.parallelism,
+                self.ctx.clone(),
+            ),
             PhysicalPlan::FromFrames { input, device, codec, qp } => {
                 frameops::encode_chunks_par(
                     self.build(input, sub)?,
@@ -157,6 +207,7 @@ impl Executor {
                     *qp,
                     m,
                     self.parallelism,
+                    self.ctx.clone(),
                 )
             }
             PhysicalPlan::Transfer { input, to } => {
@@ -191,9 +242,14 @@ impl Executor {
                     let udf = udf.clone();
                     let metrics = m.clone();
                     let input = self.build(input, sub)?;
-                    crate::parallel::par_map_chunks(input, self.parallelism, move |c| {
-                        metrics.time("MAP", || frameops::apply_point_map(&c, udf.as_ref()))
-                    })
+                    crate::parallel::par_map_chunks_ctx(
+                        input,
+                        self.parallelism,
+                        self.ctx.clone(),
+                        move |c| {
+                            metrics.time("MAP", || frameops::apply_point_map(&c, udf.as_ref()))
+                        },
+                    )
                 }
                 _ => frameops::map_frames_par(
                     self.build(input, sub)?,
@@ -201,6 +257,7 @@ impl Executor {
                     *device,
                     m,
                     self.parallelism,
+                    self.ctx.clone(),
                 ),
             },
             PhysicalPlan::InterpolateFrames { input, f, device } => {
@@ -287,7 +344,7 @@ impl Executor {
     // ------------------------------------------------------------- sinks
 
     fn collect_output(&self, stream: ChunkStream) -> Result<QueryOutput> {
-        let parts = collect_parts(stream)?;
+        let parts = collect_parts(stream, &self.ctx)?;
         if parts.is_empty() {
             return Ok(QueryOutput::Unit);
         }
@@ -327,7 +384,7 @@ impl Executor {
         view_subgraph: Option<Vec<u8>>,
     ) -> Result<QueryOutput> {
         let stream = self.build(input, None)?;
-        let parts = collect_parts(stream)?;
+        let parts = collect_parts(stream, &self.ctx)?;
         if parts.is_empty() {
             return Err(ExecError::Other("STORE of an empty result".into()));
         }
@@ -340,18 +397,21 @@ impl Executor {
             let encoded: Vec<Chunk> = crate::parallel::scatter(
                 p.chunks.iter().collect::<Vec<&Chunk>>(),
                 self.parallelism.threads(),
-                |_, c| match &c.payload {
-                    ChunkPayload::Encoded { .. } => Ok(c.clone()),
-                    ChunkPayload::Decoded { frames, device } => {
-                        self.metrics.time("ENCODE", || {
-                            frameops::encode_one_gop(
-                                c,
-                                frames,
-                                *device,
-                                CodecKind::HevcSim,
-                                20,
-                            )
-                        })
+                |_, c| {
+                    self.ctx.check()?;
+                    match &c.payload {
+                        ChunkPayload::Encoded { .. } => Ok(c.clone()),
+                        ChunkPayload::Decoded { frames, device } => {
+                            self.metrics.time("ENCODE", || {
+                                frameops::encode_one_gop(
+                                    c,
+                                    frames,
+                                    *device,
+                                    CodecKind::HevcSim,
+                                    20,
+                                )
+                            })
+                        }
                     }
                 },
             )
@@ -464,9 +524,10 @@ struct OutPart {
     info_projection: ProjectionKind,
 }
 
-fn collect_parts(stream: ChunkStream) -> Result<Vec<OutPart>> {
+fn collect_parts(stream: ChunkStream, ctx: &QueryCtx) -> Result<Vec<OutPart>> {
     let mut parts: Vec<(usize, OutPart)> = Vec::new();
     for c in stream {
+        ctx.check()?;
         let c = c?;
         match parts.iter_mut().find(|(id, _)| *id == c.part) {
             Some((_, p)) => {

@@ -8,9 +8,11 @@
 
 use crate::chunk::{is_omega, Chunk, ChunkPayload, TimeGrouped};
 use crate::device::{gpu_map, gpu_row_kernel, transfer_frames, Device};
-use crate::metrics::Metrics;
-use crate::parallel::{par_map_chunks, Parallelism};
+use crate::metrics::{counters, Metrics};
+use crate::parallel::{par_map_chunks_ctx, Parallelism};
+use crate::query_ctx::QueryCtx;
 use crate::{ChunkStream, ExecError, Result};
+use lightdb_storage::faults::{fail_point, sites};
 use lightdb_codec::encoder::encode_tile_opts_into;
 use lightdb_codec::gop::{EncodedFrame, EncodedGop, FrameType};
 use lightdb_codec::scratch::{DecoderScratch, EncoderScratch};
@@ -41,19 +43,30 @@ thread_local! {
 /// `DECODE`: encoded chunks → decoded frames on `device`. The GPU
 /// variant decodes a tiled frame's tiles in parallel.
 pub fn decode_chunks(input: ChunkStream, device: Device, metrics: Metrics) -> ChunkStream {
-    decode_chunks_par(input, device, metrics, Parallelism::SERIAL)
+    decode_chunks_par(input, device, metrics, Parallelism::SERIAL, QueryCtx::unbounded())
 }
 
 /// Chunk-parallel `DECODE`: independent GOPs decode on up to
 /// `par.threads()` workers; output order (and bytes) match the serial
-/// path.
+/// path. When `ctx` reports its deadline at risk, decodes switch to
+/// the cheap prediction-only path ([`decode_one_degraded`]) so the
+/// query lands inside its budget instead of missing it.
 pub fn decode_chunks_par(
     input: ChunkStream,
     device: Device,
     metrics: Metrics,
     par: Parallelism,
+    ctx: QueryCtx,
 ) -> ChunkStream {
-    par_map_chunks(input, par, move |c| decode_one(c, device, &metrics))
+    let at_risk = ctx.clone();
+    par_map_chunks_ctx(input, par, ctx, move |c| {
+        fail_point(sites::EXEC_DECODE_GOP)?;
+        if at_risk.deadline_at_risk() {
+            decode_one_degraded(c, device, &metrics)
+        } else {
+            decode_one(c, device, &metrics)
+        }
+    })
 }
 
 /// Decodes one chunk (no-op when already decoded).
@@ -92,6 +105,27 @@ pub fn decode_one(c: Chunk, device: Device, metrics: &Metrics) -> Result<Chunk> 
     }
 }
 
+/// Prediction-only decode of one chunk: the keyframe is reconstructed
+/// in full, predicted frames hold the previous picture. Roughly one
+/// frame's decode cost per GOP; used when a query's deadline is at
+/// risk. Each degraded GOP is counted in
+/// [`counters::DEGRADED_GOPS`].
+pub fn decode_one_degraded(c: Chunk, device: Device, metrics: &Metrics) -> Result<Chunk> {
+    match c.payload {
+        ChunkPayload::Decoded { .. } => Ok(c), // already decoded
+        ChunkPayload::Encoded { header, ref gop } => {
+            let frames = metrics.time("DECODE", || -> Result<Vec<Frame>> {
+                Ok(Decoder::new().decode_gop_degraded(&header, gop)?)
+            })?;
+            metrics.bump(counters::DEGRADED_GOPS);
+            Ok(Chunk {
+                payload: ChunkPayload::Decoded { frames, device },
+                ..c
+            })
+        }
+    }
+}
+
 // ------------------------------------------------------------------ encode
 
 /// `ENCODE`: decoded chunks → encoded chunks (one GOP per chunk).
@@ -103,12 +137,13 @@ pub fn encode_chunks(
     qp: u8,
     metrics: Metrics,
 ) -> ChunkStream {
-    encode_chunks_par(input, device, codec, qp, metrics, Parallelism::SERIAL)
+    encode_chunks_par(input, device, codec, qp, metrics, Parallelism::SERIAL, QueryCtx::unbounded())
 }
 
 /// Chunk-parallel `ENCODE`: each chunk is one GOP (and, post-
 /// PARTITION, one tile), so chunks encode independently across up to
 /// `par.threads()` workers with byte-identical output.
+#[allow(clippy::too_many_arguments)]
 pub fn encode_chunks_par(
     input: ChunkStream,
     device: Device,
@@ -116,8 +151,9 @@ pub fn encode_chunks_par(
     qp: u8,
     metrics: Metrics,
     par: Parallelism,
+    ctx: QueryCtx,
 ) -> ChunkStream {
-    par_map_chunks(input, par, move |c| {
+    par_map_chunks_ctx(input, par, ctx, move |c| {
         encode_chunk(c, device, codec, qp, &metrics)
     })
 }
@@ -384,7 +420,7 @@ pub fn map_frames(
     device: Device,
     metrics: Metrics,
 ) -> ChunkStream {
-    map_frames_par(input, f, device, metrics, Parallelism::SERIAL)
+    map_frames_par(input, f, device, metrics, Parallelism::SERIAL, QueryCtx::unbounded())
 }
 
 /// Chunk-parallel `MAP`: per-part/per-GOP UDF application fans out
@@ -397,12 +433,14 @@ pub fn map_frames_par(
     device: Device,
     metrics: Metrics,
     par: Parallelism,
+    ctx: QueryCtx,
 ) -> ChunkStream {
-    par_map_chunks(input, par, move |c| map_chunk(c, &f, device, &metrics))
+    par_map_chunks_ctx(input, par, ctx, move |c| map_chunk(c, &f, device, &metrics))
 }
 
 /// Applies a map UDF to one chunk's frames.
 pub fn map_chunk(c: Chunk, f: &MapFunction, device: Device, metrics: &Metrics) -> Result<Chunk> {
+    fail_point(sites::EXEC_CHUNK_MAP)?;
     let ChunkPayload::Decoded { frames, device: d } = c.payload else {
         return Err(ExecError::Domain(
             "MAP requires decoded input (planner bug)".into(),
@@ -450,6 +488,7 @@ fn apply_map(f: &MapFunction, frames: Vec<Frame>, device: Device) -> Vec<Frame> 
 /// Evaluates a point-granular UDF over a chunk, supplying each
 /// pixel's 6-D coordinates through the equirectangular mapping.
 pub fn apply_point_map(c: &Chunk, udf: &dyn lightdb_core::udf::PointMapUdf) -> Result<Chunk> {
+    fail_point(sites::EXEC_CHUNK_MAP)?;
     let ChunkPayload::Decoded { frames, device } = &c.payload else {
         return Err(ExecError::Domain("point MAP requires decoded input".into()));
     };

@@ -34,6 +34,7 @@ pub mod hops;
 pub mod metrics;
 pub mod parallel;
 pub mod plan;
+pub mod query_ctx;
 pub mod sources;
 
 pub use chunk::{Chunk, ChunkPayload, StreamInfo};
@@ -42,6 +43,9 @@ pub use executor::{Executor, QueryOutput};
 pub use metrics::Metrics;
 pub use parallel::Parallelism;
 pub use plan::PhysicalPlan;
+pub use query_ctx::{CancelToken, QueryCtx};
+
+use lightdb_core::ErrorClass;
 
 /// What a scan does when a GOP fails checksum verification or cannot
 /// be parsed.
@@ -55,18 +59,43 @@ pub enum ReadPolicy {
     /// [`metrics::counters::SKIPPED_GOPS`]; exceeding the budget
     /// fails the query with the underlying error.
     SkipCorruptGops { max_skipped: usize },
+    /// Serve up to `max_degraded` damaged GOPs as well-formed
+    /// lower-fidelity substitutes (coarse-quantised held frames with
+    /// the damaged GOP's frame count and stream parameters) instead
+    /// of dropping them — output shape is always preserved.
+    /// Substitutions are counted in
+    /// [`metrics::counters::DEGRADED_GOPS`]; exceeding the budget
+    /// fails the query with the underlying error.
+    Degrade { max_degraded: usize },
 }
 
 impl ExecError {
     /// True for errors that mean one piece of stored data is damaged
     /// (checksum mismatch, unparsable GOP) rather than the query
     /// being impossible — the class [`ReadPolicy::SkipCorruptGops`]
-    /// may skip over.
+    /// may skip over and [`ReadPolicy::Degrade`] may substitute.
     pub fn is_data_corruption(&self) -> bool {
         match self {
             ExecError::Storage(e) => e.is_data_corruption(),
             ExecError::Codec(_) => true,
             _ => false,
+        }
+    }
+
+    /// Maps this error onto the engine-wide taxonomy. Callers decide
+    /// retry/skip/shed/abort against the class, not the variant.
+    pub fn classify(&self) -> ErrorClass {
+        match self {
+            ExecError::Storage(e) => e.classify(),
+            ExecError::Codec(_) => ErrorClass::Corrupt,
+            ExecError::Io(e) => ErrorClass::of_io_kind(e.kind()),
+            ExecError::Cancelled => ErrorClass::Cancelled,
+            ExecError::DeadlineExceeded => ErrorClass::DeadlineExceeded,
+            ExecError::Overloaded(_) => ErrorClass::Overloaded,
+            ExecError::Core(_)
+            | ExecError::Domain(_)
+            | ExecError::Align(_)
+            | ExecError::Other(_) => ErrorClass::Fatal,
         }
     }
 }
@@ -83,6 +112,14 @@ pub enum ExecError {
     Domain(String),
     /// Inputs to an n-ary operator are misaligned or incompatible.
     Align(String),
+    /// The query's cancellation token fired (see
+    /// [`QueryCtx::cancel_token`]).
+    Cancelled,
+    /// The query's deadline expired before it finished.
+    DeadlineExceeded,
+    /// Admission control refused the query before it held any
+    /// resources (working set over budget, or backpressure timeout).
+    Overloaded(String),
     /// Anything else.
     Other(String),
 }
@@ -96,6 +133,9 @@ impl std::fmt::Display for ExecError {
             ExecError::Io(e) => write!(f, "io: {e}"),
             ExecError::Domain(m) => write!(f, "domain: {m}"),
             ExecError::Align(m) => write!(f, "alignment: {m}"),
+            ExecError::Cancelled => write!(f, "query cancelled"),
+            ExecError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            ExecError::Overloaded(m) => write!(f, "overloaded: {m}"),
             ExecError::Other(m) => write!(f, "{m}"),
         }
     }
@@ -124,6 +164,20 @@ impl From<lightdb_core::CoreError> for ExecError {
 impl From<std::io::Error> for ExecError {
     fn from(e: std::io::Error) -> Self {
         ExecError::Io(e)
+    }
+}
+
+impl From<lightdb_storage::AdmitError> for ExecError {
+    fn from(e: lightdb_storage::AdmitError) -> Self {
+        match e {
+            // Callers with a QueryCtx refine `Aborted` into the
+            // precise Cancelled/DeadlineExceeded via `ctx.check()`
+            // before converting; a bare conversion reports Cancelled.
+            lightdb_storage::AdmitError::Aborted => ExecError::Cancelled,
+            e @ lightdb_storage::AdmitError::Overloaded { .. } => {
+                ExecError::Overloaded(e.to_string())
+            }
+        }
     }
 }
 

@@ -52,11 +52,27 @@ impl Metrics {
     /// Runs `f`, attributing its duration to `op`. Safe to call for
     /// the same `op` from several threads at once: busy time sums,
     /// wall time counts overlapping invocations once.
+    ///
+    /// The span is closed by an RAII guard, so a panic (or any other
+    /// unwind) out of `f` still decrements the active count — an
+    /// aborted query must never leave a span open, or every later
+    /// wall reading for that operator would silently keep growing.
     pub fn time<T>(&self, op: &'static str, f: impl FnOnce() -> T) -> T {
+        let _span = self.span(op);
+        f()
+    }
+
+    /// Opens a span on `op` that closes when the guard drops.
+    pub fn span(&self, op: &'static str) -> SpanGuard<'_> {
         let start = self.enter(op);
-        let out = f();
-        self.exit(op, start);
-        out
+        SpanGuard { metrics: self, op, start }
+    }
+
+    /// Number of spans currently open across all operators. The
+    /// resilience tests assert this returns to zero after cancelled
+    /// and panicked queries.
+    pub fn open_spans(&self) -> u64 {
+        self.inner.lock().values().map(|e| u64::from(e.active)).sum()
     }
 
     fn enter(&self, op: &'static str) -> Instant {
@@ -162,11 +178,30 @@ impl Metrics {
     }
 }
 
+/// Closes the span opened by [`Metrics::span`] on drop (unwind-safe).
+#[derive(Debug)]
+pub struct SpanGuard<'m> {
+    metrics: &'m Metrics,
+    op: &'static str,
+    start: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.metrics.exit(self.op, self.start);
+    }
+}
+
 /// Counter names used by the built-in operators.
 pub mod counters {
     /// GOPs skipped by a scan running under
     /// [`crate::ReadPolicy::SkipCorruptGops`].
     pub const SKIPPED_GOPS: &str = "scan.skipped_gops";
+    /// GOPs served as lower-fidelity substitutes: corrupt GOPs
+    /// replaced under [`crate::ReadPolicy::Degrade`], plus decodes
+    /// switched to the prediction-only path because the query's
+    /// deadline was at risk.
+    pub const DEGRADED_GOPS: &str = "scan.degraded_gops";
 }
 
 #[cfg(test)]
@@ -247,6 +282,23 @@ mod tests {
         // All four overlap almost entirely: wall should be near one
         // invocation's length, not four (generous bound for CI noise).
         assert!(wall < Duration::from_millis(120));
+    }
+
+    #[test]
+    fn panicking_invocation_still_closes_its_span() {
+        let m = Metrics::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.time("OP", || panic!("injected"));
+        }));
+        assert!(caught.is_err());
+        assert_eq!(m.open_spans(), 0, "unwound span must have closed");
+        assert_eq!(m.count("OP"), 1);
+        // Wall accounting still works afterwards: a fresh serial call
+        // adds its own span instead of inheriting a stuck-open one.
+        let wall_before = m.wall("OP");
+        m.time("OP", || std::thread::sleep(Duration::from_millis(5)));
+        assert!(m.wall("OP") >= wall_before + Duration::from_millis(4));
+        assert_eq!(m.open_spans(), 0);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! position, exactly as the serial path would.
 
 use crate::chunk::Chunk;
+use crate::query_ctx::QueryCtx;
 use crate::{ChunkStream, Result};
 
 /// How many worker threads chunk-parallel operators may use.
@@ -124,8 +125,26 @@ pub fn par_map_chunks(
     par: Parallelism,
     f: impl Fn(Chunk) -> Result<Chunk> + Sync + 'static,
 ) -> ChunkStream {
+    par_map_chunks_ctx(input, par, QueryCtx::unbounded(), f)
+}
+
+/// [`par_map_chunks`] under a [`QueryCtx`]: cancellation and deadline
+/// are checked on the caller thread before each batch refill and on
+/// every worker before each chunk, so an abort is observed within one
+/// chunk's worth of work. Chunks already transformed when the abort
+/// lands are replayed first (output stays a well-ordered prefix), then
+/// the abort error is emitted and the stream ends.
+pub fn par_map_chunks_ctx(
+    input: ChunkStream,
+    par: Parallelism,
+    ctx: QueryCtx,
+    f: impl Fn(Chunk) -> Result<Chunk> + Sync + 'static,
+) -> ChunkStream {
     if par.is_serial() {
-        return Box::new(input.map(move |c| c.and_then(&f)));
+        return Box::new(input.map(move |c| {
+            ctx.check()?;
+            c.and_then(&f)
+        }));
     }
     let threads = par.threads();
     let batch_size = threads * 2;
@@ -138,6 +157,10 @@ pub fn par_map_chunks(
         }
         if done {
             return None;
+        }
+        if let Err(e) = ctx.check() {
+            done = true;
+            return Some(Err(e));
         }
         // Refill: pull a batch, stopping at stream end or an error.
         let mut batch: Vec<Chunk> = Vec::with_capacity(batch_size);
@@ -158,7 +181,23 @@ pub fn par_map_chunks(
         if batch.is_empty() && tail_err.is_none() && done {
             return None;
         }
-        outbox.extend(scatter(batch, threads, |_, c| f(c)));
+        let ctx_ref = &ctx;
+        outbox.extend(scatter(batch, threads, |_, c| {
+            // Workers re-check before each item: a cancel that lands
+            // mid-batch stops the remaining items, not just the next
+            // batch.
+            ctx_ref.check()?;
+            f(c)
+        }));
+        // Reassembly failpoint: fires once per replayed batch, on the
+        // caller thread (so thread-local arming works in tests).
+        if let Err(e) = lightdb_storage::faults::fail_point(
+            lightdb_storage::faults::sites::EXEC_REASSEMBLE,
+        ) {
+            outbox.push_back(Err(e.into()));
+            done = true;
+            return outbox.pop_front();
+        }
         if let Some(e) = tail_err {
             outbox.push_back(Err(e));
         }

@@ -1,0 +1,225 @@
+//! Per-query execution context: deadline, cooperative cancellation,
+//! and resource declaration.
+//!
+//! A [`QueryCtx`] travels with a query through the executor, the
+//! parallel scatter/reassembly path and the buffer pool. Cancellation
+//! is **cooperative**: [`QueryCtx::check`] is called at every
+//! GOP/chunk boundary (and polled inside timed pool waits), so a
+//! cancelled or expired query stops within one chunk of work — it is
+//! never torn down mid-kernel, which is what keeps aborted queries
+//! from leaking pool bytes or half-accounted metrics spans.
+//!
+//! The context is cheap to clone (an `Arc` plus copies) and clones
+//! share the same cancellation flag: cancelling a [`CancelToken`]
+//! aborts every clone of the context it came from.
+
+use crate::{ExecError, Result};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Handle for cancelling a running query from another thread.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Requests cancellation. Idempotent; takes effect at the
+    /// query's next chunk boundary or wait-poll step.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Per-query deadline, cancellation and working-set declaration.
+#[derive(Debug, Clone)]
+pub struct QueryCtx {
+    cancelled: Arc<AtomicBool>,
+    /// Hard deadline; crossing it fails the query with
+    /// [`ExecError::DeadlineExceeded`].
+    deadline: Option<Instant>,
+    /// Soft threshold before the hard deadline: once inside this
+    /// margin, decodes switch to the degraded (prediction-only) path
+    /// to land the query in time rather than miss.
+    degrade_margin: Duration,
+    /// Declared working-set estimate in bytes for buffer-pool
+    /// admission; `None` skips admission control.
+    mem_estimate: Option<usize>,
+}
+
+impl Default for QueryCtx {
+    fn default() -> Self {
+        QueryCtx::unbounded()
+    }
+}
+
+impl QueryCtx {
+    /// A context with no deadline and no resource declaration —
+    /// the behaviour of queries before resilience existed.
+    pub fn unbounded() -> QueryCtx {
+        QueryCtx {
+            cancelled: Arc::new(AtomicBool::new(false)),
+            deadline: None,
+            degrade_margin: Duration::ZERO,
+            mem_estimate: None,
+        }
+    }
+
+    /// Reads knobs from the environment: `LIGHTDB_DEADLINE_MS` (query
+    /// deadline in milliseconds) and `LIGHTDB_MEM_CAP` (declared
+    /// working-set bytes for admission). Unset or unparsable values
+    /// leave the corresponding limit off.
+    pub fn from_env() -> QueryCtx {
+        let mut ctx = QueryCtx::unbounded();
+        if let Some(ms) = env_u64("LIGHTDB_DEADLINE_MS") {
+            ctx = ctx.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(bytes) = env_u64("LIGHTDB_MEM_CAP") {
+            ctx = ctx.with_mem_estimate(bytes as usize);
+        }
+        ctx
+    }
+
+    /// Sets a deadline `budget` from now. Also derives the degrade
+    /// margin: the final quarter of the budget (capped at 250 ms) is
+    /// the at-risk window where decodes go prediction-only.
+    pub fn with_deadline(self, budget: Duration) -> QueryCtx {
+        let margin = (budget / 4).min(Duration::from_millis(250));
+        QueryCtx {
+            deadline: Some(Instant::now() + budget),
+            degrade_margin: margin,
+            ..self
+        }
+    }
+
+    /// Sets an absolute deadline with an explicit degrade margin.
+    pub fn with_deadline_at(self, deadline: Instant, degrade_margin: Duration) -> QueryCtx {
+        QueryCtx { deadline: Some(deadline), degrade_margin, ..self }
+    }
+
+    /// Declares an estimated working set for buffer-pool admission.
+    pub fn with_mem_estimate(self, bytes: usize) -> QueryCtx {
+        QueryCtx { mem_estimate: Some(bytes), ..self }
+    }
+
+    /// A token other threads can use to cancel this query.
+    pub fn cancel_token(&self) -> CancelToken {
+        CancelToken { flag: self.cancelled.clone() }
+    }
+
+    /// The declared working-set estimate, if any.
+    pub fn mem_estimate(&self) -> Option<usize> {
+        self.mem_estimate
+    }
+
+    /// The remaining deadline budget; `None` when no deadline is set.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// True once the query should stop: cancelled or past deadline.
+    /// This is the poll condition handed to timed pool waits.
+    pub fn should_abort(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// True while a deadline exists and the remaining budget is
+    /// inside the degrade margin — the signal for switching decodes
+    /// to the cheap prediction-only path.
+    pub fn deadline_at_risk(&self) -> bool {
+        match self.deadline {
+            Some(d) => {
+                Instant::now() + self.degrade_margin >= d && self.degrade_margin > Duration::ZERO
+            }
+            None => false,
+        }
+    }
+
+    /// The chunk-boundary checkpoint: errors with
+    /// [`ExecError::Cancelled`] or [`ExecError::DeadlineExceeded`]
+    /// when the query should stop, in that priority order (an
+    /// explicit cancel wins over a concurrently expired deadline).
+    pub fn check(&self) -> Result<()> {
+        if self.cancelled.load(Ordering::Acquire) {
+            return Err(ExecError::Cancelled);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(ExecError::DeadlineExceeded);
+        }
+        Ok(())
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_aborts() {
+        let ctx = QueryCtx::unbounded();
+        assert!(ctx.check().is_ok());
+        assert!(!ctx.should_abort());
+        assert!(!ctx.deadline_at_risk());
+        assert_eq!(ctx.remaining(), None);
+    }
+
+    #[test]
+    fn cancel_token_aborts_all_clones() {
+        let ctx = QueryCtx::unbounded();
+        let clone = ctx.clone();
+        let token = ctx.cancel_token();
+        assert!(!token.is_cancelled());
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert!(matches!(ctx.check(), Err(ExecError::Cancelled)));
+        assert!(matches!(clone.check(), Err(ExecError::Cancelled)));
+        assert!(clone.should_abort());
+    }
+
+    #[test]
+    fn expired_deadline_errs_deadline_exceeded() {
+        let ctx = QueryCtx::unbounded().with_deadline(Duration::ZERO);
+        assert!(matches!(ctx.check(), Err(ExecError::DeadlineExceeded)));
+        assert!(ctx.should_abort());
+        assert_eq!(ctx.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn cancel_wins_over_expired_deadline() {
+        let ctx = QueryCtx::unbounded().with_deadline(Duration::ZERO);
+        ctx.cancel_token().cancel();
+        assert!(matches!(ctx.check(), Err(ExecError::Cancelled)));
+    }
+
+    #[test]
+    fn generous_deadline_is_not_at_risk() {
+        let ctx = QueryCtx::unbounded().with_deadline(Duration::from_secs(3600));
+        assert!(ctx.check().is_ok());
+        assert!(!ctx.deadline_at_risk());
+        assert!(ctx.remaining().expect("has deadline") > Duration::from_secs(3500));
+    }
+
+    #[test]
+    fn near_deadline_is_at_risk_before_it_expires() {
+        // Budget 400ms → margin 100ms. At ~350ms elapsed the query is
+        // at risk but not yet expired.
+        let ctx = QueryCtx::unbounded()
+            .with_deadline_at(
+                Instant::now() + Duration::from_millis(50),
+                Duration::from_millis(100),
+            );
+        assert!(ctx.deadline_at_risk());
+        assert!(ctx.check().is_ok(), "at-risk is earlier than expiry");
+    }
+}

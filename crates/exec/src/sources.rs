@@ -2,8 +2,9 @@
 
 use crate::chunk::{Chunk, ChunkPayload, SlabInfo, StreamInfo};
 use crate::metrics::{counters, Metrics};
+use crate::query_ctx::QueryCtx;
 use crate::{ChunkStream, ExecError, ReadPolicy, Result};
-use lightdb_codec::{EncodedGop, SequenceHeader, VideoStream};
+use lightdb_codec::{EncodedGop, Encoder, EncoderConfig, SequenceHeader, VideoStream};
 use lightdb_container::{GopIndexEntry, TlfBody, TlfDescriptor, Track, TrackRole};
 use lightdb_geom::{Dimension, Interval, Point3, Volume};
 use lightdb_index::persist::load_rtree;
@@ -42,7 +43,10 @@ pub fn scan_tlf(
     use_spatial_index: bool,
     read_policy: ReadPolicy,
     metrics: Metrics,
+    ctx: QueryCtx,
+    owner: Option<u64>,
 ) -> Result<ChunkStream> {
+    ctx.check()?;
     let stored = metrics.time("SCAN", || catalog.read(name, version))?;
     if let Some(f) = pool.get_metadata(name, stored.version) {
         debug_assert_eq!(f.version, stored.version);
@@ -57,7 +61,7 @@ pub fn scan_tlf(
         None // fall back to the linear point filter
     };
     resolve_parts(&stored, &media, &stored.metadata.tlf, t_frames, &spatial, &spatial_ids, &mut parts)?;
-    Ok(stream_parts(parts, media, pool.clone(), read_policy, metrics))
+    Ok(stream_parts(parts, media, pool.clone(), read_policy, metrics, ctx, owner))
 }
 
 /// Looks up the spatial index (if any) and returns the matching point
@@ -221,17 +225,55 @@ fn filter_entries(entries: &[GopIndexEntry], t_frames: Option<(u64, u64)>) -> Ve
     }
 }
 
+/// Quantiser for substitute GOPs served under [`ReadPolicy::Degrade`]
+/// — deliberately coarse: the content is a placeholder, so spend as
+/// few bytes on it as possible.
+const DEGRADE_QP: u8 = 50;
+
+/// Builds a well-formed lower-fidelity stand-in for a damaged GOP:
+/// `frame_count` held mid-grey frames encoded at [`DEGRADE_QP`] with
+/// the damaged stream's exact parameters, so downstream assembly
+/// (which insists on matching codec/dimensions/fps/grid) accepts it.
+fn substitute_gop(header: &SequenceHeader, frame_count: usize) -> Result<EncodedGop> {
+    let n = frame_count.max(1);
+    let frames = vec![
+        lightdb_frame::Frame::filled(header.width, header.height, lightdb_frame::Yuv::GREY);
+        n
+    ];
+    let stream = Encoder::new(EncoderConfig {
+        codec: header.codec,
+        qp: DEGRADE_QP,
+        grid: header.grid,
+        gop_length: n,
+        fps: header.fps,
+    })?
+    .encode(&frames)?;
+    stream
+        .gops
+        .into_iter()
+        .next()
+        .ok_or_else(|| ExecError::Other("substitute encode produced no GOP".into()))
+}
+
 /// Lazily streams a scan's parts in t-major order, pulling GOP bytes
 /// through the buffer pool. Under
 /// [`ReadPolicy::SkipCorruptGops`], damaged GOPs (checksum or parse
 /// failures) are skipped — up to the budget — and counted in
-/// [`counters::SKIPPED_GOPS`] instead of failing the stream.
+/// [`counters::SKIPPED_GOPS`] instead of failing the stream; under
+/// [`ReadPolicy::Degrade`] they are replaced by well-formed
+/// lower-fidelity substitutes counted in
+/// [`counters::DEGRADED_GOPS`]. The query context is checked before
+/// every GOP and polled while waiting on in-flight pool loads, so a
+/// cancelled scan stops within one GOP.
+#[allow(clippy::too_many_arguments)]
 fn stream_parts(
     parts: Vec<ScanPart>,
     media: MediaStore,
     pool: Arc<BufferPool>,
     read_policy: ReadPolicy,
     metrics: Metrics,
+    ctx: QueryCtx,
+    owner: Option<u64>,
 ) -> ChunkStream {
     // Flatten (t, part) pairs in t-major order.
     let mut jobs: Vec<(usize, usize)> = Vec::new(); // (part idx, entry idx)
@@ -244,19 +286,24 @@ fn stream_parts(
         }
     }
     let mut jobs = jobs.into_iter();
-    // Damaged GOPs already skipped, keyed by (media file, start
+    // Damaged GOPs already handled, keyed by (media file, start
     // frame): a GOP reached through several parts (points sharing a
     // track) or re-read after a pool eviction must count against the
-    // budget — and in `SKIPPED_GOPS` — exactly once.
-    let mut skipped: std::collections::HashSet<(String, u64)> = std::collections::HashSet::new();
+    // budget — and in the counter — exactly once.
+    let mut damaged: std::collections::HashSet<(String, u64)> = std::collections::HashSet::new();
     Box::new(std::iter::from_fn(move || {
         loop {
             let (pi, ei) = jobs.next()?;
             let p = &parts[pi];
             let entry = p.entries[ei];
+            if let Err(e) = ctx.check() {
+                return Some(Err(e));
+            }
             let r = metrics.time("SCAN", || -> Result<Chunk> {
                 let key = GopKey { media: media.path_of(&p.media_path).display().to_string(), gop: entry.start_frame };
-                let bytes = pool.get_gop(&key, || media.read_gop_bytes(&p.media_path, &entry))?;
+                let bytes = pool.get_gop_watch(&key, owner, &|| ctx.should_abort(), || {
+                    media.read_gop_bytes(&p.media_path, &entry)
+                })?;
                 let gop = EncodedGop::from_bytes(&bytes)?;
                 let fps = p.header.fps as f64;
                 let t0 = p.volume.t().lo() + entry.start_frame as f64 / fps;
@@ -271,27 +318,64 @@ fn stream_parts(
                 })
             });
             match r {
-                Err(e)
-                    if matches!(read_policy, ReadPolicy::SkipCorruptGops { .. })
-                        && e.is_data_corruption() =>
-                {
-                    let ReadPolicy::SkipCorruptGops { max_skipped } = read_policy else {
+                Err(e) => {
+                    // An abort observed while waiting on the pool
+                    // surfaces as an opaque io error; re-check the
+                    // context so callers see the classified
+                    // Cancelled / DeadlineExceeded instead.
+                    if let Err(ce) = ctx.check() {
+                        return Some(Err(ce));
+                    }
+                    if !e.is_data_corruption() {
                         return Some(Err(e));
-                    };
-                    let gop = (p.media_path.clone(), entry.start_frame);
-                    if skipped.contains(&gop) {
-                        // The same damaged GOP, reached again through
-                        // another part: already counted.
-                        continue;
                     }
-                    if skipped.len() >= max_skipped {
-                        return Some(Err(e)); // budget exhausted
+                    let gop_id = (p.media_path.clone(), entry.start_frame);
+                    match read_policy {
+                        ReadPolicy::Fail => return Some(Err(e)),
+                        ReadPolicy::SkipCorruptGops { max_skipped } => {
+                            if damaged.contains(&gop_id) {
+                                // Reached again through another part:
+                                // already counted.
+                                continue;
+                            }
+                            if damaged.len() >= max_skipped {
+                                return Some(Err(e)); // budget exhausted
+                            }
+                            damaged.insert(gop_id);
+                            metrics.bump(counters::SKIPPED_GOPS);
+                            continue;
+                        }
+                        ReadPolicy::Degrade { max_degraded } => {
+                            if !damaged.contains(&gop_id) {
+                                if damaged.len() >= max_degraded {
+                                    return Some(Err(e)); // budget exhausted
+                                }
+                                damaged.insert(gop_id);
+                                metrics.bump(counters::DEGRADED_GOPS);
+                            }
+                            // Unlike a skip, every part that reaches
+                            // the damaged GOP still gets a chunk —
+                            // output shape is preserved.
+                            let gop = match substitute_gop(&p.header, entry.frame_count as usize) {
+                                Err(se) => return Some(Err(se)),
+                                Ok(g) => g,
+                            };
+                            let fps = p.header.fps as f64;
+                            let t0 = p.volume.t().lo() + entry.start_frame as f64 / fps;
+                            let t1 = t0 + entry.frame_count as f64 / fps;
+                            let volume = p.volume.with(Dimension::T, Interval::new(t0, t1));
+                            return Some(Ok(Chunk {
+                                t_index: (entry.start_frame as usize)
+                                    / p.header.gop_length.max(1),
+                                part: p.part,
+                                volume,
+                                info: p.info,
+                                payload: ChunkPayload::Encoded { header: p.header, gop },
+                            }));
+                        }
                     }
-                    skipped.insert(gop);
-                    metrics.bump(counters::SKIPPED_GOPS);
-                    continue;
                 }
-                other => return Some(other),
+                ok => return Some(ok),
             }
         }
     }))
@@ -395,7 +479,7 @@ mod tests {
         store_demo(&catalog, "demo", 3);
         let pool = Arc::new(BufferPool::new(1 << 20));
         let chunks: Vec<Chunk> =
-            scan_tlf(&catalog, &pool, "demo", None, None, None, true, ReadPolicy::default(), Metrics::new())
+            scan_tlf(&catalog, &pool, "demo", None, None, None, true, ReadPolicy::default(), Metrics::new(), QueryCtx::unbounded(), None)
                 .unwrap()
                 .map(|c| c.unwrap())
                 .collect();
@@ -413,7 +497,7 @@ mod tests {
         let pool = Arc::new(BufferPool::new(1 << 20));
         // Frames 30..=39 live in GOP 3 only.
         let chunks: Vec<Chunk> =
-            scan_tlf(&catalog, &pool, "demo", None, Some((30, 39)), None, true, ReadPolicy::default(), Metrics::new())
+            scan_tlf(&catalog, &pool, "demo", None, Some((30, 39)), None, true, ReadPolicy::default(), Metrics::new(), QueryCtx::unbounded(), None)
                 .unwrap()
                 .map(|c| c.unwrap())
                 .collect();
@@ -430,7 +514,7 @@ mod tests {
         store_demo(&catalog, "demo", 2);
         let pool = Arc::new(BufferPool::new(1 << 20));
         for _ in 0..3 {
-            let n = scan_tlf(&catalog, &pool, "demo", None, None, None, true, ReadPolicy::default(), Metrics::new())
+            let n = scan_tlf(&catalog, &pool, "demo", None, None, None, true, ReadPolicy::default(), Metrics::new(), QueryCtx::unbounded(), None)
                 .unwrap()
                 .count();
             assert_eq!(n, 2);
@@ -493,7 +577,7 @@ mod tests {
             )
             .unwrap();
         let pool = Arc::new(BufferPool::new(1 << 20));
-        let all: Vec<Chunk> = scan_tlf(&catalog, &pool, "two", None, None, None, true, ReadPolicy::default(), Metrics::new())
+        let all: Vec<Chunk> = scan_tlf(&catalog, &pool, "two", None, None, None, true, ReadPolicy::default(), Metrics::new(), QueryCtx::unbounded(), None)
             .unwrap()
             .map(|c| c.unwrap())
             .collect();
@@ -501,7 +585,7 @@ mod tests {
         let near = Volume::everywhere()
             .with(Dimension::X, Interval::new(5.0, 15.0));
         let filtered: Vec<Chunk> =
-            scan_tlf(&catalog, &pool, "two", None, None, Some(near), true, ReadPolicy::default(), Metrics::new())
+            scan_tlf(&catalog, &pool, "two", None, None, Some(near), true, ReadPolicy::default(), Metrics::new(), QueryCtx::unbounded(), None)
                 .unwrap()
                 .map(|c| c.unwrap())
                 .collect();
@@ -570,7 +654,7 @@ mod tests {
         let metrics = Metrics::new();
         let policy = ReadPolicy::SkipCorruptGops { max_skipped: 4 };
         let chunks: Vec<Chunk> =
-            scan_tlf(&catalog, &pool, "shared", None, None, None, true, policy, metrics.clone())
+            scan_tlf(&catalog, &pool, "shared", None, None, None, true, policy, metrics.clone(), QueryCtx::unbounded(), None)
                 .unwrap()
                 .map(|c| c.unwrap())
                 .collect();
@@ -586,12 +670,60 @@ mod tests {
         // A budget of one unique GOP is enough for this scan.
         let metrics2 = Metrics::new();
         let policy1 = ReadPolicy::SkipCorruptGops { max_skipped: 1 };
-        let n = scan_tlf(&catalog, &pool, "shared", None, None, None, true, policy1, metrics2.clone())
+        let n = scan_tlf(&catalog, &pool, "shared", None, None, None, true, policy1, metrics2.clone(), QueryCtx::unbounded(), None)
             .unwrap()
             .filter(|c| c.is_ok())
             .count();
         assert_eq!(n, 2);
         assert_eq!(metrics2.counter(counters::SKIPPED_GOPS), 1);
+        fs::remove_dir_all(catalog.root()).unwrap();
+    }
+
+    /// Under `ReadPolicy::Degrade`, a corrupt GOP is served as a
+    /// well-formed substitute in *every* part that reaches it (output
+    /// shape preserved), decodes cleanly, and counts against the
+    /// budget — and in `DEGRADED_GOPS` — exactly once.
+    #[test]
+    fn degrade_policy_substitutes_corrupt_gops() {
+        let catalog = Catalog::open(temp_root("degrade")).unwrap();
+        store_demo(&catalog, "demo", 3);
+        // Corrupt the middle GOP on disk.
+        let stored = catalog.read("demo", None).unwrap();
+        let track = &stored.metadata.tracks[0];
+        let entry = &track.gop_index[1];
+        let media = catalog.root().join("demo").join(&track.media_path);
+        let mut bytes = fs::read(&media).unwrap();
+        bytes[(entry.byte_offset + entry.byte_len / 2) as usize] ^= 0x01;
+        fs::write(&media, &bytes).unwrap();
+
+        let pool = Arc::new(BufferPool::new(1 << 20));
+        let metrics = Metrics::new();
+        let policy = ReadPolicy::Degrade { max_degraded: 1 };
+        let chunks: Vec<Chunk> =
+            scan_tlf(&catalog, &pool, "demo", None, None, None, true, policy, metrics.clone(), QueryCtx::unbounded(), None)
+                .unwrap()
+                .map(|c| c.unwrap())
+                .collect();
+        // No GOP disappears: the damaged one arrives as a substitute.
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(
+            chunks.iter().map(|c| c.t_index).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(metrics.counter(counters::DEGRADED_GOPS), 1);
+        assert_eq!(metrics.counter(counters::SKIPPED_GOPS), 0);
+        // The substitute decodes with the stream's own parameters.
+        let ChunkPayload::Encoded { header, gop } = &chunks[1].payload else { panic!() };
+        let frames = lightdb_codec::Decoder::new().decode_gop(header, gop).unwrap();
+        assert_eq!(frames.len(), 10);
+        assert_eq!((frames[0].width(), frames[0].height()), (32, 32));
+        // A zero budget refuses to degrade and surfaces the error.
+        let none = ReadPolicy::Degrade { max_degraded: 0 };
+        let r: Vec<_> =
+            scan_tlf(&catalog, &pool, "demo", None, None, None, true, none, Metrics::new(), QueryCtx::unbounded(), None)
+                .unwrap()
+                .collect();
+        assert!(r.iter().any(|c| c.is_err()));
         fs::remove_dir_all(catalog.root()).unwrap();
     }
 
@@ -609,7 +741,7 @@ mod tests {
         faults::arm_n(sites::MEDIA_READ, Fault::Transient(std::io::ErrorKind::Interrupted), 2);
         let policy = ReadPolicy::SkipCorruptGops { max_skipped: 4 };
         let chunks: Vec<Chunk> =
-            scan_tlf(&catalog, &pool, "demo", None, None, None, true, policy, metrics.clone())
+            scan_tlf(&catalog, &pool, "demo", None, None, None, true, policy, metrics.clone(), QueryCtx::unbounded(), None)
                 .unwrap()
                 .map(|c| c.unwrap())
                 .collect();

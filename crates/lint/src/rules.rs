@@ -7,6 +7,7 @@
 //! | R3   | storage lock order: pool mutex before flight condvar, never blocked on a flight while the pool lock is held |
 //! | R4   | every `unsafe` block/impl/fn carries a `// SAFETY:` comment |
 //! | R5   | `fs::rename` appears only inside `storage::durable` (publish protocol) |
+//! | R6   | no untimed condvar `wait` outside `storage::bufferpool` (its timed helper is the one sanctioned waiter) |
 //!
 //! Escape hatch: `// lint: allow(R1): <justification>` on the same
 //! line or above the offending code suppresses that rule there —
@@ -40,6 +41,7 @@ pub enum Rule {
     R3,
     R4,
     R5,
+    R6,
 }
 
 impl Rule {
@@ -50,6 +52,7 @@ impl Rule {
             "R3" => Some(Rule::R3),
             "R4" => Some(Rule::R4),
             "R5" => Some(Rule::R5),
+            "R6" => Some(Rule::R6),
             _ => None,
         }
     }
@@ -68,6 +71,9 @@ pub struct FileClass {
     pub storage: bool,
     /// R5 exemption: the one module allowed to call `fs::rename`.
     pub durable_module: bool,
+    /// R6 exemption: the module hosting the timed condvar-wait helper
+    /// (every other waiter must go through it).
+    pub bufferpool_module: bool,
 }
 
 /// The production library crates R1 protects. Bench/apps/baselines/
@@ -101,6 +107,7 @@ impl FileClass {
             test_path,
             storage: p.starts_with("crates/storage/src/"),
             durable_module: p == "crates/storage/src/durable.rs",
+            bufferpool_module: p == "crates/storage/src/bufferpool.rs",
         }
     }
 }
@@ -401,6 +408,7 @@ fn check_tokens(rel_path: &str, toks: &[Tok]) -> Vec<Violation> {
     }
     rule_r4(&ctx, &code, &mut out);
     rule_r5(&ctx, &code, &mut out);
+    rule_r6(&ctx, &code, &mut out);
     out.sort_by_key(|v| v.line);
     out
 }
@@ -490,6 +498,23 @@ enum LockClass {
     Flight,
 }
 
+/// Dotted receiver text of a method call whose name is the token at
+/// index `i`: walks back over `ident . ident .` pairs, so
+/// `flight.cv.wait(...)` yields `"flight.cv"`.
+fn receiver_of(code: &[&Tok], i: usize) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    let mut j = i; // points at the method name; step back over `.`
+    while j >= 2 && code[j - 1].is_punct('.') {
+        j -= 2;
+        match code[j].kind {
+            TokKind::Ident => parts.push(&code[j].text),
+            _ => break,
+        }
+    }
+    parts.reverse();
+    parts.join(".")
+}
+
 /// R3: in `storage`, never block on a flight while holding the pool
 /// lock, and never take the pool lock from inside a flight critical
 /// section. (`Flight::finish`/`notify` under the pool lock is fine —
@@ -506,22 +531,7 @@ fn rule_r3(ctx: &FileCtx, code: &[&Tok], out: &mut Vec<Violation>) {
     let mut guards: Vec<Guard> = Vec::new();
     let mut depth: i32 = 0;
 
-    // Receiver text of a `.lock()` / `.wait()` call ending at token
-    // index `i` (the method ident): walk back over `ident`, `.`,
-    // `::`, `self`.
-    let receiver = |i: usize| -> String {
-        let mut parts: Vec<&str> = Vec::new();
-        let mut j = i; // points at the method name; step back over `.`
-        while j >= 2 && code[j - 1].is_punct('.') {
-            j -= 2;
-            match code[j].kind {
-                TokKind::Ident => parts.push(&code[j].text),
-                _ => break,
-            }
-        }
-        parts.reverse();
-        parts.join(".")
-    };
+    let receiver = |i: usize| -> String { receiver_of(code, i) };
     // Start-of-statement `let` binding name, scanning back from the
     // method call to the previous `;`/`{`/`}`.
     let let_binding = |i: usize| -> Option<String> {
@@ -686,6 +696,45 @@ fn rule_r5(ctx: &FileCtx, code: &[&Tok], out: &mut Vec<Violation>) {
     }
 }
 
+/// R6: an untimed condvar `wait(` call outside `storage::bufferpool`.
+/// Cancelled queries are only guaranteed to stop because every
+/// rendezvous wait is timed (`wait_timeout` + abort poll); a plain
+/// `wait` can park a thread forever on a notification that will never
+/// come. `storage::bufferpool` hosts the one sanctioned timed-wait
+/// helper; everything else must go through it. `wait_timeout` /
+/// `wait_while` are distinct idents and never match.
+fn rule_r6(ctx: &FileCtx, code: &[&Tok], out: &mut Vec<Violation>) {
+    if ctx.class.bufferpool_module || ctx.class.test_path {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        if !t.is_ident("wait") || !code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        if i > 0 && code[i - 1].is_ident("fn") {
+            continue; // declaration, not a call
+        }
+        if ctx.in_test_range(t.line) {
+            continue;
+        }
+        let recv = receiver_of(code, i);
+        let lower = recv.to_ascii_lowercase();
+        if !(lower.contains("cv") || lower.contains("condvar")) {
+            continue;
+        }
+        ctx.push(
+            out,
+            Rule::R6,
+            t.line,
+            format!(
+                "untimed `{recv}.wait()` outside storage::bufferpool — use the \
+                 timed wait helper (wait_timeout + abort poll) so cancelled \
+                 queries never park forever"
+            ),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -837,6 +886,27 @@ mod tests {
         assert!(check(LIB, "fn rename(a: A) {}").is_empty());
         let v = check(LIB, "#[cfg(test)]\nmod tests { fn t() { fs::rename(a, b); } }");
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn r6_untimed_condvar_wait_fires_outside_bufferpool() {
+        let src = "fn f(&self) { let g = self.cv.wait(guard); }";
+        let v = check("crates/exec/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::R6);
+        // The sanctioned module and test paths are exempt.
+        assert!(check("crates/storage/src/bufferpool.rs", src).is_empty());
+        assert!(check("crates/exec/tests/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r6_ignores_timed_waits_and_non_condvar_receivers() {
+        let v = check(
+            "crates/exec/src/x.rs",
+            "fn f(&self) { let (g, _) = self.cv.wait_timeout(g, d); barrier.wait(); }",
+        );
+        assert!(v.is_empty(), "{v:?}");
+        assert!(check("crates/exec/src/x.rs", "fn wait(x: u8) {}").is_empty());
     }
 
     #[test]

@@ -11,7 +11,8 @@ fn bin() -> Command {
 }
 
 /// Builds a throwaway mini-workspace seeded with one violation per
-/// rule, so the binary's non-zero exit covers all of R1–R5.
+/// rule, so the binary's non-zero exit covers all of R1–R6 (the
+/// storage `bad.rs` fires R3 and R6 on the same untimed wait).
 fn seeded_workspace(tag: &str) -> PathBuf {
     let root = std::env::temp_dir().join(format!("lint-cli-{tag}-{}", std::process::id()));
     match fs::remove_dir_all(&root) {
@@ -69,6 +70,7 @@ fn nonzero_on_seeded_violations_with_file_line_output() {
         "crates/storage/src/bad.rs:3: R3:",
         "crates/codec/src/bad.rs:5: R4:",
         "crates/storage/src/bad.rs:8: R5:",
+        "crates/storage/src/bad.rs:3: R6:",
     ] {
         assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
     }

@@ -67,6 +67,15 @@ fn r4_fires_without_safety_comment() {
 }
 
 #[test]
+fn r6_fires_outside_bufferpool_module() {
+    let src = include_str!("fixtures/r6_untimed_wait.rs");
+    assert_eq!(lines_of(Rule::R6, LIB_PATH, src), vec![5]);
+    assert_eq!(lines_of(Rule::R6, STORAGE_PATH, src), vec![5]);
+    // The one sanctioned waiter module.
+    assert!(lines_of(Rule::R6, "crates/storage/src/bufferpool.rs", src).is_empty());
+}
+
+#[test]
 fn r5_fires_outside_durable_module() {
     let src = include_str!("fixtures/r5_rename.rs");
     assert_eq!(lines_of(Rule::R5, STORAGE_PATH, src), vec![5]);

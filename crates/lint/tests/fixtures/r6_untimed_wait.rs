@@ -1,0 +1,14 @@
+// R6 fixture: an untimed condvar wait parks a cancelled query
+// forever. Only the timed helper in storage::bufferpool may wait.
+pub fn parks_forever(state: &Shared) {
+    let guard = state.done.lock();
+    let guard = state.cv.wait(guard); // line 5: untimed wait
+    drop(guard);
+}
+
+pub fn polls_with_timeout(state: &Shared) {
+    let mut guard = state.done.lock();
+    // Timed waits are a different ident and never match.
+    state.cv.wait_timeout(&mut guard, core::time::Duration::from_millis(2));
+    drop(guard);
+}

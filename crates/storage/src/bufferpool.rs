@@ -4,12 +4,41 @@
 //! Buffering at GOP granularity improves temporal locality — a point
 //! lookup that decoded GOP *k* will very likely need GOP *k* again
 //! for the next predicted-frame request.
+//!
+//! ## Resilience
+//!
+//! The pool is where a misbehaving query can hurt everyone else, so
+//! it carries three defenses:
+//!
+//! * **Timed waits.** Every condvar wait in this module (the
+//!   single-flight rendezvous and the admission queue) is a
+//!   `wait_timeout` loop that re-checks an abort condition each
+//!   step, so a cancelled query never parks forever — this is the
+//!   one sanctioned condvar-wait site in the workspace (lint rule
+//!   R6).
+//! * **Admission control.** Queries declare an estimated working set
+//!   via [`BufferPool::admit`] before scanning. Over-budget
+//!   admissions either wait with backpressure (bounded by a timeout)
+//!   or fail fast with [`AdmitError::Overloaded`]; the returned
+//!   [`Admission`] releases its reservation on drop, so admitted
+//!   bytes always return to zero when queries finish, however they
+//!   finish.
+//! * **Per-query caps.** Entries are tagged with the admitting
+//!   query's id; when a query exceeds [`BufferPool::set_query_cap`],
+//!   its *own* least-recently-used pages are evicted first, so one
+//!   scan cannot monopolise the cache.
 
 use lightdb_container::MetadataFile;
 use lightdb_index::rtree::RTree;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
+
+/// How often a parked waiter wakes to re-check its abort condition.
+/// Purely an abort-latency bound: successful loads and admission
+/// releases notify the condvar immediately.
+const WAIT_POLL: Duration = Duration::from_millis(2);
 
 /// Cache key for one GOP of one media file.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -52,6 +81,11 @@ struct Entry {
     bytes: Arc<Vec<u8>>,
     /// Monotonic stamp for LRU ordering.
     stamp: u64,
+    /// The query that loaded this entry (admission tag); `None` for
+    /// loads outside any governed query. A later hit by a different
+    /// query does not transfer ownership — accounting follows the
+    /// loader.
+    owner: Option<u64>,
 }
 
 /// Single-flight rendezvous for one in-progress load: waiters block on
@@ -72,12 +106,96 @@ impl Flight {
         self.cv.notify_all();
     }
 
-    fn wait(&self) {
-        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
-        while !*done {
-            done = self.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+    /// Waits up to `step` for the flight to finish; returns whether it
+    /// has. Part of the workspace's sanctioned timed-wait discipline
+    /// (lint rule R6): waiters loop over this, re-checking their abort
+    /// condition between steps, so a cancelled query never parks
+    /// forever on a load it no longer wants.
+    fn wait_done(&self, step: Duration) -> bool {
+        let done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        if *done {
+            return true;
+        }
+        let (done, _timed_out) =
+            self.cv.wait_timeout(done, step).unwrap_or_else(|e| e.into_inner());
+        *done
+    }
+}
+
+/// What [`BufferPool::admit`] does when the declared working set does
+/// not currently fit under the admission limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitPolicy {
+    /// Wait (with backpressure) for running queries to release their
+    /// reservations, up to `timeout`; then give up as overloaded.
+    Block { timeout: Duration },
+    /// Fail immediately with [`AdmitError::Overloaded`].
+    FailFast,
+}
+
+/// Why an admission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The reservation cannot be granted: either it exceeds the limit
+    /// outright, or backpressure timed out / the policy was fail-fast.
+    Overloaded { wanted: usize, admitted: usize, limit: usize },
+    /// The caller's abort condition fired while waiting.
+    Aborted,
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::Overloaded { wanted, admitted, limit } => write!(
+                f,
+                "admission refused: wanted {wanted} bytes with {admitted} \
+                 already admitted of a {limit}-byte limit"
+            ),
+            AdmitError::Aborted => write!(f, "admission wait aborted"),
         }
     }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// A granted working-set reservation. Dropping it releases the bytes
+/// and wakes queries waiting under backpressure — RAII guarantees the
+/// reservation is returned however the query ends (success, error,
+/// cancellation, panic).
+#[derive(Debug)]
+pub struct Admission<'p> {
+    pool: &'p BufferPool,
+    bytes: usize,
+    /// Query id the reservation was granted to; entries loaded under
+    /// it are tagged with this id for per-query cap accounting.
+    query: u64,
+}
+
+impl Admission<'_> {
+    /// The id entries loaded under this admission are tagged with.
+    pub fn query_id(&self) -> u64 {
+        self.query
+    }
+
+    /// The reserved byte count.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl Drop for Admission<'_> {
+    fn drop(&mut self) {
+        self.pool.release_admission(self.bytes);
+    }
+}
+
+struct AdmissionState {
+    /// Sum of currently granted reservations.
+    admitted: usize,
+    /// Reservation limit (defaults to the pool capacity).
+    limit: usize,
+    /// Source of fresh query ids for admissions.
+    next_query: u64,
 }
 
 struct PoolInner {
@@ -87,11 +205,32 @@ struct PoolInner {
     clock: u64,
     stats: PoolStats,
     capacity_bytes: usize,
+    /// Per-query resident cap; `0` = unlimited.
+    query_cap: usize,
+    /// Resident bytes per owning query (entries with an owner tag).
+    owner_bytes: HashMap<u64, usize>,
     metadata: HashMap<(String, u64), Arc<MetadataFile>>,
     rtrees: HashMap<(String, u64), Arc<RTree<u64>>>,
 }
 
 impl PoolInner {
+    /// Removes one entry, keeping byte and per-owner accounting in
+    /// step. Returns the freed length (0 if the key was absent).
+    fn remove_entry(&mut self, key: &GopKey) -> usize {
+        let Some(e) = self.map.remove(key) else { return 0 };
+        let len = e.bytes.len();
+        self.stats.bytes -= len;
+        if let Some(o) = e.owner {
+            if let Some(b) = self.owner_bytes.get_mut(&o) {
+                *b = b.saturating_sub(len);
+                if *b == 0 {
+                    self.owner_bytes.remove(&o);
+                }
+            }
+        }
+        len
+    }
+
     /// Evicts least-recently-used entries until `stats.bytes` is within
     /// capacity. The just-inserted `protect` key is evicted only as a
     /// last resort: when every other entry is gone and the protected
@@ -110,16 +249,43 @@ impl PoolInner {
                 Some(v) => v,
                 None => break, // only the protected entry remains
             };
-            if let Some(e) = self.map.remove(&victim) {
-                self.stats.bytes -= e.bytes.len();
+            if self.remove_entry(&victim) > 0 {
                 self.stats.evictions += 1;
             }
         }
-        if self.stats.bytes > self.capacity_bytes {
-            if let Some(e) = self.map.remove(protect) {
-                self.stats.bytes -= e.bytes.len();
+        if self.stats.bytes > self.capacity_bytes && self.remove_entry(protect) > 0 {
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Enforces the per-query cap for `owner`: evicts that query's
+    /// *own* least-recently-used entries (everyone else's pages are
+    /// untouched) until it fits. Mirrors [`evict_to_capacity`]'s
+    /// protect semantics: the fresh entry goes last, and if it alone
+    /// exceeds the cap it is served but not retained.
+    fn evict_query_overage(&mut self, owner: u64, protect: &GopKey) {
+        if self.query_cap == 0 {
+            return;
+        }
+        while self.owner_bytes.get(&owner).copied().unwrap_or(0) > self.query_cap {
+            let victim = self
+                .map
+                .iter()
+                .filter(|(k, e)| e.owner == Some(owner) && *k != protect)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone());
+            let victim = match victim {
+                Some(v) => v,
+                None => break,
+            };
+            if self.remove_entry(&victim) > 0 {
                 self.stats.evictions += 1;
             }
+        }
+        if self.owner_bytes.get(&owner).copied().unwrap_or(0) > self.query_cap
+            && self.remove_entry(protect) > 0
+        {
+            self.stats.evictions += 1;
         }
     }
 }
@@ -131,6 +297,11 @@ impl PoolInner {
 /// performs the disk read while the others wait for the result.
 pub struct BufferPool {
     inner: Mutex<PoolInner>,
+    /// Admission bookkeeping lives beside (not inside) the pool
+    /// mutex: admission waits park on `admission_cv` and must never
+    /// hold up cache traffic.
+    admission: StdMutex<AdmissionState>,
+    admission_cv: Condvar,
 }
 
 impl std::fmt::Debug for BufferPool {
@@ -143,6 +314,8 @@ impl std::fmt::Debug for BufferPool {
 
 impl BufferPool {
     /// Creates a pool bounded by `capacity_bytes` of GOP payloads.
+    /// The admission limit defaults to the same figure; the per-query
+    /// cap defaults to unlimited.
     pub fn new(capacity_bytes: usize) -> Self {
         BufferPool {
             inner: Mutex::new(PoolInner {
@@ -151,10 +324,126 @@ impl BufferPool {
                 clock: 0,
                 stats: PoolStats::default(),
                 capacity_bytes,
+                query_cap: 0,
+                owner_bytes: HashMap::new(),
                 metadata: HashMap::new(),
                 rtrees: HashMap::new(),
             }),
+            admission: StdMutex::new(AdmissionState {
+                admitted: 0,
+                limit: capacity_bytes,
+                next_query: 1,
+            }),
+            admission_cv: Condvar::new(),
         }
+    }
+
+    /// Changes the admission limit (how many declared working-set
+    /// bytes may be outstanding at once). Waiters re-check on their
+    /// next poll step.
+    pub fn set_admission_limit(&self, bytes: usize) {
+        let mut st = self.admission.lock().unwrap_or_else(|e| e.into_inner());
+        st.limit = bytes;
+        self.admission_cv.notify_all();
+    }
+
+    /// Sets the per-query resident cap (`0` = unlimited). A query
+    /// over its cap has its own LRU pages evicted first.
+    pub fn set_query_cap(&self, bytes: usize) {
+        self.inner.lock().query_cap = bytes;
+    }
+
+    /// Sum of currently granted admission reservations. The chaos
+    /// harness asserts this returns to zero after every run.
+    pub fn admitted(&self) -> usize {
+        self.admission.lock().unwrap_or_else(|e| e.into_inner()).admitted
+    }
+
+    /// Resident bytes currently tagged to `query` (for tests and
+    /// introspection).
+    pub fn query_resident(&self, query: u64) -> usize {
+        self.inner.lock().owner_bytes.get(&query).copied().unwrap_or(0)
+    }
+
+    /// Declares an estimated working set of `bytes` for a new query
+    /// and asks for admission. Under [`AdmitPolicy::Block`] the call
+    /// waits (timed, re-checking `should_abort` every poll step) for
+    /// running queries to release reservations; under
+    /// [`AdmitPolicy::FailFast`] an over-budget request returns
+    /// [`AdmitError::Overloaded`] immediately. A request larger than
+    /// the limit itself can never be satisfied and fails fast under
+    /// either policy. Dropping the returned [`Admission`] releases
+    /// the reservation.
+    pub fn admit(
+        &self,
+        bytes: usize,
+        policy: AdmitPolicy,
+        should_abort: &dyn Fn() -> bool,
+    ) -> Result<Admission<'_>, AdmitError> {
+        let start = Instant::now();
+        let mut st = self.admission.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if bytes > st.limit {
+                // Can never fit; blocking would park forever.
+                return Err(AdmitError::Overloaded {
+                    wanted: bytes,
+                    admitted: st.admitted,
+                    limit: st.limit,
+                });
+            }
+            if st.admitted + bytes <= st.limit {
+                st.admitted += bytes;
+                let query = st.next_query;
+                st.next_query += 1;
+                return Ok(Admission { pool: self, bytes, query });
+            }
+            let timeout = match policy {
+                AdmitPolicy::FailFast => {
+                    return Err(AdmitError::Overloaded {
+                        wanted: bytes,
+                        admitted: st.admitted,
+                        limit: st.limit,
+                    });
+                }
+                AdmitPolicy::Block { timeout } => timeout,
+            };
+            if should_abort() {
+                return Err(AdmitError::Aborted);
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= timeout {
+                return Err(AdmitError::Overloaded {
+                    wanted: bytes,
+                    admitted: st.admitted,
+                    limit: st.limit,
+                });
+            }
+            // Timed wait (R6 discipline): bounded by the remaining
+            // budget so backpressure never becomes an untimed park.
+            let step = WAIT_POLL.min(timeout - elapsed);
+            let (guard, _timed_out) = self
+                .admission_cv
+                .wait_timeout(st, step)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
+    fn release_admission(&self, bytes: usize) {
+        let mut st = self.admission.lock().unwrap_or_else(|e| e.into_inner());
+        st.admitted = st.admitted.saturating_sub(bytes);
+        self.admission_cv.notify_all();
+    }
+
+    /// Fetches a GOP, loading and caching through `load` on a miss.
+    /// Ungoverned variant of [`get_gop_watch`]: no owner tag and no
+    /// abort condition.
+    pub fn get_gop<E: From<std::io::Error>>(
+        &self,
+        key: &GopKey,
+        load: impl FnOnce() -> std::result::Result<Vec<u8>, E>,
+    ) -> std::result::Result<Arc<Vec<u8>>, E> {
+        self.get_gop_watch(key, None, &|| false, load)
     }
 
     /// Fetches a GOP, loading and caching through `load` on a miss.
@@ -166,9 +455,18 @@ impl BufferPool {
     /// disk read. If the in-flight load fails (or its entry is evicted
     /// before a waiter wakes), the waiter retries and may become the
     /// loader itself.
-    pub fn get_gop<E: From<std::io::Error>>(
+    ///
+    /// `owner` tags the loaded entry for per-query cap accounting
+    /// (see [`Admission::query_id`]). `should_abort` is polled while
+    /// waiting on another thread's in-flight load; when it turns true
+    /// the wait ends with an `io::Error` (callers translate it into
+    /// their own cancellation/deadline error — the pool only promises
+    /// not to park forever).
+    pub fn get_gop_watch<E: From<std::io::Error>>(
         &self,
         key: &GopKey,
+        owner: Option<u64>,
+        should_abort: &dyn Fn() -> bool,
         load: impl FnOnce() -> std::result::Result<Vec<u8>, E>,
     ) -> std::result::Result<Arc<Vec<u8>>, E> {
         let mut counted = false;
@@ -197,9 +495,19 @@ impl BufferPool {
                 // Another thread is loading this key: wait for it,
                 // then re-check the cache. If that load failed or its
                 // entry was already evicted, loop back and become the
-                // loader ourselves.
+                // loader ourselves. The wait is timed so an aborted
+                // query stops waiting within one poll step.
                 drop(inner);
-                flight.wait();
+                loop {
+                    if flight.wait_done(WAIT_POLL) {
+                        break;
+                    }
+                    if should_abort() {
+                        return Err(E::from(std::io::Error::other(
+                            "query aborted while waiting for an in-flight GOP load",
+                        )));
+                    }
+                }
                 continue;
             }
             // Become the loader for this key.
@@ -223,13 +531,20 @@ impl BufferPool {
                 let bytes = Arc::new(bytes);
                 // Account only the retained entry: a same-key
                 // re-insert must release the replaced entry's bytes
-                // before counting the new ones.
-                if let Some(old) =
-                    inner.map.insert(key.clone(), Entry { bytes: bytes.clone(), stamp: clock })
-                {
-                    inner.stats.bytes -= old.bytes.len();
+                // (and its owner tag) before counting the new ones.
+                if inner.map.contains_key(key) {
+                    inner.remove_entry(key);
                 }
+                if let Some(o) = owner {
+                    *inner.owner_bytes.entry(o).or_insert(0) += bytes.len();
+                }
+                inner
+                    .map
+                    .insert(key.clone(), Entry { bytes: bytes.clone(), stamp: clock, owner });
                 inner.stats.bytes += bytes.len();
+                if let Some(o) = owner {
+                    inner.evict_query_overage(o, key);
+                }
                 inner.evict_to_capacity(key);
                 flight.finish();
                 Ok(bytes)
@@ -278,9 +593,7 @@ impl BufferPool {
         let doomed: Vec<GopKey> =
             inner.map.keys().filter(|k| k.media.starts_with(&prefix)).cloned().collect();
         for k in doomed {
-            if let Some(e) = inner.map.remove(&k) {
-                inner.stats.bytes -= e.bytes.len();
-            }
+            inner.remove_entry(&k);
         }
     }
 
@@ -539,6 +852,151 @@ mod tests {
         let s = pool.stats();
         assert_eq!(s.bytes, pool.resident_bytes());
         assert!(s.bytes <= 100);
+    }
+
+    #[test]
+    fn admission_fail_fast_refuses_over_budget() {
+        let pool = BufferPool::new(1000);
+        pool.set_admission_limit(100);
+        let a = pool.admit(80, AdmitPolicy::FailFast, &|| false).unwrap();
+        assert_eq!(pool.admitted(), 80);
+        let err = pool.admit(50, AdmitPolicy::FailFast, &|| false).unwrap_err();
+        assert!(matches!(
+            err,
+            AdmitError::Overloaded { wanted: 50, admitted: 80, limit: 100 }
+        ));
+        drop(a);
+        assert_eq!(pool.admitted(), 0);
+        let b = pool.admit(50, AdmitPolicy::FailFast, &|| false).unwrap();
+        assert_eq!(pool.admitted(), 50);
+        drop(b);
+    }
+
+    #[test]
+    fn admission_never_grants_more_than_the_limit() {
+        let pool = BufferPool::new(1000);
+        pool.set_admission_limit(100);
+        let err = pool
+            .admit(200, AdmitPolicy::Block { timeout: Duration::from_secs(10) }, &|| false)
+            .unwrap_err();
+        // Larger than the limit: fails fast even when blocking —
+        // waiting could never help.
+        assert!(matches!(err, AdmitError::Overloaded { wanted: 200, .. }));
+    }
+
+    #[test]
+    fn admission_blocks_until_release_then_proceeds() {
+        let pool = Arc::new(BufferPool::new(1000));
+        pool.set_admission_limit(100);
+        let first = pool.admit(80, AdmitPolicy::FailFast, &|| false).unwrap();
+        let p = pool.clone();
+        let waiter = std::thread::spawn(move || {
+            // Backpressure: cannot proceed until `first` releases.
+            let a = p
+                .admit(60, AdmitPolicy::Block { timeout: Duration::from_secs(5) }, &|| false)
+                .unwrap();
+            let admitted_while_held = p.admitted();
+            drop(a);
+            admitted_while_held
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(pool.admitted(), 80, "waiter must not be admitted early");
+        drop(first);
+        let seen = waiter.join().expect("waiter panicked");
+        assert_eq!(seen, 60, "waiter admitted exactly after the release");
+        assert_eq!(pool.admitted(), 0);
+    }
+
+    #[test]
+    fn admission_block_times_out_as_overloaded() {
+        let pool = BufferPool::new(1000);
+        pool.set_admission_limit(100);
+        let _hold = pool.admit(100, AdmitPolicy::FailFast, &|| false).unwrap();
+        let t0 = Instant::now();
+        let err = pool
+            .admit(10, AdmitPolicy::Block { timeout: Duration::from_millis(30) }, &|| false)
+            .unwrap_err();
+        assert!(matches!(err, AdmitError::Overloaded { .. }));
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn admission_wait_honours_abort() {
+        let pool = BufferPool::new(1000);
+        pool.set_admission_limit(100);
+        let _hold = pool.admit(100, AdmitPolicy::FailFast, &|| false).unwrap();
+        let err = pool
+            .admit(10, AdmitPolicy::Block { timeout: Duration::from_secs(60) }, &|| true)
+            .unwrap_err();
+        assert_eq!(err, AdmitError::Aborted);
+    }
+
+    #[test]
+    fn per_query_cap_evicts_own_pages_first() {
+        let pool = BufferPool::new(10_000);
+        pool.set_query_cap(250);
+        // Another query's pages (owner 7) must survive owner 1's
+        // self-eviction.
+        pool.get_gop_watch(&key("other", 0), Some(7), &|| false, load_ok(100)).unwrap();
+        for g in 0..4 {
+            pool.get_gop_watch(&key("mine", g), Some(1), &|| false, load_ok(100)).unwrap();
+        }
+        assert!(pool.query_resident(1) <= 250, "owner 1 is capped");
+        assert_eq!(pool.query_resident(7), 100, "owner 7's page untouched");
+        let s = pool.stats();
+        assert_eq!(s.bytes, pool.resident_bytes());
+        assert!(s.evictions >= 2);
+        // The freshest pages are the ones retained.
+        let before = pool.stats().misses;
+        pool.get_gop_watch(&key("mine", 3), Some(1), &|| false, load_ok(100)).unwrap();
+        assert_eq!(pool.stats().misses, before, "most recent page must be a hit");
+    }
+
+    #[test]
+    fn per_query_cap_zero_means_unlimited() {
+        let pool = BufferPool::new(10_000);
+        for g in 0..5 {
+            pool.get_gop_watch(&key("m", g), Some(1), &|| false, load_ok(100)).unwrap();
+        }
+        assert_eq!(pool.query_resident(1), 500);
+        assert_eq!(pool.stats().evictions, 0);
+    }
+
+    #[test]
+    fn flight_wait_aborts_instead_of_parking() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let pool = Arc::new(BufferPool::new(1 << 20));
+        let release = Arc::new(AtomicBool::new(false));
+        let loader = {
+            let (p, r) = (pool.clone(), release.clone());
+            std::thread::spawn(move || {
+                p.get_gop(&key("m", 0), move || -> Result<_, std::io::Error> {
+                    while !r.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Ok(vec![0u8; 64])
+                })
+                .unwrap();
+            })
+        };
+        // Give the loader time to claim the flight, then join it as an
+        // aborting waiter: it must return promptly, not park until the
+        // load finishes.
+        std::thread::sleep(Duration::from_millis(10));
+        let t0 = Instant::now();
+        let r: Result<_, std::io::Error> =
+            pool.get_gop_watch(&key("m", 0), None, &|| true, load_ok(64));
+        assert!(r.is_err(), "aborted waiter must error, not serve bytes");
+        assert!(
+            t0.elapsed() < Duration::from_millis(200),
+            "aborted waiter returned in {:?}",
+            t0.elapsed()
+        );
+        release.store(true, Ordering::SeqCst);
+        loader.join().expect("loader panicked");
+        let s = pool.stats();
+        assert_eq!(s.bytes, pool.resident_bytes());
+        assert_eq!(s.loads, 1);
     }
 
     /// An eviction-forced reload of the same key must release the

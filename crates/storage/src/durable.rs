@@ -109,12 +109,10 @@ pub(crate) fn sync_dir(dir: &Path) -> io::Result<()> {
 }
 
 /// Error kinds worth retrying: the operation may succeed if simply
-/// reissued.
+/// reissued. Delegates to the engine-wide taxonomy so every retry
+/// path agrees on what "transient" means.
 pub(crate) fn is_transient(kind: io::ErrorKind) -> bool {
-    matches!(
-        kind,
-        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-    )
+    lightdb_core::ErrorClass::of_io_kind(kind) == lightdb_core::ErrorClass::Transient
 }
 
 /// Retries `op` up to 4 times on transient error kinds with a short

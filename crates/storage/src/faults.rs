@@ -19,16 +19,33 @@
 //! ```
 //!
 //! Specs: `err:<kind>[:n]`, `transient:<kind>:<n>`, `enospc[:n]`,
-//! `trunc:<keep>[:n]`, `flip:<offset>[:n]` — `n` is how many hits
-//! fire before the site auto-disarms (default: every hit).
+//! `trunc:<keep>[:n]`, `flip:<offset>[:n]`, `delay:<ms>[:n]` — `n` is
+//! how many hits fire before the site auto-disarms (default: every
+//! hit). `delay` stalls the hitting thread for `<ms>` milliseconds and
+//! then lets the operation proceed, modelling slow devices rather
+//! than broken ones.
+//!
+//! A third arming mode, [`arm_global`] / [`arm_global_n`] /
+//! [`reset_global`], applies to **every thread in the process**. The
+//! chaos harness uses it to reach the executor's scoped worker
+//! threads (which are born after the test starts and never see its
+//! thread-local registry). Global faults are consulted only after the
+//! thread-local registry declined, so a test can still pin a site
+//! locally. Callers of the global API must serialise themselves
+//! (e.g. a test-level mutex) — the registry is process-wide state.
 //!
 //! Site names used by the storage layer are listed in [`sites`];
-//! higher layers may add their own. Hit counters ([`hits`]) are
-//! maintained only while at least one fault is armed on the thread.
+//! higher layers add their own (the executor's `exec.*` sites live
+//! there too so the full set is documented in one place). Hit
+//! counters ([`hits`]) are maintained only while at least one fault
+//! is armed on the thread; [`global_hits`] counts hits against the
+//! global registry.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// Failpoint site names the storage crate hooks. Kill-point tests
 /// iterate [`sites::PUBLISH_SEQUENCE`] to cover every step of the
@@ -58,6 +75,13 @@ pub mod sites {
     pub const CATALOG_DIR_SYNC: &str = "catalog.dir.sync";
     /// Buffer-pool cache-miss load (fires before the loader runs).
     pub const BUFFERPOOL_LOAD: &str = "bufferpool.load";
+    /// Executor: decoding one GOP (fires before the decode runs).
+    pub const EXEC_DECODE_GOP: &str = "exec.decode.gop";
+    /// Executor: applying a MAP transform to one chunk.
+    pub const EXEC_CHUNK_MAP: &str = "exec.chunk.map";
+    /// Executor: replaying scattered chunk results in submission
+    /// order (fires once per reassembled batch).
+    pub const EXEC_REASSEMBLE: &str = "exec.reassemble";
 
     /// Every error-kind failpoint in the `STORE` publish sequence, in
     /// execution order.
@@ -88,6 +112,9 @@ pub enum Fault {
     TruncateWrite { keep: usize },
     /// Corrupt written data: XOR the byte at `offset % len` with 0xFF.
     FlipByte { offset: usize },
+    /// Stall the hitting thread for this many milliseconds, then let
+    /// the operation proceed — a slow device, not a broken one.
+    Delay { ms: u64 },
 }
 
 #[derive(Debug)]
@@ -115,10 +142,45 @@ impl Registry {
         }
         reg
     }
+
+    /// Counts a hit at `site` and, if a fault of the requested
+    /// flavour (mangle vs. error/delay) is armed there, consumes one
+    /// charge and returns it.
+    fn take_fault(&mut self, site: &str, want_mangle: bool) -> Option<Fault> {
+        *self.hits.entry(site.to_string()).or_insert(0) += 1;
+        let armed = self.armed.get_mut(site)?;
+        let is_mangle =
+            matches!(armed.fault, Fault::TruncateWrite { .. } | Fault::FlipByte { .. });
+        if is_mangle != want_mangle {
+            return None;
+        }
+        let fault = armed.fault.clone();
+        if let Some(rem) = &mut armed.remaining {
+            *rem -= 1;
+            if *rem == 0 {
+                self.armed.remove(site);
+                self.any_armed = !self.armed.is_empty();
+            }
+        }
+        Some(fault)
+    }
 }
 
 thread_local! {
     static REGISTRY: RefCell<Registry> = RefCell::new(Registry::from_env());
+}
+
+/// Cheap "is the process-global registry possibly armed?" hint so the
+/// unarmed fast path stays a flag check and never takes the lock.
+static GLOBAL_ARMED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: Mutex<Option<Registry>> = Mutex::new(None);
+
+fn with_global<T>(f: impl FnOnce(&mut Registry) -> T) -> T {
+    let mut guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let reg = guard.get_or_insert_with(Registry::default);
+    let out = f(reg);
+    GLOBAL_ARMED.store(reg.any_armed, Ordering::Relaxed);
+    out
 }
 
 fn parse_kind(s: &str) -> io::ErrorKind {
@@ -153,6 +215,10 @@ fn parse_env(spec: &str) -> Vec<(String, Armed)> {
             ["flip", off] => (Fault::FlipByte { offset: off.parse().unwrap_or(0) }, None),
             ["flip", off, n] => {
                 (Fault::FlipByte { offset: off.parse().unwrap_or(0) }, n.parse().ok())
+            }
+            ["delay", ms] => (Fault::Delay { ms: ms.parse().unwrap_or(0) }, None),
+            ["delay", ms, n] => {
+                (Fault::Delay { ms: ms.parse().unwrap_or(0) }, n.parse().ok())
             }
             _ => continue,
         };
@@ -206,35 +272,73 @@ pub fn hits(site: &str) -> u64 {
     REGISTRY.with(|r| r.borrow().hits.get(site).copied().unwrap_or(0))
 }
 
+/// Arms `site` with `fault` **process-wide** for every future hit
+/// (until [`reset_global`]). Only the chaos harness and tests that
+/// must reach worker threads should use this; callers serialise
+/// themselves.
+pub fn arm_global(site: &str, fault: Fault) {
+    with_global(|reg| {
+        reg.armed.insert(site.to_string(), Armed { fault, remaining: None });
+        reg.any_armed = true;
+    });
+}
+
+/// Arms `site` process-wide to fire on the next `n` hits (across all
+/// threads combined), then auto-disarm.
+pub fn arm_global_n(site: &str, fault: Fault, n: u64) {
+    with_global(|reg| {
+        reg.armed.insert(site.to_string(), Armed { fault, remaining: Some(n) });
+        reg.any_armed = true;
+    });
+}
+
+/// Disarms every global site and clears global hit counters.
+pub fn reset_global() {
+    with_global(|reg| {
+        reg.armed.clear();
+        reg.hits.clear();
+        reg.any_armed = false;
+    });
+}
+
+/// Number of times `site` was reached (by any thread) while the
+/// global registry was armed.
+pub fn global_hits(site: &str) -> u64 {
+    if !GLOBAL_ARMED.load(Ordering::Relaxed) {
+        // The counter survives disarming until `reset_global`, so
+        // still read it — just without arming anything.
+        return GLOBAL
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map_or(0, |reg| reg.hits.get(site).copied().unwrap_or(0));
+    }
+    with_global(|reg| reg.hits.get(site).copied().unwrap_or(0))
+}
+
 fn take(site: &str, want_mangle: bool) -> Option<Fault> {
-    REGISTRY.with(|r| {
-        let mut reg = r.borrow_mut();
-        *reg.hits.entry(site.to_string()).or_insert(0) += 1;
-        let armed = reg.armed.get_mut(site)?;
-        let is_mangle =
-            matches!(armed.fault, Fault::TruncateWrite { .. } | Fault::FlipByte { .. });
-        if is_mangle != want_mangle {
-            return None;
+    let local = if REGISTRY.with(|r| r.borrow().any_armed) {
+        REGISTRY.with(|r| r.borrow_mut().take_fault(site, want_mangle))
+    } else {
+        None
+    };
+    match local {
+        Some(f) => Some(f),
+        None if GLOBAL_ARMED.load(Ordering::Relaxed) => {
+            with_global(|reg| reg.take_fault(site, want_mangle))
         }
-        let fault = armed.fault.clone();
-        if let Some(rem) = &mut armed.remaining {
-            *rem -= 1;
-            if *rem == 0 {
-                reg.armed.remove(site);
-                reg.any_armed = !reg.armed.is_empty();
-            }
-        }
-        Some(fault)
-    })
+        None => None,
+    }
 }
 
 #[inline]
 fn nothing_armed() -> bool {
-    REGISTRY.with(|r| !r.borrow().any_armed)
+    REGISTRY.with(|r| !r.borrow().any_armed) && !GLOBAL_ARMED.load(Ordering::Relaxed)
 }
 
 /// Error-kind failpoint: returns `Err` when an error fault is armed
-/// at `site`. Call at the top of an I/O operation.
+/// at `site`, and stalls the thread when a delay fault is. Call at
+/// the top of an I/O operation.
 #[inline]
 pub fn fail_point(site: &str) -> io::Result<()> {
     if nothing_armed() {
@@ -251,6 +355,11 @@ pub fn fail_point(site: &str) -> io::Result<()> {
         Some(Fault::Enospc) => Err(io::Error::other(format!(
             "injected ENOSPC (no space left on device) at {site}"
         ))),
+        Some(Fault::Delay { ms }) => {
+            // Sleep with no registry lock held.
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Ok(())
+        }
         Some(Fault::TruncateWrite { .. }) | Some(Fault::FlipByte { .. }) => Ok(()),
     }
 }
@@ -343,11 +452,63 @@ mod tests {
     }
 
     #[test]
+    fn delay_fault_stalls_then_succeeds() {
+        reset();
+        arm_n("t.delay", Fault::Delay { ms: 15 }, 1);
+        let t0 = std::time::Instant::now();
+        assert!(fail_point("t.delay").is_ok());
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(10));
+        // Charge consumed: the next hit is instant.
+        let t1 = std::time::Instant::now();
+        assert!(fail_point("t.delay").is_ok());
+        assert!(t1.elapsed() < std::time::Duration::from_millis(10));
+        reset();
+    }
+
+    /// Serialises the tests that touch the process-global registry.
+    static GLOBAL_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn global_arming_reaches_other_threads() {
+        let _g = GLOBAL_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset_global();
+        arm_global_n("t.global", Fault::Error(io::ErrorKind::Interrupted), 1);
+        let seen = std::thread::spawn(|| fail_point("t.global").is_err())
+            .join()
+            .expect("thread panicked");
+        assert!(seen, "global faults must fire on threads that never armed anything");
+        assert!(global_hits("t.global") >= 1);
+        // Exhausted after one hit; local thread sees nothing.
+        assert!(fail_point("t.global").is_ok());
+        reset_global();
+        assert!(fail_point("t.global").is_ok());
+    }
+
+    #[test]
+    fn local_arming_wins_over_global() {
+        let _g = GLOBAL_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        reset_global();
+        arm_global("t.both", Fault::Error(io::ErrorKind::NotFound));
+        arm("t.both", Fault::Error(io::ErrorKind::PermissionDenied));
+        assert_eq!(
+            fail_point("t.both").unwrap_err().kind(),
+            io::ErrorKind::PermissionDenied,
+            "the thread-local registry is consulted first"
+        );
+        reset();
+        reset_global();
+    }
+
+    #[test]
     fn env_spec_parses() {
         let parsed = parse_env(
-            "a=err:notfound;b=transient:interrupted:2;c=enospc;d=trunc:7:1;e=flip:3; ;bad",
+            "a=err:notfound;b=transient:interrupted:2;c=enospc;d=trunc:7:1;e=flip:3;\
+             f=delay:25:2; ;bad",
         );
-        assert_eq!(parsed.len(), 5);
+        assert_eq!(parsed.len(), 6);
+        assert!(matches!(parsed[5].1.fault, Fault::Delay { ms: 25 }));
+        assert_eq!(parsed[5].1.remaining, Some(2));
         assert!(matches!(parsed[0].1.fault, Fault::Error(io::ErrorKind::NotFound)));
         assert!(matches!(
             parsed[1].1.fault,

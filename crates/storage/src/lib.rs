@@ -49,7 +49,8 @@ pub mod faults;
 pub mod media;
 pub mod snapshot;
 
-pub use bufferpool::{BufferPool, PoolStats};
+pub use bufferpool::{AdmitError, AdmitPolicy, Admission, BufferPool, PoolStats};
+use lightdb_core::ErrorClass;
 pub use catalog::{Catalog, StoredTlf};
 pub use media::MediaStore;
 pub use snapshot::Snapshot;
@@ -75,18 +76,30 @@ pub enum StorageError {
 }
 
 impl StorageError {
+    /// Maps this error onto the engine-wide taxonomy
+    /// ([`lightdb_core::ErrorClass`]). Retry, skip and degrade
+    /// decisions are made against the class, not the variant.
+    pub fn classify(&self) -> ErrorClass {
+        match self {
+            StorageError::Io(e) => ErrorClass::of_io_kind(e.kind()),
+            StorageError::ChecksumMismatch { .. }
+            | StorageError::Corrupt(_)
+            | StorageError::Container(_)
+            | StorageError::Codec(_) => ErrorClass::Corrupt,
+            StorageError::UnknownTlf(_)
+            | StorageError::UnknownVersion { .. }
+            | StorageError::AlreadyExists(_) => ErrorClass::Fatal,
+        }
+    }
+
     /// True for errors that mean *this piece of data is damaged*
     /// (rather than the whole operation being impossible) — a scan
     /// running under a skip-corruption read policy may skip the
-    /// affected GOP and continue.
+    /// affected GOP and continue. `Io` errors are never corruption
+    /// here: a damaged GOP always surfaces as a structured variant
+    /// (`ChecksumMismatch` / `Corrupt` / `Container` / `Codec`).
     pub fn is_data_corruption(&self) -> bool {
-        matches!(
-            self,
-            StorageError::ChecksumMismatch { .. }
-                | StorageError::Corrupt(_)
-                | StorageError::Container(_)
-                | StorageError::Codec(_)
-        )
+        !matches!(self, StorageError::Io(_)) && self.classify() == ErrorClass::Corrupt
     }
 }
 

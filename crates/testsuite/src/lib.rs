@@ -1,1 +1,4 @@
-//! Host crate for the repository-root integration tests (see ../../tests).
+//! Host crate for the repository-root integration tests (see ../../tests)
+//! and the shared chaos harness they drive.
+
+pub mod chaos;
