@@ -1,0 +1,6 @@
+//! Catalog publish throughput: WAL group commit vs. per-publish
+//! fsync/rename (see DESIGN.md "Write-ahead log & crash points").
+//! Emits `BENCH_wal.json`.
+fn main() {
+    lightdb_bench::wal_commit::print();
+}

@@ -23,6 +23,7 @@ pub mod fig16;
 pub mod parallel_scaling;
 pub mod setup;
 pub mod tables;
+pub mod wal_commit;
 
 use std::time::Instant;
 

@@ -42,7 +42,9 @@ impl ErrorClass {
             io::ErrorKind::Interrupted
             | io::ErrorKind::WouldBlock
             | io::ErrorKind::TimedOut => ErrorClass::Transient,
-            io::ErrorKind::InvalidData => ErrorClass::Corrupt,
+            // A short read against a length the format promised is
+            // structural damage (a torn file), not a missing file.
+            io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof => ErrorClass::Corrupt,
             _ => ErrorClass::Fatal,
         }
     }
@@ -89,6 +91,10 @@ mod tests {
         );
         assert_eq!(
             ErrorClass::of_io_kind(io::ErrorKind::InvalidData),
+            ErrorClass::Corrupt
+        );
+        assert_eq!(
+            ErrorClass::of_io_kind(io::ErrorKind::UnexpectedEof),
             ErrorClass::Corrupt
         );
         assert_eq!(

@@ -1,5 +1,12 @@
 //! Direct-ingest helpers: load raw frames or prebuilt streams into
 //! the catalog without writing a query.
+//!
+//! Every ingest path commits through the catalog's write-ahead log
+//! (see `lightdb_storage::wal`): media files are written and fsynced
+//! first, then the metadata version commits with one WAL record whose
+//! group-commit fsync is the durability point. An acknowledged ingest
+//! survives any crash; an interrupted one is rolled back all-or-
+//! nothing by recovery on the next open.
 
 use crate::{LightDb, Result};
 use lightdb_codec::{CodecKind, Encoder, EncoderConfig, TileGrid, VideoStream};
@@ -228,6 +235,26 @@ mod tests {
         let TlfBody::Slab { slabs } = &stored.metadata.tlf.body else { panic!() };
         assert_eq!(slabs[0].uv_samples, (2, 2));
         fs::remove_dir_all(db.catalog().root()).unwrap();
+    }
+
+    #[test]
+    fn acked_ingest_survives_immediate_reopen() {
+        let root = temp_root("ingestwal");
+        let frames = vec![Frame::filled(32, 32, Yuv::GREY); 4];
+        let cfg = IngestConfig { fps: 2, gop_length: 2, ..Default::default() };
+        {
+            let db = LightDb::open(&root).unwrap();
+            store_frames(&db, "a", &frames, &cfg).unwrap();
+            store_frames(&db, "a", &frames, &cfg).unwrap();
+            // No checkpoint: the handle drops with version 2 possibly
+            // only in the WAL. Recovery must still surface it.
+        }
+        let db = LightDb::open(&root).unwrap();
+        assert_eq!(db.catalog().all_versions("a").unwrap(), vec![1, 2]);
+        db.checkpoint().unwrap();
+        let db2 = LightDb::open(&root).unwrap();
+        assert_eq!(db2.catalog().all_versions("a").unwrap(), vec![1, 2]);
+        fs::remove_dir_all(db2.catalog().root()).unwrap();
     }
 
     #[test]

@@ -167,6 +167,14 @@ impl LightDb {
         &self.pool
     }
 
+    /// Forces a catalog checkpoint: every WAL-committed metadata
+    /// version is durably materialised and the log is truncated.
+    /// Checkpoints also happen automatically as the log grows; call
+    /// this to bound recovery work before a planned shutdown.
+    pub fn checkpoint(&self) -> Result<()> {
+        Ok(self.catalog.checkpoint()?)
+    }
+
     /// Current optimiser options.
     pub fn options(&self) -> PlannerOptions {
         self.options

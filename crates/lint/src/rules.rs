@@ -8,6 +8,7 @@
 //! | R4   | every `unsafe` block/impl/fn carries a `// SAFETY:` comment |
 //! | R5   | `fs::rename` appears only inside `storage::durable` (publish protocol) |
 //! | R6   | no untimed condvar `wait` outside `storage::bufferpool` (its timed helper is the one sanctioned waiter) |
+//! | R7   | `fsync`/`sync_all`/`sync_data` appear only inside `storage::durable` and `storage::wal` (the durability boundary) |
 //!
 //! Escape hatch: `// lint: allow(R1): <justification>` on the same
 //! line or above the offending code suppresses that rule there —
@@ -42,6 +43,7 @@ pub enum Rule {
     R4,
     R5,
     R6,
+    R7,
 }
 
 impl Rule {
@@ -53,6 +55,7 @@ impl Rule {
             "R4" => Some(Rule::R4),
             "R5" => Some(Rule::R5),
             "R6" => Some(Rule::R6),
+            "R7" => Some(Rule::R7),
             _ => None,
         }
     }
@@ -74,6 +77,9 @@ pub struct FileClass {
     /// R6 exemption: the module hosting the timed condvar-wait helper
     /// (every other waiter must go through it).
     pub bufferpool_module: bool,
+    /// R7 exemption (with `durable_module`): the write-ahead log owns
+    /// its own fsync schedule (group commit).
+    pub wal_module: bool,
 }
 
 /// The production library crates R1 protects. Bench/apps/baselines/
@@ -108,6 +114,7 @@ impl FileClass {
             storage: p.starts_with("crates/storage/src/"),
             durable_module: p == "crates/storage/src/durable.rs",
             bufferpool_module: p == "crates/storage/src/bufferpool.rs",
+            wal_module: p == "crates/storage/src/wal.rs",
         }
     }
 }
@@ -409,6 +416,7 @@ fn check_tokens(rel_path: &str, toks: &[Tok]) -> Vec<Violation> {
     rule_r4(&ctx, &code, &mut out);
     rule_r5(&ctx, &code, &mut out);
     rule_r6(&ctx, &code, &mut out);
+    rule_r7(&ctx, &code, &mut out);
     out.sort_by_key(|v| v.line);
     out
 }
@@ -730,6 +738,44 @@ fn rule_r6(ctx: &FileCtx, code: &[&Tok], out: &mut Vec<Violation>) {
                 "untimed `{recv}.wait()` outside storage::bufferpool — use the \
                  timed wait helper (wait_timeout + abort poll) so cancelled \
                  queries never park forever"
+            ),
+        );
+    }
+}
+
+/// R7: an `fsync`/`sync_all`/`sync_data` call outside
+/// `storage::durable` and `storage::wal`. Those two modules *are* the
+/// durability boundary — durable publishes its files via the
+/// tmp/fsync/rename protocol and the WAL group-commits its log
+/// records. A stray sync elsewhere either duplicates work the
+/// boundary already does or, worse, acknowledges data the protocols
+/// don't cover (an unsynced parent directory, a poisoned log).
+fn rule_r7(ctx: &FileCtx, code: &[&Tok], out: &mut Vec<Violation>) {
+    if ctx.class.durable_module || ctx.class.wal_module || ctx.class.test_path {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        let is_sync =
+            t.is_ident("fsync") || t.is_ident("sync_all") || t.is_ident("sync_data");
+        if !is_sync || !code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        // Declarations (`fn sync_all(`) are not calls.
+        if i > 0 && code[i - 1].is_ident("fn") {
+            continue;
+        }
+        if ctx.in_test_range(t.line) {
+            continue;
+        }
+        ctx.push(
+            out,
+            Rule::R7,
+            t.line,
+            format!(
+                "{}() outside storage::durable / storage::wal — file \
+                 durability goes through the publish protocol or the WAL \
+                 group commit, never ad-hoc syncs",
+                t.text
             ),
         );
     }

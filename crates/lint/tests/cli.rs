@@ -11,7 +11,7 @@ fn bin() -> Command {
 }
 
 /// Builds a throwaway mini-workspace seeded with one violation per
-/// rule, so the binary's non-zero exit covers all of R1–R6 (the
+/// rule, so the binary's non-zero exit covers all of R1–R7 (the
 /// storage `bad.rs` fires R3 and R6 on the same untimed wait).
 fn seeded_workspace(tag: &str) -> PathBuf {
     let root = std::env::temp_dir().join(format!("lint-cli-{tag}-{}", std::process::id()));
@@ -44,6 +44,9 @@ fn seeded_workspace(tag: &str) -> PathBuf {
          }\n\
          pub fn r(a: &std::path::Path, b: &std::path::Path) {\n\
              std::fs::rename(a, b).expect(\"seeded\");\n\
+         }\n\
+         pub fn s(f: &std::fs::File) {\n\
+             f.sync_all().expect(\"seeded\");\n\
          }\n",
     );
     root
@@ -71,6 +74,7 @@ fn nonzero_on_seeded_violations_with_file_line_output() {
         "crates/codec/src/bad.rs:5: R4:",
         "crates/storage/src/bad.rs:8: R5:",
         "crates/storage/src/bad.rs:3: R6:",
+        "crates/storage/src/bad.rs:11: R7:",
     ] {
         assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
     }

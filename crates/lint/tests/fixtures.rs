@@ -76,6 +76,16 @@ fn r6_fires_outside_bufferpool_module() {
 }
 
 #[test]
+fn r7_fires_outside_durable_and_wal_modules() {
+    let src = include_str!("fixtures/r7_fsync.rs");
+    assert_eq!(lines_of(Rule::R7, LIB_PATH, src), vec![5, 9]);
+    assert_eq!(lines_of(Rule::R7, STORAGE_PATH, src), vec![5, 9]);
+    // The two sanctioned durability modules.
+    assert!(lines_of(Rule::R7, "crates/storage/src/durable.rs", src).is_empty());
+    assert!(lines_of(Rule::R7, "crates/storage/src/wal.rs", src).is_empty());
+}
+
+#[test]
 fn r5_fires_outside_durable_module() {
     let src = include_str!("fixtures/r5_rename.rs");
     assert_eq!(lines_of(Rule::R5, STORAGE_PATH, src), vec![5]);

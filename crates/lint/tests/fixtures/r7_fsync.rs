@@ -1,0 +1,14 @@
+// R7 fixture: a sync call anywhere but storage::durable / storage::wal
+// must fire — ad-hoc fsyncs bypass the durability boundary (publish
+// protocol, WAL group commit) and imply an uncovered acknowledgement.
+pub fn sneaky_sync(f: &std::fs::File) -> std::io::Result<()> {
+    f.sync_all() // line 5
+}
+
+pub fn sneaky_sync_data(f: &std::fs::File) -> std::io::Result<()> {
+    f.sync_data() // line 9
+}
+
+// Declarations are not calls: defining a helper named like the
+// syscall is fine, only invoking one is flagged.
+pub fn sync_all(_f: &std::fs::File) {}

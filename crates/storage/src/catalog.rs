@@ -1,22 +1,45 @@
 //! The TLF catalog: names, versions, and directory management.
 //!
-//! Version publication is crash-consistent (see [`crate::durable`]):
-//! the metadata rename is the commit point for a `STORE`, and
-//! [`Catalog::open`] recovers from interrupted publishes by deleting
-//! orphaned temp files and ignoring metadata files that do not parse.
+//! By default the catalog is **write-ahead logged** (see
+//! [`crate::wal`]): the commit point of a `CREATE`/`STORE`/`DROP` is
+//! the group-commit fsync of its WAL record, not a metadata rename.
+//! Committed-but-not-checkpointed versions live only in the WAL and
+//! an in-memory overlay the read path consults first; a
+//! [`Catalog::checkpoint`] (periodic, on open, or explicit) rewrites
+//! each one crash-consistently as an ordinary metadata file and
+//! truncates the log. Commits therefore never touch the TLF
+//! directories, which is what lets group commit amortise the fsync.
+//!
+//! [`Catalog::open`] recovers in three steps: a base scan of the TLF
+//! directories (deleting orphaned `*.tmp` files, ignoring metadata
+//! files that do not parse), a WAL replay that re-applies every
+//! committed mutation the scan could not see, and a checkpoint that
+//! makes the replayed state durable and empties the log — which is
+//! what makes recovery idempotent: a second open finds an empty log
+//! and the identical materialised state.
+//!
+//! The legacy per-publish mode ([`Durability::PerPublish`]) keeps the
+//! original protocol — every publish does its own tmp/fsync/rename —
+//! and exists for comparison benchmarks and as a fallback.
 
 use crate::durable::{self, TmpGuard};
 use crate::faults::{self, sites};
 use crate::media::MediaStore;
+use crate::wal::{Wal, WalOp, WalOptions};
 use crate::{Result, StorageError};
 use lightdb_codec::VideoStream;
 use lightdb_container::{MetadataFile, TlfDescriptor, Track, TrackRole};
 use lightdb_geom::projection::ProjectionKind;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fs;
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Directory (under the catalog root) holding the write-ahead log.
+const WAL_DIR: &str = ".wal";
 
 /// A resolved, read-only view of one TLF version.
 #[derive(Debug, Clone)]
@@ -44,24 +67,107 @@ pub enum TrackWrite {
     Existing(Track),
 }
 
-/// The catalog. Thread-safe; `create`/`store`/`drop` serialise on a
-/// write lock, reads take a shared lock.
+/// How the catalog makes mutations durable.
+#[derive(Debug, Clone)]
+pub enum Durability {
+    /// Write-ahead log with group commit (the default): one fsync
+    /// acknowledges a whole batch of concurrent publishes.
+    Wal {
+        /// How long a group-commit leader waits for stragglers before
+        /// the batch fsync (`LIGHTDB_WAL_GROUP_MS`).
+        group_window: Duration,
+        /// WAL segment rotation threshold.
+        segment_bytes: u64,
+        /// Auto-checkpoint once this many log bytes accumulate.
+        checkpoint_bytes: u64,
+    },
+    /// Every publish does its own tmp-write/fsync/rename. The
+    /// pre-WAL protocol, kept for comparison benchmarks.
+    PerPublish,
+}
+
+impl Durability {
+    /// WAL mode with default tuning and no group window.
+    pub fn wal_defaults() -> Durability {
+        Durability::Wal {
+            group_window: Duration::ZERO,
+            segment_bytes: 8 << 20,
+            checkpoint_bytes: 4 << 20,
+        }
+    }
+}
+
+/// Tuning for [`Catalog::open_with`].
+#[derive(Debug, Clone)]
+pub struct CatalogOptions {
+    pub durability: Durability,
+}
+
+impl Default for CatalogOptions {
+    fn default() -> CatalogOptions {
+        CatalogOptions { durability: Durability::wal_defaults() }
+    }
+}
+
+impl CatalogOptions {
+    /// Defaults with environment knobs applied: `LIGHTDB_WAL_GROUP_MS`
+    /// sets the group-commit window in milliseconds (default 0 —
+    /// every commit syncs as soon as a leader is free).
+    pub fn from_env() -> CatalogOptions {
+        let ms = std::env::var("LIGHTDB_WAL_GROUP_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        let mut opts = CatalogOptions::default();
+        if let Durability::Wal { group_window, .. } = &mut opts.durability {
+            *group_window = Duration::from_millis(ms);
+        }
+        opts
+    }
+}
+
+/// The catalog. Thread-safe: commits serialise on the WAL (or, in
+/// per-publish mode, the versions write lock); reads take shared
+/// locks and an overlay lookup.
 #[derive(Debug)]
 pub struct Catalog {
     root: PathBuf,
     versions: RwLock<HashMap<String, Vec<u64>>>,
+    /// WAL-committed metadata not yet durably materialised, keyed by
+    /// `(name, version)`. Consulted by reads before disk; drained by
+    /// [`Catalog::checkpoint`]. Always empty in per-publish mode.
+    overlay: RwLock<HashMap<(String, u64), Arc<MetadataFile>>>,
+    /// Highest version number handed to an in-flight `STORE` per
+    /// name, so concurrent stores cannot collide on a version.
+    reserved: Mutex<HashMap<String, u64>>,
+    wal: Option<Wal>,
+    /// Readers: commit appliers (store/drop, while publishing their
+    /// WAL record and updating maps). Writer: the checkpoint capture,
+    /// so its `(cut, overlay)` snapshot is consistent.
+    apply_gate: RwLock<()>,
+    /// Serialises checkpoints against drops: a checkpoint must never
+    /// re-materialise a TLF a concurrent drop is removing.
+    ck_lock: Mutex<()>,
+    checkpoint_bytes: u64,
 }
 
 impl Catalog {
-    /// Opens (or initialises) a catalog rooted at `root`, scanning
-    /// existing TLF directories for metadata versions.
-    ///
-    /// Performs a recovery sweep over each TLF directory: orphaned
-    /// `*.tmp` files left by interrupted publishes are deleted, and
-    /// metadata files that fail to parse (torn or corrupt — the
-    /// publish never completed cleanly) are ignored rather than
-    /// listed as committed versions.
+    /// Opens (or initialises) a catalog rooted at `root` with the
+    /// environment-default options ([`CatalogOptions::from_env`]).
     pub fn open(root: impl Into<PathBuf>) -> Result<Catalog> {
+        Catalog::open_with(root, CatalogOptions::from_env())
+    }
+
+    /// Opens (or initialises) a catalog rooted at `root`.
+    ///
+    /// Recovery: a base scan of the TLF directories (orphaned `*.tmp`
+    /// files from interrupted publishes are deleted; metadata files
+    /// that fail to parse are ignored rather than listed), then — in
+    /// WAL mode — a log replay re-applying every committed mutation,
+    /// and a checkpoint that makes the result durable and truncates
+    /// the log. The whole sweep is idempotent: reopening twice yields
+    /// identical state.
+    pub fn open_with(root: impl Into<PathBuf>, opts: CatalogOptions) -> Result<Catalog> {
         let root = root.into();
         fs::create_dir_all(&root)?;
         let mut versions = HashMap::new();
@@ -71,6 +177,11 @@ impl Catalog {
                 continue;
             }
             let name = entry.file_name().to_string_lossy().to_string();
+            if name.starts_with('.') {
+                // Hidden directories (the WAL lives in `.wal`) are
+                // never TLFs — `validate_name` refuses the prefix.
+                continue;
+            }
             let mut vs = Vec::new();
             for f in fs::read_dir(entry.path())? {
                 let f = f?;
@@ -83,7 +194,7 @@ impl Catalog {
                     // would break the upcoming writes too — surface
                     // it now instead of at the first publish.
                     if let Err(e) = fs::remove_file(f.path()) {
-                        if e.kind() != std::io::ErrorKind::NotFound {
+                        if e.kind() != io::ErrorKind::NotFound {
                             return Err(e.into());
                         }
                     }
@@ -100,7 +211,70 @@ impl Catalog {
                 versions.insert(name, vs);
             }
         }
-        Ok(Catalog { root, versions: RwLock::new(versions) })
+        let (wal, replay, checkpoint_bytes) = match opts.durability {
+            Durability::PerPublish => (None, Vec::new(), 0),
+            Durability::Wal { group_window, segment_bytes, checkpoint_bytes } => {
+                let (w, ops) =
+                    Wal::open(&root.join(WAL_DIR), WalOptions { group_window, segment_bytes })?;
+                (Some(w), ops, checkpoint_bytes)
+            }
+        };
+        let cat = Catalog {
+            root,
+            versions: RwLock::new(versions),
+            overlay: RwLock::new(HashMap::new()),
+            reserved: Mutex::new(HashMap::new()),
+            wal,
+            apply_gate: RwLock::new(()),
+            ck_lock: Mutex::new(()),
+            checkpoint_bytes,
+        };
+        for op in replay {
+            cat.apply_replayed(op)?;
+        }
+        if cat.wal.is_some() {
+            cat.checkpoint()?;
+        }
+        Ok(cat)
+    }
+
+    /// Re-applies one replayed WAL record during recovery.
+    fn apply_replayed(&self, op: WalOp) -> Result<()> {
+        match op {
+            WalOp::Publish { name, version, meta } => {
+                let file = MetadataFile::from_bytes(&meta).map_err(|e| {
+                    StorageError::Corrupt(format!(
+                        "wal publish record for {name} v{version} does not parse: {e}"
+                    ))
+                })?;
+                if file.version != version {
+                    return Err(StorageError::Corrupt(format!(
+                        "wal publish record for {name} v{version} claims version {}",
+                        file.version
+                    )));
+                }
+                validate_name(&name)?;
+                let mut versions = self.versions.write();
+                let e = versions.entry(name.clone()).or_default();
+                if !e.contains(&version) {
+                    e.push(version);
+                    e.sort_unstable();
+                }
+                drop(versions);
+                self.overlay.write().insert((name, version), Arc::new(file));
+                Ok(())
+            }
+            WalOp::Drop { name } => {
+                validate_name(&name)?;
+                self.versions.write().remove(&name);
+                self.overlay.write().retain(|(n, _), _| n != &name);
+                match fs::remove_dir_all(self.dir_of(&name)) {
+                    Ok(()) => Ok(()),
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+                    Err(e) => Err(e.into()),
+                }
+            }
+        }
     }
 
     pub fn root(&self) -> &Path {
@@ -140,31 +314,83 @@ impl Catalog {
         self.root.join(name)
     }
 
+    /// Reserves the next version number for `name` (above both the
+    /// committed tip and any in-flight reservation).
+    fn reserve_version(&self, name: &str) -> u64 {
+        let committed =
+            self.versions.read().get(name).and_then(|v| v.last().copied()).unwrap_or(0);
+        let mut res = self.reserved.lock();
+        let v = committed.max(res.get(name).copied().unwrap_or(0)) + 1;
+        res.insert(name.to_string(), v);
+        v
+    }
+
+    /// Releases a reservation after a failed publish (only if no
+    /// later store stacked a higher one on top).
+    fn release_reservation(&self, name: &str, version: u64) {
+        let mut res = self.reserved.lock();
+        if res.get(name) == Some(&version) {
+            res.remove(name);
+        }
+    }
+
     /// `CREATE`: registers a new, empty TLF (a copy of Ω — no tracks)
     /// as version 1.
     pub fn create(&self, name: &str, tlf: TlfDescriptor) -> Result<u64> {
         validate_name(name)?;
-        let mut versions = self.versions.write();
-        if versions.contains_key(name) {
-            return Err(StorageError::AlreadyExists(name.to_string()));
+        {
+            let committed = self.versions.read().contains_key(name);
+            let mut res = self.reserved.lock();
+            if committed || res.contains_key(name) {
+                return Err(StorageError::AlreadyExists(name.to_string()));
+            }
+            res.insert(name.to_string(), 1);
         }
-        let dir = self.dir_of(name);
-        fs::create_dir_all(&dir)?;
-        let file = MetadataFile::new(1, Vec::new(), tlf)
-            .map_err(StorageError::Container)?;
-        write_atomically(&dir.join(metadata_name(1)), &file.to_bytes())?;
-        versions.insert(name.to_string(), vec![1]);
-        Ok(1)
+        let result = (|| {
+            let dir = self.dir_of(name);
+            fs::create_dir_all(&dir)?;
+            let file = MetadataFile::new(1, Vec::new(), tlf).map_err(StorageError::Container)?;
+            self.commit_publish(name, 1, file, &dir)
+        })();
+        match result {
+            Ok(()) => Ok(1),
+            Err(e) => {
+                self.release_reservation(name, 1);
+                Err(e)
+            }
+        }
     }
 
-    /// `DROP`: removes the TLF and deletes its content from disk.
+    /// `DROP`: removes the TLF and deletes its content from disk. In
+    /// WAL mode the `Drop` record is the commit point; the directory
+    /// removal after it is re-applied by recovery if interrupted.
     pub fn drop_tlf(&self, name: &str) -> Result<()> {
-        let mut versions = self.versions.write();
-        if versions.remove(name).is_none() {
+        let Some(wal) = &self.wal else {
+            let mut versions = self.versions.write();
+            if versions.remove(name).is_none() {
+                return Err(StorageError::UnknownTlf(name.to_string()));
+            }
+            self.reserved.lock().remove(name);
+            fs::remove_dir_all(self.dir_of(name))?;
+            return Ok(());
+        };
+        let _ck = self.ck_lock.lock();
+        if !self.versions.read().contains_key(name) {
             return Err(StorageError::UnknownTlf(name.to_string()));
         }
-        fs::remove_dir_all(self.dir_of(name))?;
-        Ok(())
+        let _gate = self.apply_gate.read();
+        wal.commit(&WalOp::Drop { name: name.to_string() }).map_err(StorageError::Io)?;
+        // Committed: converge in-memory state before touching disk so
+        // a failure below cannot leave the name half-visible.
+        self.versions.write().remove(name);
+        self.overlay.write().retain(|(n, _), _| n != name);
+        self.reserved.lock().remove(name);
+        faults::fail_point(sites::CATALOG_DROP_APPLY).map_err(StorageError::Io)?;
+        match fs::remove_dir_all(self.dir_of(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
     }
 
     /// Reads a TLF version (latest when `version` is `None`).
@@ -179,6 +405,16 @@ impl Catalog {
             None => self.latest_version(name)?,
         };
         let dir = self.dir_of(name);
+        // Committed-but-not-checkpointed versions live in the overlay
+        // (their on-disk file may not exist yet, or not durably).
+        if let Some(meta) = self.overlay.read().get(&(name.to_string(), v)) {
+            return Ok(StoredTlf {
+                name: name.to_string(),
+                version: v,
+                metadata: Arc::clone(meta),
+                dir,
+            });
+        }
         let bytes = fs::read(dir.join(metadata_name(v)))?;
         let metadata = MetadataFile::from_bytes(&bytes)?;
         if metadata.version != v {
@@ -194,13 +430,33 @@ impl Catalog {
     /// materialised as fresh media files; `Existing` tracks keep their
     /// pointers (unmodified video data is never rewritten). Creates
     /// the TLF if it does not yet exist.
+    ///
+    /// Media files are written and made durable *before* the commit
+    /// point (the WAL record's group-commit fsync, or in per-publish
+    /// mode the metadata rename), so an acknowledged version is fully
+    /// readable and an unacknowledged one leaves only unreferenced
+    /// media behind.
     pub fn store(&self, name: &str, tracks: Vec<TrackWrite>, tlf: TlfDescriptor) -> Result<u64> {
         validate_name(name)?;
-        let mut versions = self.versions.write();
         let dir = self.dir_of(name);
         fs::create_dir_all(&dir)?;
-        let new_version = versions.get(name).and_then(|v| v.last().copied()).unwrap_or(0) + 1;
-        let media = MediaStore::new(dir.clone());
+        let new_version = self.reserve_version(name);
+        let result = self.store_inner(name, new_version, tracks, tlf, &dir);
+        if result.is_err() {
+            self.release_reservation(name, new_version);
+        }
+        result
+    }
+
+    fn store_inner(
+        &self,
+        name: &str,
+        new_version: u64,
+        tracks: Vec<TrackWrite>,
+        tlf: TlfDescriptor,
+        dir: &Path,
+    ) -> Result<u64> {
+        let media = MediaStore::new(dir.to_path_buf());
         let mut out_tracks = Vec::with_capacity(tracks.len());
         for (i, tw) in tracks.into_iter().enumerate() {
             match tw {
@@ -228,11 +484,90 @@ impl Catalog {
         }
         let file = MetadataFile::new(new_version, out_tracks, tlf)
             .map_err(StorageError::Container)?;
-        // Publish atomically: temp write + rename makes the version
-        // visible all-or-nothing.
-        write_atomically(&dir.join(metadata_name(new_version)), &file.to_bytes())?;
-        versions.entry(name.to_string()).or_default().push(new_version);
+        self.commit_publish(name, new_version, file, dir)?;
         Ok(new_version)
+    }
+
+    /// Commits one metadata version: WAL record + group-commit fsync
+    /// (the overlay serves reads until a checkpoint materialises the
+    /// file), or — in per-publish mode — a full tmp/fsync/rename
+    /// publish.
+    fn commit_publish(
+        &self,
+        name: &str,
+        version: u64,
+        file: MetadataFile,
+        dir: &Path,
+    ) -> Result<()> {
+        let meta_bytes = file.to_bytes();
+        let Some(wal) = &self.wal else {
+            // Per-publish: the metadata rename is the commit point;
+            // the write lock orders publishes exactly as before.
+            let mut versions = self.versions.write();
+            write_atomically(&dir.join(metadata_name(version)), &meta_bytes)?;
+            let e = versions.entry(name.to_string()).or_default();
+            if !e.contains(&version) {
+                e.push(version);
+                e.sort_unstable();
+            }
+            return Ok(());
+        };
+        {
+            let _gate = self.apply_gate.read();
+            wal.commit(&WalOp::Publish {
+                name: name.to_string(),
+                version,
+                meta: meta_bytes,
+            })
+            .map_err(StorageError::Io)?;
+            // Committed. Make it visible before the ack returns.
+            let mut versions = self.versions.write();
+            let e = versions.entry(name.to_string()).or_default();
+            if !e.contains(&version) {
+                e.push(version);
+                e.sort_unstable();
+            }
+            drop(versions);
+            self.overlay.write().insert((name.to_string(), version), Arc::new(file));
+        }
+        if self.checkpoint_bytes > 0 && wal.log_bytes() >= self.checkpoint_bytes {
+            // Also best-effort: the WAL still holds everything.
+            let _ = self.checkpoint();
+        }
+        Ok(())
+    }
+
+    /// Durably materialises every overlay version (crash-consistent
+    /// tmp/fsync/rename each), fsyncs the root directory, truncates
+    /// the WAL up to the captured sequence number, and drains the
+    /// overlay. A no-op without a WAL or when the log is empty.
+    pub fn checkpoint(&self) -> Result<()> {
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        let _ck = self.ck_lock.lock();
+        let (cut, snapshot) = {
+            let _gate = self.apply_gate.write();
+            (wal.written_seq(), self.overlay.read().clone())
+        };
+        if snapshot.is_empty() && wal.log_bytes() == 0 {
+            return Ok(());
+        }
+        let mut entries: Vec<(&(String, u64), &Arc<MetadataFile>)> = snapshot.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        for ((name, version), meta) in entries {
+            let dir = self.dir_of(name);
+            fs::create_dir_all(&dir)?;
+            write_atomically(&dir.join(metadata_name(*version)), &meta.to_bytes())?;
+        }
+        // TLF directory creations and drop unlinks live in the root
+        // directory; they must be durable before the records that
+        // would replay them are thrown away.
+        faults::fail_point(sites::CATALOG_DIR_SYNC).map_err(StorageError::Io)?;
+        durable::sync_dir(&self.root)?;
+        wal.truncate_up_to(cut).map_err(StorageError::Io)?;
+        self.overlay.write().retain(|k, _| !snapshot.contains_key(k));
+        Ok(())
     }
 
     /// Writes an auxiliary (index) file into the TLF's directory.
@@ -248,7 +583,7 @@ impl Catalog {
         let p = self.dir_of(name).join(file_name);
         match fs::read(p) {
             Ok(b) => Ok(Some(b)),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(e.into()),
         }
     }
@@ -258,7 +593,7 @@ impl Catalog {
         let p = self.dir_of(name).join(file_name);
         match fs::remove_file(p) {
             Ok(()) => Ok(true),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
             Err(e) => Err(e.into()),
         }
     }
@@ -478,6 +813,9 @@ mod tests {
             let cat = Catalog::open(&root).unwrap();
             cat.store("demo", vec![], empty_tlfd()).unwrap();
             cat.store("demo", vec![], empty_tlfd()).unwrap();
+            // Materialise the metadata files so a torn copy of one can
+            // be fabricated below.
+            cat.checkpoint().unwrap();
         }
         let dir = root.join("demo");
         // Simulate an interrupted publish: an orphaned temp file plus
@@ -497,17 +835,83 @@ mod tests {
     }
 
     #[test]
-    fn failed_metadata_publish_leaves_old_version_intact() {
+    fn failed_commit_leaves_old_version_intact() {
         faults::reset();
         let cat = Catalog::open(temp_root("pubfail")).unwrap();
         cat.store("demo", vec![], empty_tlfd()).unwrap();
-        faults::arm_n(sites::CATALOG_PUBLISH_RENAME, faults::Fault::Enospc, 1);
+        // Kill the WAL append — the commit point — of the next store.
+        faults::arm_n(sites::WAL_APPEND_WRITE, faults::Fault::Enospc, 1);
         assert!(cat.store("demo", vec![], empty_tlfd()).is_err());
+        faults::reset();
         // In-memory and on-disk state still agree on version 1 only.
         assert_eq!(cat.all_versions("demo").unwrap(), vec![1]);
         let reopened = Catalog::open(cat.root()).unwrap();
         assert_eq!(reopened.all_versions("demo").unwrap(), vec![1]);
+        // The same handle stays usable: a clean retry commits v2.
+        assert_eq!(cat.store("demo", vec![], empty_tlfd()).unwrap(), 2);
         fs::remove_dir_all(cat.root()).unwrap();
+    }
+
+    #[test]
+    fn committed_version_survives_reopen_without_checkpoint() {
+        faults::reset();
+        let root = temp_root("walvisible");
+        {
+            let cat = Catalog::open(&root).unwrap();
+            // Before any checkpoint the version exists only in the WAL
+            // and the overlay — no metadata file is written at commit.
+            cat.store("demo", vec![], empty_tlfd()).unwrap();
+            assert!(
+                !root.join("demo").join("metadata1.mp4").exists(),
+                "commits must not materialise metadata files"
+            );
+            // The committed version is still readable via the overlay.
+            assert_eq!(cat.read("demo", None).unwrap().version, 1);
+        }
+        // Recovery replays the WAL; the checkpoint then materialises
+        // the metadata file the crash window never wrote.
+        let cat = Catalog::open(&root).unwrap();
+        assert_eq!(cat.all_versions("demo").unwrap(), vec![1]);
+        assert!(root.join("demo").join("metadata1.mp4").exists());
+        fs::remove_dir_all(root).unwrap();
+    }
+
+    #[test]
+    fn per_publish_mode_still_works() {
+        let opts = CatalogOptions { durability: Durability::PerPublish };
+        let root = temp_root("perpub");
+        {
+            let cat = Catalog::open_with(&root, opts.clone()).unwrap();
+            cat.store("demo", vec![], empty_tlfd()).unwrap();
+            cat.store("demo", vec![], empty_tlfd()).unwrap();
+            assert_eq!(cat.read("demo", None).unwrap().version, 2);
+        }
+        assert!(!root.join(WAL_DIR).exists(), "per-publish mode must not create a WAL");
+        // A WAL-mode open of the same root sees the same state.
+        let cat = Catalog::open(&root).unwrap();
+        assert_eq!(cat.all_versions("demo").unwrap(), vec![1, 2]);
+        fs::remove_dir_all(root).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_drains_overlay() {
+        let root = temp_root("ckpt");
+        let cat = Catalog::open(&root).unwrap();
+        for _ in 0..3 {
+            cat.store("demo", vec![], empty_tlfd()).unwrap();
+        }
+        assert!(cat.overlay.read().len() == 3);
+        cat.checkpoint().unwrap();
+        assert!(cat.overlay.read().is_empty(), "checkpoint must drain the overlay");
+        // All versions still read (from disk now).
+        for v in 1..=3 {
+            assert_eq!(cat.read("demo", Some(v)).unwrap().version, v);
+        }
+        // A reopen finds an empty log and identical state.
+        let cat2 = Catalog::open(&root).unwrap();
+        assert_eq!(cat2.all_versions("demo").unwrap(), vec![1, 2, 3]);
+        assert!(cat2.overlay.read().is_empty());
+        fs::remove_dir_all(root).unwrap();
     }
 
     #[test]

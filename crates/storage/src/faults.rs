@@ -25,6 +25,17 @@
 //! then lets the operation proceed, modelling slow devices rather
 //! than broken ones.
 //!
+//! Two crash-shaped specs complete the grammar: `crash[:n]` simulates
+//! a fail-stop crash on the site's `n`-th hit (default: first) — the
+//! whole process is marked crashed and **every** failpoint errors from
+//! then on until [`clear_crash`] — and `torn:<keep>[:n]` models a
+//! torn write followed by a crash: on the `n`-th hit of a mangle site
+//! it truncates the buffer to `keep` bytes, lets the write itself land
+//! on disk, and then crashes at the next failpoint (the fsync that
+//! would have made the full write durable). For `crash`/`torn`, `n`
+//! selects *which* hit fires (a crash is terminal, so "fire n times"
+//! would be meaningless).
+//!
 //! A third arming mode, [`arm_global`] / [`arm_global_n`] /
 //! [`reset_global`], applies to **every thread in the process**. The
 //! chaos harness uses it to reach the executor's scoped worker
@@ -44,7 +55,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::io;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Failpoint site names the storage crate hooks. Kill-point tests
@@ -82,18 +93,35 @@ pub mod sites {
     /// Executor: replaying scattered chunk results in submission
     /// order (fires once per reassembled batch).
     pub const EXEC_REASSEMBLE: &str = "exec.reassemble";
+    /// WAL: appending a record frame to the active segment.
+    pub const WAL_APPEND_WRITE: &str = "wal.append.write";
+    /// Corruption hook over a WAL record frame about to be appended.
+    pub const WAL_WRITE_BYTES: &str = "wal.write.bytes";
+    /// `sync_data` on the active WAL segment (the group-commit fsync).
+    pub const WAL_SYNC: &str = "wal.sync";
+    /// Sealing the active WAL segment / creating the next one.
+    pub const WAL_ROTATE: &str = "wal.rotate";
+    /// Fsync of the WAL directory after segment create/delete.
+    pub const WAL_DIR_SYNC: &str = "wal.dir.sync";
+    /// Deleting a checkpointed WAL segment or healing a torn tail.
+    pub const WAL_TRUNCATE: &str = "wal.truncate";
+    /// Applying a committed `DROP`: removing the TLF directory.
+    pub const CATALOG_DROP_APPLY: &str = "catalog.drop.apply";
 
-    /// Every error-kind failpoint in the `STORE` publish sequence, in
-    /// execution order.
+    /// Every error-kind failpoint a write-ahead-logged `STORE` passes
+    /// through, in execution order: media materialisation, then the
+    /// WAL append + group-commit fsync that acknowledges the publish.
+    /// A fault at any of these must fail the store. Kill-point tests
+    /// iterate this sequence. (The metadata file itself is only
+    /// written at checkpoint, so the `catalog.*` sites are no longer
+    /// part of the acknowledged path.)
     pub const PUBLISH_SEQUENCE: &[&str] = &[
         MEDIA_TMP_WRITE,
         MEDIA_TMP_SYNC,
         MEDIA_PUBLISH_RENAME,
         MEDIA_DIR_SYNC,
-        CATALOG_TMP_WRITE,
-        CATALOG_TMP_SYNC,
-        CATALOG_PUBLISH_RENAME,
-        CATALOG_DIR_SYNC,
+        WAL_APPEND_WRITE,
+        WAL_SYNC,
     ];
 }
 
@@ -115,6 +143,17 @@ pub enum Fault {
     /// Stall the hitting thread for this many milliseconds, then let
     /// the operation proceed — a slow device, not a broken one.
     Delay { ms: u64 },
+    /// Simulated fail-stop crash: the hit marks the whole process
+    /// crashed ([`crashed`] turns true) and this failpoint plus every
+    /// later one — on any thread — return errors until
+    /// [`clear_crash`]. Models the kernel never seeing the I/O.
+    Crash,
+    /// Torn write, then crash: truncates the mangled buffer to `keep`
+    /// bytes, lets the write itself reach the file (the next failpoint
+    /// passes), and crashes at the failpoint after it — the prefix is
+    /// on disk but the fsync that would have made it durable never
+    /// happened.
+    Torn { keep: usize },
 }
 
 #[derive(Debug)]
@@ -122,6 +161,9 @@ struct Armed {
     fault: Fault,
     /// Hits left before auto-disarm; `None` = fire on every hit.
     remaining: Option<u64>,
+    /// Hits to let pass before the fault starts firing (so a fault can
+    /// target the n-th hit of a site, not just the first).
+    skip: u64,
 }
 
 #[derive(Default)]
@@ -149,9 +191,15 @@ impl Registry {
     fn take_fault(&mut self, site: &str, want_mangle: bool) -> Option<Fault> {
         *self.hits.entry(site.to_string()).or_insert(0) += 1;
         let armed = self.armed.get_mut(site)?;
-        let is_mangle =
-            matches!(armed.fault, Fault::TruncateWrite { .. } | Fault::FlipByte { .. });
+        let is_mangle = matches!(
+            armed.fault,
+            Fault::TruncateWrite { .. } | Fault::FlipByte { .. } | Fault::Torn { .. }
+        );
         if is_mangle != want_mangle {
+            return None;
+        }
+        if armed.skip > 0 {
+            armed.skip -= 1;
             return None;
         }
         let fault = armed.fault.clone();
@@ -168,6 +216,49 @@ impl Registry {
 
 thread_local! {
     static REGISTRY: RefCell<Registry> = RefCell::new(Registry::from_env());
+}
+
+/// Process-wide "the process has crashed" flag set by [`Fault::Crash`]
+/// / [`Fault::Torn`]. While set, every failpoint on every thread
+/// errors, simulating a fail-stop process whose remaining I/O never
+/// reaches the kernel.
+static CRASHED: AtomicBool = AtomicBool::new(false);
+/// Countdown of failpoint passes before a pending torn-write crash
+/// lands (0 = no crash pending). `Torn` sets it to 2: the failpoint
+/// guarding the torn write passes, the one after it crashes.
+static CRASH_AFTER: AtomicU64 = AtomicU64::new(0);
+
+/// True once a [`Fault::Crash`] or [`Fault::Torn`] fault has fired.
+pub fn crashed() -> bool {
+    CRASHED.load(Ordering::Relaxed)
+}
+
+/// "Reboots" the simulated process: clears the crashed flag and any
+/// pending torn-write crash. [`reset_global`] calls this too.
+pub fn clear_crash() {
+    CRASHED.store(false, Ordering::Relaxed);
+    CRASH_AFTER.store(0, Ordering::Relaxed);
+}
+
+/// Decrements the pending-crash countdown (if any); the hit that
+/// brings it to zero marks the process crashed.
+fn tick_crash_countdown() {
+    let mut cur = CRASH_AFTER.load(Ordering::Relaxed);
+    while cur > 0 {
+        match CRASH_AFTER.compare_exchange(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => {
+                if cur == 1 {
+                    CRASHED.store(true, Ordering::Relaxed);
+                }
+                break;
+            }
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+fn crash_error(site: &str) -> io::Error {
+    io::Error::other(format!("simulated process crash (at {site})"))
 }
 
 /// Cheap "is the process-global registry possibly armed?" hint so the
@@ -220,9 +311,24 @@ fn parse_env(spec: &str) -> Vec<(String, Armed)> {
             ["delay", ms, n] => {
                 (Fault::Delay { ms: ms.parse().unwrap_or(0) }, n.parse().ok())
             }
+            // For crash-shaped faults, `n` selects *which* hit fires
+            // (1-based) — encoded below as a skip count.
+            ["crash"] => (Fault::Crash, Some(1)),
+            ["crash", n] => (Fault::Crash, Some(n.parse().unwrap_or(1))),
+            ["torn", keep] => (Fault::Torn { keep: keep.parse().unwrap_or(0) }, Some(1)),
+            ["torn", keep, n] => (
+                Fault::Torn { keep: keep.parse().unwrap_or(0) },
+                Some(n.parse().unwrap_or(1)),
+            ),
             _ => continue,
         };
-        out.push((site.trim().to_string(), Armed { fault, remaining: n }));
+        let (remaining, skip) = match &fault {
+            Fault::Crash | Fault::Torn { .. } => {
+                (Some(1), n.unwrap_or(1u64).saturating_sub(1))
+            }
+            _ => (n, 0),
+        };
+        out.push((site.trim().to_string(), Armed { fault, remaining, skip }));
     }
     out
 }
@@ -232,7 +338,7 @@ fn parse_env(spec: &str) -> Vec<(String, Armed)> {
 pub fn arm(site: &str, fault: Fault) {
     REGISTRY.with(|r| {
         let mut reg = r.borrow_mut();
-        reg.armed.insert(site.to_string(), Armed { fault, remaining: None });
+        reg.armed.insert(site.to_string(), Armed { fault, remaining: None, skip: 0 });
         reg.any_armed = true;
     });
 }
@@ -242,7 +348,7 @@ pub fn arm(site: &str, fault: Fault) {
 pub fn arm_n(site: &str, fault: Fault, n: u64) {
     REGISTRY.with(|r| {
         let mut reg = r.borrow_mut();
-        reg.armed.insert(site.to_string(), Armed { fault, remaining: Some(n) });
+        reg.armed.insert(site.to_string(), Armed { fault, remaining: Some(n), skip: 0 });
         reg.any_armed = true;
     });
 }
@@ -278,7 +384,7 @@ pub fn hits(site: &str) -> u64 {
 /// themselves.
 pub fn arm_global(site: &str, fault: Fault) {
     with_global(|reg| {
-        reg.armed.insert(site.to_string(), Armed { fault, remaining: None });
+        reg.armed.insert(site.to_string(), Armed { fault, remaining: None, skip: 0 });
         reg.any_armed = true;
     });
 }
@@ -287,18 +393,46 @@ pub fn arm_global(site: &str, fault: Fault) {
 /// threads combined), then auto-disarm.
 pub fn arm_global_n(site: &str, fault: Fault, n: u64) {
     with_global(|reg| {
-        reg.armed.insert(site.to_string(), Armed { fault, remaining: Some(n) });
+        reg.armed.insert(site.to_string(), Armed { fault, remaining: Some(n), skip: 0 });
         reg.any_armed = true;
     });
 }
 
-/// Disarms every global site and clears global hit counters.
+/// Arms `site` process-wide to fire exactly once, on the `nth` hit
+/// (1-based) of the matching flavour across all threads. The crash
+/// harness uses this to enumerate every distinct crash point a
+/// workload reaches.
+pub fn arm_global_at(site: &str, fault: Fault, nth: u64) {
+    with_global(|reg| {
+        reg.armed.insert(
+            site.to_string(),
+            Armed { fault, remaining: Some(1), skip: nth.saturating_sub(1) },
+        );
+        reg.any_armed = true;
+    });
+}
+
+/// Disarms every global site, clears global hit counters, and clears
+/// any simulated-crash state ([`clear_crash`]).
 pub fn reset_global() {
+    clear_crash();
     with_global(|reg| {
         reg.armed.clear();
         reg.hits.clear();
         reg.any_armed = false;
     });
+}
+
+/// Every site hit (by any thread) since the last [`reset_global`],
+/// with its hit count, sorted by name. Hits are only counted while
+/// the global registry has something armed — trace passes arm a
+/// never-hit dummy site to turn counting on.
+pub fn global_hit_sites() -> Vec<(String, u64)> {
+    let mut v = with_global(|reg| {
+        reg.hits.iter().map(|(k, n)| (k.clone(), *n)).collect::<Vec<_>>()
+    });
+    v.sort();
+    v
 }
 
 /// Number of times `site` was reached (by any thread) while the
@@ -341,6 +475,10 @@ fn nothing_armed() -> bool {
 /// the top of an I/O operation.
 #[inline]
 pub fn fail_point(site: &str) -> io::Result<()> {
+    tick_crash_countdown();
+    if CRASHED.load(Ordering::Relaxed) {
+        return Err(crash_error(site));
+    }
     if nothing_armed() {
         return Ok(());
     }
@@ -360,7 +498,13 @@ pub fn fail_point(site: &str) -> io::Result<()> {
             std::thread::sleep(std::time::Duration::from_millis(ms));
             Ok(())
         }
-        Some(Fault::TruncateWrite { .. }) | Some(Fault::FlipByte { .. }) => Ok(()),
+        Some(Fault::Crash) => {
+            CRASHED.store(true, Ordering::Relaxed);
+            Err(crash_error(site))
+        }
+        Some(Fault::TruncateWrite { .. })
+        | Some(Fault::FlipByte { .. })
+        | Some(Fault::Torn { .. }) => Ok(()),
     }
 }
 
@@ -376,6 +520,15 @@ pub fn mangle(site: &str, bytes: &mut Vec<u8>) {
         Some(Fault::FlipByte { offset }) if !bytes.is_empty() => {
             let i = offset % bytes.len();
             bytes[i] ^= 0xFF;
+        }
+        Some(Fault::Torn { keep }) => {
+            // Torn write, then crash: the truncated buffer is allowed
+            // to land on disk (mangle sites precede the guarded write),
+            // and the process "dies" at the *second* failpoint it hits
+            // after this one — the first is the failpoint guarding this
+            // very write, which must pass for the torn bytes to land.
+            bytes.truncate(keep);
+            CRASH_AFTER.store(2, Ordering::Relaxed);
         }
         _ => {}
     }
@@ -518,5 +671,55 @@ mod tests {
         assert!(matches!(parsed[2].1.fault, Fault::Enospc));
         assert!(matches!(parsed[3].1.fault, Fault::TruncateWrite { keep: 7 }));
         assert!(matches!(parsed[4].1.fault, Fault::FlipByte { offset: 3 }));
+    }
+
+    #[test]
+    fn env_spec_parses_crash_and_torn() {
+        let parsed = parse_env("a=crash;b=crash:3;c=torn:16;d=torn:9:2");
+        assert_eq!(parsed.len(), 4);
+        assert!(matches!(parsed[0].1.fault, Fault::Crash));
+        assert_eq!((parsed[0].1.remaining, parsed[0].1.skip), (Some(1), 0));
+        assert!(matches!(parsed[1].1.fault, Fault::Crash));
+        assert_eq!((parsed[1].1.remaining, parsed[1].1.skip), (Some(1), 2));
+        assert!(matches!(parsed[2].1.fault, Fault::Torn { keep: 16 }));
+        assert_eq!((parsed[2].1.remaining, parsed[2].1.skip), (Some(1), 0));
+        assert!(matches!(parsed[3].1.fault, Fault::Torn { keep: 9 }));
+        assert_eq!((parsed[3].1.remaining, parsed[3].1.skip), (Some(1), 1));
+    }
+
+    #[test]
+    fn arm_global_at_targets_the_nth_hit() {
+        let _g = GLOBAL_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        reset_global();
+        // Fires on the 3rd hit only — earlier hits pass, later hits
+        // pass (the single charge is spent).
+        arm_global_at("t.nth", Fault::Error(io::ErrorKind::Other), 3);
+        assert!(fail_point("t.nth").is_ok());
+        assert!(fail_point("t.nth").is_ok());
+        assert!(fail_point("t.nth").is_err());
+        assert!(fail_point("t.nth").is_ok());
+        reset_global();
+    }
+
+    #[test]
+    fn global_hit_sites_reports_sorted_counts() {
+        let _g = GLOBAL_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        reset_global();
+        // A never-hit armed dummy turns global hit counting on.
+        arm_global("t.trace.dummy", Fault::Delay { ms: 0 });
+        let _ = fail_point("t.sites.b");
+        let _ = fail_point("t.sites.a");
+        let _ = fail_point("t.sites.a");
+        let sites = global_hit_sites();
+        let a = sites.iter().find(|(s, _)| s == "t.sites.a").map(|(_, n)| *n);
+        let b = sites.iter().find(|(s, _)| s == "t.sites.b").map(|(_, n)| *n);
+        assert_eq!(a, Some(2));
+        assert_eq!(b, Some(1));
+        let mut sorted = sites.clone();
+        sorted.sort();
+        assert_eq!(sites, sorted, "global_hit_sites must come back sorted");
+        reset_global();
     }
 }

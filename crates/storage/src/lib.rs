@@ -25,12 +25,16 @@
 //! [`durable`]): contents go to a hidden `.<name>.tmp` file in the
 //! destination directory, are `sync_all`ed, then atomically renamed
 //! into place, and the directory itself is fsynced. During `STORE`,
-//! media files are published (and durable) *before* the metadata
-//! version that references them, and the metadata rename is the
-//! commit point — a crash anywhere leaves the previous version fully
-//! intact and the new version either absent or complete.
-//! [`Catalog::open`] runs a recovery sweep that deletes orphaned
-//! `*.tmp` files and ignores metadata versions that do not parse.
+//! media files are published (and durable) *before* the commit point,
+//! which by default is the group-commit fsync of a write-ahead-log
+//! record (module [`wal`]; metadata files are only written at
+//! checkpoint, and an in-memory overlay serves reads until then) — a
+//! crash anywhere leaves the previous version fully intact and the
+//! new version either absent or complete. [`Catalog::open`] recovers
+//! by sweeping orphaned `*.tmp` files, ignoring metadata versions
+//! that do not parse, replaying the WAL (healing a torn tail,
+//! refusing mid-log corruption), and checkpointing — so a second open
+//! is a no-op.
 //!
 //! Encoded media carries a per-GOP IEEE CRC-32 in the GOP index
 //! (`lightdb_container::checksum`; digest `0` = unchecked legacy
@@ -48,10 +52,11 @@ mod durable;
 pub mod faults;
 pub mod media;
 pub mod snapshot;
+pub mod wal;
 
 pub use bufferpool::{AdmitError, AdmitPolicy, Admission, BufferPool, PoolStats};
 use lightdb_core::ErrorClass;
-pub use catalog::{Catalog, StoredTlf};
+pub use catalog::{Catalog, CatalogOptions, Durability, StoredTlf, TrackWrite};
 pub use media::MediaStore;
 pub use snapshot::Snapshot;
 

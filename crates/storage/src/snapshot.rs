@@ -6,6 +6,12 @@
 //! when the query began. `SCAN`s within the query resolve through the
 //! snapshot; concurrent `STORE`s create new versions that the running
 //! query never observes.
+//!
+//! Snapshots sit *above* the catalog's durability machinery: a pinned
+//! version may still live only in the write-ahead log's in-memory
+//! overlay (committed, not yet checkpointed to its `metadata<N>.mp4`
+//! file) and reads resolve it transparently — visibility follows the
+//! WAL commit, never the checkpoint.
 
 use crate::catalog::{Catalog, StoredTlf};
 use crate::{Result, StorageError};
@@ -136,6 +142,18 @@ mod tests {
         snap.note_write("out").unwrap();
         assert!(snap.note_write("out").is_err());
         snap.note_write("other").unwrap();
+        fs::remove_dir_all(cat.root()).unwrap();
+    }
+
+    #[test]
+    fn snapshot_reads_resolve_overlay_only_versions() {
+        let cat = Catalog::open(temp_root("overlay")).unwrap();
+        // Before a checkpoint the committed version exists only in the
+        // WAL and the overlay; the snapshot must still resolve it.
+        cat.store("demo", vec![], empty_tlfd()).unwrap();
+        assert!(!cat.root().join("demo").join("metadata1.mp4").exists());
+        let snap = Snapshot::begin(&cat);
+        assert_eq!(snap.read("demo", None).unwrap().version, 1);
         fs::remove_dir_all(cat.root()).unwrap();
     }
 

@@ -1,0 +1,785 @@
+//! Append-only, CRC-framed, sequence-numbered write-ahead log with
+//! group commit.
+//!
+//! Every catalog mutation (`Publish`, `Drop`) is encoded as one
+//! [`WalOp`], framed ([`encode_record`]) and appended to the active
+//! segment; the committer is acknowledged only once an fsync covers
+//! its record. Commits arriving together share **one** fsync: the
+//! first waiter becomes the *leader*, optionally sleeps for the
+//! group-commit window (`LIGHTDB_WAL_GROUP_MS`, plumbed in by the
+//! catalog) so stragglers can append, syncs once, and wakes everyone
+//! whose record the sync covered.
+//!
+//! ## Record frame
+//!
+//! ```text
+//! magic "WAL1" (4) | payload_len u32 LE (4) | crc32 u32 LE (4) |
+//! seq u64 LE (8) | payload (payload_len)
+//! ```
+//!
+//! The CRC covers `seq ‖ payload`, so neither a torn payload nor a
+//! re-stamped sequence number can pass verification. Sequence numbers
+//! increase by exactly 1 across the whole log; replay refuses a gap
+//! or repeat as [`StorageError::Corrupt`].
+//!
+//! ## Segments, recovery, truncation
+//!
+//! The log lives in a dedicated directory as segments named
+//! `wal-{start_seq:020}.log`. Only the *active* (last) segment is
+//! appended to; rotation seals the outgoing segment with a final
+//! fsync, so every sealed segment is durable in full. Replay walks
+//! segments in order: an invalid or incomplete record in a sealed
+//! segment — or one that is followed by a later valid record — is
+//! mid-log corruption ([`StorageError::Corrupt`]); an invalid tail at
+//! the very end of the last segment is a torn write of a record that
+//! was never acknowledged, and is healed by truncating the file at
+//! the last valid boundary. Healing makes recovery idempotent:
+//! reopening twice yields the identical log and replay.
+//!
+//! After a sync failure the log is **poisoned**: the page cache can
+//! no longer be trusted to match the file (the kernel drops dirty
+//! pages whose writeback failed), so every later commit fails until
+//! the catalog is reopened and recovers from disk alone.
+
+use crate::durable::sync_dir;
+use crate::faults::{self, sites};
+use crate::{Result, StorageError};
+use lightdb_container::checksum;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Frame header length: magic (4) + payload_len (4) + crc (4) + seq (8).
+pub const FRAME_HEADER: usize = 20;
+/// Upper bound on one record's payload — anything claiming more is a
+/// corrupt length field, not a real record.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+const MAGIC: [u8; 4] = *b"WAL1";
+
+/// One logged catalog mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// `STORE` commit point: version `version` of TLF `name` exists,
+    /// with this serialized metadata file.
+    Publish { name: String, version: u64, meta: Vec<u8> },
+    /// `DROP` commit point: TLF `name` and all its versions are gone.
+    Drop { name: String },
+}
+
+impl WalOp {
+    fn encode(&self) -> Vec<u8> {
+        match self {
+            WalOp::Publish { name, version, meta } => {
+                let nb = name.as_bytes();
+                let mut out = Vec::with_capacity(1 + 2 + nb.len() + 8 + 4 + meta.len());
+                out.push(1u8);
+                out.extend_from_slice(&(nb.len() as u16).to_le_bytes());
+                out.extend_from_slice(nb);
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+                out.extend_from_slice(meta);
+                out
+            }
+            WalOp::Drop { name } => {
+                let nb = name.as_bytes();
+                let mut out = Vec::with_capacity(1 + 2 + nb.len());
+                out.push(2u8);
+                out.extend_from_slice(&(nb.len() as u16).to_le_bytes());
+                out.extend_from_slice(nb);
+                out
+            }
+        }
+    }
+
+    fn decode(payload: &[u8]) -> Option<WalOp> {
+        let (&tag, rest) = payload.split_first()?;
+        let name_len = u16::from_le_bytes(rest.get(0..2)?.try_into().ok()?) as usize;
+        let name = std::str::from_utf8(rest.get(2..2 + name_len)?).ok()?.to_string();
+        let rest = &rest[2 + name_len..];
+        match tag {
+            1 => {
+                let version = u64::from_le_bytes(rest.get(0..8)?.try_into().ok()?);
+                let meta_len = u32::from_le_bytes(rest.get(8..12)?.try_into().ok()?) as usize;
+                let meta = rest.get(12..12 + meta_len)?.to_vec();
+                if rest.len() != 12 + meta_len {
+                    return None; // trailing garbage inside a framed record
+                }
+                Some(WalOp::Publish { name, version, meta })
+            }
+            2 => {
+                if !rest.is_empty() {
+                    return None;
+                }
+                Some(WalOp::Drop { name })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Frames `op` as record number `seq`.
+pub fn encode_record(seq: u64, op: &WalOp) -> Vec<u8> {
+    let payload = op.encode();
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&[0u8; 4]); // crc placeholder
+    frame.extend_from_slice(&seq.to_le_bytes());
+    frame.extend_from_slice(&payload);
+    let crc = checksum::checksum(&frame[12..]);
+    frame[8..12].copy_from_slice(&crc.to_le_bytes());
+    frame
+}
+
+/// Outcome of decoding the record at the head of `buf`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordParse {
+    /// A whole, CRC-verified record occupying `frame_len` bytes.
+    Complete { seq: u64, op: WalOp, frame_len: usize },
+    /// `buf` is a proper prefix of a record (torn tail candidate).
+    Incomplete,
+    /// The bytes at the head cannot be (a prefix of) a valid record.
+    Invalid,
+}
+
+/// Decodes the record starting at `buf[0]`.
+pub fn decode_record(buf: &[u8]) -> RecordParse {
+    if buf.len() < FRAME_HEADER {
+        // A short buffer is a torn-tail candidate only if what is
+        // there could still be the start of a record.
+        let n = buf.len().min(4);
+        return if buf[..n] == MAGIC[..n] {
+            RecordParse::Incomplete
+        } else {
+            RecordParse::Invalid
+        };
+    }
+    if buf[..4] != MAGIC {
+        return RecordParse::Invalid;
+    }
+    let payload_len =
+        u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]) as usize;
+    if payload_len > MAX_PAYLOAD {
+        return RecordParse::Invalid;
+    }
+    let frame_len = FRAME_HEADER + payload_len;
+    if buf.len() < frame_len {
+        return RecordParse::Incomplete;
+    }
+    let crc = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+    if !checksum::verify(&buf[12..frame_len], crc) {
+        return RecordParse::Invalid;
+    }
+    let seq = u64::from_le_bytes(
+        [buf[12], buf[13], buf[14], buf[15], buf[16], buf[17], buf[18], buf[19]],
+    );
+    match WalOp::decode(&buf[FRAME_HEADER..frame_len]) {
+        Some(op) => RecordParse::Complete { seq, op, frame_len },
+        None => RecordParse::Invalid,
+    }
+}
+
+/// Tuning for a [`Wal`].
+#[derive(Debug, Clone)]
+pub struct WalOptions {
+    /// How long a group-commit leader waits for stragglers before
+    /// issuing the batch fsync. Zero = sync immediately.
+    pub group_window: Duration,
+    /// Rotate the active segment once it exceeds this many bytes.
+    pub segment_bytes: u64,
+}
+
+impl Default for WalOptions {
+    fn default() -> WalOptions {
+        WalOptions { group_window: Duration::ZERO, segment_bytes: 8 << 20 }
+    }
+}
+
+#[derive(Debug)]
+struct WalState {
+    file: File,
+    seg_path: PathBuf,
+    /// Sequence number the active segment's name carries.
+    seg_start: u64,
+    /// Bytes appended to the active segment so far.
+    seg_bytes: u64,
+    /// Bytes appended (all segments) since the last truncation.
+    log_bytes: u64,
+    /// Last sequence number appended (0 = none yet).
+    written_seq: u64,
+    /// Last sequence number covered by a successful fsync.
+    synced_seq: u64,
+    next_seq: u64,
+    /// A leader is currently fsyncing outside the lock.
+    syncing: bool,
+    /// A sync failed; the in-memory/page-cache view can no longer be
+    /// trusted. Every later commit fails until reopen.
+    poisoned: bool,
+}
+
+/// The write-ahead log: one per catalog, living in `<root>/.wal/`.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    group_window: Duration,
+    segment_bytes: u64,
+    state: Mutex<WalState>,
+    sync_done: Condvar,
+}
+
+fn segment_name(start_seq: u64) -> String {
+    format!("wal-{start_seq:020}.log")
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?.strip_suffix(".log")?.parse().ok()
+}
+
+/// Sorted `(start_seq, path)` of every segment file in `dir`.
+fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segs = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(seq) = entry.file_name().to_str().and_then(parse_segment_name) {
+            segs.push((seq, entry.path()));
+        }
+    }
+    segs.sort();
+    Ok(segs)
+}
+
+fn corrupt(msg: String) -> StorageError {
+    StorageError::Corrupt(msg)
+}
+
+fn poisoned_error() -> io::Error {
+    io::Error::other("wal poisoned by an earlier sync failure; reopen the catalog to recover")
+}
+
+/// True if `buf[from..]` contains a complete, CRC-valid record at any
+/// offset — evidence that bytes before it were corrupted *after*
+/// being written (mid-log damage), not torn off the tail.
+fn any_later_complete(buf: &[u8], from: usize) -> bool {
+    let mut off = from;
+    while off + FRAME_HEADER <= buf.len() {
+        match buf[off..].windows(4).position(|w| w == MAGIC) {
+            None => return false,
+            Some(rel) => {
+                let at = off + rel;
+                if let RecordParse::Complete { .. } = decode_record(&buf[at..]) {
+                    return true;
+                }
+                off = at + 1;
+            }
+        }
+    }
+    false
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log in `dir`, replays it, and
+    /// returns the committed ops in commit order. Heals a torn tail
+    /// in the last segment; fails with [`StorageError::Corrupt`] on
+    /// mid-log damage or a broken sequence chain.
+    pub fn open(dir: &Path, opts: WalOptions) -> Result<(Wal, Vec<WalOp>)> {
+        std::fs::create_dir_all(dir).map_err(StorageError::Io)?;
+        let segs = list_segments(dir).map_err(StorageError::Io)?;
+        let mut ops = Vec::new();
+        let mut expected: Option<u64> = None; // next seq the chain demands
+        let mut log_bytes = 0u64;
+
+        for (i, (start_seq, path)) in segs.iter().enumerate() {
+            let last = i + 1 == segs.len();
+            let mut buf = Vec::new();
+            {
+                let mut f = File::open(path).map_err(StorageError::Io)?;
+                f.read_to_end(&mut buf).map_err(StorageError::Io)?;
+            }
+            if let Some(exp) = expected {
+                if *start_seq != exp {
+                    return Err(corrupt(format!(
+                        "wal segment {} starts at seq {start_seq}, expected {exp}",
+                        path.display()
+                    )));
+                }
+            }
+            let mut off = 0usize;
+            loop {
+                if off == buf.len() {
+                    break;
+                }
+                match decode_record(&buf[off..]) {
+                    RecordParse::Complete { seq, op, frame_len } => {
+                        let exp = expected.unwrap_or(*start_seq);
+                        if seq != exp {
+                            return Err(corrupt(format!(
+                                "wal record out of sequence in {}: got {seq}, expected {exp}",
+                                path.display()
+                            )));
+                        }
+                        expected = Some(seq + 1);
+                        ops.push(op);
+                        off += frame_len;
+                    }
+                    RecordParse::Incomplete | RecordParse::Invalid => {
+                        if !last || any_later_complete(&buf, off + 1) {
+                            return Err(corrupt(format!(
+                                "wal corruption in {} at byte {off}",
+                                path.display()
+                            )));
+                        }
+                        // Torn tail of an unacknowledged record: heal
+                        // by truncating at the last valid boundary.
+                        let heal = || -> io::Result<()> {
+                            faults::fail_point(sites::WAL_TRUNCATE)?;
+                            let f = OpenOptions::new().write(true).open(path)?;
+                            f.set_len(off as u64)?;
+                            faults::fail_point(sites::WAL_SYNC)?;
+                            f.sync_data()
+                        };
+                        heal().map_err(StorageError::Io)?;
+                        buf.truncate(off);
+                        break;
+                    }
+                }
+            }
+            log_bytes += buf.len() as u64;
+            if last {
+                let next_seq = expected.unwrap_or(*start_seq);
+                let file = OpenOptions::new()
+                    .append(true)
+                    .open(path)
+                    .map_err(StorageError::Io)?;
+                let wal = Wal {
+                    dir: dir.to_path_buf(),
+                    group_window: opts.group_window,
+                    segment_bytes: opts.segment_bytes,
+                    state: Mutex::new(WalState {
+                        file,
+                        seg_path: path.clone(),
+                        seg_start: *start_seq,
+                        seg_bytes: buf.len() as u64,
+                        log_bytes,
+                        written_seq: next_seq.saturating_sub(1),
+                        synced_seq: next_seq.saturating_sub(1),
+                        next_seq,
+                        syncing: false,
+                        poisoned: false,
+                    }),
+                    sync_done: Condvar::new(),
+                };
+                return Ok((wal, ops));
+            }
+        }
+
+        // Empty log: create the first segment.
+        let seg_path = dir.join(segment_name(1));
+        faults::fail_point(sites::WAL_ROTATE).map_err(StorageError::Io)?;
+        let file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(&seg_path)
+            .map_err(StorageError::Io)?;
+        let mkdir_durable = || -> io::Result<()> {
+            faults::fail_point(sites::WAL_DIR_SYNC)?;
+            sync_dir(dir)
+        };
+        if let Err(e) = mkdir_durable() {
+            let _ = std::fs::remove_file(&seg_path);
+            return Err(StorageError::Io(e));
+        }
+        let wal = Wal {
+            dir: dir.to_path_buf(),
+            group_window: opts.group_window,
+            segment_bytes: opts.segment_bytes,
+            state: Mutex::new(WalState {
+                file,
+                seg_path,
+                seg_start: 1,
+                seg_bytes: 0,
+                log_bytes: 0,
+                written_seq: 0,
+                synced_seq: 0,
+                next_seq: 1,
+                syncing: false,
+                poisoned: false,
+            }),
+            sync_done: Condvar::new(),
+        };
+        Ok((wal, Vec::new()))
+    }
+
+    /// Last sequence number appended (and, because `commit` only
+    /// returns after its fsync, acknowledged or about to be).
+    pub fn written_seq(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).written_seq
+    }
+
+    /// True once a sync failure has poisoned the log.
+    pub fn poisoned(&self) -> bool {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).poisoned
+    }
+
+    /// Bytes appended since the last truncation — the catalog's
+    /// auto-checkpoint trigger.
+    pub fn log_bytes(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).log_bytes
+    }
+
+    /// Seals the active segment (final fsync) and starts a fresh one.
+    /// Any failure that leaves durability ambiguous poisons the log;
+    /// a cleanly backed-out failure leaves the old segment active.
+    fn rotate_locked(&self, st: &mut WalState) -> io::Result<()> {
+        faults::fail_point(sites::WAL_ROTATE)?;
+        // Seal: sealed segments must be durable in full, because the
+        // group-commit leader only ever fsyncs the active segment.
+        let seal = || -> io::Result<()> {
+            faults::fail_point(sites::WAL_SYNC)?;
+            st.file.sync_data()
+        };
+        if let Err(e) = seal() {
+            st.poisoned = true;
+            self.sync_done.notify_all();
+            return Err(e);
+        }
+        st.synced_seq = st.written_seq;
+        self.sync_done.notify_all();
+        let seg_start = st.next_seq;
+        let seg_path = self.dir.join(segment_name(seg_start));
+        let file = OpenOptions::new().create_new(true).append(true).open(&seg_path)?;
+        let dir_durable = || -> io::Result<()> {
+            faults::fail_point(sites::WAL_DIR_SYNC)?;
+            sync_dir(&self.dir)
+        };
+        if let Err(e) = dir_durable() {
+            // Back out: keep appending to the still-active old segment.
+            let _ = std::fs::remove_file(&seg_path);
+            return Err(e);
+        }
+        st.file = file;
+        st.seg_path = seg_path;
+        st.seg_start = seg_start;
+        st.seg_bytes = 0;
+        Ok(())
+    }
+
+    /// Appends `op` and returns its sequence number once an fsync
+    /// covers it (group commit: one fsync may acknowledge many
+    /// concurrent commits).
+    pub fn commit(&self, op: &WalOp) -> io::Result<u64> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.poisoned {
+            return Err(poisoned_error());
+        }
+        if st.seg_bytes >= self.segment_bytes {
+            self.rotate_locked(&mut st)?;
+        }
+        let seq = st.next_seq;
+        let mut frame = encode_record(seq, op);
+        faults::mangle(sites::WAL_WRITE_BYTES, &mut frame);
+        faults::fail_point(sites::WAL_APPEND_WRITE)?;
+        let prev_len = st.seg_bytes;
+        if let Err(e) = st.file.write_all(&frame) {
+            // Self-heal the possibly partial append so the log stays
+            // usable; if even that fails, durability is ambiguous.
+            let healed = st.file.set_len(prev_len).is_ok();
+            if !healed {
+                st.poisoned = true;
+                self.sync_done.notify_all();
+            }
+            return Err(e);
+        }
+        st.written_seq = seq;
+        st.next_seq = seq + 1;
+        st.seg_bytes += frame.len() as u64;
+        st.log_bytes += frame.len() as u64;
+
+        loop {
+            if st.poisoned {
+                return Err(poisoned_error());
+            }
+            if st.synced_seq >= seq {
+                return Ok(seq);
+            }
+            if !st.syncing {
+                // Become the leader for everything appended so far.
+                st.syncing = true;
+                if !self.group_window.is_zero() {
+                    // Window: let stragglers append before the fsync.
+                    drop(st);
+                    std::thread::sleep(self.group_window);
+                    st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                }
+                let target = st.written_seq;
+                let file = match st.file.try_clone() {
+                    Ok(f) => f,
+                    Err(e) => {
+                        st.syncing = false;
+                        st.poisoned = true;
+                        self.sync_done.notify_all();
+                        return Err(e);
+                    }
+                };
+                drop(st);
+                let synced = faults::fail_point(sites::WAL_SYNC).and_then(|_| file.sync_data());
+                st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                st.syncing = false;
+                match synced {
+                    Ok(()) => {
+                        if st.synced_seq < target {
+                            st.synced_seq = target;
+                        }
+                        self.sync_done.notify_all();
+                        return Ok(seq);
+                    }
+                    Err(e) => {
+                        // fsyncgate semantics: after a failed fsync the
+                        // kernel may have dropped the dirty pages, so
+                        // nothing unsynced can be trusted any more.
+                        st.poisoned = true;
+                        self.sync_done.notify_all();
+                        return Err(e);
+                    }
+                }
+            }
+            // Follower: wait (bounded, so a dying leader can't strand
+            // us) for the in-flight sync to land.
+            let (guard, _) = self
+                .sync_done
+                .wait_timeout(st, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Deletes every segment whose records are all `<= cut`
+    /// (rotating first if the active segment qualifies). Deletion is
+    /// oldest-first so a crash mid-truncate leaves a contiguous log
+    /// suffix; the sequence chain then simply starts at the first
+    /// surviving segment.
+    pub fn truncate_up_to(&self, cut: u64) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.poisoned {
+            return Err(poisoned_error());
+        }
+        if st.written_seq <= cut && st.seg_bytes > 0 {
+            self.rotate_locked(&mut st)?;
+        }
+        let segs = list_segments(&self.dir)?;
+        let mut deleted_any = false;
+        for window in segs.windows(2) {
+            let (_, path) = &window[0];
+            let (next_start, _) = window[1];
+            // Records in this sealed segment all precede `next_start`,
+            // so it is fully checkpointed iff next_start - 1 <= cut.
+            if next_start > cut + 1 || path == &st.seg_path {
+                break;
+            }
+            faults::fail_point(sites::WAL_TRUNCATE)?;
+            std::fs::remove_file(path)?;
+            deleted_any = true;
+        }
+        if deleted_any {
+            faults::fail_point(sites::WAL_DIR_SYNC)?;
+            sync_dir(&self.dir)?;
+            st.log_bytes = st.seg_bytes;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lightdb-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn publish(name: &str, version: u64) -> WalOp {
+        WalOp::Publish { name: name.to_string(), version, meta: vec![7u8; 40] }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for (seq, op) in [
+            (1u64, publish("a", 1)),
+            (2, WalOp::Drop { name: "a".into() }),
+            (u64::MAX, WalOp::Publish { name: String::new(), version: 0, meta: Vec::new() }),
+        ] {
+            let frame = encode_record(seq, &op);
+            match decode_record(&frame) {
+                RecordParse::Complete { seq: s, op: o, frame_len } => {
+                    assert_eq!((s, &o, frame_len), (seq, &op, frame.len()));
+                }
+                other => panic!("expected Complete, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic_and_bad_crc() {
+        let mut frame = encode_record(3, &publish("x", 1));
+        let mut bad_magic = frame.clone();
+        bad_magic[0] ^= 0xFF;
+        assert_eq!(decode_record(&bad_magic), RecordParse::Invalid);
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01;
+        assert_eq!(decode_record(&frame), RecordParse::Invalid);
+    }
+
+    #[test]
+    fn decode_prefixes_are_incomplete() {
+        let frame = encode_record(9, &publish("pfx", 2));
+        for cut in 0..frame.len() {
+            assert_eq!(
+                decode_record(&frame[..cut]),
+                RecordParse::Incomplete,
+                "prefix of {cut} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn commit_replay_round_trip() {
+        let dir = temp_dir("rt");
+        let ops = vec![publish("a", 1), publish("b", 1), WalOp::Drop { name: "a".into() }];
+        {
+            let (wal, replayed) = Wal::open(&dir, WalOptions::default()).unwrap();
+            assert!(replayed.is_empty());
+            for (i, op) in ops.iter().enumerate() {
+                assert_eq!(wal.commit(op).unwrap(), i as u64 + 1);
+            }
+            assert_eq!(wal.written_seq(), 3);
+        }
+        let (wal, replayed) = Wal::open(&dir, WalOptions::default()).unwrap();
+        assert_eq!(replayed, ops);
+        assert_eq!(wal.written_seq(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_spreads_records_across_segments() {
+        let dir = temp_dir("rot");
+        let opts = WalOptions { segment_bytes: 1, ..WalOptions::default() };
+        {
+            let (wal, _) = Wal::open(&dir, opts.clone()).unwrap();
+            for v in 1..=5 {
+                wal.commit(&publish("seg", v)).unwrap();
+            }
+        }
+        let segs = list_segments(&dir).unwrap();
+        assert!(segs.len() >= 5, "1-byte segments must rotate per record: {segs:?}");
+        let (_, replayed) = Wal::open(&dir, opts).unwrap();
+        assert_eq!(replayed.len(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_healed_and_reopen_is_idempotent() {
+        let dir = temp_dir("torn");
+        {
+            let (wal, _) = Wal::open(&dir, WalOptions::default()).unwrap();
+            wal.commit(&publish("t", 1)).unwrap();
+            wal.commit(&publish("t", 2)).unwrap();
+        }
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let (wal, replayed) = Wal::open(&dir, WalOptions::default()).unwrap();
+        assert_eq!(replayed, vec![publish("t", 1)]);
+        assert_eq!(wal.written_seq(), 1);
+        drop(wal);
+        let healed = std::fs::read(&path).unwrap();
+        let (_, replayed2) = Wal::open(&dir, WalOptions::default()).unwrap();
+        assert_eq!(replayed2, vec![publish("t", 1)]);
+        assert_eq!(std::fs::read(&path).unwrap(), healed, "second reopen must be a no-op");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_log_corruption_is_not_a_torn_tail() {
+        let dir = temp_dir("midlog");
+        {
+            let (wal, _) = Wal::open(&dir, WalOptions::default()).unwrap();
+            wal.commit(&publish("m", 1)).unwrap();
+            wal.commit(&publish("m", 2)).unwrap();
+        }
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[FRAME_HEADER / 2] ^= 0xFF; // damage record 1, record 2 still valid
+        std::fs::write(&path, &bytes).unwrap();
+        let err = match Wal::open(&dir, WalOptions::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("mid-log damage must fail replay"),
+        };
+        assert!(err.is_data_corruption(), "mid-log damage must classify Corrupt: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncate_up_to_drops_checkpointed_segments() {
+        let dir = temp_dir("trunc");
+        let opts = WalOptions { segment_bytes: 1, ..WalOptions::default() };
+        let (wal, _) = Wal::open(&dir, opts.clone()).unwrap();
+        for v in 1..=4 {
+            wal.commit(&publish("c", v)).unwrap();
+        }
+        wal.truncate_up_to(wal.written_seq()).unwrap();
+        drop(wal);
+        let (wal, replayed) = Wal::open(&dir, opts).unwrap();
+        assert!(replayed.is_empty(), "checkpointed records must not replay: {replayed:?}");
+        // The chain continues from where it left off.
+        assert_eq!(wal.commit(&publish("c", 5)).unwrap(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_acknowledges_concurrent_committers() {
+        let dir = temp_dir("group");
+        let opts = WalOptions { group_window: Duration::from_millis(2), ..Default::default() };
+        let (wal, _) = Wal::open(&dir, opts).unwrap();
+        let wal = std::sync::Arc::new(wal);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let wal = wal.clone();
+                    s.spawn(move || {
+                        (0..8).map(|v| wal.commit(&publish(&format!("t{t}"), v)).unwrap()).count()
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), 8);
+            }
+        });
+        assert_eq!(wal.written_seq(), 32);
+        drop(wal);
+        let (_, replayed) = Wal::open(&dir, WalOptions::default()).unwrap();
+        assert_eq!(replayed.len(), 32);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_failure_poisons_until_reopen() {
+        let dir = temp_dir("poison");
+        let (wal, _) = Wal::open(&dir, WalOptions::default()).unwrap();
+        wal.commit(&publish("p", 1)).unwrap();
+        faults::arm_n(sites::WAL_SYNC, faults::Fault::Error(io::ErrorKind::Other), 1);
+        assert!(wal.commit(&publish("p", 2)).is_err());
+        faults::reset();
+        assert!(wal.poisoned());
+        assert!(wal.commit(&publish("p", 3)).is_err(), "poisoned wal must refuse commits");
+        drop(wal);
+        // Reopen recovers: the synced prefix replays, the log accepts
+        // appends again.
+        let (wal, replayed) = Wal::open(&dir, WalOptions::default()).unwrap();
+        assert!(!replayed.is_empty());
+        assert!(wal.commit(&publish("p", 9)).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

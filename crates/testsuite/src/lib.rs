@@ -2,3 +2,4 @@
 //! and the shared chaos harness they drive.
 
 pub mod chaos;
+pub mod crashpoints;

@@ -57,6 +57,10 @@ fn corrupt_metadata_is_detected_on_read() {
     let root = temp_root("corrupt");
     let db = LightDb::open(&root).unwrap();
     install(&db, Dataset::Timelapse, &tiny()).unwrap();
+    // Checkpoint first so the WAL no longer holds the metadata — a
+    // reopen must detect the damage rather than silently repair it
+    // from the log.
+    db.checkpoint().unwrap();
     // Truncate the metadata file behind the catalog's back.
     let meta = root.join("timelapse").join("metadata1.mp4");
     let bytes = std::fs::read(&meta).unwrap();
@@ -131,9 +135,9 @@ fn crash_between_media_write_and_metadata_publish_is_recovered() {
         let db = LightDb::open(&root).unwrap();
         install(&db, Dataset::Timelapse, &tiny()).unwrap();
         // The copy's media file lands on disk, but the process "dies"
-        // before the metadata that would reference it is published.
+        // before the WAL record that would commit it is appended.
         db.execute(&(scan("timelapse") >> Store::named("copy"))).unwrap();
-        faults::arm_n(sites::CATALOG_TMP_WRITE, Fault::Error(std::io::ErrorKind::Other), 1);
+        faults::arm_n(sites::WAL_APPEND_WRITE, Fault::Error(std::io::ErrorKind::Other), 1);
         assert!(db.execute(&(scan("timelapse") >> Store::named("copy"))).is_err());
         faults::reset();
     }
@@ -151,6 +155,49 @@ fn crash_between_media_write_and_metadata_publish_is_recovered() {
     // The interrupted store can simply be retried.
     db.execute(&(scan("timelapse") >> Store::named("copy"))).unwrap();
     assert_eq!(db.catalog().all_versions("copy").unwrap(), vec![1, 2]);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn recovery_is_idempotent_under_leftover_artifacts() {
+    let root = temp_root("idem");
+    {
+        let db = LightDb::open(&root).unwrap();
+        install(&db, Dataset::Timelapse, &tiny()).unwrap();
+        db.execute(&(scan("timelapse") >> Store::named("copy"))).unwrap();
+        // Materialise the metadata files the fabrication below reads.
+        db.checkpoint().unwrap();
+    }
+    // Fabricate every class of leftover a crash can strand: an
+    // orphaned temp file, a temp file whose rename target was already
+    // published, and a torn metadata file for an uncommitted version.
+    let dir = root.join("copy");
+    let meta1 = std::fs::read(dir.join("metadata1.mp4")).unwrap();
+    std::fs::write(dir.join(".metadata9.mp4.tmp"), b"orphan").unwrap();
+    std::fs::write(dir.join(".metadata1.mp4.tmp"), &meta1).unwrap();
+    std::fs::write(dir.join("metadata2.mp4"), &meta1[..meta1.len() / 3]).unwrap();
+
+    let state_of = |db: &LightDb| {
+        let mut names = db.catalog().names();
+        names.sort();
+        names
+            .into_iter()
+            .map(|n| (n.clone(), db.catalog().all_versions(&n).unwrap()))
+            .collect::<Vec<_>>()
+    };
+    let db1 = LightDb::open(&root).unwrap();
+    let s1 = state_of(&db1);
+    drop(db1);
+    // Opening again must reach the exact same state (idempotence) and
+    // leave no debris behind.
+    let db2 = LightDb::open(&root).unwrap();
+    assert_eq!(state_of(&db2), s1);
+    assert_eq!(db2.catalog().all_versions("copy").unwrap(), vec![1]);
+    for e in std::fs::read_dir(&dir).unwrap() {
+        let name = e.unwrap().file_name().to_string_lossy().to_string();
+        assert!(!name.ends_with(".tmp"), "debris survived recovery: {name}");
+    }
+    assert_eq!(db2.execute(&scan("copy")).unwrap().frame_count(), 4);
     let _ = std::fs::remove_dir_all(&root);
 }
 

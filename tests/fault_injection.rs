@@ -73,11 +73,10 @@ fn store_kill_points_leave_old_version_or_new_never_partial() {
         faults::arm_n(site, Fault::Error(std::io::ErrorKind::Other), 1);
         let stored = cat.store("demo", vec![new_track()], sphere_tlfd());
         faults::reset();
-        // Steps after the metadata rename (the commit point) may fail
-        // without un-committing; every earlier step must fail the store.
-        if site != sites::CATALOG_DIR_SYNC {
-            assert!(stored.is_err(), "kill at {site} must fail the store");
-        }
+        // Every step up to and including the WAL fsync (the commit
+        // point) precedes the acknowledgement, so each must fail the
+        // store.
+        assert!(stored.is_err(), "kill at {site} must fail the store");
         // "Process restart": recover from disk alone.
         let cat = Catalog::open(&root).unwrap();
         let versions = cat.all_versions("demo").unwrap();
@@ -117,9 +116,9 @@ fn crash_between_media_write_and_metadata_publish_recovers() {
     {
         let cat = Catalog::open(&root).unwrap();
         cat.store("demo", vec![new_track()], sphere_tlfd()).unwrap();
-        // Fail at the metadata temp write: media for v2 is already on
-        // disk, but the version never publishes.
-        faults::arm_n(sites::CATALOG_TMP_WRITE, Fault::Enospc, 1);
+        // Fail at the WAL append: media for v2 is already on disk,
+        // but the version never commits.
+        faults::arm_n(sites::WAL_APPEND_WRITE, Fault::Enospc, 1);
         assert!(cat.store("demo", vec![new_track()], sphere_tlfd()).is_err());
         faults::reset();
         // The orphan media file exists but no metadata references it.

@@ -1,0 +1,210 @@
+//! WAL framing and recovery: property-tested encode/decode
+//! round-trips, torn-tail healing at *every* byte offset of the final
+//! record, reopen idempotence, and the torn-tail / mid-log-corruption
+//! distinction.
+
+use lightdb_storage::wal::{decode_record, encode_record, RecordParse, Wal, WalOp, WalOptions};
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("lightdb-walrec-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+fn opts() -> WalOptions {
+    WalOptions::default()
+}
+
+/// The file name `Wal` gives its first segment (start sequence 1).
+const FIRST_SEGMENT: &str = "wal-00000000000000000001.log";
+
+const NAMES: [&str; 3] = ["alpha", "beta", "long-ish-tlf-name"];
+
+fn op_from(pick: usize, version: u64, meta: Vec<u8>) -> WalOp {
+    if pick % 4 == 3 {
+        WalOp::Drop { name: NAMES[pick % NAMES.len()].to_string() }
+    } else {
+        WalOp::Publish { name: NAMES[pick % NAMES.len()].to_string(), version, meta }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode → decode is the identity, and every strict byte prefix
+    /// of a record parses as `Incomplete` (a torn tail), never as a
+    /// different valid record.
+    #[test]
+    fn record_round_trip_and_prefix_safety(
+        seq in any::<u64>(),
+        pick in 0usize..8,
+        version in any::<u64>(),
+        meta in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let op = op_from(pick, version, meta);
+        let frame = encode_record(seq, &op);
+        match decode_record(&frame) {
+            RecordParse::Complete { seq: s, op: o, frame_len } => {
+                prop_assert_eq!(s, seq);
+                prop_assert_eq!(o, op);
+                prop_assert_eq!(frame_len, frame.len());
+            }
+            other => prop_assert!(false, "round trip failed: {:?}", other),
+        }
+        for cut in 0..frame.len() {
+            prop_assert!(
+                matches!(decode_record(&frame[..cut]), RecordParse::Incomplete),
+                "prefix of len {} must parse Incomplete", cut
+            );
+        }
+    }
+
+    /// A single flipped byte anywhere in a record is rejected — the
+    /// CRC covers sequence number and payload alike. (Flips inside
+    /// the magic or the length prefix may instead parse as Incomplete;
+    /// they must never yield a *different* complete record.)
+    #[test]
+    fn flipped_byte_never_decodes_complete(
+        seq in any::<u64>(),
+        version in any::<u64>(),
+        meta in proptest::collection::vec(any::<u8>(), 1..100),
+        at_raw in any::<u64>(),
+        bit in 0u32..8,
+    ) {
+        let op = WalOp::Publish { name: "alpha".into(), version, meta };
+        let mut frame = encode_record(seq, &op);
+        let at = (at_raw as usize) % frame.len();
+        frame[at] ^= 1 << bit;
+        if let RecordParse::Complete { seq: s, op: o, .. } = decode_record(&frame) {
+            prop_assert!(
+                s == seq && o == op,
+                "corrupted frame decoded to a different record"
+            );
+            // Only possible if the flip landed in ignored padding —
+            // there is none, so reaching here at all is a failure.
+            prop_assert!(false, "flipped byte at {} went undetected", at);
+        }
+    }
+}
+
+/// Truncating the log inside its final record — at every single byte
+/// offset — must heal to the longest committed prefix, and a second
+/// open of the healed log must replay identically.
+#[test]
+fn torn_tail_heals_at_every_byte_offset() {
+    // Build a reference log of three records through the real API.
+    let reference = temp_dir("torn-ref");
+    {
+        let (wal, replay) = Wal::open(&reference, opts()).unwrap();
+        assert!(replay.is_empty());
+        for v in 1..=3u64 {
+            wal.commit(&WalOp::Publish {
+                name: "alpha".into(),
+                version: v,
+                meta: vec![v as u8; 40 + v as usize],
+            })
+            .unwrap();
+        }
+    }
+    let full = fs::read(reference.join(FIRST_SEGMENT)).unwrap();
+    // Locate the start of the third record by re-encoding the first two.
+    let rec3_start: usize = [1u64, 2]
+        .iter()
+        .map(|&v| {
+            encode_record(v, &WalOp::Publish {
+                name: "alpha".into(),
+                version: v,
+                meta: vec![v as u8; 40 + v as usize],
+            })
+            .len()
+        })
+        .sum();
+    assert!(rec3_start < full.len(), "log must hold three records");
+
+    for cut in rec3_start..=full.len() {
+        let root = temp_dir("torn-cut");
+        fs::create_dir_all(&root).unwrap();
+        fs::write(root.join(FIRST_SEGMENT), &full[..cut]).unwrap();
+        let expect = if cut == full.len() { 3 } else { 2 };
+        let (wal, replay) = Wal::open(&root, opts())
+            .unwrap_or_else(|e| panic!("cut at {cut}: torn tail must heal, got {e}"));
+        assert_eq!(replay.len(), expect, "cut at {cut}");
+        assert_eq!(wal.written_seq(), expect as u64, "cut at {cut}");
+        drop(wal);
+        // Idempotence: the healed log replays identically on reopen.
+        let (wal, again) = Wal::open(&root, opts()).unwrap();
+        assert_eq!(again.len(), expect, "cut at {cut}: reopen diverged");
+        // And the sequence chain continues where the heal left off.
+        let seq = wal.commit(&WalOp::Drop { name: "alpha".into() }).unwrap();
+        assert_eq!(seq, expect as u64 + 1, "cut at {cut}");
+        let _ = fs::remove_dir_all(&root);
+    }
+    let _ = fs::remove_dir_all(&reference);
+}
+
+/// Damage *before* the last record is not a torn tail: a later intact
+/// record proves the log was once longer, so recovery must refuse
+/// (classified `Corrupt`) rather than silently drop committed data.
+#[test]
+fn mid_log_corruption_is_refused_not_healed() {
+    let root = temp_dir("midlog");
+    {
+        let (wal, _) = Wal::open(&root, opts()).unwrap();
+        for v in 1..=3u64 {
+            wal.commit(&WalOp::Publish { name: "beta".into(), version: v, meta: vec![7; 64] })
+                .unwrap();
+        }
+    }
+    let seg = root.join(FIRST_SEGMENT);
+    let mut bytes = fs::read(&seg).unwrap();
+    // Flip one payload byte of the first record.
+    bytes[24] ^= 0x40;
+    fs::write(&seg, &bytes).unwrap();
+    match Wal::open(&root, opts()) {
+        Err(e) => {
+            assert_eq!(e.classify(), lightdb_core::ErrorClass::Corrupt, "{e}");
+        }
+        Ok(_) => panic!("mid-log corruption must not be healed away"),
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// Group commit under contention: concurrent committers all get
+/// acknowledged, sequence numbers are dense, and a reopen replays
+/// every acknowledged record.
+#[test]
+fn concurrent_commits_are_all_recovered() {
+    let root = temp_dir("group");
+    {
+        let (wal, _) = Wal::open(
+            &root,
+            WalOptions { group_window: std::time::Duration::from_millis(1), ..opts() },
+        )
+        .unwrap();
+        let wal = std::sync::Arc::new(wal);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let w = std::sync::Arc::clone(&wal);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..8u64 {
+                    w.commit(&WalOp::Publish {
+                        name: "gamma".into(),
+                        version: t * 100 + i,
+                        meta: vec![t as u8; 16],
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(wal.written_seq(), 32);
+    }
+    let (_, replay) = Wal::open(&root, opts()).unwrap();
+    assert_eq!(replay.len(), 32, "every acknowledged commit must replay");
+    let _ = fs::remove_dir_all(&root);
+}
