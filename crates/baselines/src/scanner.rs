@@ -19,10 +19,7 @@ use lightdb_frame::Frame;
 pub const DEFAULT_BUDGET: usize = 1 << 30;
 
 fn budget() -> usize {
-    std::env::var("LIGHTDB_SCANNER_BUDGET")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(DEFAULT_BUDGET)
+    lightdb_core::envknob::read_usize("LIGHTDB_SCANNER_BUDGET").unwrap_or(DEFAULT_BUDGET)
 }
 
 /// A Scanner pipeline over one ingested video.

@@ -78,9 +78,7 @@ pub fn run(db: &mut LightDb, threads: usize) -> Measurement {
 
 /// Regenerates the serial-vs-parallel scaling table.
 pub fn print() {
-    let threads = std::env::var("LIGHTDB_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
+    let threads = lightdb_core::envknob::read_usize("LIGHTDB_THREADS")
         .filter(|&n| n > 1)
         .unwrap_or(8);
     // Decode-heavy: many GOPs, modest frames — DECODE+MAP+ENCODE all

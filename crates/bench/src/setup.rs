@@ -8,7 +8,7 @@ use std::path::PathBuf;
 
 /// Duration of the benchmark datasets in seconds.
 pub fn bench_seconds() -> usize {
-    std::env::var("LIGHTDB_BENCH_SECONDS").ok().and_then(|v| v.parse().ok()).unwrap_or(6)
+    lightdb_core::envknob::read_usize("LIGHTDB_BENCH_SECONDS").unwrap_or(6)
 }
 
 /// The shared benchmark dataset spec.

@@ -35,6 +35,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod algebra;
+pub mod envknob;
 pub mod fault_class;
 pub mod model;
 pub mod quality;

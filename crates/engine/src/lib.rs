@@ -29,20 +29,25 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
+use crate::session::{EngineShared, PlanCache, SessionConfig, PLAN_CACHE_CAPACITY};
 use lightdb_core::algebra::{LogicalOp, LogicalPlan};
 use lightdb_core::subgraph::{self, UdfRegistry};
 use lightdb_core::udf::{InterpUdf, MapUdf};
 use lightdb_core::vrql::VrqlExpr;
-use lightdb_exec::{Executor, Metrics, Parallelism, QueryCtx, QueryOutput, ReadPolicy};
+use lightdb_exec::sharedscan::SharedDecode;
+use lightdb_exec::{Metrics, Parallelism, QueryCtx, QueryOutput, ReadPolicy};
 use lightdb_optimizer::{Planner, PlannerOptions};
 use lightdb_storage::{AdmitPolicy, BufferPool, Catalog, Snapshot};
 use std::path::Path;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 pub mod ingest;
+pub mod session;
 
 /// Everything a LightDB application typically needs.
 pub mod prelude {
+    pub use crate::session::{Prepared, Session, SessionBudget, SessionConfig};
     pub use crate::{ingest::IngestConfig, Error, LightDb};
     pub use lightdb_codec::{CodecKind, TileGrid};
     pub use lightdb_core::udf::{BuiltinInterp, BuiltinMap, InterpUdf, MapUdf, PointMapUdf};
@@ -117,15 +122,29 @@ pub type Result<T> = std::result::Result<T, Error>;
 /// Default buffer-pool capacity: 64 MiB of encoded GOPs.
 pub const DEFAULT_POOL_BYTES: usize = 64 << 20;
 
+/// Default shared-decode cache budget: 32 MiB of decoded frames.
+/// Override with `LIGHTDB_SHARED_DECODE_MB` (`0` disables the cache).
+pub const DEFAULT_SHARED_DECODE_BYTES: usize = lightdb_exec::sharedscan::DEFAULT_BUDGET_BYTES;
+
 /// A LightDB database handle.
+///
+/// A `LightDb` doubles as a **server front-end**: call
+/// [`LightDb::session`] to mint independent [`Session`](session::Session)
+/// handles, one per client. Sessions share the catalog, buffer pool,
+/// plan cache, and shared-decode cache, but each carries its own
+/// planner options, read policy, parallelism, admission policy, UDF
+/// registry, and metrics.
+///
+/// The `&mut self` setters on `LightDb` itself are retained as shims
+/// over the handle's *default* session configuration: they affect
+/// `execute` calls on this handle and the starting configuration of
+/// sessions created *afterwards*, never sessions already minted.
 #[derive(Debug)]
 pub struct LightDb {
-    catalog: Arc<Catalog>,
-    pool: Arc<BufferPool>,
-    options: PlannerOptions,
-    read_policy: ReadPolicy,
-    parallelism: Parallelism,
-    admit_policy: AdmitPolicy,
+    shared: Arc<EngineShared>,
+    /// Defaults copied into each new session (and used by the
+    /// single-user `execute` path).
+    defaults: SessionConfig,
     metrics: Metrics,
     udfs: UdfRegistry,
 }
@@ -145,26 +164,50 @@ impl LightDb {
     /// Opens with explicit optimiser options (used by the ablation
     /// benchmarks).
     pub fn with_options(path: impl AsRef<Path>, options: PlannerOptions) -> Result<LightDb> {
+        // `LIGHTDB_SHARED_DECODE_MB` sizes the engine-wide decoded-GOP
+        // cache; 0 disables shared scans entirely.
+        let shared_decode = match lightdb_core::envknob::read_u64("LIGHTDB_SHARED_DECODE_MB") {
+            Some(0) => None,
+            Some(mb) => Some(Arc::new(SharedDecode::new(lightdb_core::envknob::clamp_to_usize(
+                mb.saturating_mul(1 << 20),
+            )))),
+            None => Some(Arc::new(SharedDecode::new(DEFAULT_SHARED_DECODE_BYTES))),
+        };
         Ok(LightDb {
-            catalog: Arc::new(Catalog::open(path.as_ref().to_path_buf())?),
-            pool: Arc::new(BufferPool::new(DEFAULT_POOL_BYTES)),
-            options,
-            read_policy: ReadPolicy::default(),
-            parallelism: Parallelism::from_env(),
-            admit_policy: AdmitPolicy::Block { timeout: DEFAULT_ADMIT_TIMEOUT },
+            shared: Arc::new(EngineShared {
+                catalog: Arc::new(Catalog::open(path.as_ref().to_path_buf())?),
+                pool: Arc::new(BufferPool::new(DEFAULT_POOL_BYTES)),
+                plan_cache: PlanCache::new(PLAN_CACHE_CAPACITY),
+                shared_decode,
+                next_session: AtomicU64::new(1),
+            }),
+            defaults: SessionConfig { options, ..SessionConfig::default() },
             metrics: Metrics::new(),
             udfs: UdfRegistry::new(),
         })
     }
 
+    /// Mints a new independent [`Session`](session::Session) seeded
+    /// with this handle's current defaults and UDF registry. Sessions
+    /// share storage, the plan cache, and the shared-decode cache;
+    /// everything else is per-session.
+    pub fn session(&self) -> session::Session {
+        session::Session::new(self.shared.clone(), self.defaults, self.udfs.clone())
+    }
+
     /// The catalog (for inspection and direct ingest).
     pub fn catalog(&self) -> &Arc<Catalog> {
-        &self.catalog
+        &self.shared.catalog
     }
 
     /// The buffer pool (for cache statistics).
     pub fn pool(&self) -> &Arc<BufferPool> {
-        &self.pool
+        &self.shared.pool
+    }
+
+    /// Number of entries currently in the engine-wide plan cache.
+    pub fn plan_cache_len(&self) -> usize {
+        self.shared.plan_cache.len()
     }
 
     /// Forces a catalog checkpoint: every WAL-committed metadata
@@ -172,71 +215,81 @@ impl LightDb {
     /// Checkpoints also happen automatically as the log grows; call
     /// this to bound recovery work before a planned shutdown.
     pub fn checkpoint(&self) -> Result<()> {
-        Ok(self.catalog.checkpoint()?)
+        Ok(self.shared.catalog.checkpoint()?)
     }
 
-    /// Current optimiser options.
+    /// Current default optimiser options.
     pub fn options(&self) -> PlannerOptions {
-        self.options
+        self.defaults.options
     }
 
-    /// Replaces the optimiser options.
+    /// Replaces the default optimiser options. Shim over the default
+    /// [`SessionConfig`]: prefer [`Session::set_options`](session::Session::set_options)
+    /// on a per-client session; this affects only `execute` calls on
+    /// this handle and sessions created afterwards.
     pub fn set_options(&mut self, options: PlannerOptions) {
-        self.options = options;
+        self.defaults.options = options;
     }
 
-    /// Current read policy for scans over corrupt data.
+    /// Current default read policy for scans over corrupt data.
     pub fn read_policy(&self) -> ReadPolicy {
-        self.read_policy
+        self.defaults.read_policy
     }
 
     /// Sets what scans do when a stored GOP fails checksum
     /// verification or cannot be parsed: fail the query (default) or
     /// skip a bounded number of damaged GOPs, counting skips in
     /// `metrics().counter(lightdb_exec::metrics::counters::SKIPPED_GOPS)`.
+    /// Shim over the default [`SessionConfig`]; see
+    /// [`LightDb::set_options`] for the scoping rules.
     pub fn set_read_policy(&mut self, policy: ReadPolicy) {
-        self.read_policy = policy;
+        self.defaults.read_policy = policy;
     }
 
-    /// Current worker-thread budget for chunk-parallel operators.
+    /// Current default worker-thread budget for chunk-parallel
+    /// operators.
     pub fn parallelism(&self) -> Parallelism {
-        self.parallelism
+        self.defaults.parallelism
     }
 
     /// Sets the worker-thread budget for chunk-parallel operators
     /// (DECODE/ENCODE/MAP and STORE's auto-encode).
     /// [`Parallelism::SERIAL`] forces single-threaded execution; the
     /// default honours the `LIGHTDB_THREADS` environment variable.
-    /// Query output is byte-identical at any setting.
+    /// Query output is byte-identical at any setting. Shim over the
+    /// default [`SessionConfig`]; see [`LightDb::set_options`] for the
+    /// scoping rules.
     pub fn set_parallelism(&mut self, parallelism: Parallelism) {
-        self.parallelism = parallelism;
+        self.defaults.parallelism = parallelism;
     }
 
-    /// Current buffer-pool admission policy for queries that declare
-    /// a working set.
+    /// Current default buffer-pool admission policy for queries that
+    /// declare a working set.
     pub fn admit_policy(&self) -> AdmitPolicy {
-        self.admit_policy
+        self.defaults.admit_policy
     }
 
     /// Sets what happens when a query's declared working set exceeds
     /// free admission capacity: [`AdmitPolicy::Block`] waits with
     /// backpressure up to a timeout (default), [`AdmitPolicy::FailFast`]
-    /// fails immediately with a classified `Overloaded` error.
+    /// fails immediately with a classified `Overloaded` error. Shim
+    /// over the default [`SessionConfig`]; see [`LightDb::set_options`]
+    /// for the scoping rules.
     pub fn set_admit_policy(&mut self, policy: AdmitPolicy) {
-        self.admit_policy = policy;
+        self.defaults.admit_policy = policy;
     }
 
     /// Caps the total bytes of concurrently *admitted* working sets
     /// (independent of resident cache bytes). Queries beyond the cap
     /// block or fail per [`LightDb::set_admit_policy`].
     pub fn set_admission_limit(&self, bytes: usize) {
-        self.pool.set_admission_limit(bytes);
+        self.shared.pool.set_admission_limit(bytes);
     }
 
     /// Caps the resident pool bytes any single admitted query may
     /// hold; a query over its cap evicts its own pages first.
     pub fn set_query_cap(&self, bytes: usize) {
-        self.pool.set_query_cap(bytes);
+        self.shared.pool.set_query_cap(bytes);
     }
 
     /// Cumulative per-operator execution metrics.
@@ -278,84 +331,57 @@ impl LightDb {
     /// buffer-pool admission before execution starts. Cancel from
     /// another thread via [`QueryCtx::cancel_token`].
     pub fn execute_with_ctx(&self, query: &VrqlExpr, ctx: QueryCtx) -> Result<QueryOutput> {
-        // Pin a snapshot and resolve unversioned scans against it,
-        // splicing stored view subgraphs in as we go.
-        let snapshot = Snapshot::begin(&self.catalog);
-        let pinned = self.resolve_scans(query.plan().clone(), &snapshot)?;
-        if let LogicalOp::Store { name } = &pinned.op {
-            snapshot.note_write(name)?;
-        }
-        // Peel a continuous suffix off STOREs (opt-in policy).
-        let (pinned, view_subgraph) = if self.options.defer_continuous {
-            peel_view_subgraph(pinned)
-        } else {
-            (pinned, None)
-        };
-        let planner = Planner::new(self.catalog.clone(), self.options);
-        let mut physical = planner.plan(&pinned)?;
-        if let Some(bytes) = &view_subgraph {
-            if let lightdb_exec::PhysicalPlan::Store { view_subgraph: vs, .. } = &mut physical {
-                *vs = Some(bytes.clone());
-            }
-        }
-        let mut executor = Executor::new(self.catalog.clone(), self.pool.clone());
-        executor.metrics = self.metrics.clone();
-        executor.spatial_index = self.options.use_indexes;
-        executor.read_policy = self.read_policy;
-        executor.parallelism = self.parallelism;
-        executor.admit_policy = self.admit_policy;
-        executor.ctx = ctx;
-        let out = executor.run(&physical)?;
-        if let QueryOutput::Stored { name, version } = &out {
-            snapshot.expose(name, *version);
-        }
-        Ok(out)
-    }
-
-    /// Resolves unversioned scans to the snapshot's pinned versions
-    /// and splices in stored view subgraphs.
-    fn resolve_scans(&self, plan: LogicalPlan, snapshot: &Snapshot<'_>) -> Result<LogicalPlan> {
-        let LogicalPlan { op, inputs } = plan;
-        let op = match op {
-            LogicalOp::Scan { name, version }
-                if name != lightdb_optimizer::lower::SUBQUERY_INPUT =>
-            {
-                let version = match version {
-                    Some(v) => Some(v),
-                    None => snapshot.pinned_version(&name),
-                };
-                // A continuous TLF carries the operators still to be
-                // applied over its materialised prefix.
-                if let Some(v) = version {
-                    if let Ok(stored) = self.catalog.read(&name, Some(v)) {
-                        if let Some(bytes) = &stored.metadata.tlf.view_subgraph {
-                            let view = subgraph::deserialize(bytes, &self.udfs)
-                                .map_err(lightdb_optimizer::PlanError::Core)?;
-                            let scan = LogicalPlan::leaf(LogicalOp::Scan {
-                                name: name.clone(),
-                                version: Some(v),
-                            });
-                            return Ok(splice_materialized(view, &scan));
-                        }
-                    }
-                }
-                LogicalOp::Scan { name, version }
-            }
-            other => other,
-        };
-        let inputs = inputs
-            .into_iter()
-            .map(|p| self.resolve_scans(p, snapshot))
-            .collect::<Result<Vec<_>>>()?;
-        Ok(LogicalPlan { op, inputs })
+        session::execute_on(&self.shared, &self.defaults, &self.udfs, &self.metrics, None, query, ctx)
     }
 
     /// Returns the optimised physical plan for a query, as text —
     /// LightDB's `EXPLAIN`.
     pub fn explain(&self, query: &VrqlExpr) -> Result<String> {
-        let planner = Planner::new(self.catalog.clone(), self.options);
+        let planner = Planner::new(self.shared.catalog.clone(), self.defaults.options);
         Ok(planner.plan(query.plan())?.to_string())
     }
+}
+
+/// Resolves unversioned scans to the snapshot's pinned versions and
+/// splices in stored view subgraphs. Shared by every session (and the
+/// legacy single-user path) via [`session::execute_on`].
+pub(crate) fn resolve_scans_in(
+    catalog: &Catalog,
+    udfs: &UdfRegistry,
+    plan: LogicalPlan,
+    snapshot: &Snapshot<'_>,
+) -> Result<LogicalPlan> {
+    let LogicalPlan { op, inputs } = plan;
+    let op = match op {
+        LogicalOp::Scan { name, version } if name != lightdb_optimizer::lower::SUBQUERY_INPUT => {
+            let version = match version {
+                Some(v) => Some(v),
+                None => snapshot.pinned_version(&name),
+            };
+            // A continuous TLF carries the operators still to be
+            // applied over its materialised prefix.
+            if let Some(v) = version {
+                if let Ok(stored) = catalog.read(&name, Some(v)) {
+                    if let Some(bytes) = &stored.metadata.tlf.view_subgraph {
+                        let view = subgraph::deserialize(bytes, udfs)
+                            .map_err(lightdb_optimizer::PlanError::Core)?;
+                        let scan = LogicalPlan::leaf(LogicalOp::Scan {
+                            name: name.clone(),
+                            version: Some(v),
+                        });
+                        return Ok(splice_materialized(view, &scan));
+                    }
+                }
+            }
+            LogicalOp::Scan { name, version }
+        }
+        other => other,
+    };
+    let inputs = inputs
+        .into_iter()
+        .map(|p| resolve_scans_in(catalog, udfs, p, snapshot))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(LogicalPlan { op, inputs })
 }
 
 /// Replaces `SCAN($materialized)` leaves of a view subgraph with the

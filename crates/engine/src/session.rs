@@ -1,0 +1,468 @@
+//! Sessions, prepared statements, and the plan cache — the engine's
+//! multi-session server front-end.
+//!
+//! A [`LightDb`](crate::LightDb) used to be a single-user handle:
+//! planner options, read policy, parallelism, and UDFs were `&mut
+//! self` setters on the handle, i.e. process-global mutable state. A
+//! long-running service wants N concurrent clients with *divergent*
+//! settings over one catalog and one buffer pool. A [`Session`] is
+//! exactly that: a cheap handle holding its **own** copies of every
+//! per-client knob ([`SessionConfig`]), its own UDF registry, its own
+//! [`Metrics`], and a per-session statement budget
+//! ([`SessionBudget`]) — while sharing the engine-wide state
+//! ([`EngineShared`]: catalog, pool, plan cache, shared-decode
+//! cache) through an `Arc`.
+//!
+//! Three properties the tests pin down:
+//!
+//! * **Isolation.** Two sessions with different `ReadPolicy` /
+//!   `Parallelism` / options run concurrently without affecting each
+//!   other; outputs are byte-identical to serial runs.
+//! * **Plan caching.** Statement shapes that are cacheable (see
+//!   [`lightdb_optimizer::fingerprint`]) skip re-planning on repeat
+//!   execution, across *all* sessions — hit/miss/eviction counts
+//!   surface on each session's `Metrics` as `plan_cache.*` counters.
+//! * **Shared scans.** Concurrent queries over the same TLF/GOP range
+//!   decode each GOP once through the engine-wide
+//!   [`SharedDecode`](lightdb_exec::sharedscan::SharedDecode) cache
+//!   (`shared_scan.*` counters).
+
+use crate::{Error, Result};
+use lightdb_core::algebra::LogicalOp;
+use lightdb_core::subgraph::UdfRegistry;
+use lightdb_core::udf::{InterpUdf, MapUdf};
+use lightdb_core::vrql::VrqlExpr;
+use lightdb_exec::metrics::counters;
+use lightdb_exec::sharedscan::SharedDecode;
+use lightdb_exec::{
+    Executor, Metrics, Parallelism, PhysicalPlan, QueryCtx, QueryOutput, ReadPolicy,
+};
+use lightdb_optimizer::{fingerprint::fingerprint, Planner, PlannerOptions};
+use lightdb_storage::{AdmitPolicy, BufferPool, Catalog, Snapshot};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Bound on cached plans. Entries are small (a physical-plan tree),
+/// so the bound exists to keep pathological workloads (generated
+/// one-off query shapes) from growing the map without end.
+pub const PLAN_CACHE_CAPACITY: usize = 64;
+
+/// Per-client execution settings: everything that used to be a
+/// process-global `&mut self` setter on `LightDb`. Plain data —
+/// copying it into a session is what makes sessions independent.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// Optimiser switches (device placement, rewrites, codecs).
+    pub options: PlannerOptions,
+    /// What scans do when stored GOPs turn out corrupt.
+    pub read_policy: ReadPolicy,
+    /// Worker-thread budget for chunk-parallel operators.
+    pub parallelism: Parallelism,
+    /// What queries with a declared working set do when the pool's
+    /// admission limit is exhausted.
+    pub admit_policy: AdmitPolicy,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            options: PlannerOptions::default(),
+            read_policy: ReadPolicy::default(),
+            parallelism: Parallelism::from_env(),
+            admit_policy: AdmitPolicy::Block { timeout: crate::DEFAULT_ADMIT_TIMEOUT },
+        }
+    }
+}
+
+/// Default resource budget a session applies to each statement that
+/// does not bring its own [`QueryCtx`] limits. Environment knobs
+/// (`LIGHTDB_DEADLINE_MS`, `LIGHTDB_MEM_CAP`) take precedence; the
+/// session budget fills in whatever they leave unset.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionBudget {
+    /// Per-statement deadline.
+    pub deadline: Option<Duration>,
+    /// Declared working set for buffer-pool admission.
+    pub mem_estimate: Option<usize>,
+}
+
+struct CachedPlan {
+    plan: Arc<PhysicalPlan>,
+    /// Monotonic stamp for LRU ordering.
+    stamp: u64,
+}
+
+struct PlanCacheInner {
+    map: HashMap<String, CachedPlan>,
+    clock: u64,
+    capacity: usize,
+}
+
+/// Engine-wide cache of physical plans keyed by
+/// [`fingerprint`](lightdb_optimizer::fingerprint::fingerprint)
+/// strings. Shared by every session: the key embeds the planner
+/// options and every pinned scan version, so sessions with divergent
+/// options simply occupy different entries, and a `STORE` bumping a
+/// version orphans old entries instead of serving stale plans.
+pub(crate) struct PlanCache {
+    inner: Mutex<PlanCacheInner>,
+}
+
+impl PlanCache {
+    pub(crate) fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            inner: Mutex::new(PlanCacheInner {
+                map: HashMap::new(),
+                clock: 0,
+                capacity: capacity.max(1),
+            }),
+        }
+    }
+
+    fn get(&self, key: &str) -> Option<Arc<PhysicalPlan>> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.map.get_mut(key).map(|e| {
+            e.stamp = clock;
+            e.plan.clone()
+        })
+    }
+
+    /// Inserts (or replaces) an entry and returns how many entries
+    /// were evicted to respect the capacity bound.
+    fn insert(&self, key: String, plan: Arc<PhysicalPlan>) -> u64 {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.map.insert(key.clone(), CachedPlan { plan, stamp: clock });
+        let mut evicted = 0;
+        while inner.map.len() > inner.capacity {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            inner.map.remove(&victim);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Number of cached plans (for tests / introspection).
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).map.len()
+    }
+}
+
+/// State shared by every session of one engine: the durable catalog,
+/// the buffer pool, the plan cache, the shared decoded-GOP cache,
+/// and the session-id allocator.
+pub(crate) struct EngineShared {
+    pub(crate) catalog: Arc<Catalog>,
+    pub(crate) pool: Arc<BufferPool>,
+    pub(crate) plan_cache: PlanCache,
+    /// `None` when shared scans are disabled
+    /// (`LIGHTDB_SHARED_DECODE_MB=0`).
+    pub(crate) shared_decode: Option<Arc<SharedDecode>>,
+    pub(crate) next_session: AtomicU64,
+}
+
+impl std::fmt::Debug for EngineShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineShared").finish_non_exhaustive()
+    }
+}
+
+/// One client's connection to the engine.
+///
+/// Created with [`LightDb::session`](crate::LightDb::session); cheap
+/// (an `Arc` plus plain-data copies) and independent: every knob
+/// mutated through a session affects that session alone. Sessions
+/// are `Send`, so a server can hand each client thread its own.
+#[derive(Debug)]
+pub struct Session {
+    shared: Arc<EngineShared>,
+    id: u64,
+    config: SessionConfig,
+    budget: SessionBudget,
+    udfs: UdfRegistry,
+    metrics: Metrics,
+}
+
+impl Session {
+    pub(crate) fn new(
+        shared: Arc<EngineShared>,
+        config: SessionConfig,
+        udfs: UdfRegistry,
+    ) -> Session {
+        let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+        Session {
+            shared,
+            id,
+            config,
+            budget: SessionBudget::default(),
+            udfs,
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// This session's unique id (tags its buffer-pool admissions; see
+    /// [`BufferPool::session_admitted`]).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Current per-session settings.
+    pub fn config(&self) -> SessionConfig {
+        self.config
+    }
+
+    /// Current optimiser options.
+    pub fn options(&self) -> PlannerOptions {
+        self.config.options
+    }
+
+    /// Replaces this session's optimiser options.
+    pub fn set_options(&mut self, options: PlannerOptions) {
+        self.config.options = options;
+    }
+
+    /// Sets this session's read policy for scans over corrupt data.
+    pub fn set_read_policy(&mut self, policy: ReadPolicy) {
+        self.config.read_policy = policy;
+    }
+
+    /// Sets this session's worker-thread budget. Output is
+    /// byte-identical at any setting.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.config.parallelism = parallelism;
+    }
+
+    /// Sets this session's admission policy.
+    pub fn set_admit_policy(&mut self, policy: AdmitPolicy) {
+        self.config.admit_policy = policy;
+    }
+
+    /// Sets the default per-statement budget (deadline / declared
+    /// working set). Environment knobs still take precedence.
+    pub fn set_budget(&mut self, budget: SessionBudget) {
+        self.budget = budget;
+    }
+
+    /// Registers a custom `MAP` UDF in this session's registry only.
+    pub fn register_map_udf(&mut self, udf: Arc<dyn MapUdf>) {
+        self.udfs.register_map(udf);
+    }
+
+    /// Registers a custom `INTERPOLATE` UDF in this session's
+    /// registry only.
+    pub fn register_interp_udf(&mut self, udf: Arc<dyn InterpUdf>) {
+        self.udfs.register_interp(udf);
+    }
+
+    /// This session's cumulative metrics (decode/encode spans, plan
+    /// cache and shared-scan counters).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Outstanding admission bytes currently held by this session.
+    pub fn admitted_bytes(&self) -> usize {
+        self.shared.pool.session_admitted(self.id)
+    }
+
+    /// Parses and validates `query` once, returning a handle whose
+    /// repeat executions skip re-validation — and, for cacheable
+    /// shapes, re-planning (via the engine-wide plan cache).
+    pub fn prepare(&self, query: &VrqlExpr) -> Result<Prepared> {
+        let plan = query.plan();
+        plan.validate().map_err(lightdb_optimizer::PlanError::Core).map_err(Error::Plan)?;
+        Ok(Prepared { expr: query.clone() })
+    }
+
+    /// Executes a prepared statement under this session's settings.
+    pub fn execute_prepared(&self, stmt: &Prepared) -> Result<QueryOutput> {
+        self.execute(&stmt.expr)
+    }
+
+    /// Executes a VRQL query under this session's settings with a
+    /// fresh per-statement context (environment knobs, then the
+    /// session budget).
+    pub fn execute(&self, query: &VrqlExpr) -> Result<QueryOutput> {
+        self.execute_with_ctx(query, self.statement_ctx())
+    }
+
+    /// [`execute`](Session::execute) under an explicit [`QueryCtx`].
+    pub fn execute_with_ctx(&self, query: &VrqlExpr, ctx: QueryCtx) -> Result<QueryOutput> {
+        execute_on(
+            &self.shared,
+            &self.config,
+            &self.udfs,
+            &self.metrics,
+            Some(self.id),
+            query,
+            ctx,
+        )
+    }
+
+    /// A fresh per-statement context: environment limits first, the
+    /// session budget filling whatever they leave unset.
+    fn statement_ctx(&self) -> QueryCtx {
+        let mut ctx = QueryCtx::from_env();
+        if ctx.remaining().is_none() {
+            if let Some(d) = self.budget.deadline {
+                ctx = ctx.with_deadline(d);
+            }
+        }
+        if ctx.mem_estimate().is_none() {
+            if let Some(b) = self.budget.mem_estimate {
+                ctx = ctx.with_mem_estimate(b);
+            }
+        }
+        ctx
+    }
+}
+
+/// A parsed-and-validated statement handle from [`Session::prepare`].
+/// Re-execution skips validation; the plan cache (keyed on the
+/// statement's resolved shape, not on this handle) makes repeats skip
+/// planning too, so the handle stays valid across `STORE`s — the next
+/// execution simply resolves to the new version and misses the cache
+/// once.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    expr: VrqlExpr,
+}
+
+impl Prepared {
+    /// The underlying query expression.
+    pub fn expr(&self) -> &VrqlExpr {
+        &self.expr
+    }
+}
+
+/// The engine's single execution path: every statement — from the
+/// legacy single-user `LightDb` methods or any `Session` — funnels
+/// through here with explicit per-caller configuration.
+pub(crate) fn execute_on(
+    shared: &EngineShared,
+    cfg: &SessionConfig,
+    udfs: &UdfRegistry,
+    metrics: &Metrics,
+    session: Option<u64>,
+    query: &VrqlExpr,
+    ctx: QueryCtx,
+) -> Result<QueryOutput> {
+    // Pin a snapshot and resolve unversioned scans against it,
+    // splicing stored view subgraphs in as we go.
+    let snapshot = Snapshot::begin(&shared.catalog);
+    let pinned = crate::resolve_scans_in(&shared.catalog, udfs, query.plan().clone(), &snapshot)?;
+    if let LogicalOp::Store { name } = &pinned.op {
+        snapshot.note_write(name)?;
+    }
+    // Peel a continuous suffix off STOREs (opt-in policy).
+    let (pinned, view_subgraph) = if cfg.options.defer_continuous {
+        crate::peel_view_subgraph(pinned)
+    } else {
+        (pinned, None)
+    };
+    // Plan, through the cache when the resolved shape is cacheable.
+    // The fingerprint embeds options and pinned scan versions, so a
+    // hit is exactly the plan `Planner::plan` would rebuild. Writes
+    // (the only statements carrying a view subgraph) never
+    // fingerprint, so the splice below stays on the uncached path.
+    let physical: Arc<PhysicalPlan> = match fingerprint(&pinned, &cfg.options) {
+        Some(key) if view_subgraph.is_none() => {
+            if let Some(plan) = shared.plan_cache.get(&key) {
+                metrics.bump(counters::PLAN_CACHE_HITS);
+                plan
+            } else {
+                metrics.bump(counters::PLAN_CACHE_MISSES);
+                let plan =
+                    Arc::new(Planner::new(shared.catalog.clone(), cfg.options).plan(&pinned)?);
+                let evicted = shared.plan_cache.insert(key, plan.clone());
+                metrics.add(counters::PLAN_CACHE_EVICTIONS, evicted);
+                plan
+            }
+        }
+        _ => {
+            metrics.bump(counters::PLAN_CACHE_MISSES);
+            let mut physical = Planner::new(shared.catalog.clone(), cfg.options).plan(&pinned)?;
+            if let Some(bytes) = &view_subgraph {
+                if let PhysicalPlan::Store { view_subgraph: vs, .. } = &mut physical {
+                    *vs = Some(bytes.clone());
+                }
+            }
+            Arc::new(physical)
+        }
+    };
+    let mut executor = Executor::new(shared.catalog.clone(), shared.pool.clone());
+    executor.metrics = metrics.clone();
+    executor.spatial_index = cfg.options.use_indexes;
+    executor.read_policy = cfg.read_policy;
+    executor.parallelism = cfg.parallelism;
+    executor.admit_policy = cfg.admit_policy;
+    executor.shared_decode = shared.shared_decode.clone();
+    executor.session = session;
+    executor.ctx = ctx;
+    let out = executor.run(&physical)?;
+    if let QueryOutput::Stored { name, version } = &out {
+        snapshot.expose(name, *version);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightdb_exec::PhysicalPlan;
+
+    fn plan() -> Arc<PhysicalPlan> {
+        Arc::new(PhysicalPlan::Omega { volume: lightdb_geom::Volume::everywhere() })
+    }
+
+    #[test]
+    fn plan_cache_hits_after_insert() {
+        let cache = PlanCache::new(4);
+        assert!(cache.get("a").is_none());
+        assert_eq!(cache.insert("a".into(), plan()), 0);
+        assert!(cache.get("a").is_some());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used() {
+        let cache = PlanCache::new(2);
+        cache.insert("a".into(), plan());
+        cache.insert("b".into(), plan());
+        // Touch "a" so "b" is the LRU victim.
+        assert!(cache.get("a").is_some());
+        let evicted = cache.insert("c".into(), plan());
+        assert_eq!(evicted, 1);
+        assert!(cache.get("a").is_some(), "recently used entry survives");
+        assert!(cache.get("b").is_none(), "LRU entry evicted");
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn plan_cache_replacement_is_not_an_eviction() {
+        let cache = PlanCache::new(2);
+        cache.insert("a".into(), plan());
+        assert_eq!(cache.insert("a".into(), plan()), 0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let cache = PlanCache::new(0);
+        cache.insert("a".into(), plan());
+        assert!(cache.get("a").is_some());
+        assert_eq!(cache.insert("b".into(), plan()), 1);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -29,14 +29,14 @@ impl Device {
 }
 
 /// Number of worker threads the simulated GPU uses. Overridable via
-/// `LIGHTDB_GPU_WORKERS` for experiments.
+/// `LIGHTDB_GPU_WORKERS` for experiments; malformed values warn
+/// loudly (via [`lightdb_core::envknob`]) and fall back to the core
+/// count instead of being silently ignored.
 pub fn gpu_workers() -> usize {
-    if let Ok(v) = std::env::var("LIGHTDB_GPU_WORKERS") {
-        if let Ok(n) = v.parse::<usize>() {
-            return n.max(1);
-        }
+    match lightdb_core::envknob::read_usize("LIGHTDB_GPU_WORKERS") {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)
 }
 
 /// Runs `f(index, item)` over `items` on the simulated GPU (a scoped

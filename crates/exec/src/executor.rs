@@ -88,6 +88,15 @@ pub struct Executor {
     /// working set ([`QueryCtx::with_mem_estimate`]) that does not
     /// currently fit under the pool's admission limit.
     pub admit_policy: AdmitPolicy,
+    /// Shared decoded-GOP cache (see
+    /// [`crate::sharedscan::SharedDecode`]). `None` decodes
+    /// privately, exactly as before shared scans existed; an engine
+    /// sets one instance here for every session's executor so
+    /// concurrent scans of the same TLF range decode each GOP once.
+    pub shared_decode: Option<Arc<crate::sharedscan::SharedDecode>>,
+    /// Session tag for admission accounting (server front-end);
+    /// `None` for single-shot queries.
+    pub session: Option<u64>,
     /// Admission tag for pages this query inserts into the buffer
     /// pool (set for the duration of `run` when admission is active).
     owner: Option<u64>,
@@ -104,6 +113,8 @@ impl Executor {
             parallelism: Parallelism::from_env(),
             ctx: QueryCtx::unbounded(),
             admit_policy: AdmitPolicy::Block { timeout: std::time::Duration::from_secs(10) },
+            shared_decode: None,
+            session: None,
             owner: None,
         }
     }
@@ -118,7 +129,12 @@ impl Executor {
         let _admission = match self.ctx.mem_estimate() {
             None => None,
             Some(bytes) => {
-                match self.pool.admit(bytes, self.admit_policy, &|| self.ctx.should_abort()) {
+                match self.pool.admit_for_session(
+                    bytes,
+                    self.admit_policy,
+                    &|| self.ctx.should_abort(),
+                    self.session,
+                ) {
                     Ok(a) => Some(a),
                     Err(e) => {
                         self.ctx.check()?;
@@ -192,12 +208,13 @@ impl Executor {
                 })?;
                 Box::new(std::iter::once(Ok(c.clone())))
             }
-            PhysicalPlan::ToFrames { input, device } => frameops::decode_chunks_par(
+            PhysicalPlan::ToFrames { input, device } => frameops::decode_chunks_par_shared(
                 self.build(input, sub)?,
                 *device,
                 m,
                 self.parallelism,
                 self.ctx.clone(),
+                self.shared_decode.clone(),
             ),
             PhysicalPlan::FromFrames { input, device, codec, qp } => {
                 frameops::encode_chunks_par(

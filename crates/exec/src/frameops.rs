@@ -58,11 +58,32 @@ pub fn decode_chunks_par(
     par: Parallelism,
     ctx: QueryCtx,
 ) -> ChunkStream {
+    decode_chunks_par_shared(input, device, metrics, par, ctx, None)
+}
+
+/// [`decode_chunks_par`] with an optional shared decoded-GOP cache
+/// (see [`crate::sharedscan::SharedDecode`]): concurrent queries
+/// decoding the same encoded bytes coalesce into one decode and
+/// trailing queries hit the cache. The `EXEC_DECODE_GOP` failpoint
+/// fires per chunk *before* any cache lookup, so fault-injection
+/// observes every would-be decode whether or not it is shared; and
+/// degraded (deadline-at-risk) decodes bypass the cache entirely —
+/// their output reflects this query's time pressure, not the bytes.
+pub fn decode_chunks_par_shared(
+    input: ChunkStream,
+    device: Device,
+    metrics: Metrics,
+    par: Parallelism,
+    ctx: QueryCtx,
+    shared: Option<std::sync::Arc<crate::sharedscan::SharedDecode>>,
+) -> ChunkStream {
     let at_risk = ctx.clone();
     par_map_chunks_ctx(input, par, ctx, move |c| {
         fail_point(sites::EXEC_DECODE_GOP)?;
         if at_risk.deadline_at_risk() {
             decode_one_degraded(c, device, &metrics)
+        } else if let Some(shared) = &shared {
+            shared.decode(c, device, &metrics, &at_risk)
         } else {
             decode_one(c, device, &metrics)
         }

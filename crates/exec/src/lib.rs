@@ -35,6 +35,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod plan;
 pub mod query_ctx;
+pub mod sharedscan;
 pub mod sources;
 
 pub use chunk::{Chunk, ChunkPayload, StreamInfo};

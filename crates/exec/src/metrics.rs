@@ -202,6 +202,22 @@ pub mod counters {
     /// switched to the prediction-only path because the query's
     /// deadline was at risk.
     pub const DEGRADED_GOPS: &str = "scan.degraded_gops";
+    /// Decoded-GOP requests served from the shared-scan cache
+    /// ([`crate::sharedscan::SharedDecode`]) without running a decode.
+    pub const SHARED_SCAN_HITS: &str = "shared_scan.hits";
+    /// Decodes actually performed through the shared-scan cache.
+    /// Under concurrent scans of one TLF range this stays at one per
+    /// distinct GOP — the exactly-once property tests assert.
+    pub const SHARED_SCAN_DECODES: &str = "shared_scan.decodes";
+    /// Decoded GOPs evicted from the shared-scan cache to stay within
+    /// its byte budget.
+    pub const SHARED_SCAN_EVICTIONS: &str = "shared_scan.evictions";
+    /// Prepared statements served from a session's plan cache.
+    pub const PLAN_CACHE_HITS: &str = "plan_cache.hits";
+    /// Statements planned from scratch (uncacheable shapes included).
+    pub const PLAN_CACHE_MISSES: &str = "plan_cache.misses";
+    /// Cached plans evicted to respect the plan-cache entry bound.
+    pub const PLAN_CACHE_EVICTIONS: &str = "plan_cache.evictions";
 }
 
 #[cfg(test)]

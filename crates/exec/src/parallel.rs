@@ -43,17 +43,16 @@ impl Parallelism {
         Parallelism::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
     }
 
-    /// `LIGHTDB_THREADS` when set and parseable, [`auto`] otherwise.
-    /// `LIGHTDB_THREADS=1` forces the serial path.
+    /// `LIGHTDB_THREADS` when set and well-formed, [`auto`] otherwise.
+    /// `LIGHTDB_THREADS=1` forces the serial path. A malformed value
+    /// warns loudly (once per process, via [`lightdb_core::envknob`])
+    /// and falls back to [`auto`] instead of being silently ignored.
     ///
     /// [`auto`]: Parallelism::auto
     pub fn from_env() -> Parallelism {
-        match std::env::var("LIGHTDB_THREADS") {
-            Ok(v) => match v.trim().parse::<usize>() {
-                Ok(n) if n >= 1 => Parallelism::new(n),
-                _ => Parallelism::auto(),
-            },
-            Err(_) => Parallelism::auto(),
+        match lightdb_core::envknob::read_usize("LIGHTDB_THREADS") {
+            Some(n) if n >= 1 => Parallelism::new(n),
+            _ => Parallelism::auto(),
         }
     }
 

@@ -73,15 +73,18 @@ impl QueryCtx {
 
     /// Reads knobs from the environment: `LIGHTDB_DEADLINE_MS` (query
     /// deadline in milliseconds) and `LIGHTDB_MEM_CAP` (declared
-    /// working-set bytes for admission). Unset or unparsable values
-    /// leave the corresponding limit off.
+    /// working-set bytes for admission). Unset values leave the
+    /// corresponding limit off; malformed values warn loudly (once per
+    /// knob per process, via [`lightdb_core::envknob`]) and read as
+    /// unset. Byte counts convert with a checked clamp, never a
+    /// truncating cast.
     pub fn from_env() -> QueryCtx {
         let mut ctx = QueryCtx::unbounded();
-        if let Some(ms) = env_u64("LIGHTDB_DEADLINE_MS") {
-            ctx = ctx.with_deadline(Duration::from_millis(ms));
+        if let Some(budget) = lightdb_core::envknob::read_duration_ms("LIGHTDB_DEADLINE_MS") {
+            ctx = ctx.with_deadline(budget);
         }
-        if let Some(bytes) = env_u64("LIGHTDB_MEM_CAP") {
-            ctx = ctx.with_mem_estimate(bytes as usize);
+        if let Some(bytes) = lightdb_core::envknob::read_usize("LIGHTDB_MEM_CAP") {
+            ctx = ctx.with_mem_estimate(bytes);
         }
         ctx
     }
@@ -155,10 +158,6 @@ impl QueryCtx {
         }
         Ok(())
     }
-}
-
-fn env_u64(name: &str) -> Option<u64> {
-    std::env::var(name).ok()?.trim().parse().ok()
 }
 
 #[cfg(test)]

@@ -472,6 +472,200 @@ pub fn scatter_invariants(
 }
 
 // ---------------------------------------------------------------------------
+// Model 3: shared-scan decode coalescing (exec::sharedscan::SharedDecode)
+// ---------------------------------------------------------------------------
+
+/// Shared state of `SharedDecode`: the decoded-frame cache plus the
+/// generic single-flight table (`storage::bufferpool::SingleFlight`),
+/// each behind its own mutex in the real code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedScanState {
+    /// key → decoded payload length (the model's frame cache).
+    cache: BTreeMap<u8, usize>,
+    /// key → flight id with a decode in progress.
+    flights: BTreeMap<u8, usize>,
+    /// flight id → completed (`Flight::finish`).
+    flights_done: Vec<bool>,
+    hits: u64,
+    decodes: u64,
+    /// When set, the Nth decode (1-based) fails — models a corrupt
+    /// GOP surfacing in the leader.
+    failing_decode: Option<u64>,
+}
+
+impl SharedScanState {
+    pub fn new() -> SharedScanState {
+        SharedScanState {
+            cache: BTreeMap::new(),
+            flights: BTreeMap::new(),
+            flights_done: Vec::new(),
+            hits: 0,
+            decodes: 0,
+            failing_decode: None,
+        }
+    }
+
+    pub fn failing_decode(mut self, nth: u64) -> SharedScanState {
+        self.failing_decode = Some(nth);
+        self
+    }
+}
+
+impl Default for SharedScanState {
+    fn default() -> SharedScanState {
+        SharedScanState::new()
+    }
+}
+
+/// Program counter of one `SharedDecode::decode(key)` call. The step
+/// granularity mirrors the real critical sections: the cache lookup
+/// and the `SingleFlight::join` are separate lock acquisitions, so a
+/// leader can publish *between* another thread's lookup and join.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SharedScanPc {
+    /// Locked cache lookup (sharedscan.rs `decode` loop head).
+    CheckCache,
+    /// Locked `SingleFlight::join`: register as leader or park.
+    Join,
+    /// Out-of-lock decode by the leader.
+    Decode { flight: usize },
+    /// Locked publish + ticket drop (flight removal and `finish`).
+    Publish { flight: usize, ok: bool },
+    /// Parked on `Flight::wait_done`; wakes on completion or abort.
+    WaitFlight { flight: usize },
+    Done,
+}
+
+/// One model query decoding GOP `key` (`len` decoded bytes). An
+/// `aborted` thread models a cancelled `QueryCtx`: its waits return
+/// immediately and it must exit with an error instead of parking
+/// forever on a foreign flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedScanThread {
+    key: u8,
+    len: usize,
+    pc: SharedScanPc,
+    aborted: bool,
+    /// What the call returned: decoded length, or error (failed own
+    /// decode / cancelled).
+    pub result: Option<Result<usize, ()>>,
+}
+
+impl SharedScanThread {
+    pub fn decode(key: u8, len: usize) -> SharedScanThread {
+        SharedScanThread { key, len, pc: SharedScanPc::CheckCache, aborted: false, result: None }
+    }
+
+    pub fn aborted(mut self) -> SharedScanThread {
+        self.aborted = true;
+        self
+    }
+}
+
+impl ModelThread<SharedScanState> for SharedScanThread {
+    fn done(&self) -> bool {
+        self.pc == SharedScanPc::Done
+    }
+
+    fn runnable(&self, shared: &SharedScanState) -> bool {
+        match &self.pc {
+            // The real wait is a timed condvar loop that polls the
+            // abort flag, so an aborted waiter is always runnable.
+            SharedScanPc::WaitFlight { flight } => {
+                self.aborted || shared.flights_done[*flight]
+            }
+            SharedScanPc::Done => false,
+            _ => true,
+        }
+    }
+
+    fn step(&mut self, s: &mut SharedScanState) {
+        match self.pc.clone() {
+            SharedScanPc::CheckCache => {
+                if let Some(&len) = s.cache.get(&self.key) {
+                    s.hits += 1;
+                    self.result = Some(Ok(len));
+                    self.pc = SharedScanPc::Done;
+                    return;
+                }
+                self.pc = SharedScanPc::Join;
+            }
+            SharedScanPc::Join => {
+                if let Some(&flight) = s.flights.get(&self.key) {
+                    self.pc = SharedScanPc::WaitFlight { flight };
+                    return;
+                }
+                let flight = s.flights_done.len();
+                s.flights_done.push(false);
+                s.flights.insert(self.key, flight);
+                self.pc = SharedScanPc::Decode { flight };
+            }
+            SharedScanPc::Decode { flight } => {
+                // Leader double-check (sharedscan.rs `Leader` arm): a
+                // prior leader may have published between our lookup
+                // and our join; serve the hit instead of re-decoding.
+                if let Some(&len) = s.cache.get(&self.key) {
+                    s.hits += 1;
+                    self.result = Some(Ok(len));
+                    s.flights.remove(&self.key);
+                    s.flights_done[flight] = true;
+                    self.pc = SharedScanPc::Done;
+                    return;
+                }
+                s.decodes += 1;
+                let ok = s.failing_decode != Some(s.decodes);
+                self.pc = SharedScanPc::Publish { flight, ok };
+            }
+            SharedScanPc::Publish { flight, ok } => {
+                if ok {
+                    s.cache.insert(self.key, self.len);
+                    self.result = Some(Ok(self.len));
+                } else {
+                    // A failed leader publishes nothing; dropping the
+                    // ticket wakes waiters so one can take over.
+                    self.result = Some(Err(()));
+                }
+                s.flights.remove(&self.key);
+                s.flights_done[flight] = true;
+                self.pc = SharedScanPc::Done;
+            }
+            SharedScanPc::WaitFlight { flight } => {
+                if self.aborted && !s.flights_done[flight] {
+                    // `FlightJoin::Aborted` → `ctx.check()` fails.
+                    self.result = Some(Err(()));
+                    self.pc = SharedScanPc::Done;
+                    return;
+                }
+                // `FlightJoin::Completed`: loop back to the lookup; on
+                // a failed leader we may become the next leader.
+                self.pc = SharedScanPc::CheckCache;
+            }
+            SharedScanPc::Done => {}
+        }
+    }
+}
+
+/// Terminal invariants for every shared-scan schedule.
+pub fn shared_scan_invariants(
+    s: &SharedScanState,
+    threads: &[SharedScanThread],
+) -> Result<(), String> {
+    if !s.flights.is_empty() {
+        return Err(format!("flight table not drained: {:?}", s.flights));
+    }
+    for (i, t) in threads.iter().enumerate() {
+        match t.result {
+            None => return Err(format!("thread {i} finished without a result")),
+            Some(Ok(len)) if len != t.len => {
+                return Err(format!("thread {i} got {len} bytes, wanted {}", t.len))
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
 // Scenarios
 // ---------------------------------------------------------------------------
 
@@ -608,6 +802,89 @@ pub fn run_all() -> Vec<Scenario> {
         let outcome =
             explore(&state, &threads, &|s, _| scatter_invariants(s, &items, &[2]));
         out.push(Scenario { name: "scatter/error-in-position", outcome });
+    }
+
+    // Shared scans: 2, then 3 concurrent queries decoding one GOP must
+    // coalesce to exactly one decode; everyone gets the frames.
+    for n in [2usize, 3] {
+        let state = SharedScanState::new();
+        let threads: Vec<SharedScanThread> =
+            (0..n).map(|_| SharedScanThread::decode(7, 4096)).collect();
+        let outcome = explore(&state, &threads, &|s, t| {
+            shared_scan_invariants(s, t)?;
+            if s.decodes != 1 {
+                return Err(format!("{} decodes; concurrent scans must coalesce", s.decodes));
+            }
+            if t.iter().any(|t| t.result != Some(Ok(4096))) {
+                return Err("a query finished without the decoded frames".into());
+            }
+            Ok(())
+        });
+        out.push(Scenario {
+            name: if n == 2 { "sharedscan/exactly-once-2" } else { "sharedscan/exactly-once-3" },
+            outcome,
+        });
+    }
+
+    // Distinct GOPs never coalesce: one decode per key.
+    {
+        let state = SharedScanState::new();
+        let threads = vec![
+            SharedScanThread::decode(1, 100),
+            SharedScanThread::decode(1, 100),
+            SharedScanThread::decode(2, 200),
+        ];
+        let outcome = explore(&state, &threads, &|s, t| {
+            shared_scan_invariants(s, t)?;
+            if s.decodes != 2 {
+                return Err(format!("{} decodes for 2 distinct GOPs", s.decodes));
+            }
+            Ok(())
+        });
+        out.push(Scenario { name: "sharedscan/distinct-gops", outcome });
+    }
+
+    // Failed leader: the first decode errors; a follower must take
+    // over, decode, and succeed — exactly one error, one success.
+    {
+        let state = SharedScanState::new().failing_decode(1);
+        let threads = vec![SharedScanThread::decode(3, 256), SharedScanThread::decode(3, 256)];
+        let outcome = explore(&state, &threads, &|s, t| {
+            shared_scan_invariants(s, t)?;
+            let errs = t.iter().filter(|t| t.result == Some(Err(()))).count();
+            let oks = t.iter().filter(|t| t.result == Some(Ok(256))).count();
+            if errs + oks != 2 || oks < 1 {
+                return Err(format!("{errs} errors / {oks} successes; want at least 1 success"));
+            }
+            if s.decodes > 2 {
+                return Err(format!("{} decodes; handover must retry at most once", s.decodes));
+            }
+            Ok(())
+        });
+        out.push(Scenario { name: "sharedscan/failed-leader-handover", outcome });
+    }
+
+    // Cancelled follower: a query whose ctx is cancelled must exit
+    // with an error instead of parking on a foreign flight, while the
+    // leader still completes normally.
+    {
+        let state = SharedScanState::new();
+        let threads =
+            vec![SharedScanThread::decode(5, 512), SharedScanThread::decode(5, 512).aborted()];
+        let outcome = explore(&state, &threads, &|s, t| {
+            shared_scan_invariants(s, t)?;
+            if t[0].result != Some(Ok(512)) {
+                return Err(format!("leader failed: {:?}", t[0].result));
+            }
+            if t[1].result.is_none() {
+                return Err("cancelled follower never returned".into());
+            }
+            if s.decodes > 1 {
+                return Err(format!("{} decodes with one real query", s.decodes));
+            }
+            Ok(())
+        });
+        out.push(Scenario { name: "sharedscan/cancelled-follower-unparks", outcome });
     }
 
     out

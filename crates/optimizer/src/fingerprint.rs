@@ -1,0 +1,174 @@
+//! Cacheable plan fingerprints.
+//!
+//! A fingerprint is a stable string identity for "the physical plan
+//! the planner would produce for this resolved logical plan under
+//! these options". The engine's plan cache keys on it: same
+//! fingerprint ⇒ the cached `PhysicalPlan` is byte-for-byte what
+//! `Planner::plan` would return, so planning can be skipped.
+//!
+//! [`fingerprint`] is deliberately conservative — it returns `None`
+//! (uncacheable) whenever identity cannot be captured by value:
+//!
+//! * **Unpinned scans.** A `SCAN` without a resolved version would
+//!   let a cached plan outlive a `STORE`; the engine fingerprints the
+//!   *snapshot-resolved* plan, where every scan carries its pinned
+//!   version, so staleness is structurally impossible.
+//! * **Custom UDFs** (map / interpolate / merge) and **subqueries**.
+//!   These embed closures; two sessions can register different
+//!   functions under one name, so a name-keyed cache entry would leak
+//!   one session's code into another.
+//! * **Writes and DDL** (`STORE`, `CREATE`, `DROP`, indexes). These
+//!   are side-effecting and cheap to plan; caching buys nothing and
+//!   invalidation would buy complexity.
+//!
+//! The view-subgraph serializer (`lightdb_core::subgraph`) is *not*
+//! reused here: it intentionally drops scan versions and covers only
+//! the operators a continuous view may contain — both disqualifying
+//! for cache identity.
+
+use crate::PlannerOptions;
+use lightdb_core::algebra::{LogicalOp, LogicalPlan, MergeFunction};
+use lightdb_core::udf::{InterpFunction, MapFunction};
+
+/// Computes the cache identity of `plan` under `options`, or `None`
+/// when the plan's identity cannot be captured by value (see the
+/// module docs for the exact rules). Distinct plans or options yield
+/// distinct strings; the engine treats the string as opaque.
+pub fn fingerprint(plan: &LogicalPlan, options: &PlannerOptions) -> Option<String> {
+    let mut out = String::with_capacity(256);
+    // Options first: every field influences lowering (device choice,
+    // rewrites, codecs), so two sessions with divergent options never
+    // share an entry. `PlannerOptions` is plain data; Debug is a
+    // stable in-process serialisation of all of it.
+    out.push_str(&format!("opts{options:?};"));
+    emit(plan, &mut out)?;
+    Some(out)
+}
+
+fn emit(plan: &LogicalPlan, out: &mut String) -> Option<()> {
+    match &plan.op {
+        LogicalOp::Scan { name, version } => {
+            // Unpinned scans are uncacheable: the entry could not be
+            // invalidated when a later STORE bumps the version.
+            let v = (*version)?;
+            out.push_str(&format!("SCAN({name:?}@{v})"));
+        }
+        LogicalOp::Decode { source, codec_hint } => {
+            out.push_str(&format!("DECODE({source:?},{codec_hint:?})"));
+        }
+        LogicalOp::Encode { codec, quality } => {
+            out.push_str(&format!("ENCODE({codec:?},{quality:?})"));
+        }
+        LogicalOp::Transcode { codec } => out.push_str(&format!("TRANSCODE({codec:?})")),
+        LogicalOp::Select { predicate } => out.push_str(&format!("SELECT({predicate:?})")),
+        LogicalOp::Discretize { steps } => out.push_str(&format!("DISCRETIZE({steps:?})")),
+        LogicalOp::Partition { spec } => out.push_str(&format!("PARTITION({spec:?})")),
+        LogicalOp::Flatten => out.push_str("FLATTEN"),
+        LogicalOp::Union { merge } => {
+            if matches!(merge, MergeFunction::Custom(_)) {
+                return None;
+            }
+            out.push_str(&format!("UNION({})", merge.name()));
+        }
+        LogicalOp::Map { f, stencil } => {
+            let MapFunction::Builtin(b) = f else { return None };
+            out.push_str(&format!("MAP({},{stencil:?})", b.name()));
+        }
+        LogicalOp::Interpolate { f, stencil } => {
+            let InterpFunction::Builtin(b) = f else { return None };
+            out.push_str(&format!("INTERP({},{stencil:?})", b.name()));
+        }
+        LogicalOp::Translate { dx, dy, dz, dt } => {
+            out.push_str(&format!("TRANSLATE({dx:?},{dy:?},{dz:?},{dt:?})"));
+        }
+        LogicalOp::Rotate { dtheta, dphi } => {
+            out.push_str(&format!("ROTATE({dtheta:?},{dphi:?})"));
+        }
+        // Closures by construction; no value identity.
+        LogicalOp::Subquery { .. } => return None,
+        // Side-effecting statements: planning is trivial and caching
+        // them would demand write-path invalidation for zero win.
+        LogicalOp::Store { .. }
+        | LogicalOp::Create { .. }
+        | LogicalOp::Drop { .. }
+        | LogicalOp::CreateIndex { .. }
+        | LogicalOp::DropIndex { .. } => return None,
+    }
+    out.push('[');
+    for (i, input) in plan.inputs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        emit(input, out)?;
+    }
+    out.push(']');
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightdb_core::algebra::VolumePredicate;
+    use lightdb_core::udf::BuiltinMap;
+    use lightdb_geom::{Dimension, Interval};
+
+    fn scan(name: &str, version: Option<u64>) -> LogicalPlan {
+        LogicalPlan::leaf(LogicalOp::Scan { name: name.into(), version })
+    }
+
+    #[test]
+    fn pinned_scan_fingerprints_and_unpinned_does_not() {
+        let opts = PlannerOptions::default();
+        assert!(fingerprint(&scan("v", Some(3)), &opts).is_some());
+        assert!(fingerprint(&scan("v", None), &opts).is_none());
+    }
+
+    #[test]
+    fn identical_plans_collide_and_different_plans_do_not() {
+        let opts = PlannerOptions::default();
+        let a = LogicalPlan::unary(
+            LogicalOp::Select {
+                predicate: VolumePredicate::any().with(Dimension::T, Interval::new(0.0, 2.0)),
+            },
+            scan("v", Some(1)),
+        );
+        let b = LogicalPlan::unary(
+            LogicalOp::Select {
+                predicate: VolumePredicate::any().with(Dimension::T, Interval::new(0.0, 3.0)),
+            },
+            scan("v", Some(1)),
+        );
+        assert_eq!(fingerprint(&a, &opts), fingerprint(&a.clone(), &opts));
+        assert_ne!(fingerprint(&a, &opts), fingerprint(&b, &opts));
+        // A version bump changes the key, so stale hits are impossible.
+        let a2 = LogicalPlan::unary(a.op.clone(), scan("v", Some(2)));
+        assert_ne!(fingerprint(&a, &opts), fingerprint(&a2, &opts));
+    }
+
+    #[test]
+    fn options_are_part_of_the_key() {
+        let plan = scan("v", Some(1));
+        let a = PlannerOptions::default();
+        let b = PlannerOptions { use_gpu: !a.use_gpu, ..a };
+        assert_ne!(fingerprint(&plan, &a), fingerprint(&plan, &b));
+    }
+
+    #[test]
+    fn custom_udfs_and_writes_are_uncacheable() {
+        let opts = PlannerOptions::default();
+        let mapped = LogicalPlan::unary(
+            LogicalOp::Map { f: MapFunction::Builtin(BuiltinMap::Blur), stencil: None },
+            scan("v", Some(1)),
+        );
+        assert!(fingerprint(&mapped, &opts).is_some());
+        let store =
+            LogicalPlan::unary(LogicalOp::Store { name: "out".into() }, scan("v", Some(1)));
+        assert!(fingerprint(&store, &opts).is_none());
+        // An uncacheable op anywhere in the tree poisons the whole key.
+        let nested = LogicalPlan::unary(
+            LogicalOp::Map { f: MapFunction::Builtin(BuiltinMap::Blur), stencil: None },
+            scan("v", None),
+        );
+        assert!(fingerprint(&nested, &opts).is_none());
+    }
+}

@@ -19,6 +19,7 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
+pub mod fingerprint;
 pub mod lower;
 pub mod rules;
 

@@ -90,6 +90,7 @@ struct Entry {
 
 /// Single-flight rendezvous for one in-progress load: waiters block on
 /// the condvar until the loading thread finishes (successfully or not).
+#[derive(Debug)]
 struct Flight {
     done: StdMutex<bool>,
     cv: Condvar,
@@ -119,6 +120,98 @@ impl Flight {
         let (done, _timed_out) =
             self.cv.wait_timeout(done, step).unwrap_or_else(|e| e.into_inner());
         *done
+    }
+}
+
+/// A reusable single-flight group: at most one thread computes the
+/// value for a given key at a time; the rest wait (timed, abortable)
+/// and then re-check whatever cache the caller maintains.
+///
+/// This generalises the pool's per-GOP load coalescing so other
+/// layers (the executor's shared decoded-GOP cache, for one) can get
+/// exactly-once compute without re-implementing the condvar protocol
+/// — keeping every condvar wait inside this module, the workspace's
+/// one sanctioned wait site (lint rule R6). The waits are always
+/// `wait_timeout` loops re-checking an abort condition, and the
+/// leader's [`FlightTicket`] completes its flight on drop, so a
+/// failing (or panicking) leader never strands its followers.
+#[derive(Debug, Default)]
+pub struct SingleFlight<K: std::hash::Hash + Eq + Clone + std::fmt::Debug> {
+    flights: Mutex<HashMap<K, Arc<Flight>>>,
+}
+
+/// Outcome of [`SingleFlight::join`].
+#[derive(Debug)]
+pub enum FlightJoin<'f, K: std::hash::Hash + Eq + Clone + std::fmt::Debug> {
+    /// No flight was in progress: the caller is now the leader and
+    /// must compute the value, publish it to its cache, then drop the
+    /// ticket (which wakes the followers).
+    Leader(FlightTicket<'f, K>),
+    /// A concurrent leader's flight finished while we waited. The
+    /// caller should re-check its cache; if the leader failed (or the
+    /// value was already evicted) a fresh `join` may make it leader.
+    Completed,
+    /// The caller's abort condition fired while waiting.
+    Aborted,
+}
+
+/// RAII handle held by a flight's leader. Dropping it marks the
+/// flight finished and wakes every waiter — on success *and* on every
+/// error/unwind path, which is what makes the protocol strand-free.
+#[derive(Debug)]
+pub struct FlightTicket<'f, K: std::hash::Hash + Eq + Clone + std::fmt::Debug> {
+    group: &'f SingleFlight<K>,
+    key: K,
+    flight: Arc<Flight>,
+}
+
+impl<K: std::hash::Hash + Eq + Clone + std::fmt::Debug> Drop for FlightTicket<'_, K> {
+    fn drop(&mut self) {
+        self.group.flights.lock().remove(&self.key);
+        self.flight.finish();
+    }
+}
+
+impl<K: std::hash::Hash + Eq + Clone + std::fmt::Debug> SingleFlight<K> {
+    pub fn new() -> Self {
+        SingleFlight { flights: Mutex::new(HashMap::new()) }
+    }
+
+    /// Joins the flight for `key`. Callers loop: check their cache,
+    /// `join`, and on [`FlightJoin::Completed`] check again; a
+    /// [`FlightJoin::Leader`] computes and publishes, then drops the
+    /// ticket. `should_abort` is polled once per wait step (the
+    /// [`WAIT_POLL`] abort-latency bound), so a cancelled query stops
+    /// waiting within one step.
+    pub fn join(&self, key: &K, should_abort: &dyn Fn() -> bool) -> FlightJoin<'_, K> {
+        let flight = {
+            let mut flights = self.flights.lock();
+            match flights.get(key) {
+                Some(f) => f.clone(),
+                None => {
+                    let f = Arc::new(Flight::new());
+                    flights.insert(key.clone(), f.clone());
+                    return FlightJoin::Leader(FlightTicket {
+                        group: self,
+                        key: key.clone(),
+                        flight: f,
+                    });
+                }
+            }
+        };
+        loop {
+            if flight.wait_done(WAIT_POLL) {
+                return FlightJoin::Completed;
+            }
+            if should_abort() {
+                return FlightJoin::Aborted;
+            }
+        }
+    }
+
+    /// Number of flights currently in progress (for tests).
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().len()
     }
 }
 
@@ -169,6 +262,9 @@ pub struct Admission<'p> {
     /// Query id the reservation was granted to; entries loaded under
     /// it are tagged with this id for per-query cap accounting.
     query: u64,
+    /// Session the admission is accounted to (server front-end);
+    /// `None` for ungoverned / single-shot queries.
+    session: Option<u64>,
 }
 
 impl Admission<'_> {
@@ -181,11 +277,16 @@ impl Admission<'_> {
     pub fn bytes(&self) -> usize {
         self.bytes
     }
+
+    /// The session this reservation is accounted to, if any.
+    pub fn session_id(&self) -> Option<u64> {
+        self.session
+    }
 }
 
 impl Drop for Admission<'_> {
     fn drop(&mut self) {
-        self.pool.release_admission(self.bytes);
+        self.pool.release_admission(self.bytes, self.session);
     }
 }
 
@@ -196,6 +297,11 @@ struct AdmissionState {
     limit: usize,
     /// Source of fresh query ids for admissions.
     next_query: u64,
+    /// Outstanding reservation bytes per session tag, so a server can
+    /// see which session is holding the pool. Entries are removed
+    /// when they return to zero (the chaos no-leak invariant extends
+    /// to this map: it must be empty when no queries run).
+    session_admitted: HashMap<u64, usize>,
 }
 
 struct PoolInner {
@@ -333,6 +439,7 @@ impl BufferPool {
                 admitted: 0,
                 limit: capacity_bytes,
                 next_query: 1,
+                session_admitted: HashMap::new(),
             }),
             admission_cv: Condvar::new(),
         }
@@ -380,6 +487,21 @@ impl BufferPool {
         policy: AdmitPolicy,
         should_abort: &dyn Fn() -> bool,
     ) -> Result<Admission<'_>, AdmitError> {
+        self.admit_for_session(bytes, policy, should_abort, None)
+    }
+
+    /// [`admit`](BufferPool::admit) with a session tag: the granted
+    /// bytes are additionally accounted to `session` (see
+    /// [`session_admitted`](BufferPool::session_admitted)) until the
+    /// admission drops, so a multi-session server can attribute pool
+    /// pressure to the session causing it.
+    pub fn admit_for_session(
+        &self,
+        bytes: usize,
+        policy: AdmitPolicy,
+        should_abort: &dyn Fn() -> bool,
+        session: Option<u64>,
+    ) -> Result<Admission<'_>, AdmitError> {
         let start = Instant::now();
         let mut st = self.admission.lock().unwrap_or_else(|e| e.into_inner());
         loop {
@@ -393,9 +515,12 @@ impl BufferPool {
             }
             if st.admitted + bytes <= st.limit {
                 st.admitted += bytes;
+                if let Some(s) = session {
+                    *st.session_admitted.entry(s).or_insert(0) += bytes;
+                }
                 let query = st.next_query;
                 st.next_query += 1;
-                return Ok(Admission { pool: self, bytes, query });
+                return Ok(Admission { pool: self, bytes, query, session });
             }
             let timeout = match policy {
                 AdmitPolicy::FailFast => {
@@ -429,10 +554,29 @@ impl BufferPool {
         }
     }
 
-    fn release_admission(&self, bytes: usize) {
+    fn release_admission(&self, bytes: usize, session: Option<u64>) {
         let mut st = self.admission.lock().unwrap_or_else(|e| e.into_inner());
         st.admitted = st.admitted.saturating_sub(bytes);
+        if let Some(s) = session {
+            if let Some(b) = st.session_admitted.get_mut(&s) {
+                *b = b.saturating_sub(bytes);
+                if *b == 0 {
+                    st.session_admitted.remove(&s);
+                }
+            }
+        }
         self.admission_cv.notify_all();
+    }
+
+    /// Outstanding reservation bytes currently accounted to `session`.
+    pub fn session_admitted(&self, session: u64) -> usize {
+        self.admission
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .session_admitted
+            .get(&session)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Fetches a GOP, loading and caching through `load` on a miss.
@@ -997,6 +1141,129 @@ mod tests {
         let s = pool.stats();
         assert_eq!(s.bytes, pool.resident_bytes());
         assert_eq!(s.loads, 1);
+    }
+
+    #[test]
+    fn session_admissions_are_accounted_and_released() {
+        let pool = BufferPool::new(1000);
+        pool.set_admission_limit(500);
+        let a = pool
+            .admit_for_session(100, AdmitPolicy::FailFast, &|| false, Some(1))
+            .unwrap();
+        let b = pool
+            .admit_for_session(200, AdmitPolicy::FailFast, &|| false, Some(1))
+            .unwrap();
+        let c = pool
+            .admit_for_session(50, AdmitPolicy::FailFast, &|| false, Some(2))
+            .unwrap();
+        assert_eq!(a.session_id(), Some(1));
+        assert_eq!(pool.session_admitted(1), 300);
+        assert_eq!(pool.session_admitted(2), 50);
+        assert_eq!(pool.admitted(), 350);
+        drop(b);
+        assert_eq!(pool.session_admitted(1), 100);
+        drop(a);
+        drop(c);
+        assert_eq!(pool.session_admitted(1), 0, "session accounting must drain to zero");
+        assert_eq!(pool.session_admitted(2), 0);
+        assert_eq!(pool.admitted(), 0);
+    }
+
+    #[test]
+    fn single_flight_computes_exactly_once_per_generation() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Barrier;
+        const THREADS: usize = 8;
+        let sf = Arc::new(SingleFlight::<u64>::new());
+        let cache = Arc::new(Mutex::new(HashMap::<u64, u32>::new()));
+        let computes = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let (sf, cache, computes, barrier) =
+                (sf.clone(), cache.clone(), computes.clone(), barrier.clone());
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                loop {
+                    if let Some(v) = cache.lock().get(&7).copied() {
+                        return v;
+                    }
+                    match sf.join(&7, &|| false) {
+                        FlightJoin::Leader(ticket) => {
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            std::thread::sleep(Duration::from_millis(20));
+                            cache.lock().insert(7, 42);
+                            drop(ticket);
+                        }
+                        FlightJoin::Completed => continue,
+                        FlightJoin::Aborted => panic!("abort condition never fires"),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 42);
+        }
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "concurrent joins must coalesce");
+        assert_eq!(sf.in_flight(), 0, "ticket drop must clear the flight");
+    }
+
+    /// A leader that fails (publishes nothing) must not strand its
+    /// followers: the ticket drop wakes them and one becomes the new
+    /// leader.
+    #[test]
+    fn single_flight_failed_leader_hands_over() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sf = Arc::new(SingleFlight::<u64>::new());
+        let cache = Arc::new(Mutex::new(HashMap::<u64, u32>::new()));
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let (sf, cache, attempts) = (sf.clone(), cache.clone(), attempts.clone());
+            handles.push(std::thread::spawn(move || loop {
+                if let Some(v) = cache.lock().get(&1).copied() {
+                    return v;
+                }
+                match sf.join(&1, &|| false) {
+                    FlightJoin::Leader(_ticket) => {
+                        // First leader simulates a failed compute: the
+                        // ticket drops without publishing anything.
+                        if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                            std::thread::sleep(Duration::from_millis(10));
+                            continue;
+                        }
+                        cache.lock().insert(1, 9);
+                    }
+                    FlightJoin::Completed => continue,
+                    FlightJoin::Aborted => panic!("abort condition never fires"),
+                }
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 9);
+        }
+        assert!(attempts.load(Ordering::SeqCst) >= 2, "a second leader must take over");
+        assert_eq!(sf.in_flight(), 0);
+    }
+
+    #[test]
+    fn single_flight_wait_honours_abort() {
+        let sf = Arc::new(SingleFlight::<u64>::new());
+        let ticket = match sf.join(&3, &|| false) {
+            FlightJoin::Leader(t) => t,
+            other => panic!("expected leadership, got {other:?}"),
+        };
+        let sf2 = sf.clone();
+        let waiter = std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let join = sf2.join(&3, &|| true);
+            (matches!(join, FlightJoin::Aborted), t0.elapsed())
+        });
+        let (aborted, took) = waiter.join().expect("waiter panicked");
+        assert!(aborted, "waiter with a firing abort condition must not park");
+        assert!(took < Duration::from_millis(200), "aborted in {took:?}");
+        drop(ticket);
+        assert_eq!(sf.in_flight(), 0);
     }
 
     /// An eviction-forced reload of the same key must release the

@@ -112,12 +112,11 @@ impl Default for CatalogOptions {
 impl CatalogOptions {
     /// Defaults with environment knobs applied: `LIGHTDB_WAL_GROUP_MS`
     /// sets the group-commit window in milliseconds (default 0 —
-    /// every commit syncs as soon as a leader is free).
+    /// every commit syncs as soon as a leader is free). Malformed
+    /// values warn loudly (via [`lightdb_core::envknob`]) and read as
+    /// unset instead of being silently ignored.
     pub fn from_env() -> CatalogOptions {
-        let ms = std::env::var("LIGHTDB_WAL_GROUP_MS")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-            .unwrap_or(0);
+        let ms = lightdb_core::envknob::read_u64("LIGHTDB_WAL_GROUP_MS").unwrap_or(0);
         let mut opts = CatalogOptions::default();
         if let Durability::Wal { group_window, .. } = &mut opts.durability {
             *group_window = Duration::from_millis(ms);

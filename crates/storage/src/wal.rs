@@ -224,9 +224,24 @@ struct WalState {
 pub struct Wal {
     dir: PathBuf,
     group_window: Duration,
+    /// How long a group-commit follower waits per `sync_done` poll.
+    /// Derived from the group window (clamped to [1 ms, 50 ms]): with
+    /// a 1 ms window the leader's sleep+fsync finishes in ~1-2 ms, so
+    /// a fixed 50 ms poll would put a latency floor far above the
+    /// configured window whenever a wakeup is missed. The wait is
+    /// bounded (never an untimed `wait`) so a dying leader cannot
+    /// strand followers.
+    follower_wait: Duration,
     segment_bytes: u64,
     state: Mutex<WalState>,
     sync_done: Condvar,
+}
+
+/// Follower poll interval for `opts.group_window`: at least 1 ms so a
+/// zero-window log still sleeps rather than spins, at most 50 ms (the
+/// pre-existing stranded-leader recheck bound).
+fn follower_wait_for(group_window: Duration) -> Duration {
+    group_window.clamp(Duration::from_millis(1), Duration::from_millis(50))
 }
 
 fn segment_name(start_seq: u64) -> String {
@@ -355,6 +370,7 @@ impl Wal {
                 let wal = Wal {
                     dir: dir.to_path_buf(),
                     group_window: opts.group_window,
+                    follower_wait: follower_wait_for(opts.group_window),
                     segment_bytes: opts.segment_bytes,
                     state: Mutex::new(WalState {
                         file,
@@ -393,6 +409,7 @@ impl Wal {
         let wal = Wal {
             dir: dir.to_path_buf(),
             group_window: opts.group_window,
+            follower_wait: follower_wait_for(opts.group_window),
             segment_bytes: opts.segment_bytes,
             state: Mutex::new(WalState {
                 file,
@@ -544,11 +561,16 @@ impl Wal {
                     }
                 }
             }
-            // Follower: wait (bounded, so a dying leader can't strand
-            // us) for the in-flight sync to land.
+            // Follower: wait for the in-flight sync to land. The wait
+            // is bounded by `follower_wait` — scaled to the configured
+            // group window, not a fixed 50 ms, so a missed or spurious
+            // wakeup costs one window rather than flooring commit
+            // latency at 50 ms — and the enclosing loop re-checks the
+            // predicate (synced_seq / poisoned / syncing) after every
+            // wakeup, timed-out or not.
             let (guard, _) = self
                 .sync_done
-                .wait_timeout(st, Duration::from_millis(50))
+                .wait_timeout(st, self.follower_wait)
                 .unwrap_or_else(|e| e.into_inner());
             st = guard;
         }
@@ -761,6 +783,60 @@ mod tests {
         drop(wal);
         let (_, replayed) = Wal::open(&dir, WalOptions::default()).unwrap();
         assert_eq!(replayed.len(), 32);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn follower_wait_tracks_group_window() {
+        // The poll interval scales with the window, clamped to
+        // [1 ms, 50 ms]: a 1 ms window must not inherit a 50 ms floor,
+        // and a huge window must not strand followers of a dead leader
+        // for longer than the old bound.
+        assert_eq!(follower_wait_for(Duration::ZERO), Duration::from_millis(1));
+        assert_eq!(follower_wait_for(Duration::from_millis(1)), Duration::from_millis(1));
+        assert_eq!(follower_wait_for(Duration::from_millis(20)), Duration::from_millis(20));
+        assert_eq!(follower_wait_for(Duration::from_secs(5)), Duration::from_millis(50));
+        let (wal, _) =
+            Wal::open(&temp_dir("fw"), WalOptions { group_window: Duration::from_millis(1), ..Default::default() })
+                .unwrap();
+        assert_eq!(wal.follower_wait, Duration::from_millis(1));
+        let _ = std::fs::remove_dir_all(&wal.dir);
+    }
+
+    #[test]
+    fn follower_latency_is_not_floored_at_50ms() {
+        // Regression: the follower branch used a fixed 50 ms
+        // wait_timeout, so with LIGHTDB_WAL_GROUP_MS=1 a follower that
+        // missed (or raced) the leader's notify_all paid a 50 ms poll
+        // before re-checking synced_seq. With the wait derived from
+        // the window, every commit should land within a few window
+        // lengths. Thresholds are generous for loaded CI machines but
+        // comfortably below the old 50 ms floor.
+        let dir = temp_dir("latency");
+        let opts = WalOptions { group_window: Duration::from_millis(1), ..Default::default() };
+        let (wal, _) = Wal::open(&dir, opts).unwrap();
+        let wal = std::sync::Arc::new(wal);
+        let lat_us = parking_lot::Mutex::new(Vec::<u128>::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let wal = wal.clone();
+                let lat_us = &lat_us;
+                s.spawn(move || {
+                    for v in 0..8 {
+                        let start = std::time::Instant::now();
+                        wal.commit(&publish(&format!("l{t}"), v)).unwrap();
+                        lat_us.lock().push(start.elapsed().as_micros());
+                    }
+                });
+            }
+        });
+        let mut lat = lat_us.into_inner();
+        lat.sort_unstable();
+        assert_eq!(lat.len(), 32);
+        let mean = lat.iter().sum::<u128>() / lat.len() as u128;
+        let p90 = lat[(lat.len() * 9 / 10).min(lat.len() - 1)];
+        assert!(mean < 25_000, "mean commit latency {mean}us should be far below the old 50ms follower floor");
+        assert!(p90 < 40_000, "p90 commit latency {p90}us should be below the old 50ms follower floor");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

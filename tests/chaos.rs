@@ -22,7 +22,7 @@ fn temp_root(tag: &str) -> PathBuf {
 }
 
 fn seeds() -> u64 {
-    std::env::var("LIGHTDB_CHAOS_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(100)
+    lightdb_core::envknob::read_u64("LIGHTDB_CHAOS_SEEDS").unwrap_or(100)
 }
 
 fn demo_frames() -> Vec<Frame> {
