@@ -16,12 +16,15 @@
 
 pub mod depth;
 pub mod detect;
+pub mod fleet;
 pub mod loc;
 pub mod predictor;
 pub mod workloads;
 
 pub use detect::{detect_boxes, BBox, DetectUdf};
-pub use predictor::important_tile;
+pub use predictor::{
+    important_tile, HotSpotPredictor, RandomWalkPredictor, RasterPredictor, ViewportPredictor,
+};
 
 /// Result summary a workload run reports to the harness.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,9 +87,17 @@ mod tests {
 
     #[test]
     fn reduction_math() {
-        let s = RunStats { frames: 10, bytes_in: 1000, bytes_out: 250 };
+        let s = RunStats {
+            frames: 10,
+            bytes_in: 1000,
+            bytes_out: 250,
+        };
         assert!((s.reduction() - 0.75).abs() < 1e-12);
-        let zero = RunStats { frames: 0, bytes_in: 0, bytes_out: 0 };
+        let zero = RunStats {
+            frames: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+        };
         assert_eq!(zero.reduction(), 0.0);
     }
 }

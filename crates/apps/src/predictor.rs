@@ -1,11 +1,25 @@
-//! The viewport predictor used by the tiling experiments.
+//! Viewport predictors for the tiling experiments and the fleet
+//! simulator.
 //!
 //! The paper's evaluation protocol: "to emulate looking in different
 //! directions, the high quality tile is initially the upper-left of
 //! the equirectangular projection and advanced in raster order
-//! (modulo the tile count) every second." This module implements
-//! exactly that, plus the volume-level `is_important` form the VRQL
-//! query uses.
+//! (modulo the tile count) every second." [`important_tile`] /
+//! [`is_important`] implement exactly that protocol (bit-for-bit —
+//! the tiling experiments depend on it).
+//!
+//! The [`ViewportPredictor`] trait generalizes the protocol so the
+//! fleet simulator can model *populations* of viewers behind one
+//! interface:
+//!
+//! * [`RasterPredictor`] — the paper's deterministic raster walk;
+//! * [`RandomWalkPredictor`] — a seeded bounded random walk over the
+//!   orientation sphere (theta wraps, phi clamps), the "wandering
+//!   gaze" viewer;
+//! * [`HotSpotPredictor`] — a Zipf-weighted hot-spot dweller: all
+//!   viewers sharing a scenario seed agree on *which* tiles are hot
+//!   (that shared attention is what a cross-user tile cache exploits),
+//!   while each viewer dwells and switches on its own schedule.
 
 use lightdb_geom::{Volume, PHI_MAX, THETA_PERIOD};
 
@@ -24,6 +38,207 @@ pub fn is_important(partition: &Volume, cols: usize, rows: usize) -> bool {
     let col = ((partition.theta().lo() + 1e-9) / (THETA_PERIOD / cols as f64)) as usize;
     let row = ((partition.phi().lo() + 1e-9) / (PHI_MAX / rows as f64)) as usize;
     (col, row) == (tc, tr)
+}
+
+/// A model of one viewer's head: which row-major tile they look at
+/// during each playback second of a `cols × rows` equirectangular
+/// grid.
+///
+/// Predictors may be stateful (random walks advance on every call),
+/// so drive them with non-decreasing seconds. All implementations
+/// here are deterministic functions of their seeds — the fleet
+/// benchmark depends on replayable traces.
+pub trait ViewportPredictor: Send {
+    /// The focus tile for playback second `second`.
+    fn tile(&mut self, second: u64, cols: usize, rows: usize) -> usize;
+}
+
+/// SplitMix64 — the same tiny deterministic generator the chaos
+/// harness uses, re-derived here so `apps` stays free of test-crate
+/// dependencies.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[0, 1)` with 53 bits of precision.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The paper's protocol as a [`ViewportPredictor`]: raster order,
+/// advancing one tile per second modulo the tile count. Delegates to
+/// [`important_tile`], so the trait and the tiling experiments can
+/// never drift apart.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RasterPredictor;
+
+impl ViewportPredictor for RasterPredictor {
+    fn tile(&mut self, second: u64, cols: usize, rows: usize) -> usize {
+        important_tile(second as usize, cols * rows)
+    }
+}
+
+/// A seeded bounded random walk over the orientation sphere: each
+/// second the gaze moves by up to ±`step` of the sphere in each
+/// angular dimension, wrapping in theta and clamping in phi, then
+/// quantizes to a tile with the same mapping as [`is_important`].
+#[derive(Debug, Clone)]
+pub struct RandomWalkPredictor {
+    state: u64,
+    theta: f64,
+    phi: f64,
+    /// Per-second maximum angular step, as a fraction of the full
+    /// angular range (so `0.25` can cross a 4-wide grid's tile in a
+    /// single second).
+    step: f64,
+    last_second: Option<u64>,
+}
+
+impl RandomWalkPredictor {
+    /// Default per-second step fraction: a viewer pans at most an
+    /// eighth of the sphere per second.
+    pub const DEFAULT_STEP: f64 = 0.125;
+
+    pub fn new(seed: u64) -> RandomWalkPredictor {
+        Self::with_step(seed, Self::DEFAULT_STEP)
+    }
+
+    pub fn with_step(seed: u64, step: f64) -> RandomWalkPredictor {
+        let mut state = seed ^ 0x5bf0_3635_dee0_91bb;
+        let theta = unit(&mut state) * THETA_PERIOD;
+        let phi = unit(&mut state) * PHI_MAX;
+        RandomWalkPredictor {
+            state,
+            theta,
+            phi,
+            step,
+            last_second: None,
+        }
+    }
+
+    /// The walk's current orientation `(theta, phi)` — lets the fleet
+    /// simulator serve the exact gaze rather than the tile center.
+    pub fn orientation(&self) -> (f64, f64) {
+        (self.theta, self.phi)
+    }
+}
+
+impl ViewportPredictor for RandomWalkPredictor {
+    fn tile(&mut self, second: u64, cols: usize, rows: usize) -> usize {
+        // Advance once per distinct second (re-queries within a
+        // second see a stable gaze).
+        if self.last_second != Some(second) {
+            self.last_second = Some(second);
+            let dtheta = (unit(&mut self.state) * 2.0 - 1.0) * self.step * THETA_PERIOD;
+            let dphi = (unit(&mut self.state) * 2.0 - 1.0) * self.step * PHI_MAX;
+            self.theta = (self.theta + dtheta).rem_euclid(THETA_PERIOD);
+            self.phi = (self.phi + dphi).clamp(0.0, PHI_MAX);
+        }
+        let col = (((self.theta + 1e-9) / (THETA_PERIOD / cols as f64)) as usize).min(cols - 1);
+        let row = (((self.phi + 1e-9) / (PHI_MAX / rows as f64)) as usize).min(rows - 1);
+        row * cols + col
+    }
+}
+
+/// A Zipf-weighted hot-spot dweller.
+///
+/// The *scenario seed* alone decides which tiles are hot (a shared
+/// permutation of the grid, rank `r` drawn with weight
+/// `1/(r+1)^exponent`), so every viewer in a fleet built from one
+/// scenario concentrates on the same few tiles — the cross-user
+/// locality a shared tile cache converts into hits. The *viewer id*
+/// seeds the per-viewer dwell/switch schedule, so viewers are not in
+/// lockstep.
+#[derive(Debug, Clone)]
+pub struct HotSpotPredictor {
+    scenario_seed: u64,
+    state: u64,
+    exponent: f64,
+    /// Seconds a viewer stares at one hot tile before resampling.
+    dwell: u64,
+    /// Shared hotness permutation: `perm[rank]` = tile (built lazily
+    /// from the scenario seed once the grid is known).
+    perm: Vec<usize>,
+    current: usize,
+    switch_at: Option<u64>,
+}
+
+impl HotSpotPredictor {
+    /// Defaults: Zipf exponent 1.0, 4-second dwell.
+    pub fn new(scenario_seed: u64, viewer: u64) -> HotSpotPredictor {
+        Self::with_shape(scenario_seed, viewer, 1.0, 4)
+    }
+
+    pub fn with_shape(
+        scenario_seed: u64,
+        viewer: u64,
+        exponent: f64,
+        dwell: u64,
+    ) -> HotSpotPredictor {
+        HotSpotPredictor {
+            scenario_seed,
+            state: scenario_seed
+                ^ viewer.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ 0xd6e8_feb8_6659_fd93,
+            exponent,
+            dwell: dwell.max(1),
+            perm: Vec::new(),
+            current: 0,
+            switch_at: None,
+        }
+    }
+
+    /// Fisher–Yates permutation of `0..count` from the scenario seed:
+    /// identical for every viewer of the scenario.
+    fn rebuild_perm(&mut self, count: usize) {
+        let mut perm: Vec<usize> = (0..count).collect();
+        let mut state = self.scenario_seed ^ 0xa076_1d64_78bd_642f;
+        for i in (1..count).rev() {
+            let j = (splitmix(&mut state) % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        self.perm = perm;
+        self.switch_at = None;
+    }
+
+    /// Inverse-CDF draw of a rank with weight `1/(rank+1)^exponent`.
+    fn sample_rank(&mut self, count: usize) -> usize {
+        let total: f64 = (0..count)
+            .map(|r| 1.0 / ((r + 1) as f64).powf(self.exponent))
+            .sum();
+        let mut target = unit(&mut self.state) * total;
+        for r in 0..count {
+            target -= 1.0 / ((r + 1) as f64).powf(self.exponent);
+            if target <= 0.0 {
+                return r;
+            }
+        }
+        count - 1
+    }
+}
+
+impl ViewportPredictor for HotSpotPredictor {
+    fn tile(&mut self, second: u64, cols: usize, rows: usize) -> usize {
+        let count = cols * rows;
+        debug_assert!(count > 0);
+        if self.perm.len() != count {
+            self.rebuild_perm(count);
+        }
+        let due = match self.switch_at {
+            None => true,
+            Some(at) => second >= at,
+        };
+        if due {
+            let rank = self.sample_rank(count);
+            self.current = self.perm[rank];
+            self.switch_at = Some(second + self.dwell);
+        }
+        self.current
+    }
 }
 
 #[cfg(test)]
@@ -62,5 +277,63 @@ mod tests {
             assert_eq!(important.len(), 1, "second {second}: {important:?}");
             assert_eq!(important[0], second % 16, "second {second}");
         }
+    }
+
+    #[test]
+    fn raster_predictor_matches_important_tile() {
+        let mut p = RasterPredictor;
+        for second in 0..40u64 {
+            assert_eq!(p.tile(second, 4, 4), important_tile(second as usize, 16));
+        }
+    }
+
+    #[test]
+    fn random_walk_is_deterministic_bounded_and_moves() {
+        let trace = |seed: u64| -> Vec<usize> {
+            let mut p = RandomWalkPredictor::new(seed);
+            (0..64u64).map(|s| p.tile(s, 4, 4)).collect()
+        };
+        let a = trace(7);
+        assert_eq!(a, trace(7), "same seed replays the same trace");
+        assert_ne!(a, trace(8), "different seeds diverge");
+        assert!(a.iter().all(|&t| t < 16), "tiles stay on the grid");
+        assert!(
+            a.windows(2).any(|w| w[0] != w[1]),
+            "the gaze actually moves"
+        );
+        // Re-querying within one second sees a stable gaze.
+        let mut p = RandomWalkPredictor::new(7);
+        assert_eq!(p.tile(3, 4, 4), p.tile(3, 4, 4));
+    }
+
+    #[test]
+    fn hot_spots_are_shared_across_viewers_and_skewed() {
+        // 16 viewers of one scenario, 64 seconds each: the top few
+        // tiles should absorb well over half of all gaze-seconds, and
+        // a different scenario seed should pick different hot tiles.
+        let histogram = |scenario: u64| -> Vec<usize> {
+            let mut counts = vec![0usize; 16];
+            for viewer in 0..16u64 {
+                let mut p = HotSpotPredictor::new(scenario, viewer);
+                for s in 0..64u64 {
+                    counts[p.tile(s, 4, 4)] += 1;
+                }
+            }
+            counts
+        };
+        let counts = histogram(42);
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, 16 * 64);
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top3: usize = sorted[..3].iter().sum();
+        assert!(
+            top3 * 2 > total,
+            "Zipf skew: top-3 tiles got {top3}/{total}"
+        );
+        // Determinism per (scenario, viewer); divergence across viewers.
+        let replay = histogram(42);
+        assert_eq!(counts, replay);
+        assert_ne!(counts, histogram(43), "scenario seed moves the hot set");
     }
 }

@@ -1,0 +1,6 @@
+//! Headset-fleet tile-serving latency: cross-user tile cache on vs.
+//! off across fleet sizes (see DESIGN.md "Predictive tile serving &
+//! fleet simulation"). Emits `BENCH_fleet.json`.
+fn main() {
+    lightdb_bench::fleet_serving::print();
+}

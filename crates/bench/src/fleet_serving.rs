@@ -1,0 +1,268 @@
+//! Headset-fleet tile-serving latency: cross-user tile cache on vs.
+//! off across fleet sizes.
+//!
+//! A hot-spot viewer population (the realistic "everyone watches the
+//! action" trace) replays against one [`TileServer`] per
+//! configuration: fleet sizes 1 / 64 / 512 / 4096, each with the
+//! engine-wide encoded-tile cache enabled and disabled. For every run
+//! we report p50/p99/p999 serve latency, the cache hit rate, the
+//! single-flight coalescing rate, and decode-ops-avoided (requests
+//! answered without running `extract_tile`). Runs end with a
+//! byte-identity audit — served tiles must equal a direct zero-decode
+//! `EncodedGop::extract_tile(..).to_bytes()` of the stored stream —
+//! and the results land in `BENCH_fleet.json` for cross-PR tracking.
+//!
+//! [`TileServer`]: lightdb::tileserver::TileServer
+
+use lightdb::codec::{EncodedGop, TileGrid};
+use lightdb::container::TrackRole;
+use lightdb::core::envknob;
+use lightdb::core::Histogram;
+use lightdb::tileserver::{Orientation, TileServerConfig};
+use lightdb::LightDb;
+use lightdb_apps::fleet::{install_tiled_pair, run_fleet, FleetConfig, FleetReport, TraceKind};
+use std::path::PathBuf;
+
+/// Fleet sizes swept (concurrent viewers).
+pub const FLEET_SIZES: [usize; 4] = [1, 64, 512, 4096];
+
+/// One (fleet size, cache mode) measurement.
+#[derive(Debug)]
+pub struct Measurement {
+    pub viewers: usize,
+    pub use_cache: bool,
+    pub report: FleetReport,
+    /// Tile-cache counters for the run (all zero with the cache off).
+    pub hits: u64,
+    pub misses: u64,
+    pub coalesced: u64,
+    pub evictions: u64,
+}
+
+impl Measurement {
+    /// Requests answered without running `extract_tile`.
+    pub fn avoided(&self) -> u64 {
+        self.hits + self.coalesced
+    }
+
+    fn lookups(&self) -> u64 {
+        self.hits + self.misses + self.coalesced
+    }
+
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            return 0.0;
+        }
+        self.avoided() as f64 / self.lookups() as f64
+    }
+
+    pub fn coalesce_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            return 0.0;
+        }
+        self.coalesced as f64 / self.lookups() as f64
+    }
+}
+
+fn micros(h: &Histogram, p: f64) -> f64 {
+    h.percentile(p).as_secs_f64() * 1e6
+}
+
+fn mean_micros(h: &Histogram) -> f64 {
+    h.mean().as_secs_f64() * 1e6
+}
+
+fn bench_root() -> PathBuf {
+    let d = std::env::temp_dir().join(format!("lightdb-fleetbench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Replays one hot-spot fleet of `viewers` against a fresh engine
+/// over `root` (fresh buffer pool and tile cache, so runs are
+/// independent).
+fn run_one(root: &PathBuf, viewers: usize, seconds: u64, use_cache: bool) -> Measurement {
+    let db = LightDb::open(root).expect("reopen bench root");
+    let session = db.session();
+    let server = session
+        .tile_server(
+            "fleet",
+            Some("fleet_lq"),
+            TileServerConfig {
+                use_cache,
+                ..TileServerConfig::default()
+            },
+        )
+        .expect("open tile server");
+    let workers = envknob::read_u64("LIGHTDB_THREADS")
+        .unwrap_or(8)
+        .clamp(1, 64) as usize;
+    let cfg = FleetConfig {
+        viewers,
+        seconds,
+        kind: TraceKind::HotSpot,
+        workers,
+        prefetch: use_cache,
+        ..FleetConfig::default()
+    };
+    let report = run_fleet(&server, &cfg);
+    assert_eq!(report.errors, 0, "fleet errors: {:?}", report.error_classes);
+    assert_eq!(report.invariant_violations, 0, "serving contract violated");
+    let stats = db.tile_cache().map(|c| c.stats()).unwrap_or_default();
+    Measurement {
+        viewers,
+        use_cache,
+        report,
+        hits: if use_cache { stats.hits } else { 0 },
+        misses: if use_cache { stats.misses } else { 0 },
+        coalesced: if use_cache { stats.coalesced } else { 0 },
+        evictions: if use_cache { stats.evictions } else { 0 },
+    }
+}
+
+/// Byte-identity audit: for a sample of (second, tile) pairs, the
+/// bytes a `TileServer` serves must equal a direct
+/// `EncodedGop::extract_tile(..).to_bytes()` of the stored stream —
+/// the cache must never change what a headset receives.
+fn audit_byte_identity(root: &PathBuf, grid: TileGrid) {
+    let db = LightDb::open(root).expect("reopen for audit");
+    let session = db.session();
+    let server = session
+        .tile_server("fleet", Some("fleet_lq"), TileServerConfig::default())
+        .expect("open audit server");
+    for (name, want_primary) in [("fleet", true), ("fleet_lq", false)] {
+        let stored = db.catalog().read(name, None).expect("read stored tlf");
+        let media = stored.media();
+        let track = stored
+            .metadata
+            .tracks
+            .iter()
+            .find(|t| t.role == TrackRole::Video)
+            .expect("video track");
+        for (second, entry) in track.gop_index.iter().enumerate() {
+            let gop_bytes = media
+                .read_gop_bytes(&track.media_path, entry)
+                .expect("read gop");
+            let gop = EncodedGop::from_bytes(&gop_bytes).expect("parse gop");
+            for tile in 0..grid.tile_count() {
+                let direct = gop.extract_tile(tile).expect("extract").to_bytes();
+                let view = server
+                    .serve(9_999, second as u64, Orientation::tile_center(tile, grid))
+                    .expect("serve");
+                if want_primary {
+                    assert_eq!(view.focus, tile, "focus tile drifted");
+                    assert_eq!(
+                        *view.primary.bytes, direct,
+                        "served HQ tile {tile} second {second} is not byte-identical"
+                    );
+                } else if let Some(n) = view.neighbors.iter().find(|n| n.tile == tile) {
+                    assert_eq!(
+                        *n.bytes, direct,
+                        "served LQ tile {tile} second {second} is not byte-identical"
+                    );
+                }
+            }
+        }
+    }
+    println!("byte-identity audit: served tiles == direct extract_tile (HQ + LQ)");
+}
+
+fn json_entry(on: &Measurement, off: &Measurement) -> String {
+    let h_on = &on.report.latency;
+    let h_off = &off.report.latency;
+    let speedup = if mean_micros(h_on) > 0.0 {
+        mean_micros(h_off) / mean_micros(h_on)
+    } else {
+        0.0
+    };
+    format!(
+        concat!(
+            "{{\"viewers\":{},\"serves\":{},\"tiles\":{},",
+            "\"on\":{{\"p50_us\":{:.1},\"p99_us\":{:.1},\"p999_us\":{:.1},\"mean_us\":{:.1},",
+            "\"hit_rate\":{:.4},\"coalesce_rate\":{:.4},\"hits\":{},\"misses\":{},\"coalesced\":{},\"evictions\":{},\"decode_ops_avoided\":{}}},",
+            "\"off\":{{\"p50_us\":{:.1},\"p99_us\":{:.1},\"p999_us\":{:.1},\"mean_us\":{:.1}}},",
+            "\"mean_speedup\":{:.2}}}"
+        ),
+        on.viewers,
+        on.report.serves,
+        on.report.tiles_served,
+        micros(h_on, 50.0),
+        micros(h_on, 99.0),
+        micros(h_on, 99.9),
+        mean_micros(h_on),
+        on.hit_rate(),
+        on.coalesce_rate(),
+        on.hits,
+        on.misses,
+        on.coalesced,
+        on.evictions,
+        on.avoided(),
+        micros(h_off, 50.0),
+        micros(h_off, 99.0),
+        micros(h_off, 99.9),
+        mean_micros(h_off),
+        speedup
+    )
+}
+
+/// Runs the sweep, audits byte identity, prints the table, and writes
+/// `BENCH_fleet.json`.
+pub fn print() {
+    let seconds = envknob::read_u64("LIGHTDB_BENCH_SECONDS")
+        .unwrap_or(6)
+        .clamp(1, 600);
+    let grid = TileGrid { cols: 4, rows: 4 };
+    let root = bench_root();
+    {
+        let db = LightDb::open(&root).expect("open bench root");
+        install_tiled_pair(&db, "fleet", seconds as usize, grid).expect("ingest fleet pair");
+    }
+    println!("fleet tile serving (hot-spot trace, {seconds}s, 4x4 grid, HQ focus + LQ ring)");
+    crate::row(
+        "viewers",
+        &[
+            "p50 on".into(),
+            "p99 on".into(),
+            "p50 off".into(),
+            "p99 off".into(),
+            "hit rate".into(),
+            "coalesced".into(),
+            "avoided".into(),
+            "speedup".into(),
+        ],
+    );
+    let mut entries = Vec::new();
+    let mut last_speedup = 0.0;
+    for viewers in FLEET_SIZES {
+        let on = run_one(&root, viewers, seconds, true);
+        let off = run_one(&root, viewers, seconds, false);
+        let speedup = if mean_micros(&on.report.latency) > 0.0 {
+            mean_micros(&off.report.latency) / mean_micros(&on.report.latency)
+        } else {
+            0.0
+        };
+        crate::row(
+            &viewers.to_string(),
+            &[
+                format!("{:.0}us", micros(&on.report.latency, 50.0)),
+                format!("{:.0}us", micros(&on.report.latency, 99.0)),
+                format!("{:.0}us", micros(&off.report.latency, 50.0)),
+                format!("{:.0}us", micros(&off.report.latency, 99.0)),
+                format!("{:.1}%", on.hit_rate() * 100.0),
+                format!("{}", on.coalesced),
+                format!("{}", on.avoided()),
+                format!("{speedup:.1}x"),
+            ],
+        );
+        entries.push(json_entry(&on, &off));
+        last_speedup = speedup;
+    }
+    audit_byte_identity(&root, grid);
+    let _ = std::fs::remove_dir_all(&root);
+    let json = format!(
+        "{{\"seconds\":{seconds},\"grid\":\"4x4\",\"trace\":\"hotspot\",\"fleets\":[{}]}}\n",
+        entries.join(",")
+    );
+    std::fs::write("BENCH_fleet.json", json).expect("write BENCH_fleet.json");
+    println!("wrote BENCH_fleet.json (largest-fleet mean speedup {last_speedup:.1}x)");
+}

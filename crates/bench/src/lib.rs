@@ -20,6 +20,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod fleet_serving;
 pub mod parallel_scaling;
 pub mod setup;
 pub mod tables;

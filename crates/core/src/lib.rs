@@ -32,11 +32,15 @@
 //! assert!(format!("{}", query.plan()).contains("SHARPEN"));
 //! ```
 
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub mod algebra;
 pub mod envknob;
 pub mod fault_class;
+pub mod histogram;
 pub mod model;
 pub mod quality;
 pub mod subgraph;
@@ -45,6 +49,7 @@ pub mod vrql;
 
 pub use algebra::{LogicalOp, LogicalPlan, MergeFunction, VolumePredicate};
 pub use fault_class::ErrorClass;
+pub use histogram::Histogram;
 pub use model::{PhysicalKind, TlfHandle, TlfId};
 pub use quality::Quality;
 pub use udf::{BuiltinInterp, BuiltinMap, InterpFunction, MapFunction, MapUdf};

@@ -27,7 +27,10 @@
 //! # Ok::<(), lightdb::Error>(())
 //! ```
 
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 use crate::session::{EngineShared, PlanCache, SessionConfig, PLAN_CACHE_CAPACITY};
 use lightdb_core::algebra::{LogicalOp, LogicalPlan};
@@ -35,6 +38,7 @@ use lightdb_core::subgraph::{self, UdfRegistry};
 use lightdb_core::udf::{InterpUdf, MapUdf};
 use lightdb_core::vrql::VrqlExpr;
 use lightdb_exec::sharedscan::SharedDecode;
+use lightdb_exec::tilecache::TileCache;
 use lightdb_exec::{Metrics, Parallelism, QueryCtx, QueryOutput, ReadPolicy};
 use lightdb_optimizer::{Planner, PlannerOptions};
 use lightdb_storage::{AdmitPolicy, BufferPool, Catalog, Snapshot};
@@ -44,20 +48,24 @@ use std::sync::Arc;
 
 pub mod ingest;
 pub mod session;
+pub mod tileserver;
 
 /// Everything a LightDB application typically needs.
 pub mod prelude {
     pub use crate::session::{Prepared, Session, SessionBudget, SessionConfig};
+    pub use crate::tileserver::{
+        Orientation, ServedTile, ServedView, TileServer, TileServerConfig,
+    };
     pub use crate::{ingest::IngestConfig, Error, LightDb};
     pub use lightdb_codec::{CodecKind, TileGrid};
     pub use lightdb_core::udf::{BuiltinInterp, BuiltinMap, InterpUdf, MapUdf, PointMapUdf};
     pub use lightdb_core::vrql::*;
     pub use lightdb_core::{MergeFunction, Quality};
     pub use lightdb_exec::{CancelToken, Parallelism, QueryCtx, QueryOutput, ReadPolicy};
-    pub use lightdb_storage::AdmitPolicy;
     pub use lightdb_frame::{Frame, Yuv};
     pub use lightdb_geom::{Dimension, Interval, Point3, Volume};
     pub use lightdb_optimizer::PlannerOptions;
+    pub use lightdb_storage::AdmitPolicy;
 }
 
 // Re-export the component crates for advanced use.
@@ -126,6 +134,10 @@ pub const DEFAULT_POOL_BYTES: usize = 64 << 20;
 /// Override with `LIGHTDB_SHARED_DECODE_MB` (`0` disables the cache).
 pub const DEFAULT_SHARED_DECODE_BYTES: usize = lightdb_exec::sharedscan::DEFAULT_BUDGET_BYTES;
 
+/// Default encoded-tile cache budget: 64 MiB of extracted tile GOPs.
+/// Override with `LIGHTDB_TILE_CACHE_MB` (`0` disables the cache).
+pub const DEFAULT_TILE_CACHE_BYTES: usize = lightdb_exec::tilecache::DEFAULT_BUDGET_BYTES;
+
 /// A LightDB database handle.
 ///
 /// A `LightDb` doubles as a **server front-end**: call
@@ -168,10 +180,19 @@ impl LightDb {
         // cache; 0 disables shared scans entirely.
         let shared_decode = match lightdb_core::envknob::read_u64("LIGHTDB_SHARED_DECODE_MB") {
             Some(0) => None,
-            Some(mb) => Some(Arc::new(SharedDecode::new(lightdb_core::envknob::clamp_to_usize(
-                mb.saturating_mul(1 << 20),
-            )))),
+            Some(mb) => Some(Arc::new(SharedDecode::new(
+                lightdb_core::envknob::clamp_to_usize(mb.saturating_mul(1 << 20)),
+            ))),
             None => Some(Arc::new(SharedDecode::new(DEFAULT_SHARED_DECODE_BYTES))),
+        };
+        // `LIGHTDB_TILE_CACHE_MB` sizes the engine-wide encoded-tile
+        // cache behind the serving path; 0 disables it.
+        let tile_cache = match lightdb_core::envknob::read_u64("LIGHTDB_TILE_CACHE_MB") {
+            Some(0) => None,
+            Some(mb) => Some(Arc::new(TileCache::new(
+                lightdb_core::envknob::clamp_to_usize(mb.saturating_mul(1 << 20)),
+            ))),
+            None => Some(Arc::new(TileCache::new(DEFAULT_TILE_CACHE_BYTES))),
         };
         Ok(LightDb {
             shared: Arc::new(EngineShared {
@@ -179,9 +200,13 @@ impl LightDb {
                 pool: Arc::new(BufferPool::new(DEFAULT_POOL_BYTES)),
                 plan_cache: PlanCache::new(PLAN_CACHE_CAPACITY),
                 shared_decode,
+                tile_cache,
                 next_session: AtomicU64::new(1),
             }),
-            defaults: SessionConfig { options, ..SessionConfig::default() },
+            defaults: SessionConfig {
+                options,
+                ..SessionConfig::default()
+            },
             metrics: Metrics::new(),
             udfs: UdfRegistry::new(),
         })
@@ -208,6 +233,13 @@ impl LightDb {
     /// Number of entries currently in the engine-wide plan cache.
     pub fn plan_cache_len(&self) -> usize {
         self.shared.plan_cache.len()
+    }
+
+    /// The engine-wide encoded-tile cache behind
+    /// [`TileServer`](tileserver::TileServer)s, or `None` when
+    /// disabled via `LIGHTDB_TILE_CACHE_MB=0` (for cache statistics).
+    pub fn tile_cache(&self) -> Option<&Arc<TileCache>> {
+        self.shared.tile_cache.as_ref()
     }
 
     /// Forces a catalog checkpoint: every WAL-committed metadata
@@ -331,7 +363,15 @@ impl LightDb {
     /// buffer-pool admission before execution starts. Cancel from
     /// another thread via [`QueryCtx::cancel_token`].
     pub fn execute_with_ctx(&self, query: &VrqlExpr, ctx: QueryCtx) -> Result<QueryOutput> {
-        session::execute_on(&self.shared, &self.defaults, &self.udfs, &self.metrics, None, query, ctx)
+        session::execute_on(
+            &self.shared,
+            &self.defaults,
+            &self.udfs,
+            &self.metrics,
+            None,
+            query,
+            ctx,
+        )
     }
 
     /// Returns the optimised physical plan for a query, as text —
@@ -393,7 +433,10 @@ fn splice_materialized(view: LogicalPlan, scan: &LogicalPlan) -> LogicalPlan {
             return scan.clone();
         }
     }
-    let inputs = inputs.into_iter().map(|p| splice_materialized(p, scan)).collect();
+    let inputs = inputs
+        .into_iter()
+        .map(|p| splice_materialized(p, scan))
+        .collect();
     LogicalPlan { op, inputs }
 }
 
@@ -403,7 +446,9 @@ fn splice_materialized(view: LogicalPlan, scan: &LogicalPlan) -> LogicalPlan {
 /// `INTERPOLATE` — the paper's "latest point where it becomes
 /// continuous". Queries without such a suffix store discretely.
 fn peel_view_subgraph(plan: LogicalPlan) -> (LogicalPlan, Option<Vec<u8>>) {
-    let LogicalOp::Store { name } = &plan.op else { return (plan, None) };
+    let LogicalOp::Store { name } = &plan.op else {
+        return (plan, None);
+    };
     let name = name.clone();
     let child = &plan.inputs[0];
     // Collect the unary serialisable chain below the store.
@@ -429,7 +474,9 @@ fn peel_view_subgraph(plan: LogicalPlan) -> (LogicalPlan, Option<Vec<u8>>) {
         }
         cursor = &cursor.inputs[0];
     }
-    let Some(cut) = last_interp else { return (plan, None) };
+    let Some(cut) = last_interp else {
+        return (plan, None);
+    };
     // Rebuild the suffix over SCAN($materialized); abandon peeling if
     // any node fails to serialise (e.g. stencils).
     let mut suffix = LogicalPlan::leaf(LogicalOp::Scan {
@@ -437,9 +484,14 @@ fn peel_view_subgraph(plan: LogicalPlan) -> (LogicalPlan, Option<Vec<u8>>) {
         version: None,
     });
     for node in chain[..cut].iter().rev() {
-        suffix = LogicalPlan { op: node.op.clone(), inputs: vec![suffix] };
+        suffix = LogicalPlan {
+            op: node.op.clone(),
+            inputs: vec![suffix],
+        };
     }
-    let Ok(bytes) = subgraph::serialize(&suffix) else { return (plan, None) };
+    let Ok(bytes) = subgraph::serialize(&suffix) else {
+        return (plan, None);
+    };
     // The store's new input is whatever lies below the last INTERPOLATE.
     let materialize = chain[cut - 1].inputs[0].clone();
     (
@@ -482,13 +534,19 @@ mod tests {
             &db,
             "demo",
             &demo_frames(8),
-            &ingest::IngestConfig { fps: 4, gop_length: 4, ..Default::default() },
+            &ingest::IngestConfig {
+                fps: 4,
+                gop_length: 4,
+                ..Default::default()
+            },
         )
         .unwrap();
         let q = scan("demo") >> Map::builtin(BuiltinMap::Grayscale);
         let out = db.execute(&q).unwrap();
         assert_eq!(out.frame_count(), 8);
-        let QueryOutput::Frames(parts) = out else { panic!() };
+        let QueryOutput::Frames(parts) = out else {
+            panic!()
+        };
         let c = parts[0].1[0].get(5, 5);
         assert!((c.u as i32 - 128).abs() <= 8);
         fs::remove_dir_all(db.catalog().root()).unwrap();
@@ -501,7 +559,11 @@ mod tests {
             &db,
             "demo",
             &demo_frames(4),
-            &ingest::IngestConfig { fps: 2, gop_length: 2, ..Default::default() },
+            &ingest::IngestConfig {
+                fps: 2,
+                gop_length: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         let q = scan("demo") >> Select::along(Dimension::T, 0.0, 1.0);
@@ -517,11 +579,17 @@ mod tests {
             &db,
             "src",
             &demo_frames(4),
-            &ingest::IngestConfig { fps: 2, gop_length: 2, ..Default::default() },
+            &ingest::IngestConfig {
+                fps: 2,
+                gop_length: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         let q = scan("src") >> Map::builtin(BuiltinMap::Blur) >> Store::named("dst");
-        let QueryOutput::Stored { name, version } = db.execute(&q).unwrap() else { panic!() };
+        let QueryOutput::Stored { name, version } = db.execute(&q).unwrap() else {
+            panic!()
+        };
         assert_eq!((name.as_str(), version), ("dst", 1));
         let out = db.execute(&scan("dst")).unwrap();
         assert_eq!(out.frame_count(), 4);
@@ -544,7 +612,11 @@ mod tests {
             &db,
             "src",
             &demo_frames(2),
-            &ingest::IngestConfig { fps: 2, gop_length: 2, ..Default::default() },
+            &ingest::IngestConfig {
+                fps: 2,
+                gop_length: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         // Store version 2 with different content.
@@ -556,7 +628,11 @@ mod tests {
             &db,
             "src",
             &brighter,
-            &ingest::IngestConfig { fps: 2, gop_length: 2, ..Default::default() },
+            &ingest::IngestConfig {
+                fps: 2,
+                gop_length: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         // Explicit version scans see each version.
@@ -574,14 +650,21 @@ mod tests {
             &db,
             "src",
             &demo_frames(2),
-            &ingest::IngestConfig { fps: 2, gop_length: 2, ..Default::default() },
+            &ingest::IngestConfig {
+                fps: 2,
+                gop_length: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         let ctx = QueryCtx::unbounded().with_deadline(std::time::Duration::ZERO);
         let err = db.execute_with_ctx(&scan("src"), ctx).unwrap_err();
         match err {
             Error::Exec(e) => {
-                assert!(matches!(e, lightdb_exec::ExecError::DeadlineExceeded), "{e}")
+                assert!(
+                    matches!(e, lightdb_exec::ExecError::DeadlineExceeded),
+                    "{e}"
+                )
             }
             other => panic!("unexpected error: {other}"),
         }
@@ -595,7 +678,11 @@ mod tests {
             &db,
             "src",
             &demo_frames(2),
-            &ingest::IngestConfig { fps: 2, gop_length: 2, ..Default::default() },
+            &ingest::IngestConfig {
+                fps: 2,
+                gop_length: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         let ctx = QueryCtx::unbounded();
@@ -615,7 +702,11 @@ mod tests {
             &db,
             "src",
             &demo_frames(2),
-            &ingest::IngestConfig { fps: 2, gop_length: 2, ..Default::default() },
+            &ingest::IngestConfig {
+                fps: 2,
+                gop_length: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         db.set_admission_limit(1 << 20);
@@ -643,10 +734,15 @@ mod tests {
             &db,
             "src",
             &demo_frames(2),
-            &ingest::IngestConfig { fps: 2, gop_length: 2, ..Default::default() },
+            &ingest::IngestConfig {
+                fps: 2,
+                gop_length: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
-        db.execute(&(scan("src") >> Map::builtin(BuiltinMap::Blur))).unwrap();
+        db.execute(&(scan("src") >> Map::builtin(BuiltinMap::Blur)))
+            .unwrap();
         assert!(db.metrics().count("MAP") >= 1);
         assert!(db.metrics().count("DECODE") >= 1);
         fs::remove_dir_all(db.catalog().root()).unwrap();

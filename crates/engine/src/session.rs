@@ -34,6 +34,7 @@ use lightdb_core::udf::{InterpUdf, MapUdf};
 use lightdb_core::vrql::VrqlExpr;
 use lightdb_exec::metrics::counters;
 use lightdb_exec::sharedscan::SharedDecode;
+use lightdb_exec::tilecache::TileCache;
 use lightdb_exec::{
     Executor, Metrics, Parallelism, PhysicalPlan, QueryCtx, QueryOutput, ReadPolicy,
 };
@@ -71,7 +72,9 @@ impl Default for SessionConfig {
             options: PlannerOptions::default(),
             read_policy: ReadPolicy::default(),
             parallelism: Parallelism::from_env(),
-            admit_policy: AdmitPolicy::Block { timeout: crate::DEFAULT_ADMIT_TIMEOUT },
+            admit_policy: AdmitPolicy::Block {
+                timeout: crate::DEFAULT_ADMIT_TIMEOUT,
+            },
         }
     }
 }
@@ -137,7 +140,9 @@ impl PlanCache {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.clock += 1;
         let clock = inner.clock;
-        inner.map.insert(key.clone(), CachedPlan { plan, stamp: clock });
+        inner
+            .map
+            .insert(key.clone(), CachedPlan { plan, stamp: clock });
         let mut evicted = 0;
         while inner.map.len() > inner.capacity {
             let victim = inner
@@ -155,7 +160,11 @@ impl PlanCache {
 
     /// Number of cached plans (for tests / introspection).
     pub(crate) fn len(&self) -> usize {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).map.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
     }
 }
 
@@ -169,6 +178,9 @@ pub(crate) struct EngineShared {
     /// `None` when shared scans are disabled
     /// (`LIGHTDB_SHARED_DECODE_MB=0`).
     pub(crate) shared_decode: Option<Arc<SharedDecode>>,
+    /// Engine-wide encoded-tile cache for the serving path. `None`
+    /// when disabled (`LIGHTDB_TILE_CACHE_MB=0`).
+    pub(crate) tile_cache: Option<Arc<TileCache>>,
     pub(crate) next_session: AtomicU64,
 }
 
@@ -276,13 +288,40 @@ impl Session {
         self.shared.pool.session_admitted(self.id)
     }
 
+    /// Opens a [`TileServer`](crate::tileserver::TileServer) over
+    /// this session: a headset-facing serving facade that answers
+    /// `(viewer, second, orientation)` with encoded tile bytes cut
+    /// zero-decode from `hq_name` (and the optional low-quality
+    /// companion `lq_name` for the neighbor ring), routed through the
+    /// engine-wide tile cache. Stream versions are pinned at open.
+    /// Serve latencies and `tile_cache.*` / `tile_server.*` counters
+    /// land on this session's [`Metrics`].
+    pub fn tile_server(
+        &self,
+        hq_name: &str,
+        lq_name: Option<&str>,
+        config: crate::tileserver::TileServerConfig,
+    ) -> Result<crate::tileserver::TileServer> {
+        crate::tileserver::TileServer::open(
+            self.shared.clone(),
+            self.metrics.clone(),
+            config,
+            hq_name,
+            lq_name,
+        )
+    }
+
     /// Parses and validates `query` once, returning a handle whose
     /// repeat executions skip re-validation — and, for cacheable
     /// shapes, re-planning (via the engine-wide plan cache).
     pub fn prepare(&self, query: &VrqlExpr) -> Result<Prepared> {
         let plan = query.plan();
-        plan.validate().map_err(lightdb_optimizer::PlanError::Core).map_err(Error::Plan)?;
-        Ok(Prepared { expr: query.clone() })
+        plan.validate()
+            .map_err(lightdb_optimizer::PlanError::Core)
+            .map_err(Error::Plan)?;
+        Ok(Prepared {
+            expr: query.clone(),
+        })
     }
 
     /// Executes a prepared statement under this session's settings.
@@ -394,7 +433,10 @@ pub(crate) fn execute_on(
             metrics.bump(counters::PLAN_CACHE_MISSES);
             let mut physical = Planner::new(shared.catalog.clone(), cfg.options).plan(&pinned)?;
             if let Some(bytes) = &view_subgraph {
-                if let PhysicalPlan::Store { view_subgraph: vs, .. } = &mut physical {
+                if let PhysicalPlan::Store {
+                    view_subgraph: vs, ..
+                } = &mut physical
+                {
                     *vs = Some(bytes.clone());
                 }
             }
@@ -423,7 +465,9 @@ mod tests {
     use lightdb_exec::PhysicalPlan;
 
     fn plan() -> Arc<PhysicalPlan> {
-        Arc::new(PhysicalPlan::Omega { volume: lightdb_geom::Volume::everywhere() })
+        Arc::new(PhysicalPlan::Omega {
+            volume: lightdb_geom::Volume::everywhere(),
+        })
     }
 
     #[test]

@@ -1,0 +1,587 @@
+//! Predictive tile serving: the headset-facing facade over sessions.
+//!
+//! The paper's serving story (VisualCloud §2): each VR viewer streams
+//! the tile their predicted head orientation lands on at **high**
+//! quality and the surrounding tiles at **low** quality, all cut from
+//! the tiled bitstream *without decoding* (`TILESELECT`). A
+//! [`TileServer`] is that story as an API: opened from a
+//! [`Session`](crate::session::Session), it resolves one high-quality
+//! and (optionally) one low-quality encoded stream of a TLF at a
+//! pinned catalog version, and [`TileServer::serve`] answers
+//! `(viewer, second, orientation)` with encoded tile bytes.
+//!
+//! Serving goes through the engine-wide
+//! [`TileCache`](lightdb_exec::tilecache::TileCache) (unless disabled
+//! by `LIGHTDB_TILE_CACHE_MB=0` or [`TileServerConfig::use_cache`]),
+//! so a fleet of viewers staring at the same hot region costs one
+//! `extract_tile` — everyone else hits cache or coalesces onto the
+//! in-flight extraction. Served bytes are byte-identical to a direct
+//! `EncodedGop::extract_tile(..).to_bytes()` of the pinned version by
+//! construction: the cache key embeds the version and the extraction
+//! closure is a pure function of it.
+//!
+//! [`TileServer::prefetch`] is the predictive half: from each
+//! viewer's last two orientations it extrapolates the next one
+//! (constant angular velocity, theta wrapping, phi clamped), warms
+//! the buffer pool with the upcoming GOPs **in GOP-index order**
+//! ([`lightdb_storage::BufferPool::prefetch_gop`] readahead), and
+//! pre-extracts the predicted focus tile plus its low-quality
+//! neighbor ring into the tile cache — so the next `serve` is a pure
+//! cache hit even if the head moved exactly as predicted.
+
+use crate::session::EngineShared;
+use crate::Result;
+use lightdb_codec::{EncodedGop, SequenceHeader, TileGrid, VideoStream};
+use lightdb_container::{GopIndexEntry, TrackRole};
+use lightdb_core::Quality;
+use lightdb_exec::metrics::counters;
+use lightdb_exec::tilecache::TileKey;
+use lightdb_exec::{ExecError, Metrics};
+use lightdb_storage::bufferpool::GopKey;
+use lightdb_storage::MediaStore;
+use std::collections::HashMap;
+use std::io::Read;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use lightdb_geom::{PHI_MAX, THETA_PERIOD};
+
+/// A head orientation on the 360° sphere: `theta` (azimuth, wraps
+/// modulo [`THETA_PERIOD`]) and `phi` (polar, clamped to
+/// `[0, PHI_MAX]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Orientation {
+    pub theta: f64,
+    pub phi: f64,
+}
+
+impl Orientation {
+    pub fn new(theta: f64, phi: f64) -> Orientation {
+        Orientation { theta, phi }
+    }
+
+    /// Canonical form: theta wrapped into `[0, THETA_PERIOD)`, phi
+    /// clamped into `[0, PHI_MAX]`.
+    pub fn normalized(self) -> Orientation {
+        Orientation {
+            theta: self.theta.rem_euclid(THETA_PERIOD),
+            phi: self.phi.clamp(0.0, PHI_MAX),
+        }
+    }
+
+    /// The (col, row) grid cell this orientation looks at — the same
+    /// equirectangular mapping as `apps::predictor::is_important`.
+    pub fn cell_on(self, grid: TileGrid) -> (usize, usize) {
+        let o = self.normalized();
+        let (cols, rows) = (grid.cols, grid.rows);
+        let col = ((o.theta / (THETA_PERIOD / cols as f64)) as usize).min(cols - 1);
+        let row = ((o.phi / (PHI_MAX / rows as f64)) as usize).min(rows - 1);
+        (col, row)
+    }
+
+    /// Row-major tile index of [`Orientation::cell_on`].
+    pub fn tile_on(self, grid: TileGrid) -> usize {
+        let (col, row) = self.cell_on(grid);
+        grid.index_of(col, row)
+    }
+
+    /// The center orientation of a row-major tile — the inverse of
+    /// [`Orientation::tile_on`] up to quantization (useful for
+    /// driving `serve` from a tile-valued predictor).
+    pub fn tile_center(tile: usize, grid: TileGrid) -> Orientation {
+        let (cols, rows) = (grid.cols, grid.rows);
+        let (col, row) = (tile % cols, tile / cols);
+        Orientation {
+            theta: (col as f64 + 0.5) * THETA_PERIOD / cols as f64,
+            phi: (row as f64 + 0.5) * PHI_MAX / rows as f64,
+        }
+    }
+}
+
+/// Per-server serving policy.
+#[derive(Debug, Clone, Copy)]
+pub struct TileServerConfig {
+    /// Chebyshev radius of the low-quality neighbor ring around the
+    /// focus tile (`1` = the 8 surrounding tiles; `0` = focus only).
+    pub neighbor_ring: usize,
+    /// How many upcoming GOPs `prefetch` warms into the buffer pool,
+    /// in GOP-index order.
+    pub prefetch_gops: usize,
+    /// Route tile requests through the engine-wide tile cache. Off,
+    /// every request extracts privately — the bench's baseline.
+    pub use_cache: bool,
+}
+
+impl Default for TileServerConfig {
+    fn default() -> TileServerConfig {
+        TileServerConfig {
+            neighbor_ring: 1,
+            prefetch_gops: 1,
+            use_cache: true,
+        }
+    }
+}
+
+/// One encoded tile as served to a headset.
+#[derive(Debug, Clone)]
+pub struct ServedTile {
+    /// Row-major tile index in the stream's grid.
+    pub tile: usize,
+    /// Which quality tier the bytes were cut from.
+    pub quality: Quality,
+    /// The serialized single-tile GOP
+    /// (`EncodedGop::extract_tile(tile).to_bytes()`).
+    pub bytes: Arc<Vec<u8>>,
+}
+
+/// One answered `serve` call: the high-quality focus tile plus the
+/// low-quality neighbor ring for one GOP window.
+#[derive(Debug, Clone)]
+pub struct ServedView {
+    pub viewer: u64,
+    pub second: u64,
+    /// Row-major focus tile (where the orientation points).
+    pub focus: usize,
+    pub primary: ServedTile,
+    pub neighbors: Vec<ServedTile>,
+}
+
+/// One resolved quality tier: a pinned catalog version's video track
+/// with its parsed header and GOP index.
+#[derive(Debug)]
+struct StreamState {
+    name: Arc<str>,
+    version: u64,
+    track: usize,
+    media_path: String,
+    media: MediaStore,
+    entries: Vec<GopIndexEntry>,
+    quality: Quality,
+}
+
+/// Last observed orientations of one viewer, for prediction.
+#[derive(Debug, Clone, Copy)]
+struct ViewerTrack {
+    last: (u64, Orientation),
+    prev: Option<(u64, Orientation)>,
+}
+
+/// The serving facade. Open one per session via
+/// [`Session::tile_server`](crate::session::Session::tile_server);
+/// the server is `Send + Sync`, so one instance can serve a whole
+/// fleet from a worker pool.
+pub struct TileServer {
+    shared: Arc<EngineShared>,
+    metrics: Metrics,
+    config: TileServerConfig,
+    grid: TileGrid,
+    fps: u32,
+    hq: StreamState,
+    lq: Option<StreamState>,
+    viewers: Mutex<HashMap<u64, ViewerTrack>>,
+}
+
+impl std::fmt::Debug for TileServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TileServer")
+            .field("hq", &self.hq.name)
+            .field("version", &self.hq.version)
+            .field("grid", &self.grid)
+            .finish_non_exhaustive()
+    }
+}
+
+fn read_header(media: &MediaStore, path: &str) -> Result<SequenceHeader> {
+    let mut f = std::fs::File::open(media.path_of(path)).map_err(ExecError::Io)?;
+    let mut buf = [0u8; 64];
+    let n = f.read(&mut buf).map_err(ExecError::Io)?;
+    Ok(VideoStream::parse_header_prefix(&buf[..n])?)
+}
+
+impl TileServer {
+    /// Resolves `name` (and optionally a low-quality companion) at
+    /// their *latest* catalog versions and pins them for the life of
+    /// the server. A re-ingest under the same name is invisible here —
+    /// and visible to the next server opened — which is exactly what
+    /// makes the tile-cache keys (they embed the version) stale-proof.
+    pub(crate) fn open(
+        shared: Arc<EngineShared>,
+        metrics: Metrics,
+        config: TileServerConfig,
+        hq_name: &str,
+        lq_name: Option<&str>,
+    ) -> Result<TileServer> {
+        let (hq, header) = Self::resolve(&shared, hq_name, Quality::High)?;
+        let grid = header.grid;
+        if grid.tile_count() == 0 || hq.entries.is_empty() {
+            return Err(crate::Error::Exec(ExecError::Domain(format!(
+                "TLF {hq_name} has no tiles or no GOPs to serve"
+            ))));
+        }
+        let lq = match lq_name {
+            None => None,
+            Some(name) => {
+                let (lq, lq_header) = Self::resolve(&shared, name, Quality::Low)?;
+                // The two tiers must be cut on the same grid and GOP
+                // cadence, or "the same tile at low quality" has no
+                // meaning and entry indexes would not line up.
+                let aligned = lq_header.grid == grid
+                    && lq_header.fps == header.fps
+                    && lq.entries.len() == hq.entries.len()
+                    && lq
+                        .entries
+                        .iter()
+                        .zip(hq.entries.iter())
+                        .all(|(a, b)| a.start_frame == b.start_frame);
+                if !aligned {
+                    return Err(crate::Error::Exec(ExecError::Align(format!(
+                        "low-quality stream {name} does not mirror {hq_name}'s grid/GOP cadence"
+                    ))));
+                }
+                Some(lq)
+            }
+        };
+        Ok(TileServer {
+            shared,
+            metrics,
+            config,
+            grid,
+            fps: header.fps,
+            hq,
+            lq,
+            viewers: Mutex::new(HashMap::new()),
+        })
+    }
+
+    fn resolve(
+        shared: &EngineShared,
+        name: &str,
+        quality: Quality,
+    ) -> Result<(StreamState, SequenceHeader)> {
+        let stored = shared.catalog.read(name, None)?;
+        let track = stored
+            .metadata
+            .tracks
+            .iter()
+            .position(|t| t.role == TrackRole::Video)
+            .ok_or_else(|| ExecError::Other(format!("TLF {name} has no video track")))?;
+        let media = stored.media();
+        let media_path = stored.metadata.tracks[track].media_path.clone();
+        let header = read_header(&media, &media_path)?;
+        let entries = stored.metadata.tracks[track].gop_index.clone();
+        Ok((
+            StreamState {
+                name: Arc::from(name),
+                version: stored.version,
+                track,
+                media_path,
+                media,
+                entries,
+                quality,
+            },
+            header,
+        ))
+    }
+
+    /// The tile grid both tiers are cut on.
+    pub fn grid(&self) -> TileGrid {
+        self.grid
+    }
+
+    /// The pinned catalog version of the high-quality stream.
+    pub fn version(&self) -> u64 {
+        self.hq.version
+    }
+
+    /// Whole seconds of video available (for trace generators that
+    /// want to wrap their clocks instead of pinning the last GOP).
+    pub fn duration_seconds(&self) -> u64 {
+        let frames = self
+            .hq
+            .entries
+            .last()
+            .map(|e| e.start_frame + e.frame_count)
+            .unwrap_or(0);
+        (frames / u64::from(self.fps.max(1))).max(1)
+    }
+
+    /// Index into the GOP index for playback second `second`, clamped
+    /// to the final GOP past end-of-stream.
+    fn entry_index(&self, second: u64) -> usize {
+        let frame = second.saturating_mul(u64::from(self.fps));
+        self.hq
+            .entries
+            .iter()
+            .position(|e| frame >= e.start_frame && frame < e.start_frame + e.frame_count)
+            .unwrap_or(self.hq.entries.len() - 1)
+    }
+
+    /// The neighbor-ring cells around `focus` (Chebyshev radius from
+    /// the config), theta-wrapping across columns and clamping rows,
+    /// deduplicated, focus excluded.
+    fn ring_of(&self, focus: usize) -> Vec<usize> {
+        let (cols, rows) = (self.grid.cols, self.grid.rows);
+        let (fc, fr) = (focus % cols, focus / cols);
+        let r = self.config.neighbor_ring as isize;
+        let mut out = Vec::new();
+        for dr in -r..=r {
+            for dc in -r..=r {
+                if dr == 0 && dc == 0 {
+                    continue;
+                }
+                let row = fr as isize + dr;
+                if row < 0 || row >= rows as isize {
+                    continue; // poles do not wrap
+                }
+                let col = (fc as isize + dc).rem_euclid(cols as isize);
+                let tile = row as usize * cols + col as usize;
+                if tile != focus && !out.contains(&tile) {
+                    out.push(tile);
+                }
+            }
+        }
+        out
+    }
+
+    /// The encoded bytes of `tile` from `stream`'s GOP `entry_idx`,
+    /// through the tile cache when enabled.
+    fn tile_bytes(
+        &self,
+        stream: &StreamState,
+        entry_idx: usize,
+        tile: usize,
+    ) -> Result<Arc<Vec<u8>>> {
+        let entry = stream.entries[entry_idx];
+        let cache = match &self.shared.tile_cache {
+            Some(cache) if self.config.use_cache => Some(cache),
+            _ => None,
+        };
+        let pool = &self.shared.pool;
+        let extract = || -> std::result::Result<Vec<u8>, ExecError> {
+            let key = GopKey {
+                media: stream
+                    .media
+                    .path_of(&stream.media_path)
+                    .display()
+                    .to_string(),
+                gop: entry.start_frame,
+            };
+            let bytes = pool.get_gop_watch::<ExecError>(&key, None, &|| false, || {
+                stream
+                    .media
+                    .read_gop_bytes(&stream.media_path, &entry)
+                    .map_err(ExecError::Storage)
+            })?;
+            let gop = EncodedGop::from_bytes(&bytes)?;
+            Ok(gop.extract_tile(tile)?.to_bytes())
+        };
+        match cache {
+            Some(cache) => {
+                let key = TileKey {
+                    tlf: stream.name.clone(),
+                    version: stream.version,
+                    track: stream.track,
+                    gop: entry.start_frame,
+                    tile,
+                    quality: stream.quality,
+                };
+                Ok(cache.get_or_extract(&key, &self.metrics, &|| false, &extract)?)
+            }
+            None => Ok(Arc::new(extract()?)),
+        }
+    }
+
+    /// Serves one viewer's view for playback second `second`: the
+    /// high-quality tile their orientation points at, plus the
+    /// low-quality neighbor ring (from the low-quality stream when
+    /// the server has one, else from the high-quality stream).
+    ///
+    /// Also records the orientation as the viewer's latest, feeding
+    /// [`TileServer::prefetch`]'s prediction.
+    pub fn serve(&self, viewer: u64, second: u64, orientation: Orientation) -> Result<ServedView> {
+        let start = Instant::now();
+        let focus = orientation.tile_on(self.grid);
+        let entry_idx = self.entry_index(second);
+        let primary = ServedTile {
+            tile: focus,
+            quality: Quality::High,
+            bytes: self.tile_bytes(&self.hq, entry_idx, focus)?,
+        };
+        let low = self.lq.as_ref().unwrap_or(&self.hq);
+        let mut neighbors = Vec::new();
+        for tile in self.ring_of(focus) {
+            neighbors.push(ServedTile {
+                tile,
+                quality: low.quality,
+                bytes: self.tile_bytes(low, entry_idx, tile)?,
+            });
+        }
+        self.note(viewer, second, orientation);
+        self.metrics.bump(counters::TILE_SERVES);
+        self.metrics
+            .observe(counters::SERVE_LATENCY, start.elapsed());
+        Ok(ServedView {
+            viewer,
+            second,
+            focus,
+            primary,
+            neighbors,
+        })
+    }
+
+    fn note(&self, viewer: u64, second: u64, orientation: Orientation) {
+        let mut viewers = self.viewers.lock().unwrap_or_else(|e| e.into_inner());
+        let o = orientation.normalized();
+        match viewers.get_mut(&viewer) {
+            Some(t) => {
+                if t.last.0 != second {
+                    t.prev = Some(t.last);
+                }
+                t.last = (second, o);
+            }
+            None => {
+                viewers.insert(
+                    viewer,
+                    ViewerTrack {
+                        last: (second, o),
+                        prev: None,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Predicts `viewer`'s orientation for the *next* second by
+    /// constant-angular-velocity extrapolation of their last two
+    /// observed orientations (theta wraps, phi clamps; with fewer
+    /// than two observations the last orientation is reused), then
+    /// warms:
+    ///
+    /// * the **buffer pool**, with the next [`TileServerConfig::prefetch_gops`]
+    ///   GOPs of both tiers in GOP-index order
+    ///   ([`lightdb_storage::BufferPool::prefetch_gop`] — demand-neutral
+    ///   readahead), and
+    /// * the **tile cache**, with the predicted focus tile (high
+    ///   quality) and its neighbor ring (low quality) for the next
+    ///   GOP.
+    ///
+    /// Best-effort: individual failures are skipped (they would
+    /// resurface on the demand `serve` anyway). Returns the number of
+    /// tiles warmed; unknown viewers warm nothing.
+    pub fn prefetch(&self, viewer: u64) -> usize {
+        let track = {
+            let viewers = self.viewers.lock().unwrap_or_else(|e| e.into_inner());
+            match viewers.get(&viewer) {
+                Some(t) => *t,
+                None => return 0,
+            }
+        };
+        let (second, last) = track.last;
+        let predicted = match track.prev {
+            Some((prev_second, prev)) if prev_second < second => {
+                let dt = (second - prev_second) as f64;
+                // Shortest angular difference so a wrap-around pan
+                // does not read as a full-circle sprint.
+                let mut dtheta = (last.theta - prev.theta) / dt;
+                if dtheta > THETA_PERIOD / 2.0 {
+                    dtheta -= THETA_PERIOD;
+                } else if dtheta < -THETA_PERIOD / 2.0 {
+                    dtheta += THETA_PERIOD;
+                }
+                let dphi = (last.phi - prev.phi) / dt;
+                Orientation::new(last.theta + dtheta, last.phi + dphi).normalized()
+            }
+            _ => last,
+        };
+        let next_second = second + 1;
+        let next_idx = self.entry_index(next_second);
+        // Buffer-pool readahead: upcoming GOPs in index order.
+        let mut tiers: Vec<&StreamState> = vec![&self.hq];
+        if let Some(lq) = &self.lq {
+            tiers.push(lq);
+        }
+        for stream in &tiers {
+            let until = (next_idx + self.config.prefetch_gops).min(stream.entries.len());
+            for entry in &stream.entries[next_idx..until] {
+                let key = GopKey {
+                    media: stream
+                        .media
+                        .path_of(&stream.media_path)
+                        .display()
+                        .to_string(),
+                    gop: entry.start_frame,
+                };
+                // Best-effort: a failed readahead is retried (and
+                // properly surfaced) by the demand path.
+                let _loaded = self
+                    .shared
+                    .pool
+                    .prefetch_gop::<ExecError>(&key, || {
+                        stream
+                            .media
+                            .read_gop_bytes(&stream.media_path, entry)
+                            .map_err(ExecError::Storage)
+                    })
+                    .is_ok();
+            }
+        }
+        // Tile-cache warm for the predicted view.
+        if !(self.config.use_cache && self.shared.tile_cache.is_some()) {
+            return 0;
+        }
+        let focus = predicted.tile_on(self.grid);
+        let low = self.lq.as_ref().unwrap_or(&self.hq);
+        let mut warmed = 0usize;
+        if self.tile_bytes(&self.hq, next_idx, focus).is_ok() {
+            warmed += 1;
+        }
+        for tile in self.ring_of(focus) {
+            if self.tile_bytes(low, next_idx, tile).is_ok() {
+                warmed += 1;
+            }
+        }
+        self.metrics.add(counters::TILE_PREFETCHED, warmed as u64);
+        warmed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightdb_codec::TileGrid;
+
+    fn grid(cols: usize, rows: usize) -> TileGrid {
+        TileGrid { cols, rows }
+    }
+
+    #[test]
+    fn orientation_maps_to_cells_like_the_predictor() {
+        let g = grid(4, 4);
+        // Centers of all 16 tiles round-trip.
+        for tile in 0..16 {
+            let o = Orientation::tile_center(tile, g);
+            assert_eq!(o.tile_on(g), tile, "tile {tile} center {o:?}");
+        }
+        // Wrapping theta and clamped phi stay in range.
+        let o = Orientation::new(THETA_PERIOD + 0.1, -1.0);
+        let (col, row) = o.cell_on(g);
+        assert!(col < 4 && row < 4);
+        assert_eq!(
+            Orientation::new(THETA_PERIOD - 1e-9, PHI_MAX).tile_on(g),
+            15
+        );
+    }
+
+    #[test]
+    fn tile_center_matches_raster_predictor_importance() {
+        // The apps::predictor raster protocol marks tile (second %
+        // count); serving its center orientation must focus the same
+        // tile — the two mappings agree.
+        let g = grid(4, 2);
+        for second in 0..16usize {
+            let target = second % 8;
+            let o = Orientation::tile_center(target, g);
+            assert_eq!(o.tile_on(g), target, "second {second}");
+        }
+    }
+}

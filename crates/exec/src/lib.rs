@@ -23,7 +23,10 @@
 //! without any decode — the source of the paper's up-to-500×
 //! micro-benchmark wins.
 
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub mod chunk;
 pub mod device;
@@ -37,6 +40,7 @@ pub mod plan;
 pub mod query_ctx;
 pub mod sharedscan;
 pub mod sources;
+pub mod tilecache;
 
 pub use chunk::{Chunk, ChunkPayload, StreamInfo};
 pub use device::Device;

@@ -16,6 +16,7 @@
 //! Serially the two coincide; under overlap `wall < busy`, and
 //! `busy / wall` approximates the operator's effective parallelism.
 
+use lightdb_core::histogram::Histogram;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -37,11 +38,14 @@ struct OpStat {
 /// Thread-safe accumulator of per-operator busy/wall time and
 /// invocation counts, plus named event counters (e.g. GOPs skipped
 /// due to corruption). Cloning shares the underlying counters.
-#[derive(Clone, Default)]
-#[derive(Debug)]
+#[derive(Clone, Default, Debug)]
 pub struct Metrics {
     inner: Arc<Mutex<HashMap<&'static str, OpStat>>>,
     counters: Arc<Mutex<HashMap<&'static str, u64>>>,
+    /// Latency distributions, recorded via [`Metrics::observe`]. Kept
+    /// separate from `OpStat` so the per-span hot path (enter/exit)
+    /// never pays for percentile bucketing it does not use.
+    latencies: Arc<Mutex<HashMap<&'static str, Arc<Histogram>>>>,
 }
 
 impl Metrics {
@@ -65,14 +69,22 @@ impl Metrics {
     /// Opens a span on `op` that closes when the guard drops.
     pub fn span(&self, op: &'static str) -> SpanGuard<'_> {
         let start = self.enter(op);
-        SpanGuard { metrics: self, op, start }
+        SpanGuard {
+            metrics: self,
+            op,
+            start,
+        }
     }
 
     /// Number of spans currently open across all operators. The
     /// resilience tests assert this returns to zero after cancelled
     /// and panicked queries.
     pub fn open_spans(&self) -> u64 {
-        self.inner.lock().values().map(|e| u64::from(e.active)).sum()
+        self.inner
+            .lock()
+            .values()
+            .map(|e| u64::from(e.active))
+            .sum()
     }
 
     fn enter(&self, op: &'static str) -> Instant {
@@ -115,7 +127,11 @@ impl Metrics {
 
     /// Accumulated busy time (summed across threads) for one operator.
     pub fn total(&self, op: &str) -> Duration {
-        self.inner.lock().get(op).map(|e| e.busy).unwrap_or(Duration::ZERO)
+        self.inner
+            .lock()
+            .get(op)
+            .map(|e| e.busy)
+            .unwrap_or(Duration::ZERO)
     }
 
     /// Accumulated wall-clock time for one operator: the union of the
@@ -123,7 +139,11 @@ impl Metrics {
     /// [`Metrics::total`] for serial execution; strictly less when
     /// invocations overlap.
     pub fn wall(&self, op: &str) -> Duration {
-        self.inner.lock().get(op).map(|e| e.wall).unwrap_or(Duration::ZERO)
+        self.inner
+            .lock()
+            .get(op)
+            .map(|e| e.wall)
+            .unwrap_or(Duration::ZERO)
     }
 
     /// Invocation count for one operator.
@@ -134,8 +154,12 @@ impl Metrics {
     /// All `(operator, busy total, count)` rows, sorted by descending
     /// time.
     pub fn report(&self) -> Vec<(&'static str, Duration, u64)> {
-        let mut rows: Vec<_> =
-            self.inner.lock().iter().map(|(k, e)| (*k, e.busy, e.count)).collect();
+        let mut rows: Vec<_> = self
+            .inner
+            .lock()
+            .iter()
+            .map(|(k, e)| (*k, e.busy, e.count))
+            .collect();
         rows.sort_by_key(|r| std::cmp::Reverse(r.1));
         rows
     }
@@ -143,8 +167,12 @@ impl Metrics {
     /// All `(operator, busy, wall, count)` rows, sorted by descending
     /// busy time — the parallel-aware variant of [`Metrics::report`].
     pub fn report_wall(&self) -> Vec<(&'static str, Duration, Duration, u64)> {
-        let mut rows: Vec<_> =
-            self.inner.lock().iter().map(|(k, e)| (*k, e.busy, e.wall, e.count)).collect();
+        let mut rows: Vec<_> = self
+            .inner
+            .lock()
+            .iter()
+            .map(|(k, e)| (*k, e.busy, e.wall, e.count))
+            .collect();
         rows.sort_by_key(|r| std::cmp::Reverse(r.1));
         rows
     }
@@ -171,10 +199,36 @@ impl Metrics {
         rows
     }
 
+    /// Records one sample into the named latency distribution. Unlike
+    /// [`Metrics::record`] this feeds a log-bucketed histogram
+    /// ([`lightdb_core::histogram::Histogram`]) so p50/p99/p999 can be
+    /// read back without retaining individual samples.
+    pub fn observe(&self, op: &'static str, d: Duration) {
+        self.histogram(op).record(d);
+    }
+
+    /// The named latency histogram, created empty on first access.
+    /// The `Arc` can be held across calls (e.g. by a worker loop) to
+    /// record without re-taking the map lock per sample.
+    pub fn histogram(&self, op: &'static str) -> Arc<Histogram> {
+        self.latencies.lock().entry(op).or_default().clone()
+    }
+
+    /// A percentile (0.0–100.0) of the named latency distribution;
+    /// zero when nothing was observed.
+    pub fn percentile(&self, op: &str, p: f64) -> Duration {
+        self.latencies
+            .lock()
+            .get(op)
+            .map(|h| h.percentile(p))
+            .unwrap_or(Duration::ZERO)
+    }
+
     /// Clears all counters.
     pub fn reset(&self) {
         self.inner.lock().clear();
         self.counters.lock().clear();
+        self.latencies.lock().clear();
     }
 }
 
@@ -218,6 +272,26 @@ pub mod counters {
     pub const PLAN_CACHE_MISSES: &str = "plan_cache.misses";
     /// Cached plans evicted to respect the plan-cache entry bound.
     pub const PLAN_CACHE_EVICTIONS: &str = "plan_cache.evictions";
+    /// Encoded-tile requests served straight from the cross-user tile
+    /// cache ([`crate::tilecache::TileCache`]) — no extraction ran.
+    pub const TILE_CACHE_HITS: &str = "tile_cache.hits";
+    /// Tile requests that ran `extract_tile` as the single-flight
+    /// leader. Every miss is exactly one extraction.
+    pub const TILE_CACHE_MISSES: &str = "tile_cache.misses";
+    /// Cached tiles evicted to stay within `LIGHTDB_TILE_CACHE_MB`.
+    pub const TILE_CACHE_EVICTIONS: &str = "tile_cache.evictions";
+    /// Tile requests that waited on another request's in-flight
+    /// extraction and then reused its published result — the requests
+    /// the single-flight wrapper deduplicated.
+    pub const TILE_CACHE_COALESCED: &str = "tile_cache.coalesced";
+    /// Views served by a `TileServer` (one per `serve` call; each view
+    /// bundles one high-quality tile plus its low-quality neighbors).
+    pub const TILE_SERVES: &str = "tile_server.serves";
+    /// Tiles warmed into the tile cache by predictive prefetch.
+    pub const TILE_PREFETCHED: &str = "tile_server.prefetched_tiles";
+    /// Latency histogram name for one served view (use with
+    /// [`super::Metrics::observe`] / [`super::Metrics::percentile`]).
+    pub const SERVE_LATENCY: &str = "tile_server.serve";
 }
 
 #[cfg(test)]
@@ -276,7 +350,10 @@ mod tests {
         assert!(busy >= Duration::from_millis(15));
         // Serially, wall and busy measure the same spans (modulo the
         // instants taken just inside/outside the lock).
-        assert!(wall >= busy / 2, "serial wall {wall:?} far below busy {busy:?}");
+        assert!(
+            wall >= busy / 2,
+            "serial wall {wall:?} far below busy {busy:?}"
+        );
         assert!(wall <= busy + Duration::from_millis(15));
     }
 
@@ -290,7 +367,10 @@ mod tests {
             }
         });
         let (busy, wall) = (m.total("OP"), m.wall("OP"));
-        assert!(busy >= Duration::from_millis(160), "4 × 40ms summed, got {busy:?}");
+        assert!(
+            busy >= Duration::from_millis(160),
+            "4 × 40ms summed, got {busy:?}"
+        );
         assert!(
             wall < busy,
             "overlapping spans must not sum: wall {wall:?} vs busy {busy:?}"
@@ -315,6 +395,22 @@ mod tests {
         m.time("OP", || std::thread::sleep(Duration::from_millis(5)));
         assert!(m.wall("OP") >= wall_before + Duration::from_millis(4));
         assert_eq!(m.open_spans(), 0);
+    }
+
+    #[test]
+    fn observed_latencies_expose_percentiles() {
+        let m = Metrics::new();
+        assert_eq!(m.percentile("SERVE", 99.0), Duration::ZERO);
+        for us in 1..=100u64 {
+            m.observe("SERVE", Duration::from_micros(us));
+        }
+        let p50 = m.percentile("SERVE", 50.0).as_nanos() as f64;
+        assert!((p50 / 1_000.0 - 50.0).abs() < 8.0, "p50 {p50}ns");
+        // Clones share histograms; reset clears them.
+        m.clone().observe("SERVE", Duration::from_micros(1));
+        assert_eq!(m.histogram("SERVE").count(), 101);
+        m.reset();
+        assert_eq!(m.percentile("SERVE", 50.0), Duration::ZERO);
     }
 
     #[test]

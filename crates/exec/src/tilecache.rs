@@ -1,0 +1,539 @@
+//! Cross-user cache of *encoded* tile outputs with single-flight
+//! extraction.
+//!
+//! The fleet-serving workload (PAPER.md §2: many headsets viewing one
+//! 360° video, head orientations clustered on the action) asks for
+//! the same hot tile thousands of times per second. Extraction is
+//! already zero-decode (`EncodedGop::extract_tile` clones the tile's
+//! slice out of every frame), but under a fleet even that memcpy —
+//! plus the buffer-pool traffic to get the GOP bytes — multiplies by
+//! the viewer count. A [`TileCache`] is the serving-layer analogue of
+//! [`crate::sharedscan::SharedDecode`]: a byte-budgeted LRU over the
+//! serialized single-tile GOPs, wrapped in the buffer pool's generic
+//! `SingleFlight` so concurrent requests for one hot tile run
+//! `extract_tile` exactly once and everyone else reuses those bytes.
+//!
+//! ## Keys and version safety
+//!
+//! Keys are **provenance-addressed**: `(tlf, catalog version, track,
+//! gop start-frame, tile index, quality)`. The catalog version is the
+//! load-bearing field — re-ingesting a TLF under the same name mints
+//! a new version, so a server that resolved the new snapshot builds
+//! keys that can never collide with the old entries. Stale tiles age
+//! out of the LRU; they are never *served*, because nothing asks for
+//! the dead version's keys. (Content addressing, as the shared-decode
+//! cache uses, would also be correct but would hash every GOP payload
+//! on every request; the serving path is exactly the place where that
+//! per-request cost matters.)
+//!
+//! ## Counter semantics
+//!
+//! Every call bumps exactly one of three counters:
+//! `tile_cache.hits` (served from cache without waiting),
+//! `tile_cache.coalesced` (waited on another request's in-flight
+//! extraction, then reused its result), or `tile_cache.misses` (ran
+//! the extraction as leader). So `hits + coalesced` is precisely
+//! "extractions avoided", and `misses` equals extractions performed.
+
+use crate::metrics::{counters, Metrics};
+use crate::Result;
+use lightdb_core::Quality;
+use lightdb_storage::bufferpool::{FlightJoin, SingleFlight};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default encoded-tile cache budget: 64 MiB. Encoded tiles are tiny
+/// (a tile's slice of each frame at one quality), so this holds many
+/// thousands of hot tiles. Engines read `LIGHTDB_TILE_CACHE_MB`.
+pub const DEFAULT_BUDGET_BYTES: usize = 64 << 20;
+
+/// Provenance identity of one encoded tile at one quality.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TileKey {
+    /// TLF name in the catalog.
+    pub tlf: Arc<str>,
+    /// Catalog version the serving snapshot resolved. Re-ingest under
+    /// the same name bumps this, so stale entries are unreachable.
+    pub version: u64,
+    /// Track ordinal within the TLF.
+    pub track: usize,
+    /// GOP identity within the track: its start frame (matches the
+    /// buffer pool's `GopKey::gop` convention).
+    pub gop: u64,
+    /// Tile ordinal in the track's grid (row-major).
+    pub tile: usize,
+    /// Quality tier of the stream the tile was cut from.
+    pub quality: Quality,
+}
+
+struct CacheEntry {
+    tile: Arc<Vec<u8>>,
+    bytes: usize,
+    /// Monotonic stamp for LRU ordering.
+    stamp: u64,
+}
+
+struct CacheInner {
+    map: HashMap<TileKey, CacheEntry>,
+    bytes: usize,
+    budget: usize,
+    clock: u64,
+}
+
+impl CacheInner {
+    /// Evicts LRU entries until within budget, never touching the
+    /// just-inserted `protect` key unless it alone exceeds the budget
+    /// (in which case it is served but not retained — the same
+    /// oversized-entry rule as the buffer pool and shared-decode
+    /// cache).
+    fn evict_to_budget(&mut self, protect: &TileKey, metrics: &Metrics, stats: &CacheStats) {
+        while self.bytes > self.budget {
+            let victim = self
+                .map
+                .iter()
+                .filter(|(k, _)| *k != protect)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            if let Some(e) = self.map.remove(&victim) {
+                self.bytes -= e.bytes;
+                metrics.bump(counters::TILE_CACHE_EVICTIONS);
+                stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if self.bytes > self.budget {
+            if let Some(e) = self.map.remove(protect) {
+                self.bytes -= e.bytes;
+                metrics.bump(counters::TILE_CACHE_EVICTIONS);
+                stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Cache-wide totals, independent of any one session's [`Metrics`].
+/// Sessions see their own share through the `tile_cache.*` counters;
+/// these atomics see the whole fleet, which is what the exactly-once
+/// tests and the fleet bench assert on.
+#[derive(Debug, Default)]
+struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A point-in-time copy of the cache-wide totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TileCacheStats {
+    /// Requests served from cache without waiting.
+    pub hits: u64,
+    /// Extractions performed (single-flight leaders).
+    pub misses: u64,
+    /// Requests that reused another request's in-flight extraction.
+    pub coalesced: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+}
+
+impl TileCacheStats {
+    /// Requests that did not run an extraction.
+    pub fn avoided(&self) -> u64 {
+        self.hits + self.coalesced
+    }
+
+    /// Fraction of requests served without extraction, 0.0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.coalesced;
+        if total == 0 {
+            0.0
+        } else {
+            self.avoided() as f64 / total as f64
+        }
+    }
+
+    /// Field-wise `self - earlier`, for before/after deltas around a
+    /// bench run against a shared cache.
+    pub fn since(&self, earlier: &TileCacheStats) -> TileCacheStats {
+        TileCacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            coalesced: self.coalesced.saturating_sub(earlier.coalesced),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
+}
+
+/// The cross-user encoded-tile facility: single-flight extraction
+/// plus a byte-bounded LRU of serialized single-tile GOPs. One per
+/// engine, shared by every session's `TileServer`.
+pub struct TileCache {
+    flights: SingleFlight<TileKey>,
+    inner: Mutex<CacheInner>,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for TileCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never locks: safe to call mid-critical-section.
+        f.debug_struct("TileCache").finish_non_exhaustive()
+    }
+}
+
+impl TileCache {
+    /// A cache bounded by `budget_bytes` of serialized tile data.
+    pub fn new(budget_bytes: usize) -> TileCache {
+        TileCache {
+            flights: SingleFlight::new(),
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                bytes: 0,
+                budget: budget_bytes,
+                clock: 0,
+            }),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Encoded-tile bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.inner.lock().budget
+    }
+
+    /// Number of cached tiles.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache-wide totals since construction.
+    pub fn stats(&self) -> TileCacheStats {
+        TileCacheStats {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            coalesced: self.stats.coalesced.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether `key` is resident right now (no LRU touch; tests and
+    /// prefetch use this to avoid redundant warming).
+    pub fn contains(&self, key: &TileKey) -> bool {
+        self.inner.lock().map.contains_key(key)
+    }
+
+    fn lookup(&self, key: &TileKey) -> Option<Arc<Vec<u8>>> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.map.get_mut(key).map(|e| {
+            e.stamp = clock;
+            e.tile.clone()
+        })
+    }
+
+    fn publish(&self, key: TileKey, tile: Arc<Vec<u8>>, metrics: &Metrics) {
+        let bytes = tile.len();
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += bytes;
+        inner.map.insert(
+            key.clone(),
+            CacheEntry {
+                tile,
+                bytes,
+                stamp: clock,
+            },
+        );
+        inner.evict_to_budget(&key, metrics, &self.stats);
+    }
+
+    /// Serves `key` from the cache, or runs `extract` under
+    /// single-flight so concurrent requests for the same tile extract
+    /// it exactly once.
+    ///
+    /// `extract` must be a pure function of the key (it produces the
+    /// serialized single-tile GOP — `extract_tile(i).to_bytes()` — for
+    /// the pinned catalog version in the key), so a cached entry is
+    /// byte-identical to a fresh extraction by construction. It may be
+    /// called more than once only if a leader fails and this request
+    /// retries into leadership; each call is still "one extraction"
+    /// for counter purposes.
+    ///
+    /// Waiting on another request's in-flight extraction polls
+    /// `should_abort` each step; an aborted wait returns the abort
+    /// error produced by `on_abort` (sessions map it to their query's
+    /// cancellation/deadline error).
+    pub fn get_or_extract(
+        &self,
+        key: &TileKey,
+        metrics: &Metrics,
+        should_abort: &dyn Fn() -> bool,
+        extract: &dyn Fn() -> Result<Vec<u8>>,
+    ) -> Result<Arc<Vec<u8>>> {
+        // Whether we parked behind another request's flight; decides
+        // hit vs coalesced attribution when the value materialises.
+        let mut waited = false;
+        loop {
+            if let Some(tile) = self.lookup(key) {
+                if waited {
+                    metrics.bump(counters::TILE_CACHE_COALESCED);
+                    self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    metrics.bump(counters::TILE_CACHE_HITS);
+                    self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(tile);
+            }
+            match self.flights.join(key, should_abort) {
+                FlightJoin::Leader(ticket) => {
+                    // Double-check under leadership: a prior leader may
+                    // have published between our lookup and our join
+                    // (the cache and flight table are separate locks).
+                    if let Some(tile) = self.lookup(key) {
+                        if waited {
+                            metrics.bump(counters::TILE_CACHE_COALESCED);
+                            self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            metrics.bump(counters::TILE_CACHE_HITS);
+                            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        drop(ticket);
+                        return Ok(tile);
+                    }
+                    let tile = Arc::new(extract()?);
+                    metrics.bump(counters::TILE_CACHE_MISSES);
+                    self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                    self.publish(key.clone(), tile.clone(), metrics);
+                    drop(ticket); // wakes followers onto the published entry
+                    return Ok(tile);
+                }
+                FlightJoin::Completed => {
+                    waited = true;
+                    continue;
+                }
+                FlightJoin::Aborted => {
+                    if should_abort() {
+                        return Err(crate::ExecError::Cancelled);
+                    }
+                    // Raced: the abort condition cleared; retry.
+                    continue;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+
+    fn key(tile: usize) -> TileKey {
+        TileKey {
+            tlf: Arc::from("vid"),
+            version: 1,
+            track: 0,
+            gop: 0,
+            tile,
+            quality: Quality::High,
+        }
+    }
+
+    fn payload(tile: usize, len: usize) -> Vec<u8> {
+        (0..len).map(|i| (tile * 31 + i) as u8).collect()
+    }
+
+    #[test]
+    fn hit_returns_published_bytes() {
+        let cache = TileCache::new(DEFAULT_BUDGET_BYTES);
+        let m = Metrics::new();
+        let a = cache
+            .get_or_extract(&key(3), &m, &|| false, &|| Ok(payload(3, 100)))
+            .unwrap();
+        let b = cache
+            .get_or_extract(&key(3), &m, &|| false, &|| panic!("must not re-extract"))
+            .unwrap();
+        assert_eq!(*a, payload(3, 100));
+        assert_eq!(a, b);
+        assert_eq!(m.counter(counters::TILE_CACHE_MISSES), 1);
+        assert_eq!(m.counter(counters::TILE_CACHE_HITS), 1);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.coalesced), (1, 1, 0));
+        assert_eq!(s.avoided(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_take_distinct_entries() {
+        let cache = TileCache::new(DEFAULT_BUDGET_BYTES);
+        let m = Metrics::new();
+        for t in 0..4 {
+            cache
+                .get_or_extract(&key(t), &m, &|| false, &|| Ok(payload(t, 50)))
+                .unwrap();
+        }
+        // Same tile at a different version is a different entry.
+        let mut v2 = key(0);
+        v2.version = 2;
+        cache
+            .get_or_extract(&v2, &m, &|| false, &|| Ok(payload(9, 50)))
+            .unwrap();
+        assert_eq!(cache.len(), 5);
+        assert_eq!(m.counter(counters::TILE_CACHE_MISSES), 5);
+        assert_eq!(m.counter(counters::TILE_CACHE_HITS), 0);
+    }
+
+    #[test]
+    fn concurrent_requests_for_one_tile_extract_once() {
+        const THREADS: usize = 8;
+        let cache = Arc::new(TileCache::new(DEFAULT_BUDGET_BYTES));
+        let m = Metrics::new();
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let extractions = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let (cache, m, barrier, extractions) = (
+                    cache.clone(),
+                    m.clone(),
+                    barrier.clone(),
+                    extractions.clone(),
+                );
+                s.spawn(move || {
+                    barrier.wait();
+                    let got = cache
+                        .get_or_extract(&key(7), &m, &|| false, &|| {
+                            extractions.fetch_add(1, Ordering::Relaxed);
+                            // Widen the race window so followers park.
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                            Ok(payload(7, 64))
+                        })
+                        .unwrap();
+                    assert_eq!(*got, payload(7, 64));
+                });
+            }
+        });
+        assert_eq!(
+            extractions.load(Ordering::Relaxed),
+            1,
+            "exactly-once extraction"
+        );
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits + s.coalesced, THREADS as u64 - 1);
+        assert_eq!(
+            m.counter(counters::TILE_CACHE_HITS) + m.counter(counters::TILE_CACHE_COALESCED),
+            THREADS as u64 - 1
+        );
+    }
+
+    #[test]
+    fn budget_evicts_lru_and_bounds_bytes() {
+        let cache = TileCache::new(250); // fits two 100-byte tiles
+        let m = Metrics::new();
+        cache
+            .get_or_extract(&key(0), &m, &|| false, &|| Ok(payload(0, 100)))
+            .unwrap();
+        cache
+            .get_or_extract(&key(1), &m, &|| false, &|| Ok(payload(1, 100)))
+            .unwrap();
+        // Touch 0 so 1 is the LRU victim.
+        cache
+            .get_or_extract(&key(0), &m, &|| false, &|| panic!("hit"))
+            .unwrap();
+        cache
+            .get_or_extract(&key(2), &m, &|| false, &|| Ok(payload(2, 100)))
+            .unwrap();
+        assert_eq!(m.counter(counters::TILE_CACHE_EVICTIONS), 1);
+        assert!(cache.resident_bytes() <= 250);
+        assert!(cache.contains(&key(0)), "recently-touched entry survived");
+        assert!(!cache.contains(&key(1)), "LRU entry evicted");
+        // An entry bigger than the whole budget is served, not kept.
+        cache
+            .get_or_extract(&key(9), &m, &|| false, &|| Ok(payload(9, 1000)))
+            .unwrap();
+        assert!(!cache.contains(&key(9)));
+        assert!(cache.resident_bytes() <= 250);
+    }
+
+    #[test]
+    fn failed_leader_hands_over_and_error_propagates() {
+        let cache = Arc::new(TileCache::new(DEFAULT_BUDGET_BYTES));
+        let m = Metrics::new();
+        let err = cache
+            .get_or_extract(&key(5), &m, &|| false, &|| {
+                Err(crate::ExecError::Other("injected".into()))
+            })
+            .unwrap_err();
+        assert!(matches!(err, crate::ExecError::Other(_)));
+        // The flight was released on the error path: a new request
+        // becomes leader and succeeds.
+        let got = cache
+            .get_or_extract(&key(5), &m, &|| false, &|| Ok(payload(5, 10)))
+            .unwrap();
+        assert_eq!(*got, payload(5, 10));
+        assert_eq!(
+            cache.stats().misses,
+            1,
+            "failed extraction is not a miss-count"
+        );
+    }
+
+    #[test]
+    fn aborted_wait_surfaces_cancelled() {
+        let cache = TileCache::new(DEFAULT_BUDGET_BYTES);
+        // Park a leader on the key, then join it with an abort signal.
+        let k = key(11);
+        let ticket = match cache.flights.join(&k, &|| false) {
+            FlightJoin::Leader(t) => t,
+            other => panic!("expected leadership, got {other:?}"),
+        };
+        let m = Metrics::new();
+        let err = cache
+            .get_or_extract(&k, &m, &|| true, &|| Ok(payload(11, 10)))
+            .unwrap_err();
+        assert!(matches!(err, crate::ExecError::Cancelled));
+        drop(ticket);
+    }
+
+    #[test]
+    fn stats_since_subtracts() {
+        let a = TileCacheStats {
+            hits: 10,
+            misses: 4,
+            coalesced: 2,
+            evictions: 1,
+        };
+        let b = TileCacheStats {
+            hits: 4,
+            misses: 4,
+            coalesced: 0,
+            evictions: 0,
+        };
+        let d = a.since(&b);
+        assert_eq!(
+            d,
+            TileCacheStats {
+                hits: 6,
+                misses: 0,
+                coalesced: 2,
+                evictions: 1
+            }
+        );
+        assert!((d.hit_rate() - 8.0 / 8.0).abs() < 1e-9);
+        assert_eq!(TileCacheStats::default().hit_rate(), 0.0);
+    }
+}

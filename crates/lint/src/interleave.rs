@@ -111,7 +111,8 @@ fn dfs<S: Clone, T: ModelThread<S>>(
     if !any_runnable {
         out.schedules += 1;
         out.deadlocks += 1;
-        out.failures.push((trace.clone(), "deadlock: no runnable thread".into()));
+        out.failures
+            .push((trace.clone(), "deadlock: no runnable thread".into()));
         return;
     }
     for (i, t) in threads.iter().enumerate() {
@@ -216,12 +217,19 @@ enum PoolPc {
     /// registration or wait decision (bufferpool.rs lines 167–201).
     CheckCache,
     /// The out-of-lock disk read (lines 202–205).
-    Load { flight: usize },
+    Load {
+        flight: usize,
+    },
     /// The locked publish: stats, insert, accounting, eviction,
     /// flight completion (lines 206–229).
-    Publish { flight: usize, load_ok: bool },
+    Publish {
+        flight: usize,
+        load_ok: bool,
+    },
     /// Parked on `Flight::wait` until the loader finishes (line 194).
-    WaitFlight { flight: usize },
+    WaitFlight {
+        flight: usize,
+    },
     Done,
 }
 
@@ -239,7 +247,13 @@ pub struct PoolThread {
 
 impl PoolThread {
     pub fn get(key: u8, len: usize) -> PoolThread {
-        PoolThread { key, len, pc: PoolPc::CheckCache, counted: false, result: None }
+        PoolThread {
+            key,
+            len,
+            pc: PoolPc::CheckCache,
+            counted: false,
+            result: None,
+        }
     }
 }
 
@@ -287,7 +301,10 @@ impl ModelThread<PoolState> for PoolThread {
                 // fails is decided here so `Publish` stays atomic.
                 let nth = s.loads + 1; // sequenced by publish order below
                 let ok = s.failing_load != Some(nth);
-                self.pc = PoolPc::Publish { flight, load_ok: ok };
+                self.pc = PoolPc::Publish {
+                    flight,
+                    load_ok: ok,
+                };
             }
             PoolPc::Publish { flight, load_ok } => {
                 s.loads += 1;
@@ -322,7 +339,11 @@ impl ModelThread<PoolState> for PoolThread {
 /// of schedule. Scenario-specific bounds are layered on by callers.
 pub fn pool_invariants(s: &PoolState, threads: &[PoolThread]) -> Result<(), String> {
     if s.bytes != s.resident_bytes() {
-        return Err(format!("bytes {} != resident {}", s.bytes, s.resident_bytes()));
+        return Err(format!(
+            "bytes {} != resident {}",
+            s.bytes,
+            s.resident_bytes()
+        ));
     }
     if s.bytes > s.capacity {
         return Err(format!("bytes {} exceeds capacity {}", s.bytes, s.capacity));
@@ -372,7 +393,11 @@ impl ScatterState {
     pub fn new(items: &[u32]) -> ScatterState {
         let mut queue: Vec<(usize, u32)> = items.iter().copied().enumerate().collect();
         queue.reverse();
-        ScatterState { queue, results: Vec::new(), jobs: items.len() }
+        ScatterState {
+            queue,
+            results: Vec::new(),
+            jobs: items.len(),
+        }
     }
 }
 
@@ -387,9 +412,15 @@ enum WorkerPc {
     /// Locked queue pop (parallel.rs line 95).
     Pop,
     /// Out-of-lock compute of `f(i, t)` (line 98).
-    Compute { index: usize, item: u32 },
+    Compute {
+        index: usize,
+        item: u32,
+    },
     /// Locked results push (line 99).
-    Push { index: usize, value: Result<u32, u32> },
+    Push {
+        index: usize,
+        value: Result<u32, u32>,
+    },
     Done,
 }
 
@@ -403,7 +434,10 @@ pub struct WorkerThread {
 
 impl WorkerThread {
     pub fn new(fail_index: Option<usize>) -> WorkerThread {
-        WorkerThread { pc: WorkerPc::Pop, fail_index }
+        WorkerThread {
+            pc: WorkerPc::Pop,
+            fail_index,
+        }
     }
 }
 
@@ -442,11 +476,7 @@ impl ModelThread<ScatterState> for WorkerThread {
 /// The reassembly contract: scattering the results back into
 /// index-ordered slots reproduces the serial output exactly —
 /// byte-identical, with errors in their input positions.
-pub fn scatter_invariants(
-    s: &ScatterState,
-    items: &[u32],
-    fail: &[usize],
-) -> Result<(), String> {
+pub fn scatter_invariants(s: &ScatterState, items: &[u32], fail: &[usize]) -> Result<(), String> {
     if s.results.len() != s.jobs {
         return Err(format!("{} results for {} jobs", s.results.len(), s.jobs));
     }
@@ -459,11 +489,17 @@ pub fn scatter_invariants(
         slots[*i] = Some(*v);
     }
     for (i, slot) in slots.iter().enumerate() {
-        let expected = if fail.contains(&i) { Err(items[i]) } else { Ok(kernel(items[i])) };
+        let expected = if fail.contains(&i) {
+            Err(items[i])
+        } else {
+            Ok(kernel(items[i]))
+        };
         match slot {
             None => return Err(format!("slot {i} missing")),
             Some(v) if *v != expected => {
-                return Err(format!("slot {i}: got {v:?}, serial path gives {expected:?}"))
+                return Err(format!(
+                    "slot {i}: got {v:?}, serial path gives {expected:?}"
+                ))
             }
             _ => {}
         }
@@ -528,11 +564,18 @@ enum SharedScanPc {
     /// Locked `SingleFlight::join`: register as leader or park.
     Join,
     /// Out-of-lock decode by the leader.
-    Decode { flight: usize },
+    Decode {
+        flight: usize,
+    },
     /// Locked publish + ticket drop (flight removal and `finish`).
-    Publish { flight: usize, ok: bool },
+    Publish {
+        flight: usize,
+        ok: bool,
+    },
     /// Parked on `Flight::wait_done`; wakes on completion or abort.
-    WaitFlight { flight: usize },
+    WaitFlight {
+        flight: usize,
+    },
     Done,
 }
 
@@ -553,7 +596,13 @@ pub struct SharedScanThread {
 
 impl SharedScanThread {
     pub fn decode(key: u8, len: usize) -> SharedScanThread {
-        SharedScanThread { key, len, pc: SharedScanPc::CheckCache, aborted: false, result: None }
+        SharedScanThread {
+            key,
+            len,
+            pc: SharedScanPc::CheckCache,
+            aborted: false,
+            result: None,
+        }
     }
 
     pub fn aborted(mut self) -> SharedScanThread {
@@ -571,9 +620,7 @@ impl ModelThread<SharedScanState> for SharedScanThread {
         match &self.pc {
             // The real wait is a timed condvar loop that polls the
             // abort flag, so an aborted waiter is always runnable.
-            SharedScanPc::WaitFlight { flight } => {
-                self.aborted || shared.flights_done[*flight]
-            }
+            SharedScanPc::WaitFlight { flight } => self.aborted || shared.flights_done[*flight],
             SharedScanPc::Done => false,
             _ => true,
         }
@@ -666,6 +713,291 @@ pub fn shared_scan_invariants(
 }
 
 // ---------------------------------------------------------------------------
+// Model 4: encoded-tile cache single-flight (exec::tilecache::TileCache)
+// ---------------------------------------------------------------------------
+
+/// Shared state of `TileCache`: the byte-budgeted LRU map plus the
+/// generic single-flight table, each behind its own lock in the real
+/// code (`CacheInner` mutex and `SingleFlight`'s mutex).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileCacheState {
+    /// key → (encoded tile length, LRU stamp).
+    cache: BTreeMap<u8, (usize, u64)>,
+    bytes: usize,
+    budget: usize,
+    clock: u64,
+    /// key → flight id with an extraction in progress.
+    flights: BTreeMap<u8, usize>,
+    /// flight id → completed (`FlightTicket` dropped).
+    flights_done: Vec<bool>,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    evictions: u64,
+    /// `extract_tile` executions — the work the cache exists to avoid.
+    extracts: u64,
+    /// When set, the Nth extraction (1-based) fails — a corrupt GOP
+    /// surfacing in the leader.
+    failing_extract: Option<u64>,
+}
+
+impl TileCacheState {
+    pub fn new(budget: usize) -> TileCacheState {
+        TileCacheState {
+            cache: BTreeMap::new(),
+            bytes: 0,
+            budget,
+            clock: 0,
+            flights: BTreeMap::new(),
+            flights_done: Vec::new(),
+            hits: 0,
+            misses: 0,
+            coalesced: 0,
+            evictions: 0,
+            extracts: 0,
+            failing_extract: None,
+        }
+    }
+
+    pub fn failing_extract(mut self, nth: u64) -> TileCacheState {
+        self.failing_extract = Some(nth);
+        self
+    }
+
+    /// Mirrors `CacheInner::evict_to_budget`: LRU-evict sparing the
+    /// just-published key, then drop even it if alone over budget
+    /// (oversized tiles are served but never retained).
+    fn evict_to_budget(&mut self, protect: u8) {
+        while self.bytes > self.budget {
+            let victim = self
+                .cache
+                .iter()
+                .filter(|(&k, _)| k != protect)
+                .min_by_key(|(_, &(_, stamp))| stamp)
+                .map(|(&k, _)| k);
+            let Some(v) = victim else { break };
+            if let Some((len, _)) = self.cache.remove(&v) {
+                self.bytes -= len;
+                self.evictions += 1;
+            }
+        }
+        if self.bytes > self.budget {
+            if let Some((len, _)) = self.cache.remove(&protect) {
+                self.bytes -= len;
+                self.evictions += 1;
+            }
+        }
+    }
+}
+
+/// Program counter of one `TileCache::get_or_extract(key)` call. The
+/// cache lookup and the `SingleFlight::join` are separate lock
+/// acquisitions (as in the real code), so a leader can publish
+/// between another thread's lookup and join — the leader double-check
+/// covers that window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TileCachePc {
+    /// Locked cache lookup (tilecache.rs `get_or_extract` loop head).
+    CheckCache,
+    /// Locked `SingleFlight::join`: become leader or park.
+    Join,
+    /// Leader: locked double-check, then the out-of-lock
+    /// `extract_tile` whose success is decided here so `Publish`
+    /// stays atomic.
+    Extract {
+        flight: usize,
+    },
+    /// Locked publish + eviction + ticket drop — or, on a failed
+    /// extraction, just the ticket drop (nothing is published and
+    /// misses is *not* bumped; the error propagates).
+    Publish {
+        flight: usize,
+        ok: bool,
+    },
+    /// Parked on the flight; wakes on completion or abort.
+    WaitFlight {
+        flight: usize,
+    },
+    Done,
+}
+
+/// One model request for tile `key` (`len` encoded bytes). An
+/// `aborted` thread models a cancelled request: its waits return
+/// immediately and it must exit with an error rather than park
+/// forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileCacheThread {
+    key: u8,
+    len: usize,
+    pc: TileCachePc,
+    /// Parked behind a foreign flight at least once — decides hit vs
+    /// coalesced attribution (the `waited` flag in the real code).
+    waited: bool,
+    aborted: bool,
+    /// What the call returned: served length, or error (failed own
+    /// extraction / cancelled).
+    pub result: Option<Result<usize, ()>>,
+}
+
+impl TileCacheThread {
+    pub fn get(key: u8, len: usize) -> TileCacheThread {
+        TileCacheThread {
+            key,
+            len,
+            pc: TileCachePc::CheckCache,
+            waited: false,
+            aborted: false,
+            result: None,
+        }
+    }
+
+    pub fn aborted(mut self) -> TileCacheThread {
+        self.aborted = true;
+        self
+    }
+
+    /// Serve from cache with hit/coalesced attribution (shared by the
+    /// loop-head lookup and the leader double-check).
+    fn serve_hit(&mut self, s: &mut TileCacheState, len: usize) {
+        s.clock += 1;
+        if let Some(entry) = s.cache.get_mut(&self.key) {
+            entry.1 = s.clock; // LRU touch
+        }
+        if self.waited {
+            s.coalesced += 1;
+        } else {
+            s.hits += 1;
+        }
+        self.result = Some(Ok(len));
+        self.pc = TileCachePc::Done;
+    }
+}
+
+impl ModelThread<TileCacheState> for TileCacheThread {
+    fn done(&self) -> bool {
+        self.pc == TileCachePc::Done
+    }
+
+    fn runnable(&self, shared: &TileCacheState) -> bool {
+        match &self.pc {
+            // The real wait is the sanctioned timed-condvar loop that
+            // polls `should_abort`, so an aborted waiter always runs.
+            TileCachePc::WaitFlight { flight } => self.aborted || shared.flights_done[*flight],
+            TileCachePc::Done => false,
+            _ => true,
+        }
+    }
+
+    fn step(&mut self, s: &mut TileCacheState) {
+        match self.pc.clone() {
+            TileCachePc::CheckCache => {
+                if let Some(&(len, _)) = s.cache.get(&self.key) {
+                    self.serve_hit(s, len);
+                    return;
+                }
+                self.pc = TileCachePc::Join;
+            }
+            TileCachePc::Join => {
+                if let Some(&flight) = s.flights.get(&self.key) {
+                    self.pc = TileCachePc::WaitFlight { flight };
+                    return;
+                }
+                let flight = s.flights_done.len();
+                s.flights_done.push(false);
+                s.flights.insert(self.key, flight);
+                self.pc = TileCachePc::Extract { flight };
+            }
+            TileCachePc::Extract { flight } => {
+                // Leader double-check: a prior leader may have
+                // published between our lookup and our join.
+                if let Some(&(len, _)) = s.cache.get(&self.key) {
+                    self.serve_hit(s, len);
+                    s.flights.remove(&self.key);
+                    s.flights_done[flight] = true;
+                    return;
+                }
+                s.extracts += 1;
+                let ok = s.failing_extract != Some(s.extracts);
+                self.pc = TileCachePc::Publish { flight, ok };
+            }
+            TileCachePc::Publish { flight, ok } => {
+                if ok {
+                    s.misses += 1;
+                    s.clock += 1;
+                    if let Some((old, _)) = s.cache.insert(self.key, (self.len, s.clock)) {
+                        s.bytes -= old;
+                    }
+                    s.bytes += self.len;
+                    s.evict_to_budget(self.key);
+                    self.result = Some(Ok(self.len));
+                } else {
+                    // `extract()?` propagates: nothing published, no
+                    // miss counted; the ticket drop wakes waiters so
+                    // one can take over as leader.
+                    self.result = Some(Err(()));
+                }
+                s.flights.remove(&self.key);
+                s.flights_done[flight] = true;
+                self.pc = TileCachePc::Done;
+            }
+            TileCachePc::WaitFlight { flight } => {
+                if self.aborted && !s.flights_done[flight] {
+                    // `FlightJoin::Aborted` → `ExecError::Cancelled`.
+                    self.result = Some(Err(()));
+                    self.pc = TileCachePc::Done;
+                    return;
+                }
+                // `FlightJoin::Completed`: mark waited, re-lookup; on
+                // a failed leader we may become the next leader.
+                self.waited = true;
+                self.pc = TileCachePc::CheckCache;
+            }
+            TileCachePc::Done => {}
+        }
+    }
+}
+
+/// Terminal invariants for every tile-cache schedule: exact byte
+/// accounting within budget, drained flight table, and counter
+/// attribution — every successful call is exactly one of
+/// hit/coalesced/miss, and misses equals successful extractions.
+pub fn tile_cache_invariants(
+    s: &TileCacheState,
+    threads: &[TileCacheThread],
+) -> Result<(), String> {
+    let resident: usize = s.cache.values().map(|&(len, _)| len).sum();
+    if s.bytes != resident {
+        return Err(format!("bytes {} != resident {}", s.bytes, resident));
+    }
+    if s.bytes > s.budget {
+        return Err(format!("bytes {} exceeds budget {}", s.bytes, s.budget));
+    }
+    if !s.flights.is_empty() {
+        return Err(format!("flight table not drained: {:?}", s.flights));
+    }
+    let oks = threads
+        .iter()
+        .filter(|t| matches!(t.result, Some(Ok(_))))
+        .count() as u64;
+    if s.hits + s.coalesced + s.misses != oks {
+        return Err(format!(
+            "hits {} + coalesced {} + misses {} != {} successful calls",
+            s.hits, s.coalesced, s.misses, oks
+        ));
+    }
+    for (i, t) in threads.iter().enumerate() {
+        match t.result {
+            None => return Err(format!("thread {i} finished without a result")),
+            Some(Ok(len)) if len != t.len => {
+                return Err(format!("thread {i} got {len} bytes, wanted {}", t.len))
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
 // Scenarios
 // ---------------------------------------------------------------------------
 
@@ -688,7 +1020,10 @@ pub fn run_all() -> Vec<Scenario> {
         let outcome = explore(&state, &threads, &|s, t| {
             pool_invariants(s, t)?;
             if s.loads != 1 {
-                return Err(format!("{} loads; concurrent misses must coalesce", s.loads));
+                return Err(format!(
+                    "{} loads; concurrent misses must coalesce",
+                    s.loads
+                ));
             }
             if s.bytes != 512 {
                 return Err(format!("bytes {} != 512", s.bytes));
@@ -696,7 +1031,11 @@ pub fn run_all() -> Vec<Scenario> {
             Ok(())
         });
         out.push(Scenario {
-            name: if n == 2 { "pool/single-flight-2" } else { "pool/single-flight-3" },
+            name: if n == 2 {
+                "pool/single-flight-2"
+            } else {
+                "pool/single-flight-3"
+            },
             outcome,
         });
     }
@@ -705,8 +1044,11 @@ pub fn run_all() -> Vec<Scenario> {
     // load per distinct key.
     {
         let state = PoolState::new(1 << 20);
-        let threads =
-            vec![PoolThread::get(1, 100), PoolThread::get(1, 100), PoolThread::get(2, 200)];
+        let threads = vec![
+            PoolThread::get(1, 100),
+            PoolThread::get(1, 100),
+            PoolThread::get(2, 200),
+        ];
         let outcome = explore(&state, &threads, &|s, t| {
             pool_invariants(s, t)?;
             if s.loads != 2 {
@@ -717,7 +1059,10 @@ pub fn run_all() -> Vec<Scenario> {
             }
             Ok(())
         });
-        out.push(Scenario { name: "pool/mixed-keys", outcome });
+        out.push(Scenario {
+            name: "pool/mixed-keys",
+            outcome,
+        });
     }
 
     // Failed first load: the waiter must take over as loader; exactly
@@ -733,14 +1078,20 @@ pub fn run_all() -> Vec<Scenario> {
                 return Err(format!("{errs} errors / {oks} successes; want 1 / 1"));
             }
             if s.loads != 2 {
-                return Err(format!("{} loads; failed load must be retried once", s.loads));
+                return Err(format!(
+                    "{} loads; failed load must be retried once",
+                    s.loads
+                ));
             }
             if s.bytes != 256 {
                 return Err(format!("bytes {} != 256 after recovery", s.bytes));
             }
             Ok(())
         });
-        out.push(Scenario { name: "pool/failed-load-handover", outcome });
+        out.push(Scenario {
+            name: "pool/failed-load-handover",
+            outcome,
+        });
     }
 
     // Eviction pressure: capacity holds only one of the two entries;
@@ -762,7 +1113,10 @@ pub fn run_all() -> Vec<Scenario> {
             }
             Ok(())
         });
-        out.push(Scenario { name: "pool/eviction-accounting", outcome });
+        out.push(Scenario {
+            name: "pool/eviction-accounting",
+            outcome,
+        });
     }
 
     // Oversized entry: larger than the whole pool — served to every
@@ -773,11 +1127,17 @@ pub fn run_all() -> Vec<Scenario> {
         let outcome = explore(&state, &threads, &|s, t| {
             pool_invariants(s, t)?;
             if !s.resident.is_empty() || s.bytes != 0 {
-                return Err(format!("oversized entry must not stay resident: {:?}", s.resident));
+                return Err(format!(
+                    "oversized entry must not stay resident: {:?}",
+                    s.resident
+                ));
             }
             Ok(())
         });
-        out.push(Scenario { name: "pool/oversized-never-resident", outcome });
+        out.push(Scenario {
+            name: "pool/oversized-never-resident",
+            outcome,
+        });
     }
 
     // Scatter reassembly: 2 and 3 workers over 4 jobs; output must be
@@ -786,10 +1146,13 @@ pub fn run_all() -> Vec<Scenario> {
     for workers in [2usize, 3] {
         let state = ScatterState::new(&items);
         let threads: Vec<WorkerThread> = (0..workers).map(|_| WorkerThread::new(None)).collect();
-        let outcome =
-            explore(&state, &threads, &|s, _| scatter_invariants(s, &items, &[]));
+        let outcome = explore(&state, &threads, &|s, _| scatter_invariants(s, &items, &[]));
         out.push(Scenario {
-            name: if workers == 2 { "scatter/reassembly-2w" } else { "scatter/reassembly-3w" },
+            name: if workers == 2 {
+                "scatter/reassembly-2w"
+            } else {
+                "scatter/reassembly-3w"
+            },
             outcome,
         });
     }
@@ -799,9 +1162,13 @@ pub fn run_all() -> Vec<Scenario> {
     {
         let state = ScatterState::new(&items);
         let threads = vec![WorkerThread::new(Some(2)), WorkerThread::new(Some(2))];
-        let outcome =
-            explore(&state, &threads, &|s, _| scatter_invariants(s, &items, &[2]));
-        out.push(Scenario { name: "scatter/error-in-position", outcome });
+        let outcome = explore(&state, &threads, &|s, _| {
+            scatter_invariants(s, &items, &[2])
+        });
+        out.push(Scenario {
+            name: "scatter/error-in-position",
+            outcome,
+        });
     }
 
     // Shared scans: 2, then 3 concurrent queries decoding one GOP must
@@ -813,7 +1180,10 @@ pub fn run_all() -> Vec<Scenario> {
         let outcome = explore(&state, &threads, &|s, t| {
             shared_scan_invariants(s, t)?;
             if s.decodes != 1 {
-                return Err(format!("{} decodes; concurrent scans must coalesce", s.decodes));
+                return Err(format!(
+                    "{} decodes; concurrent scans must coalesce",
+                    s.decodes
+                ));
             }
             if t.iter().any(|t| t.result != Some(Ok(4096))) {
                 return Err("a query finished without the decoded frames".into());
@@ -821,7 +1191,11 @@ pub fn run_all() -> Vec<Scenario> {
             Ok(())
         });
         out.push(Scenario {
-            name: if n == 2 { "sharedscan/exactly-once-2" } else { "sharedscan/exactly-once-3" },
+            name: if n == 2 {
+                "sharedscan/exactly-once-2"
+            } else {
+                "sharedscan/exactly-once-3"
+            },
             outcome,
         });
     }
@@ -841,27 +1215,41 @@ pub fn run_all() -> Vec<Scenario> {
             }
             Ok(())
         });
-        out.push(Scenario { name: "sharedscan/distinct-gops", outcome });
+        out.push(Scenario {
+            name: "sharedscan/distinct-gops",
+            outcome,
+        });
     }
 
     // Failed leader: the first decode errors; a follower must take
     // over, decode, and succeed — exactly one error, one success.
     {
         let state = SharedScanState::new().failing_decode(1);
-        let threads = vec![SharedScanThread::decode(3, 256), SharedScanThread::decode(3, 256)];
+        let threads = vec![
+            SharedScanThread::decode(3, 256),
+            SharedScanThread::decode(3, 256),
+        ];
         let outcome = explore(&state, &threads, &|s, t| {
             shared_scan_invariants(s, t)?;
             let errs = t.iter().filter(|t| t.result == Some(Err(()))).count();
             let oks = t.iter().filter(|t| t.result == Some(Ok(256))).count();
             if errs + oks != 2 || oks < 1 {
-                return Err(format!("{errs} errors / {oks} successes; want at least 1 success"));
+                return Err(format!(
+                    "{errs} errors / {oks} successes; want at least 1 success"
+                ));
             }
             if s.decodes > 2 {
-                return Err(format!("{} decodes; handover must retry at most once", s.decodes));
+                return Err(format!(
+                    "{} decodes; handover must retry at most once",
+                    s.decodes
+                ));
             }
             Ok(())
         });
-        out.push(Scenario { name: "sharedscan/failed-leader-handover", outcome });
+        out.push(Scenario {
+            name: "sharedscan/failed-leader-handover",
+            outcome,
+        });
     }
 
     // Cancelled follower: a query whose ctx is cancelled must exit
@@ -869,8 +1257,10 @@ pub fn run_all() -> Vec<Scenario> {
     // leader still completes normally.
     {
         let state = SharedScanState::new();
-        let threads =
-            vec![SharedScanThread::decode(5, 512), SharedScanThread::decode(5, 512).aborted()];
+        let threads = vec![
+            SharedScanThread::decode(5, 512),
+            SharedScanThread::decode(5, 512).aborted(),
+        ];
         let outcome = explore(&state, &threads, &|s, t| {
             shared_scan_invariants(s, t)?;
             if t[0].result != Some(Ok(512)) {
@@ -884,7 +1274,180 @@ pub fn run_all() -> Vec<Scenario> {
             }
             Ok(())
         });
-        out.push(Scenario { name: "sharedscan/cancelled-follower-unparks", outcome });
+        out.push(Scenario {
+            name: "sharedscan/cancelled-follower-unparks",
+            outcome,
+        });
+    }
+
+    // Tile cache: 2, then 3 concurrent requests for one hot tile must
+    // run extract_tile exactly once, with exact counter attribution —
+    // one miss, everyone else a hit or a coalesced wait.
+    for n in [2usize, 3] {
+        let state = TileCacheState::new(1 << 20);
+        let threads: Vec<TileCacheThread> = (0..n).map(|_| TileCacheThread::get(7, 900)).collect();
+        let outcome = explore(&state, &threads, &|s, t| {
+            tile_cache_invariants(s, t)?;
+            if s.extracts != 1 {
+                return Err(format!(
+                    "{} extractions; hot-tile requests must coalesce",
+                    s.extracts
+                ));
+            }
+            if s.misses != 1 || s.hits + s.coalesced != n as u64 - 1 {
+                return Err(format!(
+                    "attribution drifted: {} misses, {} hits, {} coalesced for {n} calls",
+                    s.misses, s.hits, s.coalesced
+                ));
+            }
+            if t.iter().any(|t| t.result != Some(Ok(900))) {
+                return Err("a request finished without the tile bytes".into());
+            }
+            Ok(())
+        });
+        out.push(Scenario {
+            name: if n == 2 {
+                "tilecache/exactly-once-2"
+            } else {
+                "tilecache/exactly-once-3"
+            },
+            outcome,
+        });
+    }
+
+    // Concurrent distinct keys never coalesce: one extraction per
+    // tile, both resident, exact byte accounting.
+    {
+        let state = TileCacheState::new(1 << 20);
+        let threads = vec![
+            TileCacheThread::get(1, 100),
+            TileCacheThread::get(1, 100),
+            TileCacheThread::get(2, 200),
+        ];
+        let outcome = explore(&state, &threads, &|s, t| {
+            tile_cache_invariants(s, t)?;
+            if s.extracts != 2 {
+                return Err(format!("{} extractions for 2 distinct tiles", s.extracts));
+            }
+            if s.bytes != 300 {
+                return Err(format!("bytes {} != 300", s.bytes));
+            }
+            Ok(())
+        });
+        out.push(Scenario {
+            name: "tilecache/distinct-keys",
+            outcome,
+        });
+    }
+
+    // Failed leader: the first extraction errors; the waiter must be
+    // woken, take over as leader, extract, and succeed — exactly one
+    // error, one success, one counted miss, converged cache.
+    {
+        let state = TileCacheState::new(1 << 20).failing_extract(1);
+        let threads = vec![TileCacheThread::get(3, 256), TileCacheThread::get(3, 256)];
+        let outcome = explore(&state, &threads, &|s, t| {
+            tile_cache_invariants(s, t)?;
+            let errs = t.iter().filter(|t| t.result == Some(Err(()))).count();
+            let oks = t.iter().filter(|t| t.result == Some(Ok(256))).count();
+            if errs != 1 || oks != 1 {
+                return Err(format!("{errs} errors / {oks} successes; want 1 / 1"));
+            }
+            if s.extracts != 2 {
+                return Err(format!(
+                    "{} extractions; handover must retry exactly once",
+                    s.extracts
+                ));
+            }
+            if s.misses != 1 {
+                return Err(format!(
+                    "{} misses; failed extractions must not count",
+                    s.misses
+                ));
+            }
+            if s.bytes != 256 {
+                return Err(format!("bytes {} != 256 after recovery", s.bytes));
+            }
+            Ok(())
+        });
+        out.push(Scenario {
+            name: "tilecache/failed-leader-handover",
+            outcome,
+        });
+    }
+
+    // Cancelled waiter: a request whose abort fires must exit instead
+    // of parking on a foreign flight; the leader still publishes.
+    {
+        let state = TileCacheState::new(1 << 20);
+        let threads = vec![
+            TileCacheThread::get(5, 512),
+            TileCacheThread::get(5, 512).aborted(),
+        ];
+        let outcome = explore(&state, &threads, &|s, t| {
+            tile_cache_invariants(s, t)?;
+            if t[0].result != Some(Ok(512)) {
+                return Err(format!("leader failed: {:?}", t[0].result));
+            }
+            if t[1].result.is_none() {
+                return Err("cancelled waiter never returned".into());
+            }
+            if s.extracts > 1 {
+                return Err(format!("{} extractions with one real request", s.extracts));
+            }
+            Ok(())
+        });
+        out.push(Scenario {
+            name: "tilecache/cancelled-waiter-unparks",
+            outcome,
+        });
+    }
+
+    // Budget pressure: the budget holds only one of two tiles; every
+    // publication order must evict down to budget with exact
+    // accounting (and both callers still get their bytes).
+    {
+        let state = TileCacheState::new(150);
+        let threads = vec![TileCacheThread::get(1, 100), TileCacheThread::get(2, 100)];
+        let outcome = explore(&state, &threads, &|s, t| {
+            tile_cache_invariants(s, t)?;
+            if s.cache.len() != 1 || s.bytes != 100 {
+                return Err(format!(
+                    "want exactly one 100-byte tile resident, got {} entries / {} bytes",
+                    s.cache.len(),
+                    s.bytes
+                ));
+            }
+            if s.evictions != 1 {
+                return Err(format!("{} evictions; want 1", s.evictions));
+            }
+            Ok(())
+        });
+        out.push(Scenario {
+            name: "tilecache/budget-eviction",
+            outcome,
+        });
+    }
+
+    // Oversized tile: bigger than the whole budget — served to both
+    // callers but never retained.
+    {
+        let state = TileCacheState::new(100);
+        let threads = vec![TileCacheThread::get(1, 150), TileCacheThread::get(1, 150)];
+        let outcome = explore(&state, &threads, &|s, t| {
+            tile_cache_invariants(s, t)?;
+            if !s.cache.is_empty() || s.bytes != 0 {
+                return Err(format!(
+                    "oversized tile must not stay resident: {:?}",
+                    s.cache
+                ));
+            }
+            Ok(())
+        });
+        out.push(Scenario {
+            name: "tilecache/oversized-never-resident",
+            outcome,
+        });
     }
 
     out
@@ -909,7 +1472,10 @@ mod tests {
             );
             total += s.outcome.schedules;
         }
-        assert!(total >= 100, "only {total} schedules explored across the harness");
+        assert!(
+            total >= 100,
+            "only {total} schedules explored across the harness"
+        );
     }
 
     #[test]
@@ -952,7 +1518,10 @@ mod tests {
                         self.0.pc = PoolPc::Load { flight: usize::MAX };
                     }
                     PoolPc::Load { .. } => {
-                        self.0.pc = PoolPc::Publish { flight: usize::MAX, load_ok: true }
+                        self.0.pc = PoolPc::Publish {
+                            flight: usize::MAX,
+                            load_ok: true,
+                        }
                     }
                     PoolPc::Publish { .. } => {
                         s.loads += 1;

@@ -63,6 +63,11 @@ pub struct PoolStats {
     /// can be smaller than `misses`: concurrent misses on one key
     /// coalesce into a single load.
     pub loads: u64,
+    /// Loads performed by [`BufferPool::prefetch_gop`] readahead.
+    /// Prefetch traffic never touches `hits`/`misses`, so the demand
+    /// hit rate stays meaningful; every readahead is also counted in
+    /// `loads` (it really did hit the disk).
+    pub readaheads: u64,
 }
 
 impl PoolStats {
@@ -98,7 +103,10 @@ struct Flight {
 
 impl Flight {
     fn new() -> Flight {
-        Flight { done: StdMutex::new(false), cv: Condvar::new() }
+        Flight {
+            done: StdMutex::new(false),
+            cv: Condvar::new(),
+        }
     }
 
     fn finish(&self) {
@@ -117,8 +125,10 @@ impl Flight {
         if *done {
             return true;
         }
-        let (done, _timed_out) =
-            self.cv.wait_timeout(done, step).unwrap_or_else(|e| e.into_inner());
+        let (done, _timed_out) = self
+            .cv
+            .wait_timeout(done, step)
+            .unwrap_or_else(|e| e.into_inner());
         *done
     }
 }
@@ -174,7 +184,9 @@ impl<K: std::hash::Hash + Eq + Clone + std::fmt::Debug> Drop for FlightTicket<'_
 
 impl<K: std::hash::Hash + Eq + Clone + std::fmt::Debug> SingleFlight<K> {
     pub fn new() -> Self {
-        SingleFlight { flights: Mutex::new(HashMap::new()) }
+        SingleFlight {
+            flights: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Joins the flight for `key`. Callers loop: check their cache,
@@ -231,7 +243,11 @@ pub enum AdmitPolicy {
 pub enum AdmitError {
     /// The reservation cannot be granted: either it exceeds the limit
     /// outright, or backpressure timed out / the policy was fail-fast.
-    Overloaded { wanted: usize, admitted: usize, limit: usize },
+    Overloaded {
+        wanted: usize,
+        admitted: usize,
+        limit: usize,
+    },
     /// The caller's abort condition fired while waiting.
     Aborted,
 }
@@ -239,7 +255,11 @@ pub enum AdmitError {
 impl std::fmt::Display for AdmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AdmitError::Overloaded { wanted, admitted, limit } => write!(
+            AdmitError::Overloaded {
+                wanted,
+                admitted,
+                limit,
+            } => write!(
                 f,
                 "admission refused: wanted {wanted} bytes with {admitted} \
                  already admitted of a {limit}-byte limit"
@@ -323,7 +343,9 @@ impl PoolInner {
     /// Removes one entry, keeping byte and per-owner accounting in
     /// step. Returns the freed length (0 if the key was absent).
     fn remove_entry(&mut self, key: &GopKey) -> usize {
-        let Some(e) = self.map.remove(key) else { return 0 };
+        let Some(e) = self.map.remove(key) else {
+            return 0;
+        };
         let len = e.bytes.len();
         self.stats.bytes -= len;
         if let Some(o) = e.owner {
@@ -463,13 +485,21 @@ impl BufferPool {
     /// Sum of currently granted admission reservations. The chaos
     /// harness asserts this returns to zero after every run.
     pub fn admitted(&self) -> usize {
-        self.admission.lock().unwrap_or_else(|e| e.into_inner()).admitted
+        self.admission
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .admitted
     }
 
     /// Resident bytes currently tagged to `query` (for tests and
     /// introspection).
     pub fn query_resident(&self, query: u64) -> usize {
-        self.inner.lock().owner_bytes.get(&query).copied().unwrap_or(0)
+        self.inner
+            .lock()
+            .owner_bytes
+            .get(&query)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Declares an estimated working set of `bytes` for a new query
@@ -520,7 +550,12 @@ impl BufferPool {
                 }
                 let query = st.next_query;
                 st.next_query += 1;
-                return Ok(Admission { pool: self, bytes, query, session });
+                return Ok(Admission {
+                    pool: self,
+                    bytes,
+                    query,
+                    session,
+                });
             }
             let timeout = match policy {
                 AdmitPolicy::FailFast => {
@@ -682,9 +717,14 @@ impl BufferPool {
                 if let Some(o) = owner {
                     *inner.owner_bytes.entry(o).or_insert(0) += bytes.len();
                 }
-                inner
-                    .map
-                    .insert(key.clone(), Entry { bytes: bytes.clone(), stamp: clock, owner });
+                inner.map.insert(
+                    key.clone(),
+                    Entry {
+                        bytes: bytes.clone(),
+                        stamp: clock,
+                        owner,
+                    },
+                );
                 inner.stats.bytes += bytes.len();
                 if let Some(o) = owner {
                     inner.evict_query_overage(o, key);
@@ -692,6 +732,69 @@ impl BufferPool {
                 inner.evict_to_capacity(key);
                 flight.finish();
                 Ok(bytes)
+            }
+        }
+    }
+
+    /// Warms the cache with a GOP the caller *predicts* will be
+    /// demanded soon (tile-prediction readahead, GOP-index order).
+    ///
+    /// Best-effort and demand-neutral: if the key is already resident
+    /// or another thread is loading it, this returns `Ok(false)`
+    /// without touching any counter — prefetch must never inflate the
+    /// demand hit rate or pile a second load onto an in-flight one.
+    /// Otherwise the GOP is loaded under the same single-flight
+    /// protocol as a demand miss (so a demand request arriving
+    /// mid-prefetch waits for this load instead of reading the disk
+    /// again), inserted with no owner tag, and counted in
+    /// `stats.readaheads` (and `loads`); returns `Ok(true)`.
+    pub fn prefetch_gop<E: From<std::io::Error>>(
+        &self,
+        key: &GopKey,
+        load: impl FnOnce() -> std::result::Result<Vec<u8>, E>,
+    ) -> std::result::Result<bool, E> {
+        let (flight, clock) = {
+            let mut inner = self.inner.lock();
+            if inner.map.contains_key(key) || inner.loading.contains_key(key) {
+                return Ok(false);
+            }
+            inner.clock += 1;
+            let clock = inner.clock;
+            let flight = Arc::new(Flight::new());
+            inner.loading.insert(key.clone(), flight.clone());
+            (flight, clock)
+        };
+        // Don't hold the lock across the load: loads hit the disk.
+        let result = crate::faults::fail_point(crate::faults::sites::BUFFERPOOL_LOAD)
+            .map_err(E::from)
+            .and_then(|()| load());
+        let mut inner = self.inner.lock();
+        inner.stats.loads += 1;
+        inner.stats.readaheads += 1;
+        inner.loading.remove(key);
+        match result {
+            Err(e) => {
+                flight.finish();
+                Err(e)
+            }
+            Ok(bytes) => {
+                let bytes = Arc::new(bytes);
+                let len = bytes.len();
+                if inner.map.contains_key(key) {
+                    inner.remove_entry(key);
+                }
+                inner.map.insert(
+                    key.clone(),
+                    Entry {
+                        bytes,
+                        stamp: clock,
+                        owner: None,
+                    },
+                );
+                inner.stats.bytes += len;
+                inner.evict_to_capacity(key);
+                flight.finish();
+                Ok(true)
             }
         }
     }
@@ -705,22 +808,36 @@ impl BufferPool {
 
     /// Caches a parsed metadata file for `(name, version)`.
     pub fn put_metadata(&self, name: &str, version: u64, file: Arc<MetadataFile>) {
-        self.inner.lock().metadata.insert((name.to_string(), version), file);
+        self.inner
+            .lock()
+            .metadata
+            .insert((name.to_string(), version), file);
     }
 
     /// Looks up a cached metadata file.
     pub fn get_metadata(&self, name: &str, version: u64) -> Option<Arc<MetadataFile>> {
-        self.inner.lock().metadata.get(&(name.to_string(), version)).cloned()
+        self.inner
+            .lock()
+            .metadata
+            .get(&(name.to_string(), version))
+            .cloned()
     }
 
     /// Caches a loaded spatial R-tree for `(name, version)`.
     pub fn put_rtree(&self, name: &str, version: u64, tree: Arc<RTree<u64>>) {
-        self.inner.lock().rtrees.insert((name.to_string(), version), tree);
+        self.inner
+            .lock()
+            .rtrees
+            .insert((name.to_string(), version), tree);
     }
 
     /// Looks up a cached spatial R-tree.
     pub fn get_rtree(&self, name: &str, version: u64) -> Option<Arc<RTree<u64>>> {
-        self.inner.lock().rtrees.get(&(name.to_string(), version)).cloned()
+        self.inner
+            .lock()
+            .rtrees
+            .get(&(name.to_string(), version))
+            .cloned()
     }
 
     /// Drops a cached R-tree (used by `DROPINDEX`).
@@ -734,8 +851,12 @@ impl BufferPool {
         inner.metadata.retain(|(n, _), _| n != name);
         inner.rtrees.retain(|(n, _), _| n != name);
         let prefix = format!("{name}/");
-        let doomed: Vec<GopKey> =
-            inner.map.keys().filter(|k| k.media.starts_with(&prefix)).cloned().collect();
+        let doomed: Vec<GopKey> = inner
+            .map
+            .keys()
+            .filter(|k| k.media.starts_with(&prefix))
+            .cloned()
+            .collect();
         for k in doomed {
             inner.remove_entry(&k);
         }
@@ -761,7 +882,10 @@ mod tests {
     use super::*;
 
     fn key(media: &str, gop: u64) -> GopKey {
-        GopKey { media: media.into(), gop }
+        GopKey {
+            media: media.into(),
+            gop,
+        }
     }
 
     fn load_ok(n: usize) -> impl FnOnce() -> Result<Vec<u8>, std::io::Error> {
@@ -792,7 +916,81 @@ mod tests {
         pool.get_gop(&key("m", 0), load_ok(100)).unwrap();
         let before = pool.stats().misses;
         pool.get_gop(&key("m", 1), load_ok(100)).unwrap();
-        assert_eq!(pool.stats().misses, before + 1, "GOP 1 should have been evicted");
+        assert_eq!(
+            pool.stats().misses,
+            before + 1,
+            "GOP 1 should have been evicted"
+        );
+    }
+
+    #[test]
+    fn prefetch_warms_without_touching_demand_counters() {
+        let pool = BufferPool::new(1024);
+        let loaded = pool.prefetch_gop(&key("m", 0), load_ok(100)).unwrap();
+        assert!(loaded, "cold key must load");
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (0, 0), "prefetch is demand-neutral");
+        assert_eq!((s.readaheads, s.loads), (1, 1));
+        assert_eq!(s.bytes, 100);
+        // The demand request that follows is a pure hit.
+        pool.get_gop(&key("m", 0), load_ok(100)).unwrap();
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 0));
+        // Prefetching a resident key is a no-op.
+        assert!(!pool.prefetch_gop(&key("m", 0), load_ok(100)).unwrap());
+        assert_eq!(pool.stats().readaheads, 1);
+        assert_eq!(pool.resident_bytes(), pool.stats().bytes);
+    }
+
+    #[test]
+    fn prefetch_coalesces_with_demand_loads() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Barrier;
+        let pool = Arc::new(BufferPool::new(1 << 20));
+        let loads = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(2));
+        std::thread::scope(|s| {
+            let (p, l, b) = (pool.clone(), loads.clone(), barrier.clone());
+            s.spawn(move || {
+                b.wait();
+                let _ = p.prefetch_gop(&key("m", 3), move || -> Result<_, std::io::Error> {
+                    l.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    Ok(vec![7u8; 256])
+                });
+            });
+            let (p, l, b) = (pool.clone(), loads.clone(), barrier.clone());
+            s.spawn(move || {
+                b.wait();
+                let bytes = p
+                    .get_gop(&key("m", 3), move || -> Result<_, std::io::Error> {
+                        l.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        Ok(vec![7u8; 256])
+                    })
+                    .unwrap();
+                assert_eq!(bytes.len(), 256);
+            });
+        });
+        assert_eq!(
+            loads.load(Ordering::SeqCst),
+            1,
+            "overlapping prefetch and demand load must single-flight"
+        );
+        assert_eq!(pool.stats().bytes, 256);
+        assert_eq!(pool.resident_bytes(), 256);
+    }
+
+    #[test]
+    fn prefetch_errors_propagate_and_cache_nothing() {
+        let pool = BufferPool::new(1024);
+        let r: Result<bool, std::io::Error> = pool.prefetch_gop(&key("m", 0), || {
+            Err(std::io::Error::new(std::io::ErrorKind::NotFound, "x"))
+        });
+        assert!(r.is_err());
+        assert!(pool.is_empty());
+        // The flight was released: a later prefetch can load.
+        assert!(pool.prefetch_gop(&key("m", 0), load_ok(10)).unwrap());
     }
 
     #[test]
@@ -890,7 +1088,11 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(loads.load(Ordering::SeqCst), 1, "concurrent misses must coalesce");
+        assert_eq!(
+            loads.load(Ordering::SeqCst),
+            1,
+            "concurrent misses must coalesce"
+        );
         let s = pool.stats();
         assert_eq!(s.loads, 1);
         assert_eq!(s.hits + s.misses, THREADS as u64);
@@ -935,11 +1137,22 @@ mod tests {
         }
         let s = pool.stats();
         assert_eq!(s.hits + s.misses, THREADS * ITERS);
-        assert_eq!(s.bytes, pool.resident_bytes(), "byte accounting must match residency");
+        assert_eq!(
+            s.bytes,
+            pool.resident_bytes(),
+            "byte accounting must match residency"
+        );
         assert!(s.bytes <= 1 << 20);
-        assert_eq!(s.evictions, 0, "capacity is ample; nothing should be evicted");
+        assert_eq!(
+            s.evictions, 0,
+            "capacity is ample; nothing should be evicted"
+        );
         for k in 0..KEYS as usize {
-            assert_eq!(loads[k].load(Ordering::SeqCst), 1, "key {k} must load exactly once");
+            assert_eq!(
+                loads[k].load(Ordering::SeqCst),
+                1,
+                "key {k} must load exactly once"
+            );
         }
         assert_eq!(s.loads, KEYS);
     }
@@ -956,7 +1169,8 @@ mod tests {
             let p = pool.clone();
             handles.push(std::thread::spawn(move || {
                 for i in 0..100u64 {
-                    p.get_gop(&key("m", (i * 3 + t) % 10), load_ok(100)).unwrap();
+                    p.get_gop(&key("m", (i * 3 + t) % 10), load_ok(100))
+                        .unwrap();
                 }
             }));
         }
@@ -965,10 +1179,17 @@ mod tests {
         }
         let s = pool.stats();
         assert_eq!(s.bytes, pool.resident_bytes());
-        assert!(s.bytes <= CAP, "stats.bytes {} exceeds capacity {CAP}", s.bytes);
+        assert!(
+            s.bytes <= CAP,
+            "stats.bytes {} exceeds capacity {CAP}",
+            s.bytes
+        );
         assert!(s.evictions > 0, "this workload must evict");
         assert_eq!(s.hits + s.misses, 400);
-        assert!(s.loads >= s.evictions, "every eviction implies an earlier load");
+        assert!(
+            s.loads >= s.evictions,
+            "every eviction implies an earlier load"
+        );
     }
 
     /// A single entry larger than the whole pool is served to the
@@ -1004,10 +1225,16 @@ mod tests {
         pool.set_admission_limit(100);
         let a = pool.admit(80, AdmitPolicy::FailFast, &|| false).unwrap();
         assert_eq!(pool.admitted(), 80);
-        let err = pool.admit(50, AdmitPolicy::FailFast, &|| false).unwrap_err();
+        let err = pool
+            .admit(50, AdmitPolicy::FailFast, &|| false)
+            .unwrap_err();
         assert!(matches!(
             err,
-            AdmitError::Overloaded { wanted: 50, admitted: 80, limit: 100 }
+            AdmitError::Overloaded {
+                wanted: 50,
+                admitted: 80,
+                limit: 100
+            }
         ));
         drop(a);
         assert_eq!(pool.admitted(), 0);
@@ -1021,7 +1248,13 @@ mod tests {
         let pool = BufferPool::new(1000);
         pool.set_admission_limit(100);
         let err = pool
-            .admit(200, AdmitPolicy::Block { timeout: Duration::from_secs(10) }, &|| false)
+            .admit(
+                200,
+                AdmitPolicy::Block {
+                    timeout: Duration::from_secs(10),
+                },
+                &|| false,
+            )
             .unwrap_err();
         // Larger than the limit: fails fast even when blocking —
         // waiting could never help.
@@ -1037,7 +1270,13 @@ mod tests {
         let waiter = std::thread::spawn(move || {
             // Backpressure: cannot proceed until `first` releases.
             let a = p
-                .admit(60, AdmitPolicy::Block { timeout: Duration::from_secs(5) }, &|| false)
+                .admit(
+                    60,
+                    AdmitPolicy::Block {
+                        timeout: Duration::from_secs(5),
+                    },
+                    &|| false,
+                )
                 .unwrap();
             let admitted_while_held = p.admitted();
             drop(a);
@@ -1058,7 +1297,13 @@ mod tests {
         let _hold = pool.admit(100, AdmitPolicy::FailFast, &|| false).unwrap();
         let t0 = Instant::now();
         let err = pool
-            .admit(10, AdmitPolicy::Block { timeout: Duration::from_millis(30) }, &|| false)
+            .admit(
+                10,
+                AdmitPolicy::Block {
+                    timeout: Duration::from_millis(30),
+                },
+                &|| false,
+            )
             .unwrap_err();
         assert!(matches!(err, AdmitError::Overloaded { .. }));
         assert!(t0.elapsed() >= Duration::from_millis(25));
@@ -1070,7 +1315,13 @@ mod tests {
         pool.set_admission_limit(100);
         let _hold = pool.admit(100, AdmitPolicy::FailFast, &|| false).unwrap();
         let err = pool
-            .admit(10, AdmitPolicy::Block { timeout: Duration::from_secs(60) }, &|| true)
+            .admit(
+                10,
+                AdmitPolicy::Block {
+                    timeout: Duration::from_secs(60),
+                },
+                &|| true,
+            )
             .unwrap_err();
         assert_eq!(err, AdmitError::Aborted);
     }
@@ -1081,9 +1332,11 @@ mod tests {
         pool.set_query_cap(250);
         // Another query's pages (owner 7) must survive owner 1's
         // self-eviction.
-        pool.get_gop_watch(&key("other", 0), Some(7), &|| false, load_ok(100)).unwrap();
+        pool.get_gop_watch(&key("other", 0), Some(7), &|| false, load_ok(100))
+            .unwrap();
         for g in 0..4 {
-            pool.get_gop_watch(&key("mine", g), Some(1), &|| false, load_ok(100)).unwrap();
+            pool.get_gop_watch(&key("mine", g), Some(1), &|| false, load_ok(100))
+                .unwrap();
         }
         assert!(pool.query_resident(1) <= 250, "owner 1 is capped");
         assert_eq!(pool.query_resident(7), 100, "owner 7's page untouched");
@@ -1092,15 +1345,21 @@ mod tests {
         assert!(s.evictions >= 2);
         // The freshest pages are the ones retained.
         let before = pool.stats().misses;
-        pool.get_gop_watch(&key("mine", 3), Some(1), &|| false, load_ok(100)).unwrap();
-        assert_eq!(pool.stats().misses, before, "most recent page must be a hit");
+        pool.get_gop_watch(&key("mine", 3), Some(1), &|| false, load_ok(100))
+            .unwrap();
+        assert_eq!(
+            pool.stats().misses,
+            before,
+            "most recent page must be a hit"
+        );
     }
 
     #[test]
     fn per_query_cap_zero_means_unlimited() {
         let pool = BufferPool::new(10_000);
         for g in 0..5 {
-            pool.get_gop_watch(&key("m", g), Some(1), &|| false, load_ok(100)).unwrap();
+            pool.get_gop_watch(&key("m", g), Some(1), &|| false, load_ok(100))
+                .unwrap();
         }
         assert_eq!(pool.query_resident(1), 500);
         assert_eq!(pool.stats().evictions, 0);
@@ -1164,7 +1423,11 @@ mod tests {
         assert_eq!(pool.session_admitted(1), 100);
         drop(a);
         drop(c);
-        assert_eq!(pool.session_admitted(1), 0, "session accounting must drain to zero");
+        assert_eq!(
+            pool.session_admitted(1),
+            0,
+            "session accounting must drain to zero"
+        );
         assert_eq!(pool.session_admitted(2), 0);
         assert_eq!(pool.admitted(), 0);
     }
@@ -1204,7 +1467,11 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap(), 42);
         }
-        assert_eq!(computes.load(Ordering::SeqCst), 1, "concurrent joins must coalesce");
+        assert_eq!(
+            computes.load(Ordering::SeqCst),
+            1,
+            "concurrent joins must coalesce"
+        );
         assert_eq!(sf.in_flight(), 0, "ticket drop must clear the flight");
     }
 
@@ -1242,7 +1509,10 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap(), 9);
         }
-        assert!(attempts.load(Ordering::SeqCst) >= 2, "a second leader must take over");
+        assert!(
+            attempts.load(Ordering::SeqCst) >= 2,
+            "a second leader must take over"
+        );
         assert_eq!(sf.in_flight(), 0);
     }
 
@@ -1260,7 +1530,10 @@ mod tests {
             (matches!(join, FlightJoin::Aborted), t0.elapsed())
         });
         let (aborted, took) = waiter.join().expect("waiter panicked");
-        assert!(aborted, "waiter with a firing abort condition must not park");
+        assert!(
+            aborted,
+            "waiter with a firing abort condition must not park"
+        );
         assert!(took < Duration::from_millis(200), "aborted in {took:?}");
         drop(ticket);
         assert_eq!(sf.in_flight(), 0);

@@ -1,0 +1,374 @@
+//! Headset-fleet tile-serving integration tests: exactly-once
+//! extraction under barriered concurrent sessions, byte-identity of
+//! served tiles against direct zero-decode extraction, tile-cache
+//! version safety across re-ingest, byte-budget enforcement under
+//! fleet load, a seeded 3-viewer chaos soak reusing the tri-state
+//! error contract, and the CI fleet smoke.
+//!
+//! Runs honour `LIGHTDB_THREADS` (CI smokes both 1 and 8),
+//! `LIGHTDB_FLEET_SECONDS` for the smoke's trace length, and
+//! `LIGHTDB_CHAOS_SEEDS` for the soak round count.
+
+use lightdb::codec::{EncodedGop, TileGrid};
+use lightdb::container::TrackRole;
+use lightdb::core::Quality;
+use lightdb::prelude::*;
+use lightdb_apps::fleet::{generate_trace, install_tiled_pair, run_fleet, FleetConfig, TraceKind};
+use lightdb_testsuite::chaos::Scenario;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+
+fn temp_root(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("lightdb-fleet-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+const GRID: TileGrid = TileGrid { cols: 4, rows: 4 };
+
+/// Direct zero-decode extraction of `(second, tile)` from the stored
+/// stream — the ground truth every served tile must equal.
+fn direct_tile(db: &LightDb, name: &str, second: usize, tile: usize) -> Vec<u8> {
+    let stored = db.catalog().read(name, None).unwrap();
+    let media = stored.media();
+    let track = stored
+        .metadata
+        .tracks
+        .iter()
+        .find(|t| t.role == TrackRole::Video)
+        .unwrap();
+    let entry = &track.gop_index[second.min(track.gop_index.len() - 1)];
+    let gop =
+        EncodedGop::from_bytes(&media.read_gop_bytes(&track.media_path, entry).unwrap()).unwrap();
+    gop.extract_tile(tile).unwrap().to_bytes()
+}
+
+/// N barriered sessions, each with its own `TileServer`, all serving
+/// the *same* hot tile at the same instant: the engine-wide cache +
+/// single-flight must run `extract_tile` exactly once.
+#[test]
+fn hot_tile_extracted_exactly_once_across_sessions() {
+    let root = temp_root("once");
+    let db = LightDb::open(&root).unwrap();
+    install_tiled_pair(&db, "clip", 2, GRID).unwrap();
+    const SESSIONS: usize = 8;
+    let cache = db.tile_cache().expect("tile cache on by default");
+    let before = cache.stats();
+    let barrier = Arc::new(Barrier::new(SESSIONS));
+    let orientation = Orientation::tile_center(5, GRID);
+    let servers: Vec<_> = (0..SESSIONS)
+        .map(|_| {
+            db.session()
+                .tile_server(
+                    "clip",
+                    None,
+                    TileServerConfig {
+                        neighbor_ring: 0,
+                        ..TileServerConfig::default()
+                    },
+                )
+                .unwrap()
+        })
+        .collect();
+    std::thread::scope(|s| {
+        for (i, server) in servers.iter().enumerate() {
+            let barrier = barrier.clone();
+            s.spawn(move || {
+                barrier.wait();
+                let view = server.serve(i as u64, 0, orientation).unwrap();
+                assert_eq!(view.focus, 5);
+                assert!(!view.primary.bytes.is_empty());
+            });
+        }
+    });
+    let delta = cache.stats().since(&before);
+    assert_eq!(
+        delta.misses, 1,
+        "one extraction for one hot tile, got {delta:?}"
+    );
+    assert_eq!(
+        delta.hits + delta.coalesced,
+        SESSIONS as u64 - 1,
+        "everyone else reuses it: {delta:?}"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// Every tile a server hands out — HQ focus and LQ ring, cache on and
+/// off — is byte-identical to a direct `extract_tile` of the stored
+/// stream.
+#[test]
+fn served_tiles_are_byte_identical_to_direct_extraction() {
+    let root = temp_root("bytes");
+    let db = LightDb::open(&root).unwrap();
+    install_tiled_pair(&db, "clip", 2, GRID).unwrap();
+    let session = db.session();
+    for use_cache in [true, false] {
+        let server = session
+            .tile_server(
+                "clip",
+                Some("clip_lq"),
+                TileServerConfig {
+                    use_cache,
+                    ..TileServerConfig::default()
+                },
+            )
+            .unwrap();
+        for second in 0..2usize {
+            for tile in 0..GRID.tile_count() {
+                let view = server
+                    .serve(0, second as u64, Orientation::tile_center(tile, GRID))
+                    .unwrap();
+                assert_eq!(view.focus, tile);
+                assert_eq!(
+                    *view.primary.bytes,
+                    direct_tile(&db, "clip", second, tile),
+                    "HQ tile {tile} second {second} cache={use_cache}"
+                );
+                for n in &view.neighbors {
+                    assert_eq!(n.quality, Quality::Low);
+                    assert_eq!(
+                        *n.bytes,
+                        direct_tile(&db, "clip_lq", second, n.tile),
+                        "LQ tile {} second {second} cache={use_cache}",
+                        n.tile
+                    );
+                }
+            }
+        }
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// Re-ingesting a TLF under the same name must never let cached tiles
+/// of the old version leak into servers opened on the new one — the
+/// cache key pins the catalog version, and open servers keep serving
+/// the version they resolved.
+#[test]
+fn tile_cache_is_version_safe_across_reingest() {
+    let root = temp_root("version");
+    let db = LightDb::open(&root).unwrap();
+    install_tiled_pair(&db, "clip", 2, GRID).unwrap();
+    let session = db.session();
+    let cfg = TileServerConfig {
+        neighbor_ring: 0,
+        ..TileServerConfig::default()
+    };
+    let server_v1 = session.tile_server("clip", None, cfg).unwrap();
+    let o = Orientation::tile_center(3, GRID);
+    let v1_bytes = server_v1.serve(0, 0, o).unwrap().primary.bytes.clone();
+    let v1_direct = direct_tile(&db, "clip", 0, 3);
+    assert_eq!(*v1_bytes, v1_direct);
+
+    // Re-ingest the same frames at a different quality: same name and
+    // shape, different encoded bytes.
+    let spec = lightdb_datasets::DatasetSpec {
+        width: 256,
+        height: 128,
+        fps: 4,
+        seconds: 2,
+        qp: 22,
+    };
+    let frames: Vec<_> = (0..spec.frame_count())
+        .map(|i| lightdb_datasets::frame(lightdb_datasets::Dataset::Venice, &spec, i))
+        .collect();
+    lightdb::ingest::store_frames(
+        &db,
+        "clip",
+        &frames,
+        &lightdb::ingest::IngestConfig {
+            qp: Quality::Medium.qp(),
+            fps: 4,
+            gop_length: 4,
+            grid: GRID,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let server_v2 = session.tile_server("clip", None, cfg).unwrap();
+    assert!(
+        server_v2.version() > server_v1.version(),
+        "re-ingest bumps the pinned version"
+    );
+    let v2_bytes = server_v2.serve(0, 0, o).unwrap().primary.bytes.clone();
+    assert_eq!(
+        *v2_bytes,
+        direct_tile(&db, "clip", 0, 3),
+        "new server serves the new version"
+    );
+    assert_ne!(*v2_bytes, v1_direct, "the two versions really differ");
+    // The old server still serves its pinned version, cache warm.
+    assert_eq!(*server_v1.serve(0, 0, o).unwrap().primary.bytes, v1_direct);
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// A fleet big enough to touch every tile of both tiers keeps the
+/// engine-wide cache within its byte budget (evictions do their job)
+/// while serving correctly.
+#[test]
+fn fleet_load_respects_cache_byte_budget() {
+    let root = temp_root("budget");
+    let db = LightDb::open(&root).unwrap();
+    install_tiled_pair(&db, "clip", 4, GRID).unwrap();
+    let session = db.session();
+    let server = session
+        .tile_server("clip", Some("clip_lq"), TileServerConfig::default())
+        .unwrap();
+    let report = run_fleet(
+        &server,
+        &FleetConfig {
+            viewers: 32,
+            seconds: 16,
+            kind: TraceKind::RandomWalk,
+            workers: 4,
+            ..FleetConfig::default()
+        },
+    );
+    assert_eq!(report.errors, 0, "{:?}", report.error_classes);
+    assert_eq!(report.invariant_violations, 0);
+    let cache = db.tile_cache().unwrap();
+    assert!(
+        cache.resident_bytes() <= cache.budget_bytes(),
+        "cache over budget: {} > {}",
+        cache.resident_bytes(),
+        cache.budget_bytes()
+    );
+    assert!(!cache.is_empty(), "fleet load should populate the cache");
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// Trace generation is a pure function of the config — the property
+/// the whole benchmark's reproducibility rests on.
+#[test]
+fn fleet_traces_replay_identically() {
+    for kind in [TraceKind::Raster, TraceKind::RandomWalk, TraceKind::HotSpot] {
+        let cfg = FleetConfig {
+            viewers: 16,
+            seconds: 32,
+            kind,
+            ..FleetConfig::default()
+        };
+        assert_eq!(
+            generate_trace(&cfg, 4, 4),
+            generate_trace(&cfg, 4, 4),
+            "{kind:?}"
+        );
+    }
+}
+
+/// Seeded 3-viewer chaos soak: serving under injected storage faults
+/// must uphold the tri-state contract — correct bytes, or a
+/// classified error, and a failed extraction must never poison the
+/// cache (the same request succeeds with correct bytes once the
+/// fault clears).
+#[test]
+fn fleet_serving_chaos_soak() {
+    let root = temp_root("chaos");
+    let db = LightDb::open(&root).unwrap();
+    install_tiled_pair(&db, "clip", 2, GRID).unwrap();
+    let session = db.session();
+    let server = session
+        .tile_server("clip", Some("clip_lq"), TileServerConfig::default())
+        .unwrap();
+    const VIEWERS: u64 = 3;
+    let rounds = lightdb_core::envknob::read_u64("LIGHTDB_CHAOS_SEEDS")
+        .unwrap_or(100)
+        .min(60);
+    for seed in 0..rounds {
+        let sc = Scenario::from_seed(seed);
+        let barrier = Arc::new(Barrier::new(VIEWERS as usize));
+        sc.arm();
+        std::thread::scope(|s| {
+            for viewer in 0..VIEWERS {
+                let barrier = barrier.clone();
+                let server = &server;
+                s.spawn(move || {
+                    let tile = (seed as usize + viewer as usize) % GRID.tile_count();
+                    let o = Orientation::tile_center(tile, GRID);
+                    barrier.wait();
+                    match server.serve(viewer, seed % 2, o) {
+                        Ok(view) => {
+                            assert_eq!(view.focus, tile, "seed {seed}");
+                            assert!(!view.primary.bytes.is_empty(), "seed {seed}");
+                        }
+                        Err(err) => match &err {
+                            lightdb::Error::Exec(e) => {
+                                let _ = e.classify();
+                            }
+                            lightdb::Error::Storage(e) => {
+                                let _ = e.classify();
+                            }
+                            other => panic!("seed {seed}: unclassifiable error family: {other}"),
+                        },
+                    }
+                });
+            }
+        });
+        Scenario::disarm();
+        // Post-fault: the exact keys just attempted serve correct
+        // bytes — failures were not published into the cache.
+        for viewer in 0..VIEWERS {
+            let tile = (seed as usize + viewer as usize) % GRID.tile_count();
+            let view = server
+                .serve(viewer, seed % 2, Orientation::tile_center(tile, GRID))
+                .unwrap();
+            assert_eq!(
+                *view.primary.bytes,
+                direct_tile(&db, "clip", (seed % 2) as usize, tile),
+                "seed {seed}: cache served stale/corrupt bytes after fault cleared"
+            );
+        }
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// The CI smoke: a scaled-down fleet (64 viewers) with prefetch on
+/// must finish with zero errors, zero contract violations, real
+/// cross-user reuse, and a cache within budget.
+#[test]
+fn fleet_smoke() {
+    let root = temp_root("smoke");
+    let db = LightDb::open(&root).unwrap();
+    install_tiled_pair(&db, "clip", 4, GRID).unwrap();
+    let session = db.session();
+    let server = session
+        .tile_server("clip", Some("clip_lq"), TileServerConfig::default())
+        .unwrap();
+    let seconds = lightdb_core::envknob::read_u64("LIGHTDB_FLEET_SECONDS")
+        .unwrap_or(10)
+        .clamp(1, 120);
+    let workers = lightdb_core::envknob::read_u64("LIGHTDB_THREADS")
+        .unwrap_or(4)
+        .clamp(1, 64) as usize;
+    let report = run_fleet(
+        &server,
+        &FleetConfig {
+            viewers: 64,
+            seconds,
+            kind: TraceKind::HotSpot,
+            workers,
+            prefetch: true,
+            ..FleetConfig::default()
+        },
+    );
+    assert_eq!(
+        report.errors, 0,
+        "classified errors in smoke: {:?}",
+        report.error_classes
+    );
+    assert_eq!(report.invariant_violations, 0, "serving contract violated");
+    assert_eq!(report.serves, 64 * seconds);
+    assert_eq!(report.latency.count(), report.serves);
+    let stats = db.tile_cache().unwrap().stats();
+    assert!(stats.avoided() > 0, "no cross-user reuse: {stats:?}");
+    let cache = db.tile_cache().unwrap();
+    assert!(cache.resident_bytes() <= cache.budget_bytes());
+    // Prefetch actually warmed tiles (counter lives on the session).
+    assert!(
+        session.metrics().counter("tile_server.prefetched_tiles") > 0,
+        "prefetch warmed nothing"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
