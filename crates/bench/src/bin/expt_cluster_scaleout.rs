@@ -1,0 +1,7 @@
+//! Coordinator/worker scale-out latency across fleet sizes with a
+//! byte-identity audit and mid-fleet failover timing (see DESIGN.md
+//! "Distributed execution & failure model"). Emits
+//! `BENCH_cluster.json`.
+fn main() {
+    lightdb_bench::cluster_scaleout::print();
+}

@@ -1,0 +1,233 @@
+//! Coordinator/worker scale-out: distributed full-scan+encode latency
+//! across worker-fleet sizes versus the single-node baseline, plus
+//! the cost of a mid-fleet failover.
+//!
+//! Each configuration ingests the same GOP-aligned stream fragmented
+//! round-robin over N in-process workers (replication 2 where the
+//! fleet allows it), then replays the scan→encode template through a
+//! [`Coordinator`] and records wall-clock per query. Every run is
+//! audited byte-identical against the single-node result — the
+//! `GOPUNION` reassembly contract — and fleets of two or more workers
+//! also measure the first query after a worker kill (replica failover
+//! on the critical path). Results land in `BENCH_cluster.json`.
+//!
+//! [`Coordinator`]: lightdb_cluster::Coordinator
+
+use lightdb::prelude::*;
+use lightdb_cluster::{fixture, worker, Coordinator, CoordinatorConfig};
+use lightdb_core::algebra::{LogicalOp, LogicalPlan};
+use lightdb_core::envknob;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Worker-fleet sizes swept.
+pub const FLEETS: [usize; 3] = [1, 2, 4];
+
+/// Frames in the benchmark stream (must stay a multiple of the
+/// fixture GOP length times the fragment count).
+pub const FRAMES: usize = 192;
+
+/// Fragments the stream is split into (each worker holds a share).
+pub const FRAGMENTS: usize = 8;
+
+/// One fleet-size measurement.
+#[derive(Debug)]
+pub struct Measurement {
+    pub workers: usize,
+    pub queries: usize,
+    pub latencies: Vec<Duration>,
+    /// First-query latency after killing one worker (None for a
+    /// single-worker fleet — nothing to fail over to).
+    pub failover: Option<Duration>,
+    pub identical: bool,
+}
+
+impl Measurement {
+    pub fn percentile(&self, p: f64) -> Duration {
+        let mut sorted = self.latencies.clone();
+        sorted.sort();
+        if sorted.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    pub fn mean(&self) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        self.latencies.iter().sum::<Duration>() / self.latencies.len() as u32
+    }
+}
+
+fn template() -> LogicalPlan {
+    LogicalPlan::unary(
+        LogicalOp::Encode {
+            codec: CodecKind::H264Sim,
+            quality: None,
+        },
+        LogicalPlan::leaf(LogicalOp::Scan {
+            name: "vid".to_string(),
+            version: None,
+        }),
+    )
+}
+
+fn bench_root() -> PathBuf {
+    let root = std::env::temp_dir().join(format!("lightdb-bench-cluster-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+fn single_node_baseline(dir: &PathBuf, queries: usize) -> (Vec<u8>, Vec<Duration>) {
+    fixture::ingest_baseline(dir, "vid", FRAMES).expect("baseline ingest");
+    let db = LightDb::open(dir).expect("baseline open");
+    let plan = template();
+    let mut bytes = Vec::new();
+    let mut latencies = Vec::with_capacity(queries);
+    for _ in 0..queries {
+        let started = Instant::now();
+        let out = db
+            .execute_plan_with_ctx(&plan, QueryCtx::unbounded())
+            .expect("baseline query");
+        latencies.push(started.elapsed());
+        if let QueryOutput::Encoded(streams) = out {
+            bytes = streams[0].to_bytes();
+        }
+    }
+    (bytes, latencies)
+}
+
+/// Runs one fleet size: spawn, measure steady-state queries, audit
+/// bytes, then (fleets of two or more) kill a worker and time the
+/// failover query.
+pub fn run_fleet(root: &Path, workers: usize, queries: usize, baseline: &[u8]) -> Measurement {
+    let dirs: Vec<PathBuf> = (0..workers)
+        .map(|i| root.join(format!("fleet{workers}-w{i}")))
+        .collect();
+    let replication = workers.min(2);
+    let fragments = fixture::ingest_cluster(&dirs, "vid", FRAMES, FRAGMENTS, replication)
+        .expect("cluster ingest");
+    let mut handles: Vec<worker::WorkerHandle> = dirs
+        .iter()
+        .map(|d| worker::spawn(d).expect("worker spawn"))
+        .collect();
+    let addrs = handles.iter().map(|h| h.addr()).collect();
+    let coord = Coordinator::new(addrs, fragments, CoordinatorConfig::from_env());
+    let plan = template();
+    let ctx = QueryCtx::unbounded();
+
+    let mut latencies = Vec::with_capacity(queries);
+    let mut identical = true;
+    for _ in 0..queries {
+        let started = Instant::now();
+        let out = coord
+            .execute(&plan, ReadPolicy::Fail, &ctx)
+            .expect("distributed query");
+        latencies.push(started.elapsed());
+        if let QueryOutput::Encoded(streams) = out {
+            identical &= streams[0].to_bytes() == baseline;
+        } else {
+            identical = false;
+        }
+    }
+
+    let failover = (workers >= 2).then(|| {
+        handles[0].kill();
+        let started = Instant::now();
+        let out = coord
+            .execute(&plan, ReadPolicy::Fail, &ctx)
+            .expect("failover query");
+        let elapsed = started.elapsed();
+        if let QueryOutput::Encoded(streams) = out {
+            identical &= streams[0].to_bytes() == baseline;
+        }
+        elapsed
+    });
+    drop(coord);
+    drop(handles);
+    Measurement {
+        workers,
+        queries,
+        latencies,
+        failover,
+        identical,
+    }
+}
+
+fn json_entry(m: &Measurement, base_mean: Duration) -> String {
+    let speedup = if m.mean().as_secs_f64() > 0.0 {
+        base_mean.as_secs_f64() / m.mean().as_secs_f64()
+    } else {
+        0.0
+    };
+    format!(
+        concat!(
+            "{{\"workers\":{},\"queries\":{},",
+            "\"p50_us\":{:.1},\"p99_us\":{:.1},\"mean_us\":{:.1},",
+            "\"failover_us\":{},\"vs_single_node\":{:.2},\"identical\":{}}}"
+        ),
+        m.workers,
+        m.queries,
+        m.percentile(50.0).as_secs_f64() * 1e6,
+        m.percentile(99.0).as_secs_f64() * 1e6,
+        m.mean().as_secs_f64() * 1e6,
+        m.failover
+            .map_or("null".to_string(), |d| format!("{:.1}", d.as_secs_f64() * 1e6)),
+        speedup,
+        m.identical
+    )
+}
+
+/// Runs the sweep, prints the table, and writes `BENCH_cluster.json`.
+pub fn print() {
+    let queries = envknob::read_usize("LIGHTDB_BENCH_QUERIES").unwrap_or(20).clamp(3, 500);
+    let root = bench_root();
+    let (baseline, base_lat) = single_node_baseline(&root.join("baseline"), queries);
+    let base_mean = base_lat.iter().sum::<Duration>() / base_lat.len() as u32;
+    println!(
+        "cluster scale-out ({FRAMES} frames, {FRAGMENTS} fragments, {queries} queries/fleet, \
+         single-node mean {:.0}us)",
+        base_mean.as_secs_f64() * 1e6
+    );
+    crate::row(
+        "workers",
+        &[
+            "p50".into(),
+            "p99".into(),
+            "mean".into(),
+            "failover".into(),
+            "vs 1-node".into(),
+            "identical".into(),
+        ],
+    );
+    let mut entries = Vec::new();
+    for workers in FLEETS {
+        let m = run_fleet(&root, workers, queries, &baseline);
+        assert!(m.identical, "{workers}-worker fleet diverged from the single-node bytes");
+        let speedup = base_mean.as_secs_f64() / m.mean().as_secs_f64();
+        crate::row(
+            &workers.to_string(),
+            &[
+                format!("{:.0}us", m.percentile(50.0).as_secs_f64() * 1e6),
+                format!("{:.0}us", m.percentile(99.0).as_secs_f64() * 1e6),
+                format!("{:.0}us", m.mean().as_secs_f64() * 1e6),
+                m.failover
+                    .map_or("-".to_string(), |d| format!("{:.0}us", d.as_secs_f64() * 1e6)),
+                format!("{speedup:.2}x"),
+                "yes".into(),
+            ],
+        );
+        entries.push(json_entry(&m, base_mean));
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    let json = format!(
+        "{{\"frames\":{FRAMES},\"fragments\":{FRAGMENTS},\"queries\":{queries},\
+         \"single_node_mean_us\":{:.1},\"fleets\":[{}]}}\n",
+        base_mean.as_secs_f64() * 1e6,
+        entries.join(",")
+    );
+    std::fs::write("BENCH_cluster.json", json).expect("write BENCH_cluster.json");
+    println!("wrote BENCH_cluster.json");
+}

@@ -13,6 +13,7 @@
 //! * `LIGHTDB_BENCH_CACHE` — dataset cache directory (datasets are
 //!   generated and encoded once, then reused across runs).
 
+pub mod cluster_scaleout;
 pub mod codec_kernels;
 pub mod fig11;
 pub mod fig12;

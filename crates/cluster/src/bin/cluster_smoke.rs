@@ -1,0 +1,221 @@
+//! Cluster smoke test over real processes: one coordinator, three
+//! `lightdb-worker` children, a worker killed between queries, and a
+//! byte-identical check against the single-node baseline both before
+//! and after the failover. Exercises the whole stack — process
+//! boundaries, the wire protocol, placement, heartbeats, failover —
+//! in a few seconds; the deep seeded soak lives in `tests/cluster.rs`.
+//!
+//! Honours `LIGHTDB_WORKERS` (default 3, min 2) for the fleet size.
+
+use lightdb::prelude::*;
+use lightdb_cluster::{fixture, Coordinator, CoordinatorConfig};
+use lightdb_core::algebra::{LogicalOp, LogicalPlan};
+use lightdb_exec::metrics::counters;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+const FRAMES: usize = 48;
+const FRAGMENTS: usize = 6;
+
+fn main() {
+    let workers = lightdb_core::envknob::read_usize("LIGHTDB_WORKERS")
+        .unwrap_or(3)
+        .max(2);
+    match run(workers) {
+        Ok(()) => println!("cluster smoke: PASS ({workers} workers, {FRAGMENTS} fragments)"),
+        Err(e) => {
+            eprintln!("cluster smoke: FAIL: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(workers: usize) -> Result<(), String> {
+    let root = std::env::temp_dir().join(format!("lightdb-cluster-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let worker_dirs: Vec<PathBuf> = (0..workers).map(|i| root.join(format!("w{i}"))).collect();
+    let baseline_dir = root.join("baseline");
+
+    // Fragments replicated on two workers each, plus the whole
+    // stream on a single node for the byte-identical reference.
+    let fragments = fixture::ingest_cluster(&worker_dirs, "vid", FRAMES, FRAGMENTS, 2)
+        .map_err(|e| format!("ingest: {e}"))?;
+    fixture::ingest_baseline(&baseline_dir, "vid", FRAMES).map_err(|e| format!("ingest: {e}"))?;
+
+    let template = LogicalPlan::unary(
+        LogicalOp::Encode {
+            codec: CodecKind::H264Sim,
+            quality: None,
+        },
+        LogicalPlan::leaf(LogicalOp::Scan {
+            name: "vid".to_string(),
+            version: None,
+        }),
+    );
+    let baseline = run_baseline(&baseline_dir, &template)?;
+
+    let mut children = Vec::with_capacity(workers);
+    let mut addrs = Vec::with_capacity(workers);
+    for dir in &worker_dirs {
+        let (child, addr) = spawn_worker(dir)?;
+        children.push(child);
+        addrs.push(addr);
+    }
+    let mut result = drive(&addrs, fragments, &template, &baseline, &mut children);
+    if result.is_ok() {
+        result = crash_fault_fail_stops_worker(&worker_dirs[0]);
+    }
+    for mut child in children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    result
+}
+
+/// A worker armed with `cluster.worker.serve=crash` must fail-stop
+/// (exit 42) on its first request — the process-level crash model
+/// the coordinator's failover is built against.
+fn crash_fault_fail_stops_worker(dir: &PathBuf) -> Result<(), String> {
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let worker_bin = exe
+        .parent()
+        .ok_or("current_exe has no parent dir")?
+        .join("lightdb-worker");
+    let mut child = Command::new(&worker_bin)
+        .arg(dir)
+        .stdout(Stdio::piped())
+        .env("LIGHTDB_FAULTS", "cluster.worker.serve=crash")
+        .spawn()
+        .map_err(|e| format!("spawn crashing worker: {e}"))?;
+    let stdout = child.stdout.take().ok_or("worker stdout not captured")?;
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .map_err(|e| format!("worker banner: {e}"))?;
+    let addr = line
+        .trim()
+        .strip_prefix("listening ")
+        .ok_or_else(|| format!("unexpected worker banner: {line:?}"))?
+        .parse::<SocketAddr>()
+        .map_err(|e| format!("worker addr: {e}"))?;
+    // The first request trips the armed crash; the reply never comes.
+    let rpc = || -> std::io::Result<()> {
+        let timeout = std::time::Duration::from_secs(5);
+        let mut conn = lightdb_cluster::net::Conn::connect(addr, "crashing", timeout)?;
+        conn.send(1, &lightdb_cluster::proto::Request::Ping.to_bytes())?;
+        let _ = conn.recv()?;
+        Ok(())
+    };
+    if rpc().is_ok() {
+        let _ = child.kill();
+        return Err("crash-armed worker answered instead of fail-stopping".to_string());
+    }
+    let status = child.wait().map_err(|e| format!("wait: {e}"))?;
+    if status.code() != Some(42) {
+        return Err(format!("crash-armed worker exited {status:?}, expected 42"));
+    }
+    println!("cluster smoke: crash fault fail-stopped the worker (exit 42)");
+    Ok(())
+}
+
+fn drive(
+    addrs: &[SocketAddr],
+    fragments: Vec<lightdb_cluster::Fragment>,
+    template: &LogicalPlan,
+    baseline: &[u8],
+    children: &mut [Child],
+) -> Result<(), String> {
+    let coord = Coordinator::new(addrs.to_vec(), fragments, CoordinatorConfig::from_env());
+    let ctx = QueryCtx::unbounded();
+
+    // Healthy cluster: distributed must equal single-node bytes.
+    let healthy = execute_bytes(&coord, template, &ctx)?;
+    if healthy != baseline {
+        return Err("healthy-cluster result differs from single-node baseline".to_string());
+    }
+    println!("cluster smoke: healthy run byte-identical ({} bytes)", baseline.len());
+
+    // Kill worker 0's process; every fragment it held has a replica,
+    // so the same query must fail over and still match bytes.
+    children[0].kill().map_err(|e| format!("kill: {e}"))?;
+    let _ = children[0].wait();
+    let failed_over = execute_bytes(&coord, template, &ctx)?;
+    if failed_over != baseline {
+        return Err("post-kill result differs from single-node baseline".to_string());
+    }
+    let failovers = coord.metrics().counter(counters::CLUSTER_FAILOVERS);
+    if failovers == 0 {
+        return Err("worker killed but no failover was recorded".to_string());
+    }
+    println!("cluster smoke: failover run byte-identical ({failovers} failovers)");
+
+    // Survivors must be leak-free: no admitted bytes, no open spans.
+    for worker in 1..coord.worker_count() {
+        let (admitted, open_spans) = coord
+            .worker_stats(worker)
+            .map_err(|e| format!("stats from worker {worker}: {e}"))?;
+        if admitted != 0 || open_spans != 0 {
+            return Err(format!(
+                "worker {worker} leaked: {admitted} admitted bytes, {open_spans} open spans"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn run_baseline(dir: &PathBuf, template: &LogicalPlan) -> Result<Vec<u8>, String> {
+    let db = LightDb::open(dir).map_err(|e| format!("baseline open: {e}"))?;
+    match db
+        .execute_plan_with_ctx(template, QueryCtx::unbounded())
+        .map_err(|e| format!("baseline query: {e}"))?
+    {
+        QueryOutput::Encoded(streams) if streams.len() == 1 => Ok(streams[0].to_bytes()),
+        other => Err(format!("baseline produced unexpected output: {other:?}")),
+    }
+}
+
+fn execute_bytes(
+    coord: &Coordinator,
+    template: &LogicalPlan,
+    ctx: &QueryCtx,
+) -> Result<Vec<u8>, String> {
+    match coord
+        .execute(template, ReadPolicy::Fail, ctx)
+        .map_err(|e| format!("distributed query: {e}"))?
+    {
+        QueryOutput::Encoded(streams) if streams.len() == 1 => Ok(streams[0].to_bytes()),
+        other => Err(format!("distributed query produced unexpected output: {other:?}")),
+    }
+}
+
+/// Launches a `lightdb-worker` child over `dir` and parses the
+/// `listening <addr>` line it prints when ready.
+fn spawn_worker(dir: &PathBuf) -> Result<(Child, SocketAddr), String> {
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let worker_bin = exe
+        .parent()
+        .ok_or("current_exe has no parent dir")?
+        .join("lightdb-worker");
+    let mut child = Command::new(&worker_bin)
+        .arg(dir)
+        .stdout(Stdio::piped())
+        // Workers must not inherit the harness's fault schedule.
+        .env_remove("LIGHTDB_FAULTS")
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", worker_bin.display()))?;
+    let stdout = child.stdout.take().ok_or("worker stdout not captured")?;
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .map_err(|e| format!("worker banner: {e}"))?;
+    let addr = line
+        .trim()
+        .strip_prefix("listening ")
+        .ok_or_else(|| format!("unexpected worker banner: {line:?}"))?
+        .parse::<SocketAddr>()
+        .map_err(|e| format!("worker addr: {e}"))?;
+    Ok((child, addr))
+}

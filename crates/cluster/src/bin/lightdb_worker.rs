@@ -1,0 +1,42 @@
+//! Standalone cluster worker: hosts an engine over one data
+//! directory and serves coordinator RPCs until told to stop.
+//!
+//! ```text
+//! lightdb-worker <data-dir>
+//! ```
+//!
+//! Prints `listening <addr>` on stdout once ready (the smoke harness
+//! parses this to build its cluster map), then serves until a
+//! `Shutdown` request arrives or the process is killed. With
+//! `LIGHTDB_FAULTS=cluster.worker.serve=crash` in the environment the
+//! worker fail-stops (exit 42) when the armed fault fires — the
+//! process-level crash the cluster smoke test recovers from.
+
+use std::io::Write;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let data_dir = match args.next() {
+        Some(d) => d,
+        None => {
+            eprintln!("usage: lightdb-worker <data-dir>");
+            std::process::exit(2);
+        }
+    };
+    let handle = match lightdb_cluster::worker::spawn_exiting_on_crash(std::path::Path::new(
+        &data_dir,
+    )) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("lightdb-worker: failed to start over {data_dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening {}", handle.addr());
+    // The parent may be reading this line through a pipe; make sure
+    // it is not stuck in the stdout buffer.
+    let _ = std::io::stdout().flush();
+    while !handle.is_down() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+}

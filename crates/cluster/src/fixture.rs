@@ -1,0 +1,140 @@
+//! Deterministic cluster fixtures shared by the smoke binary, the
+//! scale-out bench, and the test suite: synthetic frames, fragment
+//! naming, and time-partitioned per-worker ingest.
+//!
+//! The byte-identical half of the tri-state contract leans on one
+//! alignment rule encoded here: **every fragment's frame count is a
+//! multiple of the GOP length**. With closed GOPs (each starts at a
+//! keyframe) a fragment's encode is then exactly the corresponding
+//! run of GOPs from the whole-stream encode, so `GOPUNION` of the
+//! fragment results reproduces the single-node answer byte for byte.
+
+use crate::coordinator::Fragment;
+use lightdb::ingest::{store_frames, IngestConfig};
+use lightdb::prelude::*;
+use std::io;
+use std::path::PathBuf;
+
+/// GOP length used by all cluster fixtures.
+pub const GOP_LENGTH: usize = 4;
+/// Frame rate used by all cluster fixtures.
+pub const FPS: u32 = 2;
+
+/// `total` deterministic frames with per-index colour so any
+/// misplaced or reordered GOP changes the output bytes.
+pub fn frames(total: usize) -> Vec<Frame> {
+    (0..total)
+        .map(|i| {
+            Frame::filled(
+                32,
+                32,
+                Yuv::new(
+                    ((i * 7) % 251) as u8,
+                    ((i * 13) % 251) as u8,
+                    ((i * 29) % 251) as u8,
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Ingest parameters all fixture stores share; any divergence
+/// between workers would make sequence headers unequal and break
+/// `GOPUNION` compatibility.
+pub fn ingest_config() -> IngestConfig {
+    IngestConfig {
+        fps: FPS,
+        gop_length: GOP_LENGTH,
+        ..Default::default()
+    }
+}
+
+/// The worker-local TLF name of fragment `idx` of `base`.
+pub fn fragment_name(base: &str, idx: usize) -> String {
+    format!("{base}.f{idx}")
+}
+
+/// Splits `total` frames of `base` into `fragments` equal time
+/// slices and stores each on `replication` workers (fragment `i`
+/// lands on workers `i % n`, `i+1 % n`, … — primary first), opening
+/// and closing an engine per worker directory. Returns the fragment
+/// table for [`Coordinator::new`](crate::coordinator::Coordinator).
+///
+/// `total` must divide evenly into GOP-aligned fragments; uneven
+/// requests are rejected rather than silently misaligned.
+pub fn ingest_cluster(
+    worker_dirs: &[PathBuf],
+    base: &str,
+    total: usize,
+    fragments: usize,
+    replication: usize,
+) -> io::Result<Vec<Fragment>> {
+    if fragments == 0 || worker_dirs.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "need at least one fragment and one worker",
+        ));
+    }
+    let per = total / fragments;
+    if per * fragments != total || !per.is_multiple_of(GOP_LENGTH) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "{total} frames do not split into {fragments} GOP-aligned fragments \
+                 (gop length {GOP_LENGTH})"
+            ),
+        ));
+    }
+    let replication = replication.clamp(1, worker_dirs.len());
+    let all = frames(total);
+    let config = ingest_config();
+    let mut table = Vec::with_capacity(fragments);
+    for idx in 0..fragments {
+        let slice = &all[idx * per..(idx + 1) * per];
+        let name = fragment_name(base, idx);
+        let holders: Vec<usize> = (0..replication)
+            .map(|r| (idx + r) % worker_dirs.len())
+            .collect();
+        for &holder in &holders {
+            let db = LightDb::open(&worker_dirs[holder])
+                .map_err(|e| io::Error::other(e.to_string()))?;
+            store_frames(&db, &name, slice, &config)
+                .map_err(|e| io::Error::other(e.to_string()))?;
+        }
+        table.push(Fragment { name, holders });
+    }
+    Ok(table)
+}
+
+/// Stores the same `total` frames whole under `base` in `dir` — the
+/// single-node baseline the distributed answer must match byte for
+/// byte.
+pub fn ingest_baseline(dir: &PathBuf, base: &str, total: usize) -> io::Result<()> {
+    let db = LightDb::open(dir).map_err(|e| io::Error::other(e.to_string()))?;
+    store_frames(&db, base, &frames(total), &ingest_config())
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misaligned_fragmentation_is_rejected() {
+        let dirs = vec![std::env::temp_dir().join("never-created")];
+        // 10 frames over 3 fragments: not even; 12 over 2: per = 6,
+        // not a GOP multiple (gop length 4).
+        assert!(ingest_cluster(&dirs, "v", 10, 3, 1).is_err());
+        assert!(ingest_cluster(&dirs, "v", 12, 2, 1).is_err());
+        assert!(ingest_cluster(&dirs, "v", 0, 0, 1).is_err());
+    }
+
+    #[test]
+    fn fragment_names_and_holders_are_deterministic() {
+        assert_eq!(fragment_name("vid", 2), "vid.f2");
+        let frames = frames(8);
+        assert_eq!(frames.len(), 8);
+        assert_ne!(frames[0], frames[1], "frames must differ per index");
+    }
+}

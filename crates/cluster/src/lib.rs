@@ -1,0 +1,32 @@
+//! Scale-out execution for LightDB: a coordinator places
+//! `PARTITION`-shaped subplans on localhost workers by data locality
+//! and reassembles their encoded results without decoding
+//! (`GOPUNION`), under cluster-wide fault tolerance.
+//!
+//! Layering:
+//!
+//! * [`net`] — the CRC-framed wire protocol and the only raw-socket
+//!   code in the workspace (lint rule R8);
+//! * [`proto`] — request/response message codec over those frames;
+//! * [`worker`] — an engine over a fragment subset, serving
+//!   executions with deadlines, cancellation, and leak accounting;
+//! * [`coordinator`] — placement, deadline-aware retries with
+//!   decorrelated jitter, heartbeat-driven failover to replicas, and
+//!   encoded reassembly;
+//! * [`fixture`] — deterministic fragment fixtures for the smoke
+//!   binary, bench, and tests.
+//!
+//! The cluster upholds the same tri-state contract as a single node:
+//! every query ends byte-identical to the fault-free run, or with a
+//! classified error, or as a well-formed degraded result under a
+//! lossy [`ReadPolicy`](lightdb_exec::ReadPolicy) — and never leaks
+//! admission bytes or decode spans on either side of the wire.
+
+pub mod coordinator;
+pub mod fixture;
+pub mod net;
+pub mod proto;
+pub mod worker;
+
+pub use coordinator::{Coordinator, CoordinatorConfig, Fragment};
+pub use worker::WorkerHandle;

@@ -1,0 +1,359 @@
+//! The cluster wire protocol: length-prefixed, CRC-framed messages
+//! over localhost TCP.
+//!
+//! Framing follows the same discipline as `storage::wal` — a fixed
+//! header carrying a magic, a payload length, and a CRC over
+//! everything after the CRC field — so the same torn/corrupt-frame
+//! reasoning (and the same test patterns) apply to bytes in flight:
+//!
+//! ```text
+//! MAGIC "RPC1" (4) | payload_len u32 LE (4) | crc32 u32 LE (4) |
+//! request_id u64 LE (8) | payload
+//! ```
+//!
+//! The CRC covers `request_id ‖ payload`. A frame whose magic or CRC
+//! does not check out, or whose declared payload exceeds
+//! [`MAX_PAYLOAD`], is *invalid* — the connection is poisoned and the
+//! error classifies as `Corrupt`. A peer that disappears mid-frame
+//! surfaces as a connection-shaped error (`Unavailable`), because the
+//! missing bytes are a dead peer, not damaged data.
+//!
+//! This module is the **only** place in the workspace that constructs
+//! raw sockets (`TcpStream`/`TcpListener`); lint rule R8 enforces
+//! that. Everything above it speaks [`Conn`].
+//!
+//! Fault injection: every connect/send/recv threads a
+//! [`faults::fail_point`] tagged with the peer's label
+//! (`cluster.connect.w0`, `cluster.rpc.send.w0`, …), so the chaos
+//! harness can drop, delay, or partition individual links via the
+//! `LIGHTDB_FAULTS` grammar.
+
+use lightdb_container::checksum;
+use lightdb_storage::faults;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Frame magic: "RPC1".
+pub const MAGIC: [u8; 4] = *b"RPC1";
+/// Fixed frame-header size: magic + payload_len + crc + request_id.
+pub const FRAME_HEADER: usize = 20;
+/// Ceiling on a single frame's payload. Matches the WAL's ceiling —
+/// large enough for any encoded fragment result, small enough that a
+/// corrupt length field cannot drive a multi-gigabyte allocation.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// Outcome of parsing a frame out of a byte buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameParse {
+    /// A whole, CRC-verified frame.
+    Complete {
+        id: u64,
+        payload: Vec<u8>,
+        frame_len: usize,
+    },
+    /// The buffer holds a valid prefix of a frame; read more bytes.
+    Incomplete,
+    /// The bytes cannot be (a prefix of) a valid frame.
+    Invalid,
+}
+
+/// Builds one wire frame around `payload`.
+pub fn encode_frame(id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&[0u8; 4]); // crc placeholder
+    frame.extend_from_slice(&id.to_le_bytes());
+    frame.extend_from_slice(payload);
+    let crc = checksum::checksum(&frame[12..]);
+    frame[8..12].copy_from_slice(&crc.to_le_bytes());
+    frame
+}
+
+/// Parses the frame at the start of `buf` (mirrors the WAL's
+/// `decode_record` contract).
+pub fn decode_frame(buf: &[u8]) -> FrameParse {
+    if buf.len() < FRAME_HEADER {
+        // A short buffer is only "keep reading" if what we do have
+        // could still become a valid frame.
+        let n = buf.len().min(4);
+        if buf[..n] == MAGIC[..n] {
+            return FrameParse::Incomplete;
+        }
+        return FrameParse::Invalid;
+    }
+    if buf[0..4] != MAGIC {
+        return FrameParse::Invalid;
+    }
+    let payload_len = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]) as usize;
+    if payload_len > MAX_PAYLOAD {
+        return FrameParse::Invalid;
+    }
+    let frame_len = FRAME_HEADER + payload_len;
+    if buf.len() < frame_len {
+        return FrameParse::Incomplete;
+    }
+    let crc = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+    if !checksum::verify(&buf[12..frame_len], crc) {
+        return FrameParse::Invalid;
+    }
+    let id = u64::from_le_bytes([
+        buf[12], buf[13], buf[14], buf[15], buf[16], buf[17], buf[18], buf[19],
+    ]);
+    FrameParse::Complete {
+        id,
+        payload: buf[FRAME_HEADER..frame_len].to_vec(),
+        frame_len,
+    }
+}
+
+/// One framed connection to a peer. `label` tags the peer's fault
+/// sites (`cluster.rpc.send.<label>` / `cluster.rpc.recv.<label>`).
+#[derive(Debug)]
+pub struct Conn {
+    stream: TcpStream,
+    label: String,
+    /// Bytes received but not yet consumed as a whole frame. Keeping
+    /// partial frames here makes [`Conn::recv`] resumable: a read
+    /// timeout mid-frame leaves the prefix buffered, and the next
+    /// `recv` picks up where it left off instead of desyncing.
+    rbuf: Vec<u8>,
+}
+
+impl Conn {
+    /// Connects to `addr` with `timeout` applied to the connect and
+    /// to every subsequent read/write.
+    pub fn connect(addr: SocketAddr, label: &str, timeout: Duration) -> io::Result<Conn> {
+        faults::fail_point(&format!("{}.{label}", faults::sites::CLUSTER_CONNECT))?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Conn {
+            stream,
+            label: label.to_string(),
+            rbuf: Vec::new(),
+        })
+    }
+
+    fn from_stream(stream: TcpStream, label: String, timeout: Duration) -> io::Result<Conn> {
+        // Accepted sockets must block regardless of the listener's
+        // polling mode.
+        stream.set_nonblocking(false)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Conn {
+            stream,
+            label,
+            rbuf: Vec::new(),
+        })
+    }
+
+    /// Replaces the per-operation timeout on an open connection.
+    pub fn set_timeout(&self, timeout: Duration) -> io::Result<()> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        self.stream.set_write_timeout(Some(timeout))
+    }
+
+    /// Sends one frame.
+    pub fn send(&mut self, id: u64, payload: &[u8]) -> io::Result<()> {
+        faults::fail_point(&format!("{}.{}", faults::sites::CLUSTER_SEND, self.label))?;
+        if payload.len() > MAX_PAYLOAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("frame payload {} exceeds {MAX_PAYLOAD}", payload.len()),
+            ));
+        }
+        self.stream.write_all(&encode_frame(id, payload))?;
+        self.stream.flush()
+    }
+
+    /// Receives one whole frame, verifying its CRC.
+    ///
+    /// Error shapes matter to the caller's retry/failover logic:
+    /// a peer that closes the socket (cleanly or mid-frame) is
+    /// `ConnectionAborted` (→ `Unavailable`) — the missing bytes
+    /// still exist on a replica; a frame that fails structural
+    /// checks is `InvalidData` (→ `Corrupt`); a read that exceeds
+    /// the connection timeout is `WouldBlock`/`TimedOut`
+    /// (→ `Transient`), and the partially received frame stays
+    /// buffered so a subsequent `recv` resumes it — callers may poll
+    /// with short timeouts (e.g. to watch a cancel token) without
+    /// losing bytes.
+    pub fn recv(&mut self) -> io::Result<(u64, Vec<u8>)> {
+        faults::fail_point(&format!("{}.{}", faults::sites::CLUSTER_RECV, self.label))?;
+        loop {
+            match decode_frame(&self.rbuf) {
+                FrameParse::Complete {
+                    id,
+                    payload,
+                    frame_len,
+                } => {
+                    self.rbuf.drain(..frame_len);
+                    return Ok((id, payload));
+                }
+                FrameParse::Invalid => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "frame failed CRC/structure checks",
+                    ))
+                }
+                FrameParse::Incomplete => {}
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                let when = if self.rbuf.is_empty() {
+                    "between frames"
+                } else {
+                    "mid-frame"
+                };
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    format!("peer {} closed the connection {when}", self.label),
+                ));
+            }
+            self.rbuf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Shuts both directions down, forcing any blocked peer read to
+    /// fail — how an in-process worker "kills" its live connections.
+    pub fn shutdown(&self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// An independently owned handle to the same socket, used to
+    /// register a connection for forced shutdown. The clone starts
+    /// with an empty receive buffer — it is for [`Conn::shutdown`],
+    /// not for interleaved reads.
+    pub fn try_clone(&self) -> io::Result<Conn> {
+        Ok(Conn {
+            stream: self.stream.try_clone()?,
+            label: self.label.clone(),
+            rbuf: Vec::new(),
+        })
+    }
+}
+
+/// A listening socket handing out framed [`Conn`]s.
+#[derive(Debug)]
+pub struct Listener {
+    inner: TcpListener,
+}
+
+impl Listener {
+    /// Binds an OS-assigned port on localhost.
+    pub fn bind_localhost() -> io::Result<(Listener, SocketAddr)> {
+        let inner = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = inner.local_addr()?;
+        Ok((Listener { inner }, addr))
+    }
+
+    /// Binds a specific localhost port (worker binary deployments).
+    pub fn bind_port(port: u16) -> io::Result<(Listener, SocketAddr)> {
+        let inner = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = inner.local_addr()?;
+        Ok((Listener { inner }, addr))
+    }
+
+    /// Accepts one connection. `label` tags the accepting side's
+    /// fault sites; `timeout` bounds each read/write on the accepted
+    /// connection (accept itself blocks indefinitely unless
+    /// [`set_nonblocking`](Listener::set_nonblocking) is on).
+    pub fn accept(&self, label: &str, timeout: Duration) -> io::Result<Conn> {
+        let (stream, _) = self.inner.accept()?;
+        Conn::from_stream(stream, label.to_string(), timeout)
+    }
+
+    /// Switches the listener between blocking accepts and polling
+    /// (`accept` returns `WouldBlock` when nothing is pending) — the
+    /// worker's serve loop polls so a shutdown flag can interrupt it.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        self.inner.set_nonblocking(nonblocking)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrips() {
+        let frame = encode_frame(42, b"hello");
+        match decode_frame(&frame) {
+            FrameParse::Complete {
+                id,
+                payload,
+                frame_len,
+            } => {
+                assert_eq!(id, 42);
+                assert_eq!(payload, b"hello");
+                assert_eq!(frame_len, frame.len());
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_magic_prefix_is_incomplete_garbage_is_invalid() {
+        assert_eq!(decode_frame(b"RP"), FrameParse::Incomplete);
+        assert_eq!(decode_frame(b"XX"), FrameParse::Invalid);
+        let frame = encode_frame(1, b"payload");
+        assert_eq!(decode_frame(&frame[..frame.len() - 1]), FrameParse::Incomplete);
+    }
+
+    #[test]
+    fn oversized_length_is_invalid() {
+        let mut frame = encode_frame(1, b"x");
+        frame[4..8].copy_from_slice(&((MAX_PAYLOAD as u32) + 1).to_le_bytes());
+        assert_eq!(decode_frame(&frame), FrameParse::Invalid);
+    }
+
+    #[test]
+    fn crc_damage_is_invalid() {
+        let mut frame = encode_frame(7, b"payload bytes");
+        let last = frame.len() - 1;
+        frame[last] ^= 0xFF;
+        assert_eq!(decode_frame(&frame), FrameParse::Invalid);
+    }
+
+    #[test]
+    fn conn_roundtrips_frames_over_localhost() {
+        let (listener, addr) = Listener::bind_localhost().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut conn = listener.accept("client", Duration::from_secs(5)).unwrap();
+            let (id, payload) = conn.recv().unwrap();
+            conn.send(id, &payload).unwrap();
+        });
+        let mut conn = Conn::connect(addr, "server", Duration::from_secs(5)).unwrap();
+        conn.send(9, b"ping me back").unwrap();
+        let (id, payload) = conn.recv().unwrap();
+        assert_eq!((id, payload.as_slice()), (9, b"ping me back".as_slice()));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn peer_death_mid_frame_is_connection_shaped() {
+        let (listener, addr) = Listener::bind_localhost().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut conn = listener.accept("client", Duration::from_secs(5)).unwrap();
+            // Send a torn frame: a valid header promising more bytes
+            // than will ever arrive, then vanish.
+            let frame = encode_frame(1, &[0u8; 1024]);
+            let Conn { stream, .. } = &mut conn;
+            stream.write_all(&frame[..FRAME_HEADER + 10]).unwrap();
+            drop(conn);
+        });
+        let mut conn = Conn::connect(addr, "server", Duration::from_secs(5)).unwrap();
+        let err = conn.recv().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionAborted);
+        assert_eq!(
+            lightdb_core::ErrorClass::of_io_kind(err.kind()),
+            lightdb_core::ErrorClass::Unavailable
+        );
+        server.join().unwrap();
+    }
+}

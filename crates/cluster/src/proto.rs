@@ -1,0 +1,418 @@
+//! RPC message payloads: what travels inside a [`crate::net`] frame.
+//!
+//! Pure serialisation — no sockets here. Payloads are tag-byte
+//! structs with fixed-width little-endian integers and u32
+//! length-prefixed byte strings, the same vocabulary as the WAL's
+//! record payloads. Malformed payloads decode to `InvalidData`
+//! errors, which classify as `Corrupt` — the wire said something the
+//! protocol cannot mean.
+//!
+//! An `Execute` request carries everything the worker needs to run a
+//! subplan under the coordinator's query contract: the serialised
+//! plan ([`lightdb_core::subgraph`]), the remaining deadline budget
+//! (milliseconds; the wire cannot carry an `Instant`), and the read
+//! policy. Cancellation travels out-of-band as a `Cancel` carrying
+//! the original request id.
+
+use lightdb_core::ErrorClass;
+use lightdb_exec::ReadPolicy;
+use std::io;
+
+/// Coordinator → worker messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Heartbeat probe.
+    Ping,
+    /// Run a serialised subplan and return its encoded output.
+    Execute {
+        /// Remaining deadline budget in milliseconds; `None` = no
+        /// deadline.
+        deadline_ms: Option<u64>,
+        /// The coordinator's read policy, applied worker-side too.
+        read_policy: ReadPolicy,
+        /// [`lightdb_core::subgraph`]-serialised plan bytes.
+        plan: Vec<u8>,
+    },
+    /// Cancel the in-flight `Execute` with this request id.
+    Cancel { request: u64 },
+    /// Report resource-leak counters (admitted bytes, open spans).
+    Stats,
+    /// Stop serving and exit the serve loop.
+    Shutdown,
+}
+
+/// Worker → coordinator messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Heartbeat reply.
+    Pong,
+    /// Successful `Execute`: the subplan's encoded output streams
+    /// (each `VideoStream::to_bytes`), plus how many GOPs the worker
+    /// skipped / degraded under the read policy.
+    Executed {
+        streams: Vec<Vec<u8>>,
+        skipped: u64,
+        degraded: u64,
+    },
+    /// Failed `Execute` (or other request), with the failure's class
+    /// preserved so the coordinator's retry/failover/degrade logic is
+    /// uniform across local and remote errors.
+    Failed { class: ErrorClass, message: String },
+    /// `Stats` reply.
+    Stats { admitted: u64, open_spans: u64 },
+    /// `Cancel`/`Shutdown` acknowledged.
+    Ack,
+}
+
+const REQ_PING: u8 = 1;
+const REQ_EXECUTE: u8 = 2;
+const REQ_CANCEL: u8 = 3;
+const REQ_STATS: u8 = 4;
+const REQ_SHUTDOWN: u8 = 5;
+
+const RESP_PONG: u8 = 1;
+const RESP_EXECUTED: u8 = 2;
+const RESP_FAILED: u8 = 3;
+const RESP_STATS: u8 = 4;
+const RESP_ACK: u8 = 5;
+
+/// `u64::MAX` on the wire means "no deadline".
+const NO_DEADLINE: u64 = u64::MAX;
+
+fn class_to_byte(c: ErrorClass) -> u8 {
+    match c {
+        ErrorClass::Transient => 0,
+        ErrorClass::Corrupt => 1,
+        ErrorClass::Cancelled => 2,
+        ErrorClass::DeadlineExceeded => 3,
+        ErrorClass::Overloaded => 4,
+        ErrorClass::Unavailable => 5,
+        ErrorClass::Fatal => 6,
+    }
+}
+
+fn class_from_byte(b: u8) -> io::Result<ErrorClass> {
+    Ok(match b {
+        0 => ErrorClass::Transient,
+        1 => ErrorClass::Corrupt,
+        2 => ErrorClass::Cancelled,
+        3 => ErrorClass::DeadlineExceeded,
+        4 => ErrorClass::Overloaded,
+        5 => ErrorClass::Unavailable,
+        6 => ErrorClass::Fatal,
+        _ => return Err(bad(format!("unknown error class byte {b}"))),
+    })
+}
+
+fn policy_to_bytes(p: ReadPolicy, out: &mut Vec<u8>) {
+    match p {
+        ReadPolicy::Fail => {
+            out.push(0);
+            out.extend_from_slice(&0u64.to_le_bytes());
+        }
+        ReadPolicy::SkipCorruptGops { max_skipped } => {
+            out.push(1);
+            out.extend_from_slice(&(max_skipped as u64).to_le_bytes());
+        }
+        ReadPolicy::Degrade { max_degraded } => {
+            out.push(2);
+            out.extend_from_slice(&(max_degraded as u64).to_le_bytes());
+        }
+    }
+}
+
+fn policy_from_bytes(buf: &[u8], pos: &mut usize) -> io::Result<ReadPolicy> {
+    let tag = read_u8(buf, pos)?;
+    let n = read_u64(buf, pos)? as usize;
+    Ok(match tag {
+        0 => ReadPolicy::Fail,
+        1 => ReadPolicy::SkipCorruptGops { max_skipped: n },
+        2 => ReadPolicy::Degrade { max_degraded: n },
+        _ => return Err(bad(format!("unknown read-policy tag {tag}"))),
+    })
+}
+
+impl Request {
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping => out.push(REQ_PING),
+            Request::Execute {
+                deadline_ms,
+                read_policy,
+                plan,
+            } => {
+                out.push(REQ_EXECUTE);
+                out.extend_from_slice(&deadline_ms.unwrap_or(NO_DEADLINE).to_le_bytes());
+                policy_to_bytes(*read_policy, &mut out);
+                write_bytes(&mut out, plan);
+            }
+            Request::Cancel { request } => {
+                out.push(REQ_CANCEL);
+                out.extend_from_slice(&request.to_le_bytes());
+            }
+            Request::Stats => out.push(REQ_STATS),
+            Request::Shutdown => out.push(REQ_SHUTDOWN),
+        }
+        out
+    }
+
+    pub fn from_bytes(buf: &[u8]) -> io::Result<Request> {
+        let mut pos = 0;
+        let req = match read_u8(buf, &mut pos)? {
+            REQ_PING => Request::Ping,
+            REQ_EXECUTE => {
+                let raw = read_u64(buf, &mut pos)?;
+                let deadline_ms = (raw != NO_DEADLINE).then_some(raw);
+                let read_policy = policy_from_bytes(buf, &mut pos)?;
+                let plan = read_bytes(buf, &mut pos)?;
+                Request::Execute {
+                    deadline_ms,
+                    read_policy,
+                    plan,
+                }
+            }
+            REQ_CANCEL => Request::Cancel {
+                request: read_u64(buf, &mut pos)?,
+            },
+            REQ_STATS => Request::Stats,
+            REQ_SHUTDOWN => Request::Shutdown,
+            t => return Err(bad(format!("unknown request tag {t}"))),
+        };
+        finish(buf, pos)?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Pong => out.push(RESP_PONG),
+            Response::Executed {
+                streams,
+                skipped,
+                degraded,
+            } => {
+                out.push(RESP_EXECUTED);
+                out.extend_from_slice(&skipped.to_le_bytes());
+                out.extend_from_slice(&degraded.to_le_bytes());
+                out.extend_from_slice(&(streams.len() as u32).to_le_bytes());
+                for s in streams {
+                    write_bytes(&mut out, s);
+                }
+            }
+            Response::Failed { class, message } => {
+                out.push(RESP_FAILED);
+                out.push(class_to_byte(*class));
+                write_bytes(&mut out, message.as_bytes());
+            }
+            Response::Stats {
+                admitted,
+                open_spans,
+            } => {
+                out.push(RESP_STATS);
+                out.extend_from_slice(&admitted.to_le_bytes());
+                out.extend_from_slice(&open_spans.to_le_bytes());
+            }
+            Response::Ack => out.push(RESP_ACK),
+        }
+        out
+    }
+
+    pub fn from_bytes(buf: &[u8]) -> io::Result<Response> {
+        let mut pos = 0;
+        let resp = match read_u8(buf, &mut pos)? {
+            RESP_PONG => Response::Pong,
+            RESP_EXECUTED => {
+                let skipped = read_u64(buf, &mut pos)?;
+                let degraded = read_u64(buf, &mut pos)?;
+                let n = read_u32(buf, &mut pos)? as usize;
+                // A stream is at least a length prefix; reject counts
+                // the remaining bytes cannot possibly satisfy.
+                if n > buf.len().saturating_sub(pos) / 4 + 1 {
+                    return Err(bad(format!("implausible stream count {n}")));
+                }
+                let mut streams = Vec::with_capacity(n);
+                for _ in 0..n {
+                    streams.push(read_bytes(buf, &mut pos)?);
+                }
+                Response::Executed {
+                    streams,
+                    skipped,
+                    degraded,
+                }
+            }
+            RESP_FAILED => {
+                let class = class_from_byte(read_u8(buf, &mut pos)?)?;
+                let message = String::from_utf8(read_bytes(buf, &mut pos)?)
+                    .map_err(|_| bad("non-UTF8 error message".into()))?;
+                Response::Failed { class, message }
+            }
+            RESP_STATS => Response::Stats {
+                admitted: read_u64(buf, &mut pos)?,
+                open_spans: read_u64(buf, &mut pos)?,
+            },
+            RESP_ACK => Response::Ack,
+            t => return Err(bad(format!("unknown response tag {t}"))),
+        };
+        finish(buf, pos)?;
+        Ok(resp)
+    }
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn finish(buf: &[u8], pos: usize) -> io::Result<()> {
+    if pos != buf.len() {
+        return Err(bad(format!("{} trailing bytes", buf.len() - pos)));
+    }
+    Ok(())
+}
+
+fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn read_u8(buf: &[u8], pos: &mut usize) -> io::Result<u8> {
+    let b = *buf
+        .get(*pos)
+        .ok_or_else(|| bad("truncated payload".into()))?;
+    *pos += 1;
+    Ok(b)
+}
+
+fn read_u32(buf: &[u8], pos: &mut usize) -> io::Result<u32> {
+    if *pos + 4 > buf.len() {
+        return Err(bad("truncated u32".into()));
+    }
+    let v = u32::from_le_bytes([buf[*pos], buf[*pos + 1], buf[*pos + 2], buf[*pos + 3]]);
+    *pos += 4;
+    Ok(v)
+}
+
+fn read_u64(buf: &[u8], pos: &mut usize) -> io::Result<u64> {
+    if *pos + 8 > buf.len() {
+        return Err(bad("truncated u64".into()));
+    }
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&buf[*pos..*pos + 8]);
+    *pos += 8;
+    Ok(u64::from_le_bytes(raw))
+}
+
+fn read_bytes(buf: &[u8], pos: &mut usize) -> io::Result<Vec<u8>> {
+    let len = read_u32(buf, pos)? as usize;
+    if *pos + len > buf.len() {
+        return Err(bad("truncated byte string".into()));
+    }
+    let out = buf[*pos..*pos + len].to_vec();
+    *pos += len;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(r: Request) {
+        assert_eq!(Request::from_bytes(&r.to_bytes()).unwrap(), r);
+    }
+
+    fn roundtrip_resp(r: Response) {
+        assert_eq!(Response::from_bytes(&r.to_bytes()).unwrap(), r);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Ping);
+        roundtrip_req(Request::Execute {
+            deadline_ms: Some(1500),
+            read_policy: ReadPolicy::Degrade { max_degraded: 4 },
+            plan: vec![1, 2, 3, 4],
+        });
+        roundtrip_req(Request::Execute {
+            deadline_ms: None,
+            read_policy: ReadPolicy::Fail,
+            plan: vec![],
+        });
+        roundtrip_req(Request::Cancel { request: 99 });
+        roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Pong);
+        roundtrip_resp(Response::Executed {
+            streams: vec![vec![9; 30], vec![]],
+            skipped: 1,
+            degraded: 2,
+        });
+        roundtrip_resp(Response::Failed {
+            class: ErrorClass::Unavailable,
+            message: "worker 2 unreachable".into(),
+        });
+        roundtrip_resp(Response::Stats {
+            admitted: 0,
+            open_spans: 0,
+        });
+        roundtrip_resp(Response::Ack);
+    }
+
+    #[test]
+    fn every_error_class_survives_the_wire() {
+        for class in [
+            ErrorClass::Transient,
+            ErrorClass::Corrupt,
+            ErrorClass::Cancelled,
+            ErrorClass::DeadlineExceeded,
+            ErrorClass::Overloaded,
+            ErrorClass::Unavailable,
+            ErrorClass::Fatal,
+        ] {
+            roundtrip_resp(Response::Failed {
+                class,
+                message: class.to_string(),
+            });
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = Request::Ping.to_bytes();
+        bytes.push(0);
+        assert!(Request::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let full = Request::Execute {
+            deadline_ms: Some(10),
+            read_policy: ReadPolicy::SkipCorruptGops { max_skipped: 2 },
+            plan: vec![5; 16],
+        }
+        .to_bytes();
+        for keep in 0..full.len() {
+            assert!(
+                Request::from_bytes(&full[..keep]).is_err(),
+                "prefix of {keep} bytes must not parse"
+            );
+        }
+        let full = Response::Executed {
+            streams: vec![vec![1; 8]],
+            skipped: 0,
+            degraded: 0,
+        }
+        .to_bytes();
+        for keep in 0..full.len() {
+            assert!(
+                Response::from_bytes(&full[..keep]).is_err(),
+                "prefix of {keep} bytes must not parse"
+            );
+        }
+    }
+}

@@ -28,6 +28,11 @@ pub enum ErrorClass {
     /// Admission control refused the query (or a resource wait timed
     /// out under backpressure). The query never held the resource.
     Overloaded,
+    /// The peer holding the data is unreachable: a worker process is
+    /// down or a network partition separates us from it. The data
+    /// itself is fine — retrying against a *replica* may succeed, so
+    /// failover (not same-target retry) is the designed reaction.
+    Unavailable,
     /// Everything else: programming errors, missing files, unknown
     /// I/O failures. Not retried, not degraded around.
     Fatal,
@@ -45,6 +50,17 @@ impl ErrorClass {
             // A short read against a length the format promised is
             // structural damage (a torn file), not a missing file.
             io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof => ErrorClass::Corrupt,
+            // Connection-shaped kinds mean the *peer* is gone, not the
+            // data: refused connections indicate a down worker or a
+            // partition, reset/aborted mid-conversation means the link
+            // (or the peer) died under us. Either way the bytes we
+            // wanted are intact somewhere else, so the designed
+            // reaction is failover, not same-target retry.
+            io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe => ErrorClass::Unavailable,
             _ => ErrorClass::Fatal,
         }
     }
@@ -65,6 +81,7 @@ impl std::fmt::Display for ErrorClass {
             ErrorClass::Cancelled => "cancelled",
             ErrorClass::DeadlineExceeded => "deadline-exceeded",
             ErrorClass::Overloaded => "overloaded",
+            ErrorClass::Unavailable => "unavailable",
             ErrorClass::Fatal => "fatal",
         };
         f.write_str(s)
@@ -98,6 +115,18 @@ mod tests {
             ErrorClass::Corrupt
         );
         assert_eq!(
+            ErrorClass::of_io_kind(io::ErrorKind::ConnectionRefused),
+            ErrorClass::Unavailable
+        );
+        assert_eq!(
+            ErrorClass::of_io_kind(io::ErrorKind::ConnectionReset),
+            ErrorClass::Unavailable
+        );
+        assert_eq!(
+            ErrorClass::of_io_kind(io::ErrorKind::BrokenPipe),
+            ErrorClass::Unavailable
+        );
+        assert_eq!(
             ErrorClass::of_io_kind(io::ErrorKind::NotFound),
             ErrorClass::Fatal
         );
@@ -115,6 +144,7 @@ mod tests {
             ErrorClass::Cancelled,
             ErrorClass::DeadlineExceeded,
             ErrorClass::Overloaded,
+            ErrorClass::Unavailable,
         ] {
             assert!(c.is_classified(), "{c}");
         }
@@ -125,5 +155,6 @@ mod tests {
     fn display_is_stable() {
         assert_eq!(ErrorClass::DeadlineExceeded.to_string(), "deadline-exceeded");
         assert_eq!(ErrorClass::Overloaded.to_string(), "overloaded");
+        assert_eq!(ErrorClass::Unavailable.to_string(), "unavailable");
     }
 }

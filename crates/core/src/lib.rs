@@ -43,6 +43,7 @@ pub mod fault_class;
 pub mod histogram;
 pub mod model;
 pub mod quality;
+pub mod retry;
 pub mod subgraph;
 pub mod udf;
 pub mod vrql;
@@ -52,6 +53,7 @@ pub use fault_class::ErrorClass;
 pub use histogram::Histogram;
 pub use model::{PhysicalKind, TlfHandle, TlfId};
 pub use quality::Quality;
+pub use retry::RetryPolicy;
 pub use udf::{BuiltinInterp, BuiltinMap, InterpFunction, MapFunction, MapUdf};
 pub use vrql::VrqlExpr;
 

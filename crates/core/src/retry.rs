@@ -1,0 +1,241 @@
+//! Shared bounded-retry policy with decorrelated-jitter backoff.
+//!
+//! Storage reads and cluster RPCs both retry [`ErrorClass::Transient`]
+//! failures, and both used to hand-roll the loop (fixed `1 << attempt`
+//! sleeps in `storage::durable`, nothing at all on the wire). This
+//! module is the single implementation: an attempt cap, a backoff
+//! curve drawn from the decorrelated-jitter family (`sleep =
+//! uniform(base, prev * 3)`, clamped to `[base, cap]`), and an
+//! optional deadline that bounds the *total* budget — a retry loop
+//! never sleeps past the query's deadline just to fail later.
+//!
+//! Jitter exists to decorrelate retry storms across threads and
+//! workers, not to be cryptographic: a SplitMix64 stream seeded per
+//! loop from a process counter is plenty, and keeps `core` free of
+//! any RNG dependency.
+
+use crate::fault_class::ErrorClass;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Bounded retry with decorrelated-jitter backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempt cap, counting the first try (so `4` means one
+    /// try plus at most three retries). Zero behaves as one.
+    pub max_attempts: u32,
+    /// Lower bound of every sleep, and the first sleep's nominal size.
+    pub base: Duration,
+    /// Upper bound of every sleep.
+    pub cap: Duration,
+}
+
+/// Seeds one jitter stream per retry loop so concurrent loops diverge.
+static LOOP_SEED: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+
+impl RetryPolicy {
+    /// The policy local storage reads have always had: four attempts
+    /// with millisecond-scale backoff. Kept tight because transient
+    /// local-I/O faults (EINTR, contention) clear almost immediately.
+    pub fn io_default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(8),
+        }
+    }
+
+    /// The RPC-side policy: same attempt cap, wider backoff window so
+    /// a congested link gets real breathing room between tries.
+    pub fn rpc_default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(50),
+        }
+    }
+
+    /// The next sleep after `prev`, advancing `state`'s jitter stream.
+    /// Always in `[base, cap]`; grows toward `cap` as `prev` grows
+    /// (decorrelated jitter: `uniform(base, prev * 3)` clamped).
+    pub fn next_backoff(&self, prev: Duration, state: &mut u64) -> Duration {
+        let base = self.base.max(Duration::from_micros(1));
+        let hi = prev.saturating_mul(3).clamp(base, self.cap.max(base));
+        let span = hi.saturating_sub(base);
+        let jitter = if span.is_zero() {
+            Duration::ZERO
+        } else {
+            let r = splitmix64(state);
+            Duration::from_nanos(r % (span.as_nanos() as u64 + 1))
+        };
+        (base + jitter).min(self.cap.max(base))
+    }
+
+    /// Runs `op` under this policy. Retries only failures whose
+    /// [`ErrorClass`] (per `classify`) is [`ErrorClass::Transient`];
+    /// every other class returns immediately. With a `deadline`, the
+    /// loop stops retrying (returning the last error) once the next
+    /// sleep would not fit in the remaining budget.
+    pub fn run<T, E>(
+        &self,
+        deadline: Option<Instant>,
+        classify: impl Fn(&E) -> ErrorClass,
+        mut op: impl FnMut() -> Result<T, E>,
+    ) -> Result<T, E> {
+        let attempts = self.max_attempts.max(1);
+        let mut state = LOOP_SEED.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        let mut sleep = self.base;
+        let mut attempt = 0;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    attempt += 1;
+                    if classify(&e) != ErrorClass::Transient || attempt >= attempts {
+                        return Err(e);
+                    }
+                    sleep = self.next_backoff(sleep, &mut state);
+                    if let Some(d) = deadline {
+                        let now = Instant::now();
+                        if now >= d || d.duration_since(now) < sleep {
+                            return Err(e);
+                        }
+                    }
+                    std::thread::sleep(sleep);
+                }
+            }
+        }
+    }
+
+    /// [`RetryPolicy::run`] specialised to `io::Result`, classifying
+    /// via [`ErrorClass::of_io_kind`].
+    pub fn run_io<T>(
+        &self,
+        deadline: Option<Instant>,
+        op: impl FnMut() -> io::Result<T>,
+    ) -> io::Result<T> {
+        self.run(deadline, |e: &io::Error| ErrorClass::of_io_kind(e.kind()), op)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Error, ErrorKind};
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn backoff_stays_within_bounds() {
+        let p = RetryPolicy::rpc_default();
+        let mut state = 42u64;
+        let mut prev = p.base;
+        for _ in 0..1000 {
+            let s = p.next_backoff(prev, &mut state);
+            assert!(s >= p.base, "sleep {s:?} under base {:?}", p.base);
+            assert!(s <= p.cap, "sleep {s:?} over cap {:?}", p.cap);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn backoff_jitters_across_streams() {
+        // Two loops started back to back must not march in lockstep —
+        // that is the whole point of decorrelated jitter.
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_micros(10),
+            cap: Duration::from_millis(500),
+        };
+        let (mut a, mut b) = (1u64, 2u64);
+        let seq_a: Vec<_> = (0..8)
+            .scan(p.base, |prev, _| {
+                *prev = p.next_backoff(*prev, &mut a);
+                Some(*prev)
+            })
+            .collect();
+        let seq_b: Vec<_> = (0..8)
+            .scan(p.base, |prev, _| {
+                *prev = p.next_backoff(*prev, &mut b);
+                Some(*prev)
+            })
+            .collect();
+        assert_ne!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn retries_only_transient() {
+        let calls = AtomicU32::new(0);
+        let r: io::Result<()> = RetryPolicy::io_default().run_io(None, || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(Error::new(ErrorKind::PermissionDenied, "nope"))
+        });
+        assert!(r.is_err());
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn recovers_after_transient_failures() {
+        let calls = AtomicU32::new(0);
+        let r = RetryPolicy::io_default().run_io(None, || {
+            if calls.fetch_add(1, Ordering::Relaxed) < 2 {
+                Err(Error::new(ErrorKind::Interrupted, "eintr"))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(r.ok(), Some(7));
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn exhausts_attempt_cap_on_persistent_transients() {
+        let calls = AtomicU32::new(0);
+        let r: io::Result<()> = RetryPolicy::io_default().run_io(None, || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(Error::new(ErrorKind::TimedOut, "still busy"))
+        });
+        assert!(r.is_err());
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn deadline_bounds_total_budget() {
+        // A deadline already in the past forbids any sleep: the loop
+        // gives up after the first failed attempt.
+        let calls = AtomicU32::new(0);
+        let past = Instant::now() - Duration::from_millis(1);
+        let r: io::Result<()> = RetryPolicy::io_default().run_io(Some(past), || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(Error::new(ErrorKind::TimedOut, "busy"))
+        });
+        assert!(r.is_err());
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn unavailable_is_not_retried_same_target() {
+        // Failover, not retry, handles a dead peer.
+        let calls = AtomicU32::new(0);
+        let r: io::Result<()> = RetryPolicy::rpc_default().run_io(None, || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(Error::new(ErrorKind::ConnectionRefused, "peer down"))
+        });
+        assert!(r.is_err());
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn zero_attempt_policy_still_tries_once() {
+        let p = RetryPolicy { max_attempts: 0, ..RetryPolicy::io_default() };
+        assert_eq!(p.run_io(None, || Ok::<_, Error>(1)).ok(), Some(1));
+    }
+}

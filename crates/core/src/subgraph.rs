@@ -9,6 +9,11 @@
 //!
 //! By convention the materialised intermediate appears in the
 //! subgraph as `SCAN($materialized)`.
+//!
+//! The same wire format ships *distributed subplans*: a coordinator
+//! serialises the per-fragment operator chain (scan → transforms →
+//! encode) and a worker deserialises and executes it locally, so the
+//! serialisable subset also includes `ENCODE`.
 
 use crate::algebra::{LogicalOp, LogicalPlan, MergeFunction, VolumePredicate};
 use crate::udf::{BuiltinInterp, BuiltinMap, InterpFunction, InterpUdf, MapFunction, MapUdf};
@@ -77,6 +82,7 @@ const TAG_MAP: u8 = 6;
 const TAG_INTERPOLATE: u8 = 7;
 const TAG_TRANSLATE: u8 = 8;
 const TAG_ROTATE: u8 = 9;
+const TAG_ENCODE: u8 = 10;
 
 /// Serialises a view subgraph. Errors on operators that cannot appear
 /// in a view (I/O, DDL, subqueries) or UDFs without stable names.
@@ -142,6 +148,16 @@ fn write_node(plan: &LogicalPlan, out: &mut Vec<u8>) -> Result<()> {
             out.push(TAG_ROTATE);
             out.extend_from_slice(&dtheta.to_be_bytes());
             out.extend_from_slice(&dphi.to_be_bytes());
+        }
+        LogicalOp::Encode { codec, quality } => {
+            out.push(TAG_ENCODE);
+            out.push(codec.to_byte());
+            out.push(match quality {
+                None => 0,
+                Some(crate::Quality::High) => 1,
+                Some(crate::Quality::Medium) => 2,
+                Some(crate::Quality::Low) => 3,
+            });
         }
         other => {
             return Err(CoreError::Subgraph(format!(
@@ -223,6 +239,18 @@ fn read_node(buf: &[u8], pos: &mut usize, registry: &UdfRegistry) -> Result<Logi
         },
         TAG_ROTATE => {
             LogicalOp::Rotate { dtheta: read_f64(buf, pos)?, dphi: read_f64(buf, pos)? }
+        }
+        TAG_ENCODE => {
+            let codec = lightdb_codec::CodecKind::from_byte(read_u8(buf, pos)?)
+                .map_err(|e| CoreError::Subgraph(e.to_string()))?;
+            let quality = match read_u8(buf, pos)? {
+                0 => None,
+                1 => Some(crate::Quality::High),
+                2 => Some(crate::Quality::Medium),
+                3 => Some(crate::Quality::Low),
+                q => return Err(CoreError::Subgraph(format!("bad quality byte {q}"))),
+            };
+            LogicalOp::Encode { codec, quality }
         }
         _ => return Err(CoreError::Subgraph(format!("unknown tag {tag}"))),
     };
@@ -358,6 +386,24 @@ mod tests {
         reg.register_map(Arc::new(Detect));
         let rt = deserialize(&bytes, &reg).unwrap();
         assert!(format!("{rt}").contains("MAP(DETECT)"));
+    }
+
+    #[test]
+    fn encode_roundtrips_for_distributed_subplans() {
+        use crate::vrql::Encode;
+        use lightdb_codec::CodecKind;
+        for plan in [
+            (VrqlExpr::from_plan(materialized_input())
+                >> Map::builtin(BuiltinMap::Grayscale)
+                >> Encode::with(CodecKind::H264Sim))
+            .into_plan(),
+            (VrqlExpr::from_plan(materialized_input())
+                >> Encode::quality(CodecKind::HevcSim, crate::Quality::Low))
+            .into_plan(),
+        ] {
+            let rt = roundtrip(&plan);
+            assert_eq!(format!("{plan}"), format!("{rt}"));
+        }
     }
 
     #[test]

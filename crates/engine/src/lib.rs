@@ -363,13 +363,25 @@ impl LightDb {
     /// buffer-pool admission before execution starts. Cancel from
     /// another thread via [`QueryCtx::cancel_token`].
     pub fn execute_with_ctx(&self, query: &VrqlExpr, ctx: QueryCtx) -> Result<QueryOutput> {
+        self.execute_plan_with_ctx(query.plan(), ctx)
+    }
+
+    /// Executes a bare [`LogicalPlan`] under the engine defaults —
+    /// the entry point for plans that did not come from local VRQL,
+    /// such as distributed subplans a cluster worker deserialised off
+    /// the wire ([`lightdb_core::subgraph`]).
+    pub fn execute_plan_with_ctx(
+        &self,
+        plan: &LogicalPlan,
+        ctx: QueryCtx,
+    ) -> Result<QueryOutput> {
         session::execute_on(
             &self.shared,
             &self.defaults,
             &self.udfs,
             &self.metrics,
             None,
-            query,
+            plan,
             ctx,
         )
     }

@@ -28,7 +28,7 @@
 //!   (`shared_scan.*` counters).
 
 use crate::{Error, Result};
-use lightdb_core::algebra::LogicalOp;
+use lightdb_core::algebra::{LogicalOp, LogicalPlan};
 use lightdb_core::subgraph::UdfRegistry;
 use lightdb_core::udf::{InterpUdf, MapUdf};
 use lightdb_core::vrql::VrqlExpr;
@@ -338,13 +338,25 @@ impl Session {
 
     /// [`execute`](Session::execute) under an explicit [`QueryCtx`].
     pub fn execute_with_ctx(&self, query: &VrqlExpr, ctx: QueryCtx) -> Result<QueryOutput> {
+        self.execute_plan_with_ctx(query.plan(), ctx)
+    }
+
+    /// Executes a bare [`LogicalPlan`] under this session's settings —
+    /// the entry point for plans that did not come from local VRQL,
+    /// such as distributed subplans a cluster worker deserialised off
+    /// the wire ([`lightdb_core::subgraph`]).
+    pub fn execute_plan_with_ctx(
+        &self,
+        plan: &LogicalPlan,
+        ctx: QueryCtx,
+    ) -> Result<QueryOutput> {
         execute_on(
             &self.shared,
             &self.config,
             &self.udfs,
             &self.metrics,
             Some(self.id),
-            query,
+            plan,
             ctx,
         )
     }
@@ -394,13 +406,13 @@ pub(crate) fn execute_on(
     udfs: &UdfRegistry,
     metrics: &Metrics,
     session: Option<u64>,
-    query: &VrqlExpr,
+    plan: &LogicalPlan,
     ctx: QueryCtx,
 ) -> Result<QueryOutput> {
     // Pin a snapshot and resolve unversioned scans against it,
     // splicing stored view subgraphs in as we go.
     let snapshot = Snapshot::begin(&shared.catalog);
-    let pinned = crate::resolve_scans_in(&shared.catalog, udfs, query.plan().clone(), &snapshot)?;
+    let pinned = crate::resolve_scans_in(&shared.catalog, udfs, plan.clone(), &snapshot)?;
     if let LogicalOp::Store { name } = &pinned.op {
         snapshot.note_write(name)?;
     }

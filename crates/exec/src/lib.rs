@@ -97,6 +97,7 @@ impl ExecError {
             ExecError::Cancelled => ErrorClass::Cancelled,
             ExecError::DeadlineExceeded => ErrorClass::DeadlineExceeded,
             ExecError::Overloaded(_) => ErrorClass::Overloaded,
+            ExecError::Unavailable(_) => ErrorClass::Unavailable,
             ExecError::Core(_)
             | ExecError::Domain(_)
             | ExecError::Align(_)
@@ -125,6 +126,9 @@ pub enum ExecError {
     /// Admission control refused the query before it held any
     /// resources (working set over budget, or backpressure timeout).
     Overloaded(String),
+    /// A remote fragment's worker is down or partitioned away and no
+    /// replica could serve it. The data is intact — just unreachable.
+    Unavailable(String),
     /// Anything else.
     Other(String),
 }
@@ -141,6 +145,7 @@ impl std::fmt::Display for ExecError {
             ExecError::Cancelled => write!(f, "query cancelled"),
             ExecError::DeadlineExceeded => write!(f, "query deadline exceeded"),
             ExecError::Overloaded(m) => write!(f, "overloaded: {m}"),
+            ExecError::Unavailable(m) => write!(f, "unavailable: {m}"),
             ExecError::Other(m) => write!(f, "{m}"),
         }
     }

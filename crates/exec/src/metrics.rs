@@ -292,6 +292,16 @@ pub mod counters {
     /// Latency histogram name for one served view (use with
     /// [`super::Metrics::observe`] / [`super::Metrics::percentile`]).
     pub const SERVE_LATENCY: &str = "tile_server.serve";
+    /// Cluster RPCs retried on a transient failure (same worker).
+    pub const CLUSTER_RPC_RETRIES: &str = "cluster.rpc.retries";
+    /// Fragment dispatches failed over from an unreachable worker to
+    /// a replica holder.
+    pub const CLUSTER_FAILOVERS: &str = "cluster.failovers";
+    /// Fragments dropped from a degraded distributed result because
+    /// no reachable worker held a copy (`ReadPolicy::Degrade` only).
+    pub const CLUSTER_LOST_FRAGMENTS: &str = "cluster.lost_fragments";
+    /// Heartbeat probes that found a worker unreachable.
+    pub const CLUSTER_HEARTBEAT_FAILURES: &str = "cluster.heartbeat.failures";
 }
 
 #[cfg(test)]

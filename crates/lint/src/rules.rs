@@ -9,6 +9,7 @@
 //! | R5   | `fs::rename` appears only inside `storage::durable` (publish protocol) |
 //! | R6   | no untimed condvar `wait` outside `storage::bufferpool` (its timed helper is the one sanctioned waiter) |
 //! | R7   | `fsync`/`sync_all`/`sync_data` appear only inside `storage::durable` and `storage::wal` (the durability boundary) |
+//! | R8   | raw socket construction (`TcpStream::`/`TcpListener::`/`UdpSocket::`) only inside `cluster::net` (the framed-wire boundary) |
 //!
 //! Escape hatch: `// lint: allow(R1): <justification>` on the same
 //! line or above the offending code suppresses that rule there —
@@ -44,6 +45,7 @@ pub enum Rule {
     R5,
     R6,
     R7,
+    R8,
 }
 
 impl Rule {
@@ -56,6 +58,7 @@ impl Rule {
             "R5" => Some(Rule::R5),
             "R6" => Some(Rule::R6),
             "R7" => Some(Rule::R7),
+            "R8" => Some(Rule::R8),
             _ => None,
         }
     }
@@ -80,6 +83,9 @@ pub struct FileClass {
     /// R7 exemption (with `durable_module`): the write-ahead log owns
     /// its own fsync schedule (group commit).
     pub wal_module: bool,
+    /// R8 exemption: the one module allowed to construct raw sockets
+    /// (everything else speaks the framed `cluster::net::Conn`).
+    pub cluster_net_module: bool,
 }
 
 /// The production library crates R1 protects. Bench/apps/baselines/
@@ -96,6 +102,7 @@ const LIBRARY_CRATES: &[&str] = &[
     "exec",
     "optimizer",
     "engine",
+    "cluster",
 ];
 
 impl FileClass {
@@ -115,6 +122,7 @@ impl FileClass {
             durable_module: p == "crates/storage/src/durable.rs",
             bufferpool_module: p == "crates/storage/src/bufferpool.rs",
             wal_module: p == "crates/storage/src/wal.rs",
+            cluster_net_module: p == "crates/cluster/src/net.rs",
         }
     }
 }
@@ -417,6 +425,7 @@ fn check_tokens(rel_path: &str, toks: &[Tok]) -> Vec<Violation> {
     rule_r5(&ctx, &code, &mut out);
     rule_r6(&ctx, &code, &mut out);
     rule_r7(&ctx, &code, &mut out);
+    rule_r8(&ctx, &code, &mut out);
     out.sort_by_key(|v| v.line);
     out
 }
@@ -781,6 +790,44 @@ fn rule_r7(ctx: &FileCtx, code: &[&Tok], out: &mut Vec<Violation>) {
     }
 }
 
+/// R8: raw socket construction outside `cluster::net`. The wire
+/// protocol's framing, CRC checks, timeouts, and fault injection all
+/// live on [`cluster::net::Conn`]; a bare `TcpStream::connect` (or
+/// `TcpListener::bind` / `UdpSocket::bind`) anywhere else would move
+/// bytes that the corruption and chaos harnesses cannot see. The
+/// pattern is the type ident followed by `::` — path-qualified
+/// associated calls are the only way these types are constructed.
+fn rule_r8(ctx: &FileCtx, code: &[&Tok], out: &mut Vec<Violation>) {
+    if ctx.class.cluster_net_module || ctx.class.test_path {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        let is_socket_type =
+            t.is_ident("TcpStream") || t.is_ident("TcpListener") || t.is_ident("UdpSocket");
+        // `Type::` — the lexer splits `::` into two `:` puncts.
+        if !is_socket_type
+            || !code.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            || !code.get(i + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            continue;
+        }
+        if ctx.in_test_range(t.line) {
+            continue;
+        }
+        ctx.push(
+            out,
+            Rule::R8,
+            t.line,
+            format!(
+                "{}:: outside cluster::net — raw sockets bypass the framed \
+                 wire protocol (CRC, timeouts, fault injection); speak \
+                 cluster::net::Conn instead",
+                t.text
+            ),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -958,6 +1005,24 @@ mod tests {
     #[test]
     fn tokens_in_strings_do_not_fire() {
         let v = check(LIB, r#"fn f() { let s = ".unwrap() panic! rename("; }"#);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn r8_socket_construction_fires_outside_cluster_net() {
+        let src = "fn f() { let s = TcpStream::connect(a); let l = TcpListener::bind(b); }";
+        let v = check("crates/exec/src/x.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == Rule::R8), "{v:?}");
+        // The framed-wire module and test tiers are exempt.
+        assert!(check("crates/cluster/src/net.rs", src).is_empty());
+        assert!(check("crates/cluster/tests/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r8_ignores_bare_type_mentions() {
+        // A type position (no `::` path) is not a construction.
+        let v = check(LIB, "struct S { inner: TcpStream }\nfn f(s: &TcpStream) {}");
         assert!(v.is_empty(), "{v:?}");
     }
 }

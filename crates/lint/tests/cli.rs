@@ -11,7 +11,7 @@ fn bin() -> Command {
 }
 
 /// Builds a throwaway mini-workspace seeded with one violation per
-/// rule, so the binary's non-zero exit covers all of R1–R7 (the
+/// rule, so the binary's non-zero exit covers all of R1–R8 (the
 /// storage `bad.rs` fires R3 and R6 on the same untimed wait).
 fn seeded_workspace(tag: &str) -> PathBuf {
     let root = std::env::temp_dir().join(format!("lint-cli-{tag}-{}", std::process::id()));
@@ -49,6 +49,12 @@ fn seeded_workspace(tag: &str) -> PathBuf {
              f.sync_all().expect(\"seeded\");\n\
          }\n",
     );
+    write(
+        "crates/cluster/src/bad.rs",
+        "pub fn dial(a: &str) -> std::io::Result<std::net::TcpStream> {\n\
+             std::net::TcpStream::connect(a)\n\
+         }\n",
+    );
     root
 }
 
@@ -75,6 +81,7 @@ fn nonzero_on_seeded_violations_with_file_line_output() {
         "crates/storage/src/bad.rs:8: R5:",
         "crates/storage/src/bad.rs:3: R6:",
         "crates/storage/src/bad.rs:11: R7:",
+        "crates/cluster/src/bad.rs:2: R8:",
     ] {
         assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
     }

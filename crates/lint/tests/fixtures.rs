@@ -76,6 +76,17 @@ fn r6_fires_outside_bufferpool_module() {
 }
 
 #[test]
+fn r8_fires_outside_cluster_net_module() {
+    let src = include_str!("fixtures/r8_socket.rs");
+    assert_eq!(lines_of(Rule::R8, LIB_PATH, src), vec![5, 9]);
+    assert_eq!(lines_of(Rule::R8, STORAGE_PATH, src), vec![5, 9]);
+    // The one module allowed to construct raw sockets.
+    assert!(lines_of(Rule::R8, "crates/cluster/src/net.rs", src).is_empty());
+    // Elsewhere in the cluster crate the rule still applies.
+    assert_eq!(lines_of(Rule::R8, "crates/cluster/src/coordinator.rs", src), vec![5, 9]);
+}
+
+#[test]
 fn r7_fires_outside_durable_and_wal_modules() {
     let src = include_str!("fixtures/r7_fsync.rs");
     assert_eq!(lines_of(Rule::R7, LIB_PATH, src), vec![5, 9]);

@@ -1,0 +1,16 @@
+// R8 fixture: raw socket construction anywhere but cluster::net must
+// fire — bytes that bypass the framed Conn also bypass its CRC
+// checks, timeouts, and fault injection sites.
+pub fn sneaky_dial(addr: &str) -> std::io::Result<std::net::TcpStream> {
+    std::net::TcpStream::connect(addr) // line 5
+}
+
+pub fn sneaky_listen(addr: &str) -> std::io::Result<std::net::TcpListener> {
+    std::net::TcpListener::bind(addr) // line 9
+}
+
+// Type positions are not constructions: holding or borrowing an
+// already-made socket is fine, only making one is flagged.
+pub fn hold(stream: std::net::TcpStream) -> std::net::TcpStream {
+    stream
+}

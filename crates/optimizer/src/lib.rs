@@ -21,6 +21,7 @@
 
 pub mod fingerprint;
 pub mod lower;
+pub mod placement;
 pub mod rules;
 
 pub use lower::{Planner, PlannerOptions};

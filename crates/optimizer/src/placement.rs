@@ -1,0 +1,123 @@
+//! Locality- and health-aware fragment placement for distributed
+//! execution.
+//!
+//! A coordinator splits a query into per-fragment subplans and must
+//! decide, for each fragment, which worker executes it. The inputs
+//! are pure data — which workers *hold* a copy of each fragment
+//! (locality) and which workers are currently healthy (from the
+//! heartbeat tracker) — so placement is a deterministic function the
+//! optimizer owns, decoupled from the RPC machinery that acts on it.
+//!
+//! The policy: never ship fragment bytes — a fragment runs only on a
+//! worker that holds it. Among the healthy holders, pick the one
+//! with the fewest fragments assigned so far (ties broken by holder
+//! order, which callers list primary-first), and record the remaining
+//! healthy holders as failover candidates in preference order. A
+//! fragment with no healthy holder gets `primary: None`; the caller
+//! decides whether that is a classified `Unavailable` error or a
+//! degraded result, per its read policy.
+
+/// What the placer knows about one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerState {
+    /// Most recent heartbeat verdict: can this worker serve RPCs?
+    pub healthy: bool,
+}
+
+/// Where one fragment should execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// Index of the fragment in the caller's fragment list.
+    pub fragment: usize,
+    /// Chosen worker, `None` when no healthy worker holds a copy.
+    pub primary: Option<usize>,
+    /// Remaining healthy holders, in failover preference order.
+    pub fallbacks: Vec<usize>,
+}
+
+/// Assigns each fragment (given as the list of workers holding a
+/// copy, primary-first) to a healthy holder, balancing assignment
+/// counts across workers. See the module docs for the policy.
+pub fn place(holders: &[Vec<usize>], workers: &[WorkerState]) -> Vec<Placement> {
+    let mut load = vec![0usize; workers.len()];
+    holders
+        .iter()
+        .enumerate()
+        .map(|(fragment, held_by)| {
+            let mut healthy: Vec<usize> = held_by
+                .iter()
+                .copied()
+                .filter(|&w| workers.get(w).is_some_and(|s| s.healthy))
+                .collect();
+            // Least-loaded healthy holder wins; stable sort keeps the
+            // caller's primary-first ordering as the tiebreak.
+            healthy.sort_by_key(|&w| load[w]);
+            let primary = healthy.first().copied();
+            if let Some(w) = primary {
+                load[w] += 1;
+            }
+            let fallbacks = healthy.into_iter().skip(1).collect();
+            Placement {
+                fragment,
+                primary,
+                fallbacks,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UP: WorkerState = WorkerState { healthy: true };
+    const DOWN: WorkerState = WorkerState { healthy: false };
+
+    #[test]
+    fn fragments_stay_on_their_holders() {
+        let placements = place(&[vec![0], vec![1], vec![2]], &[UP, UP, UP]);
+        let chosen: Vec<_> = placements.iter().map(|p| p.primary).collect();
+        assert_eq!(chosen, vec![Some(0), Some(1), Some(2)]);
+        assert!(placements.iter().all(|p| p.fallbacks.is_empty()));
+    }
+
+    #[test]
+    fn down_workers_are_skipped_in_favor_of_replicas() {
+        // Fragment 0 lives on worker 0 (down) with a replica on 2.
+        let placements = place(&[vec![0, 2], vec![1, 0]], &[DOWN, UP, UP]);
+        assert_eq!(placements[0].primary, Some(2));
+        assert_eq!(placements[1].primary, Some(1));
+        assert_eq!(placements[1].fallbacks, Vec::<usize>::new());
+    }
+
+    #[test]
+    fn load_balances_across_replicated_holders() {
+        // Every fragment is held by both workers: assignments must
+        // alternate rather than pile onto worker 0.
+        let holders = vec![vec![0, 1]; 4];
+        let placements = place(&holders, &[UP, UP]);
+        let on_w0 = placements.iter().filter(|p| p.primary == Some(0)).count();
+        let on_w1 = placements.iter().filter(|p| p.primary == Some(1)).count();
+        assert_eq!((on_w0, on_w1), (2, 2));
+    }
+
+    #[test]
+    fn fallbacks_list_surviving_holders_in_order() {
+        let placements = place(&[vec![0, 1, 2]], &[UP, UP, UP]);
+        assert_eq!(placements[0].primary, Some(0));
+        assert_eq!(placements[0].fallbacks, vec![1, 2]);
+    }
+
+    #[test]
+    fn no_healthy_holder_yields_none() {
+        let placements = place(&[vec![0, 1]], &[DOWN, DOWN]);
+        assert_eq!(placements[0].primary, None);
+        assert!(placements[0].fallbacks.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_holder_indexes_are_ignored() {
+        let placements = place(&[vec![7, 1]], &[UP, UP]);
+        assert_eq!(placements[0].primary, Some(1));
+    }
+}

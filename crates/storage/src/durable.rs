@@ -108,29 +108,13 @@ pub(crate) fn sync_dir(dir: &Path) -> io::Result<()> {
     Ok(())
 }
 
-/// Error kinds worth retrying: the operation may succeed if simply
-/// reissued. Delegates to the engine-wide taxonomy so every retry
-/// path agrees on what "transient" means.
-pub(crate) fn is_transient(kind: io::ErrorKind) -> bool {
-    lightdb_core::ErrorClass::of_io_kind(kind) == lightdb_core::ErrorClass::Transient
-}
-
-/// Retries `op` up to 4 times on transient error kinds with a short
-/// exponential backoff (1, 2, 4 ms); other errors (and the final
-/// transient one) propagate immediately.
-pub(crate) fn retry_io<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
-    const ATTEMPTS: u32 = 4;
-    let mut attempt = 0;
-    loop {
-        match op() {
-            Ok(v) => return Ok(v),
-            Err(e) if is_transient(e.kind()) && attempt + 1 < ATTEMPTS => {
-                std::thread::sleep(std::time::Duration::from_millis(1 << attempt));
-                attempt += 1;
-            }
-            Err(e) => return Err(e),
-        }
-    }
+/// Retries `op` under the engine-wide [`lightdb_core::RetryPolicy`]
+/// (four attempts, decorrelated-jitter backoff in the 1–8 ms band) on
+/// transient error kinds; other errors (and the final transient one)
+/// propagate immediately. The cluster RPC layer runs the same policy
+/// family, so local reads and remote calls back off identically.
+pub(crate) fn retry_io<T>(op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    lightdb_core::RetryPolicy::io_default().run_io(None, op)
 }
 
 #[cfg(test)]

@@ -25,6 +25,13 @@
 //! then lets the operation proceed, modelling slow devices rather
 //! than broken ones.
 //!
+//! Two network-shaped specs serve the cluster layer's `cluster.*`
+//! sites: `drop[:n]` severs the link mid-conversation (the operation
+//! fails `ConnectionReset`-shaped), and `partition[:n]` makes the
+//! peer unreachable (`ConnectionRefused`-shaped). Both classify as
+//! [`ErrorClass::Unavailable`](lightdb_core::ErrorClass), driving the
+//! coordinator's failover rather than its same-target retry path.
+//!
 //! Two crash-shaped specs complete the grammar: `crash[:n]` simulates
 //! a fail-stop crash on the site's `n`-th hit (default: first) — the
 //! whole process is marked crashed and **every** failpoint errors from
@@ -107,6 +114,18 @@ pub mod sites {
     pub const WAL_TRUNCATE: &str = "wal.truncate";
     /// Applying a committed `DROP`: removing the TLF directory.
     pub const CATALOG_DROP_APPLY: &str = "catalog.drop.apply";
+    /// Cluster RPC: establishing a connection to a worker. Per-worker
+    /// targeting appends the worker tag: `cluster.connect.w0`.
+    pub const CLUSTER_CONNECT: &str = "cluster.connect";
+    /// Cluster RPC: sending one framed message. Tagged per worker:
+    /// `cluster.rpc.send.w0`.
+    pub const CLUSTER_SEND: &str = "cluster.rpc.send";
+    /// Cluster RPC: receiving one framed message. Tagged per worker:
+    /// `cluster.rpc.recv.w0`.
+    pub const CLUSTER_RECV: &str = "cluster.rpc.recv";
+    /// Worker serve loop, hit once per request before it executes —
+    /// `crash` here models a fail-stop worker death mid-service.
+    pub const CLUSTER_WORKER_SERVE: &str = "cluster.worker.serve";
 
     /// Every error-kind failpoint a write-ahead-logged `STORE` passes
     /// through, in execution order: media materialisation, then the
@@ -143,6 +162,14 @@ pub enum Fault {
     /// Stall the hitting thread for this many milliseconds, then let
     /// the operation proceed — a slow device, not a broken one.
     Delay { ms: u64 },
+    /// Sever the link mid-conversation: the operation fails with a
+    /// `ConnectionReset`-shaped error, as if the peer (or the network)
+    /// dropped the connection under us.
+    Drop,
+    /// Network partition: the peer is unreachable and the operation
+    /// fails `ConnectionRefused`-shaped. Arm without a hit limit to
+    /// model a partition that persists until healed ([`disarm`]).
+    Partition,
     /// Simulated fail-stop crash: the hit marks the whole process
     /// crashed ([`crashed`] turns true) and this failpoint plus every
     /// later one — on any thread — return errors until
@@ -311,6 +338,10 @@ fn parse_env(spec: &str) -> Vec<(String, Armed)> {
             ["delay", ms, n] => {
                 (Fault::Delay { ms: ms.parse().unwrap_or(0) }, n.parse().ok())
             }
+            ["drop"] => (Fault::Drop, None),
+            ["drop", n] => (Fault::Drop, n.parse().ok()),
+            ["partition"] => (Fault::Partition, None),
+            ["partition", n] => (Fault::Partition, n.parse().ok()),
             // For crash-shaped faults, `n` selects *which* hit fires
             // (1-based) — encoded below as a skip count.
             ["crash"] => (Fault::Crash, Some(1)),
@@ -498,6 +529,14 @@ pub fn fail_point(site: &str) -> io::Result<()> {
             std::thread::sleep(std::time::Duration::from_millis(ms));
             Ok(())
         }
+        Some(Fault::Drop) => Err(io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            format!("injected connection drop at {site}"),
+        )),
+        Some(Fault::Partition) => Err(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            format!("injected network partition at {site}"),
+        )),
         Some(Fault::Crash) => {
             CRASHED.store(true, Ordering::Relaxed);
             Err(crash_error(site))
@@ -671,6 +710,42 @@ mod tests {
         assert!(matches!(parsed[2].1.fault, Fault::Enospc));
         assert!(matches!(parsed[3].1.fault, Fault::TruncateWrite { keep: 7 }));
         assert!(matches!(parsed[4].1.fault, Fault::FlipByte { offset: 3 }));
+    }
+
+    #[test]
+    fn network_faults_fire_with_connection_kinds() {
+        reset();
+        arm_n("t.net.drop", Fault::Drop, 1);
+        let e = fail_point("t.net.drop").unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::ConnectionReset);
+        assert!(fail_point("t.net.drop").is_ok(), "drop charge consumed");
+        arm("t.net.part", Fault::Partition);
+        let e = fail_point("t.net.part").unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::ConnectionRefused);
+        assert!(
+            fail_point("t.net.part").is_err(),
+            "a partition persists until healed"
+        );
+        // Both classify as Unavailable — the failover class.
+        assert_eq!(
+            lightdb_core::ErrorClass::of_io_kind(io::ErrorKind::ConnectionReset),
+            lightdb_core::ErrorClass::Unavailable
+        );
+        reset();
+    }
+
+    #[test]
+    fn env_spec_parses_drop_and_partition() {
+        let parsed = parse_env("a=drop;b=drop:2;c=partition;d=partition:1");
+        assert_eq!(parsed.len(), 4);
+        assert!(matches!(parsed[0].1.fault, Fault::Drop));
+        assert_eq!(parsed[0].1.remaining, None);
+        assert!(matches!(parsed[1].1.fault, Fault::Drop));
+        assert_eq!(parsed[1].1.remaining, Some(2));
+        assert!(matches!(parsed[2].1.fault, Fault::Partition));
+        assert_eq!(parsed[2].1.remaining, None);
+        assert!(matches!(parsed[3].1.fault, Fault::Partition));
+        assert_eq!(parsed[3].1.remaining, Some(1));
     }
 
     #[test]

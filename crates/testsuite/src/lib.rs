@@ -2,4 +2,5 @@
 //! and the shared chaos harness they drive.
 
 pub mod chaos;
+pub mod clusterchaos;
 pub mod crashpoints;
